@@ -1,0 +1,86 @@
+//! Interning CFG edges as automaton symbols.
+
+use blazer_automata::Sym;
+use blazer_ir::{Cfg, Edge};
+use std::collections::BTreeMap;
+
+/// A bijection between the edges of one CFG and the dense symbol range
+/// `0..len`. Trails over the CFG are regular expressions over these symbols.
+#[derive(Debug, Clone)]
+pub struct EdgeAlphabet {
+    edges: Vec<Edge>,
+    index: BTreeMap<Edge, Sym>,
+}
+
+impl EdgeAlphabet {
+    /// The alphabet of all edges of `cfg`, in `cfg.edges()` order.
+    pub fn new(cfg: &Cfg) -> Self {
+        let edges = cfg.edges();
+        let index = edges
+            .iter()
+            .enumerate()
+            .map(|(i, &e)| (e, i as Sym))
+            .collect();
+        EdgeAlphabet { edges, index }
+    }
+
+    /// Number of symbols.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the CFG had no edges at all.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// The symbol of `edge`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edge` is not an edge of the underlying CFG.
+    pub fn sym(&self, edge: Edge) -> Sym {
+        self.index[&edge]
+    }
+
+    /// The edge of `sym`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym` is out of range.
+    pub fn edge(&self, sym: Sym) -> Edge {
+        self.edges[sym as usize]
+    }
+
+    /// Converts a trace's edge sequence to a word over this alphabet.
+    pub fn word_of(&self, edges: &[Edge]) -> Vec<Sym> {
+        edges.iter().map(|e| self.sym(*e)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blazer_lang::compile;
+
+    #[test]
+    fn round_trip() {
+        let p = compile("fn f(n: int) { if (n > 0) { tick(1); } }").unwrap();
+        let cfg = Cfg::new(p.function("f").unwrap());
+        let alpha = EdgeAlphabet::new(&cfg);
+        assert!(!alpha.is_empty());
+        for (i, e) in cfg.edges().into_iter().enumerate() {
+            assert_eq!(alpha.sym(e), i as Sym);
+            assert_eq!(alpha.edge(i as Sym), e);
+        }
+    }
+
+    #[test]
+    fn word_of_trace_edges() {
+        let p = compile("fn f() { tick(1); }").unwrap();
+        let cfg = Cfg::new(p.function("f").unwrap());
+        let alpha = EdgeAlphabet::new(&cfg);
+        let word = alpha.word_of(&cfg.edges());
+        assert_eq!(word, (0..alpha.len() as Sym).collect::<Vec<_>>());
+    }
+}

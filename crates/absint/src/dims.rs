@@ -1,0 +1,145 @@
+//! Mapping IR variables to abstract-domain dimensions.
+
+use blazer_ir::{Function, Operand, Type, VarId};
+
+/// The dimension layout used by every analysis in this workspace:
+///
+/// * dimension `v.index()` holds variable `v`'s numeric value — the integer
+///   itself for scalars, the *length* for arrays (with `-1` meaning null);
+/// * dimension `n_vars + i` is the frozen *seed* of the `i`-th parameter:
+///   its value at function entry. Seeds are never assigned, so invariants
+///   and bounds can be expressed over them symbolically.
+#[derive(Debug, Clone)]
+pub struct DimMap {
+    n_vars: usize,
+    params: Vec<VarId>,
+    snapshots: bool,
+}
+
+impl DimMap {
+    /// The layout for `f`.
+    pub fn new(f: &Function) -> Self {
+        DimMap {
+            n_vars: f.vars().len(),
+            params: f.params().iter().map(|p| p.var).collect(),
+            snapshots: false,
+        }
+    }
+
+    /// The layout for `f` extended with one *snapshot* dimension per
+    /// variable. Snapshot dimensions are never assigned by the transfer
+    /// functions; the seeding module pins them to the loop-header values so
+    /// the fixpoint computes a transition invariant (old vs. new).
+    pub fn with_snapshots(f: &Function) -> Self {
+        DimMap { snapshots: true, ..DimMap::new(f) }
+    }
+
+    /// Total number of dimensions (variables + seeds + snapshots if any).
+    pub fn n_dims(&self) -> usize {
+        let base = self.n_vars + self.params.len();
+        if self.snapshots {
+            base + self.n_vars
+        } else {
+            base
+        }
+    }
+
+    /// The snapshot dimension of variable `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this layout was not created by [`DimMap::with_snapshots`].
+    pub fn snap(&self, v: VarId) -> usize {
+        assert!(self.snapshots, "layout has no snapshot dimensions");
+        self.n_vars + self.params.len() + v.index()
+    }
+
+    /// Number of variables (snapshot dimensions mirror `0..n_vars`).
+    pub fn n_vars(&self) -> usize {
+        self.n_vars
+    }
+
+    /// The dimension of a variable's numeric value.
+    pub fn var(&self, v: VarId) -> usize {
+        v.index()
+    }
+
+    /// The dimension of an operand, if it is a variable.
+    pub fn operand(&self, op: Operand) -> Option<usize> {
+        op.as_var().map(|v| self.var(v))
+    }
+
+    /// The seed dimension of the `i`-th parameter.
+    pub fn seed(&self, i: usize) -> usize {
+        self.n_vars + i
+    }
+
+    /// The seed dimension of parameter variable `v`, if `v` is a parameter.
+    pub fn seed_of_var(&self, v: VarId) -> Option<usize> {
+        self.params.iter().position(|&p| p == v).map(|i| self.seed(i))
+    }
+
+    /// All seed dimensions.
+    pub fn seeds(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.params.len()).map(|i| self.seed(i))
+    }
+
+    /// The parameter variable of a seed dimension, if `dim` is a seed.
+    pub fn param_of_seed(&self, dim: usize) -> Option<VarId> {
+        dim.checked_sub(self.n_vars).and_then(|i| self.params.get(i)).copied()
+    }
+
+    /// A human-readable name for a dimension.
+    pub fn describe(&self, f: &Function, dim: usize) -> String {
+        if let Some(v) = self.param_of_seed(dim) {
+            let name = &f.var(v).name;
+            if f.var(v).ty == Type::Array {
+                format!("{name}.len")
+            } else {
+                name.clone()
+            }
+        } else {
+            let v = VarId::new(dim as u32);
+            let name = &f.var(v).name;
+            if f.var(v).ty == Type::Array {
+                format!("len({name})")
+            } else {
+                name.clone()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blazer_lang::compile;
+
+    #[test]
+    fn layout() {
+        let p = compile("fn f(a: int, b: array) { let c: int = a; }").unwrap();
+        let f = p.function("f").unwrap();
+        let dm = DimMap::new(f);
+        assert_eq!(dm.n_dims(), f.vars().len() + 2);
+        let a = f.var_by_name("a").unwrap();
+        let b = f.var_by_name("b").unwrap();
+        let c = f.var_by_name("c").unwrap();
+        assert_eq!(dm.var(a), 0);
+        assert_eq!(dm.seed_of_var(a), Some(f.vars().len()));
+        assert_eq!(dm.seed_of_var(b), Some(f.vars().len() + 1));
+        assert_eq!(dm.seed_of_var(c), None);
+        assert_eq!(dm.param_of_seed(dm.seed(0)), Some(a));
+        assert_eq!(dm.param_of_seed(0), None);
+    }
+
+    #[test]
+    fn descriptions() {
+        let p = compile("fn f(a: int, b: array) { }").unwrap();
+        let f = p.function("f").unwrap();
+        let dm = DimMap::new(f);
+        assert_eq!(dm.describe(f, 0), "a");
+        assert_eq!(dm.describe(f, 1), "len(b)");
+        assert_eq!(dm.describe(f, dm.seed(0)), "a");
+        assert_eq!(dm.describe(f, dm.seed(1)), "b.len");
+    }
+}

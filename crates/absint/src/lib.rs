@@ -1,0 +1,40 @@
+//! # blazer-absint
+//!
+//! The trail-restricted abstract interpreter.
+//!
+//! Blazer "built a custom abstract interpreter on top of WALA, using the
+//! Parma Polyhedra Library to compute numerical invariants. The abstract
+//! interpreter can be directed to restrict analysis to a given trail."
+//! (Sec. 5). This crate is that component:
+//!
+//! * [`dims::DimMap`] maps IR variables to abstract-domain dimensions —
+//!   scalars by value, arrays by length — plus one frozen *seed* dimension
+//!   per parameter, so invariants can mention initial input values
+//!   symbolically (the "seeding technique" of Berdine et al., used for
+//!   transition invariants);
+//! * [`alphabet::EdgeAlphabet`] interns CFG edges as automaton symbols;
+//! * [`product::ProductGraph`] is the synchronous product of the CFG with a
+//!   trail DFA — restricting analysis to a trail is just analyzing this
+//!   graph, so partition-specific invariants fall out of the ordinary
+//!   fixpoint;
+//! * [`engine`] runs the worklist fixpoint with delayed widening and a
+//!   narrowing pass, generic over any [`blazer_domains::AbstractDomain`];
+//! * [`seeding`] computes per-loop *transition invariants* (the relation
+//!   between one loop-header visit and the next) by re-running the engine
+//!   on a header-split copy of the loop.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alphabet;
+pub mod dims;
+pub mod engine;
+pub mod product;
+pub mod seeding;
+pub mod transfer;
+
+pub use alphabet::EdgeAlphabet;
+pub use dims::DimMap;
+pub use engine::{analyze, AnalysisResult};
+pub use product::{ProductGraph, ProductNodeId};
+pub use seeding::loop_transition_invariant;

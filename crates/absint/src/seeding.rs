@@ -1,0 +1,264 @@
+//! Transition invariants via the seeding technique.
+//!
+//! "We leverage the seeding technique [Berdine et al.] to compute transition
+//! invariants [Podelski–Rybalchenko], and match these invariants against a
+//! database of complexity-bound lemmas" (Sec. 5). This module computes, for
+//! one loop of a product graph, the relation between the variable values at
+//! a loop-header visit and at the *next* header visit.
+//!
+//! Mechanically: every variable gets a frozen *snapshot* dimension pinned to
+//! its value at the header; back edges into the header are redirected to a
+//! fresh copy of the header ("header split"), and the ordinary fixpoint
+//! engine is run on that graph. The state reaching the header copy relates
+//! snapshots (old) to variables (new) after exactly one full iteration —
+//! inner nested loops are summarized by the fixpoint as usual.
+
+use crate::dims::DimMap;
+use crate::engine::{analyze, AnalysisResult};
+use crate::product::{ProductEdge, ProductGraph, ProductNode, ProductNodeId};
+use blazer_domains::{AbstractDomain, Constraint, LinExpr, Polyhedron};
+use blazer_ir::{Function, Program, VarId};
+
+/// A loop's transition invariant: a polyhedron over variables (new values),
+/// seeds, and snapshots (values at the previous header visit).
+#[derive(Debug, Clone)]
+pub struct TransitionInvariant {
+    /// The dimension layout (with snapshots) the relation is expressed in.
+    pub dims: DimMap,
+    /// The relation. Bottom means the loop body cannot complete an
+    /// iteration (the header is never re-reached).
+    pub relation: Polyhedron,
+}
+
+impl TransitionInvariant {
+    /// Bounds of `expr(new) − expr(old)` over one iteration: how much a
+    /// linear expression over *variables* changes per iteration.
+    ///
+    /// Returns `(inf, sup)` with `None` for unbounded directions.
+    pub fn delta_bounds(
+        &self,
+        expr_over_vars: &LinExpr,
+    ) -> (Option<blazer_domains::Rat>, Option<blazer_domains::Rat>) {
+        // new − old: rewrite var dims into snapshot dims for the "old" copy.
+        let old = expr_over_vars.rename(|d| {
+            if d < self.dims.n_vars() {
+                self.dims.snap(VarId::new(d as u32))
+            } else {
+                d // seeds are constant across iterations
+            }
+        });
+        let delta = expr_over_vars.sub(&old);
+        self.relation.bounds(&delta)
+    }
+}
+
+/// Computes the transition invariant of the loop (SCC) of `graph` with the
+/// given `header`, starting from the abstract `head_state` the main analysis
+/// computed there.
+pub fn loop_transition_invariant<D: AbstractDomain>(
+    program: &Program,
+    f: &Function,
+    graph: &ProductGraph,
+    scc: &[ProductNodeId],
+    header: ProductNodeId,
+    head_state: &D,
+) -> TransitionInvariant {
+    let dims = DimMap::with_snapshots(f);
+    let n_vars = dims.n_vars();
+
+    // Initial state: the header invariant, with every snapshot pinned to
+    // its variable. The fixpoint runs in the same domain D as the caller's
+    // analysis; the relation is concretized to a polyhedron at the end.
+    let base = head_state.to_polyhedron();
+    let mut init = D::top(dims.n_dims());
+    for c in base.constraints() {
+        init.meet_constraint(c);
+    }
+    for v in 0..n_vars {
+        let var = VarId::new(v as u32);
+        init.meet_constraint(&Constraint::eq(
+            &LinExpr::var(v),
+            &LinExpr::var(dims.snap(var)),
+        ));
+    }
+
+    let (split, sink) = header_split_graph(graph, scc, header);
+    let result: AnalysisResult<D> = analyze(program, f, &dims, &split, init);
+    TransitionInvariant { dims, relation: result.states[sink.0].to_polyhedron() }
+}
+
+/// Builds the header-split copy of a loop: the SCC's nodes with back edges
+/// into `header` redirected to a fresh copy of it. Paths from the entry
+/// (the original header) to the returned sink node are exactly the
+/// one-iteration paths; inner nested loops remain as cycles.
+///
+/// Also used by `blazer-bounds` to bound per-iteration cost and the partial
+/// paths taken when exiting a loop mid-body.
+pub fn header_split_graph(
+    graph: &ProductGraph,
+    scc: &[ProductNodeId],
+    header: ProductNodeId,
+) -> (ProductGraph, ProductNodeId) {
+    let mut node_index: Vec<Option<usize>> = vec![None; graph.len()];
+    let mut nodes: Vec<ProductNode> = Vec::new();
+    for &n in scc {
+        node_index[n.0] = Some(nodes.len());
+        nodes.push(graph.node(n));
+    }
+    let sink = nodes.len();
+    nodes.push(graph.node(header)); // the header copy
+    let mut edges = Vec::new();
+    for e in graph.edges() {
+        let (Some(from), Some(_)) = (node_index[e.from.0], node_index[e.to.0]) else {
+            continue;
+        };
+        if !scc.contains(&e.from) || !scc.contains(&e.to) {
+            continue;
+        }
+        let to = if e.to == header {
+            sink
+        } else {
+            node_index[e.to.0].unwrap()
+        };
+        edges.push(ProductEdge {
+            from: ProductNodeId(from),
+            to: ProductNodeId(to),
+            cfg_edge: e.cfg_edge,
+            cond: e.cond.clone(),
+        });
+    }
+    let entry = ProductNodeId(node_index[header.0].expect("header in scc"));
+    let split = ProductGraph::from_parts(nodes, edges, entry, vec![ProductNodeId(sink)]);
+    (split, ProductNodeId(sink))
+}
+
+/// Maps a node of the split graph built by [`header_split_graph`] back to
+/// the original graph node (the sink maps to the header).
+pub fn split_node_origin(
+    scc: &[ProductNodeId],
+    header: ProductNodeId,
+    split_node: ProductNodeId,
+) -> ProductNodeId {
+    if split_node.0 == scc.len() {
+        header
+    } else {
+        scc[split_node.0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::EdgeAlphabet;
+    use crate::transfer::entry_state;
+    use blazer_domains::Rat;
+    use blazer_ir::Cfg;
+    use blazer_lang::compile;
+
+    fn setup(
+        src: &str,
+    ) -> (
+        blazer_ir::Program,
+        DimMap,
+        ProductGraph,
+        AnalysisResult<Polyhedron>,
+    ) {
+        let p = compile(src).unwrap();
+        let f = p.function("f").unwrap();
+        let cfg = Cfg::new(f);
+        let dims = DimMap::new(f);
+        let g = ProductGraph::full(f, &cfg);
+        let init: Polyhedron = entry_state(f, &dims);
+        let r = analyze(&p, f, &dims, &g, init);
+        let _ = EdgeAlphabet::new(&cfg);
+        (p, dims, g, r)
+    }
+
+    /// The unique loop of the graph: (scc, header).
+    fn the_loop(g: &ProductGraph) -> (Vec<ProductNodeId>, ProductNodeId) {
+        let sccs = g.cyclic_sccs();
+        assert_eq!(sccs.len(), 1, "expected exactly one loop");
+        let scc = sccs[0].clone();
+        let headers = g.back_edge_targets();
+        let header = *headers
+            .iter()
+            .find(|h| scc.contains(h))
+            .expect("header in scc");
+        (scc, header)
+    }
+
+    #[test]
+    fn increment_loop_has_unit_delta() {
+        let (p, dims, g, r) =
+            setup("fn f(n: int) { let i: int = 0; while (i < n) { i = i + 1; } }");
+        let f = p.function("f").unwrap();
+        let (scc, header) = the_loop(&g);
+        let ti = loop_transition_invariant(&p, f, &g, &scc, header, r.state(header));
+        assert!(!ti.relation.is_empty());
+        let i = dims.var(f.var_by_name("i").unwrap());
+        let (lo, hi) = ti.delta_bounds(&LinExpr::var(i));
+        assert_eq!(lo, Some(Rat::ONE));
+        assert_eq!(hi, Some(Rat::ONE));
+    }
+
+    #[test]
+    fn decrement_loop_has_negative_delta() {
+        let (p, dims, g, r) =
+            setup("fn f(n: int) { let i: int = n; while (i > 0) { i = i - 2; } }");
+        let f = p.function("f").unwrap();
+        let (scc, header) = the_loop(&g);
+        let ti = loop_transition_invariant(&p, f, &g, &scc, header, r.state(header));
+        let i = dims.var(f.var_by_name("i").unwrap());
+        let (lo, hi) = ti.delta_bounds(&LinExpr::var(i));
+        assert_eq!(lo, Some(Rat::int(-2)));
+        assert_eq!(hi, Some(Rat::int(-2)));
+    }
+
+    #[test]
+    fn branchy_body_gives_delta_range() {
+        let (p, dims, g, r) = setup(
+            "fn f(n: int, c: int) { \
+                let i: int = 0; \
+                while (i < n) { \
+                    if (c > 0) { i = i + 1; } else { i = i + 3; } \
+                } \
+            }",
+        );
+        let f = p.function("f").unwrap();
+        let (scc, header) = the_loop(&g);
+        let ti = loop_transition_invariant(&p, f, &g, &scc, header, r.state(header));
+        let i = dims.var(f.var_by_name("i").unwrap());
+        let (lo, hi) = ti.delta_bounds(&LinExpr::var(i));
+        assert_eq!(lo, Some(Rat::ONE));
+        assert_eq!(hi, Some(Rat::int(3)));
+    }
+
+    #[test]
+    fn seeds_are_iteration_invariant() {
+        let (p, dims, g, r) =
+            setup("fn f(n: int) { let i: int = 0; while (i < n) { i = i + 1; } }");
+        let f = p.function("f").unwrap();
+        let (scc, header) = the_loop(&g);
+        let ti = loop_transition_invariant(&p, f, &g, &scc, header, r.state(header));
+        // The seed of n does not change across an iteration.
+        let (lo, hi) = ti.delta_bounds(&LinExpr::var(dims.seed(0)));
+        assert_eq!((lo, hi), (Some(Rat::ZERO), Some(Rat::ZERO)));
+    }
+
+    #[test]
+    fn guard_holds_inside_relation() {
+        // Iterations only happen while i < n: the relation entails
+        // old_i ≤ n − 1.
+        let (p, dims, g, r) =
+            setup("fn f(n: int) { let i: int = 0; while (i < n) { i = i + 1; } }");
+        let f = p.function("f").unwrap();
+        let (scc, header) = the_loop(&g);
+        let ti = loop_transition_invariant(&p, f, &g, &scc, header, r.state(header));
+        let i_var = f.var_by_name("i").unwrap();
+        let old_i = LinExpr::var(ti.dims.snap(i_var));
+        let n_seed = LinExpr::var(dims.seed(0));
+        assert!(ti
+            .relation
+            .entails(&Constraint::le(&old_i.add_constant(Rat::ONE), &n_seed)));
+    }
+}

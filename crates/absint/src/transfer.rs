@@ -1,0 +1,369 @@
+//! Abstract transfer functions for IR instructions and branch conditions.
+
+use crate::dims::DimMap;
+use blazer_domains::{AbstractDomain, Constraint, LinExpr, Rat};
+use blazer_ir::{
+    BinOp, BlockId, CmpOp, Cond, Expr, Function, Inst, Operand, Program, Type, UnOp,
+};
+
+/// The abstract state at function entry: each parameter equals its frozen
+/// seed; array parameters are non-null (length ≥ 0) and boolean parameters
+/// lie in `[0, 1]`. Non-parameter locals start at their concrete defaults
+/// (0 for scalars, null — length −1 — for arrays), matching the
+/// interpreter.
+pub fn entry_state<D: AbstractDomain>(f: &Function, dims: &DimMap) -> D {
+    let mut d = D::top(dims.n_dims());
+    let param_vars: Vec<_> = f.params().iter().map(|p| p.var).collect();
+    for (idx, info) in f.vars().iter().enumerate() {
+        let v = blazer_ir::VarId::new(idx as u32);
+        if param_vars.contains(&v) {
+            continue;
+        }
+        let default = if info.ty == Type::Array { -Rat::ONE } else { Rat::ZERO };
+        d.meet_constraint(&Constraint::eq(
+            &LinExpr::var(dims.var(v)),
+            &LinExpr::constant(default),
+        ));
+    }
+    for (i, p) in f.params().iter().enumerate() {
+        let var = LinExpr::var(dims.var(p.var));
+        let seed = LinExpr::var(dims.seed(i));
+        d.meet_constraint(&Constraint::eq(&var, &seed));
+        match f.var(p.var).ty {
+            Type::Array => {
+                d.meet_constraint(&Constraint::ge(&var, &LinExpr::zero()));
+                d.meet_constraint(&Constraint::ge(&seed, &LinExpr::zero()));
+            }
+            Type::Bool => {
+                d.meet_constraint(&Constraint::ge(&var, &LinExpr::zero()));
+                d.meet_constraint(&Constraint::le(&var, &LinExpr::constant(Rat::ONE)));
+            }
+            Type::Int => {}
+        }
+    }
+    d
+}
+
+/// Converts an operand to a linear expression over dimensions. Array
+/// operands denote their length dimension.
+pub fn linearize_operand(dims: &DimMap, op: Operand) -> LinExpr {
+    match op {
+        Operand::Const(c) => LinExpr::constant(Rat::int(c as i128)),
+        Operand::Var(v) => LinExpr::var(dims.var(v)),
+    }
+}
+
+/// Converts an IR expression to a linear expression, when it is linear.
+pub fn linearize_expr(dims: &DimMap, expr: &Expr) -> Option<LinExpr> {
+    match expr {
+        Expr::Operand(op) => Some(linearize_operand(dims, *op)),
+        Expr::Unary(UnOp::Neg, a) => Some(linearize_operand(dims, *a).scale(-Rat::ONE)),
+        Expr::Unary(UnOp::Not, _) => None,
+        Expr::Binary(BinOp::Add, a, b) => {
+            Some(linearize_operand(dims, *a).add(&linearize_operand(dims, *b)))
+        }
+        Expr::Binary(BinOp::Sub, a, b) => {
+            Some(linearize_operand(dims, *a).sub(&linearize_operand(dims, *b)))
+        }
+        Expr::Binary(BinOp::Mul, a, b) => match (a, b) {
+            (Operand::Const(c), other) | (other, Operand::Const(c)) => {
+                Some(linearize_operand(dims, *other).scale(Rat::int(*c as i128)))
+            }
+            _ => None,
+        },
+        Expr::Binary(_, _, _) => None,
+        // For an array variable, its numeric dimension *is* its length.
+        Expr::ArrayLen(v) => Some(LinExpr::var(dims.var(*v))),
+        Expr::ArrayGet(_, _) => None,
+        Expr::ArrayNew(n) => Some(linearize_operand(dims, *n)),
+    }
+}
+
+/// Applies one instruction to the abstract state.
+pub fn transfer_inst<D: AbstractDomain>(
+    program: &Program,
+    f: &Function,
+    dims: &DimMap,
+    inst: &Inst,
+    state: &mut D,
+) {
+    if state.is_bottom() {
+        return;
+    }
+    match inst {
+        Inst::Assign { dst, expr } => {
+            let d = dims.var(*dst);
+            match linearize_expr(dims, expr) {
+                Some(e) => state.assign_linear(d, &e),
+                None => {
+                    // Truncating division by a positive constant gets the
+                    // relational treatment (needed by the halving lemma).
+                    if let Expr::Binary(BinOp::Div, a, Operand::Const(c)) = expr {
+                        if *c > 0 {
+                            let src = linearize_operand(dims, *a);
+                            state.assign_div(d, &src, Rat::int(*c as i128));
+                            return;
+                        }
+                    }
+                    state.havoc(d);
+                    // Domain-representable refinements for non-linear rhs.
+                    match expr {
+                        Expr::Unary(UnOp::Not, _) => {
+                            let v = LinExpr::var(d);
+                            state.meet_constraint(&Constraint::ge(&v, &LinExpr::zero()));
+                            state.meet_constraint(&Constraint::le(
+                                &v,
+                                &LinExpr::constant(Rat::ONE),
+                            ));
+                        }
+                        Expr::Binary(BinOp::Rem, _, Operand::Const(c)) if *c != 0 => {
+                            // |dst| ≤ |c| − 1.
+                            let m = Rat::int((c.abs() - 1) as i128);
+                            let v = LinExpr::var(d);
+                            state.meet_constraint(&Constraint::le(&v, &LinExpr::constant(m)));
+                            state.meet_constraint(&Constraint::ge(
+                                &v,
+                                &LinExpr::constant(-m),
+                            ));
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        Inst::ArraySet { .. } => {
+            // Element contents are not tracked numerically; lengths are
+            // unchanged by stores.
+        }
+        Inst::Call { dst, callee, .. } => {
+            if let Some(dst) = dst {
+                let d = dims.var(*dst);
+                state.havoc(d);
+                let decl = program
+                    .extern_decl(callee)
+                    .unwrap_or_else(|| panic!("undeclared extern `{callee}`"));
+                let v = LinExpr::var(d);
+                match decl.ret {
+                    Some(Type::Bool) => {
+                        state.meet_constraint(&Constraint::ge(&v, &LinExpr::zero()));
+                        state.meet_constraint(&Constraint::le(
+                            &v,
+                            &LinExpr::constant(Rat::ONE),
+                        ));
+                    }
+                    Some(Type::Array) => {
+                        if let Some((lo, hi)) = decl.ret_len {
+                            state.meet_constraint(&Constraint::ge(
+                                &v,
+                                &LinExpr::constant(Rat::int(lo as i128)),
+                            ));
+                            state.meet_constraint(&Constraint::le(
+                                &v,
+                                &LinExpr::constant(Rat::int(hi as i128)),
+                            ));
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            let _ = f;
+        }
+        Inst::Havoc { dst } => state.havoc(dims.var(*dst)),
+        Inst::Nop | Inst::Tick(_) => {}
+    }
+}
+
+/// Applies all instructions of `block` to the state (terminator conditions
+/// are applied separately, per outgoing edge, via [`apply_cond`]).
+pub fn transfer_block<D: AbstractDomain>(
+    program: &Program,
+    f: &Function,
+    dims: &DimMap,
+    block: BlockId,
+    state: &mut D,
+) {
+    for inst in &f.block(block).insts {
+        transfer_inst(program, f, dims, inst, state);
+    }
+}
+
+/// Refines the state with a branch condition (negated when `taken` is
+/// false), using integer tightening for strict comparisons.
+pub fn apply_cond<D: AbstractDomain>(dims: &DimMap, cond: &Cond, taken: bool, state: &mut D) {
+    let cond = if taken { cond.clone() } else { cond.negate() };
+    match cond {
+        Cond::Cmp(op, a, b) => {
+            let ea = linearize_operand(dims, a);
+            let eb = linearize_operand(dims, b);
+            let one = LinExpr::constant(Rat::ONE);
+            match op {
+                CmpOp::Eq => state.meet_constraint(&Constraint::eq(&ea, &eb)),
+                CmpOp::Ne => {} // disjunctive; no convex refinement
+                CmpOp::Lt => {
+                    state.meet_constraint(&Constraint::le(&ea.add(&one), &eb));
+                }
+                CmpOp::Le => state.meet_constraint(&Constraint::le(&ea, &eb)),
+                CmpOp::Gt => {
+                    state.meet_constraint(&Constraint::ge(&ea, &eb.add(&one)));
+                }
+                CmpOp::Ge => state.meet_constraint(&Constraint::ge(&ea, &eb)),
+            }
+        }
+        Cond::Null { arr, is_null } => {
+            let len = LinExpr::var(dims.var(arr));
+            if is_null {
+                // Null arrays have length −1.
+                state.meet_constraint(&Constraint::le(
+                    &len,
+                    &LinExpr::constant(-Rat::ONE),
+                ));
+            } else {
+                state.meet_constraint(&Constraint::ge(&len, &LinExpr::zero()));
+            }
+        }
+        Cond::Nondet => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blazer_domains::Polyhedron;
+    use blazer_lang::compile;
+
+    fn setup(src: &str) -> (Program, DimMap) {
+        let p = compile(src).unwrap();
+        let f = p.function("f").unwrap();
+        let dm = DimMap::new(f);
+        (p, dm)
+    }
+
+    #[test]
+    fn entry_ties_params_to_seeds() {
+        let (p, dm) = setup("fn f(a: int, b: array) { }");
+        let f = p.function("f").unwrap();
+        let d: Polyhedron = entry_state(f, &dm);
+        let a = dm.var(f.var_by_name("a").unwrap());
+        assert!(d.entails(&Constraint::eq(&LinExpr::var(a), &LinExpr::var(dm.seed(0)))));
+        // Array params are non-null.
+        let b = dm.var(f.var_by_name("b").unwrap());
+        assert!(d.entails(&Constraint::ge(&LinExpr::var(b), &LinExpr::zero())));
+    }
+
+    #[test]
+    fn linear_assignments_are_exact() {
+        let (p, dm) = setup("fn f(a: int) { let x: int = a * 3 + 1; }");
+        let f = p.function("f").unwrap();
+        let mut d: Polyhedron = entry_state(f, &dm);
+        transfer_block(&p, f, &dm, f.entry(), &mut d);
+        let x = dm.var(f.var_by_name("x").unwrap());
+        let expected = LinExpr::var(dm.seed(0)).scale(Rat::int(3)).add_constant(Rat::ONE);
+        assert!(d.entails(&Constraint::eq(&LinExpr::var(x), &expected)));
+    }
+
+    #[test]
+    fn array_len_is_linear() {
+        let (p, dm) = setup("fn f(a: array) { let n: int = len(a); }");
+        let f = p.function("f").unwrap();
+        let mut d: Polyhedron = entry_state(f, &dm);
+        transfer_block(&p, f, &dm, f.entry(), &mut d);
+        let n = dm.var(f.var_by_name("n").unwrap());
+        assert!(d.entails(&Constraint::eq(&LinExpr::var(n), &LinExpr::var(dm.seed(0)))));
+    }
+
+    #[test]
+    fn nonlinear_havocs() {
+        let (p, dm) = setup("fn f(a: int, b: int) { let x: int = a * b; }");
+        let f = p.function("f").unwrap();
+        let mut d: Polyhedron = entry_state(f, &dm);
+        transfer_block(&p, f, &dm, f.entry(), &mut d);
+        let x = dm.var(f.var_by_name("x").unwrap());
+        assert_eq!(d.bounds(&LinExpr::var(x)), (None, None));
+    }
+
+    #[test]
+    fn rem_by_const_bounds_result() {
+        let (p, dm) = setup("fn f(a: int) { let x: int = a % 10; }");
+        let f = p.function("f").unwrap();
+        let mut d: Polyhedron = entry_state(f, &dm);
+        transfer_block(&p, f, &dm, f.entry(), &mut d);
+        let x = dm.var(f.var_by_name("x").unwrap());
+        let (lo, hi) = d.bounds(&LinExpr::var(x));
+        assert_eq!(lo, Some(Rat::int(-9)));
+        assert_eq!(hi, Some(Rat::int(9)));
+    }
+
+    #[test]
+    fn call_result_ranges() {
+        let (p, dm) = setup(
+            "extern fn get() -> array cost 1 len -1..64;\n\
+             fn f() { let a: array = get(); }",
+        );
+        let f = p.function("f").unwrap();
+        let mut d: Polyhedron = entry_state(f, &dm);
+        transfer_block(&p, f, &dm, f.entry(), &mut d);
+        let a = dm.var(f.var_by_name("a").unwrap());
+        let (lo, hi) = d.bounds(&LinExpr::var(a));
+        assert_eq!(lo, Some(Rat::int(-1)));
+        assert_eq!(hi, Some(Rat::int(64)));
+    }
+
+    #[test]
+    fn cond_tightening() {
+        let (p, dm) = setup("fn f(a: int) { if (a < 10) { tick(1); } }");
+        let f = p.function("f").unwrap();
+        let mut then_side: Polyhedron = entry_state(f, &dm);
+        let mut else_side = then_side.clone();
+        let blazer_ir::Terminator::Branch { cond, .. } = &f.block(f.entry()).term else {
+            panic!("expected branch");
+        };
+        apply_cond(&dm, cond, true, &mut then_side);
+        apply_cond(&dm, cond, false, &mut else_side);
+        let a = LinExpr::var(dm.var(f.var_by_name("a").unwrap()));
+        // a < 10 tightens to a ≤ 9; negation is a ≥ 10.
+        assert_eq!(then_side.bounds(&a).1, Some(Rat::int(9)));
+        assert_eq!(else_side.bounds(&a).0, Some(Rat::int(10)));
+    }
+
+    #[test]
+    fn null_cond_refines_length_sign() {
+        let (p, dm) = setup(
+            "extern fn get() -> array cost 1 len -1..8;\n\
+             fn f() { let a: array = get(); if (a == null) { tick(1); } }",
+        );
+        let f = p.function("f").unwrap();
+        let a = f.var_by_name("a").unwrap();
+        let mut d: Polyhedron = entry_state(f, &dm);
+        transfer_block(&p, f, &dm, f.entry(), &mut d);
+        let mut null_side = d.clone();
+        apply_cond(
+            &dm,
+            &Cond::Null { arr: a, is_null: true },
+            true,
+            &mut null_side,
+        );
+        let len = LinExpr::var(dm.var(a));
+        assert_eq!(null_side.bounds(&len), (Some(Rat::int(-1)), Some(Rat::int(-1))));
+        let mut nonnull_side = d;
+        apply_cond(
+            &dm,
+            &Cond::Null { arr: a, is_null: true },
+            false,
+            &mut nonnull_side,
+        );
+        assert_eq!(nonnull_side.bounds(&len).0, Some(Rat::ZERO));
+    }
+
+    #[test]
+    fn contradictory_cond_is_bottom() {
+        let (p, dm) = setup("fn f() { let x: int = 5; if (x > 9) { tick(1); } }");
+        let f = p.function("f").unwrap();
+        let mut d: Polyhedron = entry_state(f, &dm);
+        transfer_block(&p, f, &dm, f.entry(), &mut d);
+        let blazer_ir::Terminator::Branch { cond, .. } = &f.block(f.entry()).term else {
+            panic!("expected branch");
+        };
+        apply_cond(&dm, cond, true, &mut d);
+        assert!(d.is_bottom());
+    }
+}

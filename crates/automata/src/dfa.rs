@@ -1,0 +1,281 @@
+//! Deterministic finite automata: subset construction, complement,
+//! minimization.
+
+use crate::nfa::Nfa;
+use crate::regex::Regex;
+use crate::Sym;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A complete DFA over the alphabet `0..alphabet_size`.
+///
+/// Completeness (every state has a transition on every symbol, possibly to a
+/// dead state) makes complementation a flip of the accepting set.
+#[derive(Debug, Clone)]
+pub struct Dfa {
+    alphabet_size: u32,
+    /// `trans[q * alphabet_size + s]` = successor state.
+    trans: Vec<usize>,
+    start: usize,
+    accepting: Vec<bool>,
+}
+
+impl Dfa {
+    /// Builds a DFA from a regex (Thompson + subset construction).
+    pub fn from_regex(r: &Regex, alphabet_size: u32) -> Self {
+        Dfa::from_nfa(&Nfa::from_regex(r, alphabet_size))
+    }
+
+    /// Determinizes an NFA by subset construction. The result is complete.
+    pub fn from_nfa(nfa: &Nfa) -> Self {
+        let alphabet_size = nfa.alphabet_size();
+        let start_set = nfa.eps_closure(&BTreeSet::from([nfa.start()]));
+        let mut index: BTreeMap<BTreeSet<usize>, usize> = BTreeMap::new();
+        let mut sets: Vec<BTreeSet<usize>> = Vec::new();
+        let mut trans: Vec<usize> = Vec::new();
+        index.insert(start_set.clone(), 0);
+        sets.push(start_set);
+        let mut work = vec![0usize];
+        while let Some(q) = work.pop() {
+            let set = sets[q].clone();
+            // Reserve the transition row (rows are pushed in state order, so
+            // extend lazily).
+            while trans.len() < (q + 1) * alphabet_size as usize {
+                trans.push(usize::MAX);
+            }
+            for sym in 0..alphabet_size {
+                let next = nfa.eps_closure(&nfa.step(&set, sym));
+                let target = match index.get(&next) {
+                    Some(&t) => t,
+                    None => {
+                        let t = sets.len();
+                        index.insert(next.clone(), t);
+                        sets.push(next);
+                        work.push(t);
+                        t
+                    }
+                };
+                trans[q * alphabet_size as usize + sym as usize] = target;
+            }
+        }
+        while trans.len() < sets.len() * alphabet_size as usize {
+            trans.push(usize::MAX);
+        }
+        let accepting = sets
+            .iter()
+            .map(|s| s.iter().any(|q| nfa.accepting().contains(q)))
+            .collect();
+        Dfa { alphabet_size, trans, start: 0, accepting }
+    }
+
+    /// The alphabet size.
+    pub fn alphabet_size(&self) -> u32 {
+        self.alphabet_size
+    }
+
+    /// The number of states.
+    pub fn n_states(&self) -> usize {
+        self.accepting.len()
+    }
+
+    /// The start state.
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// Whether `q` is accepting.
+    pub fn is_accepting(&self, q: usize) -> bool {
+        self.accepting[q]
+    }
+
+    /// The successor of `q` on `sym`.
+    pub fn next(&self, q: usize, sym: Sym) -> usize {
+        self.trans[q * self.alphabet_size as usize + sym as usize]
+    }
+
+    /// Runs the DFA on `word`.
+    pub fn accepts(&self, word: &[Sym]) -> bool {
+        let mut q = self.start;
+        for &sym in word {
+            q = self.next(q, sym);
+        }
+        self.accepting[q]
+    }
+
+    /// The complement DFA (same structure, flipped acceptance).
+    pub fn complement(&self) -> Dfa {
+        Dfa {
+            alphabet_size: self.alphabet_size,
+            trans: self.trans.clone(),
+            start: self.start,
+            accepting: self.accepting.iter().map(|&a| !a).collect(),
+        }
+    }
+
+    /// Whether the language is empty (no accepting state reachable).
+    pub fn is_empty(&self) -> bool {
+        let mut seen = vec![false; self.n_states()];
+        let mut stack = vec![self.start];
+        seen[self.start] = true;
+        while let Some(q) = stack.pop() {
+            if self.accepting[q] {
+                return false;
+            }
+            for sym in 0..self.alphabet_size {
+                let t = self.next(q, sym);
+                if !seen[t] {
+                    seen[t] = true;
+                    stack.push(t);
+                }
+            }
+        }
+        true
+    }
+
+    /// A shortest accepted word, if the language is non-empty (BFS).
+    pub fn example_word(&self) -> Option<Vec<Sym>> {
+        let mut prev: Vec<Option<(usize, Sym)>> = vec![None; self.n_states()];
+        let mut seen = vec![false; self.n_states()];
+        let mut queue = std::collections::VecDeque::from([self.start]);
+        seen[self.start] = true;
+        while let Some(q) = queue.pop_front() {
+            if self.accepting[q] {
+                let mut word = Vec::new();
+                let mut cur = q;
+                while let Some((p, s)) = prev[cur] {
+                    word.push(s);
+                    cur = p;
+                }
+                word.reverse();
+                return Some(word);
+            }
+            for sym in 0..self.alphabet_size {
+                let t = self.next(q, sym);
+                if !seen[t] {
+                    seen[t] = true;
+                    prev[t] = Some((q, sym));
+                    queue.push_back(t);
+                }
+            }
+        }
+        None
+    }
+
+    /// Moore's minimization algorithm. Exact for complete DFAs.
+    pub fn minimize(&self) -> Dfa {
+        let n = self.n_states();
+        // Initial partition: accepting vs rejecting.
+        let mut class: Vec<usize> = self.accepting.iter().map(|&a| usize::from(a)).collect();
+        let mut n_classes = 2;
+        loop {
+            // Signature = (class, classes of successors).
+            let mut sig_index: BTreeMap<(usize, Vec<usize>), usize> = BTreeMap::new();
+            let mut new_class = vec![0usize; n];
+            for q in 0..n {
+                let succ_classes: Vec<usize> = (0..self.alphabet_size)
+                    .map(|s| class[self.next(q, s)])
+                    .collect();
+                let key = (class[q], succ_classes);
+                let next_id = sig_index.len();
+                let id = *sig_index.entry(key).or_insert(next_id);
+                new_class[q] = id;
+            }
+            let new_count = sig_index.len();
+            if new_count == n_classes {
+                class = new_class;
+                break;
+            }
+            class = new_class;
+            n_classes = new_count;
+        }
+        // Rebuild over classes.
+        let mut trans = vec![usize::MAX; n_classes * self.alphabet_size as usize];
+        let mut accepting = vec![false; n_classes];
+        for q in 0..n {
+            let c = class[q];
+            accepting[c] = self.accepting[q];
+            for s in 0..self.alphabet_size {
+                trans[c * self.alphabet_size as usize + s as usize] =
+                    class[self.next(q, s)];
+            }
+        }
+        Dfa { alphabet_size: self.alphabet_size, trans, start: class[self.start], accepting }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dfa(r: &Regex, alpha: u32) -> Dfa {
+        Dfa::from_regex(r, alpha)
+    }
+
+    #[test]
+    fn subset_construction_matches_nfa() {
+        let r = Regex::symbol(0).or(Regex::symbol(1)).star().then(Regex::symbol(1));
+        let d = dfa(&r, 2);
+        assert!(d.accepts(&[1]));
+        assert!(d.accepts(&[0, 0, 1]));
+        assert!(!d.accepts(&[0]));
+        assert!(!d.accepts(&[]));
+    }
+
+    #[test]
+    fn complement_flips_membership() {
+        let r = Regex::symbol(0).star();
+        let d = dfa(&r, 2);
+        let c = d.complement();
+        for word in [&[][..], &[0][..], &[0, 0][..], &[1][..], &[0, 1][..]] {
+            assert_eq!(d.accepts(word), !c.accepts(word), "{word:?}");
+        }
+    }
+
+    #[test]
+    fn emptiness() {
+        assert!(dfa(&Regex::Empty, 1).is_empty());
+        assert!(!dfa(&Regex::Epsilon, 1).is_empty());
+        assert!(!dfa(&Regex::symbol(0), 1).is_empty());
+        // 0 ∩ complement(0) is empty — via ops, but also: complement of Σ*.
+        let all = Regex::symbol(0).star();
+        assert!(dfa(&all, 1).complement().is_empty());
+    }
+
+    #[test]
+    fn example_word_is_shortest() {
+        let r = Regex::symbol(0).then(Regex::symbol(1)).or(Regex::symbol(0)
+            .then(Regex::symbol(1))
+            .then(Regex::symbol(1)));
+        let d = dfa(&r, 2);
+        assert_eq!(d.example_word(), Some(vec![0, 1]));
+        assert_eq!(dfa(&Regex::Empty, 1).example_word(), None);
+        assert_eq!(dfa(&Regex::Epsilon, 1).example_word(), Some(vec![]));
+    }
+
+    #[test]
+    fn minimization_preserves_language() {
+        // (0|1)*1(0|1) — requires at least 4 states minimized.
+        let any = Regex::symbol(0).or(Regex::symbol(1));
+        let r = any.clone().star().then(Regex::symbol(1)).then(any);
+        let d = dfa(&r, 2);
+        let m = d.minimize();
+        assert!(m.n_states() <= d.n_states());
+        for len in 0..6 {
+            for bits in 0..(1u32 << len) {
+                let word: Vec<Sym> = (0..len).map(|i| (bits >> i) & 1).collect();
+                assert_eq!(d.accepts(&word), m.accepts(&word), "{word:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn minimization_collapses_redundant_states() {
+        // 0·0 | 0·0 built redundantly still minimizes small.
+        let r = Regex::Union(
+            std::rc::Rc::new(Regex::symbol(0).then(Regex::symbol(0))),
+            std::rc::Rc::new(Regex::symbol(0).then(Regex::symbol(0))),
+        );
+        let m = dfa(&r, 1).minimize();
+        // States: len-0, len-1, len-2 (accept), dead. = 4.
+        assert_eq!(m.n_states(), 4);
+    }
+}

@@ -1,0 +1,217 @@
+//! Graph → regular expression conversion by state elimination.
+//!
+//! The *most general trail* of a program is a regex whose language equals the
+//! language of the CFG automaton (Sec. 4.1). This module performs the
+//! classical generalized-NFA state elimination, with a low-degree-first
+//! elimination order to keep the resulting expression small.
+
+use crate::regex::Regex;
+use crate::Sym;
+use std::collections::BTreeMap;
+
+/// Converts a labeled graph into a [`Regex`] with the same language.
+///
+/// * `n_nodes` — number of graph nodes;
+/// * `edges` — `(from, symbol, to)` triples;
+/// * `start` — initial node;
+/// * `accepting` — final nodes.
+///
+/// Unreachable structure is handled (contributes ∅ and vanishes through the
+/// smart constructors).
+pub fn graph_to_regex(
+    n_nodes: usize,
+    edges: &[(usize, Sym, usize)],
+    start: usize,
+    accepting: &[usize],
+) -> Regex {
+    // GNFA with fresh super-start (n_nodes) and super-accept (n_nodes + 1).
+    let s = n_nodes;
+    let f = n_nodes + 1;
+    let mut arcs: BTreeMap<(usize, usize), Regex> = BTreeMap::new();
+    let add = |from: usize, to: usize, r: Regex, arcs: &mut BTreeMap<(usize, usize), Regex>| {
+        match arcs.remove(&(from, to)) {
+            Some(prev) => {
+                arcs.insert((from, to), prev.or(r));
+            }
+            None => {
+                arcs.insert((from, to), r);
+            }
+        }
+    };
+    for &(from, sym, to) in edges {
+        add(from, to, Regex::symbol(sym), &mut arcs);
+    }
+    add(s, start, Regex::Epsilon, &mut arcs);
+    for &a in accepting {
+        add(a, f, Regex::Epsilon, &mut arcs);
+    }
+
+    // Eliminate internal nodes, lowest fan-in×fan-out first.
+    let mut remaining: Vec<usize> = (0..n_nodes).collect();
+    while !remaining.is_empty() {
+        let (pos, &node) = remaining
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &q)| {
+                let fan_in = arcs.keys().filter(|(_, t)| *t == q).count();
+                let fan_out = arcs.keys().filter(|(u, _)| *u == q).count();
+                fan_in * fan_out
+            })
+            .expect("non-empty");
+        remaining.swap_remove(pos);
+        eliminate(node, &mut arcs);
+    }
+    arcs.remove(&(s, f)).unwrap_or(Regex::Empty)
+}
+
+/// Converts a DFA back into a regular expression with the same language
+/// (state elimination over the DFA's transition graph). Used to express
+/// automata-computed trail refinements as trail expressions again.
+pub fn dfa_to_regex(dfa: &crate::Dfa) -> Regex {
+    let mut edges = Vec::new();
+    for q in 0..dfa.n_states() {
+        for s in 0..dfa.alphabet_size() {
+            edges.push((q, s, dfa.next(q, s)));
+        }
+    }
+    let accepting: Vec<usize> = (0..dfa.n_states()).filter(|&q| dfa.is_accepting(q)).collect();
+    graph_to_regex(dfa.n_states(), &edges, dfa.start(), &accepting)
+}
+
+fn eliminate(q: usize, arcs: &mut BTreeMap<(usize, usize), Regex>) {
+    let self_loop = arcs.remove(&(q, q));
+    let loop_star = match self_loop {
+        Some(r) => r.star(),
+        None => Regex::Epsilon,
+    };
+    let incoming: Vec<(usize, Regex)> = arcs
+        .iter()
+        .filter(|((_, t), _)| *t == q)
+        .map(|((u, _), r)| (*u, r.clone()))
+        .collect();
+    let outgoing: Vec<(usize, Regex)> = arcs
+        .iter()
+        .filter(|((u, _), _)| *u == q)
+        .map(|((_, t), r)| (*t, r.clone()))
+        .collect();
+    arcs.retain(|(u, t), _| *u != q && *t != q);
+    for (u, rin) in &incoming {
+        for (t, rout) in &outgoing {
+            let path = rin.clone().then(loop_star.clone()).then(rout.clone());
+            match arcs.remove(&(*u, *t)) {
+                Some(prev) => {
+                    arcs.insert((*u, *t), prev.or(path));
+                }
+                None => {
+                    arcs.insert((*u, *t), path);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfa::Dfa;
+    use crate::nfa::Nfa;
+    use crate::ops::equivalent;
+
+    /// Checks L(graph) = L(regex) by automaton equivalence.
+    fn check(n_nodes: usize, edges: &[(usize, Sym, usize)], start: usize, accepting: &[usize]) {
+        let alpha = edges.iter().map(|&(_, s, _)| s + 1).max().unwrap_or(1);
+        let r = graph_to_regex(n_nodes, edges, start, accepting);
+        let from_graph = Dfa::from_nfa(&Nfa::from_graph(alpha, n_nodes, edges, start, accepting));
+        let from_regex = Dfa::from_regex(&r, alpha);
+        assert!(
+            equivalent(&from_graph, &from_regex),
+            "language mismatch for regex {r}"
+        );
+    }
+
+    #[test]
+    fn straight_line() {
+        check(3, &[(0, 0, 1), (1, 1, 2)], 0, &[2]);
+    }
+
+    #[test]
+    fn diamond() {
+        check(4, &[(0, 0, 1), (0, 1, 2), (1, 2, 3), (2, 3, 3)], 0, &[3]);
+    }
+
+    #[test]
+    fn self_loop() {
+        check(2, &[(0, 0, 0), (0, 1, 1)], 0, &[1]);
+    }
+
+    #[test]
+    fn while_loop_shape() {
+        // entry → head; head → body | exit; body → head.
+        check(
+            4,
+            &[(0, 0, 1), (1, 1, 2), (2, 2, 1), (1, 3, 3)],
+            0,
+            &[3],
+        );
+    }
+
+    #[test]
+    fn nested_loops() {
+        // Two nested while loops.
+        check(
+            6,
+            &[
+                (0, 0, 1),
+                (1, 1, 2), // outer taken
+                (2, 2, 3), // inner head
+                (3, 3, 2), // inner back edge
+                (2, 4, 1), // inner exit → outer head
+                (1, 5, 5), // outer exit
+            ],
+            0,
+            &[5],
+        );
+    }
+
+    #[test]
+    fn unreachable_accept_gives_empty() {
+        let r = graph_to_regex(3, &[(0, 0, 1)], 0, &[2]);
+        assert!(Dfa::from_regex(&r, 1).is_empty());
+    }
+
+    #[test]
+    fn multiple_accepting_states() {
+        check(3, &[(0, 0, 1), (0, 1, 2)], 0, &[1, 2]);
+    }
+
+    #[test]
+    fn start_is_accepting() {
+        check(2, &[(0, 0, 1), (1, 1, 0)], 0, &[0]);
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+
+            /// Random small graphs round-trip through the regex conversion.
+            #[test]
+            fn random_graphs_round_trip(
+                n in 2usize..6,
+                edge_bits in proptest::collection::vec((0usize..6, 0usize..6), 0..10),
+                accept in 0usize..6,
+            ) {
+                let edges: Vec<(usize, Sym, usize)> = edge_bits
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &(a, b))| a < n && b < n)
+                    .map(|(i, &(a, b))| (a, i as Sym, b))
+                    .collect();
+                let accepting = [accept % n];
+                check(n, &edges, 0, &accepting);
+            }
+        }
+    }
+}

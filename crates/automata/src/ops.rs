@@ -1,0 +1,234 @@
+//! Boolean operations and decision procedures on DFAs.
+
+use crate::dfa::Dfa;
+use crate::Sym;
+use std::collections::BTreeMap;
+
+/// How the product construction combines acceptance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Combine {
+    And,
+    Or,
+    AndNot,
+}
+
+fn product(a: &Dfa, b: &Dfa, combine: Combine) -> Dfa {
+    assert_eq!(
+        a.alphabet_size(),
+        b.alphabet_size(),
+        "alphabet mismatch in product"
+    );
+    let alpha = a.alphabet_size();
+    let mut index: BTreeMap<(usize, usize), usize> = BTreeMap::new();
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    let mut trans: Vec<usize> = Vec::new();
+    let start = (a.start(), b.start());
+    index.insert(start, 0);
+    pairs.push(start);
+    let mut work = vec![0usize];
+    while let Some(q) = work.pop() {
+        let (qa, qb) = pairs[q];
+        while trans.len() < (q + 1) * alpha as usize {
+            trans.push(usize::MAX);
+        }
+        for sym in 0..alpha {
+            let next = (a.next(qa, sym), b.next(qb, sym));
+            let target = match index.get(&next) {
+                Some(&t) => t,
+                None => {
+                    let t = pairs.len();
+                    index.insert(next, t);
+                    pairs.push(next);
+                    work.push(t);
+                    t
+                }
+            };
+            trans[q * alpha as usize + sym as usize] = target;
+        }
+    }
+    while trans.len() < pairs.len() * alpha as usize {
+        trans.push(usize::MAX);
+    }
+    let accepting: Vec<bool> = pairs
+        .iter()
+        .map(|&(qa, qb)| match combine {
+            Combine::And => a.is_accepting(qa) && b.is_accepting(qb),
+            Combine::Or => a.is_accepting(qa) || b.is_accepting(qb),
+            Combine::AndNot => a.is_accepting(qa) && !b.is_accepting(qb),
+        })
+        .collect();
+    Dfa::from_parts(alpha, trans, 0, accepting)
+}
+
+impl Dfa {
+    /// Assembles a DFA from raw parts (used by the product construction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transition table shape does not match.
+    pub fn from_parts(
+        alphabet_size: u32,
+        trans: Vec<usize>,
+        start: usize,
+        accepting: Vec<bool>,
+    ) -> Dfa {
+        assert_eq!(trans.len(), accepting.len() * alphabet_size as usize);
+        assert!(start < accepting.len());
+        assert!(trans.iter().all(|&t| t < accepting.len()));
+        DfaParts { alphabet_size, trans, start, accepting }.build()
+    }
+}
+
+/// Private builder to keep `Dfa` fields encapsulated.
+struct DfaParts {
+    alphabet_size: u32,
+    trans: Vec<usize>,
+    start: usize,
+    accepting: Vec<bool>,
+}
+
+impl DfaParts {
+    fn build(self) -> Dfa {
+        // Round-trip through an NFA to reuse the (private-field) DFA
+        // constructor without exposing fields.
+        let mut nfa = crate::Nfa::new(self.alphabet_size, self.accepting.len(), self.start);
+        for q in 0..self.accepting.len() {
+            for s in 0..self.alphabet_size {
+                let t = self.trans[q * self.alphabet_size as usize + s as usize];
+                nfa.add_transition(q, s, t);
+            }
+            if self.accepting[q] {
+                nfa.set_accepting(q);
+            }
+        }
+        Dfa::from_nfa(&nfa)
+    }
+}
+
+/// `L(a) ∩ L(b)`.
+pub fn intersection(a: &Dfa, b: &Dfa) -> Dfa {
+    product(a, b, Combine::And)
+}
+
+/// `L(a) ∪ L(b)`.
+pub fn union(a: &Dfa, b: &Dfa) -> Dfa {
+    product(a, b, Combine::Or)
+}
+
+/// `L(a) \ L(b)`.
+pub fn difference(a: &Dfa, b: &Dfa) -> Dfa {
+    product(a, b, Combine::AndNot)
+}
+
+/// Whether `L(a) ⊆ L(b)`.
+pub fn included(a: &Dfa, b: &Dfa) -> bool {
+    difference(a, b).is_empty()
+}
+
+/// Whether `L(a) = L(b)`.
+pub fn equivalent(a: &Dfa, b: &Dfa) -> bool {
+    included(a, b) && included(b, a)
+}
+
+/// Whether `L(a) ∩ L(b) = ∅`.
+pub fn disjoint(a: &Dfa, b: &Dfa) -> bool {
+    intersection(a, b).is_empty()
+}
+
+/// A word in `L(a) \ L(b)`, if any (witness for non-inclusion).
+pub fn counterexample(a: &Dfa, b: &Dfa) -> Option<Vec<Sym>> {
+    difference(a, b).example_word()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regex::Regex;
+
+    fn dfa(r: &Regex) -> Dfa {
+        Dfa::from_regex(r, 2)
+    }
+
+    fn starts_with_0() -> Regex {
+        Regex::symbol(0).then(Regex::symbol(0).or(Regex::symbol(1)).star())
+    }
+
+    fn ends_with_1() -> Regex {
+        Regex::symbol(0).or(Regex::symbol(1)).star().then(Regex::symbol(1))
+    }
+
+    #[test]
+    fn intersection_checks_both() {
+        let d = intersection(&dfa(&starts_with_0()), &dfa(&ends_with_1()));
+        assert!(d.accepts(&[0, 1]));
+        assert!(d.accepts(&[0, 0, 1]));
+        assert!(!d.accepts(&[0]));
+        assert!(!d.accepts(&[1, 1]));
+    }
+
+    #[test]
+    fn union_checks_either() {
+        let d = union(&dfa(&starts_with_0()), &dfa(&ends_with_1()));
+        assert!(d.accepts(&[0]));
+        assert!(d.accepts(&[1, 1]));
+        assert!(!d.accepts(&[1, 0]));
+    }
+
+    #[test]
+    fn difference_and_counterexample() {
+        let a = dfa(&starts_with_0());
+        let b = dfa(&ends_with_1());
+        let d = difference(&a, &b);
+        assert!(d.accepts(&[0]));
+        assert!(!d.accepts(&[0, 1]));
+        let cex = counterexample(&a, &b).expect("not included");
+        assert!(a.accepts(&cex) && !b.accepts(&cex));
+    }
+
+    #[test]
+    fn inclusion() {
+        // 0·1 ⊆ starts-with-0.
+        let small = dfa(&Regex::symbol(0).then(Regex::symbol(1)));
+        assert!(included(&small, &dfa(&starts_with_0())));
+        assert!(!included(&dfa(&starts_with_0()), &small));
+    }
+
+    #[test]
+    fn equivalence_of_different_syntax() {
+        // (0*)* ≡ 0*.
+        let a = dfa(&Regex::symbol(0).star());
+        let b = dfa(&Regex::Star(std::rc::Rc::new(Regex::Star(std::rc::Rc::new(
+            Regex::Sym(0),
+        )))));
+        assert!(equivalent(&a, &b));
+    }
+
+    #[test]
+    fn union_covers_the_split_pieces() {
+        // Splitting r = a|b into pieces and unioning them back is the
+        // identity — the invariant REFINEPARTITION relies on.
+        let a = Regex::symbol(0).then(Regex::symbol(1));
+        let b = Regex::symbol(1).then(Regex::symbol(0));
+        let whole = dfa(&a.clone().or(b.clone()));
+        let back = union(&dfa(&a), &dfa(&b));
+        assert!(equivalent(&whole, &back));
+    }
+
+    #[test]
+    fn star_split_covers() {
+        // r* = ε | r·r* — the loop-splitting invariant.
+        let r = Regex::symbol(0).then(Regex::symbol(1));
+        let star = dfa(&r.clone().star());
+        let eps_side = dfa(&Regex::Epsilon);
+        let unrolled = dfa(&r.clone().then(r.star()));
+        assert!(equivalent(&star, &union(&eps_side, &unrolled)));
+    }
+
+    #[test]
+    fn disjointness() {
+        let a = dfa(&Regex::symbol(0));
+        let b = dfa(&Regex::symbol(1));
+        assert!(disjoint(&a, &b));
+        assert!(!disjoint(&a, &dfa(&starts_with_0())));
+    }
+}

@@ -1,0 +1,237 @@
+//! Regular expressions over integer symbols.
+
+use crate::Sym;
+use std::fmt;
+use std::rc::Rc;
+
+/// A regular expression over symbols `0..alphabet_size`.
+///
+/// Subterms are reference-counted so trail refinement in `blazer-core`
+/// (which replaces one subterm while sharing the rest) stays cheap.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Regex {
+    /// The empty language ∅.
+    Empty,
+    /// The language {ε}.
+    Epsilon,
+    /// A single symbol.
+    Sym(Sym),
+    /// Concatenation.
+    Concat(Rc<Regex>, Rc<Regex>),
+    /// Union (`|`).
+    Union(Rc<Regex>, Rc<Regex>),
+    /// Kleene star.
+    Star(Rc<Regex>),
+}
+
+impl Regex {
+    /// A single-symbol regex.
+    pub fn symbol(s: Sym) -> Regex {
+        Regex::Sym(s)
+    }
+
+    /// Smart concatenation (simplifies ε and ∅ units).
+    pub fn then(self, other: Regex) -> Regex {
+        match (&self, &other) {
+            (Regex::Empty, _) | (_, Regex::Empty) => Regex::Empty,
+            (Regex::Epsilon, _) => other,
+            (_, Regex::Epsilon) => self,
+            _ => Regex::Concat(Rc::new(self), Rc::new(other)),
+        }
+    }
+
+    /// Smart union (simplifies ∅ and idempotent cases).
+    pub fn or(self, other: Regex) -> Regex {
+        match (&self, &other) {
+            (Regex::Empty, _) => other,
+            (_, Regex::Empty) => self,
+            _ if self == other => self,
+            _ => Regex::Union(Rc::new(self), Rc::new(other)),
+        }
+    }
+
+    /// Smart Kleene star (`∅* = ε* = ε`, `(r*)* = r*`).
+    pub fn star(self) -> Regex {
+        match &self {
+            Regex::Empty | Regex::Epsilon => Regex::Epsilon,
+            Regex::Star(_) => self,
+            _ => Regex::Star(Rc::new(self)),
+        }
+    }
+
+    /// `r+ = r · r*`.
+    pub fn plus(self) -> Regex {
+        let star = self.clone().star();
+        self.then(star)
+    }
+
+    /// Whether ε is in the language (nullable).
+    pub fn nullable(&self) -> bool {
+        match self {
+            Regex::Empty | Regex::Sym(_) => false,
+            Regex::Epsilon | Regex::Star(_) => true,
+            Regex::Concat(a, b) => a.nullable() && b.nullable(),
+            Regex::Union(a, b) => a.nullable() || b.nullable(),
+        }
+    }
+
+    /// Whether the language is definitely empty (syntactic check; exact for
+    /// regexes built by the smart constructors).
+    pub fn is_empty_language(&self) -> bool {
+        match self {
+            Regex::Empty => true,
+            Regex::Epsilon | Regex::Sym(_) | Regex::Star(_) => false,
+            Regex::Concat(a, b) => a.is_empty_language() || b.is_empty_language(),
+            Regex::Union(a, b) => a.is_empty_language() && b.is_empty_language(),
+        }
+    }
+
+    /// All symbols that occur in the expression (may over-approximate the
+    /// symbols of the language when ∅ subterms are present).
+    pub fn symbols(&self) -> Vec<Sym> {
+        let mut out = Vec::new();
+        self.collect_symbols(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_symbols(&self, out: &mut Vec<Sym>) {
+        match self {
+            Regex::Empty | Regex::Epsilon => {}
+            Regex::Sym(s) => out.push(*s),
+            Regex::Concat(a, b) | Regex::Union(a, b) => {
+                a.collect_symbols(out);
+                b.collect_symbols(out);
+            }
+            Regex::Star(a) => a.collect_symbols(out),
+        }
+    }
+
+    /// The number of AST nodes (for limiting refinement blow-up).
+    pub fn size(&self) -> usize {
+        match self {
+            Regex::Empty | Regex::Epsilon | Regex::Sym(_) => 1,
+            Regex::Concat(a, b) | Regex::Union(a, b) => 1 + a.size() + b.size(),
+            Regex::Star(a) => 1 + a.size(),
+        }
+    }
+
+    /// Whether `word` is in the language (via simple NFA simulation — meant
+    /// for tests; build a [`crate::Dfa`] for repeated queries).
+    pub fn matches(&self, word: &[Sym]) -> bool {
+        let max_sym = self.symbols().into_iter().max().map_or(0, |s| s + 1);
+        let alpha = max_sym.max(word.iter().copied().max().map_or(0, |s| s + 1));
+        crate::Nfa::from_regex(self, alpha).accepts(word)
+    }
+}
+
+impl fmt::Display for Regex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn go(r: &Regex, f: &mut fmt::Formatter<'_>, prec: u8) -> fmt::Result {
+            match r {
+                Regex::Empty => f.write_str("∅"),
+                Regex::Epsilon => f.write_str("ε"),
+                Regex::Sym(s) => write!(f, "{s}"),
+                Regex::Concat(a, b) => {
+                    if prec > 1 {
+                        f.write_str("(")?;
+                    }
+                    go(a, f, 1)?;
+                    f.write_str("·")?;
+                    go(b, f, 1)?;
+                    if prec > 1 {
+                        f.write_str(")")?;
+                    }
+                    Ok(())
+                }
+                Regex::Union(a, b) => {
+                    if prec > 0 {
+                        f.write_str("(")?;
+                    }
+                    go(a, f, 0)?;
+                    f.write_str("|")?;
+                    go(b, f, 0)?;
+                    if prec > 0 {
+                        f.write_str(")")?;
+                    }
+                    Ok(())
+                }
+                Regex::Star(a) => {
+                    go(a, f, 2)?;
+                    f.write_str("*")
+                }
+            }
+        }
+        go(self, f, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smart_constructors_simplify() {
+        let a = Regex::symbol(0);
+        assert_eq!(Regex::Empty.then(a.clone()), Regex::Empty);
+        assert_eq!(Regex::Epsilon.then(a.clone()), a);
+        assert_eq!(a.clone().then(Regex::Epsilon), a);
+        assert_eq!(Regex::Empty.or(a.clone()), a);
+        assert_eq!(a.clone().or(a.clone()), a);
+        assert_eq!(Regex::Empty.star(), Regex::Epsilon);
+        assert_eq!(Regex::Epsilon.star(), Regex::Epsilon);
+        let s = a.clone().star();
+        assert_eq!(s.clone().star(), s);
+    }
+
+    #[test]
+    fn nullable() {
+        assert!(Regex::Epsilon.nullable());
+        assert!(!Regex::symbol(0).nullable());
+        assert!(Regex::symbol(0).star().nullable());
+        assert!(Regex::symbol(0).or(Regex::Epsilon).nullable());
+        assert!(!Regex::symbol(0).then(Regex::symbol(1)).nullable());
+        assert!(Regex::symbol(0).star().then(Regex::symbol(1).star()).nullable());
+    }
+
+    #[test]
+    fn symbols_and_size() {
+        let r = Regex::symbol(2).then(Regex::symbol(0).or(Regex::symbol(2))).star();
+        assert_eq!(r.symbols(), vec![0, 2]);
+        assert!(r.size() >= 5);
+    }
+
+    #[test]
+    fn matching() {
+        // (0|1)·2*
+        let r = Regex::symbol(0).or(Regex::symbol(1)).then(Regex::symbol(2).star());
+        assert!(r.matches(&[0]));
+        assert!(r.matches(&[1, 2, 2, 2]));
+        assert!(!r.matches(&[2]));
+        assert!(!r.matches(&[]));
+        assert!(!r.matches(&[0, 1]));
+    }
+
+    #[test]
+    fn empty_language_detection() {
+        assert!(Regex::Empty.is_empty_language());
+        assert!(!Regex::Epsilon.is_empty_language());
+        let manual = Regex::Concat(Rc::new(Regex::Sym(0)), Rc::new(Regex::Empty));
+        assert!(manual.is_empty_language());
+    }
+
+    #[test]
+    fn display() {
+        let r = Regex::symbol(0).or(Regex::symbol(1)).then(Regex::symbol(2).star());
+        assert_eq!(r.to_string(), "(0|1)·2*");
+    }
+
+    #[test]
+    fn plus_requires_one() {
+        let r = Regex::symbol(0).plus();
+        assert!(!r.matches(&[]));
+        assert!(r.matches(&[0]));
+        assert!(r.matches(&[0, 0, 0]));
+    }
+}

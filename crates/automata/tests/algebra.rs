@@ -1,0 +1,125 @@
+//! Property tests for the boolean algebra of regular languages — the
+//! operations trail refinement relies on (Sec. 5 uses them for inclusion,
+//! intersection, union, and complementation).
+
+use blazer_automata::{ops, Dfa, Regex};
+use proptest::prelude::*;
+
+const ALPHA: u32 = 3;
+
+/// A random regex over a 3-symbol alphabet, depth-bounded.
+fn regex_strategy() -> impl Strategy<Value = Regex> {
+    let leaf = prop_oneof![
+        Just(Regex::Epsilon),
+        (0..ALPHA).prop_map(Regex::symbol),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.then(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            inner.prop_map(Regex::star),
+        ]
+    })
+}
+
+fn dfa(r: &Regex) -> Dfa {
+    Dfa::from_regex(r, ALPHA)
+}
+
+/// All words up to length 4 over the alphabet.
+fn words() -> Vec<Vec<u32>> {
+    let mut out = vec![vec![]];
+    let mut frontier = vec![vec![]];
+    for _ in 0..4 {
+        let mut next = Vec::new();
+        for w in &frontier {
+            for s in 0..ALPHA {
+                let mut w2 = w.clone();
+                w2.push(s);
+                out.push(w2.clone());
+                next.push(w2);
+            }
+        }
+        frontier = next;
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// De Morgan: ¬(A ∪ B) = ¬A ∩ ¬B.
+    #[test]
+    fn de_morgan(a in regex_strategy(), b in regex_strategy()) {
+        let da = dfa(&a);
+        let db = dfa(&b);
+        let lhs = ops::union(&da, &db).complement();
+        let rhs = ops::intersection(&da.complement(), &db.complement());
+        prop_assert!(ops::equivalent(&lhs, &rhs));
+    }
+
+    /// Double complement is the identity.
+    #[test]
+    fn double_complement(a in regex_strategy()) {
+        let da = dfa(&a);
+        prop_assert!(ops::equivalent(&da, &da.complement().complement()));
+    }
+
+    /// Difference decomposes: A = (A \ B) ∪ (A ∩ B).
+    #[test]
+    fn difference_partition(a in regex_strategy(), b in regex_strategy()) {
+        let da = dfa(&a);
+        let db = dfa(&b);
+        let rebuilt = ops::union(&ops::difference(&da, &db), &ops::intersection(&da, &db));
+        prop_assert!(ops::equivalent(&da, &rebuilt));
+    }
+
+    /// Inclusion agrees with membership on sampled words, and minimization
+    /// preserves the language.
+    #[test]
+    fn semantics_on_words(a in regex_strategy(), b in regex_strategy()) {
+        let da = dfa(&a);
+        let db = dfa(&b);
+        let ma = da.minimize();
+        let inter = ops::intersection(&da, &db);
+        for w in words() {
+            prop_assert_eq!(da.accepts(&w), ma.accepts(&w), "minimize changed {:?}", w);
+            prop_assert_eq!(inter.accepts(&w), da.accepts(&w) && db.accepts(&w));
+            prop_assert_eq!(da.complement().accepts(&w), !da.accepts(&w));
+        }
+        if ops::included(&da, &db) {
+            for w in words() {
+                if da.accepts(&w) {
+                    prop_assert!(db.accepts(&w), "inclusion lied about {:?}", w);
+                }
+            }
+        } else {
+            // A counterexample word must exist and be correct.
+            let cex = ops::counterexample(&da, &db).expect("non-inclusion has witness");
+            prop_assert!(da.accepts(&cex) && !db.accepts(&cex));
+        }
+    }
+
+    /// `graph_to_regex ∘ dfa` round-trips languages (trails survive the
+    /// automata detour that block-based refinement takes).
+    #[test]
+    fn dfa_regex_round_trip(a in regex_strategy()) {
+        let da = dfa(&a).minimize();
+        let back = blazer_automata::kleene::dfa_to_regex(&da);
+        let db = dfa(&back);
+        prop_assert!(ops::equivalent(&da, &db), "round trip changed language of {}", a);
+    }
+
+    /// Emptiness test agrees with word sampling.
+    #[test]
+    fn emptiness(a in regex_strategy(), b in regex_strategy()) {
+        let d = ops::difference(&dfa(&a), &dfa(&b));
+        if d.is_empty() {
+            for w in words() {
+                prop_assert!(!d.accepts(&w));
+            }
+        } else {
+            prop_assert!(d.example_word().is_some());
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! 1. **Numeric domain**: intervals vs. zones vs. octagons vs. polyhedra
+//!    for the trail-restricted fixpoint (precision is reported by the
+//!    `ablation` output lines; time by Criterion).
+//! 2. **Trail restriction on/off**: the cost of running the abstract
+//!    interpreter on the full CFG vs. a restricted product.
+//! 3. **Observer threshold sweep**: how the narrowness verdict flips with
+//!    the attacker's observational power (printed, not timed).
+
+use blazer_absint::transfer::entry_state;
+use blazer_absint::{DimMap, ProductGraph};
+use blazer_bounds::{graph_bounds, Observer, SeedAssignment};
+use blazer_domains::{AbstractDomain, IntervalVec, Octagon, Polyhedron, Zone};
+use blazer_ir::cost::CostModel;
+use blazer_ir::Cfg;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::collections::BTreeSet;
+
+fn bounds_with<D: AbstractDomain>(program: &blazer_ir::Program, func: &str) -> bool {
+    let f = program.function(func).unwrap();
+    let cfg = Cfg::new(f);
+    let dims = DimMap::new(f);
+    let g = ProductGraph::full(f, &cfg);
+    let init: D = entry_state(f, &dims);
+    let seeds: BTreeSet<usize> = dims.seeds().collect();
+    let b = graph_bounds(program, f, &dims, &g, &init, &CostModel::unit(), &seeds);
+    b.upper.is_some()
+}
+
+fn bench_domains(c: &mut Criterion) {
+    let b = blazer_benchmarks::by_name("sanity_safe").unwrap();
+    let program = b.compile();
+    let mut g = c.benchmark_group("domain_ablation");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(8));
+    g.bench_function("interval", |bench| {
+        bench.iter(|| std::hint::black_box(bounds_with::<IntervalVec>(&program, b.function)))
+    });
+    g.bench_function("zone", |bench| {
+        bench.iter(|| std::hint::black_box(bounds_with::<Zone>(&program, b.function)))
+    });
+    g.bench_function("octagon", |bench| {
+        bench.iter(|| std::hint::black_box(bounds_with::<Octagon>(&program, b.function)))
+    });
+    g.bench_function("polyhedra", |bench| {
+        bench.iter(|| std::hint::black_box(bounds_with::<Polyhedron>(&program, b.function)))
+    });
+    g.finish();
+
+    // Report the precision half of the ablation (who derives upper bounds).
+    for name in ["sanity_safe", "array_safe", "login_safe"] {
+        let b = blazer_benchmarks::by_name(name).unwrap();
+        let program = b.compile();
+        println!(
+            "ablation precision {name}: interval={} zone={} octagon={} polyhedra={}",
+            bounds_with::<IntervalVec>(&program, b.function),
+            bounds_with::<Zone>(&program, b.function),
+            bounds_with::<Octagon>(&program, b.function),
+            bounds_with::<Polyhedron>(&program, b.function),
+        );
+    }
+}
+
+fn bench_observer_sweep(_c: &mut Criterion) {
+    // Printed sweep: at which threshold does login_safe stop being narrow?
+    let b = blazer_benchmarks::by_name("login_safe").unwrap();
+    let program = b.compile();
+    let f = program.function(b.function).unwrap();
+    let cfg = Cfg::new(f);
+    let dims = DimMap::new(f);
+    let g = ProductGraph::full(f, &cfg);
+    let init: Polyhedron = entry_state(f, &dims);
+    let seeds: BTreeSet<usize> = dims.seeds().collect();
+    let bounds = graph_bounds(&program, f, &dims, &g, &init, &CostModel::unit(), &seeds);
+    if let (Some(lo), Some(hi)) = (&bounds.lower, &bounds.upper) {
+        let high: BTreeSet<usize> = BTreeSet::new();
+        for threshold in [100u64, 1_000, 10_000, 25_000, 100_000] {
+            let obs = Observer::ConcreteThreshold {
+                assumed: SeedAssignment::uniform(4096),
+                threshold,
+            };
+            println!(
+                "observer sweep login_safe(trmg) threshold={threshold}: narrow={}",
+                obs.is_narrow(lo, hi, &high)
+            );
+        }
+    }
+}
+
+criterion_group!(benches, bench_domains, bench_observer_sweep);
+criterion_main!(benches);

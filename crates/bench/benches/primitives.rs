@@ -1,0 +1,98 @@
+//! Microbenchmarks of the analysis substrates: the exact simplex, the
+//! polyhedral lattice operations, DFA algebra, and the concrete
+//! interpreter's cost accounting. These quantify where analysis time goes
+//! (the paper attributes its outliers to subtrail explosion and large basic
+//! blocks; ours go mostly to LP calls inside joins).
+
+use blazer_automata::{ops, Dfa, Regex};
+use blazer_domains::{Constraint, LinExpr, Polyhedron, Rat, Simplex};
+use blazer_interp::{Interp, SeededOracle, Value};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_simplex(c: &mut Criterion) {
+    // max Σ xᵢ over a small polytope: the typical entailment query size.
+    let dims = 6;
+    let mut cons = Vec::new();
+    for d in 0..dims {
+        cons.push(Constraint::ge(&LinExpr::var(d), &LinExpr::constant(Rat::int(0))));
+        cons.push(Constraint::le(
+            &LinExpr::var(d),
+            &LinExpr::constant(Rat::int(100 + d as i128)),
+        ));
+    }
+    for d in 0..dims - 1 {
+        cons.push(Constraint::le(&LinExpr::var(d), &LinExpr::var(d + 1)));
+    }
+    let obj = (0..dims).fold(LinExpr::zero(), |acc, d| acc.add(&LinExpr::var(d)));
+    c.bench_function("simplex_maximize_6d", |b| {
+        b.iter(|| std::hint::black_box(Simplex::maximize(&obj, &cons)))
+    });
+}
+
+fn bench_polyhedra(c: &mut Criterion) {
+    let boxed = |lo: i128, hi: i128| {
+        let mut p = Polyhedron::top(4);
+        for d in 0..4 {
+            p.add_constraint(Constraint::ge(
+                &LinExpr::var(d),
+                &LinExpr::constant(Rat::int(lo + d as i128)),
+            ));
+            p.add_constraint(Constraint::le(
+                &LinExpr::var(d),
+                &LinExpr::constant(Rat::int(hi + d as i128)),
+            ));
+        }
+        p
+    };
+    let a = boxed(0, 10);
+    let b2 = boxed(5, 20);
+    c.bench_function("polyhedron_join_4d", |b| {
+        b.iter(|| std::hint::black_box(a.join(&b2)))
+    });
+    c.bench_function("polyhedron_includes_4d", |b| {
+        b.iter(|| std::hint::black_box(a.includes(&b2)))
+    });
+    c.bench_function("polyhedron_widen_4d", |b| {
+        b.iter(|| std::hint::black_box(a.widen(&b2)))
+    });
+}
+
+fn bench_automata(c: &mut Criterion) {
+    // A trail-sized regex: loops and branches over a 24-symbol alphabet.
+    let alpha = 24u32;
+    let mut r = Regex::symbol(0);
+    for s in 1..12 {
+        let branch = Regex::symbol(2 * s).or(Regex::symbol(2 * s + 1));
+        r = r.then(branch.star());
+    }
+    c.bench_function("regex_to_min_dfa", |b| {
+        b.iter(|| std::hint::black_box(Dfa::from_regex(&r, alpha).minimize()))
+    });
+    let d1 = Dfa::from_regex(&r, alpha);
+    let d2 = Dfa::from_regex(&Regex::symbol(0).then(Regex::symbol(2).star()), alpha);
+    c.bench_function("dfa_inclusion", |b| {
+        b.iter(|| std::hint::black_box(ops::included(&d2, &d1)))
+    });
+}
+
+fn bench_interp(c: &mut Criterion) {
+    let b = blazer_benchmarks::by_name("login_unsafe").unwrap();
+    let program = b.compile();
+    let interp = Interp::new(&program);
+    let username = Value::array(vec![1, 2, 3]);
+    let guess = Value::array(vec![0; 64]);
+    c.bench_function("interp_login_64", |bench| {
+        bench.iter(|| {
+            let mut oracle = SeededOracle::new(7);
+            std::hint::black_box(
+                interp
+                    .run("login_unsafe", &[username.clone(), guess.clone()], &mut oracle)
+                    .unwrap()
+                    .cost,
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_simplex, bench_polyhedra, bench_automata, bench_interp);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Decomposition vs. self-composition (the paper's motivating comparison):
+//! verification success is printed by the `selfcomp_compare` binary; this
+//! bench times both engines on programs where both terminate quickly.
+
+use blazer_bench::config_for;
+use blazer_core::Blazer;
+use blazer_ir::cost::CostModel;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_engines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("decomposition_vs_selfcomp");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(8));
+    for name in ["sanity_safe", "straightline_safe", "unixlogin_safe"] {
+        let b = blazer_benchmarks::by_name(name).expect("benchmark exists");
+        let program = b.compile();
+        let mut config = config_for(b.group);
+        config.synthesize_attack = false;
+        let blazer = Blazer::new(config);
+        g.bench_function(format!("decomposition/{name}"), |bench| {
+            bench.iter(|| {
+                std::hint::black_box(blazer.analyze(&program, b.function).unwrap().verdict)
+            })
+        });
+        g.bench_function(format!("selfcomp/{name}"), |bench| {
+            bench.iter(|| {
+                std::hint::black_box(
+                    blazer_selfcomp::verify(&program, b.function, 32, &CostModel::unit())
+                        .verified,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion timing for Table 1: safety verification per benchmark.
+//!
+//! The `table1` binary prints the full table (verdicts + both timing
+//! columns); this bench gives statistically robust timings for the safety
+//! phase of a representative subset (the full set of 24 takes minutes per
+//! iteration under Criterion's repetition model).
+
+use blazer_bench::config_for;
+use blazer_core::Blazer;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_safety(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_safety");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(8));
+    for name in [
+        "array_safe",
+        "sanity_safe",
+        "sanity_unsafe",
+        "nosecret_safe",
+        "notaint_unsafe",
+        "straightline_safe",
+        "unixlogin_safe",
+        "k96_safe",
+    ] {
+        let b = blazer_benchmarks::by_name(name).expect("benchmark exists");
+        let program = b.compile();
+        let mut config = config_for(b.group);
+        config.synthesize_attack = false; // safety phase only
+        let blazer = Blazer::new(config);
+        g.bench_function(name, |bench| {
+            bench.iter(|| {
+                let outcome = blazer.analyze(&program, b.function).expect("analyzes");
+                std::hint::black_box(outcome.verdict)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_with_attack(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_with_attack");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(8));
+    for name in ["sanity_unsafe", "notaint_unsafe", "k96_unsafe"] {
+        let b = blazer_benchmarks::by_name(name).expect("benchmark exists");
+        let program = b.compile();
+        let blazer = Blazer::new(config_for(b.group));
+        g.bench_function(name, |bench| {
+            bench.iter(|| {
+                let outcome = blazer.analyze(&program, b.function).expect("analyzes");
+                std::hint::black_box(outcome.verdict)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_safety, bench_with_attack);
+criterion_main!(benches);

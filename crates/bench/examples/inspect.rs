@@ -1,0 +1,19 @@
+//! Inspect the trail tree and verdict of named Table-1 benchmarks:
+//!
+//! ```console
+//! $ cargo run --release -p blazer-bench --example inspect login_safe login_unsafe
+//! ```
+
+use blazer_bench::config_for;
+use blazer_benchmarks::by_name;
+use blazer_core::Blazer;
+
+fn main() {
+    for name in std::env::args().skip(1) {
+        let b = by_name(&name).unwrap();
+        let program = b.compile();
+        let outcome = Blazer::new(config_for(b.group)).analyze(&program, b.function).unwrap();
+        println!("== {name}: verdict: {}", outcome.verdict);
+        println!("{}", outcome.render_tree(&program));
+    }
+}

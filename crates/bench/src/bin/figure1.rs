@@ -1,0 +1,26 @@
+//! Regenerates Figure 1: the trail trees for `loginSafe` and `loginBad`,
+//! with per-trail bound ranges and taint/sec split arcs.
+
+use blazer_bench::config_for;
+use blazer_benchmarks::by_name;
+use blazer_core::{Blazer, Verdict};
+
+fn main() {
+    for name in ["login_safe", "login_unsafe"] {
+        let b = by_name(name).expect("benchmark exists");
+        let program = b.compile();
+        let blazer = Blazer::new(config_for(b.group));
+        let outcome = blazer.analyze(&program, b.function).expect("analyzes");
+        println!(
+            "==== {} (Fig. 1 {}) ====",
+            name,
+            if name.ends_with("unsafe") { "bottom" } else { "top" }
+        );
+        println!("verdict: {}", outcome.verdict);
+        println!("{}", outcome.render_tree(&program));
+        if let Verdict::Attack(spec) = &outcome.verdict {
+            println!("{spec}");
+        }
+        println!();
+    }
+}

@@ -1,0 +1,44 @@
+//! The decomposition-vs-self-composition comparison (the paper's central
+//! motivation, Sec. 1/7): run both engines over the safe benchmarks and
+//! report who verifies what, and how fast.
+
+use blazer_bench::config_for;
+use blazer_core::Blazer;
+use blazer_ir::cost::CostModel;
+use std::time::Instant;
+
+fn main() {
+    println!(
+        "{:<22} {:>14} {:>12} {:>14} {:>12}",
+        "Benchmark", "decomposition", "time (s)", "self-comp", "time (s)"
+    );
+    for b in blazer_benchmarks::all() {
+        if b.expected != blazer_benchmarks::Expected::Safe {
+            continue;
+        }
+        let program = b.compile();
+        let t0 = Instant::now();
+        let outcome = Blazer::new(config_for(b.group))
+            .analyze(&program, b.function)
+            .expect("analyzes");
+        let deco_time = t0.elapsed();
+        let deco = if outcome.verdict.is_safe() { "verified" } else { "failed" };
+
+        // Attacker constant mirroring the degree observer's epsilon; for
+        // threshold groups use the 25k threshold.
+        let eps = match b.group {
+            blazer_benchmarks::Group::MicroBench => 32,
+            _ => 25_000,
+        };
+        let sc = blazer_selfcomp::verify(&program, b.function, eps, &CostModel::unit());
+        let scv = if sc.verified { "verified" } else { "failed" };
+        println!(
+            "{:<22} {:>14} {:>12.2} {:>14} {:>12.2}",
+            b.name,
+            deco,
+            deco_time.as_secs_f64(),
+            scv,
+            sc.time.as_secs_f64()
+        );
+    }
+}

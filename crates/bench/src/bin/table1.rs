@@ -1,0 +1,52 @@
+//! Regenerates Table 1: per-benchmark size, verdict, median safety time,
+//! and median safety+attack time.
+
+use blazer_bench::{run_benchmark, Row};
+use blazer_core::Verdict;
+
+fn main() {
+    let runs: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
+    println!(
+        "{:<22} {:>5} {:>12} {:>12}   {:<8} {}",
+        "Benchmark", "Size", "Safety (s)", "w/Attack(s)", "Verdict", "matches paper?"
+    );
+    let mut all_match = true;
+    let mut group = None;
+    for b in blazer_benchmarks::all() {
+        if group != Some(b.group) {
+            println!("--- {} ---", b.group);
+            group = Some(b.group);
+        }
+        let row: Row = run_benchmark(&b, runs);
+        let verdict = match row.verdict {
+            Verdict::Safe => "safe",
+            Verdict::Attack(_) => "attack",
+            Verdict::Unknown => "gave up",
+        };
+        let attack_time = row
+            .with_attack_time
+            .map(|d| format!("{:.2}", d.as_secs_f64()))
+            .unwrap_or_else(|| "-".to_string());
+        let ok = row.matches_paper();
+        all_match &= ok;
+        println!(
+            "{:<22} {:>5} {:>12.2} {:>12}   {:<8} {}",
+            row.name,
+            row.size,
+            row.safety_time.as_secs_f64(),
+            attack_time,
+            verdict,
+            if ok { "yes" } else { "NO" }
+        );
+    }
+    println!();
+    if all_match {
+        println!("all 24 verdicts match Table 1");
+    } else {
+        println!("MISMATCHES against Table 1 detected");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,175 @@
+//! # blazer-benchmarks
+//!
+//! The paper's 24 evaluation benchmarks (Table 1) plus the worked examples
+//! from Sections 2 and 7, rewritten in the `blazer-lang` surface language.
+//!
+//! Benchmarks come in safe/unsafe pairs across three groups:
+//!
+//! * **MicroBench** — 12 hand-crafted programs exercising the tool
+//!   (analyzed with the degree-equivalence observer);
+//! * **STAC** — 6 programs reconstructed from the DARPA Space/Time Analysis
+//!   for Cybersecurity challenges (`modPow1/2`, `pwdEqual`);
+//! * **Literature** — 6 programs from published timing attacks: Genkin et
+//!   al. 2014 (`gpt14`), Kocher 1996 (`k96`), and Pasareanu et al. 2016
+//!   (`login`, the Fig. 1 pair).
+//!
+//! STAC and Literature use the concrete-threshold observer (25k
+//! instructions at 4096-magnitude inputs, Sec. 6.1). Expected verdicts
+//! follow Table 1: every safe benchmark verifies, every unsafe benchmark
+//! yields an attack specification — except `gpt14_unsafe`, where the tool
+//! gives up.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod extra;
+pub mod literature;
+pub mod micro;
+pub mod stac;
+
+use std::fmt;
+
+/// The benchmark group, which also selects the observer model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Group {
+    /// Hand-crafted micro-benchmarks (degree-equivalence observer).
+    MicroBench,
+    /// DARPA STAC challenge fragments (threshold observer).
+    Stac,
+    /// Programs from the attack literature (threshold observer).
+    Literature,
+}
+
+impl fmt::Display for Group {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Group::MicroBench => f.write_str("MicroBench"),
+            Group::Stac => f.write_str("STAC"),
+            Group::Literature => f.write_str("Literature"),
+        }
+    }
+}
+
+/// The verdict Table 1 reports for a benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Expected {
+    /// Safety is verified.
+    Safe,
+    /// An attack specification is synthesized.
+    Attack,
+    /// The tool gives up (only `gpt14_unsafe`).
+    Unknown,
+}
+
+/// One benchmark program.
+#[derive(Debug, Clone, Copy)]
+pub struct Benchmark {
+    /// Table-1 name, e.g. `"login_safe"`.
+    pub name: &'static str,
+    /// Group (selects the observer).
+    pub group: Group,
+    /// The function to analyze.
+    pub function: &'static str,
+    /// Surface-language source.
+    pub source: &'static str,
+    /// The verdict the paper reports.
+    pub expected: Expected,
+}
+
+impl Benchmark {
+    /// Compiles the benchmark to IR.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bundled source fails to compile (a bug in this crate).
+    pub fn compile(&self) -> blazer_ir::Program {
+        blazer_lang::compile(self.source)
+            .unwrap_or_else(|e| panic!("benchmark {} does not compile: {e}", self.name))
+    }
+}
+
+/// All 24 Table-1 benchmarks in table order.
+pub fn all() -> Vec<Benchmark> {
+    let mut v = micro::benchmarks();
+    v.extend(stac::benchmarks());
+    v.extend(literature::benchmarks());
+    v
+}
+
+/// Looks up a benchmark by its Table-1 name.
+pub fn by_name(name: &str) -> Option<Benchmark> {
+    all().into_iter().find(|b| b.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_four_benchmarks_in_pairs() {
+        let all = all();
+        assert_eq!(all.len(), 24);
+        assert_eq!(all.iter().filter(|b| b.group == Group::MicroBench).count(), 12);
+        assert_eq!(all.iter().filter(|b| b.group == Group::Stac).count(), 6);
+        assert_eq!(all.iter().filter(|b| b.group == Group::Literature).count(), 6);
+        // Names are unique.
+        let mut names: Vec<&str> = all.iter().map(|b| b.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 24);
+    }
+
+    #[test]
+    fn every_benchmark_compiles_and_validates() {
+        for b in all() {
+            let p = b.compile();
+            assert_eq!(p.validate(), Ok(()), "{}", b.name);
+            assert!(
+                p.function(b.function).is_some(),
+                "{} lacks function {}",
+                b.name,
+                b.function
+            );
+        }
+    }
+
+    #[test]
+    fn safe_unsafe_pairing() {
+        // Every *_unsafe has a *_safe partner except notaint/nosecret which
+        // pair with each other conceptually.
+        let all = all();
+        for b in &all {
+            if let Some(stem) = b.name.strip_suffix("_unsafe") {
+                if stem == "notaint" {
+                    continue;
+                }
+                assert!(
+                    all.iter().any(|o| o.name == format!("{stem}_safe")),
+                    "{} lacks a safe partner",
+                    b.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn expected_verdicts_match_table_1() {
+        // All safe verified; all unsafe attacks except gpt14_unsafe.
+        for b in all() {
+            if b.name.ends_with("_safe") {
+                assert_eq!(b.expected, Expected::Safe, "{}", b.name);
+            } else if b.name == "gpt14_unsafe" {
+                assert_eq!(b.expected, Expected::Unknown);
+            } else {
+                assert_eq!(b.expected, Expected::Attack, "{}", b.name);
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("login_safe").is_some());
+        assert!(by_name("modPow2_unsafe").is_some());
+        assert!(by_name("nonexistent").is_none());
+    }
+}

@@ -1,0 +1,187 @@
+//! The 6 programs from the timing-attack literature.
+//!
+//! * `gpt14` — Genkin, Pipman, Tromer 2014 ("Get your hands off my
+//!   laptop"): RSA decryption with a secret-dependent reduction; our unsafe
+//!   variant additionally contains a multiplicative recombination loop that
+//!   defeats the lemma database, reproducing the paper's one give-up.
+//! * `k96` — Kocher 1996: square-and-multiply with the multiply performed
+//!   only on set secret bits.
+//! * `login` — Pasareanu, Phan, Malacaria 2016: the Fig. 1 `loginSafe` /
+//!   `loginBad` pair (the Tenex password-checker bug).
+
+use crate::{Benchmark, Expected, Group};
+
+fn lit(name: &'static str, function: &'static str, source: &'static str, expected: Expected) -> Benchmark {
+    Benchmark { name, group: Group::Literature, function, source, expected }
+}
+
+/// `gpt14_safe`: balanced decryption — the extra Montgomery reduction is
+/// performed on both arms.
+pub const GPT14_SAFE: &str = "\
+extern fn mulMod(a: int, b: int, m: int) -> int cost 200;
+extern fn reduce(a: int, m: int) -> int cost 80;
+
+fn gpt14_safe(cipher: int, key: array #high, n: int) -> int {
+    let s: int = 1;
+    let i: int = 0;
+    while (i < len(key)) {
+        s = mulMod(s, s, n);
+        let bit: int = key[i];
+        if (bit == 1) {
+            s = mulMod(s, cipher, n);
+            s = reduce(s, n);
+        } else {
+            let d: int = mulMod(s, cipher, n);
+            let d2: int = reduce(s, n);
+        }
+        i = i + 1;
+    }
+    return s;
+}
+";
+
+/// `gpt14_unsafe`: the timing channel lives in the *trip count* of a
+/// squaring recombination loop seeded by secret data. The squaring update
+/// is outside the lemma database, so no trail gets an upper bound; loop
+/// unrolling does produce bounded slices, but adjacent slices differ by
+/// only a few instructions — below the 25k observable threshold — so
+/// CHECKATTACK never fires either. Blazer gives up, reproducing the one
+/// `–`-row of Table 1 (the physical side-channel attack of Genkin et al.
+/// needed hardware-level observations far beyond this observer model).
+pub const GPT14_UNSAFE: &str = "\
+extern fn mulMod(a: int, b: int, m: int) -> int cost 200;
+
+fn gpt14_unsafe(cipher: int, key: array #high, n: int) -> int {
+    let s: int = 1;
+    let i: int = 0;
+    while (i < len(key)) {
+        s = mulMod(s, s, n);
+        i = i + 1;
+    }
+    let acc: int = key[0] + 2;
+    while (acc < n) {
+        acc = acc * acc;
+    }
+    return s;
+}
+";
+
+/// `k96_safe`: Kocher's Diffie-Hellman exponentiation with the
+/// multiply-always countermeasure.
+pub const K96_SAFE: &str = "\
+extern fn mulMod(a: int, b: int, m: int) -> int cost 200;
+
+fn k96_safe(y: int, x: array #high, p: int) -> int {
+    let s: int = 1;
+    let r: int = 1;
+    let k: int = 0;
+    while (k < len(x)) {
+        let rs: int = mulMod(r, s, p);
+        let ss: int = mulMod(s, s, p);
+        if (x[k] == 1) {
+            r = rs;
+        } else {
+            let sink: int = rs;
+        }
+        s = ss;
+        k = k + 1;
+    }
+    return r;
+}
+";
+
+/// `k96_unsafe`: the original attack target — `R = R·s mod p` only when the
+/// secret bit is set.
+pub const K96_UNSAFE: &str = "\
+extern fn mulMod(a: int, b: int, m: int) -> int cost 200;
+
+fn k96_unsafe(y: int, x: array #high, p: int) -> int {
+    let s: int = 1;
+    let r: int = 1;
+    let k: int = 0;
+    while (k < len(x)) {
+        if (x[k] == 1) {
+            r = mulMod(r, s, p);
+        }
+        s = mulMod(s, s, p);
+        k = k + 1;
+    }
+    return r;
+}
+";
+
+/// `login_safe`: Fig. 1's `loginSafe` — scan the whole guess regardless of
+/// where mismatches occur.
+pub const LOGIN_SAFE: &str = "\
+extern fn retrievePassword(u: array) -> array #high cost 30 len -1..64;
+
+fn login_safe(username: array, guess: array) -> bool {
+    let matches: bool = true;
+    let dummy: bool = false;
+    let user_pw: array = retrievePassword(username);
+    if (user_pw == null) {
+        return false;
+    }
+    let i: int = 0;
+    while (i < len(guess)) {
+        if (i < len(user_pw)) {
+            if (guess[i] != user_pw[i]) {
+                matches = false;
+            } else {
+                dummy = true;
+            }
+        } else {
+            dummy = true;
+            matches = false;
+        }
+        i = i + 1;
+    }
+    return matches;
+}
+";
+
+/// `login_unsafe`: Fig. 1's `loginBad` — the Tenex bug, returning on the
+/// first mismatch.
+pub const LOGIN_UNSAFE: &str = "\
+extern fn retrievePassword(u: array) -> array #high cost 30 len -1..64;
+
+fn login_unsafe(username: array, guess: array) -> bool {
+    let user_pw: array = retrievePassword(username);
+    if (user_pw == null) {
+        return false;
+    }
+    let i: int = 0;
+    while (i < len(guess)) {
+        if (i >= len(user_pw)) { return false; }
+        if (guess[i] != user_pw[i]) { return false; }
+        tick(4);
+        i = i + 1;
+    }
+    return true;
+}
+";
+
+/// The 6 Literature entries in Table-1 order.
+pub fn benchmarks() -> Vec<Benchmark> {
+    vec![
+        lit("gpt14_safe", "gpt14_safe", GPT14_SAFE, Expected::Safe),
+        lit("gpt14_unsafe", "gpt14_unsafe", GPT14_UNSAFE, Expected::Unknown),
+        lit("k96_safe", "k96_safe", K96_SAFE, Expected::Safe),
+        lit("k96_unsafe", "k96_unsafe", K96_UNSAFE, Expected::Attack),
+        lit("login_safe", "login_safe", LOGIN_SAFE, Expected::Safe),
+        lit("login_unsafe", "login_unsafe", LOGIN_UNSAFE, Expected::Attack),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_six_compile() {
+        for b in benchmarks() {
+            let _ = b.compile();
+        }
+        assert_eq!(benchmarks().len(), 6);
+    }
+}

@@ -1,0 +1,249 @@
+//! The 12 hand-crafted MicroBench programs.
+//!
+//! These "are hand-crafted to exercise the various aspects of Blazer"
+//! (Sec. 6.1). `loopAndBranch` and the unix login appear in Fig. 3; the
+//! others are reconstructed from their names and the paper's description.
+//! The observer model is degree equivalence with a small attacker constant.
+
+use crate::{Benchmark, Expected, Group};
+
+fn micro(name: &'static str, function: &'static str, source: &'static str, expected: Expected) -> Benchmark {
+    Benchmark { name, group: Group::MicroBench, function, source, expected }
+}
+
+/// `array_safe`: a loop over a public array with a secret branch whose two
+/// arms cost the same.
+pub const ARRAY_SAFE: &str = "\
+fn array_safe(high: int #high, list: array) {
+    let i: int = 0;
+    let t: int = 0;
+    while (i < len(list)) {
+        if (high > 0) {
+            t = t + 1;
+        } else {
+            t = t + 2;
+        }
+        i = i + 1;
+    }
+}
+";
+
+/// `array_unsafe`: the same loop with unbalanced secret arms.
+pub const ARRAY_UNSAFE: &str = "\
+fn array_unsafe(high: int #high, list: array) {
+    let i: int = 0;
+    let t: int = 0;
+    while (i < len(list)) {
+        if (high > 0) {
+            t = t + list[i];
+            tick(40);
+        } else {
+            t = t + 1;
+        }
+        i = i + 1;
+    }
+}
+";
+
+/// `loopBranch_safe`: Fig. 3's `loopAndbranch_safe`. The running time is a
+/// tight function of `high` on every feasible path, and the potentially
+/// vulnerable third path is infeasible (caught by the abstract
+/// interpreter).
+pub const LOOP_BRANCH_SAFE: &str = "\
+fn loopAndbranch_safe(high: int #high, low: int) {
+    let i: int = high;
+    if (low < 0) {
+        while (i > 0) { i = i - 1; }
+    } else {
+        let nlow: int = low + 10;
+        if (nlow >= 10) {
+            let j: int = high;
+            while (j > 0) { j = j - 1; }
+        } else {
+            if (high < 0) {
+                let k: int = high;
+                while (k > 0) { k = k - 1; }
+            }
+        }
+    }
+}
+";
+
+/// `loopBranch_unsafe`: for non-negative `low` the secret decides between a
+/// `high`-length loop and a constant.
+pub const LOOP_BRANCH_UNSAFE: &str = "\
+fn loopAndbranch_unsafe(high: int #high, low: int) {
+    let i: int = high;
+    if (low < 0) {
+        while (i > 0) { i = i - 1; }
+    } else {
+        if (high >= 10) {
+            let j: int = high;
+            while (j > 0) { j = j - 1; }
+        } else {
+            tick(1);
+        }
+    }
+}
+";
+
+/// `nosecret_safe`: no secret input at all.
+pub const NOSECRET_SAFE: &str = "\
+fn nosecret_safe(low: int) {
+    let i: int = 0;
+    while (i < low) { i = i + 1; }
+}
+";
+
+/// `notaint_unsafe`: no attacker-controlled input, but a blatant secret
+/// imbalance.
+pub const NOTAINT_UNSAFE: &str = "\
+fn notaint_unsafe(high: int #high) {
+    if (high == 0) {
+        tick(50);
+    } else {
+        tick(1);
+    }
+}
+";
+
+/// `sanity_safe`: Example 1 from Sec. 2 — a secret branch whose two arms
+/// both take time linear in `low` with the same coefficient.
+pub const SANITY_SAFE: &str = "\
+fn sanity_safe(high: int #high, low: int) {
+    if (high == 0) {
+        let i: int = 0;
+        while (i < low) { i = i + 1; }
+    } else {
+        let i: int = low;
+        while (i > 0) { i = i - 1; }
+    }
+}
+";
+
+/// `sanity_unsafe`: one secret arm loops, the other is constant.
+pub const SANITY_UNSAFE: &str = "\
+fn sanity_unsafe(high: int #high, low: int) {
+    if (high == 0) {
+        let i: int = 0;
+        while (i < low) { i = i + 1; }
+    } else {
+        tick(1);
+    }
+}
+";
+
+/// `straightline_safe`: no branches; the secret flows through data only.
+pub const STRAIGHTLINE_SAFE: &str = "\
+fn straightline_safe(high: int #high, low: int) {
+    let a: int = low + 1;
+    let b: int = a * 2;
+    let c: int = high + b;
+    let d: int = c - high;
+    let e: int = d * d;
+}
+";
+
+/// `straightline_unsafe`: a secret branch between one large straight-line
+/// block (the paper notes a 90-instruction block) and a tiny one.
+pub const STRAIGHTLINE_UNSAFE: &str = "\
+fn straightline_unsafe(high: int #high, low: int) {
+    let t: int = low;
+    if (high == 0) {
+        t = t + 1; t = t + 2; t = t + 3; t = t + 4; t = t + 5;
+        t = t + 1; t = t + 2; t = t + 3; t = t + 4; t = t + 5;
+        t = t + 1; t = t + 2; t = t + 3; t = t + 4; t = t + 5;
+        t = t + 1; t = t + 2; t = t + 3; t = t + 4; t = t + 5;
+        t = t + 1; t = t + 2; t = t + 3; t = t + 4; t = t + 5;
+        t = t + 1; t = t + 2; t = t + 3; t = t + 4; t = t + 5;
+        t = t + 1; t = t + 2; t = t + 3; t = t + 4; t = t + 5;
+        t = t + 1; t = t + 2; t = t + 3; t = t + 4; t = t + 5;
+        t = t + 1; t = t + 2; t = t + 3; t = t + 4; t = t + 5;
+    } else {
+        t = t + 1;
+        t = t + 2;
+    }
+}
+";
+
+/// `unixlogin_safe`: the classic Unix login fix — hash the password whether
+/// or not the username exists, so both secret arms cost the same.
+pub const UNIXLOGIN_SAFE: &str = "\
+extern fn containsKey(u: array) -> bool #high cost 10;
+extern fn mapGet(u: array) -> array #high cost 10 len 16..16;
+extern fn md5(p: array) -> array cost 500 len 16..16;
+extern fn arrEquals(a: array, b: array) -> bool cost 16;
+
+fn unixlogin_safe(u: array, p: array) -> bool {
+    let outcome: bool = false;
+    let exists: bool = containsKey(u);
+    if (exists) {
+        let stored: array = mapGet(u);
+        let h: array = md5(p);
+        outcome = arrEquals(stored, h);
+    } else {
+        let dummy: array = mapGet(u);
+        let h2: array = md5(p);
+        let sink: bool = arrEquals(dummy, h2);
+    }
+    return outcome;
+}
+";
+
+/// `unixlogin_unsafe`: the original leak — the hash only runs when the
+/// username exists, so timing reveals valid usernames.
+pub const UNIXLOGIN_UNSAFE: &str = "\
+extern fn containsKey(u: array) -> bool #high cost 10;
+extern fn mapGet(u: array) -> array #high cost 10 len 16..16;
+extern fn md5(p: array) -> array cost 500 len 16..16;
+extern fn arrEquals(a: array, b: array) -> bool cost 16;
+
+fn unixlogin_unsafe(u: array, p: array) -> bool {
+    let outcome: bool = false;
+    let exists: bool = containsKey(u);
+    if (exists) {
+        let stored: array = mapGet(u);
+        let h: array = md5(p);
+        outcome = arrEquals(stored, h);
+    } else {
+        outcome = false;
+    }
+    return outcome;
+}
+";
+
+/// The 12 MicroBench entries in Table-1 order.
+pub fn benchmarks() -> Vec<Benchmark> {
+    vec![
+        micro("array_safe", "array_safe", ARRAY_SAFE, Expected::Safe),
+        micro("array_unsafe", "array_unsafe", ARRAY_UNSAFE, Expected::Attack),
+        micro("loopBranch_safe", "loopAndbranch_safe", LOOP_BRANCH_SAFE, Expected::Safe),
+        micro("loopBranch_unsafe", "loopAndbranch_unsafe", LOOP_BRANCH_UNSAFE, Expected::Attack),
+        micro("nosecret_safe", "nosecret_safe", NOSECRET_SAFE, Expected::Safe),
+        micro("notaint_unsafe", "notaint_unsafe", NOTAINT_UNSAFE, Expected::Attack),
+        micro("sanity_safe", "sanity_safe", SANITY_SAFE, Expected::Safe),
+        micro("sanity_unsafe", "sanity_unsafe", SANITY_UNSAFE, Expected::Attack),
+        micro("straightline_safe", "straightline_safe", STRAIGHTLINE_SAFE, Expected::Safe),
+        micro(
+            "straightline_unsafe",
+            "straightline_unsafe",
+            STRAIGHTLINE_UNSAFE,
+            Expected::Attack,
+        ),
+        micro("unixlogin_safe", "unixlogin_safe", UNIXLOGIN_SAFE, Expected::Safe),
+        micro("unixlogin_unsafe", "unixlogin_unsafe", UNIXLOGIN_UNSAFE, Expected::Attack),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_twelve_compile() {
+        for b in benchmarks() {
+            let _ = b.compile();
+        }
+        assert_eq!(benchmarks().len(), 12);
+    }
+}

@@ -1,0 +1,195 @@
+//! The 6 DARPA STAC challenge fragments.
+//!
+//! `modPow1_safe` appears verbatim in Fig. 3: square-and-multiply modular
+//! exponentiation over `java.math.BigInteger`, with the fix being a dummy
+//! multiply on the zero-bit arm. The secret exponent is modeled as its bit
+//! array; `BigInteger` arithmetic is modeled by extern calls with the
+//! manually-specified cost summaries the paper describes (Sec. 6.1 assumes
+//! 4096-bit operands).
+
+use crate::{Benchmark, Expected, Group};
+
+fn stac(name: &'static str, function: &'static str, source: &'static str, expected: Expected) -> Benchmark {
+    Benchmark { name, group: Group::Stac, function, source, expected }
+}
+
+/// `modPow1_safe` (Fig. 3): balanced square-and-multiply.
+pub const MODPOW1_SAFE: &str = "\
+extern fn mulMod(a: int, b: int, m: int) -> int cost 200;
+
+fn modPow1_safe(base: int, exponent: array #high, modulus: int) -> int {
+    let s: int = 1;
+    let width: int = len(exponent);
+    let i: int = 0;
+    while (i < width) {
+        s = mulMod(s, s, modulus);
+        let bit: int = exponent[width - i - 1];
+        if (bit == 1) {
+            s = mulMod(s, base, modulus);
+        } else {
+            let dummy: int = mulMod(s, base, modulus);
+        }
+        i = i + 1;
+    }
+    return s;
+}
+";
+
+/// `modPow1_unsafe`: the dummy multiply removed — each set bit of the
+/// secret exponent costs an extra multiplication.
+pub const MODPOW1_UNSAFE: &str = "\
+extern fn mulMod(a: int, b: int, m: int) -> int cost 200;
+
+fn modPow1_unsafe(base: int, exponent: array #high, modulus: int) -> int {
+    let s: int = 1;
+    let width: int = len(exponent);
+    let i: int = 0;
+    while (i < width) {
+        s = mulMod(s, s, modulus);
+        let bit: int = exponent[width - i - 1];
+        if (bit == 1) {
+            s = mulMod(s, base, modulus);
+        }
+        i = i + 1;
+    }
+    return s;
+}
+";
+
+/// `modPow2_safe`: a larger windowed variant with per-window table lookups;
+/// every secret branch is balanced.
+pub const MODPOW2_SAFE: &str = "\
+extern fn mulMod(a: int, b: int, m: int) -> int cost 200;
+extern fn tableLookup(t: array, idx: int) -> int cost 24;
+
+fn modPow2_safe(base: int, exponent: array #high, modulus: int, table: array) -> int {
+    let s: int = 1;
+    let width: int = len(exponent);
+    let i: int = 0;
+    while (i < width) {
+        let w: int = 0;
+        let j: int = 0;
+        while (j < 2) {
+            s = mulMod(s, s, modulus);
+            let bit: int = 0;
+            let idx: int = i + j;
+            if (idx < width) {
+                bit = exponent[idx];
+            } else {
+                bit = 0;
+            }
+            if (bit == 1) {
+                w = w * 2 + 1;
+            } else {
+                w = w * 2 + 0;
+            }
+            j = j + 1;
+        }
+        if (w > 0) {
+            let factor: int = tableLookup(table, w);
+            s = mulMod(s, factor, modulus);
+        } else {
+            let factor2: int = tableLookup(table, 1);
+            let dummy: int = mulMod(s, factor2, modulus);
+        }
+        i = i + 2;
+    }
+    return s;
+}
+";
+
+/// `modPow2_unsafe`: the windowed variant with the zero-window shortcut —
+/// secret-dependent multiplications and lookups.
+pub const MODPOW2_UNSAFE: &str = "\
+extern fn mulMod(a: int, b: int, m: int) -> int cost 200;
+extern fn tableLookup(t: array, idx: int) -> int cost 24;
+
+fn modPow2_unsafe(base: int, exponent: array #high, modulus: int, table: array) -> int {
+    let s: int = 1;
+    let width: int = len(exponent);
+    let i: int = 0;
+    while (i < width) {
+        let w: int = 0;
+        let j: int = 0;
+        while (j < 2) {
+            s = mulMod(s, s, modulus);
+            if (i + j < width) {
+                let bit: int = exponent[i + j];
+                if (bit == 1) {
+                    w = w * 2 + 1;
+                }
+            }
+            j = j + 1;
+        }
+        if (w > 0) {
+            let factor: int = tableLookup(table, w);
+            s = mulMod(s, factor, modulus);
+        }
+        i = i + 2;
+    }
+    return s;
+}
+";
+
+/// `pwdEqual_safe`: length-independent byte comparison — no early exit, and
+/// both mismatch arms cost the same.
+pub const PWDEQUAL_SAFE: &str = "\
+fn pwdEqual_safe(pw: array #high, guess: array) -> bool {
+    let ok: bool = true;
+    let i: int = 0;
+    while (i < len(guess)) {
+        if (i < len(pw)) {
+            if (guess[i] != pw[i]) {
+                ok = false;
+            } else {
+                let d: bool = true;
+            }
+        } else {
+            ok = false;
+            let d2: bool = true;
+        }
+        i = i + 1;
+    }
+    return ok;
+}
+";
+
+/// `pwdEqual_unsafe`: the Tenex bug — return on the first mismatch, so the
+/// running time reveals the length of the matching prefix.
+pub const PWDEQUAL_UNSAFE: &str = "\
+fn pwdEqual_unsafe(pw: array #high, guess: array) -> bool {
+    let i: int = 0;
+    while (i < len(guess)) {
+        if (i >= len(pw)) { return false; }
+        if (guess[i] != pw[i]) { return false; }
+        tick(4);
+        i = i + 1;
+    }
+    return true;
+}
+";
+
+/// The 6 STAC entries in Table-1 order.
+pub fn benchmarks() -> Vec<Benchmark> {
+    vec![
+        stac("modPow1_safe", "modPow1_safe", MODPOW1_SAFE, Expected::Safe),
+        stac("modPow1_unsafe", "modPow1_unsafe", MODPOW1_UNSAFE, Expected::Attack),
+        stac("modPow2_safe", "modPow2_safe", MODPOW2_SAFE, Expected::Safe),
+        stac("modPow2_unsafe", "modPow2_unsafe", MODPOW2_UNSAFE, Expected::Attack),
+        stac("pwdEqual_safe", "pwdEqual_safe", PWDEQUAL_SAFE, Expected::Safe),
+        stac("pwdEqual_unsafe", "pwdEqual_unsafe", PWDEQUAL_UNSAFE, Expected::Attack),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_six_compile() {
+        for b in benchmarks() {
+            let _ = b.compile();
+        }
+        assert_eq!(benchmarks().len(), 6);
+    }
+}

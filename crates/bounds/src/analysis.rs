@@ -1,0 +1,606 @@
+//! BOUNDANALYSIS: whole-trail symbolic running-time bounds.
+//!
+//! See the crate docs for the pipeline. The core recursion: a graph's loops
+//! (cyclic SCCs of the feasible subgraph) are summarized — iteration bounds
+//! from the lemma database × per-iteration body bounds from the loop's
+//! header-split copy — and the rest is a min/max dynamic program over the
+//! acyclic condensation.
+
+use crate::cost_expr::{CostExpr, Poly};
+use crate::extraction::{pick_best, symbolic_infs, symbolic_sups};
+use crate::lemmas::{backsubst_through_block, match_counter_lemmas, stay_ranking, IterationBounds};
+use blazer_absint::engine::{analyze, AnalysisResult};
+use blazer_absint::product::{ProductGraph, ProductNodeId};
+use blazer_absint::seeding::{header_split_graph, loop_transition_invariant};
+use blazer_absint::transfer::transfer_inst;
+use blazer_absint::DimMap;
+use blazer_domains::{AbstractDomain, LinExpr, Rat};
+use blazer_ir::cost::CostModel;
+use blazer_ir::{CallCost, Function, Inst, Program};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The outcome of bound analysis on one (trail-restricted) graph.
+#[derive(Debug, Clone)]
+pub struct BoundResult {
+    /// Symbolic lower bound on the cost of any complete trace, or `None`
+    /// when no trace reaches an accepted exit (the trail is empty).
+    pub lower: Option<CostExpr>,
+    /// Symbolic upper bound, or `None` when no bound could be established.
+    pub upper: Option<CostExpr>,
+}
+
+impl BoundResult {
+    /// Whether the analyzed language is empty (no complete executions).
+    pub fn is_empty_language(&self) -> bool {
+        self.lower.is_none()
+    }
+}
+
+/// Computes `[lower, upper]` symbolic cost bounds for all paths of `graph`
+/// from its entry to its accepted exits, starting from abstract state
+/// `init`.
+///
+/// `seeds` are the dimensions bounds may mention (the input seeds).
+pub fn graph_bounds<D: AbstractDomain>(
+    program: &Program,
+    f: &Function,
+    dims: &DimMap,
+    graph: &ProductGraph,
+    init: &D,
+    cost_model: &CostModel,
+    seeds: &BTreeSet<usize>,
+) -> BoundResult {
+    let prepared = prepare(program, f, dims, graph, init, cost_model, seeds, 0);
+    let (lower, upper) = dp(
+        program,
+        f,
+        dims,
+        graph,
+        &prepared,
+        cost_model,
+        seeds,
+        graph.exits(),
+    );
+    BoundResult { lower, upper }
+}
+
+/// Recursion-depth cap: benchmark programs nest a handful of loops; beyond
+/// this we give up (upper `None`) rather than risk runaway analysis.
+const MAX_LOOP_DEPTH: usize = 12;
+
+/// Everything computed once per graph: the fixpoint, edge feasibility, and
+/// loop summaries.
+struct Prepared<D> {
+    res: AnalysisResult<D>,
+    feasible: Vec<bool>,
+    /// `scc_of[node] = Some(scc index)`.
+    scc_of: Vec<Option<usize>>,
+    /// Per SCC: summary cost for each exit edge index.
+    exit_summaries: Vec<BTreeMap<usize, (CostExpr, Option<CostExpr>)>>,
+    /// Per SCC: whether entries are well-formed (single header).
+    wellformed: Vec<bool>,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn prepare<D: AbstractDomain>(
+    program: &Program,
+    f: &Function,
+    dims: &DimMap,
+    graph: &ProductGraph,
+    init: &D,
+    cost_model: &CostModel,
+    seeds: &BTreeSet<usize>,
+    depth: usize,
+) -> Prepared<D> {
+    let res = analyze(program, f, dims, graph, init.clone());
+    let feasible: Vec<bool> = (0..graph.edges().len())
+        .map(|ei| {
+            let e = &graph.edges()[ei];
+            !res.state(e.from).is_bottom() && res.edge_feasible(program, f, dims, graph, ei)
+        })
+        .collect();
+    let sccs = cyclic_sccs_feasible(graph, &feasible);
+    let mut scc_of = vec![None; graph.len()];
+    for (i, scc) in sccs.iter().enumerate() {
+        for n in scc {
+            scc_of[n.0] = Some(i);
+        }
+    }
+
+    let mut exit_summaries = Vec::with_capacity(sccs.len());
+    let mut wellformed = Vec::with_capacity(sccs.len());
+    for scc in &sccs {
+        let (summary, ok) = summarize_loop(
+            program, f, dims, graph, &res, &feasible, scc, cost_model, seeds, depth,
+        );
+        exit_summaries.push(summary);
+        wellformed.push(ok);
+    }
+    Prepared { res, feasible, scc_of, exit_summaries, wellformed }
+}
+
+/// Summarizes one loop: returns per-exit-edge cost summaries, whether the
+/// loop is well-formed (single-header), and its header.
+#[allow(clippy::too_many_arguments)]
+fn summarize_loop<D: AbstractDomain>(
+    program: &Program,
+    f: &Function,
+    dims: &DimMap,
+    graph: &ProductGraph,
+    res: &AnalysisResult<D>,
+    feasible: &[bool],
+    scc: &[ProductNodeId],
+    cost_model: &CostModel,
+    seeds: &BTreeSet<usize>,
+    depth: usize,
+) -> (BTreeMap<usize, (CostExpr, Option<CostExpr>)>, bool) {
+    // Feasible exit edges, and external entries.
+    let mut exit_edges = Vec::new();
+    let mut entry_targets = BTreeSet::new();
+    for (ei, e) in graph.edges().iter().enumerate() {
+        if !feasible[ei] {
+            continue;
+        }
+        let from_in = scc.contains(&e.from);
+        let to_in = scc.contains(&e.to);
+        if from_in && !to_in {
+            exit_edges.push(ei);
+        }
+        if !from_in && to_in {
+            entry_targets.insert(e.to);
+        }
+    }
+    if scc.contains(&graph.entry()) {
+        entry_targets.insert(graph.entry());
+    }
+    let unknown_summary = |exit_edges: &[usize]| {
+        exit_edges
+            .iter()
+            .map(|&ei| (ei, (CostExpr::zero(), None)))
+            .collect::<BTreeMap<_, _>>()
+    };
+    if entry_targets.len() != 1 || depth >= MAX_LOOP_DEPTH {
+        return (unknown_summary(&exit_edges), false);
+    }
+    let header = *entry_targets.iter().next().unwrap();
+
+    // Loop-entry state: join over external feasible in-edges (plus the
+    // graph init when the header is the entry — covered by res.state when
+    // entry == header, but entry is never inside an SCC for our lowering).
+    let mut entry_state = D::bottom(dims.n_dims());
+    for (ei, e) in graph.edges().iter().enumerate() {
+        if feasible[ei] && e.to == header && !scc.contains(&e.from) {
+            entry_state = entry_state.join(&res.edge_output(program, f, dims, graph, ei));
+        }
+    }
+
+    // Iteration bounds from the header guard. The transition invariant
+    // usually only needs difference facts (per-iteration deltas), so it is
+    // first computed in the fast zone domain; when that fails to bound the
+    // iterations (e.g. multiplicative counter updates, whose deltas are not
+    // octagonal), it is recomputed in the analysis domain.
+    let head_state = res.state(header);
+    let temp_dim = dims.n_dims() + dims.n_vars() + 8;
+    let guard_is_sole_exit = exit_edges
+        .iter()
+        .all(|&ei| graph.edges()[ei].from == header);
+    let mut iter_bounds = IterationBounds::unknown();
+    let ranking = graph
+        .node(header)
+        .cfg_node
+        .as_block(f.blocks().len().max(1))
+        .filter(|b| b.index() < f.blocks().len())
+        .and_then(|hblock| {
+            let blazer_ir::Terminator::Branch { cond, .. } = &f.block(hblock).term else {
+                return None;
+            };
+            // The arm that stays inside the SCC defines the ranking.
+            let stay_taken = graph.succ_edges(header).iter().find_map(|&ei| {
+                let e = &graph.edges()[ei];
+                if feasible[ei] && scc.contains(&e.to) {
+                    e.cond.as_ref().map(|(_, taken)| *taken)
+                } else {
+                    None
+                }
+            })?;
+            let r_post = stay_ranking(dims, cond, stay_taken)?;
+            backsubst_through_block(f, dims, hblock, &r_post)
+        });
+    if let Some(ranking) = &ranking {
+        let zone_head = {
+            let mut z = blazer_domains::Zone::top(dims.n_dims());
+            for c in head_state.to_polyhedron().constraints() {
+                z.meet_constraint(c);
+            }
+            z
+        };
+        let ti = loop_transition_invariant(program, f, graph, scc, header, &zone_head);
+        iter_bounds = match_counter_lemmas(
+            ranking,
+            &entry_state.to_polyhedron(),
+            &ti,
+            guard_is_sole_exit,
+            seeds,
+            temp_dim,
+        );
+        if iter_bounds.upper.is_none() {
+            // Zone deltas were too weak: retry in the analysis domain.
+            let ti = loop_transition_invariant(program, f, graph, scc, header, head_state);
+            iter_bounds = match_counter_lemmas(
+                ranking,
+                &entry_state.to_polyhedron(),
+                &ti,
+                guard_is_sole_exit,
+                seeds,
+                temp_dim,
+            );
+        }
+    }
+
+    // One-iteration body bounds via the header-split graph.
+    let (split, sink) = header_split_graph(graph, scc, header);
+    let split_prepared = prepare(
+        program, f, dims, &split, head_state, cost_model, seeds, depth + 1,
+    );
+    let (body_lo, body_hi) = dp(
+        program, f, dims, &split, &split_prepared, cost_model, seeds, &[sink],
+    );
+    let (iter_lo, iter_hi, body_lo, body_hi) = match body_lo {
+        // No feasible complete iteration: zero iterations ever complete.
+        None => (
+            CostExpr::zero(),
+            Some(CostExpr::zero()),
+            CostExpr::zero(),
+            Some(CostExpr::zero()),
+        ),
+        Some(lo) => (iter_bounds.lower, iter_bounds.upper, lo, body_hi),
+    };
+    let loop_lo = iter_lo.mul_nonneg(body_lo);
+    let loop_hi = match (&iter_hi, &body_hi) {
+        (Some(i), Some(b)) => Some(i.clone().mul_nonneg(b.clone())),
+        _ => None,
+    };
+
+    // Per-exit-edge summaries: loop cost + partial path to the exit source
+    // + the exit source's own block cost.
+    let mut summaries = BTreeMap::new();
+    for &ei in &exit_edges {
+        let u = graph.edges()[ei].from;
+        let (partial_lo, partial_hi) = if u == header {
+            (Some(CostExpr::zero()), Some(CostExpr::zero()))
+        } else {
+            match scc.iter().position(|&n| n == u) {
+                // The exit source may sit inside an inner loop of the split
+                // graph; dp handles that only for plain targets.
+                Some(pos) => dp(
+                    program,
+                    f,
+                    dims,
+                    &split,
+                    &split_prepared,
+                    cost_model,
+                    seeds,
+                    &[ProductNodeId(pos)],
+                ),
+                None => (Some(CostExpr::zero()), None),
+            }
+        };
+        let (ub_lo, ub_hi) = node_block_cost(program, f, dims, graph, &res.state(u).clone(), u, cost_model, seeds);
+        let lo = loop_lo
+            .clone()
+            .add2(partial_lo.unwrap_or_else(CostExpr::zero))
+            .add2(ub_lo);
+        let hi = match (&loop_hi, partial_hi, ub_hi) {
+            (Some(l), Some(p), Some(u)) => Some(l.clone().add2(p).add2(u)),
+            _ => None,
+        };
+        summaries.insert(ei, (lo, hi));
+    }
+    (summaries, true)
+}
+
+/// Min/max path cost from the graph entry to any of `targets` over the
+/// collapsed (loop-summarized) DAG. Returns `(lower, upper)`; lower `None`
+/// means no target is reachable; upper `None` means unbounded/unknown.
+#[allow(clippy::too_many_arguments)]
+fn dp<D: AbstractDomain>(
+    program: &Program,
+    f: &Function,
+    dims: &DimMap,
+    graph: &ProductGraph,
+    prepared: &Prepared<D>,
+    cost_model: &CostModel,
+    seeds: &BTreeSet<usize>,
+    targets: &[ProductNodeId],
+) -> (Option<CostExpr>, Option<CostExpr>) {
+    // Representative of a node in the condensation.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+    enum Rep {
+        Node(usize),
+        Scc(usize),
+    }
+    let rep_of = |n: ProductNodeId| match prepared.scc_of[n.0] {
+        Some(s) => Rep::Scc(s),
+        None => Rep::Node(n.0),
+    };
+
+    // A target inside an SCC is only supported when it is that SCC's
+    // header reached with zero completed iterations — too imprecise to
+    // model here, so we bail with unknown upper (sound lower = 0 via the
+    // entry short-circuit below when applicable).
+    for &t in targets {
+        if prepared.scc_of[t.0].is_some() {
+            // Conservative: reachable with unknown bounds if the SCC is
+            // reachable at all; we only report a sound trivial result.
+            return (Some(CostExpr::zero()), None);
+        }
+    }
+
+    // Collapsed edges: (from rep, to rep, lower cost, upper cost).
+    let mut cedges: Vec<(Rep, Rep, CostExpr, Option<CostExpr>)> = Vec::new();
+    for (ei, e) in graph.edges().iter().enumerate() {
+        if !prepared.feasible[ei] {
+            continue;
+        }
+        let from_scc = prepared.scc_of[e.from.0];
+        let to_scc = prepared.scc_of[e.to.0];
+        match (from_scc, to_scc) {
+            (Some(s1), Some(s2)) if s1 == s2 => continue, // internal
+            (Some(s), _) => {
+                let (lo, hi) = prepared.exit_summaries[s]
+                    .get(&ei)
+                    .cloned()
+                    .unwrap_or((CostExpr::zero(), None));
+                let hi = if prepared.wellformed[s] { hi } else { None };
+                cedges.push((Rep::Scc(s), rep_of(e.to), lo, hi));
+            }
+            (None, _) => {
+                let (lo, hi) = node_block_cost(
+                    program,
+                    f,
+                    dims,
+                    graph,
+                    &prepared.res.state(e.from).clone(),
+                    e.from,
+                    cost_model,
+                    seeds,
+                );
+                cedges.push((Rep::Node(e.from.0), rep_of(e.to), lo, hi));
+            }
+        }
+    }
+
+    // Topological order of the condensation (it is acyclic).
+    let mut reps: BTreeSet<Rep> = cedges.iter().flat_map(|(a, b, _, _)| [*a, *b]).collect();
+    reps.insert(rep_of(graph.entry()));
+    for &t in targets {
+        reps.insert(rep_of(t));
+    }
+    let mut succ: BTreeMap<Rep, Vec<usize>> = BTreeMap::new();
+    for (i, (a, _, _, _)) in cedges.iter().enumerate() {
+        succ.entry(*a).or_default().push(i);
+    }
+    let order = topo_order(&reps, &cedges);
+
+    let target_reps: BTreeSet<Rep> = targets.iter().map(|&t| rep_of(t)).collect();
+    let mut lower: BTreeMap<Rep, CostExpr> = BTreeMap::new();
+    let mut upper: BTreeMap<Rep, Option<CostExpr>> = BTreeMap::new();
+    for &r in order.iter().rev() {
+        if target_reps.contains(&r) {
+            lower.insert(r, CostExpr::zero());
+            upper.insert(r, Some(CostExpr::zero()));
+            continue;
+        }
+        let mut lo_acc: Option<CostExpr> = None;
+        let mut hi_acc: Option<Option<CostExpr>> = None;
+        for &ei in succ.get(&r).map(|v| v.as_slice()).unwrap_or(&[]) {
+            let (_, to, elo, ehi) = &cedges[ei];
+            let Some(tlo) = lower.get(to) else { continue };
+            let cand_lo = elo.clone().add2(tlo.clone());
+            lo_acc = Some(match lo_acc {
+                None => cand_lo,
+                Some(acc) => acc.min2(cand_lo),
+            });
+            let cand_hi = match (ehi, upper.get(to).cloned().flatten()) {
+                (Some(e), Some(t)) => Some(e.clone().add2(t)),
+                _ => None,
+            };
+            hi_acc = Some(match (hi_acc, cand_hi) {
+                (None, c) => c,
+                (Some(None), _) | (Some(_), None) => None,
+                (Some(Some(acc)), Some(c)) => Some(acc.max2(c)),
+            });
+        }
+        if let Some(lo) = lo_acc {
+            lower.insert(r, lo);
+            upper.insert(r, hi_acc.flatten());
+        }
+    }
+
+    let er = rep_of(graph.entry());
+    (lower.get(&er).cloned(), upper.get(&er).cloned().flatten())
+}
+
+fn topo_order<Rep: Copy + Ord>(
+    reps: &BTreeSet<Rep>,
+    cedges: &[(Rep, Rep, CostExpr, Option<CostExpr>)],
+) -> Vec<Rep> {
+    // Kahn's algorithm; the condensation is acyclic by construction.
+    let mut indeg: BTreeMap<Rep, usize> = reps.iter().map(|&r| (r, 0)).collect();
+    for (a, b, _, _) in cedges {
+        if a != b {
+            *indeg.get_mut(b).unwrap() += 1;
+        }
+    }
+    let mut queue: Vec<Rep> = indeg
+        .iter()
+        .filter(|(_, &d)| d == 0)
+        .map(|(&r, _)| r)
+        .collect();
+    let mut order = Vec::new();
+    let mut qi = 0;
+    while qi < queue.len() {
+        let r = queue[qi];
+        qi += 1;
+        order.push(r);
+        for (a, b, _, _) in cedges {
+            if *a == r && a != b {
+                let d = indeg.get_mut(b).unwrap();
+                *d -= 1;
+                if *d == 0 {
+                    queue.push(*b);
+                }
+            }
+        }
+    }
+    order
+}
+
+/// The cost range of executing one node's block (instructions plus
+/// terminator). Linear call summaries become symbolic bounds over the
+/// seeds; everything else is constant.
+#[allow(clippy::too_many_arguments)]
+fn node_block_cost<D: AbstractDomain>(
+    program: &Program,
+    f: &Function,
+    dims: &DimMap,
+    graph: &ProductGraph,
+    state: &D,
+    node: ProductNodeId,
+    cost_model: &CostModel,
+    seeds: &BTreeSet<usize>,
+) -> (CostExpr, Option<CostExpr>) {
+    let Some(bid) = graph
+        .node(node)
+        .cfg_node
+        .as_block(f.blocks().len().max(1))
+        .filter(|b| b.index() < f.blocks().len())
+    else {
+        return (CostExpr::zero(), Some(CostExpr::zero()));
+    };
+    let mut cur = state.clone();
+    let mut lo = CostExpr::zero();
+    let mut hi: Option<CostExpr> = Some(CostExpr::zero());
+    let temp_dim = dims.n_dims() + dims.n_vars() + 16;
+    for inst in &f.block(bid).insts {
+        match cost_model.inst_cost(inst) {
+            Ok(c) | Err(CallCost::Const(c)) => {
+                let c = CostExpr::constant(Rat::int(c as i128));
+                lo = lo.add2(c.clone());
+                hi = hi.map(|h| h.add2(c));
+            }
+            Err(CallCost::Linear { arg, coeff, constant }) => {
+                // cost = coeff·max(arg, 0) + constant.
+                let Inst::Call { args, .. } = inst else { unreachable!() };
+                let expr = match args.get(arg) {
+                    Some(op) => blazer_absint::transfer::linearize_operand(dims, *op),
+                    None => LinExpr::zero(),
+                };
+                let k = Rat::int(coeff as i128);
+                let c0 = Rat::int(constant as i128);
+                let poly = cur.to_polyhedron();
+                // Lower: coeff·max(inf(arg), 0) + constant.
+                let arg_lo = pick_best(symbolic_infs(&poly, &expr, seeds, temp_dim), false);
+                let add_lo = match arg_lo {
+                    Some(b) => CostExpr::poly(Poly::from_linexpr(&b))
+                        .clamp_nonneg()
+                        .mul_nonneg(CostExpr::constant(k))
+                        .add2(CostExpr::constant(c0)),
+                    None => CostExpr::constant(c0),
+                };
+                lo = lo.add2(add_lo);
+                // Upper: coeff·max(sup(arg), 0) + constant.
+                let arg_hi = pick_best(symbolic_sups(&poly, &expr, seeds, temp_dim), true);
+                hi = match (hi, arg_hi) {
+                    (Some(h), Some(b)) => Some(
+                        h.add2(
+                            CostExpr::poly(Poly::from_linexpr(&b))
+                                .clamp_nonneg()
+                                .mul_nonneg(CostExpr::constant(k))
+                                .add2(CostExpr::constant(c0)),
+                        ),
+                    ),
+                    _ => None,
+                };
+            }
+        }
+        transfer_inst(program, f, dims, inst, &mut cur);
+    }
+    let t = CostExpr::constant(Rat::int(cost_model.term_cost(&f.block(bid).term) as i128));
+    lo = lo.add2(t.clone());
+    hi = hi.map(|h| h.add2(t));
+    (lo, hi)
+}
+
+/// Cyclic SCCs of the subgraph of feasible edges.
+fn cyclic_sccs_feasible(graph: &ProductGraph, feasible: &[bool]) -> Vec<Vec<ProductNodeId>> {
+    // Tarjan over filtered adjacency.
+    let n = graph.len();
+    let succs: Vec<Vec<usize>> = (0..n)
+        .map(|i| {
+            graph
+                .succ_edges(ProductNodeId(i))
+                .iter()
+                .copied()
+                .filter(|&ei| feasible[ei])
+                .map(|ei| graph.edges()[ei].to.0)
+                .collect()
+        })
+        .collect();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next = 0usize;
+    let mut out: Vec<Vec<ProductNodeId>> = Vec::new();
+    for root in 0..n {
+        if index[root] != usize::MAX {
+            continue;
+        }
+        let mut frames: Vec<(usize, usize)> = vec![(root, 0)];
+        index[root] = next;
+        low[root] = next;
+        next += 1;
+        stack.push(root);
+        on_stack[root] = true;
+        while let Some(&mut (v, ref mut pos)) = frames.last_mut() {
+            if *pos < succs[v].len() {
+                let w = succs[v][*pos];
+                *pos += 1;
+                if index[w] == usize::MAX {
+                    index[w] = next;
+                    low[w] = next;
+                    next += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    frames.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                if low[v] == index[v] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().unwrap();
+                        on_stack[w] = false;
+                        comp.push(ProductNodeId(w));
+                        if w == v {
+                            break;
+                        }
+                    }
+                    let cyclic =
+                        comp.len() > 1 || succs[v].contains(&v);
+                    if cyclic {
+                        comp.sort();
+                        out.push(comp);
+                    }
+                }
+                let (fin, _) = frames.pop().unwrap();
+                if let Some(&mut (p, _)) = frames.last_mut() {
+                    low[p] = low[p].min(low[fin]);
+                }
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,737 @@
+//! Symbolic cost expressions: multivariate polynomials with max/min nodes.
+
+use blazer_domains::{LinExpr, Rat};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A monomial: a product of dimension powers, e.g. `x0²·x3`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Monomial(Vec<(usize, u32)>);
+
+impl Monomial {
+    /// The empty monomial (the constant 1).
+    pub fn one() -> Self {
+        Monomial(Vec::new())
+    }
+
+    /// A single variable.
+    pub fn var(dim: usize) -> Self {
+        Monomial(vec![(dim, 1)])
+    }
+
+    /// Product of two monomials.
+    pub fn mul(&self, other: &Monomial) -> Monomial {
+        let mut powers: BTreeMap<usize, u32> = self.0.iter().copied().collect();
+        for &(d, p) in &other.0 {
+            *powers.entry(d).or_insert(0) += p;
+        }
+        Monomial(powers.into_iter().collect())
+    }
+
+    /// Total degree.
+    pub fn degree(&self) -> u32 {
+        self.0.iter().map(|&(_, p)| p).sum()
+    }
+
+    /// Dimensions mentioned.
+    pub fn dims(&self) -> impl Iterator<Item = usize> + '_ {
+        self.0.iter().map(|&(d, _)| d)
+    }
+
+    /// Evaluation under an assignment.
+    pub fn eval(&self, value_of: &dyn Fn(usize) -> Rat) -> Rat {
+        let mut acc = Rat::ONE;
+        for &(d, p) in &self.0 {
+            let v = value_of(d);
+            for _ in 0..p {
+                acc = acc * v;
+            }
+        }
+        acc
+    }
+}
+
+impl fmt::Display for Monomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_empty() {
+            return f.write_str("1");
+        }
+        for (i, &(d, p)) in self.0.iter().enumerate() {
+            if i > 0 {
+                f.write_str("·")?;
+            }
+            if p == 1 {
+                write!(f, "x{d}")?;
+            } else {
+                write!(f, "x{d}^{p}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A multivariate polynomial with rational coefficients.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Poly {
+    /// Non-zero terms only.
+    terms: BTreeMap<Monomial, Rat>,
+}
+
+impl Poly {
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        Poly::default()
+    }
+
+    /// A constant.
+    pub fn constant(k: Rat) -> Self {
+        let mut p = Poly::zero();
+        p.add_term(Monomial::one(), k);
+        p
+    }
+
+    /// A single variable.
+    pub fn var(dim: usize) -> Self {
+        let mut p = Poly::zero();
+        p.add_term(Monomial::var(dim), Rat::ONE);
+        p
+    }
+
+    /// Lifts a linear expression.
+    pub fn from_linexpr(e: &LinExpr) -> Self {
+        let mut p = Poly::constant(e.constant_part());
+        for (d, c) in e.terms() {
+            p.add_term(Monomial::var(d), c);
+        }
+        p
+    }
+
+    fn add_term(&mut self, m: Monomial, c: Rat) {
+        if c.is_zero() {
+            return;
+        }
+        let entry = self.terms.entry(m.clone()).or_insert(Rat::ZERO);
+        *entry = *entry + c;
+        if entry.is_zero() {
+            self.terms.remove(&m);
+        }
+    }
+
+    /// Sum.
+    pub fn add(&self, other: &Poly) -> Poly {
+        let mut out = self.clone();
+        for (m, &c) in &other.terms {
+            out.add_term(m.clone(), c);
+        }
+        out
+    }
+
+    /// Difference.
+    pub fn sub(&self, other: &Poly) -> Poly {
+        self.add(&other.scale(-Rat::ONE))
+    }
+
+    /// Scalar multiple.
+    pub fn scale(&self, k: Rat) -> Poly {
+        if k.is_zero() {
+            return Poly::zero();
+        }
+        Poly { terms: self.terms.iter().map(|(m, &c)| (m.clone(), c * k)).collect() }
+    }
+
+    /// Product.
+    pub fn mul(&self, other: &Poly) -> Poly {
+        let mut out = Poly::zero();
+        for (m1, &c1) in &self.terms {
+            for (m2, &c2) in &other.terms {
+                out.add_term(m1.mul(m2), c1 * c2);
+            }
+        }
+        out
+    }
+
+    /// Evaluation under an assignment.
+    pub fn eval(&self, value_of: &dyn Fn(usize) -> Rat) -> Rat {
+        let mut acc = Rat::ZERO;
+        for (m, &c) in &self.terms {
+            acc += c * m.eval(value_of);
+        }
+        acc
+    }
+
+    /// Total degree (0 for constants, including the zero polynomial).
+    pub fn degree(&self) -> u32 {
+        self.terms.keys().map(Monomial::degree).max().unwrap_or(0)
+    }
+
+    /// Dimensions mentioned.
+    pub fn dims(&self) -> BTreeSet<usize> {
+        self.terms.keys().flat_map(|m| m.dims().collect::<Vec<_>>()).collect()
+    }
+
+    /// Whether the polynomial is a constant; returns it if so.
+    pub fn as_constant(&self) -> Option<Rat> {
+        match self.terms.len() {
+            0 => Some(Rat::ZERO),
+            1 => {
+                let (m, &c) = self.terms.iter().next().unwrap();
+                (*m == Monomial::one()).then_some(c)
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether `self - other` is a non-negative constant (used to collapse
+    /// comparable alternatives inside max/min).
+    pub fn dominates_by_constant(&self, other: &Poly) -> bool {
+        self.sub(other).as_constant().is_some_and(|c| c >= Rat::ZERO)
+    }
+}
+
+impl fmt::Display for Poly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.terms.is_empty() {
+            return f.write_str("0");
+        }
+        let mut first = true;
+        for (m, c) in self.terms.iter().rev() {
+            if first {
+                first = false;
+                if *m == Monomial::one() {
+                    write!(f, "{c}")?;
+                } else if *c == Rat::ONE {
+                    write!(f, "{m}")?;
+                } else {
+                    write!(f, "{c}·{m}")?;
+                }
+            } else {
+                let (sign, mag) = if c.is_negative() { (" - ", -*c) } else { (" + ", *c) };
+                f.write_str(sign)?;
+                if *m == Monomial::one() {
+                    write!(f, "{mag}")?;
+                } else if mag == Rat::ONE {
+                    write!(f, "{m}")?;
+                } else {
+                    write!(f, "{mag}·{m}")?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A symbolic cost: polynomials composed with max, min, sums, and products
+/// of non-negative factors.
+///
+/// Built by the smart constructors, which collapse polynomial-only cases so
+/// that typical bounds print as plain polynomials like `23·g.len + 10`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CostExpr {
+    /// A polynomial over input-seed dimensions.
+    Poly(Poly),
+    /// Pointwise maximum of alternatives.
+    Max(Vec<CostExpr>),
+    /// Pointwise minimum of alternatives.
+    Min(Vec<CostExpr>),
+    /// Sum of terms.
+    Add(Vec<CostExpr>),
+    /// Product of two factors that are non-negative for all relevant
+    /// inputs (iteration counts and per-iteration costs by construction).
+    MulNonneg(Box<CostExpr>, Box<CostExpr>),
+    /// Negation (only produced by [`CostExpr::sub`]; never appears in
+    /// bounds themselves).
+    Neg(Box<CostExpr>),
+    /// `⌊log₂(max(e, 1))⌋` — produced by the halving lemma for geometric
+    /// loops.
+    Log2(Box<CostExpr>),
+}
+
+impl CostExpr {
+    /// The zero cost.
+    pub fn zero() -> Self {
+        CostExpr::Poly(Poly::zero())
+    }
+
+    /// A constant cost.
+    pub fn constant(k: Rat) -> Self {
+        CostExpr::Poly(Poly::constant(k))
+    }
+
+    /// A polynomial cost.
+    pub fn poly(p: Poly) -> Self {
+        CostExpr::Poly(p)
+    }
+
+    /// `max(self, other)`, collapsing comparable polynomials.
+    pub fn max2(self, other: CostExpr) -> CostExpr {
+        if self == other {
+            return self;
+        }
+        if let (CostExpr::Poly(a), CostExpr::Poly(b)) = (&self, &other) {
+            if a.dominates_by_constant(b) {
+                return self;
+            }
+            if b.dominates_by_constant(a) {
+                return other;
+            }
+        }
+        let mut items = Vec::new();
+        for e in [self, other] {
+            match e {
+                CostExpr::Max(v) => items.extend(v),
+                e => items.push(e),
+            }
+        }
+        items.dedup();
+        if items.len() == 1 {
+            items.pop().unwrap()
+        } else {
+            CostExpr::Max(items)
+        }
+    }
+
+    /// `min(self, other)`, collapsing comparable polynomials.
+    pub fn min2(self, other: CostExpr) -> CostExpr {
+        if self == other {
+            return self;
+        }
+        if let (CostExpr::Poly(a), CostExpr::Poly(b)) = (&self, &other) {
+            if a.dominates_by_constant(b) {
+                return other;
+            }
+            if b.dominates_by_constant(a) {
+                return self;
+            }
+        }
+        let mut items = Vec::new();
+        for e in [self, other] {
+            match e {
+                CostExpr::Min(v) => items.extend(v),
+                e => items.push(e),
+            }
+        }
+        items.dedup();
+        if items.len() == 1 {
+            items.pop().unwrap()
+        } else {
+            CostExpr::Min(items)
+        }
+    }
+
+    /// `⌊log₂(max(self, 1))⌋`, collapsing constants.
+    pub fn log2(self) -> CostExpr {
+        if let Some(c) = self.as_constant() {
+            let n = c.floor().max(1);
+            let mut bits = 0i128;
+            let mut v = n;
+            while v > 1 {
+                v /= 2;
+                bits += 1;
+            }
+            return CostExpr::constant(Rat::int(bits));
+        }
+        CostExpr::Log2(Box::new(self))
+    }
+
+    /// `max(0, self)` — used for iteration counts.
+    pub fn clamp_nonneg(self) -> CostExpr {
+        if let CostExpr::Poly(p) = &self {
+            if let Some(c) = p.as_constant() {
+                return CostExpr::constant(c.max(Rat::ZERO));
+            }
+        }
+        CostExpr::zero().max2(self)
+    }
+
+    /// Sum, merging polynomial parts.
+    pub fn add2(self, other: CostExpr) -> CostExpr {
+        let mut polys = Poly::zero();
+        let mut rest: Vec<CostExpr> = Vec::new();
+        for e in [self, other] {
+            match e {
+                CostExpr::Poly(p) => polys = polys.add(&p),
+                CostExpr::Add(v) => {
+                    for t in v {
+                        match t {
+                            CostExpr::Poly(p) => polys = polys.add(&p),
+                            t => rest.push(t),
+                        }
+                    }
+                }
+                e => rest.push(e),
+            }
+        }
+        if rest.is_empty() {
+            return CostExpr::Poly(polys);
+        }
+        if polys != Poly::zero() {
+            rest.insert(0, CostExpr::Poly(polys));
+        }
+        if rest.len() == 1 {
+            rest.pop().unwrap()
+        } else {
+            CostExpr::Add(rest)
+        }
+    }
+
+    /// Product of two non-negative costs, collapsing polynomial factors and
+    /// distributing over max/min (valid because both sides are ≥ 0).
+    pub fn mul_nonneg(self, other: CostExpr) -> CostExpr {
+        match (&self, &other) {
+            (CostExpr::Poly(a), CostExpr::Poly(b)) => return CostExpr::Poly(a.mul(b)),
+            (CostExpr::Poly(p), _) | (_, CostExpr::Poly(p)) => {
+                if let Some(c) = p.as_constant() {
+                    if c.is_zero() {
+                        return CostExpr::zero();
+                    }
+                    if c == Rat::ONE {
+                        return if matches!(self, CostExpr::Poly(_)) { other } else { self };
+                    }
+                }
+            }
+            _ => {}
+        }
+        // Distribute a max/min over the other (non-negative) factor.
+        match self {
+            CostExpr::Max(items) => {
+                return items
+                    .into_iter()
+                    .map(|e| e.mul_nonneg(other.clone()))
+                    .reduce(CostExpr::max2)
+                    .unwrap_or_else(CostExpr::zero)
+            }
+            CostExpr::Min(items) => {
+                return items
+                    .into_iter()
+                    .map(|e| e.mul_nonneg(other.clone()))
+                    .reduce(CostExpr::min2)
+                    .unwrap_or_else(CostExpr::zero)
+            }
+            _ => {}
+        }
+        match other {
+            CostExpr::Max(items) => items
+                .into_iter()
+                .map(|e| self.clone().mul_nonneg(e))
+                .reduce(CostExpr::max2)
+                .unwrap_or_else(CostExpr::zero),
+            CostExpr::Min(items) => items
+                .into_iter()
+                .map(|e| self.clone().mul_nonneg(e))
+                .reduce(CostExpr::min2)
+                .unwrap_or_else(CostExpr::zero),
+            other => CostExpr::MulNonneg(Box::new(self), Box::new(other)),
+        }
+    }
+
+    /// Negation.
+    pub fn neg(self) -> CostExpr {
+        match self {
+            CostExpr::Poly(p) => CostExpr::Poly(p.scale(-Rat::ONE)),
+            CostExpr::Neg(e) => *e,
+            CostExpr::Add(v) => CostExpr::Add(v.into_iter().map(CostExpr::neg).collect()),
+            e => CostExpr::Neg(Box::new(e)),
+        }
+    }
+
+    /// `self - other` with syntactic cancellation of shared terms.
+    ///
+    /// This is what lets the narrowness check conclude that an upper and
+    /// lower bound sharing the same (possibly secret-dependent) loop term
+    /// differ only by a constant.
+    pub fn sub(&self, other: &CostExpr) -> CostExpr {
+        fn terms(e: &CostExpr) -> Vec<CostExpr> {
+            match e {
+                CostExpr::Add(v) => v.clone(),
+                e => vec![e.clone()],
+            }
+        }
+        let mut lhs = terms(self);
+        let mut rhs = terms(other);
+        lhs.retain(|t| {
+            if let Some(i) = rhs.iter().position(|u| u == t) {
+                rhs.remove(i);
+                false
+            } else {
+                true
+            }
+        });
+        let mut acc = CostExpr::zero();
+        for t in lhs {
+            acc = acc.add2(t);
+        }
+        for t in rhs {
+            acc = acc.add2(t.neg());
+        }
+        acc
+    }
+
+    /// Evaluation under an assignment of dimensions.
+    pub fn eval(&self, value_of: &dyn Fn(usize) -> Rat) -> Rat {
+        match self {
+            CostExpr::Poly(p) => p.eval(value_of),
+            CostExpr::Max(v) => v
+                .iter()
+                .map(|e| e.eval(value_of))
+                .reduce(Rat::max)
+                .unwrap_or(Rat::ZERO),
+            CostExpr::Min(v) => v
+                .iter()
+                .map(|e| e.eval(value_of))
+                .reduce(Rat::min)
+                .unwrap_or(Rat::ZERO),
+            CostExpr::Add(v) => v
+                .iter()
+                .map(|e| e.eval(value_of))
+                .fold(Rat::ZERO, |a, b| a + b),
+            CostExpr::MulNonneg(a, b) => a.eval(value_of) * b.eval(value_of),
+            CostExpr::Neg(e) => -e.eval(value_of),
+            CostExpr::Log2(e) => {
+                let mut v = e.eval(value_of).floor().max(1);
+                let mut bits = 0i128;
+                while v > 1 {
+                    v /= 2;
+                    bits += 1;
+                }
+                Rat::int(bits)
+            }
+        }
+    }
+
+    /// Total polynomial degree (max over branches).
+    pub fn degree(&self) -> u32 {
+        match self {
+            CostExpr::Poly(p) => p.degree(),
+            CostExpr::Max(v) | CostExpr::Min(v) | CostExpr::Add(v) => {
+                v.iter().map(CostExpr::degree).max().unwrap_or(0)
+            }
+            CostExpr::MulNonneg(a, b) => a.degree() + b.degree(),
+            CostExpr::Neg(e) => e.degree(),
+            // Logarithms are sublinear; degree 0 matches the degree
+            // observer's intent (log n ≺ n).
+            CostExpr::Log2(_) => 0,
+        }
+    }
+
+    /// All dimensions mentioned.
+    pub fn dims(&self) -> BTreeSet<usize> {
+        match self {
+            CostExpr::Poly(p) => p.dims(),
+            CostExpr::Max(v) | CostExpr::Min(v) | CostExpr::Add(v) => {
+                v.iter().flat_map(CostExpr::dims).collect()
+            }
+            CostExpr::MulNonneg(a, b) => {
+                let mut d = a.dims();
+                d.extend(b.dims());
+                d
+            }
+            CostExpr::Neg(e) => e.dims(),
+            CostExpr::Log2(e) => e.dims(),
+        }
+    }
+
+    /// The constant value, if this expression is a constant.
+    pub fn as_constant(&self) -> Option<Rat> {
+        match self {
+            CostExpr::Poly(p) => p.as_constant(),
+            _ => None,
+        }
+    }
+
+    /// Renders the expression with dimension names from `name_of`.
+    pub fn display_with(&self, name_of: &dyn Fn(usize) -> String) -> String {
+        fn go(e: &CostExpr, name_of: &dyn Fn(usize) -> String) -> String {
+            match e {
+                CostExpr::Poly(p) => {
+                    let s = p.to_string();
+                    // Rewrite xN tokens with names.
+                    let mut out = String::new();
+                    let mut chars = s.chars().peekable();
+                    while let Some(c) = chars.next() {
+                        if c == 'x' {
+                            let mut num = String::new();
+                            while let Some(d) = chars.peek().filter(|d| d.is_ascii_digit()) {
+                                num.push(*d);
+                                chars.next();
+                            }
+                            if num.is_empty() {
+                                out.push('x');
+                            } else {
+                                out.push_str(&name_of(num.parse().unwrap()));
+                            }
+                        } else {
+                            out.push(c);
+                        }
+                    }
+                    out
+                }
+                CostExpr::Max(v) => format!(
+                    "max({})",
+                    v.iter().map(|e| go(e, name_of)).collect::<Vec<_>>().join(", ")
+                ),
+                CostExpr::Min(v) => format!(
+                    "min({})",
+                    v.iter().map(|e| go(e, name_of)).collect::<Vec<_>>().join(", ")
+                ),
+                CostExpr::Add(v) => v
+                    .iter()
+                    .map(|e| go(e, name_of))
+                    .collect::<Vec<_>>()
+                    .join(" + "),
+                CostExpr::MulNonneg(a, b) => {
+                    format!("({})·({})", go(a, name_of), go(b, name_of))
+                }
+                CostExpr::Neg(e) => format!("-({})", go(e, name_of)),
+                CostExpr::Log2(e) => format!("log2({})", go(e, name_of)),
+            }
+        }
+        go(self, name_of)
+    }
+}
+
+impl fmt::Display for CostExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.display_with(&|d| format!("x{d}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i128) -> Rat {
+        Rat::int(n)
+    }
+
+    #[test]
+    fn poly_arithmetic() {
+        // (x0 + 2)(x0 + 3) = x0² + 5x0 + 6.
+        let a = Poly::var(0).add(&Poly::constant(r(2)));
+        let b = Poly::var(0).add(&Poly::constant(r(3)));
+        let p = a.mul(&b);
+        assert_eq!(p.degree(), 2);
+        assert_eq!(p.eval(&|_| r(1)), r(12));
+        assert_eq!(p.eval(&|_| r(0)), r(6));
+        assert_eq!(p.sub(&p), Poly::zero());
+    }
+
+    #[test]
+    fn poly_display() {
+        let p = Poly::var(0).scale(r(23)).add(&Poly::constant(r(10)));
+        assert_eq!(p.to_string(), "23·x0 + 10");
+        assert_eq!(Poly::zero().to_string(), "0");
+    }
+
+    #[test]
+    fn max_collapses_equal_and_comparable() {
+        let a = CostExpr::poly(Poly::var(0));
+        let b = CostExpr::poly(Poly::var(0));
+        assert_eq!(a.clone().max2(b), a);
+        // x0 + 5 dominates x0 + 2 by a constant.
+        let lo = CostExpr::poly(Poly::var(0).add(&Poly::constant(r(2))));
+        let hi = CostExpr::poly(Poly::var(0).add(&Poly::constant(r(5))));
+        assert_eq!(lo.clone().max2(hi.clone()), hi);
+        assert_eq!(lo.clone().min2(hi.clone()), lo);
+        // Incomparable: stays a Max.
+        let other = CostExpr::poly(Poly::var(1));
+        assert!(matches!(lo.max2(other), CostExpr::Max(_)));
+    }
+
+    #[test]
+    fn add_merges_polynomials() {
+        let a = CostExpr::poly(Poly::var(0));
+        let b = CostExpr::constant(r(5));
+        let s = a.add2(b);
+        assert_eq!(s, CostExpr::poly(Poly::var(0).add(&Poly::constant(r(5)))));
+    }
+
+    #[test]
+    fn mul_distributes_over_max() {
+        // max(0, x0) * 3 = max(0, 3x0).
+        let it = CostExpr::poly(Poly::var(0)).clamp_nonneg();
+        let prod = it.mul_nonneg(CostExpr::constant(r(3)));
+        assert_eq!(
+            prod,
+            CostExpr::zero().max2(CostExpr::poly(Poly::var(0).scale(r(3))))
+        );
+        assert_eq!(prod.eval(&|_| r(4)), r(12));
+        assert_eq!(prod.eval(&|_| r(-4)), r(0));
+    }
+
+    #[test]
+    fn sub_cancels_shared_terms() {
+        // (max(0,h)·5 + 23) − (max(0,h)·5 + 8) = 15 even though `h` is
+        // secret — the cancellation is what verifies loopAndBranch_safe.
+        let shared = CostExpr::poly(Poly::var(9))
+            .clamp_nonneg()
+            .mul_nonneg(CostExpr::constant(r(5)));
+        let upper = shared.clone().add2(CostExpr::constant(r(23)));
+        let lower = shared.add2(CostExpr::constant(r(8)));
+        let diff = upper.sub(&lower);
+        assert_eq!(diff.as_constant(), Some(r(15)));
+        assert!(diff.dims().is_empty());
+    }
+
+    #[test]
+    fn sub_without_cancellation_keeps_dims() {
+        let upper = CostExpr::poly(Poly::var(3));
+        let lower = CostExpr::constant(r(1));
+        let diff = upper.sub(&lower);
+        assert_eq!(diff.dims(), BTreeSet::from([3]));
+        assert_eq!(diff.eval(&|_| r(10)), r(9));
+    }
+
+    #[test]
+    fn degrees() {
+        assert_eq!(CostExpr::constant(r(7)).degree(), 0);
+        assert_eq!(CostExpr::poly(Poly::var(0)).degree(), 1);
+        let sq = CostExpr::poly(Poly::var(0)).mul_nonneg(CostExpr::poly(Poly::var(0)));
+        assert_eq!(sq.degree(), 2);
+        let m = CostExpr::poly(Poly::var(0)).max2(CostExpr::constant(r(1)));
+        assert_eq!(m.degree(), 1);
+    }
+
+    #[test]
+    fn clamp_constants_eagerly() {
+        assert_eq!(CostExpr::constant(r(-5)).clamp_nonneg(), CostExpr::zero());
+        assert_eq!(
+            CostExpr::constant(r(5)).clamp_nonneg(),
+            CostExpr::constant(r(5))
+        );
+    }
+
+    #[test]
+    fn display_with_names() {
+        let e = CostExpr::poly(Poly::var(0).scale(r(23)).add(&Poly::constant(r(10))));
+        let s = e.display_with(&|_| "g.len".to_string());
+        assert_eq!(s, "23·g.len + 10");
+    }
+
+    #[test]
+    fn log2_constants_fold_and_eval_floors() {
+        assert_eq!(CostExpr::constant(r(1)).log2(), CostExpr::constant(r(0)));
+        assert_eq!(CostExpr::constant(r(2)).log2(), CostExpr::constant(r(1)));
+        assert_eq!(CostExpr::constant(r(1024)).log2(), CostExpr::constant(r(10)));
+        // Non-positive arguments clamp to log2(1) = 0.
+        assert_eq!(CostExpr::constant(r(-7)).log2(), CostExpr::constant(r(0)));
+        // Symbolic: evaluation floors.
+        let e = CostExpr::poly(Poly::var(0)).log2();
+        assert_eq!(e.eval(&|_| r(9)), r(3));
+        assert_eq!(e.eval(&|_| r(8)), r(3));
+        assert_eq!(e.eval(&|_| r(7)), r(2));
+        assert_eq!(e.degree(), 0, "log is sublinear");
+        assert!(e.dims().contains(&0));
+    }
+
+    #[test]
+    fn eval_of_nested_structures() {
+        // min(max(0, x0), 10) + 2·x0
+        let e = CostExpr::poly(Poly::var(0))
+            .clamp_nonneg()
+            .min2(CostExpr::constant(r(10)))
+            .add2(CostExpr::poly(Poly::var(0).scale(r(2))));
+        assert_eq!(e.eval(&|_| r(3)), r(9));
+        assert_eq!(e.eval(&|_| r(50)), r(110));
+        assert_eq!(e.eval(&|_| r(-2)), r(-4));
+    }
+}

@@ -1,0 +1,177 @@
+//! Parametric bound extraction: suprema/infima of a linear expression as
+//! symbolic functions of the input seeds.
+//!
+//! Given an invariant polyhedron `P` and an expression `e` over program
+//! variables, we want `sup e` not as a number but as a linear expression
+//! over the *seed* dimensions (the function inputs). Mechanically this is
+//! parametric linear programming, implemented here by Fourier–Motzkin: add
+//! a fresh dimension `t = e`, project out everything except `t` and the
+//! seeds, and read the surviving upper bounds on `t`.
+
+use blazer_domains::{Constraint, ConstraintKind, LinExpr, Polyhedron, Rat};
+use std::collections::BTreeSet;
+
+/// All linear upper bounds of `expr` over the seeds: each returned `b`
+/// satisfies `expr ≤ b` on every point of `state`, and mentions only seed
+/// dimensions. Empty result means no (finite, seed-expressible) upper bound.
+///
+/// `temp_dim` must be a dimension index unused by `state`.
+pub fn symbolic_sups(
+    state: &Polyhedron,
+    expr: &LinExpr,
+    seeds: &BTreeSet<usize>,
+    temp_dim: usize,
+) -> Vec<LinExpr> {
+    bounds_on_temp(state, expr, seeds, temp_dim, true)
+}
+
+/// All linear lower bounds of `expr` over the seeds (`expr ≥ b`).
+pub fn symbolic_infs(
+    state: &Polyhedron,
+    expr: &LinExpr,
+    seeds: &BTreeSet<usize>,
+    temp_dim: usize,
+) -> Vec<LinExpr> {
+    bounds_on_temp(state, expr, seeds, temp_dim, false)
+}
+
+fn bounds_on_temp(
+    state: &Polyhedron,
+    expr: &LinExpr,
+    seeds: &BTreeSet<usize>,
+    temp_dim: usize,
+    upper: bool,
+) -> Vec<LinExpr> {
+    if state.is_empty() {
+        return Vec::new();
+    }
+    let mut p = state.clone();
+    p.add_constraint(Constraint::eq(&LinExpr::var(temp_dim), expr));
+    let mut keep = seeds.clone();
+    keep.insert(temp_dim);
+    let projected = p.project_onto(&keep);
+    if projected.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for c in projected.constraints() {
+        for part in c.split() {
+            debug_assert_eq!(part.kind, ConstraintKind::GeZero);
+            let ct = part.expr.coeff(temp_dim);
+            if ct.is_zero() {
+                continue;
+            }
+            // c_t·t + rest ≥ 0.
+            let mut rest = part.expr.clone();
+            rest.set_coeff(temp_dim, Rat::ZERO);
+            if upper && ct.is_negative() {
+                // t ≤ rest / (−c_t).
+                out.push(rest.scale(-ct.recip()));
+            } else if !upper && ct.is_positive() {
+                // t ≥ −rest / c_t.
+                out.push(rest.scale(-ct.recip()));
+            }
+        }
+    }
+    // Only keep bounds purely over seeds (projection guarantees this, but be
+    // defensive) and dedupe.
+    out.retain(|b| b.dims().all(|d| seeds.contains(&d)));
+    out.dedup();
+    out
+}
+
+/// Picks the best candidate from symbolic bounds by evaluating at a
+/// canonical large point (all seeds = 1009): the smallest value for an
+/// upper bound, the largest for a lower bound. Deterministic.
+pub fn pick_best(candidates: Vec<LinExpr>, upper: bool) -> Option<LinExpr> {
+    let score = |e: &LinExpr| e.eval(|_| Rat::int(1009));
+    candidates.into_iter().reduce(|best, cand| {
+        let better = if upper {
+            score(&cand) < score(&best)
+        } else {
+            score(&cand) > score(&best)
+        };
+        if better {
+            cand
+        } else {
+            best
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i128) -> Rat {
+        Rat::int(n)
+    }
+
+    /// Dims: 0 = i (var), 1 = n (seed). Invariant 0 ≤ i ≤ n.
+    fn loop_state() -> Polyhedron {
+        let mut p = Polyhedron::top(2);
+        p.add_constraint(Constraint::ge(&LinExpr::var(0), &LinExpr::zero()));
+        p.add_constraint(Constraint::le(&LinExpr::var(0), &LinExpr::var(1)));
+        p
+    }
+
+    #[test]
+    fn sup_of_var_is_seed() {
+        let seeds = BTreeSet::from([1]);
+        let sups = symbolic_sups(&loop_state(), &LinExpr::var(0), &seeds, 5);
+        assert!(sups.contains(&LinExpr::var(1)), "{sups:?}");
+        let infs = symbolic_infs(&loop_state(), &LinExpr::var(0), &seeds, 5);
+        assert!(infs.contains(&LinExpr::zero().add_constant(Rat::ZERO)), "{infs:?}");
+    }
+
+    #[test]
+    fn sup_of_affine_combination() {
+        // sup(2i + 3) = 2n + 3.
+        let seeds = BTreeSet::from([1]);
+        let e = LinExpr::var(0).scale(r(2)).add_constant(r(3));
+        let sups = symbolic_sups(&loop_state(), &e, &seeds, 5);
+        let expected = LinExpr::var(1).scale(r(2)).add_constant(r(3));
+        assert!(sups.contains(&expected), "{sups:?}");
+    }
+
+    #[test]
+    fn unbounded_gives_empty() {
+        let p = Polyhedron::top(2);
+        let seeds = BTreeSet::from([1]);
+        assert!(symbolic_sups(&p, &LinExpr::var(0), &seeds, 5).is_empty());
+    }
+
+    #[test]
+    fn equality_pins_both_sides() {
+        // i = n exactly: sup = inf = n.
+        let mut p = Polyhedron::top(2);
+        p.add_constraint(Constraint::eq(&LinExpr::var(0), &LinExpr::var(1)));
+        let seeds = BTreeSet::from([1]);
+        let sups = symbolic_sups(&p, &LinExpr::var(0), &seeds, 5);
+        let infs = symbolic_infs(&p, &LinExpr::var(0), &seeds, 5);
+        assert!(sups.contains(&LinExpr::var(1)));
+        assert!(infs.contains(&LinExpr::var(1)));
+    }
+
+    #[test]
+    fn pick_best_prefers_tighter() {
+        let a = LinExpr::var(1); // n
+        let b = LinExpr::var(1).scale(r(2)); // 2n
+        assert_eq!(pick_best(vec![a.clone(), b.clone()], true), Some(a.clone()));
+        assert_eq!(pick_best(vec![a.clone(), b.clone()], false), Some(b));
+        assert_eq!(pick_best(vec![], true), None);
+    }
+
+    #[test]
+    fn constant_bounds_survive() {
+        // 2 ≤ i ≤ 7, no seeds involved.
+        let mut p = Polyhedron::top(1);
+        p.add_constraint(Constraint::ge(&LinExpr::var(0), &LinExpr::constant(r(2))));
+        p.add_constraint(Constraint::le(&LinExpr::var(0), &LinExpr::constant(r(7))));
+        let seeds = BTreeSet::new();
+        let sups = symbolic_sups(&p, &LinExpr::var(0), &seeds, 5);
+        assert!(sups.contains(&LinExpr::constant(r(7))), "{sups:?}");
+        let infs = symbolic_infs(&p, &LinExpr::var(0), &seeds, 5);
+        assert!(infs.contains(&LinExpr::constant(r(2))), "{infs:?}");
+    }
+}

@@ -1,0 +1,319 @@
+//! The complexity-bound lemma database.
+//!
+//! "\[We\] match these invariants against a database of complexity bound
+//! lemmas [Gulwani et al.]" (Sec. 5). The lemmas here are ranking-function
+//! arguments for loops guarded at their header:
+//!
+//! * **Counter progress (upper bound).** If the header guard's *stay*
+//!   condition is `r ≥ 1` for a linear `r`, and the transition invariant
+//!   shows every iteration decreases `r` by at least `δ > 0`, then the loop
+//!   completes at most `(sup r₀ − 1)/δ + 1` iterations, where `sup r₀` is
+//!   the symbolic supremum of `r` at loop entry over the input seeds.
+//! * **Counter progress (lower bound).** If additionally the guard is the
+//!   *only* way out of the loop and every iteration decreases `r` by at
+//!   most `Δ`, then exiting requires `r ≤ 0`, so at least `inf r₀ / Δ`
+//!   iterations complete.
+//! * **Geometric decrease (halving).** If the transition invariant shows
+//!   `2·r′ ≤ r` every iteration (e.g. binary-search or shift loops with
+//!   `i = i / 2`), then since staying requires `r ≥ 1`, the loop completes
+//!   at most `⌊log₂(sup r₀)⌋ + 1` iterations.
+//!
+//! Guards over temporaries computed in the header block (e.g.
+//! `i < len(guess)` materializes `len(guess)` into a temp) are normalized by
+//! backward substitution through the header block, so the ranking function
+//! is expressed over loop-entry values.
+
+use crate::cost_expr::{CostExpr, Poly};
+use crate::extraction::{pick_best, symbolic_infs, symbolic_sups};
+use blazer_absint::seeding::TransitionInvariant;
+use blazer_absint::DimMap;
+use blazer_domains::{LinExpr, Polyhedron, Rat};
+use blazer_ir::{BlockId, CmpOp, Cond, Function, Inst};
+use std::collections::BTreeSet;
+
+/// Symbolic bounds on a loop's completed-iteration count.
+#[derive(Debug, Clone)]
+pub struct IterationBounds {
+    /// Guaranteed minimum number of completed iterations.
+    pub lower: CostExpr,
+    /// Maximum number of completed iterations (`None` = no bound found).
+    pub upper: Option<CostExpr>,
+}
+
+impl IterationBounds {
+    /// The trivial bounds `[0, ∞)`.
+    pub fn unknown() -> Self {
+        IterationBounds { lower: CostExpr::zero(), upper: None }
+    }
+}
+
+/// The linear *stay* ranking function of a condition: a linear `r` such
+/// that the condition holds iff `r ≥ 1` (on integers).
+pub fn stay_ranking(dims: &DimMap, cond: &Cond, stay_on_taken: bool) -> Option<LinExpr> {
+    let cond = if stay_on_taken { cond.clone() } else { cond.negate() };
+    let Cond::Cmp(op, a, b) = cond else { return None };
+    let ea = blazer_absint::transfer::linearize_operand(dims, a);
+    let eb = blazer_absint::transfer::linearize_operand(dims, b);
+    match op {
+        CmpOp::Lt => Some(eb.sub(&ea)),                       // a < b  ⇔ b−a ≥ 1
+        CmpOp::Le => Some(eb.sub(&ea).add_constant(Rat::ONE)), // a ≤ b ⇔ b−a+1 ≥ 1
+        CmpOp::Gt => Some(ea.sub(&eb)),                       // a > b ⇔ a−b ≥ 1
+        CmpOp::Ge => Some(ea.sub(&eb).add_constant(Rat::ONE)),
+        CmpOp::Eq | CmpOp::Ne => None,
+    }
+}
+
+/// Whether the transition invariant proves `2·ranking′ ≤ ranking`: the
+/// supremum of `2·r(new) − r(old)` over the relation is at most zero.
+fn halves_each_iteration(ranking: &LinExpr, ti: &TransitionInvariant) -> bool {
+    let old = ranking.rename(|d| {
+        if d < ti.dims.n_vars() {
+            ti.dims.snap(blazer_ir::VarId::new(d as u32))
+        } else {
+            d
+        }
+    });
+    let expr = ranking.scale(Rat::int(2)).sub(&old);
+    match ti.relation.bounds(&expr).1 {
+        Some(sup) => sup <= Rat::ZERO,
+        None => false,
+    }
+}
+
+/// Rewrites `expr` (over values *after* `block`'s instructions) into an
+/// expression over values *before* them, by backward substitution of the
+/// block's linear assignments. `None` if a mentioned variable is defined by
+/// a non-linear instruction.
+pub fn backsubst_through_block(
+    f: &Function,
+    dims: &DimMap,
+    block: BlockId,
+    expr: &LinExpr,
+) -> Option<LinExpr> {
+    let mut e = expr.clone();
+    for inst in f.block(block).insts.iter().rev() {
+        let Some(dst) = inst.def() else { continue };
+        let d = dims.var(dst);
+        if e.coeff(d).is_zero() {
+            continue;
+        }
+        match inst {
+            Inst::Assign { expr: rhs, .. } => {
+                let lin = blazer_absint::transfer::linearize_expr(dims, rhs)?;
+                e = e.substitute(d, &lin);
+            }
+            _ => return None,
+        }
+    }
+    Some(e)
+}
+
+/// Matches the counter-progress lemmas for one loop.
+///
+/// * `ranking` — the stay ranking function, over loop-entry values;
+/// * `entry_state` — join of states on edges entering the loop from outside;
+/// * `ti` — the loop's transition invariant;
+/// * `guard_is_sole_exit` — whether the header guard is the only feasible
+///   exit (enables the lower-bound lemma);
+/// * `seeds` — the seed dimensions bounds may mention;
+/// * `temp_dim` — a dimension unused by any state.
+pub fn match_counter_lemmas(
+    ranking: &LinExpr,
+    entry_state: &Polyhedron,
+    ti: &TransitionInvariant,
+    guard_is_sole_exit: bool,
+    seeds: &BTreeSet<usize>,
+    temp_dim: usize,
+) -> IterationBounds {
+    let (delta_inf, delta_sup) = ti.delta_bounds(ranking);
+
+    // Upper bound. The geometric lemma is checked first: when `2·r′ ≤ r`
+    // holds per iteration, the logarithmic count beats any linear one the
+    // counter lemma would derive from the (state-dependent) decrease.
+    let upper = if halves_each_iteration(ranking, ti) {
+        let sups = symbolic_sups(entry_state, ranking, seeds, temp_dim);
+        pick_best(sups, true).map(|r0| {
+            // iterations ≤ log₂(r0) + 1 while r ≥ 1 is required to stay.
+            CostExpr::poly(Poly::from_linexpr(&r0))
+                .log2()
+                .add2(CostExpr::constant(Rat::ONE))
+        })
+    } else {
+        match delta_sup {
+            Some(s) if s.is_negative() => {
+                let delta = -s; // per-iteration decrease ≥ δ
+                let sups = symbolic_sups(entry_state, ranking, seeds, temp_dim);
+                pick_best(sups, true).map(|r0| {
+                    // iterations ≤ (r0 − 1)/δ + 1.
+                    let p = Poly::from_linexpr(&r0)
+                        .add(&Poly::constant(-Rat::ONE))
+                        .scale(delta.recip())
+                        .add(&Poly::constant(Rat::ONE));
+                    CostExpr::poly(p).clamp_nonneg()
+                })
+            }
+            _ => None,
+        }
+    };
+
+    // Lower bound: needs the guard to be the only exit and bounded decrease.
+    let lower = if guard_is_sole_exit {
+        match delta_inf {
+            Some(i) if i.is_negative() => {
+                let cap = -i; // per-iteration decrease ≤ Δ
+                let infs = symbolic_infs(entry_state, ranking, seeds, temp_dim);
+                pick_best(infs, false)
+                    .map(|r0| {
+                        // iterations ≥ r0 / Δ.
+                        let p = Poly::from_linexpr(&r0).scale(cap.recip());
+                        CostExpr::poly(p).clamp_nonneg()
+                    })
+                    .unwrap_or_else(CostExpr::zero)
+            }
+            _ => CostExpr::zero(),
+        }
+    } else {
+        CostExpr::zero()
+    };
+
+    IterationBounds { lower, upper }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blazer_absint::engine::analyze;
+    use blazer_absint::product::ProductGraph;
+    use blazer_absint::seeding::loop_transition_invariant;
+    use blazer_absint::transfer::entry_state;
+    use blazer_ir::{Cfg, Operand};
+    use blazer_lang::compile;
+
+    /// Full pipeline up to iteration bounds for a single-loop function.
+    fn iteration_bounds(src: &str) -> (IterationBounds, DimMap, blazer_ir::Program) {
+        let p = compile(src).unwrap();
+        let f = p.function("f").unwrap();
+        let cfg = Cfg::new(f);
+        let dims = DimMap::new(f);
+        let g = ProductGraph::full(f, &cfg);
+        let init: Polyhedron = entry_state(f, &dims);
+        let r = analyze(&p, f, &dims, &g, init);
+        let sccs = g.cyclic_sccs();
+        assert_eq!(sccs.len(), 1);
+        let scc = &sccs[0];
+        let header = *g
+            .back_edge_targets()
+            .iter()
+            .find(|h| scc.contains(h))
+            .unwrap();
+        let ti = loop_transition_invariant(&p, f, &g, scc, header, r.state(header));
+
+        // Stay ranking from the header branch.
+        let hblock = g.node(header).cfg_node.as_block(f.blocks().len()).unwrap();
+        let blazer_ir::Terminator::Branch { cond, then_bb, .. } = &f.block(hblock).term else {
+            panic!("header must branch")
+        };
+        // The then-arm stays in the loop for all these tests.
+        let stay_taken = {
+            let then_node = blazer_ir::NodeId::block(*then_bb);
+            g.nodes().iter().any(|n| n.cfg_node == then_node && {
+                let id = blazer_absint::ProductNodeId(
+                    g.nodes().iter().position(|m| std::ptr::eq(m, n)).unwrap(),
+                );
+                scc.contains(&id)
+            })
+        };
+        let r_post = stay_ranking(&dims, cond, stay_taken).expect("linear guard");
+        let ranking = backsubst_through_block(f, &dims, hblock, &r_post).expect("substitutable");
+
+        // Loop-entry state: outputs of external in-edges.
+        let mut entry = Polyhedron::bottom(dims.n_dims());
+        for (ei, e) in g.edges().iter().enumerate() {
+            if e.to == header && !scc.contains(&e.from) {
+                entry = entry.join(&r.edge_output(&p, f, &dims, &g, ei));
+            }
+        }
+        let seeds: BTreeSet<usize> = dims.seeds().collect();
+        let ib = match_counter_lemmas(&ranking, &entry, &ti, true, &seeds, dims.n_dims() + 64);
+        (ib, dims, p)
+    }
+
+    #[test]
+    fn up_counting_loop_exact() {
+        let (ib, dims, _p) =
+            iteration_bounds("fn f(n: int) { let i: int = 0; while (i < n) { i = i + 1; } }");
+        // iterations = max(0, n) exactly: lower == upper.
+        let n = dims.seed(0);
+        let expected = CostExpr::poly(Poly::var(n)).clamp_nonneg();
+        assert_eq!(ib.upper, Some(expected.clone()));
+        assert_eq!(ib.lower, expected);
+    }
+
+    #[test]
+    fn down_counting_loop_exact() {
+        let (ib, dims, _p) =
+            iteration_bounds("fn f(h: int #high) { let i: int = h; while (i > 0) { i = i - 1; } }");
+        let h = dims.seed(0);
+        let expected = CostExpr::poly(Poly::var(h)).clamp_nonneg();
+        assert_eq!(ib.upper, Some(expected.clone()));
+        assert_eq!(ib.lower, expected);
+    }
+
+    #[test]
+    fn stride_two_loop() {
+        let (ib, dims, _p) =
+            iteration_bounds("fn f(n: int) { let i: int = 0; while (i < n) { i = i + 2; } }");
+        let n = dims.seed(0);
+        // upper = (n − 1)/2 + 1 = (n + 1)/2; lower = n/2.
+        let upper = CostExpr::poly(
+            Poly::var(n).scale(Rat::new(1, 2)).add(&Poly::constant(Rat::new(1, 2))),
+        )
+        .clamp_nonneg();
+        let lower = CostExpr::poly(Poly::var(n).scale(Rat::new(1, 2))).clamp_nonneg();
+        assert_eq!(ib.upper, Some(upper));
+        assert_eq!(ib.lower, lower);
+    }
+
+    #[test]
+    fn guard_over_len_temp_backsubstitutes() {
+        let (ib, dims, _p) = iteration_bounds(
+            "fn f(a: array) { let i: int = 0; while (i < len(a)) { i = i + 1; } }",
+        );
+        let a_len = dims.seed(0);
+        let expected = CostExpr::poly(Poly::var(a_len)).clamp_nonneg();
+        assert_eq!(ib.upper, Some(expected.clone()));
+        assert_eq!(ib.lower, expected);
+    }
+
+    #[test]
+    fn le_guard_off_by_one() {
+        let (ib, dims, _p) =
+            iteration_bounds("fn f(n: int) { let i: int = 1; while (i <= n) { i = i + 1; } }");
+        let n = dims.seed(0);
+        // stay: i ≤ n ⇔ n−i+1 ≥ 1; r0 = n; iterations = max(0, n).
+        let expected = CostExpr::poly(Poly::var(n)).clamp_nonneg();
+        assert_eq!(ib.upper, Some(expected.clone()));
+        assert_eq!(ib.lower, expected);
+    }
+
+    #[test]
+    fn stay_ranking_shapes() {
+        let p = compile("fn f(a: int, b: int) { }").unwrap();
+        let f = p.function("f").unwrap();
+        let dims = DimMap::new(f);
+        let a = Operand::Var(f.var_by_name("a").unwrap());
+        let b = Operand::Var(f.var_by_name("b").unwrap());
+        let da = dims.var(f.var_by_name("a").unwrap());
+        let db = dims.var(f.var_by_name("b").unwrap());
+        let r = stay_ranking(&dims, &Cond::cmp(CmpOp::Lt, a, b), true).unwrap();
+        assert_eq!(r, LinExpr::var(db).sub(&LinExpr::var(da)));
+        // Negated: stay on the else arm of a<b is a ≥ b ⇔ a−b+1 ≥ 1.
+        let r = stay_ranking(&dims, &Cond::cmp(CmpOp::Lt, a, b), false).unwrap();
+        assert_eq!(
+            r,
+            LinExpr::var(da).sub(&LinExpr::var(db)).add_constant(Rat::ONE)
+        );
+        assert!(stay_ranking(&dims, &Cond::cmp(CmpOp::Eq, a, b), true).is_none());
+        assert!(stay_ranking(&dims, &Cond::Nondet, true).is_none());
+    }
+}

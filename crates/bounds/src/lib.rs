@@ -1,0 +1,38 @@
+//! # blazer-bounds
+//!
+//! BOUNDANALYSIS: symbolic lower/upper running-time bounds for the
+//! executions described by a trail.
+//!
+//! This is the component the paper describes as: "we attempt to prove a
+//! tight lower and upper bound on the running time of traces described by
+//! the trail by matching transition relations with a database of lemmas"
+//! (Sec. 1, Sec. 5). The pipeline per trail:
+//!
+//! 1. the trail-restricted abstract interpretation from `blazer-absint`
+//!    produces invariants on the CFG×DFA product and prunes infeasible
+//!    edges;
+//! 2. every loop (cyclic SCC of the pruned product) gets a *transition
+//!    invariant* via seeding, which the [`lemmas`] database matches to
+//!    derive symbolic iteration-count bounds over the input seeds;
+//! 3. loops collapse to summary edges and a min/max dynamic program over
+//!    the remaining DAG yields whole-trail bounds as [`CostExpr`]s —
+//!    multivariate polynomials over the inputs extended with `max`/`min`
+//!    nodes;
+//! 4. an [`Observer`] model judges whether a `[lower, upper]` range is
+//!    *narrow* (Sec. 5's two models: polynomial-degree equivalence for the
+//!    micro-benchmarks, concrete instruction thresholds under assumed
+//!    maximum input sizes for the STAC/literature benchmarks).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod cost_expr;
+pub mod extraction;
+pub mod lemmas;
+pub mod observer;
+
+pub use analysis::{graph_bounds, BoundResult};
+pub use cost_expr::{CostExpr, Poly};
+pub use lemmas::IterationBounds;
+pub use observer::{Observer, SeedAssignment};

@@ -1,0 +1,340 @@
+//! End-to-end tests of BOUNDANALYSIS on whole functions, cross-validated
+//! against the concrete interpreter.
+
+use blazer_absint::transfer::entry_state;
+use blazer_absint::{DimMap, ProductGraph};
+use blazer_bounds::{graph_bounds, BoundResult};
+use blazer_domains::{Polyhedron, Rat};
+use blazer_interp::{Interp, SeededOracle, Value};
+use blazer_ir::cost::CostModel;
+use blazer_ir::{Cfg, Program};
+use blazer_lang::compile;
+use std::collections::BTreeSet;
+
+fn bounds_of(src: &str, func: &str) -> (Program, DimMap, BoundResult) {
+    let p = compile(src).unwrap();
+    let f = p.function(func).unwrap();
+    let cfg = Cfg::new(f);
+    let dims = DimMap::new(f);
+    let g = ProductGraph::full(f, &cfg);
+    let init: Polyhedron = entry_state(f, &dims);
+    let seeds: BTreeSet<usize> = dims.seeds().collect();
+    let b = graph_bounds(&p, f, &dims, &g, &init, &CostModel::unit(), &seeds);
+    (p, dims, b)
+}
+
+/// Evaluates a bound at concrete integer seed values, rounding up (bounds
+/// may be fractional, e.g. after division transfers).
+fn at(e: &blazer_bounds::CostExpr, dims: &DimMap, vals: &[i64]) -> i64 {
+    let v = e.eval(&|d| {
+        let idx = d.checked_sub(dims.n_vars()).expect("bounds mention seeds only");
+        Rat::int(vals[idx] as i128)
+    });
+    v.ceil() as i64
+}
+
+#[test]
+fn straightline_exact() {
+    let (p, dims, b) = bounds_of(
+        "fn f(x: int) -> int { let y: int = x + 1; let z: int = y * 2; return z; }",
+        "f",
+    );
+    let lo = b.lower.expect("reachable");
+    let hi = b.upper.expect("bounded");
+    assert_eq!(at(&lo, &dims, &[5]), 3);
+    assert_eq!(at(&hi, &dims, &[5]), 3);
+    let t = Interp::new(&p)
+        .run("f", &[Value::Int(5)], &mut SeededOracle::new(0))
+        .unwrap();
+    assert_eq!(t.cost, 3);
+}
+
+#[test]
+fn counting_loop_tight_and_matches_interpreter() {
+    let src = "fn f(n: int) { let i: int = 0; while (i < n) { i = i + 1; } }";
+    let (p, dims, b) = bounds_of(src, "f");
+    let lo = b.lower.expect("reachable");
+    let hi = b.upper.expect("bounded");
+    for n in [0i64, 1, 5, 23] {
+        let t = Interp::new(&p)
+            .run("f", &[Value::Int(n)], &mut SeededOracle::new(0))
+            .unwrap();
+        let lo_v = at(&lo, &dims, &[n]);
+        let hi_v = at(&hi, &dims, &[n]);
+        assert!(
+            lo_v as u64 <= t.cost && t.cost <= hi_v as u64,
+            "n={n}: cost {} outside [{lo_v}, {hi_v}]",
+            t.cost
+        );
+        // This loop is deterministic: bounds must be tight.
+        assert_eq!(lo_v, hi_v, "n={n}");
+    }
+}
+
+#[test]
+fn branch_produces_min_max_range() {
+    let src = "fn f(c: int) { if (c > 0) { tick(10); } else { tick(3); } }";
+    let (p, dims, b) = bounds_of(src, "f");
+    let lo = b.lower.expect("reachable");
+    let hi = b.upper.expect("bounded");
+    let lo_v = at(&lo, &dims, &[0]);
+    let hi_v = at(&hi, &dims, &[0]);
+    // tick(3)+branch+return vs tick(10)+branch+return.
+    assert_eq!(lo_v, 5);
+    assert_eq!(hi_v, 12);
+    for c in [-3i64, 0, 7] {
+        let t = Interp::new(&p)
+            .run("f", &[Value::Int(c)], &mut SeededOracle::new(0))
+            .unwrap();
+        assert!((lo_v as u64..=hi_v as u64).contains(&t.cost));
+    }
+}
+
+#[test]
+fn infeasible_branch_excluded_from_bounds() {
+    // The expensive branch is dead: bounds must ignore it.
+    let src = "fn f() { let x: int = 1; if (x > 5) { tick(1000); } else { tick(1); } }";
+    let (_, dims, b) = bounds_of(src, "f");
+    let hi = b.upper.expect("bounded");
+    assert!(at(&hi, &dims, &[]) < 100);
+}
+
+#[test]
+fn loop_over_array_length() {
+    let src = "fn f(a: array) { let i: int = 0; while (i < len(a)) { i = i + 1; } }";
+    let (p, dims, b) = bounds_of(src, "f");
+    let lo = b.lower.expect("reachable");
+    let hi = b.upper.expect("bounded");
+    for n in [0usize, 4, 9] {
+        let t = Interp::new(&p)
+            .run(
+                "f",
+                &[Value::array(vec![0; n])],
+                &mut SeededOracle::new(0),
+            )
+            .unwrap();
+        let lo_v = at(&lo, &dims, &[n as i64]);
+        let hi_v = at(&hi, &dims, &[n as i64]);
+        assert!(lo_v as u64 <= t.cost && t.cost <= hi_v as u64, "n={n}");
+        assert_eq!(lo_v, hi_v);
+    }
+}
+
+#[test]
+fn high_branch_inside_loop_widens_range_only_by_body_difference() {
+    let src = "fn f(h: int #high, n: int) { \
+        let i: int = 0; \
+        while (i < n) { \
+            if (h > 0) { tick(5); } else { tick(2); } \
+            i = i + 1; \
+        } \
+    }";
+    let (p, dims, b) = bounds_of(src, "f");
+    let lo = b.lower.expect("reachable");
+    let hi = b.upper.expect("bounded");
+    for (h, n) in [(1i64, 4i64), (-1, 4), (0, 0), (5, 9)] {
+        let t = Interp::new(&p)
+            .run(
+                "f",
+                &[Value::Int(h), Value::Int(n)],
+                &mut SeededOracle::new(0),
+            )
+            .unwrap();
+        let lo_v = at(&lo, &dims, &[h, n]);
+        let hi_v = at(&hi, &dims, &[h, n]);
+        assert!(
+            lo_v as u64 <= t.cost && t.cost <= hi_v as u64,
+            "h={h} n={n}: {} ∉ [{lo_v}, {hi_v}]",
+            t.cost
+        );
+    }
+    // The range width is linear in n (3 per iteration), independent of h.
+    let diff = hi.sub(&lo);
+    let high_seed = dims.seed(0);
+    assert!(
+        !diff.dims().contains(&high_seed),
+        "width must not depend on the secret: {diff}"
+    );
+}
+
+#[test]
+fn early_return_loop_has_constant_lower_bound() {
+    // Tenex-style early exit: lower bound constant, upper linear.
+    let src = "fn f(pw: array #high, guess: array) -> bool { \
+        let i: int = 0; \
+        while (i < len(guess)) { \
+            if (i >= len(pw)) { return false; } \
+            i = i + 1; \
+        } \
+        return true; \
+    }";
+    let (_, dims, b) = bounds_of(src, "f");
+    let lo = b.lower.expect("reachable");
+    let hi = b.upper.expect("bounded");
+    // Lower bound ignores the loop (early exit possible): degree 0.
+    assert_eq!(lo.degree(), 0);
+    // Upper bound grows with guess length: degree 1.
+    assert_eq!(hi.degree(), 1);
+    let _ = dims;
+}
+
+#[test]
+fn nested_loops_quadratic_upper() {
+    let src = "fn f(n: int) { \
+        let i: int = 0; \
+        while (i < n) { \
+            let j: int = 0; \
+            while (j < n) { j = j + 1; } \
+            i = i + 1; \
+        } \
+    }";
+    let (p, dims, b) = bounds_of(src, "f");
+    let lo = b.lower.expect("reachable");
+    let hi = b.upper.expect("bounded");
+    assert_eq!(hi.degree(), 2, "upper must be quadratic: {hi}");
+    for n in [0i64, 1, 3, 6] {
+        let t = Interp::new(&p)
+            .run("f", &[Value::Int(n)], &mut SeededOracle::new(0))
+            .unwrap();
+        let lo_v = at(&lo, &dims, &[n]);
+        let hi_v = at(&hi, &dims, &[n]);
+        assert!(
+            lo_v as u64 <= t.cost && t.cost <= hi_v as u64,
+            "n={n}: {} ∉ [{lo_v}, {hi_v}]",
+            t.cost
+        );
+    }
+}
+
+#[test]
+fn linear_call_cost_becomes_symbolic() {
+    let src = "extern fn hash(p: array) -> int cost 3 * arg0 + 7;\n\
+               fn f(p: array) -> int { return hash(p); }";
+    let (p, dims, b) = bounds_of(src, "f");
+    let lo = b.lower.expect("reachable");
+    let hi = b.upper.expect("bounded");
+    assert_eq!(hi.degree(), 1);
+    for n in [0usize, 10] {
+        let t = Interp::new(&p)
+            .run("f", &[Value::array(vec![0; n])], &mut SeededOracle::new(0))
+            .unwrap();
+        let lo_v = at(&lo, &dims, &[n as i64]);
+        let hi_v = at(&hi, &dims, &[n as i64]);
+        assert!(lo_v as u64 <= t.cost && t.cost <= hi_v as u64, "n={n}");
+    }
+}
+
+#[test]
+fn doubling_loop_gets_sound_linear_overapproximation() {
+    // `i * 2` is linear (constant factor), so the counter lemma applies:
+    // i grows by at least 1 per iteration once i ≥ 1, giving a sound
+    // (if loose: linear instead of logarithmic) upper bound.
+    let src = "fn f(n: int) { let i: int = 1; while (i < n) { i = i * 2; } }";
+    let (p, dims, b) = bounds_of(src, "f");
+    let hi = b.upper.expect("counter lemma applies to i*2");
+    for n in [0i64, 1, 7, 30] {
+        let t = Interp::new(&p)
+            .run("f", &[Value::Int(n)], &mut SeededOracle::new(0))
+            .unwrap();
+        assert!(t.cost <= at(&hi, &dims, &[n]) as u64, "n={n}");
+    }
+}
+
+#[test]
+fn nonlinear_loop_yields_unknown_upper() {
+    // `i * i` cannot be linearized: no lemma applies, the tool reports
+    // an unknown upper bound (this is how gpt14_unsafe "gives up").
+    let src = "fn f(n: int) { let i: int = 2; while (i < n) { i = i * i; } }";
+    let (_, _, b) = bounds_of(src, "f");
+    assert!(b.lower.is_some());
+    assert!(b.upper.is_none(), "squaring loop is outside the lemma database");
+}
+
+mod prop {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Soundness: the interpreter's measured cost always lies within
+        /// the computed symbolic bounds.
+        #[test]
+        fn measured_cost_within_bounds(n in 0i64..40, h in -20i64..20) {
+            let src = "fn f(h: int #high, n: int) { \
+                let i: int = 0; \
+                while (i < n) { \
+                    if (h > i) { tick(4); } \
+                    i = i + 1; \
+                } \
+                let j: int = h; \
+                while (j > 0) { j = j - 1; } \
+            }";
+            let (p, dims, b) = bounds_of(src, "f");
+            let lo = b.lower.expect("reachable");
+            let hi = b.upper.expect("bounded");
+            let t = Interp::new(&p)
+                .run("f", &[Value::Int(h), Value::Int(n)], &mut SeededOracle::new(0))
+                .unwrap();
+            let lo_v = at(&lo, &dims, &[h, n]);
+            let hi_v = at(&hi, &dims, &[h, n]);
+            prop_assert!(lo_v >= 0);
+            prop_assert!(
+                lo_v as u64 <= t.cost && t.cost <= hi_v as u64,
+                "h={h} n={n}: {} ∉ [{lo_v}, {hi_v}]", t.cost
+            );
+        }
+    }
+}
+
+#[test]
+fn halving_loop_gets_logarithmic_upper_bound() {
+    // Binary-search-style halving: iterations ≈ log2(n).
+    let src = "fn f(n: int) { let i: int = n; while (i > 1) { i = i / 2; } }";
+    let (p, dims, b) = bounds_of(src, "f");
+    let hi = b.upper.expect("halving lemma applies");
+    // The bound is logarithmic: degree 0, mentions the seed, and grows
+    // very slowly.
+    assert_eq!(hi.degree(), 0, "{hi}");
+    assert!(hi.dims().contains(&dims.seed(0)), "{hi}");
+    for n in [0i64, 1, 2, 7, 64, 1000] {
+        let t = Interp::new(&p)
+            .run("f", &[Value::Int(n)], &mut SeededOracle::new(0))
+            .unwrap();
+        let hi_v = at(&hi, &dims, &[n]);
+        assert!(
+            t.cost <= hi_v as u64,
+            "n={n}: measured {} exceeds log bound {hi_v} ({hi})",
+            t.cost
+        );
+        // And the bound is genuinely sublinear for large n.
+        if n >= 64 {
+            assert!(hi_v < n, "n={n}: log bound {hi_v} not sublinear");
+        }
+    }
+}
+
+#[test]
+fn division_chains_stay_relational() {
+    // quarter = n/4 computed via two halvings: upper bound must not be ∞
+    // and the final loop count follows the quartered value.
+    let src = "fn f(n: int) { \
+        if (n < 0) { return; } \
+        let h: int = n / 2; \
+        let q: int = h / 2; \
+        let i: int = 0; \
+        while (i < q) { i = i + 1; } \
+    }";
+    let (p, dims, b) = bounds_of(src, "f");
+    let hi = b.upper.expect("bounded");
+    for n in [0i64, 5, 16, 33] {
+        let t = Interp::new(&p)
+            .run("f", &[Value::Int(n)], &mut SeededOracle::new(0))
+            .unwrap();
+        let hi_v = at(&hi, &dims, &[n]);
+        assert!(t.cost <= hi_v as u64, "n={n}: {} > {hi_v}", t.cost);
+    }
+    // The bound reflects n/4 iterations, not n.
+    let at64 = at(&hi, &dims, &[64]);
+    assert!(at64 < 3 * 64, "bound {at64} should be ~n/4 scaled: {hi}");
+}

@@ -1,0 +1,226 @@
+//! Attack specifications and their concretization (Sec. 2.3).
+//!
+//! "Because we are working with a static analysis, the result of our tool is
+//! not immediately two concrete traces. However, it provides a specification
+//! for two traces that witness the attack. All that remains is to ensure
+//! that these traces are feasible by finding justifying inputs." We
+//! implement that last step with a randomized search over the concrete
+//! interpreter.
+
+use blazer_automata::{Dfa, Regex};
+use blazer_bounds::CostExpr;
+use blazer_interp::{Interp, SeededOracle, Value};
+use blazer_ir::{Cfg, Program, SecurityLabel, Type};
+use std::fmt;
+
+/// A specification of a timing attack: two trails whose choice depends on
+/// secret data and whose running-time bounds differ observably.
+#[derive(Debug, Clone)]
+pub struct AttackSpec {
+    /// Tree index of the first trail.
+    pub node_a: usize,
+    /// Tree index of the second trail.
+    pub node_b: usize,
+    /// The first trail.
+    pub trail_a: Regex,
+    /// The second trail.
+    pub trail_b: Regex,
+    /// `[lower, upper]` bounds of the first trail.
+    pub bounds_a: (CostExpr, Option<CostExpr>),
+    /// `[lower, upper]` bounds of the second trail.
+    pub bounds_b: (CostExpr, Option<CostExpr>),
+}
+
+impl fmt::Display for AttackSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "attack specification: secret-dependent choice between trails with observably different running times"
+        )?;
+        writeln!(f, "  trail A (tr{}): {}", self.node_a, self.trail_a)?;
+        writeln!(f, "  trail B (tr{}): {}", self.node_b, self.trail_b)?;
+        Ok(())
+    }
+}
+
+/// Two concrete runs witnessing an attack: equal low inputs, different
+/// running times.
+#[derive(Debug, Clone)]
+pub struct AttackWitness {
+    /// Inputs of the first run.
+    pub inputs_a: Vec<Value>,
+    /// Inputs of the second run (equal on all low parameters).
+    pub inputs_b: Vec<Value>,
+    /// Measured cost of the first run.
+    pub cost_a: u64,
+    /// Measured cost of the second run.
+    pub cost_b: u64,
+}
+
+impl AttackWitness {
+    /// The observable timing difference.
+    pub fn difference(&self) -> u64 {
+        self.cost_a.abs_diff(self.cost_b)
+    }
+}
+
+/// Minimal deterministic generator for input search (splitmix64).
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn int_in(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + (self.next() % (hi - lo + 1) as u64) as i64
+    }
+
+    fn value(&mut self, ty: Type) -> Value {
+        match ty {
+            Type::Int => Value::Int(self.int_in(-4, 40)),
+            Type::Bool => Value::Int(self.int_in(0, 1)),
+            Type::Array => {
+                let len = self.int_in(0, 10) as usize;
+                Value::array((0..len).map(|_| self.int_in(0, 7)).collect())
+            }
+        }
+    }
+}
+
+/// Searches for a concrete witness of a timing channel in `func`: two runs
+/// agreeing on every low input whose costs differ by more than `epsilon`.
+///
+/// When `spec` is given, the runs' traces are additionally required to lie
+/// in the specification's two trails (in either order), so the witness
+/// justifies that particular specification.
+pub fn concretize(
+    program: &Program,
+    func: &str,
+    spec: Option<&AttackSpec>,
+    epsilon: u64,
+    attempts: u32,
+    seed: u64,
+) -> Option<AttackWitness> {
+    let f = program.function(func)?;
+    let cfg = Cfg::new(f);
+    let alphabet = blazer_absint::EdgeAlphabet::new(&cfg);
+    let dfas = spec.map(|s| {
+        (
+            Dfa::from_regex(&s.trail_a, alphabet.len() as u32),
+            Dfa::from_regex(&s.trail_b, alphabet.len() as u32),
+        )
+    });
+    let mut gen = Gen(seed);
+    let interp = Interp::new(program);
+    for attempt in 0..attempts {
+        // Shared low inputs; two independent high variants.
+        let mut inputs_a = Vec::new();
+        let mut inputs_b = Vec::new();
+        for p in f.params() {
+            let ty = f.var(p.var).ty;
+            match p.label {
+                SecurityLabel::Low => {
+                    let v = gen.value(ty);
+                    inputs_a.push(v.clone());
+                    inputs_b.push(v);
+                }
+                SecurityLabel::High => {
+                    inputs_a.push(gen.value(ty));
+                    inputs_b.push(gen.value(ty));
+                }
+            }
+        }
+        // The extern oracle must also be identical across the two runs
+        // (it models the low environment); high-labeled extern results are
+        // the oracle's to vary, so give each run its own stream only for
+        // the secret — here we keep one seed per attempt for both runs and
+        // rely on high *parameters* to vary. A second pass with differing
+        // oracle seeds covers high extern results.
+        for oracle_mode in 0..2 {
+            let (seed_a, seed_b) = if oracle_mode == 0 {
+                (u64::from(attempt), u64::from(attempt))
+            } else {
+                (u64::from(attempt) * 2 + 1, u64::from(attempt) * 2 + 2)
+            };
+            let ta = interp.run(func, &inputs_a, &mut SeededOracle::new(seed_a));
+            let tb = interp.run(func, &inputs_b, &mut SeededOracle::new(seed_b));
+            let (Ok(ta), Ok(tb)) = (ta, tb) else { continue };
+            if ta.cost.abs_diff(tb.cost) <= epsilon {
+                continue;
+            }
+            if let Some((da, db)) = &dfas {
+                let wa = alphabet.word_of(&ta.edges);
+                let wb = alphabet.word_of(&tb.edges);
+                let direct = da.accepts(&wa) && db.accepts(&wb);
+                let swapped = da.accepts(&wb) && db.accepts(&wa);
+                if !(direct || swapped) {
+                    continue;
+                }
+            }
+            return Some(AttackWitness {
+                inputs_a,
+                inputs_b,
+                cost_a: ta.cost,
+                cost_b: tb.cost,
+            });
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blazer_lang::compile;
+
+    #[test]
+    fn finds_witness_for_leaky_loop() {
+        let src = "fn f(h: int #high, n: int) { \
+            let i: int = 0; \
+            while (i < h) { i = i + 1; } \
+        }";
+        let p = compile(src).unwrap();
+        let w = concretize(&p, "f", None, 2, 200, 42).expect("leak is easy to hit");
+        assert!(w.difference() > 2);
+        // Low inputs agree.
+        assert_eq!(w.inputs_a[1], w.inputs_b[1]);
+    }
+
+    #[test]
+    fn no_witness_for_balanced_program() {
+        // Example 1 from the paper: perfectly balanced.
+        let src = "fn foo(high: int #high, low: int) { \
+            if (high == 0) { \
+                let i: int = 0; \
+                while (i < low) { i = i + 1; } \
+            } else { \
+                let i: int = low; \
+                while (i > 0) { i = i - 1; } \
+            } \
+        }";
+        let p = compile(src).unwrap();
+        assert!(concretize(&p, "foo", None, 0, 300, 7).is_none());
+    }
+
+    #[test]
+    fn witness_difference_and_accessors() {
+        let w = AttackWitness {
+            inputs_a: vec![Value::Int(1)],
+            inputs_b: vec![Value::Int(2)],
+            cost_a: 10,
+            cost_b: 25,
+        };
+        assert_eq!(w.difference(), 15);
+    }
+
+    #[test]
+    fn unknown_function_is_none() {
+        let p = compile("fn f() { }").unwrap();
+        assert!(concretize(&p, "nope", None, 0, 10, 0).is_none());
+    }
+}

@@ -1,0 +1,798 @@
+//! The overall algorithm (Fig. 2): alternate refinement with `CheckSafe`,
+//! then with `CheckAttack`.
+
+use crate::attack::AttackSpec;
+use crate::mgt::most_general_trail;
+use crate::refine::{block_split, refine_partition, RefineMode};
+use crate::trail::BranchSyms;
+use crate::tree::{NodeStatus, SplitKind, TrailTree};
+use blazer_absint::transfer::entry_state;
+use blazer_absint::{DimMap, EdgeAlphabet, ProductGraph};
+use blazer_automata::{Dfa, Regex};
+use blazer_bounds::{graph_bounds, BoundResult, Observer};
+use blazer_domains::{AbstractDomain, IntervalVec, Octagon, Polyhedron, Zone};
+use blazer_interp::Value;
+use blazer_ir::cost::CostModel;
+use blazer_ir::{CallCost, Cfg, Function, Inst, NodeId, Program, Terminator};
+use std::collections::BTreeSet;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Which numeric abstract domain the analysis runs in (the domain-ablation
+/// axis of the evaluation). Polyhedra match the original tool's PPL
+/// backend; the weaker domains are faster but may fail to verify programs
+/// whose safety needs relational or non-unit-coefficient invariants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DomainKind {
+    /// Per-variable intervals.
+    Interval,
+    /// Difference-bound matrices.
+    Zone,
+    /// Octagons.
+    Octagon,
+    /// Convex polyhedra (default; matches the paper).
+    #[default]
+    Polyhedra,
+}
+
+/// Analysis configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// The attacker's observational model (narrowness criterion).
+    pub observer: Observer,
+    /// Maximum number of trail-tree nodes before giving up.
+    pub max_trails: usize,
+    /// Maximum regex size of a single trail.
+    pub max_trail_size: usize,
+    /// The machine cost model.
+    pub cost_model: CostModel,
+    /// Whether to search for an attack specification after safety fails.
+    pub synthesize_attack: bool,
+    /// How many times a loop may be unrolled by star splits along one
+    /// refinement path (the paper's "parameters around the size and form
+    /// of the partitions", Sec. 4.4).
+    pub max_star_unrollings: usize,
+    /// The numeric abstract domain to analyze with.
+    pub domain: DomainKind,
+}
+
+impl Config {
+    /// The MicroBench configuration: degree-equivalence observer.
+    pub fn microbench() -> Self {
+        Config {
+            observer: Observer::degree(),
+            max_trails: 48,
+            max_trail_size: 20_000,
+            cost_model: CostModel::unit(),
+            synthesize_attack: true,
+            max_star_unrollings: 2,
+            domain: DomainKind::Polyhedra,
+        }
+    }
+
+    /// The STAC / literature configuration: concrete 25k-instruction
+    /// threshold at 4096-magnitude inputs (Sec. 6.1).
+    pub fn stac() -> Self {
+        Config { observer: Observer::stac(), ..Config::microbench() }
+    }
+
+    /// Builder-style observer override.
+    pub fn with_observer(mut self, observer: Observer) -> Self {
+        self.observer = observer;
+        self
+    }
+
+    /// Builder-style numeric-domain override (the ablation axis).
+    pub fn with_domain(mut self, domain: DomainKind) -> Self {
+        self.domain = domain;
+        self
+    }
+
+    /// Builder-style refinement budget override.
+    pub fn with_max_trails(mut self, max_trails: usize) -> Self {
+        self.max_trails = max_trails;
+        self
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config::microbench()
+    }
+}
+
+/// The verdict of one analysis (the three outputs of Fig. 2).
+#[derive(Debug, Clone)]
+pub enum Verdict {
+    /// The program is verifiably free of timing channels.
+    Safe,
+    /// An attack specification was synthesized.
+    Attack(AttackSpec),
+    /// The tool gives up ("failed to produce a meaningful summary").
+    Unknown,
+}
+
+impl Verdict {
+    /// Whether this is [`Verdict::Safe`].
+    pub fn is_safe(&self) -> bool {
+        matches!(self, Verdict::Safe)
+    }
+
+    /// Whether this is an attack.
+    pub fn is_attack(&self) -> bool {
+        matches!(self, Verdict::Attack(_))
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Safe => f.write_str("safe"),
+            Verdict::Attack(_) => f.write_str("attack specification found"),
+            Verdict::Unknown => f.write_str("unknown"),
+        }
+    }
+}
+
+/// The complete result of analyzing one function.
+#[derive(Debug, Clone)]
+pub struct AnalysisOutcome {
+    /// The analyzed function's name.
+    pub function: String,
+    /// The verdict.
+    pub verdict: Verdict,
+    /// The tree of trails (Fig. 1).
+    pub tree: TrailTree,
+    /// Wall-clock time of the safety-verification phase.
+    pub safety_time: Duration,
+    /// Wall-clock time of the attack-synthesis phase, when it ran.
+    pub attack_time: Option<Duration>,
+    /// CFG size in basic blocks (the `Size` column of Table 1).
+    pub n_blocks: usize,
+}
+
+impl AnalysisOutcome {
+    /// Renders the trail tree with variable names (Fig. 1 style).
+    pub fn render_tree(&self, program: &Program) -> String {
+        let Some(f) = program.function(&self.function) else {
+            return String::new();
+        };
+        let dims = DimMap::new(f);
+        let name_of = move |d: usize| dims.describe(f, d);
+        self.tree.render(&|lo, hi| {
+            let lo_s = lo.display_with(&name_of);
+            match hi {
+                Some(h) => format!("[{lo_s}, {}]", h.display_with(&name_of)),
+                None => format!("[{lo_s}, ∞)"),
+            }
+        })
+    }
+}
+
+/// Errors from [`Blazer::analyze`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// The named function is not in the program.
+    NoSuchFunction(String),
+    /// The program fails validation.
+    InvalidProgram(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::NoSuchFunction(n) => write!(f, "no function named `{n}`"),
+            CoreError::InvalidProgram(m) => write!(f, "invalid program: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+/// The analyzer.
+#[derive(Debug, Clone, Default)]
+pub struct Blazer {
+    config: Config,
+}
+
+impl Blazer {
+    /// An analyzer with the given configuration.
+    pub fn new(config: Config) -> Self {
+        Blazer { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// Analyzes `func` within `program` per Fig. 2: prove safety, else
+    /// synthesize an attack specification, else give up.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] when the program is malformed or the function
+    /// missing.
+    pub fn analyze(&self, program: &Program, func: &str) -> Result<AnalysisOutcome, CoreError> {
+        program.validate().map_err(CoreError::InvalidProgram)?;
+        let f = program
+            .function(func)
+            .ok_or_else(|| CoreError::NoSuchFunction(func.to_string()))?;
+        let start = Instant::now();
+
+        let cfg = Cfg::new(f);
+        let alphabet = EdgeAlphabet::new(&cfg);
+        let dims = DimMap::new(f);
+        let taint = blazer_taint::analyze_function(program, f);
+
+        // Fast path: with no secret influence on control flow or call
+        // costs, there is nothing to leak (nosecret_safe).
+        if !has_secret_influence(f, &taint) {
+            let mut tree = TrailTree::new(most_general_trail(&cfg, &alphabet));
+            tree.node_mut(0).status = NodeStatus::Narrow;
+            return Ok(AnalysisOutcome {
+                function: func.to_string(),
+                verdict: Verdict::Safe,
+                tree,
+                safety_time: start.elapsed(),
+                attack_time: None,
+                n_blocks: f.blocks().len(),
+            });
+        }
+
+        let branches = branch_syms(f, &alphabet, &taint);
+        let high_seeds: BTreeSet<usize> = f
+            .params()
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.label.is_high())
+            .map(|(i, _)| dims.seed(i))
+            .collect();
+
+        let mut tree = TrailTree::new(most_general_trail(&cfg, &alphabet));
+        let mut star_depth: Vec<usize> = vec![0];
+
+        // ---- Safety loop: RefinePartition(safe) + CheckSafe --------------
+        let safe = loop {
+            // Evaluate pending leaves.
+            for leaf in tree.leaves() {
+                if tree.node(leaf).status != NodeStatus::Pending {
+                    continue;
+                }
+                let b = self.bounds_for(program, f, &cfg, &alphabet, &dims, &tree.node(leaf).trail);
+                tree.node_mut(leaf).status = judge(&b, &self.config.observer, &high_seeds);
+                tree.node_mut(leaf).bounds = Some(b);
+            }
+            let leaves = tree.leaves();
+            if leaves
+                .iter()
+                .all(|&l| matches!(tree.node(l).status, NodeStatus::Narrow | NodeStatus::Empty))
+            {
+                break true;
+            }
+            // Refine wide leaves at low-only constructors.
+            let mut split_any = false;
+            for leaf in leaves {
+                if tree.node(leaf).status != NodeStatus::Wide {
+                    continue;
+                }
+                if tree.len() + 2 > self.config.max_trails {
+                    continue;
+                }
+                let allow_star = star_depth[leaf] < self.config.max_star_unrollings;
+                let split = refine_partition(
+                    &tree.node(leaf).trail,
+                    &branches,
+                    RefineMode::Safe,
+                    allow_star,
+                )
+                .or_else(|| {
+                    branches.iter().find_map(|br| {
+                        block_split(
+                            &tree.node(leaf).trail,
+                            br,
+                            alphabet.len() as u32,
+                            RefineMode::Safe,
+                            self.config.max_trail_size,
+                        )
+                    })
+                });
+                let Some(split) = split else { continue };
+                if split
+                    .parts
+                    .iter()
+                    .any(|p| p.size() > self.config.max_trail_size)
+                {
+                    continue;
+                }
+                let child_depth = star_depth[leaf] + usize::from(split.is_star);
+                for part in split.parts {
+                    tree.add_child(leaf, part, SplitKind::Taint);
+                    star_depth.push(child_depth);
+                }
+                split_any = true;
+            }
+            if !split_any {
+                break false;
+            }
+        };
+        let safety_time = start.elapsed();
+        if safe {
+            return Ok(AnalysisOutcome {
+                function: func.to_string(),
+                verdict: Verdict::Safe,
+                tree,
+                safety_time,
+                attack_time: None,
+                n_blocks: f.blocks().len(),
+            });
+        }
+        if !self.config.synthesize_attack {
+            return Ok(AnalysisOutcome {
+                function: func.to_string(),
+                verdict: Verdict::Unknown,
+                tree,
+                safety_time,
+                attack_time: None,
+                n_blocks: f.blocks().len(),
+            });
+        }
+
+        // ---- Attack loop: RefinePartition(vulnerable) + CheckAttack ------
+        let attack_start = Instant::now();
+        let mut verdict = Verdict::Unknown;
+        // All nodes produced by secret splits; CHECKATTACK compares any two
+        // of them whose *separation* is a secret split (their lowest common
+        // ancestor's children on the two paths were produced by a `sec`
+        // split — the paper's "T₁ ⊎ T₂ is not a ψ_SC-quotient partition").
+        let mut candidates: Vec<usize> = Vec::new();
+        'attack: loop {
+            let mut split_any = false;
+            for leaf in tree.leaves() {
+                if tree.node(leaf).status != NodeStatus::Wide {
+                    continue;
+                }
+                if tree.len() + 2 > self.config.max_trails {
+                    break;
+                }
+                let allow_star = star_depth[leaf] < self.config.max_star_unrollings;
+                let split = refine_partition(
+                    &tree.node(leaf).trail,
+                    &branches,
+                    RefineMode::Vulnerable,
+                    allow_star,
+                )
+                .or_else(|| {
+                    branches.iter().find_map(|br| {
+                        block_split(
+                            &tree.node(leaf).trail,
+                            br,
+                            alphabet.len() as u32,
+                            RefineMode::Vulnerable,
+                            self.config.max_trail_size,
+                        )
+                    })
+                });
+                let Some(split) = split else { continue };
+                if split
+                    .parts
+                    .iter()
+                    .any(|p| p.size() > self.config.max_trail_size)
+                {
+                    continue;
+                }
+                split_any = true;
+                let child_depth = star_depth[leaf] + usize::from(split.is_star);
+                let mut children = Vec::new();
+                for part in split.parts {
+                    let id = tree.add_child(leaf, part, SplitKind::Secret);
+                    star_depth.push(child_depth);
+                    let b = self.bounds_for(program, f, &cfg, &alphabet, &dims, &tree.node(id).trail);
+                    tree.node_mut(id).status = judge(&b, &self.config.observer, &high_seeds);
+                    tree.node_mut(id).bounds = Some(b);
+                    children.push(id);
+                }
+                for &c in &children {
+                    for &d in &candidates {
+                        if !sec_separated(&tree, c, d) {
+                            continue;
+                        }
+                        if let Some(spec) = check_attack_pair(&self.config.observer, &tree, c, d)
+                        {
+                            tree.node_mut(c).status = NodeStatus::Attack;
+                            tree.node_mut(d).status = NodeStatus::Attack;
+                            verdict = Verdict::Attack(spec);
+                            break 'attack;
+                        }
+                    }
+                    candidates.push(c);
+                }
+                // Siblings of one split are always sec-separated.
+                for (ai, &a) in children.iter().enumerate() {
+                    for &b in &children[ai + 1..] {
+                        if let Some(spec) = check_attack_pair(&self.config.observer, &tree, a, b)
+                        {
+                            tree.node_mut(a).status = NodeStatus::Attack;
+                            tree.node_mut(b).status = NodeStatus::Attack;
+                            verdict = Verdict::Attack(spec);
+                            break 'attack;
+                        }
+                    }
+                }
+            }
+            if !split_any || tree.len() >= self.config.max_trails {
+                break;
+            }
+        }
+        Ok(AnalysisOutcome {
+            function: func.to_string(),
+            verdict,
+            tree,
+            safety_time,
+            attack_time: Some(attack_start.elapsed()),
+            n_blocks: f.blocks().len(),
+        })
+    }
+
+    /// BOUNDANALYSIS for one trail: restrict the product to the trail's
+    /// minimized DFA and compute symbolic bounds in the configured domain.
+    fn bounds_for(
+        &self,
+        program: &Program,
+        f: &Function,
+        cfg: &Cfg,
+        alphabet: &EdgeAlphabet,
+        dims: &DimMap,
+        trail: &Regex,
+    ) -> BoundResult {
+        let dfa = Dfa::from_regex(trail, alphabet.len() as u32).minimize();
+        let graph = ProductGraph::restricted(f, cfg, &dfa, alphabet);
+        if std::env::var("BLAZER_TRACE_BOUNDS").is_ok() {
+            eprintln!(
+                "bounds_for: trail size {} dfa {} product {}/{} exits {}",
+                trail.size(),
+                dfa.n_states(),
+                graph.len(),
+                graph.edges().len(),
+                graph.exits().len()
+            );
+        }
+        fn run<D: AbstractDomain>(
+            program: &Program,
+            f: &Function,
+            dims: &DimMap,
+            graph: &ProductGraph,
+            cost_model: &CostModel,
+        ) -> BoundResult {
+            let init: D = entry_state(f, dims);
+            let seeds: BTreeSet<usize> = dims.seeds().collect();
+            graph_bounds(program, f, dims, graph, &init, cost_model, &seeds)
+        }
+        let cm = &self.config.cost_model;
+        let out = match self.config.domain {
+            DomainKind::Interval => run::<IntervalVec>(program, f, dims, &graph, cm),
+            DomainKind::Zone => run::<Zone>(program, f, dims, &graph, cm),
+            DomainKind::Octagon => run::<Octagon>(program, f, dims, &graph, cm),
+            DomainKind::Polyhedra => run::<Polyhedron>(program, f, dims, &graph, cm),
+        };
+        if std::env::var("BLAZER_TRACE_BOUNDS").is_ok() {
+            eprintln!(
+                "  -> lower {:?} upper {:?}",
+                out.lower.as_ref().map(|e| e.to_string()),
+                out.upper.as_ref().map(|e| e.to_string())
+            );
+        }
+        out
+    }
+}
+
+/// Whether the tree separation between `a` and `b` is a secret split: the
+/// children of their lowest common ancestor along the two paths carry
+/// [`SplitKind::Secret`]. Pairs separated only by taint splits have
+/// different low inputs, so differing bounds prove nothing.
+fn sec_separated(tree: &TrailTree, a: usize, b: usize) -> bool {
+    let path_to_root = |mut n: usize| {
+        let mut path = vec![n];
+        while let Some(p) = tree.node(n).parent {
+            path.push(p);
+            n = p;
+        }
+        path
+    };
+    let pa = path_to_root(a);
+    let pb = path_to_root(b);
+    // Find the LCA: deepest node common to both paths.
+    let set_b: std::collections::BTreeSet<usize> = pb.iter().copied().collect();
+    let Some(lca_pos) = pa.iter().position(|n| set_b.contains(n)) else {
+        return false;
+    };
+    if lca_pos == 0 {
+        return false; // one is an ancestor of the other: not a separation
+    }
+    // The child of the LCA on a's path records the split kind.
+    let child_on_a = pa[lca_pos - 1];
+    tree.node(child_on_a).split_kind == Some(SplitKind::Secret)
+}
+
+/// CHECKATTACK on one pair: observably different bound ranges.
+fn check_attack_pair(
+    observer: &Observer,
+    tree: &TrailTree,
+    a: usize,
+    b: usize,
+) -> Option<AttackSpec> {
+    let ba = tree.node(a).bounds.clone()?;
+    let bb = tree.node(b).bounds.clone()?;
+    let (lo_a, lo_b) = (ba.lower.clone()?, bb.lower.clone()?);
+    if observer
+        .observably_different((&lo_a, ba.upper.as_ref()), (&lo_b, bb.upper.as_ref()))
+    {
+        Some(AttackSpec {
+            node_a: a,
+            node_b: b,
+            trail_a: tree.node(a).trail.clone(),
+            trail_b: tree.node(b).trail.clone(),
+            bounds_a: (lo_a, ba.upper),
+            bounds_b: (lo_b, bb.upper),
+        })
+    } else {
+        None
+    }
+}
+
+/// CHECKSAFE's per-component judgment.
+fn judge(b: &BoundResult, observer: &Observer, high_seeds: &BTreeSet<usize>) -> NodeStatus {
+    match (&b.lower, &b.upper) {
+        (None, _) => NodeStatus::Empty,
+        (Some(lo), Some(hi)) if observer.is_narrow(lo, hi, high_seeds) => NodeStatus::Narrow,
+        _ => NodeStatus::Wide,
+    }
+}
+
+/// Whether secret data can influence running time at all: a high-tainted
+/// branch, or a value-dependent call cost fed by high data.
+fn has_secret_influence(f: &Function, taint: &blazer_taint::TaintReport) -> bool {
+    if taint.any_high_branch() {
+        return true;
+    }
+    for (bid, block) in f.iter_blocks() {
+        for inst in &block.insts {
+            if let Inst::Call { args, cost: CallCost::Linear { arg, .. }, .. } = inst {
+                if let Some(op) = args.get(*arg) {
+                    if let Some(v) = op.as_var() {
+                        if taint.var_taint_at_exit(bid, v).any().is_high() {
+                            return true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    false
+}
+
+/// The tainted-branch symbol table feeding trail annotation.
+fn branch_syms(
+    f: &Function,
+    alphabet: &EdgeAlphabet,
+    taint: &blazer_taint::TaintReport,
+) -> Vec<BranchSyms> {
+    let mut out = Vec::new();
+    for (bid, block) in f.iter_blocks() {
+        let Terminator::Branch { then_bb, else_bb, .. } = &block.term else {
+            continue;
+        };
+        if then_bb == else_bb {
+            continue;
+        }
+        let Some(taint_val) = taint.branch_taint(bid) else { continue };
+        let from = NodeId::block(bid);
+        out.push(BranchSyms {
+            then_sym: alphabet.sym(blazer_ir::Edge::new(from, NodeId::block(*then_bb))),
+            else_sym: alphabet.sym(blazer_ir::Edge::new(from, NodeId::block(*else_bb))),
+            taint: taint_val,
+        });
+    }
+    out
+}
+
+/// Convenience: search for a concrete witness pair for an outcome's attack
+/// specification (None for non-attack verdicts or when the search fails).
+pub fn concretize_outcome(
+    program: &Program,
+    outcome: &AnalysisOutcome,
+    attempts: u32,
+) -> Option<(Vec<Value>, Vec<Value>)> {
+    let Verdict::Attack(spec) = &outcome.verdict else { return None };
+    crate::attack::concretize(program, &outcome.function, Some(spec), 0, attempts, 0xB1A2)
+        .map(|w| (w.inputs_a, w.inputs_b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blazer_lang::compile;
+
+    fn analyze(src: &str, func: &str, config: Config) -> AnalysisOutcome {
+        let p = compile(src).unwrap();
+        Blazer::new(config).analyze(&p, func).unwrap()
+    }
+
+    #[test]
+    fn example1_safe_with_single_component() {
+        // Sec. 2 Example 1: balanced high branch, one partition suffices.
+        let src = "fn foo(high: int #high, low: int) { \
+            if (high == 0) { \
+                let i: int = 0; \
+                while (i < low) { i = i + 1; } \
+            } else { \
+                let i: int = low; \
+                while (i > 0) { i = i - 1; } \
+            } \
+        }";
+        let out = analyze(src, "foo", Config::microbench());
+        assert!(out.verdict.is_safe(), "{}", out.render_tree(&compile(src).unwrap()));
+    }
+
+    #[test]
+    fn example2_needs_low_split() {
+        // Sec. 2 Example 2: split at low > 0.
+        let src = "fn bar(high: int #high, low: int) { \
+            if (low > 0) { \
+                let i: int = 0; \
+                while (i < low) { i = i + 1; } \
+                while (i > 0) { i = i - 1; } \
+            } else { \
+                if (high == 0) { let i: int = 5; i = i; } else { let i: int = 0; i = i + 1; } \
+            } \
+        }";
+        let out = analyze(src, "bar", Config::microbench());
+        assert!(out.verdict.is_safe());
+        assert!(out.tree.len() >= 3, "a taint split must have happened");
+    }
+
+    #[test]
+    fn nosecret_fast_path() {
+        let src = "fn f(low: int) { let i: int = 0; while (i < low) { i = i + 1; } }";
+        let out = analyze(src, "f", Config::microbench());
+        assert!(out.verdict.is_safe());
+        assert_eq!(out.tree.len(), 1);
+        assert!(out.attack_time.is_none());
+    }
+
+    #[test]
+    fn unbalanced_high_branch_yields_attack() {
+        let src = "fn f(high: int #high, low: int) { \
+            if (high == 0) { tick(1); } else { \
+                let i: int = 0; \
+                while (i < low) { i = i + 1; } \
+            } \
+        }";
+        let out = analyze(src, "f", Config::microbench());
+        assert!(out.verdict.is_attack(), "verdict: {}", out.verdict);
+        assert!(out.attack_time.is_some());
+        // The attack spec names two distinct sibling trails.
+        let Verdict::Attack(spec) = &out.verdict else { unreachable!() };
+        assert_ne!(spec.node_a, spec.node_b);
+    }
+
+    #[test]
+    fn attack_concretizes_to_witness_inputs() {
+        let src = "fn f(high: int #high, low: int) { \
+            if (high == 0) { tick(1); } else { \
+                let i: int = 0; \
+                while (i < 30) { i = i + 1; } \
+            } \
+        }";
+        let p = compile(src).unwrap();
+        let out = Blazer::new(Config::microbench()).analyze(&p, "f").unwrap();
+        assert!(out.verdict.is_attack());
+        let (a, b) = concretize_outcome(&p, &out, 300).expect("witness exists");
+        assert_eq!(a[1], b[1], "low inputs agree");
+    }
+
+    #[test]
+    fn secret_dependent_loop_bound_is_safe_when_tight() {
+        // loopAndBranch-style: running time is an exact function of high,
+        // so lower == upper and the width is secret-independent.
+        let src = "fn f(high: int #high, low: int) { \
+            if (low < 0) { \
+                let i: int = high; \
+                while (i > 0) { i = i - 1; } \
+            } else { \
+                let j: int = high; \
+                while (j > 0) { j = j - 1; } \
+            } \
+        }";
+        let out = analyze(src, "f", Config::microbench());
+        assert!(
+            out.verdict.is_safe(),
+            "tight secret-dependent bounds are narrow:\n{}",
+            analyze(src, "f", Config::microbench()).tree.render(&|lo, hi| format!(
+                "[{lo}, {:?}]",
+                hi.map(|h| h.to_string())
+            ))
+        );
+    }
+
+    #[test]
+    fn sec7_ex2_compensating_branches_safe() {
+        // Related-work ex2: both branches on high cost the same.
+        let src = "fn f(h: int #high, x: int) { \
+            if (h > x) { tick(1); } else { tick(1); } \
+            if (h <= x) { tick(1); } else { tick(1); } \
+        }";
+        let out = analyze(src, "f", Config::microbench());
+        assert!(out.verdict.is_safe());
+    }
+
+    #[test]
+    fn sec7_ex1_dead_high_loop_safe() {
+        // Related-work ex1: `if false { while (h < x) h++ }`.
+        let src = "fn f(x: int, h: int #high) { \
+            let c: int = 0; \
+            if (c == 1) { \
+                while (h < x) { h = h + 1; } \
+            } \
+        }";
+        let out = analyze(src, "f", Config::microbench());
+        assert!(out.verdict.is_safe());
+    }
+
+    #[test]
+    fn unknown_function_errors() {
+        let p = compile("fn f() { }").unwrap();
+        let e = Blazer::new(Config::microbench()).analyze(&p, "g").unwrap_err();
+        assert_eq!(e, CoreError::NoSuchFunction("g".into()));
+    }
+
+    #[test]
+    fn disabled_attack_synthesis_returns_unknown() {
+        let src = "fn f(high: int #high) { \
+            if (high == 0) { tick(1); } else { tick(100); } \
+        }";
+        let mut config = Config::microbench();
+        config.synthesize_attack = false;
+        let out = analyze(src, "f", config);
+        assert!(matches!(out.verdict, Verdict::Unknown));
+    }
+
+    #[test]
+    fn config_builders() {
+        let c = Config::microbench()
+            .with_domain(DomainKind::Zone)
+            .with_max_trails(7)
+            .with_observer(blazer_bounds::Observer::stac());
+        assert_eq!(c.domain, DomainKind::Zone);
+        assert_eq!(c.max_trails, 7);
+        assert!(matches!(
+            c.observer,
+            blazer_bounds::Observer::ConcreteThreshold { .. }
+        ));
+    }
+
+    #[test]
+    fn zone_domain_verdicts_on_simple_cases() {
+        // The weaker zone domain still verifies difference-shaped cases.
+        let src = "fn f(high: int #high, low: int) {             if (high == 0) {                 let i: int = 0;                 while (i < low) { i = i + 1; }             } else {                 let i: int = low;                 while (i > 0) { i = i - 1; }             }         }";
+        let p = blazer_lang::compile(src).unwrap();
+        let out = Blazer::new(Config::microbench().with_domain(DomainKind::Zone))
+            .analyze(&p, "f")
+            .unwrap();
+        assert!(out.verdict.is_safe(), "{}", out.verdict);
+    }
+
+    #[test]
+    fn outcome_rendering_names_variables() {
+        let src = "fn f(guess: array, high: int #high) { \
+            let i: int = 0; \
+            while (i < len(guess)) { i = i + 1; } \
+            if (high > 0) { tick(1); } else { tick(1); } \
+        }";
+        let p = compile(src).unwrap();
+        let out = Blazer::new(Config::microbench()).analyze(&p, "f").unwrap();
+        assert!(out.verdict.is_safe());
+        let rendering = out.render_tree(&p);
+        assert!(rendering.contains("guess.len"), "{rendering}");
+    }
+}

@@ -1,0 +1,98 @@
+//! The most general trail of a CFG (Sec. 4.1).
+
+use blazer_absint::EdgeAlphabet;
+use blazer_automata::{graph_to_regex, Regex};
+use blazer_ir::Cfg;
+
+/// The most general trail `trmg` of a CFG: a regular expression over the
+/// edge alphabet whose language equals the language of the CFG automaton
+/// (entry to exit). Its language is a superset of the actual execution
+/// traces, as the paper notes.
+pub fn most_general_trail(cfg: &Cfg, alphabet: &EdgeAlphabet) -> Regex {
+    let edges: Vec<(usize, blazer_automata::Sym, usize)> = cfg
+        .edges()
+        .into_iter()
+        .map(|e| (e.from.index(), alphabet.sym(e), e.to.index()))
+        .collect();
+    graph_to_regex(
+        cfg.n_nodes(),
+        &edges,
+        cfg.entry().index(),
+        &[cfg.exit().index()],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blazer_automata::{ops, Dfa, Nfa};
+    use blazer_lang::compile;
+
+    /// L(trmg) must equal the CFG automaton's language.
+    fn check(src: &str) {
+        let p = compile(src).unwrap();
+        let f = p.functions().next().unwrap();
+        let cfg = Cfg::new(f);
+        let alpha = EdgeAlphabet::new(&cfg);
+        let trmg = most_general_trail(&cfg, &alpha);
+        let edges: Vec<(usize, blazer_automata::Sym, usize)> = cfg
+            .edges()
+            .into_iter()
+            .map(|e| (e.from.index(), alpha.sym(e), e.to.index()))
+            .collect();
+        let graph_dfa = Dfa::from_nfa(&Nfa::from_graph(
+            alpha.len() as u32,
+            cfg.n_nodes(),
+            &edges,
+            cfg.entry().index(),
+            &[cfg.exit().index()],
+        ));
+        let trail_dfa = Dfa::from_regex(&trmg, alpha.len() as u32);
+        assert!(
+            ops::equivalent(&graph_dfa, &trail_dfa),
+            "most general trail must match CFG language: {trmg}"
+        );
+    }
+
+    #[test]
+    fn straightline() {
+        check("fn f() { tick(1); }");
+    }
+
+    #[test]
+    fn branching() {
+        check("fn f(x: int) { if (x > 0) { tick(1); } else { tick(2); } }");
+    }
+
+    #[test]
+    fn looping() {
+        check("fn f(n: int) { let i: int = 0; while (i < n) { i = i + 1; } }");
+    }
+
+    #[test]
+    fn early_returns() {
+        check(
+            "fn f(n: int) -> int { \
+                if (n < 0) { return 0; } \
+                let i: int = 0; \
+                while (i < n) { if (i == 7) { return 1; } i = i + 1; } \
+                return 2; \
+            }",
+        );
+    }
+
+    #[test]
+    fn paper_example_2_shape() {
+        check(
+            "fn bar(high: int #high, low: int) { \
+                if (low > 0) { \
+                    let i: int = 0; \
+                    while (i < low) { i = i + 1; } \
+                    while (i > 0) { i = i - 1; } \
+                } else { \
+                    if (high == 0) { tick(1); } else { tick(2); } \
+                } \
+            }",
+        );
+    }
+}

@@ -1,0 +1,486 @@
+//! The semantic quotient-partitioning framework of Sec. 3, executable on
+//! finite trace sets.
+//!
+//! These definitions mirror the paper one-to-one so the soundness theorem
+//! (Theorem 3.1) can be *checked empirically*: for small programs we
+//! enumerate traces, build a partition, verify the premises, and confirm
+//! the conclusion. The production analysis in [`crate::driver`] is one
+//! instance (ψ = equal low inputs, P = "running time close to a fixed
+//! high-independent function").
+
+/// A trace partition: a family of (possibly overlapping) components, each a
+/// set of indices into a trace universe. The paper's `T = {T₁, …, Tₙ}`.
+pub type Partition = Vec<Vec<usize>>;
+
+/// Whether the partition covers every trace: `⟦C⟧ ⊆ ⋃ᵢ Tᵢ`.
+pub fn covers(n_traces: usize, partition: &Partition) -> bool {
+    (0..n_traces).all(|t| partition.iter().any(|comp| comp.contains(&t)))
+}
+
+/// Whether `partition` is a ψ-quotient partition (Sec. 3.2, k = 2): every
+/// pair of traces satisfying ψ shares some component.
+pub fn is_psi_quotient<T>(
+    traces: &[T],
+    partition: &Partition,
+    psi: impl Fn(&T, &T) -> bool,
+) -> bool {
+    for i in 0..traces.len() {
+        for j in 0..traces.len() {
+            if psi(&traces[i], &traces[j]) {
+                let together = partition
+                    .iter()
+                    .any(|comp| comp.contains(&i) && comp.contains(&j));
+                if !together {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Whether a 2-safety property Φ is ψ-quotient partitionable (Sec. 3.2):
+/// `∀π₁π₂. ψ(π₁,π₂) ∨ Φ(π₁,π₂)` on this finite universe.
+pub fn is_psi_partitionable<T>(
+    traces: &[T],
+    psi: impl Fn(&T, &T) -> bool,
+    phi: impl Fn(&T, &T) -> bool,
+) -> bool {
+    for a in traces {
+        for b in traces {
+            if !psi(a, b) && !phi(a, b) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Whether the trace property `P` is relational-by-property-sharing for Φ
+/// (Sec. 3.3): `P(π₁) ∧ P(π₂) ⇒ Φ(π₁, π₂)` on this finite universe.
+pub fn rbps<T>(traces: &[T], p: impl Fn(&T) -> bool, phi: impl Fn(&T, &T) -> bool) -> bool {
+    for a in traces {
+        for b in traces {
+            if p(a) && p(b) && !phi(a, b) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// The premises of Theorem 3.1 for one concrete instantiation: a per-
+/// component trace property `props[i]` for component `i`.
+///
+/// Returns `Ok(())` when all premises hold — in which case the theorem
+/// *guarantees* `∀π₁π₂. Φ(π₁,π₂)` — or a description of the failing
+/// premise.
+///
+/// # Errors
+///
+/// Reports which premise (coverage, quotient, partitionability, RBPS, or a
+/// per-component property) fails.
+pub fn theorem_3_1_premises<T>(
+    traces: &[T],
+    partition: &Partition,
+    psi: impl Fn(&T, &T) -> bool + Copy,
+    phi: impl Fn(&T, &T) -> bool + Copy,
+    props: &[&dyn Fn(&T) -> bool],
+) -> Result<(), String> {
+    if props.len() != partition.len() {
+        return Err("one property per component required".into());
+    }
+    if !covers(traces.len(), partition) {
+        return Err("partition does not cover the trace set".into());
+    }
+    if !is_psi_quotient(traces, partition, psi) {
+        return Err("partition is not ψ-quotient".into());
+    }
+    if !is_psi_partitionable(traces, psi, phi) {
+        return Err("property is not ψ-quotient partitionable".into());
+    }
+    for (i, comp) in partition.iter().enumerate() {
+        if !rbps(traces, props[i], phi) {
+            return Err(format!("P{i} is not relational-by-property-sharing"));
+        }
+        for &t in comp {
+            if !props[i](&traces[t]) {
+                return Err(format!("trace {t} violates P{i}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The conclusion of Theorem 3.1: the 2-safety property holds on all pairs.
+pub fn two_safety_holds<T>(traces: &[T], phi: impl Fn(&T, &T) -> bool) -> bool {
+    traces.iter().all(|a| traces.iter().all(|b| phi(a, b)))
+}
+
+// ---------------------------------------------------------------------------
+// General k (Sec. 3.4): the framework is "developed generally for k-safety
+// properties where k can be larger than 2". These generic-k versions take
+// predicates over trace slices.
+// ---------------------------------------------------------------------------
+
+/// Whether `partition` is a ψ-quotient partition for a k-ary ψ: every
+/// k-tuple satisfying ψ shares a component. (Tuples are drawn with
+/// repetition, as in the paper's `∀π₁…πk ∈ ⟦C⟧ᵏ`.)
+pub fn is_psi_quotient_k<T>(
+    traces: &[T],
+    partition: &Partition,
+    k: usize,
+    psi: impl Fn(&[&T]) -> bool,
+) -> bool {
+    for_all_tuples(traces.len(), k, &mut |idx| {
+        let tuple: Vec<&T> = idx.iter().map(|&i| &traces[i]).collect();
+        if psi(&tuple) {
+            partition
+                .iter()
+                .any(|comp| idx.iter().all(|i| comp.contains(i)))
+        } else {
+            true
+        }
+    })
+}
+
+/// Whether a k-safety property Φ is ψ-quotient partitionable:
+/// `∀π̄. ψ(π̄) ∨ Φ(π̄)`.
+pub fn is_psi_partitionable_k<T>(
+    traces: &[T],
+    k: usize,
+    psi: impl Fn(&[&T]) -> bool,
+    phi: impl Fn(&[&T]) -> bool,
+) -> bool {
+    for_all_tuples(traces.len(), k, &mut |idx| {
+        let tuple: Vec<&T> = idx.iter().map(|&i| &traces[i]).collect();
+        psi(&tuple) || phi(&tuple)
+    })
+}
+
+/// k-ary relational-by-property-sharing: `⋀ᵢ P(πᵢ) ⇒ Φ(π̄)`.
+pub fn rbps_k<T>(
+    traces: &[T],
+    k: usize,
+    p: impl Fn(&T) -> bool,
+    phi: impl Fn(&[&T]) -> bool,
+) -> bool {
+    for_all_tuples(traces.len(), k, &mut |idx| {
+        let tuple: Vec<&T> = idx.iter().map(|&i| &traces[i]).collect();
+        if tuple.iter().all(|t| p(t)) {
+            phi(&tuple)
+        } else {
+            true
+        }
+    })
+}
+
+/// Whether the k-safety property holds on all k-tuples.
+pub fn k_safety_holds<T>(traces: &[T], k: usize, phi: impl Fn(&[&T]) -> bool) -> bool {
+    for_all_tuples(traces.len(), k, &mut |idx| {
+        let tuple: Vec<&T> = idx.iter().map(|&i| &traces[i]).collect();
+        phi(&tuple)
+    })
+}
+
+/// Enumerates all length-`k` index tuples over `0..n` (with repetition),
+/// invoking `check`; returns false at the first violation.
+fn for_all_tuples(n: usize, k: usize, check: &mut impl FnMut(&[usize]) -> bool) -> bool {
+    let mut idx = vec![0usize; k];
+    if n == 0 {
+        return true;
+    }
+    loop {
+        if !check(&idx) {
+            return false;
+        }
+        // Odometer increment.
+        let mut pos = k;
+        loop {
+            if pos == 0 {
+                return true;
+            }
+            pos -= 1;
+            idx[pos] += 1;
+            if idx[pos] < n {
+                break;
+            }
+            idx[pos] = 0;
+        }
+    }
+}
+
+/// The m-ary relational extension of RBPS (end of Sec. 3.3): a relation Θ
+/// over m traces such that Θ holding on every m-subset of a k-tuple implies
+/// Φ on the tuple. Checked here for m = 2 over k-tuples:
+/// `⋀_{i<j} Θ(πᵢ, πⱼ) ⇒ Φ(π̄)`.
+pub fn rbps_relational_2<T>(
+    traces: &[T],
+    k: usize,
+    theta: impl Fn(&T, &T) -> bool,
+    phi: impl Fn(&[&T]) -> bool,
+) -> bool {
+    for_all_tuples(traces.len(), k, &mut |idx| {
+        let tuple: Vec<&T> = idx.iter().map(|&i| &traces[i]).collect();
+        let all_pairs = (0..k).all(|i| (0..k).all(|j| i >= j || theta(tuple[i], tuple[j])));
+        if all_pairs {
+            phi(&tuple)
+        } else {
+            true
+        }
+    })
+}
+
+/// The channel-capacity property `ccf` for capacity q (Sec. 3.4): at most
+/// `q` distinct running times per public input, a (q+1)-safety property.
+/// `eps` is the attacker-indistinguishability constant for times.
+pub fn channel_capacity_phi(
+    q: usize,
+    eps: u64,
+) -> impl Fn(&[&(i64, i64, u64)]) -> bool {
+    move |tuple: &[&(i64, i64, u64)]| {
+        debug_assert_eq!(tuple.len(), q + 1);
+        // If the tuple shares lows, some pair among the q+1 must be
+        // indistinguishable (pigeonhole over at most q classes).
+        let same_low = tuple.windows(2).all(|w| w[0].0 == w[1].0);
+        if !same_low {
+            return true;
+        }
+        for i in 0..tuple.len() {
+            for j in i + 1..tuple.len() {
+                if tuple[i].2.abs_diff(tuple[j].2) <= eps {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A miniature trace: (low input, high input, running time).
+    type Tr = (i64, i64, u64);
+
+    fn psi_tcf(a: &Tr, b: &Tr) -> bool {
+        a.0 == b.0
+    }
+
+    /// Timing-channel freedom with attacker constant 1.
+    fn phi_tcf(a: &Tr, b: &Tr) -> bool {
+        !psi_tcf(a, b) || a.2.abs_diff(b.2) <= 1
+    }
+
+    /// Example 2 from Sec. 2: low > 0 runs in 2·low, otherwise constant
+    /// 1 or 2 depending on high.
+    fn example2_traces() -> Vec<Tr> {
+        let mut out = Vec::new();
+        for low in -2..=3i64 {
+            for high in 0..=1i64 {
+                let time = if low > 0 { 2 * low as u64 } else { 1 + high as u64 };
+                out.push((low, high, time));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn example2_partition_satisfies_theorem() {
+        let traces = example2_traces();
+        // T> = {low > 0}, T≤ = {low ≤ 0}.
+        let t_pos: Vec<usize> = (0..traces.len()).filter(|&i| traces[i].0 > 0).collect();
+        let t_neg: Vec<usize> = (0..traces.len()).filter(|&i| traces[i].0 <= 0).collect();
+        let partition = vec![t_pos, t_neg];
+        // P_lin: time = 2·low; P_const: time within 1 of 1.
+        let p_lin = |t: &Tr| t.0 > 0 && t.2 == 2 * t.0 as u64;
+        let p_const = |t: &Tr| t.0 <= 0 && t.2.abs_diff(1) <= 1;
+        // Hmm: RBPS must hold for ALL pairs satisfying both P's, including
+        // pairs with different lows — those satisfy Φ vacuously.
+        theorem_3_1_premises(
+            &traces,
+            &partition,
+            psi_tcf,
+            phi_tcf,
+            &[&p_lin, &p_const],
+        )
+        .expect("premises hold");
+        assert!(two_safety_holds(&traces, phi_tcf));
+    }
+
+    #[test]
+    fn leaky_program_fails_somewhere() {
+        // time = high: blatant channel.
+        let traces: Vec<Tr> = (0..4)
+            .flat_map(|low| (0..4).map(move |high| (low, high, 10 * high as u64)))
+            .collect();
+        // No partition on low data can save it: with the trivial partition
+        // and the only candidate P (constant time), premises fail.
+        let all: Vec<usize> = (0..traces.len()).collect();
+        let partition = vec![all];
+        let p_const = |t: &Tr| t.2 <= 1;
+        let r = theorem_3_1_premises(&traces, &partition, psi_tcf, phi_tcf, &[&p_const]);
+        assert!(r.is_err());
+        assert!(!two_safety_holds(&traces, phi_tcf));
+    }
+
+    #[test]
+    fn quotient_violations_detected() {
+        let traces: Vec<Tr> = vec![(0, 0, 1), (0, 1, 1), (1, 0, 2)];
+        // Splitting the two low=0 traces apart is NOT ψ-quotient.
+        let bad = vec![vec![0], vec![1, 2]];
+        assert!(!is_psi_quotient(&traces, &bad, psi_tcf));
+        let good = vec![vec![0, 1], vec![2]];
+        assert!(is_psi_quotient(&traces, &good, psi_tcf));
+    }
+
+    #[test]
+    fn coverage_detected() {
+        assert!(covers(3, &vec![vec![0, 1], vec![2]]));
+        assert!(!covers(3, &vec![vec![0, 1]]));
+    }
+
+    #[test]
+    fn tcf_is_psi_partitionable() {
+        // Example 6: tcf is ψtcf-quotient partitionable by construction.
+        let traces = example2_traces();
+        assert!(is_psi_partitionable(&traces, psi_tcf, phi_tcf));
+    }
+
+    #[test]
+    fn overlapping_components_allowed() {
+        // "we do not enforce the Tᵢ's to be pairwise disjoint".
+        let traces: Vec<Tr> = vec![(0, 0, 1), (0, 1, 1)];
+        let overlapping = vec![vec![0, 1], vec![1]];
+        assert!(covers(2, &overlapping));
+        assert!(is_psi_quotient(&traces, &overlapping, psi_tcf));
+    }
+
+    #[test]
+    fn determinism_is_quotient_partitionable() {
+        // Sec. 3.4: det(C) with ψdet(π₁, π₂) = in(π₁) = in(π₂). Traces:
+        // (input, _, output-as-time).
+        let traces: Vec<Tr> = vec![(0, 0, 5), (0, 1, 5), (1, 0, 9), (1, 1, 9)];
+        let psi = |a: &Tr, b: &Tr| a.0 == b.0;
+        let phi = |a: &Tr, b: &Tr| a.0 != b.0 || a.2 == b.2;
+        assert!(is_psi_partitionable(&traces, psi, phi));
+        // Partition by input; P_g(π): out(π) = g(in(π)).
+        let partition = vec![vec![0, 1], vec![2, 3]];
+        assert!(is_psi_quotient(&traces, &partition, psi));
+        let p0 = |t: &Tr| t.0 == 0 && t.2 == 5;
+        let p1 = |t: &Tr| t.0 == 1 && t.2 == 9;
+        theorem_3_1_premises(&traces, &partition, psi, phi, &[&p0, &p1])
+            .expect("deterministic system verifies");
+        assert!(two_safety_holds(&traces, phi));
+    }
+
+    #[test]
+    fn channel_capacity_two_times_is_3_safety() {
+        // A system with exactly two running times per low input (a one-bit
+        // channel): ccf with q = 2 holds, plain tcf (q = 1) does not.
+        let traces: Vec<Tr> = (0..3)
+            .flat_map(|low| (0..4).map(move |high| (low, high, 10 + (high % 2) as u64 * 50)))
+            .collect();
+        let psi3 = |t: &[&Tr]| t.windows(2).all(|w| w[0].0 == w[1].0);
+        let phi3 = channel_capacity_phi(2, 1);
+        assert!(is_psi_partitionable_k(&traces, 3, psi3, &phi3));
+        assert!(k_safety_holds(&traces, 3, &phi3), "q = 2 capacity holds");
+        assert!(!two_safety_holds(&traces, phi_tcf), "q = 1 (tcf) fails");
+        // Per-low partition is ψ-quotient for the ternary ψ as well.
+        let mut partition: Partition = Vec::new();
+        for low in 0..3 {
+            partition.push((0..traces.len()).filter(|&i| traces[i].0 == low).collect());
+        }
+        assert!(is_psi_quotient_k(&traces, &partition, 3, psi3));
+        // RBPS with P_{f1,f2}: time close to 10 or 60 (the two allowed
+        // high-independent time functions of Example 7's generalization).
+        let p = |t: &Tr| t.2.abs_diff(10) <= 1 || t.2.abs_diff(60) <= 1;
+        assert!(rbps_k(&traces, 3, p, &phi3));
+    }
+
+    #[test]
+    fn capacity_violation_detected() {
+        // Three well-separated times per low: q = 2 capacity fails.
+        let traces: Vec<Tr> =
+            (0..3).map(|high| (0, high, 10 + high as u64 * 100)).collect();
+        let phi3 = channel_capacity_phi(2, 1);
+        assert!(!k_safety_holds(&traces, 3, &phi3));
+    }
+
+    #[test]
+    fn relational_partition_properties() {
+        // Θ(π₁, π₂): times within 1 of each other. If Θ holds pairwise on
+        // a triple, any ccf-style Φ that only needs one close pair holds.
+        let traces: Vec<Tr> = vec![(0, 0, 10), (0, 1, 10), (0, 2, 11)];
+        let theta = |a: &Tr, b: &Tr| a.2.abs_diff(b.2) <= 1;
+        let phi3 = channel_capacity_phi(2, 1);
+        assert!(rbps_relational_2(&traces, 3, theta, &phi3));
+        // A Θ that does not hold pairwise imposes nothing.
+        let traces2: Vec<Tr> = vec![(0, 0, 10), (0, 1, 200), (0, 2, 900)];
+        assert!(rbps_relational_2(&traces2, 3, theta, &phi3));
+        // But if Θ is trivially true, the check reduces to Φ everywhere.
+        assert!(!rbps_relational_2(&traces2, 3, |_, _| true, &phi3));
+    }
+
+    #[test]
+    fn tuple_enumeration_covers_everything() {
+        let mut seen = std::collections::BTreeSet::new();
+        for_all_tuples(3, 2, &mut |idx| {
+            seen.insert(idx.to_vec());
+            true
+        });
+        assert_eq!(seen.len(), 9);
+        // Early exit works.
+        let mut count = 0;
+        let all = for_all_tuples(3, 2, &mut |_| {
+            count += 1;
+            count < 4
+        });
+        assert!(!all);
+        assert_eq!(count, 4);
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Empirical Theorem 3.1: whenever the premises validate, the
+            /// 2-safety conclusion holds — on random trace sets partitioned
+            /// by low value with per-component "time equals f(low)"
+            /// properties.
+            #[test]
+            fn theorem_holds_on_random_balanced_systems(
+                lows in proptest::collection::vec(0i64..4, 1..24),
+                base in 0u64..50,
+            ) {
+                // Balanced system: time = base + 3·low (high-independent).
+                let traces: Vec<Tr> = lows
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &l)| (l, i as i64, base + 3 * l as u64))
+                    .collect();
+                let mut partition: Partition = Vec::new();
+                let mut props_owned: Vec<Box<dyn Fn(&Tr) -> bool>> = Vec::new();
+                for lv in 0..4i64 {
+                    let comp: Vec<usize> =
+                        (0..traces.len()).filter(|&i| traces[i].0 == lv).collect();
+                    if comp.is_empty() {
+                        continue;
+                    }
+                    partition.push(comp);
+                    let expected = base + 3 * lv as u64;
+                    props_owned.push(Box::new(move |t: &Tr| {
+                        t.0 == lv && t.2.abs_diff(expected) <= 1
+                    }));
+                }
+                let props: Vec<&dyn Fn(&Tr) -> bool> =
+                    props_owned.iter().map(|b| b.as_ref()).collect();
+                theorem_3_1_premises(&traces, &partition, psi_tcf, phi_tcf, &props)
+                    .expect("balanced systems satisfy the premises");
+                prop_assert!(two_safety_holds(&traces, phi_tcf));
+            }
+        }
+    }
+}

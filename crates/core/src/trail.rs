@@ -1,0 +1,218 @@
+//! Trail annotation (Sec. 4.2): marking union and star constructors as
+//! low- and/or high-dependent.
+
+use blazer_automata::{Regex, Sym};
+use blazer_taint::Taint;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A path from the root of a regex to a subterm: child indices (0 = left /
+/// inner, 1 = right).
+pub type Path = Vec<usize>;
+
+/// A tainted branching block's two outgoing edge symbols plus the taint of
+/// its condition — the input to [`annotate`].
+#[derive(Debug, Clone, Copy)]
+pub struct BranchSyms {
+    /// Symbol of the then-edge.
+    pub then_sym: Sym,
+    /// Symbol of the else-edge.
+    pub else_sym: Sym,
+    /// Taint of the branch condition.
+    pub taint: Taint,
+}
+
+/// Computes the annotation map of a trail: for each union/star constructor
+/// (identified by its [`Path`]), the join of the taints of the branch
+/// blocks it is *outermost* for.
+///
+/// Per Sec. 4.2: a `|` is dependent w.r.t. branch block `b` if it is the
+/// outermost union such that one of `b`'s edges appears on one side but not
+/// the other; a `*` if one of `b`'s edges appears inside and the other does
+/// not.
+pub fn annotate(trail: &Regex, branches: &[BranchSyms]) -> BTreeMap<Path, Taint> {
+    let mut out: BTreeMap<Path, Taint> = BTreeMap::new();
+    for b in branches {
+        if b.taint.is_none() {
+            continue;
+        }
+        let mut path = Vec::new();
+        mark(trail, b, &mut path, &mut out);
+    }
+    out
+}
+
+/// Recursive walk implementing the outermost-marking rule for one branch
+/// block. Returns after marking (no descent below a mark for this block).
+fn mark(r: &Regex, b: &BranchSyms, path: &mut Path, out: &mut BTreeMap<Path, Taint>) {
+    match r {
+        Regex::Empty | Regex::Epsilon | Regex::Sym(_) => {}
+        Regex::Concat(x, y) => {
+            path.push(0);
+            mark(x, b, path, out);
+            path.pop();
+            path.push(1);
+            mark(y, b, path, out);
+            path.pop();
+        }
+        Regex::Union(x, y) => {
+            let splits = side_splits(x, b) || side_splits(y, b);
+            if splits {
+                let t = out.entry(path.clone()).or_default();
+                *t = *t | b.taint;
+                return; // outermost for this block
+            }
+            path.push(0);
+            mark(x, b, path, out);
+            path.pop();
+            path.push(1);
+            mark(y, b, path, out);
+            path.pop();
+        }
+        Regex::Star(x) => {
+            if side_splits(x, b) {
+                let t = out.entry(path.clone()).or_default();
+                *t = *t | b.taint;
+                return;
+            }
+            path.push(0);
+            mark(x, b, path, out);
+            path.pop();
+        }
+    }
+}
+
+/// Whether a subterm contains exactly one of the block's two edges.
+fn side_splits(r: &Regex, b: &BranchSyms) -> bool {
+    let syms: BTreeSet<Sym> = r.symbols().into_iter().collect();
+    syms.contains(&b.then_sym) != syms.contains(&b.else_sym)
+}
+
+/// The subterm of `r` at `path`.
+///
+/// # Panics
+///
+/// Panics if the path does not address a subterm.
+pub fn subterm<'r>(r: &'r Regex, path: &[usize]) -> &'r Regex {
+    match (r, path) {
+        (r, []) => r,
+        (Regex::Concat(a, _), [0, rest @ ..]) | (Regex::Union(a, _), [0, rest @ ..]) => {
+            subterm(a, rest)
+        }
+        (Regex::Concat(_, b), [1, rest @ ..]) | (Regex::Union(_, b), [1, rest @ ..]) => {
+            subterm(b, rest)
+        }
+        (Regex::Star(a), [0, rest @ ..]) => subterm(a, rest),
+        _ => panic!("path {path:?} does not address a subterm"),
+    }
+}
+
+/// Replaces the subterm of `r` at `path` with `replacement`.
+///
+/// # Panics
+///
+/// Panics if the path does not address a subterm.
+pub fn replace(r: &Regex, path: &[usize], replacement: Regex) -> Regex {
+    match (r, path) {
+        (_, []) => replacement,
+        (Regex::Concat(a, b), [0, rest @ ..]) => {
+            replace(a, rest, replacement).then((**b).clone())
+        }
+        (Regex::Concat(a, b), [1, rest @ ..]) => {
+            (**a).clone().then(replace(b, rest, replacement))
+        }
+        (Regex::Union(a, b), [0, rest @ ..]) => replace(a, rest, replacement).or((**b).clone()),
+        (Regex::Union(a, b), [1, rest @ ..]) => (**a).clone().or(replace(b, rest, replacement)),
+        (Regex::Star(a), [0, rest @ ..]) => replace(a, rest, replacement).star(),
+        _ => panic!("path {path:?} does not address a subterm"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(s: Sym) -> Regex {
+        Regex::symbol(s)
+    }
+
+    #[test]
+    fn union_annotated_when_it_splits_the_branch() {
+        // (0·2) | (1·3) with branch edges {0, 1}: the union splits them.
+        let r = sym(0).then(sym(2)).or(sym(1).then(sym(3)));
+        let b = BranchSyms { then_sym: 0, else_sym: 1, taint: Taint::LOW };
+        let ann = annotate(&r, &[b]);
+        assert_eq!(ann.get(&vec![]).copied(), Some(Taint::LOW));
+    }
+
+    #[test]
+    fn union_not_annotated_when_both_edges_on_both_sides() {
+        // ((0|1)·2) | ((0|1)·3): the outer union contains both edges on
+        // both sides; the inner unions split them.
+        let both = sym(0).or(sym(1));
+        let r = both.clone().then(sym(2)).or(both.then(sym(3)));
+        let b = BranchSyms { then_sym: 0, else_sym: 1, taint: Taint::HIGH };
+        let ann = annotate(&r, &[b]);
+        assert!(!ann.contains_key(&vec![]));
+        // Inner unions at paths [0,0] and [1,0] are marked.
+        assert_eq!(ann.get(&vec![0, 0]).copied(), Some(Taint::HIGH));
+        assert_eq!(ann.get(&vec![1, 0]).copied(), Some(Taint::HIGH));
+    }
+
+    #[test]
+    fn star_annotated_when_loop_edge_inside() {
+        // 0 · (1·2)* · 3 with branch edges {1, 3} (stay vs exit): the star
+        // contains 1 but not 3.
+        let r = sym(0).then(sym(1).then(sym(2)).star()).then(sym(3));
+        let b = BranchSyms { then_sym: 1, else_sym: 3, taint: Taint::LOW };
+        let ann = annotate(&r, &[b]);
+        // The star is the left child of the outer concat's right side:
+        // ((0 · (1·2)*) · 3) — star at path [0, 1].
+        let star_path = vec![0, 1];
+        assert!(
+            matches!(subterm(&r, &star_path), Regex::Star(_)),
+            "tree shape: {r}"
+        );
+        assert_eq!(ann.get(&star_path).copied(), Some(Taint::LOW));
+    }
+
+    #[test]
+    fn outermost_rule_stops_descent() {
+        // (0 | (1 | 0·1)): outer union splits {0,1}? left side has 0 not 1
+        // → annotated; nothing below gets marked for the same block.
+        let r = sym(0).or(sym(1).or(sym(0).then(sym(1))));
+        let b = BranchSyms { then_sym: 0, else_sym: 1, taint: Taint::LOW };
+        let ann = annotate(&r, &[b]);
+        assert_eq!(ann.len(), 1);
+        assert!(ann.contains_key(&vec![]));
+    }
+
+    #[test]
+    fn taints_join_across_blocks() {
+        // One union splits two different branch blocks with different
+        // taints: annotation joins to l,h.
+        let r = sym(0).then(sym(2)).or(sym(1).then(sym(3)));
+        let b1 = BranchSyms { then_sym: 0, else_sym: 1, taint: Taint::LOW };
+        let b2 = BranchSyms { then_sym: 2, else_sym: 3, taint: Taint::HIGH };
+        let ann = annotate(&r, &[b1, b2]);
+        assert_eq!(ann.get(&vec![]).copied(), Some(Taint::BOTH));
+    }
+
+    #[test]
+    fn untainted_branches_are_ignored() {
+        let r = sym(0).or(sym(1));
+        let b = BranchSyms { then_sym: 0, else_sym: 1, taint: Taint::NONE };
+        assert!(annotate(&r, &[b]).is_empty());
+    }
+
+    #[test]
+    fn subterm_and_replace_roundtrip() {
+        let r = sym(0).then(sym(1).or(sym(2)));
+        let path = vec![1];
+        assert_eq!(*subterm(&r, &path), sym(1).or(sym(2)));
+        let replaced = replace(&r, &path, sym(9));
+        assert_eq!(replaced, sym(0).then(sym(9)));
+        // Identity replace.
+        let same = replace(&r, &path, sym(1).or(sym(2)));
+        assert_eq!(same, r);
+    }
+}

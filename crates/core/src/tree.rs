@@ -1,0 +1,228 @@
+//! The tree of trails (Fig. 1).
+
+use blazer_automata::Regex;
+use blazer_bounds::{BoundResult, CostExpr};
+use blazer_taint::Taint;
+use std::fmt;
+
+/// How a node was produced from its parent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SplitKind {
+    /// Split on attacker-controlled data (the `taint` arcs of Fig. 1).
+    Taint,
+    /// Split on secret data (the `sec` arcs of Fig. 1).
+    Secret,
+}
+
+impl SplitKind {
+    /// From the taint of the split constructor.
+    pub fn of_taint(t: Taint) -> SplitKind {
+        if t.is_low_only() {
+            SplitKind::Taint
+        } else {
+            SplitKind::Secret
+        }
+    }
+}
+
+impl fmt::Display for SplitKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SplitKind::Taint => f.write_str("taint"),
+            SplitKind::Secret => f.write_str("sec"),
+        }
+    }
+}
+
+/// The analysis status of one trail-tree node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeStatus {
+    /// Bounds not computed yet.
+    Pending,
+    /// The trail's language contains no complete execution.
+    Empty,
+    /// The bounds are narrow under the observer: timing-channel free.
+    Narrow,
+    /// Bounds are wide; the node was (or must be) refined.
+    Wide,
+    /// Participates in a reported attack specification.
+    Attack,
+}
+
+impl fmt::Display for NodeStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeStatus::Pending => f.write_str("pending"),
+            NodeStatus::Empty => f.write_str("infeasible"),
+            NodeStatus::Narrow => f.write_str("safe"),
+            NodeStatus::Wide => f.write_str("wide"),
+            NodeStatus::Attack => f.write_str("ATTACK"),
+        }
+    }
+}
+
+/// One node of the trail tree.
+#[derive(Debug, Clone)]
+pub struct TrailNode {
+    /// The trail expression.
+    pub trail: Regex,
+    /// Parent index, `None` for the most general trail.
+    pub parent: Option<usize>,
+    /// Children indices.
+    pub children: Vec<usize>,
+    /// The kind of split that produced this node.
+    pub split_kind: Option<SplitKind>,
+    /// Computed bounds, if any.
+    pub bounds: Option<BoundResult>,
+    /// Status.
+    pub status: NodeStatus,
+}
+
+/// The tree of trails produced by the driver, as visualized in Fig. 1.
+#[derive(Debug, Clone, Default)]
+pub struct TrailTree {
+    nodes: Vec<TrailNode>,
+}
+
+impl TrailTree {
+    /// A tree with just the most general trail.
+    pub fn new(trmg: Regex) -> Self {
+        TrailTree {
+            nodes: vec![TrailNode {
+                trail: trmg,
+                parent: None,
+                children: Vec::new(),
+                split_kind: None,
+                bounds: None,
+                status: NodeStatus::Pending,
+            }],
+        }
+    }
+
+    /// The root node index.
+    pub fn root(&self) -> usize {
+        0
+    }
+
+    /// Node access.
+    pub fn node(&self, i: usize) -> &TrailNode {
+        &self.nodes[i]
+    }
+
+    /// Mutable node access.
+    pub fn node_mut(&mut self, i: usize) -> &mut TrailNode {
+        &mut self.nodes[i]
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tree is empty (never: the root always exists).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Adds a child trail under `parent`.
+    pub fn add_child(&mut self, parent: usize, trail: Regex, kind: SplitKind) -> usize {
+        let id = self.nodes.len();
+        self.nodes.push(TrailNode {
+            trail,
+            parent: Some(parent),
+            children: Vec::new(),
+            split_kind: Some(kind),
+            bounds: None,
+            status: NodeStatus::Pending,
+        });
+        self.nodes[parent].children.push(id);
+        id
+    }
+
+    /// Leaf node indices (the current partition).
+    pub fn leaves(&self) -> Vec<usize> {
+        (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].children.is_empty())
+            .collect()
+    }
+
+    /// Renders the tree with a bound formatter (which receives lower and
+    /// upper bounds and produces the `[lo, hi]` balloon text of Fig. 1).
+    pub fn render(&self, fmt_bounds: &dyn Fn(&CostExpr, Option<&CostExpr>) -> String) -> String {
+        let mut out = String::new();
+        self.render_node(0, 0, fmt_bounds, &mut out);
+        out
+    }
+
+    fn render_node(
+        &self,
+        i: usize,
+        depth: usize,
+        fmt_bounds: &dyn Fn(&CostExpr, Option<&CostExpr>) -> String,
+        out: &mut String,
+    ) {
+        let n = &self.nodes[i];
+        let indent = "  ".repeat(depth);
+        let arc = match n.split_kind {
+            Some(k) => format!("--{k}--> "),
+            None => String::new(),
+        };
+        let name = if i == 0 {
+            "trmg (most general trail)".to_string()
+        } else {
+            format!("tr{i}")
+        };
+        let balloon = match &n.bounds {
+            Some(b) => match (&b.lower, &b.upper) {
+                (Some(lo), hi) => format!(" {}", fmt_bounds(lo, hi.as_ref())),
+                (None, _) => " [no complete executions]".to_string(),
+            },
+            None => String::new(),
+        };
+        out.push_str(&format!(
+            "{indent}{arc}{name} [{}]{balloon}\n",
+            n.status
+        ));
+        for &c in &n.children {
+            self.render_node(c, depth + 1, fmt_bounds, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let mut t = TrailTree::new(Regex::symbol(0));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.leaves(), vec![0]);
+        let a = t.add_child(0, Regex::symbol(1), SplitKind::Taint);
+        let b = t.add_child(0, Regex::symbol(2), SplitKind::Secret);
+        assert_eq!(t.leaves(), vec![a, b]);
+        assert_eq!(t.node(a).parent, Some(0));
+        assert_eq!(t.node(0).children, vec![a, b]);
+        t.node_mut(a).status = NodeStatus::Narrow;
+        assert_eq!(t.node(a).status, NodeStatus::Narrow);
+    }
+
+    #[test]
+    fn split_kind_mapping() {
+        assert_eq!(SplitKind::of_taint(Taint::LOW), SplitKind::Taint);
+        assert_eq!(SplitKind::of_taint(Taint::HIGH), SplitKind::Secret);
+        assert_eq!(SplitKind::of_taint(Taint::BOTH), SplitKind::Secret);
+    }
+
+    #[test]
+    fn render_shows_structure() {
+        let mut t = TrailTree::new(Regex::symbol(0));
+        let a = t.add_child(0, Regex::symbol(1), SplitKind::Taint);
+        t.add_child(0, Regex::symbol(2), SplitKind::Secret);
+        t.node_mut(a).status = NodeStatus::Narrow;
+        let s = t.render(&|_, _| String::new());
+        assert!(s.contains("trmg"));
+        assert!(s.contains("--taint--> tr1 [safe]"));
+        assert!(s.contains("--sec--> tr2 [pending]"));
+    }
+}

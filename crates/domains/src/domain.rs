@@ -1,0 +1,161 @@
+//! The [`AbstractDomain`] trait implemented by all numeric domains.
+
+use crate::linexpr::{Constraint, LinExpr};
+use crate::polyhedra::Polyhedron;
+use crate::rational::Rat;
+
+/// A numeric abstract domain over a fixed number of dimensions.
+///
+/// The abstract interpreter in `blazer-absint` is generic over this trait so
+/// the precision/efficiency trade-off (intervals vs. octagons vs. polyhedra)
+/// can be measured by the domain-ablation benchmark.
+///
+/// All operations must be *sound*: transfer functions over-approximate the
+/// concrete semantics, `join` over-approximates union, `widen`
+/// over-approximates `join` and guarantees termination of increasing chains.
+pub trait AbstractDomain: Clone + std::fmt::Debug {
+    /// The no-information element over `dims` dimensions.
+    fn top(dims: usize) -> Self;
+
+    /// The unreachable element over `dims` dimensions.
+    fn bottom(dims: usize) -> Self;
+
+    /// The number of dimensions.
+    fn dims(&self) -> usize;
+
+    /// Whether this is (semantically) the empty element.
+    fn is_bottom(&self) -> bool;
+
+    /// Least-upper-bound approximation.
+    fn join(&self, other: &Self) -> Self;
+
+    /// The join used at widening points (loop heads). Domains may use a
+    /// more expensive, more precise join here; the default is [`AbstractDomain::join`].
+    fn join_widen_point(&self, other: &Self) -> Self {
+        self.join(other)
+    }
+
+    /// Widening of `self` (older iterate) with `newer`. Must satisfy
+    /// `widen(a, b) ⊇ a ∪ b` and stabilize any increasing chain.
+    fn widen(&self, newer: &Self) -> Self;
+
+    /// Whether `self ⊇ other` (order test for fixpoint detection).
+    fn includes(&self, other: &Self) -> bool;
+
+    /// Conjoins a linear constraint (soundly: the domain may keep only the
+    /// consequences it can represent).
+    fn meet_constraint(&mut self, c: &Constraint);
+
+    /// Forward assignment `dim := e` for a linear `e` (which may mention
+    /// `dim` itself).
+    fn assign_linear(&mut self, dim: usize, e: &LinExpr);
+
+    /// Forgets all information about `dim`.
+    fn havoc(&mut self, dim: usize);
+
+    /// Truncating division `dim := src / divisor` for a positive constant
+    /// divisor. The default is sound but coarse (havoc); domains may refine
+    /// (exact when `src ≥ 0` is known: `divisor·dim ≤ src < divisor·dim +
+    /// divisor` with `dim ≥ 0`).
+    fn assign_div(&mut self, dim: usize, _src: &LinExpr, _divisor: Rat) {
+        self.havoc(dim);
+    }
+
+    /// The infimum and supremum of `e` (`None` = unbounded / bottom).
+    fn bounds(&self, e: &LinExpr) -> (Option<Rat>, Option<Rat>);
+
+    /// Concretizes the element to a [`Polyhedron`] carrying at least the
+    /// constraints this element represents (an over-approximation is fine
+    /// but every returned constraint must be implied by the element).
+    fn to_polyhedron(&self) -> Polyhedron;
+
+    /// Membership test for a concrete point (used by soundness tests).
+    fn contains_point(&self, point: &[Rat]) -> bool;
+
+    /// Human-readable rendering (domains also implement `Display`; this
+    /// default routes through `to_polyhedron`).
+    fn describe(&self) -> String {
+        format!("{}", self.to_polyhedron())
+    }
+}
+
+impl AbstractDomain for Polyhedron {
+    fn top(dims: usize) -> Self {
+        Polyhedron::top(dims)
+    }
+
+    fn bottom(dims: usize) -> Self {
+        Polyhedron::bottom(dims)
+    }
+
+    fn dims(&self) -> usize {
+        Polyhedron::dims(self)
+    }
+
+    fn is_bottom(&self) -> bool {
+        self.is_empty()
+    }
+
+    fn join(&self, other: &Self) -> Self {
+        Polyhedron::join(self, other)
+    }
+
+    fn join_widen_point(&self, other: &Self) -> Self {
+        Polyhedron::join_hulled(self, other)
+    }
+
+    fn widen(&self, newer: &Self) -> Self {
+        Polyhedron::widen(self, newer)
+    }
+
+    fn includes(&self, other: &Self) -> bool {
+        Polyhedron::includes(self, other)
+    }
+
+    fn meet_constraint(&mut self, c: &Constraint) {
+        self.add_constraint(c.clone());
+    }
+
+    fn assign_linear(&mut self, dim: usize, e: &LinExpr) {
+        self.assign(dim, e);
+    }
+
+    fn havoc(&mut self, dim: usize) {
+        Polyhedron::havoc(self, dim);
+    }
+
+    fn assign_div(&mut self, dim: usize, src: &LinExpr, divisor: Rat) {
+        Polyhedron::assign_div(self, dim, src, divisor);
+    }
+
+    fn bounds(&self, e: &LinExpr) -> (Option<Rat>, Option<Rat>) {
+        Polyhedron::bounds(self, e)
+    }
+
+    fn to_polyhedron(&self) -> Polyhedron {
+        self.clone()
+    }
+
+    fn contains_point(&self, point: &[Rat]) -> bool {
+        Polyhedron::contains_point(self, point)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn polyhedron_implements_the_trait() {
+        let mut p = <Polyhedron as AbstractDomain>::top(2);
+        p.meet_constraint(&Constraint::ge(
+            &LinExpr::var(0),
+            &LinExpr::constant(Rat::int(3)),
+        ));
+        assert!(!p.is_bottom());
+        let (lo, hi) = p.bounds(&LinExpr::var(0));
+        assert_eq!(lo, Some(Rat::int(3)));
+        assert_eq!(hi, None);
+        assert!(p.describe().contains(">= 0"));
+    }
+}

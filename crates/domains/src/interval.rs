@@ -1,0 +1,456 @@
+//! The interval domain (per-dimension ranges).
+
+use crate::domain::AbstractDomain;
+use crate::linexpr::{Constraint, ConstraintKind, LinExpr};
+use crate::polyhedra::Polyhedron;
+use crate::rational::Rat;
+use std::fmt;
+
+/// A single interval `[lo, hi]`; `None` means unbounded on that side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    /// Lower bound (inclusive); `None` = −∞.
+    pub lo: Option<Rat>,
+    /// Upper bound (inclusive); `None` = +∞.
+    pub hi: Option<Rat>,
+}
+
+impl Interval {
+    /// The full line.
+    pub fn top() -> Self {
+        Interval { lo: None, hi: None }
+    }
+
+    /// A singleton point.
+    pub fn point(v: Rat) -> Self {
+        Interval { lo: Some(v), hi: Some(v) }
+    }
+
+    /// `[lo, hi]` with both ends finite.
+    pub fn closed(lo: Rat, hi: Rat) -> Self {
+        Interval { lo: Some(lo), hi: Some(hi) }
+    }
+
+    /// Whether the interval is empty (`lo > hi`).
+    pub fn is_empty(&self) -> bool {
+        matches!((self.lo, self.hi), (Some(l), Some(h)) if l > h)
+    }
+
+    /// Union hull.
+    pub fn join(&self, other: &Interval) -> Interval {
+        Interval {
+            lo: match (self.lo, other.lo) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                _ => None,
+            },
+            hi: match (self.hi, other.hi) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                _ => None,
+            },
+        }
+    }
+
+    /// Intersection.
+    pub fn meet(&self, other: &Interval) -> Interval {
+        Interval {
+            lo: match (self.lo, other.lo) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                (a, b) => a.or(b),
+            },
+            hi: match (self.hi, other.hi) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            },
+        }
+    }
+
+    /// Interval widening: unstable bounds jump to infinity.
+    pub fn widen(&self, newer: &Interval) -> Interval {
+        Interval {
+            lo: match (self.lo, newer.lo) {
+                (Some(a), Some(b)) if b >= a => Some(a),
+                _ => None,
+            },
+            hi: match (self.hi, newer.hi) {
+                (Some(a), Some(b)) if b <= a => Some(a),
+                _ => None,
+            },
+        }
+    }
+
+    /// Whether `self ⊇ other`.
+    pub fn includes(&self, other: &Interval) -> bool {
+        if other.is_empty() {
+            return true;
+        }
+        let lo_ok = match (self.lo, other.lo) {
+            (None, _) => true,
+            (Some(_), None) => false,
+            (Some(a), Some(b)) => a <= b,
+        };
+        let hi_ok = match (self.hi, other.hi) {
+            (None, _) => true,
+            (Some(_), None) => false,
+            (Some(a), Some(b)) => a >= b,
+        };
+        lo_ok && hi_ok
+    }
+
+    /// Whether `v ∈ self`.
+    pub fn contains(&self, v: Rat) -> bool {
+        self.lo.map_or(true, |l| l <= v) && self.hi.map_or(true, |h| h >= v)
+    }
+
+    /// Interval sum.
+    pub fn add(&self, other: &Interval) -> Interval {
+        Interval {
+            lo: self.lo.zip(other.lo).map(|(a, b)| a + b),
+            hi: self.hi.zip(other.hi).map(|(a, b)| a + b),
+        }
+    }
+
+    /// Scaling by a constant (flips ends for negative factors).
+    pub fn scale(&self, k: Rat) -> Interval {
+        if k.is_zero() {
+            return Interval::point(Rat::ZERO);
+        }
+        if k.is_positive() {
+            Interval { lo: self.lo.map(|v| v * k), hi: self.hi.map(|v| v * k) }
+        } else {
+            Interval { lo: self.hi.map(|v| v * k), hi: self.lo.map(|v| v * k) }
+        }
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.lo {
+            Some(l) => write!(f, "[{l}, ")?,
+            None => f.write_str("(-inf, ")?,
+        }
+        match self.hi {
+            Some(h) => write!(f, "{h}]"),
+            None => f.write_str("+inf)"),
+        }
+    }
+}
+
+/// The interval abstract domain: one [`Interval`] per dimension.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntervalVec {
+    ivs: Vec<Interval>,
+    bottom: bool,
+}
+
+impl IntervalVec {
+    /// Evaluates a linear expression to an interval.
+    pub fn eval(&self, e: &LinExpr) -> Interval {
+        let mut acc = Interval::point(e.constant_part());
+        for (d, c) in e.terms() {
+            acc = acc.add(&self.ivs[d].scale(c));
+        }
+        acc
+    }
+
+    /// The interval of one dimension.
+    pub fn get(&self, dim: usize) -> Interval {
+        self.ivs[dim]
+    }
+
+    fn set(&mut self, dim: usize, iv: Interval) {
+        if iv.is_empty() {
+            self.bottom = true;
+        } else {
+            self.ivs[dim] = iv;
+        }
+    }
+
+    /// One pass of interval constraint propagation for `c`.
+    fn propagate(&mut self, c: &Constraint) {
+        if self.bottom {
+            return;
+        }
+        // For Σ aᵢxᵢ + k ≥ 0: xᵢ ≥ (−k − Σ_{j≠i} sup(aⱼxⱼ)) / aᵢ for aᵢ > 0,
+        // and the mirrored upper bound for aᵢ < 0.
+        let terms: Vec<(usize, Rat)> = c.expr.terms().collect();
+        for &(d, a) in &terms {
+            // rest = expr − a·x_d; bounds of rest without x_d.
+            let mut rest = c.expr.clone();
+            rest.set_coeff(d, Rat::ZERO);
+            let rest_iv = self.eval(&rest);
+            // a·x_d + rest ≥ 0  ⇒  a·x_d ≥ −rest ⇒ use sup(rest).
+            match rest_iv.hi {
+                Some(rest_hi) => {
+                    // a·x_d ≥ −rest_hi
+                    let bound = -rest_hi / a;
+                    let iv = if a.is_positive() {
+                        Interval { lo: Some(bound), hi: None }
+                    } else {
+                        Interval { lo: None, hi: Some(bound) }
+                    };
+                    let met = self.ivs[d].meet(&iv);
+                    self.set(d, met);
+                    if self.bottom {
+                        return;
+                    }
+                }
+                None => continue,
+            }
+        }
+        if c.kind == ConstraintKind::EqZero {
+            // Also propagate the mirrored inequality.
+            let neg = Constraint::ge_zero(c.expr.scale(-Rat::ONE));
+            let terms: Vec<(usize, Rat)> = neg.expr.terms().collect();
+            for &(d, a) in &terms {
+                let mut rest = neg.expr.clone();
+                rest.set_coeff(d, Rat::ZERO);
+                let rest_iv = self.eval(&rest);
+                if let Some(rest_hi) = rest_iv.hi {
+                    let bound = -rest_hi / a;
+                    let iv = if a.is_positive() {
+                        Interval { lo: Some(bound), hi: None }
+                    } else {
+                        Interval { lo: None, hi: Some(bound) }
+                    };
+                    let met = self.ivs[d].meet(&iv);
+                    self.set(d, met);
+                    if self.bottom {
+                        return;
+                    }
+                }
+            }
+        }
+        // Definite infeasibility check on constant residue.
+        let iv = self.eval(&c.expr);
+        let violated = match c.kind {
+            ConstraintKind::GeZero => iv.hi.map_or(false, |h| h < Rat::ZERO),
+            ConstraintKind::EqZero => {
+                iv.hi.map_or(false, |h| h < Rat::ZERO)
+                    || iv.lo.map_or(false, |l| l > Rat::ZERO)
+            }
+        };
+        if violated {
+            self.bottom = true;
+        }
+    }
+}
+
+impl AbstractDomain for IntervalVec {
+    fn top(dims: usize) -> Self {
+        IntervalVec { ivs: vec![Interval::top(); dims], bottom: false }
+    }
+
+    fn bottom(dims: usize) -> Self {
+        IntervalVec { ivs: vec![Interval::top(); dims], bottom: true }
+    }
+
+    fn dims(&self) -> usize {
+        self.ivs.len()
+    }
+
+    fn is_bottom(&self) -> bool {
+        self.bottom
+    }
+
+    fn join(&self, other: &Self) -> Self {
+        if self.bottom {
+            return other.clone();
+        }
+        if other.bottom {
+            return self.clone();
+        }
+        IntervalVec {
+            ivs: self
+                .ivs
+                .iter()
+                .zip(&other.ivs)
+                .map(|(a, b)| a.join(b))
+                .collect(),
+            bottom: false,
+        }
+    }
+
+    fn widen(&self, newer: &Self) -> Self {
+        if self.bottom {
+            return newer.clone();
+        }
+        if newer.bottom {
+            return self.clone();
+        }
+        IntervalVec {
+            ivs: self
+                .ivs
+                .iter()
+                .zip(&newer.ivs)
+                .map(|(a, b)| a.widen(b))
+                .collect(),
+            bottom: false,
+        }
+    }
+
+    fn includes(&self, other: &Self) -> bool {
+        if other.bottom {
+            return true;
+        }
+        if self.bottom {
+            return false;
+        }
+        self.ivs.iter().zip(&other.ivs).all(|(a, b)| a.includes(b))
+    }
+
+    fn meet_constraint(&mut self, c: &Constraint) {
+        self.propagate(c);
+    }
+
+    fn assign_linear(&mut self, dim: usize, e: &LinExpr) {
+        if self.bottom {
+            return;
+        }
+        let iv = self.eval(e);
+        self.set(dim, iv);
+    }
+
+    fn havoc(&mut self, dim: usize) {
+        if !self.bottom {
+            self.ivs[dim] = Interval::top();
+        }
+    }
+
+    fn bounds(&self, e: &LinExpr) -> (Option<Rat>, Option<Rat>) {
+        if self.bottom {
+            return (None, None);
+        }
+        let iv = self.eval(e);
+        (iv.lo, iv.hi)
+    }
+
+    fn to_polyhedron(&self) -> Polyhedron {
+        if self.bottom {
+            return Polyhedron::bottom(self.ivs.len());
+        }
+        let mut p = Polyhedron::top(self.ivs.len());
+        for (d, iv) in self.ivs.iter().enumerate() {
+            if let Some(l) = iv.lo {
+                p.add_constraint(Constraint::ge(&LinExpr::var(d), &LinExpr::constant(l)));
+            }
+            if let Some(h) = iv.hi {
+                p.add_constraint(Constraint::le(&LinExpr::var(d), &LinExpr::constant(h)));
+            }
+        }
+        p
+    }
+
+    fn contains_point(&self, point: &[Rat]) -> bool {
+        if self.bottom {
+            return false;
+        }
+        self.ivs
+            .iter()
+            .enumerate()
+            .all(|(d, iv)| iv.contains(point.get(d).copied().unwrap_or(Rat::ZERO)))
+    }
+}
+
+impl fmt::Display for IntervalVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.bottom {
+            return f.write_str("⊥");
+        }
+        for (d, iv) in self.ivs.iter().enumerate() {
+            if d > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "x{d} ∈ {iv}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i128) -> Rat {
+        Rat::int(n)
+    }
+
+    #[test]
+    fn interval_lattice_ops() {
+        let a = Interval::closed(r(0), r(5));
+        let b = Interval::closed(r(3), r(9));
+        assert_eq!(a.join(&b), Interval::closed(r(0), r(9)));
+        assert_eq!(a.meet(&b), Interval::closed(r(3), r(5)));
+        assert!(a.join(&b).includes(&a));
+        assert!(a.includes(&a.meet(&b)));
+        assert!(Interval::closed(r(5), r(3)).is_empty());
+    }
+
+    #[test]
+    fn interval_widening_blows_unstable_side() {
+        let a = Interval::closed(r(0), r(1));
+        let b = Interval::closed(r(0), r(2));
+        let w = a.widen(&b);
+        assert_eq!(w, Interval { lo: Some(r(0)), hi: None });
+        // Stable side is kept.
+        assert_eq!(a.widen(&a), a);
+    }
+
+    #[test]
+    fn constraint_propagation() {
+        // x0 − 3 ≥ 0 refines lo to 3.
+        let mut d = IntervalVec::top(2);
+        d.meet_constraint(&Constraint::ge(&LinExpr::var(0), &LinExpr::constant(r(3))));
+        assert_eq!(d.get(0), Interval { lo: Some(r(3)), hi: None });
+        // x0 ≤ x1 with x1 ≤ 10 gives x0 ≤ 10.
+        d.meet_constraint(&Constraint::le(&LinExpr::var(1), &LinExpr::constant(r(10))));
+        d.meet_constraint(&Constraint::le(&LinExpr::var(0), &LinExpr::var(1)));
+        assert_eq!(d.get(0), Interval::closed(r(3), r(10)));
+    }
+
+    #[test]
+    fn infeasible_becomes_bottom() {
+        let mut d = IntervalVec::top(1);
+        d.meet_constraint(&Constraint::ge(&LinExpr::var(0), &LinExpr::constant(r(5))));
+        d.meet_constraint(&Constraint::le(&LinExpr::var(0), &LinExpr::constant(r(2))));
+        assert!(d.is_bottom());
+    }
+
+    #[test]
+    fn equality_propagates_both_sides() {
+        let mut d = IntervalVec::top(1);
+        d.meet_constraint(&Constraint::eq(&LinExpr::var(0), &LinExpr::constant(r(7))));
+        assert_eq!(d.get(0), Interval::point(r(7)));
+    }
+
+    #[test]
+    fn assignment_and_eval() {
+        let mut d = IntervalVec::top(2);
+        d.meet_constraint(&Constraint::ge(&LinExpr::var(0), &LinExpr::constant(r(1))));
+        d.meet_constraint(&Constraint::le(&LinExpr::var(0), &LinExpr::constant(r(2))));
+        // x1 := 3·x0 + 1 ∈ [4, 7].
+        d.assign_linear(1, &LinExpr::var(0).scale(r(3)).add_constant(r(1)));
+        assert_eq!(d.get(1), Interval::closed(r(4), r(7)));
+        let (lo, hi) = d.bounds(&LinExpr::var(1).sub(&LinExpr::var(0)));
+        assert_eq!(lo, Some(r(2)));
+        assert_eq!(hi, Some(r(6)));
+    }
+
+    #[test]
+    fn to_polyhedron_round_trip() {
+        let mut d = IntervalVec::top(1);
+        d.meet_constraint(&Constraint::ge(&LinExpr::var(0), &LinExpr::constant(r(0))));
+        d.meet_constraint(&Constraint::le(&LinExpr::var(0), &LinExpr::constant(r(4))));
+        let p = d.to_polyhedron();
+        assert_eq!(p.bounds(&LinExpr::var(0)), (Some(r(0)), Some(r(4))));
+    }
+
+    #[test]
+    fn havoc_and_membership() {
+        let mut d = IntervalVec::top(1);
+        d.meet_constraint(&Constraint::eq(&LinExpr::var(0), &LinExpr::constant(r(2))));
+        assert!(d.contains_point(&[r(2)]));
+        assert!(!d.contains_point(&[r(3)]));
+        d.havoc(0);
+        assert!(d.contains_point(&[r(99)]));
+    }
+}

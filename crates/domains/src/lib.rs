@@ -1,0 +1,42 @@
+//! # blazer-domains
+//!
+//! Numerical abstract domains for the Blazer reproduction.
+//!
+//! The original tool computed numeric invariants with the Parma Polyhedra
+//! Library (PPL). This crate is the from-scratch Rust substitute. It provides
+//! exact rational arithmetic, linear expressions and constraints, an exact
+//! two-phase simplex solver, and four abstract domains of increasing
+//! precision:
+//!
+//! * [`Interval`] — per-dimension ranges;
+//! * [`Zone`] — difference-bound matrices (`x - y ≤ c`);
+//! * [`Octagon`] — `±x ± y ≤ c` constraints;
+//! * [`Polyhedron`] — arbitrary rational convex polyhedra in constraint
+//!   representation with Fourier–Motzkin projection and LP-based entailment.
+//!
+//! All domains implement [`AbstractDomain`], so the abstract interpreter in
+//! `blazer-absint` is generic over precision (used by the domain-ablation
+//! benchmark). Every domain can also concretize to a [`Polyhedron`] via
+//! [`AbstractDomain::to_polyhedron`], which is what the symbolic bound
+//! extraction in `blazer-bounds` consumes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod domain;
+pub mod interval;
+pub mod linexpr;
+pub mod octagon;
+pub mod polyhedra;
+pub mod rational;
+pub mod simplex;
+pub mod zone;
+
+pub use domain::AbstractDomain;
+pub use interval::{Interval, IntervalVec};
+pub use linexpr::{Constraint, ConstraintKind, LinExpr};
+pub use octagon::Octagon;
+pub use polyhedra::Polyhedron;
+pub use rational::Rat;
+pub use simplex::{LpResult, Simplex};
+pub use zone::Zone;

@@ -1,0 +1,445 @@
+//! Linear expressions and constraints over numbered dimensions.
+
+use crate::rational::Rat;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A linear expression `Σ cᵢ·xᵢ + k` over dimensions `xᵢ`.
+///
+/// Dimensions are plain `usize` indices; the mapping from IR variables to
+/// dimensions is owned by the analyses in `blazer-absint`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct LinExpr {
+    /// Non-zero coefficients only.
+    coeffs: BTreeMap<usize, Rat>,
+    constant: Rat,
+}
+
+impl LinExpr {
+    /// The zero expression.
+    pub fn zero() -> Self {
+        LinExpr::default()
+    }
+
+    /// A constant expression.
+    pub fn constant(k: Rat) -> Self {
+        LinExpr { coeffs: BTreeMap::new(), constant: k }
+    }
+
+    /// The expression `1·x`.
+    pub fn var(dim: usize) -> Self {
+        let mut coeffs = BTreeMap::new();
+        coeffs.insert(dim, Rat::ONE);
+        LinExpr { coeffs, constant: Rat::ZERO }
+    }
+
+    /// The expression `c·x`.
+    pub fn term(dim: usize, c: Rat) -> Self {
+        let mut e = LinExpr::zero();
+        e.set_coeff(dim, c);
+        e
+    }
+
+    /// The constant part `k`.
+    pub fn constant_part(&self) -> Rat {
+        self.constant
+    }
+
+    /// The coefficient of dimension `dim` (zero if absent).
+    pub fn coeff(&self, dim: usize) -> Rat {
+        self.coeffs.get(&dim).copied().unwrap_or(Rat::ZERO)
+    }
+
+    /// Sets the coefficient of `dim` (removing it when zero).
+    pub fn set_coeff(&mut self, dim: usize, c: Rat) {
+        if c.is_zero() {
+            self.coeffs.remove(&dim);
+        } else {
+            self.coeffs.insert(dim, c);
+        }
+    }
+
+    /// Sets the constant part.
+    pub fn set_constant(&mut self, k: Rat) {
+        self.constant = k;
+    }
+
+    /// Iterates over `(dim, coeff)` pairs with non-zero coefficients.
+    pub fn terms(&self) -> impl Iterator<Item = (usize, Rat)> + '_ {
+        self.coeffs.iter().map(|(&d, &c)| (d, c))
+    }
+
+    /// The dimensions with non-zero coefficients.
+    pub fn dims(&self) -> impl Iterator<Item = usize> + '_ {
+        self.coeffs.keys().copied()
+    }
+
+    /// Whether the expression is a constant.
+    pub fn is_constant(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// Whether the expression is exactly `1·dim + 0` for some dimension.
+    pub fn as_single_var(&self) -> Option<usize> {
+        if self.constant.is_zero() && self.coeffs.len() == 1 {
+            let (&d, &c) = self.coeffs.iter().next().unwrap();
+            if c == Rat::ONE {
+                return Some(d);
+            }
+        }
+        None
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &LinExpr) -> LinExpr {
+        let mut out = self.clone();
+        for (d, c) in other.terms() {
+            out.set_coeff(d, out.coeff(d) + c);
+        }
+        out.constant += other.constant;
+        out
+    }
+
+    /// `self - other`.
+    pub fn sub(&self, other: &LinExpr) -> LinExpr {
+        self.add(&other.scale(-Rat::ONE))
+    }
+
+    /// `k · self`.
+    pub fn scale(&self, k: Rat) -> LinExpr {
+        if k.is_zero() {
+            return LinExpr::zero();
+        }
+        let mut out = LinExpr::zero();
+        for (d, c) in self.terms() {
+            out.set_coeff(d, c * k);
+        }
+        out.constant = self.constant * k;
+        out
+    }
+
+    /// `self + k`.
+    pub fn add_constant(&self, k: Rat) -> LinExpr {
+        let mut out = self.clone();
+        out.constant += k;
+        out
+    }
+
+    /// Substitutes `dim := replacement` in this expression.
+    pub fn substitute(&self, dim: usize, replacement: &LinExpr) -> LinExpr {
+        let c = self.coeff(dim);
+        if c.is_zero() {
+            return self.clone();
+        }
+        let mut out = self.clone();
+        out.set_coeff(dim, Rat::ZERO);
+        out.add(&replacement.scale(c))
+    }
+
+    /// Renames dimensions via `f` (must be injective on this expression's
+    /// dimensions).
+    pub fn rename(&self, mut f: impl FnMut(usize) -> usize) -> LinExpr {
+        let mut out = LinExpr::constant(self.constant);
+        for (d, c) in self.terms() {
+            let nd = f(d);
+            assert!(out.coeff(nd).is_zero(), "non-injective rename");
+            out.set_coeff(nd, c);
+        }
+        out
+    }
+
+    /// Evaluates the expression under an assignment of dimensions.
+    pub fn eval(&self, value_of: impl Fn(usize) -> Rat) -> Rat {
+        let mut acc = self.constant;
+        for (d, c) in self.terms() {
+            acc += c * value_of(d);
+        }
+        acc
+    }
+
+    /// Scales the expression so all coefficients and the constant are
+    /// integers with gcd 1 (sign preserved). Useful for canonical forms.
+    pub fn normalize_integer(&self) -> LinExpr {
+        let mut lcm: i128 = self.constant.denom();
+        for (_, c) in self.terms() {
+            let d = c.denom();
+            lcm = lcm / gcd_i128(lcm, d) * d;
+        }
+        let scaled = self.scale(Rat::int(lcm));
+        let mut g: i128 = scaled.constant.numer().abs();
+        for (_, c) in scaled.terms() {
+            g = gcd_i128(g, c.numer().abs());
+        }
+        if g > 1 {
+            scaled.scale(Rat::new(1, g))
+        } else {
+            scaled
+        }
+    }
+}
+
+fn gcd_i128(mut a: i128, mut b: i128) -> i128 {
+    a = a.abs();
+    b = b.abs();
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a.max(1)
+}
+
+impl fmt::Display for LinExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (d, c) in self.terms() {
+            if first {
+                if c == Rat::ONE {
+                    write!(f, "x{d}")?;
+                } else if c == -Rat::ONE {
+                    write!(f, "-x{d}")?;
+                } else {
+                    write!(f, "{c}*x{d}")?;
+                }
+                first = false;
+            } else if c.is_negative() {
+                if c == -Rat::ONE {
+                    write!(f, " - x{d}")?;
+                } else {
+                    write!(f, " - {}*x{d}", -c)?;
+                }
+            } else if c == Rat::ONE {
+                write!(f, " + x{d}")?;
+            } else {
+                write!(f, " + {c}*x{d}")?;
+            }
+        }
+        if first {
+            write!(f, "{}", self.constant)?;
+        } else if self.constant.is_positive() {
+            write!(f, " + {}", self.constant)?;
+        } else if self.constant.is_negative() {
+            write!(f, " - {}", -self.constant)?;
+        }
+        Ok(())
+    }
+}
+
+/// The sense of a [`Constraint`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConstraintKind {
+    /// `expr ≥ 0`.
+    GeZero,
+    /// `expr = 0`.
+    EqZero,
+}
+
+/// A linear constraint `expr ≥ 0` or `expr = 0`.
+///
+/// Strict inequalities never appear: the IR is integer-valued, so the
+/// front-ends tighten `e > 0` to `e - 1 ≥ 0` before constructing constraints.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Constraint {
+    /// The left-hand expression.
+    pub expr: LinExpr,
+    /// Inequality or equality.
+    pub kind: ConstraintKind,
+}
+
+impl Constraint {
+    /// `expr ≥ 0`.
+    pub fn ge_zero(expr: LinExpr) -> Self {
+        Constraint { expr, kind: ConstraintKind::GeZero }
+    }
+
+    /// `expr = 0`.
+    pub fn eq_zero(expr: LinExpr) -> Self {
+        Constraint { expr, kind: ConstraintKind::EqZero }
+    }
+
+    /// `lhs ≥ rhs` as `lhs - rhs ≥ 0`.
+    pub fn ge(lhs: &LinExpr, rhs: &LinExpr) -> Self {
+        Constraint::ge_zero(lhs.sub(rhs))
+    }
+
+    /// `lhs ≤ rhs` as `rhs - lhs ≥ 0`.
+    pub fn le(lhs: &LinExpr, rhs: &LinExpr) -> Self {
+        Constraint::ge_zero(rhs.sub(lhs))
+    }
+
+    /// `lhs = rhs` as `lhs - rhs = 0`.
+    pub fn eq(lhs: &LinExpr, rhs: &LinExpr) -> Self {
+        Constraint::eq_zero(lhs.sub(rhs))
+    }
+
+    /// Whether a concrete assignment satisfies the constraint.
+    pub fn satisfied_by(&self, value_of: impl Fn(usize) -> Rat) -> bool {
+        let v = self.expr.eval(value_of);
+        match self.kind {
+            ConstraintKind::GeZero => v >= Rat::ZERO,
+            ConstraintKind::EqZero => v.is_zero(),
+        }
+    }
+
+    /// Splits an equality into its two inequality halves; an inequality is
+    /// returned unchanged as a singleton.
+    pub fn split(&self) -> Vec<Constraint> {
+        match self.kind {
+            ConstraintKind::GeZero => vec![self.clone()],
+            ConstraintKind::EqZero => vec![
+                Constraint::ge_zero(self.expr.clone()),
+                Constraint::ge_zero(self.expr.scale(-Rat::ONE)),
+            ],
+        }
+    }
+
+    /// A canonical form with integer, gcd-reduced coefficients. Preserves
+    /// the solution set; makes syntactic deduplication effective.
+    pub fn normalize(&self) -> Constraint {
+        let mut expr = self.expr.normalize_integer();
+        if self.kind == ConstraintKind::EqZero {
+            // Fix the sign of equalities: first non-zero coefficient positive.
+            let lead = expr.terms().next().map(|(_, c)| c);
+            let flip = match lead {
+                Some(c) => c.is_negative(),
+                None => expr.constant_part().is_negative(),
+            };
+            if flip {
+                expr = expr.scale(-Rat::ONE);
+            }
+        }
+        Constraint { expr, kind: self.kind }
+    }
+
+    /// Whether the constraint mentions no dimensions (and is thus either
+    /// trivially true or trivially false).
+    pub fn is_trivial(&self) -> Option<bool> {
+        if !self.expr.is_constant() {
+            return None;
+        }
+        let k = self.expr.constant_part();
+        Some(match self.kind {
+            ConstraintKind::GeZero => k >= Rat::ZERO,
+            ConstraintKind::EqZero => k.is_zero(),
+        })
+    }
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            ConstraintKind::GeZero => write!(f, "{} >= 0", self.expr),
+            ConstraintKind::EqZero => write!(f, "{} == 0", self.expr),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i128) -> Rat {
+        Rat::int(n)
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let e = LinExpr::var(2).scale(r(3)).add_constant(r(5));
+        assert_eq!(e.coeff(2), r(3));
+        assert_eq!(e.coeff(0), Rat::ZERO);
+        assert_eq!(e.constant_part(), r(5));
+        assert!(!e.is_constant());
+        assert!(LinExpr::constant(r(7)).is_constant());
+    }
+
+    #[test]
+    fn arithmetic_combines_terms() {
+        let a = LinExpr::var(0).add(&LinExpr::var(1).scale(r(2)));
+        let b = LinExpr::var(0).scale(-Rat::ONE).add_constant(r(4));
+        let s = a.add(&b);
+        assert_eq!(s.coeff(0), Rat::ZERO);
+        assert_eq!(s.coeff(1), r(2));
+        assert_eq!(s.constant_part(), r(4));
+        // Zero coefficients are removed from the map.
+        assert_eq!(s.dims().count(), 1);
+    }
+
+    #[test]
+    fn substitution() {
+        // e = 2x0 + x1; x0 := x1 + 3  ⇒  e = 3x1 + 6.
+        let e = LinExpr::var(0).scale(r(2)).add(&LinExpr::var(1));
+        let replacement = LinExpr::var(1).add_constant(r(3));
+        let s = e.substitute(0, &replacement);
+        assert_eq!(s.coeff(0), Rat::ZERO);
+        assert_eq!(s.coeff(1), r(3));
+        assert_eq!(s.constant_part(), r(6));
+    }
+
+    #[test]
+    fn eval() {
+        let e = LinExpr::var(0).scale(r(2)).add(&LinExpr::var(1)).add_constant(r(1));
+        let v = e.eval(|d| if d == 0 { r(3) } else { r(4) });
+        assert_eq!(v, r(11));
+    }
+
+    #[test]
+    fn as_single_var() {
+        assert_eq!(LinExpr::var(4).as_single_var(), Some(4));
+        assert_eq!(LinExpr::var(4).scale(r(2)).as_single_var(), None);
+        assert_eq!(LinExpr::var(4).add_constant(r(1)).as_single_var(), None);
+    }
+
+    #[test]
+    fn constraint_satisfaction() {
+        // x0 - 3 ≥ 0
+        let c = Constraint::ge_zero(LinExpr::var(0).add_constant(r(-3)));
+        assert!(c.satisfied_by(|_| r(3)));
+        assert!(c.satisfied_by(|_| r(5)));
+        assert!(!c.satisfied_by(|_| r(2)));
+        // x0 - 3 = 0
+        let c = Constraint::eq_zero(LinExpr::var(0).add_constant(r(-3)));
+        assert!(c.satisfied_by(|_| r(3)));
+        assert!(!c.satisfied_by(|_| r(4)));
+    }
+
+    #[test]
+    fn equality_splits_into_halves() {
+        let c = Constraint::eq_zero(LinExpr::var(0));
+        let parts = c.split();
+        assert_eq!(parts.len(), 2);
+        assert!(parts.iter().all(|p| p.kind == ConstraintKind::GeZero));
+        let ge = Constraint::ge_zero(LinExpr::var(0));
+        assert_eq!(ge.split().len(), 1);
+    }
+
+    #[test]
+    fn normalization_reduces_coefficients() {
+        // 4x0 - 8 ≥ 0 normalizes to x0 - 2 ≥ 0.
+        let c = Constraint::ge_zero(LinExpr::var(0).scale(r(4)).add_constant(r(-8)));
+        let n = c.normalize();
+        assert_eq!(n.expr.coeff(0), Rat::ONE);
+        assert_eq!(n.expr.constant_part(), r(-2));
+        // Fractions clear: (1/2)x0 + 1/3 ≥ 0 → 3x0 + 2 ≥ 0.
+        let c = Constraint::ge_zero(
+            LinExpr::var(0).scale(Rat::new(1, 2)).add_constant(Rat::new(1, 3)),
+        );
+        let n = c.normalize();
+        assert_eq!(n.expr.coeff(0), r(3));
+        assert_eq!(n.expr.constant_part(), r(2));
+    }
+
+    #[test]
+    fn trivial_detection() {
+        assert_eq!(Constraint::ge_zero(LinExpr::constant(r(1))).is_trivial(), Some(true));
+        assert_eq!(Constraint::ge_zero(LinExpr::constant(r(-1))).is_trivial(), Some(false));
+        assert_eq!(Constraint::eq_zero(LinExpr::constant(Rat::ZERO)).is_trivial(), Some(true));
+        assert_eq!(Constraint::ge_zero(LinExpr::var(0)).is_trivial(), None);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = LinExpr::var(0).scale(r(2)).add(&LinExpr::var(1).scale(r(-1))).add_constant(r(-3));
+        assert_eq!(e.to_string(), "2*x0 - x1 - 3");
+        assert_eq!(LinExpr::constant(r(0)).to_string(), "0");
+    }
+}

@@ -1,0 +1,637 @@
+//! The octagon domain (`±x ± y ≤ c` constraints).
+
+use crate::domain::AbstractDomain;
+use crate::linexpr::{Constraint, ConstraintKind, LinExpr};
+use crate::polyhedra::Polyhedron;
+use crate::rational::Rat;
+use std::fmt;
+
+type Bound = Option<Rat>;
+
+fn bmin(a: Bound, b: Bound) -> Bound {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (Some(x), None) | (None, Some(x)) => Some(x),
+        (None, None) => None,
+    }
+}
+
+fn badd(a: Bound, b: Bound) -> Bound {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x + y),
+        _ => None,
+    }
+}
+
+fn ble(a: Bound, b: Bound) -> bool {
+    match (a, b) {
+        (_, None) => true,
+        (None, Some(_)) => false,
+        (Some(x), Some(y)) => x <= y,
+    }
+}
+
+/// Flips between the positive (`2d`) and negative (`2d+1`) form of a var.
+fn bar(i: usize) -> usize {
+    i ^ 1
+}
+
+/// The octagon abstract domain (Miné).
+///
+/// Each program dimension `d` gets two matrix indices: `2d` for `+x_d` and
+/// `2d+1` for `−x_d`. Entry `m[i][j]` bounds `V_i − V_j ≤ m[i][j]`, so
+/// octagonal constraints like `x + y ≤ c` are `V_{2i} − V_{2j+1} ≤ c`.
+/// The coherence invariant `m[i][j] = m[bar(j)][bar(i)]` is maintained by
+/// every mutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Octagon {
+    n: usize, // matrix side = 2 * dims
+    m: Vec<Bound>,
+    bottom: bool,
+}
+
+impl Octagon {
+    fn get(&self, i: usize, j: usize) -> Bound {
+        self.m[i * self.n + j]
+    }
+
+    fn set(&mut self, i: usize, j: usize, b: Bound) {
+        self.m[i * self.n + j] = b;
+        self.m[bar(j) * self.n + bar(i)] = b;
+    }
+
+    fn tighten(&mut self, i: usize, j: usize, b: Rat) {
+        let v = bmin(self.get(i, j), Some(b));
+        self.set(i, j, v);
+    }
+
+    /// Strong closure: shortest paths plus the unary strengthening step.
+    fn close(&mut self) {
+        if self.bottom {
+            return;
+        }
+        let n = self.n;
+        for _round in 0..2 {
+            for k in 0..n {
+                for i in 0..n {
+                    let ik = self.get(i, k);
+                    if ik.is_none() {
+                        continue;
+                    }
+                    for j in 0..n {
+                        let through = badd(ik, self.get(k, j));
+                        if !ble(self.get(i, j), through) {
+                            self.m[i * n + j] = through;
+                        }
+                    }
+                }
+            }
+            // Strengthening: V_i − V_j ≤ (m[i][bar i] + m[bar j][j]) / 2.
+            for i in 0..n {
+                let half_i = self.get(i, bar(i));
+                for j in 0..n {
+                    if let (Some(a), Some(b)) = (half_i, self.get(bar(j), j)) {
+                        let bound = (a + b) * Rat::new(1, 2);
+                        if !ble(self.get(i, j), Some(bound)) {
+                            self.m[i * n + j] = Some(bound);
+                        }
+                    }
+                }
+            }
+        }
+        // Restore exact coherence (the in-place loops above may have updated
+        // only one of each coherent pair).
+        for i in 0..n {
+            for j in 0..n {
+                let a = self.m[i * n + j];
+                let b = self.m[bar(j) * n + bar(i)];
+                let m = bmin(a, b);
+                self.m[i * n + j] = m;
+                self.m[bar(j) * n + bar(i)] = m;
+            }
+        }
+        for i in 0..n {
+            if let Some(d) = self.get(i, i) {
+                if d.is_negative() {
+                    self.bottom = true;
+                    return;
+                }
+            }
+        }
+    }
+
+    fn var_hi(&self, d: usize) -> Bound {
+        // x ≤ m[2d][2d+1] / 2.
+        self.get(2 * d, 2 * d + 1).map(|b| b * Rat::new(1, 2))
+    }
+
+    fn var_lo(&self, d: usize) -> Bound {
+        // −x ≤ m[2d+1][2d] / 2 ⇒ x ≥ −that.
+        self.get(2 * d + 1, 2 * d).map(|b| -(b * Rat::new(1, 2)))
+    }
+
+    /// Recognizes octagonal shapes `s1·x_i + s2·x_j + k` (s ∈ {±1}) or
+    /// `s·x_i + k`; returns matrix indices (i, j) such that the expression
+    /// equals `V_i − V_j + k` — except for the two-variable case where it
+    /// returns the pair encoding.
+    fn as_octagonal(e: &LinExpr) -> Option<OctShape> {
+        let terms: Vec<(usize, Rat)> = e.terms().collect();
+        let k = e.constant_part();
+        match terms.as_slice() {
+            [] => Some(OctShape::Const(k)),
+            [(d, c)] if *c == Rat::ONE => Some(OctShape::Unary { pos: 2 * d, k }),
+            [(d, c)] if *c == -Rat::ONE => Some(OctShape::Unary { pos: 2 * d + 1, k }),
+            [(d1, c1), (d2, c2)]
+                if (c1.abs() == Rat::ONE) && (c2.abs() == Rat::ONE) =>
+            {
+                let i = if c1.is_positive() { 2 * d1 } else { 2 * d1 + 1 };
+                let j = if c2.is_positive() { 2 * d2 } else { 2 * d2 + 1 };
+                Some(OctShape::Binary { i, j, k })
+            }
+            _ => None,
+        }
+    }
+
+    fn eval_interval(&self, e: &LinExpr) -> (Bound, Bound) {
+        match Octagon::as_octagonal(e) {
+            Some(OctShape::Const(k)) => (Some(k), Some(k)),
+            Some(OctShape::Unary { pos, k }) => {
+                let d = pos / 2;
+                if pos % 2 == 0 {
+                    (badd(self.var_lo(d), Some(k)), badd(self.var_hi(d), Some(k)))
+                } else {
+                    let lo = self.var_hi(d).map(|v| -v + k);
+                    let hi = self.var_lo(d).map(|v| -v + k);
+                    (lo, hi)
+                }
+            }
+            Some(OctShape::Binary { i, j, k }) => {
+                // e = V_i + V_j + k; V_i + V_j ≤ m[i][bar j].
+                let hi = self.get(i, bar(j)).map(|b| b + k);
+                let lo = self.get(bar(i), j).map(|b| -b + k);
+                (lo, hi)
+            }
+            None => {
+                let mut lo = Some(e.constant_part());
+                let mut hi = Some(e.constant_part());
+                for (d, c) in e.terms() {
+                    let (vlo, vhi) = (self.var_lo(d), self.var_hi(d));
+                    let (tlo, thi) = if c.is_positive() {
+                        (vlo.map(|v| v * c), vhi.map(|v| v * c))
+                    } else {
+                        (vhi.map(|v| v * c), vlo.map(|v| v * c))
+                    };
+                    lo = badd(lo, tlo);
+                    hi = badd(hi, thi);
+                }
+                (lo, hi)
+            }
+        }
+    }
+
+    fn forget(&mut self, d: usize) {
+        let (p, q) = (2 * d, 2 * d + 1);
+        for i in 0..self.n {
+            for &v in &[p, q] {
+                if i != v {
+                    self.m[i * self.n + v] = None;
+                    self.m[v * self.n + i] = None;
+                }
+            }
+        }
+        self.m[p * self.n + q] = None;
+        self.m[q * self.n + p] = None;
+    }
+}
+
+#[derive(Debug)]
+enum OctShape {
+    Const(Rat),
+    Unary { pos: usize, k: Rat },
+    Binary { i: usize, j: usize, k: Rat },
+}
+
+impl AbstractDomain for Octagon {
+    fn top(dims: usize) -> Self {
+        let n = 2 * dims;
+        let mut o = Octagon { n, m: vec![None; n * n], bottom: false };
+        for i in 0..n {
+            o.m[i * n + i] = Some(Rat::ZERO);
+        }
+        o
+    }
+
+    fn bottom(dims: usize) -> Self {
+        let mut o = Octagon::top(dims);
+        o.bottom = true;
+        o
+    }
+
+    fn dims(&self) -> usize {
+        self.n / 2
+    }
+
+    fn is_bottom(&self) -> bool {
+        self.bottom
+    }
+
+    fn join(&self, other: &Self) -> Self {
+        if self.bottom {
+            return other.clone();
+        }
+        if other.bottom {
+            return self.clone();
+        }
+        let mut a = self.clone();
+        a.close();
+        let mut b = other.clone();
+        b.close();
+        if a.bottom {
+            return b;
+        }
+        if b.bottom {
+            return a;
+        }
+        let mut out = Octagon::top(self.dims());
+        for i in 0..self.n {
+            for j in 0..self.n {
+                out.m[i * self.n + j] = match (a.get(i, j), b.get(i, j)) {
+                    (Some(x), Some(y)) => Some(x.max(y)),
+                    _ => None,
+                };
+            }
+        }
+        out
+    }
+
+    fn widen(&self, newer: &Self) -> Self {
+        if self.bottom {
+            return newer.clone();
+        }
+        if newer.bottom {
+            return self.clone();
+        }
+        let mut closed_new = newer.clone();
+        closed_new.close();
+        if closed_new.bottom {
+            return self.clone();
+        }
+        let mut out = Octagon::top(self.dims());
+        for i in 0..self.n {
+            for j in 0..self.n {
+                out.m[i * self.n + j] = if ble(closed_new.get(i, j), self.get(i, j)) {
+                    self.get(i, j)
+                } else {
+                    None
+                };
+            }
+        }
+        for i in 0..self.n {
+            out.m[i * self.n + i] = Some(Rat::ZERO);
+        }
+        out
+    }
+
+    fn includes(&self, other: &Self) -> bool {
+        if other.bottom {
+            return true;
+        }
+        if self.bottom {
+            return false;
+        }
+        let mut o = other.clone();
+        o.close();
+        if o.bottom {
+            return true;
+        }
+        for i in 0..self.n {
+            for j in 0..self.n {
+                if !ble(o.get(i, j), self.get(i, j)) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn meet_constraint(&mut self, c: &Constraint) {
+        if self.bottom {
+            return;
+        }
+        for part in c.split() {
+            let e = part.normalize().expr;
+            match Octagon::as_octagonal(&e) {
+                Some(OctShape::Const(k)) => {
+                    if k.is_negative() {
+                        self.bottom = true;
+                        return;
+                    }
+                }
+                // V_i + k ≥ 0  ⇔  −V_i ≤ k  ⇔  V_{bar i} − V_i ≤ 2k when
+                // phrased on the doubled matrix: bar(i) − i ≤ 2k.
+                Some(OctShape::Unary { pos, k }) => {
+                    self.tighten(bar(pos), pos, k * Rat::int(2));
+                }
+                // V_i + V_j + k ≥ 0  ⇔  −V_i − V_j ≤ k  ⇔  V_{bar i} − V_j ≤ k.
+                Some(OctShape::Binary { i, j, k }) => {
+                    self.tighten(bar(i), j, k);
+                }
+                None => {
+                    // Interval-style unary consequences.
+                    let terms: Vec<(usize, Rat)> = e.terms().collect();
+                    for &(d, a) in &terms {
+                        let mut rest = e.clone();
+                        rest.set_coeff(d, Rat::ZERO);
+                        let (_, rest_hi) = self.eval_interval(&rest);
+                        if let Some(rh) = rest_hi {
+                            let bound = -rh / a;
+                            if a.is_positive() {
+                                // x_d ≥ bound ⇔ −x_d ≤ −bound.
+                                self.tighten(2 * d + 1, 2 * d, -bound * Rat::int(2));
+                            } else {
+                                self.tighten(2 * d, 2 * d + 1, bound * Rat::int(2));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.close();
+        if !self.bottom && c.kind == ConstraintKind::GeZero {
+            let (_, hi) = self.eval_interval(&c.expr);
+            if let Some(h) = hi {
+                if h.is_negative() {
+                    self.bottom = true;
+                }
+            }
+        }
+    }
+
+    fn assign_linear(&mut self, dim: usize, e: &LinExpr) {
+        if self.bottom {
+            return;
+        }
+        let terms: Vec<(usize, Rat)> = e.terms().collect();
+        let k = e.constant_part();
+        match terms.as_slice() {
+            [] => {
+                self.forget(dim);
+                // x = k: x ≤ k and −x ≤ −k.
+                self.tighten(2 * dim, 2 * dim + 1, k * Rat::int(2));
+                self.tighten(2 * dim + 1, 2 * dim, -k * Rat::int(2));
+            }
+            [(d, c)] if *d == dim && *c == Rat::ONE => {
+                // x := x + k: shift all entries involving x.
+                let (p, q) = (2 * dim, 2 * dim + 1);
+                for i in 0..self.n {
+                    for j in 0..self.n {
+                        if i == j {
+                            continue;
+                        }
+                        let mut shift = Rat::ZERO;
+                        if i == p {
+                            shift += k;
+                        }
+                        if i == q {
+                            shift -= k;
+                        }
+                        if j == p {
+                            shift -= k;
+                        }
+                        if j == q {
+                            shift += k;
+                        }
+                        if !shift.is_zero() {
+                            let cur = self.m[i * self.n + j];
+                            self.m[i * self.n + j] = cur.map(|b| b + shift);
+                        }
+                    }
+                }
+            }
+            [(d, c)] if *d != dim && c.abs() == Rat::ONE => {
+                // x := ±y + k.
+                self.forget(dim);
+                let y_pos = if c.is_positive() { 2 * d } else { 2 * d + 1 };
+                // x − (±y) ≤ k and (±y) − x ≤ −k.
+                self.tighten(2 * dim, y_pos, k);
+                self.tighten(y_pos, 2 * dim, -k);
+            }
+            _ => {
+                let (lo, hi) = self.eval_interval(e);
+                self.forget(dim);
+                if let Some(h) = hi {
+                    self.tighten(2 * dim, 2 * dim + 1, h * Rat::int(2));
+                }
+                if let Some(l) = lo {
+                    self.tighten(2 * dim + 1, 2 * dim, -l * Rat::int(2));
+                }
+            }
+        }
+        self.close();
+    }
+
+    fn havoc(&mut self, dim: usize) {
+        if !self.bottom {
+            self.forget(dim);
+        }
+    }
+
+    fn bounds(&self, e: &LinExpr) -> (Option<Rat>, Option<Rat>) {
+        if self.bottom {
+            return (None, None);
+        }
+        let mut o = self.clone();
+        o.close();
+        if o.bottom {
+            return (None, None);
+        }
+        o.eval_interval(e)
+    }
+
+    fn to_polyhedron(&self) -> Polyhedron {
+        if self.bottom {
+            return Polyhedron::bottom(self.dims());
+        }
+        let mut o = self.clone();
+        o.close();
+        if o.bottom {
+            return Polyhedron::bottom(self.dims());
+        }
+        let signed = |pos: usize| -> LinExpr {
+            let d = pos / 2;
+            if pos % 2 == 0 {
+                LinExpr::var(d)
+            } else {
+                LinExpr::var(d).scale(-Rat::ONE)
+            }
+        };
+        let mut p = Polyhedron::top(self.dims());
+        for i in 0..self.n {
+            for j in 0..self.n {
+                if i == j {
+                    continue;
+                }
+                if let Some(b) = o.get(i, j) {
+                    // V_i − V_j ≤ b.
+                    let e = LinExpr::constant(b).sub(&signed(i)).add(&signed(j));
+                    p.add_constraint(Constraint::ge_zero(e));
+                }
+            }
+        }
+        p
+    }
+
+    fn contains_point(&self, point: &[Rat]) -> bool {
+        if self.bottom {
+            return false;
+        }
+        let val = |pos: usize| -> Rat {
+            let v = point.get(pos / 2).copied().unwrap_or(Rat::ZERO);
+            if pos % 2 == 0 {
+                v
+            } else {
+                -v
+            }
+        };
+        for i in 0..self.n {
+            for j in 0..self.n {
+                if i == j {
+                    continue;
+                }
+                if let Some(b) = self.get(i, j) {
+                    if val(i) - val(j) > b {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+impl fmt::Display for Octagon {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.bottom {
+            return f.write_str("⊥");
+        }
+        write!(f, "{}", self.to_polyhedron())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i128) -> Rat {
+        Rat::int(n)
+    }
+
+    fn x() -> LinExpr {
+        LinExpr::var(0)
+    }
+
+    fn y() -> LinExpr {
+        LinExpr::var(1)
+    }
+
+    #[test]
+    fn unary_bounds() {
+        let mut o = Octagon::top(1);
+        o.meet_constraint(&Constraint::ge(&x(), &LinExpr::constant(r(2))));
+        o.meet_constraint(&Constraint::le(&x(), &LinExpr::constant(r(9))));
+        assert_eq!(o.bounds(&x()), (Some(r(2)), Some(r(9))));
+    }
+
+    #[test]
+    fn sum_constraint_is_exact() {
+        // x + y ≤ 4 is octagonal (unlike in zones).
+        let mut o = Octagon::top(2);
+        o.meet_constraint(&Constraint::le(&x().add(&y()), &LinExpr::constant(r(4))));
+        assert_eq!(o.bounds(&x().add(&y())).1, Some(r(4)));
+        // Adding y ≥ 1 propagates x ≤ 3.
+        o.meet_constraint(&Constraint::ge(&y(), &LinExpr::constant(r(1))));
+        assert_eq!(o.bounds(&x()).1, Some(r(3)));
+    }
+
+    #[test]
+    fn difference_constraints() {
+        let mut o = Octagon::top(2);
+        o.meet_constraint(&Constraint::le(&x(), &y()));
+        o.meet_constraint(&Constraint::le(&y(), &LinExpr::constant(r(5))));
+        assert_eq!(o.bounds(&x()).1, Some(r(5)));
+        assert_eq!(o.bounds(&x().sub(&y())).1, Some(r(0)));
+    }
+
+    #[test]
+    fn infeasible_is_bottom() {
+        let mut o = Octagon::top(1);
+        o.meet_constraint(&Constraint::ge(&x(), &LinExpr::constant(r(5))));
+        o.meet_constraint(&Constraint::le(&x(), &LinExpr::constant(r(2))));
+        assert!(o.is_bottom());
+    }
+
+    #[test]
+    fn assignment_constant_and_shift() {
+        let mut o = Octagon::top(1);
+        o.assign_linear(0, &LinExpr::constant(r(3)));
+        assert_eq!(o.bounds(&x()), (Some(r(3)), Some(r(3))));
+        o.assign_linear(0, &x().add_constant(r(2)));
+        assert_eq!(o.bounds(&x()), (Some(r(5)), Some(r(5))));
+    }
+
+    #[test]
+    fn assignment_negated_copy() {
+        // y := −x with x ∈ [1, 2] ⇒ y ∈ [−2, −1] and x + y = 0.
+        let mut o = Octagon::top(2);
+        o.meet_constraint(&Constraint::ge(&x(), &LinExpr::constant(r(1))));
+        o.meet_constraint(&Constraint::le(&x(), &LinExpr::constant(r(2))));
+        o.assign_linear(1, &x().scale(-Rat::ONE));
+        assert_eq!(o.bounds(&y()), (Some(r(-2)), Some(r(-1))));
+        assert_eq!(o.bounds(&x().add(&y())), (Some(r(0)), Some(r(0))));
+    }
+
+    #[test]
+    fn join_and_inclusion() {
+        let mut a = Octagon::top(1);
+        a.meet_constraint(&Constraint::eq(&x(), &LinExpr::constant(r(0))));
+        let mut b = Octagon::top(1);
+        b.meet_constraint(&Constraint::eq(&x(), &LinExpr::constant(r(4))));
+        let j = a.join(&b);
+        assert!(j.includes(&a) && j.includes(&b));
+        assert_eq!(j.bounds(&x()), (Some(r(0)), Some(r(4))));
+    }
+
+    #[test]
+    fn widening_stabilizes() {
+        let mut inv = Octagon::top(1);
+        inv.meet_constraint(&Constraint::eq(&x(), &LinExpr::constant(r(0))));
+        for _ in 0..5 {
+            let mut next = inv.clone();
+            next.assign_linear(0, &x().add_constant(r(1)));
+            let grown = inv.join(&next);
+            let widened = inv.widen(&grown);
+            if widened.includes(&inv) && inv.includes(&widened) {
+                break;
+            }
+            inv = widened;
+        }
+        assert_eq!(inv.bounds(&x()).0, Some(r(0)));
+        assert_eq!(inv.bounds(&x()).1, None);
+    }
+
+    #[test]
+    fn to_polyhedron_keeps_sums() {
+        let mut o = Octagon::top(2);
+        o.meet_constraint(&Constraint::le(&x().add(&y()), &LinExpr::constant(r(4))));
+        let p = o.to_polyhedron();
+        assert!(p.entails(&Constraint::le(&x().add(&y()), &LinExpr::constant(r(4)))));
+    }
+
+    #[test]
+    fn contains_point() {
+        let mut o = Octagon::top(2);
+        o.meet_constraint(&Constraint::le(&x().add(&y()), &LinExpr::constant(r(4))));
+        assert!(o.contains_point(&[r(2), r(2)]));
+        assert!(!o.contains_point(&[r(3), r(2)]));
+    }
+}

@@ -1,0 +1,969 @@
+//! Convex polyhedra in constraint representation.
+//!
+//! This is the workspace's stand-in for the Parma Polyhedra Library. A
+//! [`Polyhedron`] is a conjunction of linear [`Constraint`]s over a fixed
+//! number of dimensions. Operations:
+//!
+//! * meet (conjunction) and emptiness via exact LP feasibility;
+//! * entailment of a constraint via exact LP optimization;
+//! * join as the *weak join* — the strongest conjunction of constraints from
+//!   either argument valid for both (a sound over-approximation of the
+//!   convex hull that is precise on the box- and difference-shaped
+//!   invariants the bound analysis needs);
+//! * projection (dimension elimination) by Gaussian elimination on
+//!   equalities plus Fourier–Motzkin on inequalities — this is also how
+//!   `blazer-bounds` extracts *parametric* bounds of a cost expression in
+//!   terms of input-seed dimensions;
+//! * standard constraint-dropping widening.
+
+use crate::linexpr::{Constraint, ConstraintKind, LinExpr};
+use crate::rational::Rat;
+use crate::simplex::{LpResult, Simplex};
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A rational convex polyhedron over `dims` dimensions.
+#[derive(Debug, Clone)]
+pub struct Polyhedron {
+    dims: usize,
+    /// Invariant: when `empty` is false, `cons` is feasible; when `empty` is
+    /// true, `cons` is ignored.
+    cons: Vec<Constraint>,
+    empty: bool,
+}
+
+/// Above this many constraints, meets trigger an LP-based redundancy sweep.
+const REDUNDANCY_LIMIT: usize = 48;
+
+impl Polyhedron {
+    /// The universe polyhedron (no constraints).
+    pub fn top(dims: usize) -> Self {
+        Polyhedron { dims, cons: Vec::new(), empty: false }
+    }
+
+    /// The empty polyhedron.
+    pub fn bottom(dims: usize) -> Self {
+        Polyhedron { dims, cons: Vec::new(), empty: true }
+    }
+
+    /// Builds a polyhedron from constraints (checking feasibility).
+    pub fn from_constraints(dims: usize, cons: Vec<Constraint>) -> Self {
+        let mut p = Polyhedron::top(dims);
+        for c in cons {
+            p.add_constraint(c);
+        }
+        p
+    }
+
+    /// The number of dimensions.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// The constraint system (empty slice for both top and bottom — check
+    /// [`Polyhedron::is_empty`] to distinguish them).
+    pub fn constraints(&self) -> &[Constraint] {
+        if self.empty {
+            &[]
+        } else {
+            &self.cons
+        }
+    }
+
+    /// Whether this is the empty polyhedron.
+    pub fn is_empty(&self) -> bool {
+        self.empty
+    }
+
+    /// Whether this is the universe (no constraints and not empty).
+    pub fn is_top(&self) -> bool {
+        !self.empty && self.cons.is_empty()
+    }
+
+    /// Conjoins one constraint, detecting emptiness.
+    pub fn add_constraint(&mut self, c: Constraint) {
+        if self.empty {
+            return;
+        }
+        match c.is_trivial() {
+            Some(true) => return,
+            Some(false) => {
+                self.empty = true;
+                self.cons.clear();
+                return;
+            }
+            None => {}
+        }
+        let c = c.normalize();
+        if self.cons.contains(&c) {
+            return;
+        }
+        self.cons.push(c);
+        if !Simplex::feasible(&self.cons) {
+            self.empty = true;
+            self.cons.clear();
+        } else if self.cons.len() > REDUNDANCY_LIMIT {
+            self.remove_redundant();
+        }
+    }
+
+    /// Conjoins all constraints of `other`.
+    pub fn meet(&mut self, other: &Polyhedron) {
+        assert_eq!(self.dims, other.dims, "dimension mismatch in meet");
+        if other.empty {
+            self.empty = true;
+            self.cons.clear();
+            return;
+        }
+        for c in &other.cons {
+            self.add_constraint(c.clone());
+        }
+    }
+
+    /// Whether every point of the polyhedron satisfies `c`.
+    pub fn entails(&self, c: &Constraint) -> bool {
+        if self.empty {
+            return true;
+        }
+        if let Some(t) = c.is_trivial() {
+            return t;
+        }
+        // Syntactic fast path: the constraint (or the equality implying an
+        // inequality) is literally present.
+        let n = c.normalize();
+        if self.cons.contains(&n) {
+            return true;
+        }
+        if n.kind == ConstraintKind::GeZero {
+            let as_eq = Constraint::eq_zero(n.expr.clone()).normalize();
+            if self.cons.contains(&as_eq) {
+                return true;
+            }
+        }
+        let min_ok = match Simplex::minimize(&c.expr, &self.cons) {
+            LpResult::Optimal(v) => v >= Rat::ZERO,
+            LpResult::Unbounded => false,
+            LpResult::Infeasible => true,
+        };
+        match c.kind {
+            ConstraintKind::GeZero => min_ok,
+            ConstraintKind::EqZero => {
+                min_ok
+                    && match Simplex::maximize(&c.expr, &self.cons) {
+                        LpResult::Optimal(v) => v <= Rat::ZERO,
+                        LpResult::Unbounded => false,
+                        LpResult::Infeasible => true,
+                    }
+            }
+        }
+    }
+
+    /// Whether `self ⊇ other` (as point sets).
+    pub fn includes(&self, other: &Polyhedron) -> bool {
+        assert_eq!(self.dims, other.dims, "dimension mismatch in includes");
+        if other.empty {
+            return true;
+        }
+        if self.empty {
+            return false;
+        }
+        self.cons.iter().all(|c| other.entails(c))
+    }
+
+    /// The weak join, strengthened with affine-combination equalities:
+    /// keeps each constraint of either argument that the other argument
+    /// also satisfies, plus equalities `e₁ + λ·e₂ = c` derived from pairs
+    /// of equalities of the two sides (the loop-invariant shapes like
+    /// `k − 2i = c` that a purely syntactic weak join would lose). Sound
+    /// (⊇ convex hull of the union).
+    pub fn join(&self, other: &Polyhedron) -> Polyhedron {
+        self.join_impl(other, false)
+    }
+
+    /// The join used at loop heads: additionally closes the result under
+    /// entailed octagonal facts, so derived bounds (like `i ≤ len(a)`)
+    /// survive the constraint-dropping widening. More expensive (one LP per
+    /// direction per side), so plain control-flow merges use [`Polyhedron::join`].
+    pub fn join_hulled(&self, other: &Polyhedron) -> Polyhedron {
+        self.join_impl(other, true)
+    }
+
+    fn join_impl(&self, other: &Polyhedron, hulled: bool) -> Polyhedron {
+        assert_eq!(self.dims, other.dims, "dimension mismatch in join");
+        if self.empty {
+            return other.clone();
+        }
+        if other.empty {
+            return self.clone();
+        }
+        let mut out = Vec::new();
+        let push = |c: Constraint, out: &mut Vec<Constraint>| {
+            let c = c.normalize();
+            if !out.contains(&c) {
+                out.push(c);
+            }
+        };
+        for c in self.cons.iter().flat_map(|c| c.split()) {
+            if other.entails(&c) {
+                push(c, &mut out);
+            }
+        }
+        for c in other.cons.iter().flat_map(|c| c.split()) {
+            if self.entails(&c) {
+                push(c, &mut out);
+            }
+        }
+        // Combination equalities. For e₁ = 0 on self with constant value c
+        // on other, and e₂ = 0 on other with constant value d ≠ 0 on self:
+        // e₁ + (c/d)·e₂ equals c on both sides, hence on the hull.
+        let eqs = |p: &Polyhedron| -> Vec<LinExpr> {
+            p.cons
+                .iter()
+                .filter(|c| c.kind == ConstraintKind::EqZero)
+                .map(|c| c.expr.clone())
+                .collect()
+        };
+        let const_value = |p: &Polyhedron, e: &LinExpr| -> Option<Rat> {
+            let (lo, hi) = p.bounds(e);
+            match (lo, hi) {
+                (Some(a), Some(b)) if a == b => Some(a),
+                _ => None,
+            }
+        };
+        let mut combos = 0usize;
+        'outer: for e1 in eqs(self) {
+            let Some(c) = const_value(other, &e1) else { continue };
+            if c.is_zero() {
+                continue; // already kept by the base join
+            }
+            for e2 in eqs(other) {
+                let Some(d) = const_value(self, &e2) else { continue };
+                if d.is_zero() {
+                    continue;
+                }
+                let lambda = c / d;
+                let combined = e1.add(&e2.scale(lambda)).add_constant(-c);
+                push(Constraint::eq_zero(combined), &mut out);
+                combos += 1;
+                if combos >= 16 {
+                    break 'outer; // cap the quadratic pairing
+                }
+            }
+        }
+        // Octagonal hull over co-occurring dimensions: for directions
+        // `±xᵢ` and `±(xᵢ − xⱼ)`, the max of the two sides' suprema is
+        // valid for the hull. This recovers entailed-but-not-syntactic
+        // facts like `i ≤ len(a)` that the weak join would lose. Loop
+        // heads only (see `join_hulled`).
+        if !hulled {
+            reconstitute_equalities(&mut out);
+            let mut p = Polyhedron { dims: self.dims, cons: out, empty: false };
+            if p.cons.len() > 24 {
+                p.remove_redundant();
+            }
+            return p;
+        }
+        let mut mentioned: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
+        let mut pairs: std::collections::BTreeSet<(usize, usize)> =
+            std::collections::BTreeSet::new();
+        for c in self.cons.iter().chain(other.cons.iter()) {
+            let ds: Vec<usize> = c.expr.dims().collect();
+            mentioned.extend(ds.iter().copied());
+            for (i, &a) in ds.iter().enumerate() {
+                for &b in &ds[i + 1..] {
+                    pairs.insert((a.min(b), a.max(b)));
+                }
+            }
+        }
+        let mut directions: Vec<LinExpr> = Vec::new();
+        for &d in &mentioned {
+            directions.push(LinExpr::var(d));
+            directions.push(LinExpr::var(d).scale(-Rat::ONE));
+        }
+        for &(a, b) in &pairs {
+            let diff = LinExpr::var(a).sub(&LinExpr::var(b));
+            directions.push(diff.clone());
+            directions.push(diff.scale(-Rat::ONE));
+        }
+        for e in directions {
+            if let (Some(a), Some(b)) = (self.sup(&e), other.sup(&e)) {
+                // e ≤ max(a, b) on the hull.
+                push(
+                    Constraint::ge_zero(LinExpr::constant(a.max(b)).sub(&e)),
+                    &mut out,
+                );
+            }
+        }
+
+        reconstitute_equalities(&mut out);
+        let mut p = Polyhedron { dims: self.dims, cons: out, empty: false };
+        if p.cons.len() > 24 {
+            p.remove_redundant();
+        }
+        p
+    }
+
+    /// Standard constraint-dropping widening: keeps the constraints of
+    /// `self` (the older iterate) that still hold in `newer`. The older
+    /// iterate is first *saturated* with its entailed octagonal facts so
+    /// that a stable derived bound (like `i ≥ 0` implied by `i = j ∧
+    /// j ≥ 0`) survives even when its syntactic carriers do not.
+    ///
+    /// Termination: saturation is a function of `self` alone and the result
+    /// keeps a subset of the saturated set, so repeated widening stabilizes
+    /// (entailed octagonal facts only weaken as iterates grow).
+    pub fn widen(&self, newer: &Polyhedron) -> Polyhedron {
+        assert_eq!(self.dims, newer.dims, "dimension mismatch in widen");
+        if self.empty {
+            return newer.clone();
+        }
+        if newer.empty {
+            return self.clone();
+        }
+        let mut candidates: Vec<Constraint> =
+            self.cons.iter().flat_map(|c| c.split()).collect();
+        candidates.extend(self.octagonal_facts());
+        let kept: Vec<Constraint> = candidates
+            .into_iter()
+            .filter(|c| newer.entails(c))
+            .map(|c| c.normalize())
+            .collect();
+        let mut dedup = Vec::new();
+        for c in kept {
+            if !dedup.contains(&c) {
+                dedup.push(c);
+            }
+        }
+        reconstitute_equalities(&mut dedup);
+        let mut p = Polyhedron { dims: self.dims, cons: dedup, empty: false };
+        if p.cons.len() > 24 {
+            p.remove_redundant();
+        }
+        p
+    }
+
+    /// Entailed `±xᵢ ≤ c` and `±(xᵢ ± xⱼ) ≤ c` facts over mentioned and
+    /// co-occurring dimensions.
+    fn octagonal_facts(&self) -> Vec<Constraint> {
+        let mut mentioned: BTreeSet<usize> = BTreeSet::new();
+        let mut pairs: BTreeSet<(usize, usize)> = BTreeSet::new();
+        for c in &self.cons {
+            let ds: Vec<usize> = c.expr.dims().collect();
+            mentioned.extend(ds.iter().copied());
+            for (i, &a) in ds.iter().enumerate() {
+                for &b in &ds[i + 1..] {
+                    pairs.insert((a.min(b), a.max(b)));
+                }
+            }
+        }
+        let mut directions: Vec<LinExpr> = Vec::new();
+        for &d in &mentioned {
+            directions.push(LinExpr::var(d));
+            directions.push(LinExpr::var(d).scale(-Rat::ONE));
+        }
+        for &(a, b) in &pairs {
+            let diff = LinExpr::var(a).sub(&LinExpr::var(b));
+            directions.push(diff.clone());
+            directions.push(diff.scale(-Rat::ONE));
+        }
+        let mut out = Vec::new();
+        for e in directions {
+            if let Some(sup) = self.sup(&e) {
+                out.push(Constraint::ge_zero(LinExpr::constant(sup).sub(&e)));
+            }
+        }
+        out
+    }
+
+    /// Eliminates dimension `dim` (existential projection). The dimension
+    /// stays allocated but unconstrained.
+    pub fn project_out(&mut self, dim: usize) {
+        if self.empty {
+            return;
+        }
+        // Gaussian step: use an equality mentioning `dim` as a substitution.
+        if let Some(pos) = self
+            .cons
+            .iter()
+            .position(|c| c.kind == ConstraintKind::EqZero && !c.expr.coeff(dim).is_zero())
+        {
+            let eq = self.cons.swap_remove(pos);
+            let a = eq.expr.coeff(dim);
+            // a·dim + rest = 0  ⇒  dim = −rest/a.
+            let mut rest = eq.expr.clone();
+            rest.set_coeff(dim, Rat::ZERO);
+            let replacement = rest.scale(-a.recip());
+            let old: Vec<Constraint> = std::mem::take(&mut self.cons);
+            for c in old {
+                let expr = c.expr.substitute(dim, &replacement);
+                self.cons.push(Constraint { expr, kind: c.kind });
+            }
+            self.retain_nontrivial();
+            return;
+        }
+        // Fourier–Motzkin on inequalities (equalities without `dim` are kept).
+        let mut lowers = Vec::new(); // coeff on dim > 0
+        let mut uppers = Vec::new(); // coeff on dim < 0
+        let mut rest = Vec::new();
+        for c in std::mem::take(&mut self.cons) {
+            let a = c.expr.coeff(dim);
+            if a.is_zero() {
+                rest.push(c);
+            } else if a.is_positive() {
+                lowers.push(c);
+            } else {
+                uppers.push(c);
+            }
+        }
+        for lo in &lowers {
+            for hi in &uppers {
+                let a = lo.expr.coeff(dim); // > 0
+                let b = hi.expr.coeff(dim); // < 0
+                // a·lo_rest scaling: combine lo·(−b) + hi·a, dim cancels.
+                let combined = lo.expr.scale(-b).add(&hi.expr.scale(a));
+                debug_assert!(combined.coeff(dim).is_zero());
+                rest.push(Constraint::ge_zero(combined));
+            }
+        }
+        self.cons = rest;
+        self.retain_nontrivial();
+        if self.cons.len() > REDUNDANCY_LIMIT {
+            self.remove_redundant();
+        }
+    }
+
+    /// Keeps only the dimensions in `keep` constrained, eliminating all
+    /// others. Used to express invariants over input seeds.
+    pub fn project_onto(&self, keep: &BTreeSet<usize>) -> Polyhedron {
+        let mut p = self.clone();
+        let mentioned: BTreeSet<usize> = p
+            .cons
+            .iter()
+            .flat_map(|c| c.expr.dims().collect::<Vec<_>>())
+            .collect();
+        for d in mentioned {
+            if !keep.contains(&d) {
+                p.project_out(d);
+            }
+        }
+        p
+    }
+
+    /// Forward assignment `dim := e` (e may mention `dim`).
+    pub fn assign(&mut self, dim: usize, e: &LinExpr) {
+        if self.empty {
+            return;
+        }
+        let a = e.coeff(dim);
+        if !a.is_zero() {
+            // Invertible update: old = (new − rest)/a; substitute in place.
+            let mut rest = e.clone();
+            rest.set_coeff(dim, Rat::ZERO);
+            // new = a·old + rest  ⇒  old = (new − rest)/a.
+            let inverse = LinExpr::var(dim).sub(&rest).scale(a.recip());
+            let old: Vec<Constraint> = std::mem::take(&mut self.cons);
+            for c in old {
+                let expr = c.expr.substitute(dim, &inverse);
+                self.cons.push(Constraint { expr, kind: c.kind });
+            }
+            self.retain_nontrivial();
+        } else {
+            self.project_out(dim);
+            if !self.empty {
+                self.add_constraint(Constraint::eq(&LinExpr::var(dim), e));
+            }
+        }
+    }
+
+    /// Forgets everything about `dim`.
+    pub fn havoc(&mut self, dim: usize) {
+        self.project_out(dim);
+    }
+
+    /// Truncating division `dim := src / divisor` (positive constant
+    /// divisor). Precise when the polyhedron entails `src ≥ 0`:
+    /// `divisor·dim ≤ src ≤ divisor·dim + divisor − 1 ∧ dim ≥ 0`. Sound
+    /// fallback is to forget `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is not strictly positive.
+    pub fn assign_div(&mut self, dim: usize, src: &LinExpr, divisor: Rat) {
+        assert!(divisor.is_positive(), "divisor must be positive");
+        if self.empty {
+            return;
+        }
+        if !self.entails(&Constraint::ge_zero(src.clone())) {
+            self.project_out(dim);
+            return;
+        }
+        // Fresh temp dimension beyond any mentioned index.
+        let t = self
+            .cons
+            .iter()
+            .flat_map(|c| c.expr.dims().collect::<Vec<_>>())
+            .chain(src.dims())
+            .max()
+            .map_or(self.dims, |d| d + 1)
+            .max(self.dims);
+        let tv = LinExpr::var(t);
+        // divisor·t ≤ src ∧ src ≤ divisor·t + divisor − 1 ∧ t ≥ 0.
+        self.add_constraint(Constraint::le(&tv.scale(divisor), src));
+        self.add_constraint(Constraint::le(
+            src,
+            &tv.scale(divisor).add_constant(divisor - Rat::ONE),
+        ));
+        self.add_constraint(Constraint::ge(&tv, &LinExpr::zero()));
+        self.project_out(dim);
+        if self.empty {
+            return;
+        }
+        let renamed = self.rename_dims(self.dims, |d| if d == t { dim } else { d });
+        *self = renamed;
+    }
+
+    /// The infimum and supremum of `e` over the polyhedron (`None` =
+    /// unbounded in that direction). Returns `(Some(1), Some(0))`-style
+    /// nonsense never: on an empty polyhedron returns `(None, None)`.
+    pub fn bounds(&self, e: &LinExpr) -> (Option<Rat>, Option<Rat>) {
+        if self.empty {
+            return (None, None);
+        }
+        let lo = Simplex::minimize(e, &self.cons).optimal();
+        let hi = Simplex::maximize(e, &self.cons).optimal();
+        (lo, hi)
+    }
+
+    /// The supremum of `e` only (half the LP work of [`Polyhedron::bounds`]).
+    pub fn sup(&self, e: &LinExpr) -> Option<Rat> {
+        if self.empty {
+            return None;
+        }
+        Simplex::maximize(e, &self.cons).optimal()
+    }
+
+    /// Whether the concrete point (indexed by dimension) lies inside.
+    pub fn contains_point(&self, point: &[Rat]) -> bool {
+        if self.empty {
+            return false;
+        }
+        self.cons
+            .iter()
+            .all(|c| c.satisfied_by(|d| point.get(d).copied().unwrap_or(Rat::ZERO)))
+    }
+
+    /// Renames dimensions via `f` (must be injective over mentioned dims);
+    /// adjusts the dimension count to `new_dims`.
+    pub fn rename_dims(&self, new_dims: usize, mut f: impl FnMut(usize) -> usize) -> Polyhedron {
+        if self.empty {
+            return Polyhedron::bottom(new_dims);
+        }
+        let cons = self
+            .cons
+            .iter()
+            .map(|c| Constraint { expr: c.expr.rename(&mut f), kind: c.kind })
+            .collect();
+        Polyhedron { dims: new_dims, cons, empty: false }
+    }
+
+    fn retain_nontrivial(&mut self) {
+        let mut infeasible = false;
+        self.cons.retain(|c| match c.is_trivial() {
+            Some(true) => false,
+            Some(false) => {
+                infeasible = true;
+                false
+            }
+            None => true,
+        });
+        if infeasible || !Simplex::feasible(&self.cons) {
+            self.empty = true;
+            self.cons.clear();
+        }
+    }
+
+    /// Removes constraints entailed by the others (LP-based).
+    pub fn remove_redundant(&mut self) {
+        if self.empty {
+            return;
+        }
+        let mut i = 0;
+        while i < self.cons.len() {
+            let candidate = self.cons[i].clone();
+            let rest: Vec<Constraint> = self
+                .cons
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, c)| c.clone())
+                .collect();
+            let tmp = Polyhedron { dims: self.dims, cons: rest, empty: false };
+            if tmp.entails(&candidate) {
+                self.cons.remove(i);
+            } else {
+                i += 1;
+            }
+        }
+    }
+}
+
+/// Merges complementary inequality pairs `e ≥ 0` and `−e ≥ 0` back into a
+/// single equality `e = 0`, so later joins can find equality pairs for the
+/// affine-combination inference.
+fn reconstitute_equalities(cons: &mut Vec<Constraint>) {
+    let mut i = 0;
+    while i < cons.len() {
+        if cons[i].kind != ConstraintKind::GeZero {
+            i += 1;
+            continue;
+        }
+        let negated = Constraint::ge_zero(cons[i].expr.scale(-Rat::ONE)).normalize();
+        if let Some(j) = cons
+            .iter()
+            .enumerate()
+            .position(|(k, c)| k != i && c.kind == ConstraintKind::GeZero && *c == negated)
+        {
+            let expr = cons[i].expr.clone();
+            let hi = i.max(j);
+            let lo = i.min(j);
+            cons.remove(hi);
+            cons[lo] = Constraint::eq_zero(expr).normalize();
+            // Re-examine from the changed position.
+            i = lo + 1;
+        } else {
+            i += 1;
+        }
+    }
+}
+
+impl PartialEq for Polyhedron {
+    /// Semantic equality (mutual inclusion).
+    fn eq(&self, other: &Self) -> bool {
+        self.includes(other) && other.includes(self)
+    }
+}
+
+impl fmt::Display for Polyhedron {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.empty {
+            return f.write_str("⊥");
+        }
+        if self.cons.is_empty() {
+            return f.write_str("⊤");
+        }
+        for (i, c) in self.cons.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" ∧ ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i128) -> Rat {
+        Rat::int(n)
+    }
+
+    fn x() -> LinExpr {
+        LinExpr::var(0)
+    }
+
+    fn y() -> LinExpr {
+        LinExpr::var(1)
+    }
+
+    /// lo ≤ var ≤ hi as a two-constraint polyhedron.
+    fn boxed(dims: usize, dim: usize, lo: i128, hi: i128) -> Polyhedron {
+        let v = LinExpr::var(dim);
+        Polyhedron::from_constraints(
+            dims,
+            vec![
+                Constraint::ge(&v, &LinExpr::constant(r(lo))),
+                Constraint::le(&v, &LinExpr::constant(r(hi))),
+            ],
+        )
+    }
+
+    #[test]
+    fn top_and_bottom() {
+        let t = Polyhedron::top(2);
+        let b = Polyhedron::bottom(2);
+        assert!(t.is_top() && !t.is_empty());
+        assert!(b.is_empty() && !b.is_top());
+        assert!(t.includes(&b));
+        assert!(!b.includes(&t));
+        assert!(t.includes(&t));
+    }
+
+    #[test]
+    fn infeasible_meet_becomes_bottom() {
+        let mut p = boxed(1, 0, 0, 5);
+        p.add_constraint(Constraint::ge(&x(), &LinExpr::constant(r(10))));
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn entailment() {
+        let p = boxed(1, 0, 2, 5);
+        assert!(p.entails(&Constraint::ge(&x(), &LinExpr::constant(r(0)))));
+        assert!(p.entails(&Constraint::le(&x(), &LinExpr::constant(r(5)))));
+        assert!(!p.entails(&Constraint::ge(&x(), &LinExpr::constant(r(3)))));
+        // Equality entailment needs both directions.
+        let mut point = Polyhedron::top(1);
+        point.add_constraint(Constraint::eq(&x(), &LinExpr::constant(r(4))));
+        assert!(point.entails(&Constraint::eq(&x(), &LinExpr::constant(r(4)))));
+        assert!(!p.entails(&Constraint::eq(&x(), &LinExpr::constant(r(4)))));
+    }
+
+    #[test]
+    fn join_of_points_is_segment() {
+        let mut p0 = Polyhedron::top(1);
+        p0.add_constraint(Constraint::eq(&x(), &LinExpr::constant(r(0))));
+        let mut p1 = Polyhedron::top(1);
+        p1.add_constraint(Constraint::eq(&x(), &LinExpr::constant(r(1))));
+        let j = p0.join(&p1);
+        assert!(j.entails(&Constraint::ge(&x(), &LinExpr::constant(r(0)))));
+        assert!(j.entails(&Constraint::le(&x(), &LinExpr::constant(r(1)))));
+        assert!(j.includes(&p0) && j.includes(&p1));
+        assert_eq!(j.bounds(&x()), (Some(r(0)), Some(r(1))));
+    }
+
+    #[test]
+    fn join_preserves_relational_facts() {
+        // P0: i = 0 ∧ n ≥ 0; P1: i = n ∧ n ≥ 0. Join keeps 0 ≤ i ≤ n.
+        let n_ge0 = Constraint::ge(&y(), &LinExpr::constant(r(0)));
+        let mut p0 = Polyhedron::top(2);
+        p0.add_constraint(Constraint::eq(&x(), &LinExpr::constant(r(0))));
+        p0.add_constraint(n_ge0.clone());
+        let mut p1 = Polyhedron::top(2);
+        p1.add_constraint(Constraint::eq(&x(), &y()));
+        p1.add_constraint(n_ge0);
+        let j = p0.join(&p1);
+        assert!(j.entails(&Constraint::ge(&x(), &LinExpr::constant(r(0)))));
+        assert!(j.entails(&Constraint::le(&x(), &y())));
+    }
+
+    #[test]
+    fn join_with_bottom_is_identity() {
+        let p = boxed(1, 0, 1, 3);
+        let b = Polyhedron::bottom(1);
+        assert_eq!(p.join(&b), p);
+        assert_eq!(b.join(&p), p);
+    }
+
+    #[test]
+    fn widening_drops_unstable_bounds() {
+        // Old: 0 ≤ x ≤ 1; New: 0 ≤ x ≤ 2. Widening keeps x ≥ 0, drops x ≤ 1.
+        let old = boxed(1, 0, 0, 1);
+        let new = boxed(1, 0, 0, 2);
+        let w = old.widen(&new);
+        assert!(w.entails(&Constraint::ge(&x(), &LinExpr::constant(r(0)))));
+        assert!(!w.entails(&Constraint::le(&x(), &LinExpr::constant(r(100)))));
+        // Widening is idempotent once stable.
+        let w2 = w.widen(&new.join(&w));
+        assert!(w2.includes(&w) && w.includes(&w2));
+    }
+
+    #[test]
+    fn projection_fm() {
+        // x ≤ y ∧ y ≤ 5: eliminating y leaves x ≤ 5.
+        let mut p = Polyhedron::top(2);
+        p.add_constraint(Constraint::le(&x(), &y()));
+        p.add_constraint(Constraint::le(&y(), &LinExpr::constant(r(5))));
+        p.project_out(1);
+        assert!(p.entails(&Constraint::le(&x(), &LinExpr::constant(r(5)))));
+        // y is unconstrained now.
+        assert_eq!(p.bounds(&y()), (None, None));
+    }
+
+    #[test]
+    fn projection_gaussian() {
+        // y = x + 1 ∧ y ≤ 10: eliminating y leaves x ≤ 9.
+        let mut p = Polyhedron::top(2);
+        p.add_constraint(Constraint::eq(&y(), &x().add_constant(r(1))));
+        p.add_constraint(Constraint::le(&y(), &LinExpr::constant(r(10))));
+        p.project_out(1);
+        assert!(p.entails(&Constraint::le(&x(), &LinExpr::constant(r(9)))));
+    }
+
+    #[test]
+    fn assign_invertible() {
+        // x ∈ [0, 5]; x := x + 1 ⇒ x ∈ [1, 6].
+        let mut p = boxed(1, 0, 0, 5);
+        p.assign(0, &x().add_constant(r(1)));
+        assert_eq!(p.bounds(&x()), (Some(r(1)), Some(r(6))));
+    }
+
+    #[test]
+    fn assign_non_invertible() {
+        // x ∈ [0, 5], y ∈ [2, 3]; x := y ⇒ x ∈ [2, 3].
+        let mut p = boxed(2, 0, 0, 5);
+        p.meet(&boxed(2, 1, 2, 3));
+        p.assign(0, &y());
+        assert_eq!(p.bounds(&x()), (Some(r(2)), Some(r(3))));
+        // And x = y holds.
+        assert!(p.entails(&Constraint::eq(&x(), &y())));
+    }
+
+    #[test]
+    fn assign_constant() {
+        let mut p = boxed(1, 0, 0, 5);
+        p.assign(0, &LinExpr::constant(r(42)));
+        assert_eq!(p.bounds(&x()), (Some(r(42)), Some(r(42))));
+    }
+
+    #[test]
+    fn havoc_forgets() {
+        let mut p = boxed(2, 0, 0, 5);
+        p.meet(&boxed(2, 1, 1, 1));
+        p.havoc(0);
+        assert_eq!(p.bounds(&x()), (None, None));
+        assert_eq!(p.bounds(&y()), (Some(r(1)), Some(r(1))));
+    }
+
+    #[test]
+    fn project_onto_keeps_seed_relation() {
+        // i = n ∧ n ≤ m (dims: i=0, n=1, m=2). Projecting onto {1, 2}
+        // keeps n ≤ m.
+        let mut p = Polyhedron::top(3);
+        p.add_constraint(Constraint::eq(&x(), &y()));
+        p.add_constraint(Constraint::le(&y(), &LinExpr::var(2)));
+        let q = p.project_onto(&BTreeSet::from([1, 2]));
+        assert!(q.entails(&Constraint::le(&y(), &LinExpr::var(2))));
+    }
+
+    #[test]
+    fn contains_point() {
+        let p = boxed(2, 0, 0, 5);
+        assert!(p.contains_point(&[r(3), r(100)]));
+        assert!(!p.contains_point(&[r(6), r(0)]));
+        assert!(!Polyhedron::bottom(2).contains_point(&[r(0), r(0)]));
+    }
+
+    #[test]
+    fn rename_dims() {
+        let p = boxed(1, 0, 2, 4);
+        let q = p.rename_dims(3, |d| d + 2);
+        assert_eq!(q.bounds(&LinExpr::var(2)), (Some(r(2)), Some(r(4))));
+    }
+
+    #[test]
+    fn redundancy_removal() {
+        let mut p = Polyhedron::top(1);
+        p.add_constraint(Constraint::le(&x(), &LinExpr::constant(r(5))));
+        p.add_constraint(Constraint::le(&x(), &LinExpr::constant(r(10))));
+        p.remove_redundant();
+        assert_eq!(p.constraints().len(), 1);
+        assert!(p.entails(&Constraint::le(&x(), &LinExpr::constant(r(5)))));
+    }
+
+    #[test]
+    fn semantic_equality() {
+        // x ≥ 0 ∧ x ≥ 1 equals x ≥ 1.
+        let mut a = Polyhedron::top(1);
+        a.add_constraint(Constraint::ge(&x(), &LinExpr::constant(r(0))));
+        a.add_constraint(Constraint::ge(&x(), &LinExpr::constant(r(1))));
+        let mut b = Polyhedron::top(1);
+        b.add_constraint(Constraint::ge(&x(), &LinExpr::constant(r(1))));
+        assert_eq!(a, b);
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn rand_box(dims: usize) -> impl Strategy<Value = Polyhedron> {
+            proptest::collection::vec((-20i128..20, 0i128..20), dims).prop_map(move |ranges| {
+                let mut p = Polyhedron::top(dims);
+                for (d, (lo, w)) in ranges.into_iter().enumerate() {
+                    let v = LinExpr::var(d);
+                    p.add_constraint(Constraint::ge(&v, &LinExpr::constant(Rat::int(lo))));
+                    p.add_constraint(Constraint::le(
+                        &v,
+                        &LinExpr::constant(Rat::int(lo + w)),
+                    ));
+                }
+                p
+            })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+
+            /// Join over-approximates both arguments.
+            #[test]
+            fn join_is_upper_bound(a in rand_box(2), b in rand_box(2)) {
+                let j = a.join(&b);
+                prop_assert!(j.includes(&a));
+                prop_assert!(j.includes(&b));
+            }
+
+            /// Meet under-approximates both arguments.
+            #[test]
+            fn meet_is_lower_bound(a in rand_box(2), b in rand_box(2)) {
+                let mut m = a.clone();
+                m.meet(&b);
+                prop_assert!(a.includes(&m));
+                prop_assert!(b.includes(&m));
+            }
+
+            /// Widening over-approximates the join.
+            #[test]
+            fn widen_over_join(a in rand_box(2), b in rand_box(2)) {
+                let j = a.join(&b);
+                let w = a.widen(&j);
+                prop_assert!(w.includes(&j));
+                prop_assert!(w.includes(&a));
+            }
+
+            /// γ soundness: points inside both stay inside meet; points in
+            /// either stay inside join.
+            #[test]
+            fn point_soundness(a in rand_box(2), b in rand_box(2), px in -25i128..25, py in -25i128..25) {
+                let pt = [Rat::int(px), Rat::int(py)];
+                let mut m = a.clone();
+                m.meet(&b);
+                if a.contains_point(&pt) && b.contains_point(&pt) {
+                    prop_assert!(m.contains_point(&pt));
+                }
+                let j = a.join(&b);
+                if a.contains_point(&pt) || b.contains_point(&pt) {
+                    prop_assert!(j.contains_point(&pt));
+                }
+            }
+
+            /// Assignment soundness on boxes: concretely updating a point
+            /// inside stays inside the abstract result.
+            #[test]
+            fn assign_soundness(a in rand_box(2), px in -25i128..25, py in -25i128..25, c in -5i128..5) {
+                let pt = [Rat::int(px), Rat::int(py)];
+                if a.contains_point(&pt) {
+                    // x := x + y + c
+                    let e = LinExpr::var(0).add(&LinExpr::var(1)).add_constant(Rat::int(c));
+                    let mut p = a.clone();
+                    p.assign(0, &e);
+                    let new_pt = [Rat::int(px + py + c), Rat::int(py)];
+                    prop_assert!(p.contains_point(&new_pt));
+                }
+            }
+
+            /// Projection soundness: a point inside stays inside after
+            /// forgetting one coordinate (any value of that coordinate).
+            #[test]
+            fn projection_soundness(a in rand_box(2), px in -25i128..25, py in -25i128..25, other in -25i128..25) {
+                let pt = [Rat::int(px), Rat::int(py)];
+                if a.contains_point(&pt) {
+                    let mut p = a.clone();
+                    p.project_out(0);
+                    prop_assert!(p.contains_point(&[Rat::int(other), Rat::int(py)]));
+                }
+            }
+        }
+    }
+}

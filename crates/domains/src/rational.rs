@@ -1,0 +1,356 @@
+//! Exact rational arithmetic over `i128`.
+//!
+//! All domain computations in this crate use [`Rat`] so that fixpoints and
+//! entailment checks are exact — there is no floating-point rounding anywhere
+//! in the analysis. Numerators and denominators are `i128`; the analysis
+//! works with small coefficients (loop strides, thresholds, cost weights), so
+//! overflow indicates a bug rather than a large-input condition and panics
+//! with a clear message.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// An exact rational number `num / den` with `den > 0` and `gcd(num, den) = 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rat {
+    num: i128,
+    den: i128,
+}
+
+fn gcd(mut a: i128, mut b: i128) -> i128 {
+    a = a.abs();
+    b = b.abs();
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl Rat {
+    /// Zero.
+    pub const ZERO: Rat = Rat { num: 0, den: 1 };
+    /// One.
+    pub const ONE: Rat = Rat { num: 1, den: 1 };
+
+    /// Constructs `num / den` in lowest terms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    pub fn new(num: i128, den: i128) -> Rat {
+        assert!(den != 0, "rational with zero denominator");
+        let g = gcd(num, den);
+        let (mut num, mut den) = if g == 0 { (0, 1) } else { (num / g, den / g) };
+        if den < 0 {
+            num = -num;
+            den = -den;
+        }
+        Rat { num, den }
+    }
+
+    /// Constructs an integer rational.
+    pub fn int(n: i128) -> Rat {
+        Rat { num: n, den: 1 }
+    }
+
+    /// The numerator (sign-carrying).
+    pub fn numer(self) -> i128 {
+        self.num
+    }
+
+    /// The denominator (always positive).
+    pub fn denom(self) -> i128 {
+        self.den
+    }
+
+    /// Whether this is exactly zero.
+    pub fn is_zero(self) -> bool {
+        self.num == 0
+    }
+
+    /// Whether this is an integer.
+    pub fn is_integer(self) -> bool {
+        self.den == 1
+    }
+
+    /// Whether this is strictly positive.
+    pub fn is_positive(self) -> bool {
+        self.num > 0
+    }
+
+    /// Whether this is strictly negative.
+    pub fn is_negative(self) -> bool {
+        self.num < 0
+    }
+
+    /// Sign as -1, 0, or 1.
+    pub fn signum(self) -> i128 {
+        self.num.signum()
+    }
+
+    /// The absolute value.
+    pub fn abs(self) -> Rat {
+        Rat { num: self.num.abs(), den: self.den }
+    }
+
+    /// The multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is zero.
+    pub fn recip(self) -> Rat {
+        assert!(self.num != 0, "reciprocal of zero");
+        Rat::new(self.den, self.num)
+    }
+
+    /// Largest integer `≤ self`.
+    pub fn floor(self) -> i128 {
+        self.num.div_euclid(self.den)
+    }
+
+    /// Smallest integer `≥ self`.
+    pub fn ceil(self) -> i128 {
+        -((-self.num).div_euclid(self.den))
+    }
+
+    /// Rounds toward negative infinity to a [`Rat`].
+    pub fn floor_rat(self) -> Rat {
+        Rat::int(self.floor())
+    }
+
+    /// Rounds toward positive infinity to a [`Rat`].
+    pub fn ceil_rat(self) -> Rat {
+        Rat::int(self.ceil())
+    }
+
+    /// Minimum of two rationals.
+    pub fn min(self, other: Rat) -> Rat {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Maximum of two rationals.
+    pub fn max(self, other: Rat) -> Rat {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Converts to `f64` (for reporting only — never used in the analysis).
+    pub fn to_f64(self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    fn checked(num: Option<i128>, den: Option<i128>, op: &str) -> Rat {
+        match (num, den) {
+            (Some(n), Some(d)) => Rat::new(n, d),
+            _ => panic!("rational overflow during {op}"),
+        }
+    }
+}
+
+impl Default for Rat {
+    fn default() -> Self {
+        Rat::ZERO
+    }
+}
+
+impl From<i64> for Rat {
+    fn from(n: i64) -> Self {
+        Rat::int(n as i128)
+    }
+}
+
+impl From<i32> for Rat {
+    fn from(n: i32) -> Self {
+        Rat::int(n as i128)
+    }
+}
+
+impl Add for Rat {
+    type Output = Rat;
+    fn add(self, rhs: Rat) -> Rat {
+        // a/b + c/d = (a*d + c*b) / (b*d); reduce via gcd of denominators
+        // first to keep magnitudes small.
+        let g = gcd(self.den, rhs.den);
+        let lhs_scale = rhs.den / g;
+        let rhs_scale = self.den / g;
+        let num = self
+            .num
+            .checked_mul(lhs_scale)
+            .and_then(|a| rhs.num.checked_mul(rhs_scale).and_then(|b| a.checked_add(b)));
+        let den = self.den.checked_mul(lhs_scale);
+        Rat::checked(num, den, "add")
+    }
+}
+
+impl Sub for Rat {
+    type Output = Rat;
+    fn sub(self, rhs: Rat) -> Rat {
+        self + (-rhs)
+    }
+}
+
+impl Mul for Rat {
+    type Output = Rat;
+    fn mul(self, rhs: Rat) -> Rat {
+        // Cross-reduce before multiplying.
+        let g1 = gcd(self.num, rhs.den).max(1);
+        let g2 = gcd(rhs.num, self.den).max(1);
+        let num = (self.num / g1).checked_mul(rhs.num / g2);
+        let den = (self.den / g2).checked_mul(rhs.den / g1);
+        Rat::checked(num, den, "mul")
+    }
+}
+
+impl Div for Rat {
+    type Output = Rat;
+    fn div(self, rhs: Rat) -> Rat {
+        self * rhs.recip()
+    }
+}
+
+impl Neg for Rat {
+    type Output = Rat;
+    fn neg(self) -> Rat {
+        Rat { num: -self.num, den: self.den }
+    }
+}
+
+impl AddAssign for Rat {
+    fn add_assign(&mut self, rhs: Rat) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Rat {
+    fn sub_assign(&mut self, rhs: Rat) {
+        *self = *self - rhs;
+    }
+}
+
+impl PartialOrd for Rat {
+    fn partial_cmp(&self, other: &Rat) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rat {
+    fn cmp(&self, other: &Rat) -> Ordering {
+        // a/b ? c/d  ⇔  a*d ? c*b  (denominators positive).
+        let lhs = self.num.checked_mul(other.den);
+        let rhs = other.num.checked_mul(self.den);
+        match (lhs, rhs) {
+            (Some(l), Some(r)) => l.cmp(&r),
+            _ => panic!("rational overflow during comparison"),
+        }
+    }
+}
+
+impl fmt::Display for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn construction_normalizes() {
+        assert_eq!(Rat::new(2, 4), Rat::new(1, 2));
+        assert_eq!(Rat::new(-2, -4), Rat::new(1, 2));
+        assert_eq!(Rat::new(2, -4), Rat::new(-1, 2));
+        assert_eq!(Rat::new(0, 5), Rat::ZERO);
+        assert_eq!(Rat::new(0, -5).denom(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = Rat::new(1, 0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let half = Rat::new(1, 2);
+        let third = Rat::new(1, 3);
+        assert_eq!(half + third, Rat::new(5, 6));
+        assert_eq!(half - third, Rat::new(1, 6));
+        assert_eq!(half * third, Rat::new(1, 6));
+        assert_eq!(half / third, Rat::new(3, 2));
+        assert_eq!(-half, Rat::new(-1, 2));
+    }
+
+    #[test]
+    fn floors_and_ceils() {
+        assert_eq!(Rat::new(7, 2).floor(), 3);
+        assert_eq!(Rat::new(7, 2).ceil(), 4);
+        assert_eq!(Rat::new(-7, 2).floor(), -4);
+        assert_eq!(Rat::new(-7, 2).ceil(), -3);
+        assert_eq!(Rat::int(5).floor(), 5);
+        assert_eq!(Rat::int(5).ceil(), 5);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Rat::new(1, 3) < Rat::new(1, 2));
+        assert!(Rat::new(-1, 2) < Rat::ZERO);
+        assert_eq!(Rat::new(2, 6).cmp(&Rat::new(1, 3)), Ordering::Equal);
+        assert_eq!(Rat::new(1, 2).max(Rat::new(2, 3)), Rat::new(2, 3));
+        assert_eq!(Rat::new(1, 2).min(Rat::new(2, 3)), Rat::new(1, 2));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Rat::new(3, 1).to_string(), "3");
+        assert_eq!(Rat::new(-3, 2).to_string(), "-3/2");
+    }
+
+    proptest! {
+        #[test]
+        fn field_laws(a in -1000i128..1000, b in 1i128..100, c in -1000i128..1000, d in 1i128..100) {
+            let x = Rat::new(a, b);
+            let y = Rat::new(c, d);
+            prop_assert_eq!(x + y, y + x);
+            prop_assert_eq!(x * y, y * x);
+            prop_assert_eq!(x + Rat::ZERO, x);
+            prop_assert_eq!(x * Rat::ONE, x);
+            prop_assert_eq!(x - x, Rat::ZERO);
+            if !y.is_zero() {
+                prop_assert_eq!((x / y) * y, x);
+            }
+        }
+
+        #[test]
+        fn floor_ceil_bracket(a in -10_000i128..10_000, b in 1i128..1000) {
+            let x = Rat::new(a, b);
+            prop_assert!(Rat::int(x.floor()) <= x);
+            prop_assert!(x <= Rat::int(x.ceil()));
+            prop_assert!(x.ceil() - x.floor() <= 1);
+        }
+
+        #[test]
+        fn ordering_consistent_with_f64(a in -1000i128..1000, b in 1i128..100, c in -1000i128..1000, d in 1i128..100) {
+            let x = Rat::new(a, b);
+            let y = Rat::new(c, d);
+            if x < y {
+                prop_assert!(x.to_f64() <= y.to_f64());
+            }
+        }
+    }
+}

@@ -1,0 +1,618 @@
+//! The zone domain: difference-bound matrices (`x - y ≤ c`, `±x ≤ c`).
+
+use crate::domain::AbstractDomain;
+use crate::linexpr::{Constraint, ConstraintKind, LinExpr};
+use crate::polyhedra::Polyhedron;
+use crate::rational::Rat;
+use std::fmt;
+
+/// An entry of a DBM: a finite bound or +∞.
+type Bound = Option<Rat>;
+
+fn bmin(a: Bound, b: Bound) -> Bound {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (Some(x), None) | (None, Some(x)) => Some(x),
+        (None, None) => None,
+    }
+}
+
+fn badd(a: Bound, b: Bound) -> Bound {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x + y),
+        _ => None,
+    }
+}
+
+/// `a ≤ b` treating `None` as +∞.
+fn ble(a: Bound, b: Bound) -> bool {
+    match (a, b) {
+        (_, None) => true,
+        (None, Some(_)) => false,
+        (Some(x), Some(y)) => x <= y,
+    }
+}
+
+/// The zone abstract domain over `dims` program dimensions.
+///
+/// Matrix entry `m[i][j]` bounds `xᵢ − xⱼ ≤ m[i][j]`, with the extra index
+/// `0` denoting the constant zero (so `m[i+1][0]` is an upper bound on `xᵢ`
+/// and `m[0][i+1]` an upper bound on `−xᵢ`). The matrix is kept closed
+/// (shortest paths) except immediately after widening, which must not close
+/// to guarantee termination.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Zone {
+    n: usize, // matrix side = dims + 1
+    m: Vec<Bound>,
+    bottom: bool,
+}
+
+impl Zone {
+    fn idx(&self, i: usize, j: usize) -> usize {
+        i * self.n + j
+    }
+
+    fn get(&self, i: usize, j: usize) -> Bound {
+        self.m[self.idx(i, j)]
+    }
+
+    fn set(&mut self, i: usize, j: usize, b: Bound) {
+        let k = self.idx(i, j);
+        self.m[k] = b;
+    }
+
+    fn tighten(&mut self, i: usize, j: usize, b: Rat) {
+        let cur = self.get(i, j);
+        self.set(i, j, bmin(cur, Some(b)));
+    }
+
+    /// Floyd–Warshall closure; detects negative cycles (bottom).
+    fn close(&mut self) {
+        if self.bottom {
+            return;
+        }
+        let n = self.n;
+        for k in 0..n {
+            for i in 0..n {
+                let ik = self.get(i, k);
+                if ik.is_none() {
+                    continue;
+                }
+                for j in 0..n {
+                    let through = badd(ik, self.get(k, j));
+                    let cur = self.get(i, j);
+                    if !ble(cur, through) {
+                        self.set(i, j, through);
+                    }
+                }
+            }
+        }
+        for i in 0..n {
+            if let Some(d) = self.get(i, i) {
+                if d.is_negative() {
+                    self.bottom = true;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Upper bound on `xᵈ` (matrix index `d+1`).
+    fn var_hi(&self, d: usize) -> Bound {
+        self.get(d + 1, 0)
+    }
+
+    /// Lower bound on `xᵈ` (negated entry).
+    fn var_lo(&self, d: usize) -> Bound {
+        self.get(0, d + 1).map(|b| -b)
+    }
+
+    /// Recognizes `±xᵢ ∓ xⱼ + k` / `±xᵢ + k` shapes of a (normalized)
+    /// expression; returns `(i, j, k)` as matrix indices encoding
+    /// `x_i − x_j + k` with index 0 = the zero var.
+    fn as_difference(e: &LinExpr) -> Option<(usize, usize, Rat)> {
+        let terms: Vec<(usize, Rat)> = e.terms().collect();
+        let k = e.constant_part();
+        match terms.as_slice() {
+            [] => Some((0, 0, k)),
+            [(d, c)] if *c == Rat::ONE => Some((d + 1, 0, k)),
+            [(d, c)] if *c == -Rat::ONE => Some((0, d + 1, k)),
+            [(d1, c1), (d2, c2)] if *c1 == Rat::ONE && *c2 == -Rat::ONE => {
+                Some((d1 + 1, d2 + 1, k))
+            }
+            [(d1, c1), (d2, c2)] if *c1 == -Rat::ONE && *c2 == Rat::ONE => {
+                Some((d2 + 1, d1 + 1, k))
+            }
+            _ => None,
+        }
+    }
+
+    /// Interval of a general linear expression from per-variable bounds.
+    fn eval_interval(&self, e: &LinExpr) -> (Bound, Bound) {
+        // Pure difference shapes use relational entries directly.
+        if let Some((i, j, k)) = Zone::as_difference(e) {
+            let hi = self.get(i, j).map(|b| b + k);
+            let lo = self.get(j, i).map(|b| -b + k);
+            return (lo, hi);
+        }
+        let mut lo = Some(e.constant_part());
+        let mut hi = Some(e.constant_part());
+        for (d, c) in e.terms() {
+            let (vlo, vhi) = (self.var_lo(d), self.var_hi(d));
+            let (tlo, thi) = if c.is_positive() {
+                (vlo.map(|v| v * c), vhi.map(|v| v * c))
+            } else {
+                (vhi.map(|v| v * c), vlo.map(|v| v * c))
+            };
+            lo = badd(lo, tlo);
+            hi = badd(hi, thi);
+        }
+        (lo, hi)
+    }
+
+    fn forget(&mut self, d: usize) {
+        let v = d + 1;
+        for i in 0..self.n {
+            if i != v {
+                self.set(i, v, None);
+                self.set(v, i, None);
+            }
+        }
+    }
+}
+
+impl AbstractDomain for Zone {
+    fn top(dims: usize) -> Self {
+        let n = dims + 1;
+        let mut z = Zone { n, m: vec![None; n * n], bottom: false };
+        for i in 0..n {
+            z.set(i, i, Some(Rat::ZERO));
+        }
+        z
+    }
+
+    fn bottom(dims: usize) -> Self {
+        let mut z = Zone::top(dims);
+        z.bottom = true;
+        z
+    }
+
+    fn dims(&self) -> usize {
+        self.n - 1
+    }
+
+    fn is_bottom(&self) -> bool {
+        self.bottom
+    }
+
+    fn join(&self, other: &Self) -> Self {
+        if self.bottom {
+            return other.clone();
+        }
+        if other.bottom {
+            return self.clone();
+        }
+        let mut a = self.clone();
+        a.close();
+        let mut b = other.clone();
+        b.close();
+        if a.bottom {
+            return b;
+        }
+        if b.bottom {
+            return a;
+        }
+        let mut out = Zone::top(self.dims());
+        for i in 0..self.n {
+            for j in 0..self.n {
+                let e = match (a.get(i, j), b.get(i, j)) {
+                    (Some(x), Some(y)) => Some(x.max(y)),
+                    _ => None,
+                };
+                out.set(i, j, e);
+            }
+        }
+        out
+    }
+
+    fn widen(&self, newer: &Self) -> Self {
+        if self.bottom {
+            return newer.clone();
+        }
+        if newer.bottom {
+            return self.clone();
+        }
+        let mut closed_new = newer.clone();
+        closed_new.close();
+        if closed_new.bottom {
+            return self.clone();
+        }
+        let mut out = Zone::top(self.dims());
+        for i in 0..self.n {
+            for j in 0..self.n {
+                // Keep stable entries, drop (to ∞) grown ones. Do NOT close
+                // the result: closure could reintroduce finite bounds and
+                // break termination.
+                let e = if ble(closed_new.get(i, j), self.get(i, j)) {
+                    self.get(i, j)
+                } else {
+                    None
+                };
+                out.set(i, j, e);
+            }
+        }
+        for i in 0..self.n {
+            out.set(i, i, Some(Rat::ZERO));
+        }
+        out
+    }
+
+    fn includes(&self, other: &Self) -> bool {
+        if other.bottom {
+            return true;
+        }
+        if self.bottom {
+            return false;
+        }
+        let mut o = other.clone();
+        o.close();
+        if o.bottom {
+            return true;
+        }
+        for i in 0..self.n {
+            for j in 0..self.n {
+                if !ble(o.get(i, j), self.get(i, j)) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn meet_constraint(&mut self, c: &Constraint) {
+        if self.bottom {
+            return;
+        }
+        for part in c.split() {
+            let e = part.normalize().expr;
+            // e ≥ 0 with e = x_i − x_j + k  ⇔  x_j − x_i ≤ k.
+            if let Some((i, j, k)) = Zone::as_difference(&e) {
+                if i == j {
+                    if k.is_negative() {
+                        self.bottom = true;
+                        return;
+                    }
+                    continue;
+                }
+                self.tighten(j, i, k);
+            } else {
+                // Approximate: derive unary consequences like the interval
+                // domain (x_d ≥ (−k − sup(rest))/a).
+                let terms: Vec<(usize, Rat)> = e.terms().collect();
+                for &(d, a) in &terms {
+                    let mut rest = e.clone();
+                    rest.set_coeff(d, Rat::ZERO);
+                    let (_, rest_hi) = self.eval_interval(&rest);
+                    if let Some(rh) = rest_hi {
+                        let bound = -rh / a;
+                        if a.is_positive() {
+                            // x_d ≥ bound ⇔ 0 − x_d ≤ −bound.
+                            self.tighten(0, d + 1, -bound);
+                        } else {
+                            self.tighten(d + 1, 0, bound);
+                        }
+                    }
+                }
+            }
+        }
+        self.close();
+        // Detect definite violation of the original constraint.
+        if !self.bottom && c.kind == ConstraintKind::GeZero {
+            let (_, hi) = self.eval_interval(&c.expr);
+            if let Some(h) = hi {
+                if h.is_negative() {
+                    self.bottom = true;
+                }
+            }
+        }
+    }
+
+    fn assign_linear(&mut self, dim: usize, e: &LinExpr) {
+        if self.bottom {
+            return;
+        }
+        let v = dim + 1;
+        let terms: Vec<(usize, Rat)> = e.terms().collect();
+        let k = e.constant_part();
+        match terms.as_slice() {
+            // x := k
+            [] => {
+                self.forget(dim);
+                self.set(v, 0, Some(k));
+                self.set(0, v, Some(-k));
+            }
+            // x := x + k — shift every relation involving x.
+            [(d, c)] if *d == dim && *c == Rat::ONE => {
+                for i in 0..self.n {
+                    if i != v {
+                        let up = self.get(v, i).map(|b| b + k);
+                        self.set(v, i, up);
+                        let lo = self.get(i, v).map(|b| b - k);
+                        self.set(i, v, lo);
+                    }
+                }
+            }
+            // x := y + k (y ≠ x).
+            [(d, c)] if *d != dim && *c == Rat::ONE => {
+                self.forget(dim);
+                let y = *d + 1;
+                self.set(v, y, Some(k));
+                self.set(y, v, Some(-k));
+            }
+            // General linear: interval fallback.
+            _ => {
+                let (lo, hi) = self.eval_interval(e);
+                self.forget(dim);
+                if let Some(h) = hi {
+                    self.set(v, 0, Some(h));
+                }
+                if let Some(l) = lo {
+                    self.set(0, v, Some(-l));
+                }
+            }
+        }
+        self.close();
+    }
+
+    fn havoc(&mut self, dim: usize) {
+        if !self.bottom {
+            self.forget(dim);
+        }
+    }
+
+    fn bounds(&self, e: &LinExpr) -> (Option<Rat>, Option<Rat>) {
+        if self.bottom {
+            return (None, None);
+        }
+        let mut z = self.clone();
+        z.close();
+        if z.bottom {
+            return (None, None);
+        }
+        z.eval_interval(e)
+    }
+
+    fn to_polyhedron(&self) -> Polyhedron {
+        if self.bottom {
+            return Polyhedron::bottom(self.dims());
+        }
+        let mut z = self.clone();
+        z.close();
+        if z.bottom {
+            return Polyhedron::bottom(self.dims());
+        }
+        // Emit a minimal generating set (Larsen-style reduction) so the
+        // exported polyhedron stays small even though the closed DBM is
+        // dense. Indices on a zero cycle (x_i − x_j ≤ c and x_j − x_i ≤ −c)
+        // form equality classes: emit one equality chain per class, then
+        // inequalities among class representatives only, skipping entries
+        // implied through a third representative. Among distinct classes
+        // the implication relation is acyclic, so dropping implied entries
+        // never loses information.
+        let n = z.n;
+        let mut rep: Vec<usize> = (0..n).collect();
+        for i in 0..n {
+            for j in 0..i {
+                if let (Some(a), Some(b)) = (z.get(i, j), z.get(j, i)) {
+                    if (a + b).is_zero() && rep[i] == i {
+                        rep[i] = rep[j];
+                    }
+                }
+            }
+        }
+        let term = |idx: usize| -> LinExpr {
+            if idx == 0 {
+                LinExpr::zero()
+            } else {
+                LinExpr::var(idx - 1)
+            }
+        };
+        let mut p = Polyhedron::top(self.dims());
+        // Equality chains within classes.
+        for i in 0..n {
+            if rep[i] != i {
+                if let Some(b) = z.get(i, rep[i]) {
+                    // x_i − x_rep = b (the reverse entry is −b by the cycle).
+                    p.add_constraint(Constraint::eq_zero(
+                        term(i).sub(&term(rep[i])).add_constant(-b),
+                    ));
+                }
+            }
+        }
+        // Inequalities among representatives.
+        let reps: Vec<usize> = (0..n).filter(|&i| rep[i] == i).collect();
+        for &i in &reps {
+            'pair: for &j in &reps {
+                if i == j {
+                    continue;
+                }
+                let Some(b) = z.get(i, j) else { continue };
+                for &k in &reps {
+                    if k == i || k == j {
+                        continue;
+                    }
+                    if let (Some(x), Some(y)) = (z.get(i, k), z.get(k, j)) {
+                        if x + y <= b {
+                            continue 'pair; // implied through k
+                        }
+                    }
+                }
+                // x_i − x_j ≤ b.
+                p.add_constraint(Constraint::ge_zero(
+                    LinExpr::constant(b).sub(&term(i)).add(&term(j)),
+                ));
+            }
+        }
+        p
+    }
+
+    fn contains_point(&self, point: &[Rat]) -> bool {
+        if self.bottom {
+            return false;
+        }
+        let val = |i: usize| -> Rat {
+            if i == 0 {
+                Rat::ZERO
+            } else {
+                point.get(i - 1).copied().unwrap_or(Rat::ZERO)
+            }
+        };
+        for i in 0..self.n {
+            for j in 0..self.n {
+                if let Some(b) = self.get(i, j) {
+                    if val(i) - val(j) > b {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+impl fmt::Display for Zone {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.bottom {
+            return f.write_str("⊥");
+        }
+        write!(f, "{}", self.to_polyhedron())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i128) -> Rat {
+        Rat::int(n)
+    }
+
+    fn x() -> LinExpr {
+        LinExpr::var(0)
+    }
+
+    fn y() -> LinExpr {
+        LinExpr::var(1)
+    }
+
+    #[test]
+    fn unary_bounds() {
+        let mut z = Zone::top(1);
+        z.meet_constraint(&Constraint::ge(&x(), &LinExpr::constant(r(2))));
+        z.meet_constraint(&Constraint::le(&x(), &LinExpr::constant(r(9))));
+        assert_eq!(z.bounds(&x()), (Some(r(2)), Some(r(9))));
+    }
+
+    #[test]
+    fn relational_bound_via_closure() {
+        // x ≤ y ∧ y ≤ 5 ⇒ x ≤ 5 (needs the transitive closure).
+        let mut z = Zone::top(2);
+        z.meet_constraint(&Constraint::le(&x(), &y()));
+        z.meet_constraint(&Constraint::le(&y(), &LinExpr::constant(r(5))));
+        assert_eq!(z.bounds(&x()).1, Some(r(5)));
+        // And the difference x − y is bounded above by 0.
+        assert_eq!(z.bounds(&x().sub(&y())).1, Some(r(0)));
+    }
+
+    #[test]
+    fn infeasible_is_bottom() {
+        let mut z = Zone::top(1);
+        z.meet_constraint(&Constraint::ge(&x(), &LinExpr::constant(r(5))));
+        z.meet_constraint(&Constraint::le(&x(), &LinExpr::constant(r(2))));
+        assert!(z.is_bottom());
+    }
+
+    #[test]
+    fn assignment_shift() {
+        // x ∈ [0, 3]; x := x + 2 ⇒ x ∈ [2, 5].
+        let mut z = Zone::top(1);
+        z.meet_constraint(&Constraint::ge(&x(), &LinExpr::constant(r(0))));
+        z.meet_constraint(&Constraint::le(&x(), &LinExpr::constant(r(3))));
+        z.assign_linear(0, &x().add_constant(r(2)));
+        assert_eq!(z.bounds(&x()), (Some(r(2)), Some(r(5))));
+    }
+
+    #[test]
+    fn assignment_copy_tracks_difference() {
+        // y := x + 1 ⇒ y − x = 1 exactly.
+        let mut z = Zone::top(2);
+        z.assign_linear(1, &x().add_constant(r(1)));
+        assert_eq!(z.bounds(&y().sub(&x())), (Some(r(1)), Some(r(1))));
+    }
+
+    #[test]
+    fn join_hulls() {
+        let mut a = Zone::top(1);
+        a.meet_constraint(&Constraint::eq(&x(), &LinExpr::constant(r(0))));
+        let mut b = Zone::top(1);
+        b.meet_constraint(&Constraint::eq(&x(), &LinExpr::constant(r(4))));
+        let j = a.join(&b);
+        assert_eq!(j.bounds(&x()), (Some(r(0)), Some(r(4))));
+        assert!(j.includes(&a) && j.includes(&b));
+    }
+
+    #[test]
+    fn widening_terminates_counter_loop() {
+        // Simulate i = 0; i := i + 1 repeatedly with widening.
+        let mut inv = Zone::top(1);
+        inv.meet_constraint(&Constraint::eq(&x(), &LinExpr::constant(r(0))));
+        for _ in 0..5 {
+            let mut next = inv.clone();
+            next.assign_linear(0, &x().add_constant(r(1)));
+            let grown = inv.join(&next);
+            let widened = inv.widen(&grown);
+            if widened.includes(&inv) && inv.includes(&widened) {
+                break;
+            }
+            inv = widened;
+        }
+        // Stable invariant keeps the lower bound, loses the upper.
+        assert_eq!(inv.bounds(&x()).0, Some(r(0)));
+        assert_eq!(inv.bounds(&x()).1, None);
+    }
+
+    #[test]
+    fn havoc_forgets_only_one_dim() {
+        let mut z = Zone::top(2);
+        z.meet_constraint(&Constraint::eq(&x(), &LinExpr::constant(r(1))));
+        z.meet_constraint(&Constraint::eq(&y(), &LinExpr::constant(r(2))));
+        z.havoc(0);
+        assert_eq!(z.bounds(&x()), (None, None));
+        assert_eq!(z.bounds(&y()), (Some(r(2)), Some(r(2))));
+    }
+
+    #[test]
+    fn to_polyhedron_keeps_differences() {
+        let mut z = Zone::top(2);
+        z.meet_constraint(&Constraint::le(&x(), &y()));
+        let p = z.to_polyhedron();
+        assert!(p.entails(&Constraint::le(&x(), &y())));
+    }
+
+    #[test]
+    fn contains_point_respects_differences() {
+        let mut z = Zone::top(2);
+        z.meet_constraint(&Constraint::le(&x(), &y()));
+        assert!(z.contains_point(&[r(1), r(2)]));
+        assert!(!z.contains_point(&[r(3), r(2)]));
+    }
+
+    #[test]
+    fn general_constraint_approximated() {
+        // x + y ≤ 4 with y ≥ 1 gives x ≤ 3 (via the interval fallback).
+        let mut z = Zone::top(2);
+        z.meet_constraint(&Constraint::ge(&y(), &LinExpr::constant(r(1))));
+        z.meet_constraint(&Constraint::le(&x().add(&y()), &LinExpr::constant(r(4))));
+        assert_eq!(z.bounds(&x()).1, Some(r(3)));
+    }
+}

@@ -1,0 +1,521 @@
+//! The interpreter proper.
+
+use crate::oracle::ExternOracle;
+use crate::value::Value;
+use blazer_ir::cost::CostModel;
+use blazer_ir::{
+    BinOp, Cfg, Cond, Edge, Expr, Function, Inst, NodeId, Operand, Program, Terminator,
+    UnOp,
+};
+
+/// An execution failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// Division or remainder by zero.
+    DivisionByZero,
+    /// Array access on null.
+    NullDereference,
+    /// Array index out of bounds.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: i64,
+        /// The array length.
+        len: i64,
+    },
+    /// The step budget was exhausted (probable nontermination).
+    OutOfFuel,
+    /// Wrong number or types of inputs.
+    BadInput(String),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::DivisionByZero => f.write_str("division by zero"),
+            ExecError::NullDereference => f.write_str("null dereference"),
+            ExecError::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for length {len}")
+            }
+            ExecError::OutOfFuel => f.write_str("out of fuel"),
+            ExecError::BadInput(m) => write!(f, "bad input: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// The observable outcome of a run: the CFG edges taken, the total cost
+/// under the machine model, and the returned value.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// CFG edges in execution order (ending with an edge into the virtual
+    /// exit node).
+    pub edges: Vec<Edge>,
+    /// Total running time in machine-model units.
+    pub cost: u64,
+    /// The value returned, if any.
+    pub ret: Option<Value>,
+}
+
+/// An interpreter for one program.
+#[derive(Debug)]
+pub struct Interp<'p> {
+    program: &'p Program,
+    cost_model: CostModel,
+    fuel: u64,
+}
+
+impl<'p> Interp<'p> {
+    /// An interpreter over `program` with the unit cost model and a default
+    /// fuel budget of one million steps.
+    pub fn new(program: &'p Program) -> Self {
+        Interp { program, cost_model: CostModel::unit(), fuel: 1_000_000 }
+    }
+
+    /// Overrides the cost model.
+    pub fn with_cost_model(mut self, m: CostModel) -> Self {
+        self.cost_model = m;
+        self
+    }
+
+    /// Overrides the fuel budget (number of instructions executed).
+    pub fn with_fuel(mut self, fuel: u64) -> Self {
+        self.fuel = fuel;
+        self
+    }
+
+    /// Runs `func` on `inputs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ExecError`] for runtime faults, nontermination (fuel),
+    /// or malformed inputs.
+    pub fn run(
+        &self,
+        func: &str,
+        inputs: &[Value],
+        oracle: &mut dyn ExternOracle,
+    ) -> Result<Trace, ExecError> {
+        let f = self
+            .program
+            .function(func)
+            .ok_or_else(|| ExecError::BadInput(format!("no function `{func}`")))?;
+        if inputs.len() != f.params().len() {
+            return Err(ExecError::BadInput(format!(
+                "expected {} inputs, got {}",
+                f.params().len(),
+                inputs.len()
+            )));
+        }
+        let cfg = Cfg::new(f);
+        let mut env: Vec<Value> = f
+            .vars()
+            .iter()
+            .map(|v| match v.ty {
+                blazer_ir::Type::Array => Value::null(),
+                _ => Value::Int(0),
+            })
+            .collect();
+        for (p, v) in f.params().iter().zip(inputs) {
+            env[p.var.index()] = v.clone();
+        }
+
+        let mut edges = Vec::new();
+        let mut cost: u64 = 0;
+        let mut fuel = self.fuel;
+        let mut block = f.entry();
+        loop {
+            let b = f.block(block);
+            for inst in &b.insts {
+                if fuel == 0 {
+                    return Err(ExecError::OutOfFuel);
+                }
+                fuel -= 1;
+                cost += self.exec_inst(f, inst, &mut env, oracle)?;
+            }
+            cost += self.cost_model.term_cost(&b.term);
+            let from = NodeId::block(block);
+            match &b.term {
+                Terminator::Goto(t) => {
+                    edges.push(Edge::new(from, NodeId::block(*t)));
+                    block = *t;
+                }
+                Terminator::Branch { cond, then_bb, else_bb } => {
+                    let taken = self.eval_cond(cond, &env, oracle)?;
+                    let target = if taken { *then_bb } else { *else_bb };
+                    edges.push(Edge::new(from, NodeId::block(target)));
+                    block = target;
+                }
+                Terminator::Return(v) => {
+                    edges.push(Edge::new(from, cfg.exit()));
+                    let ret = v.as_ref().map(|op| self.eval_operand(op, &env));
+                    return Ok(Trace { edges, cost, ret });
+                }
+            }
+            if fuel == 0 {
+                return Err(ExecError::OutOfFuel);
+            }
+            fuel -= 1;
+        }
+    }
+
+    fn exec_inst(
+        &self,
+        f: &Function,
+        inst: &Inst,
+        env: &mut [Value],
+        oracle: &mut dyn ExternOracle,
+    ) -> Result<u64, ExecError> {
+        match inst {
+            Inst::Assign { dst, expr } => {
+                let v = self.eval_expr(expr, env)?;
+                env[dst.index()] = v;
+                Ok(self.cost_model.assign)
+            }
+            Inst::ArraySet { arr, index, value } => {
+                let idx = self
+                    .eval_operand(index, env)
+                    .as_int()
+                    .expect("typed index");
+                let val = self.eval_operand(value, env).as_int().expect("typed value");
+                match &env[arr.index()] {
+                    Value::Arr(None) => Err(ExecError::NullDereference),
+                    Value::Arr(Some(a)) => {
+                        let mut a = a.borrow_mut();
+                        let len = a.len() as i64;
+                        if idx < 0 || idx >= len {
+                            return Err(ExecError::IndexOutOfBounds { index: idx, len });
+                        }
+                        a[idx as usize] = val;
+                        Ok(self.cost_model.array_set)
+                    }
+                    Value::Int(_) => unreachable!("typed array store"),
+                }
+            }
+            Inst::Call { dst, callee, args, cost } => {
+                let decl = self
+                    .program
+                    .extern_decl(callee)
+                    .unwrap_or_else(|| panic!("undeclared extern `{callee}`"));
+                let arg_vals: Vec<Value> =
+                    args.iter().map(|a| self.eval_operand(a, env)).collect();
+                let c = cost.eval(|i| arg_vals[i].magnitude());
+                let result = oracle.call(decl, &arg_vals);
+                if let Some(d) = dst {
+                    env[d.index()] = result.unwrap_or(Value::Int(0));
+                }
+                let _ = f;
+                Ok(c)
+            }
+            Inst::Nop => Ok(0),
+            Inst::Tick(n) => Ok(*n),
+            Inst::Havoc { dst } => {
+                env[dst.index()] = Value::Int(oracle.havoc());
+                Ok(self.cost_model.havoc)
+            }
+        }
+    }
+
+    fn eval_operand(&self, op: &Operand, env: &[Value]) -> Value {
+        match op {
+            Operand::Const(c) => Value::Int(*c),
+            Operand::Var(v) => env[v.index()].clone(),
+        }
+    }
+
+    fn eval_expr(&self, expr: &Expr, env: &[Value]) -> Result<Value, ExecError> {
+        match expr {
+            Expr::Operand(op) => Ok(self.eval_operand(op, env)),
+            Expr::Unary(UnOp::Neg, a) => {
+                let n = self.eval_operand(a, env).as_int().expect("typed neg");
+                Ok(Value::Int(n.wrapping_neg()))
+            }
+            Expr::Unary(UnOp::Not, a) => {
+                let n = self.eval_operand(a, env).as_int().expect("typed not");
+                Ok(Value::bool(n == 0))
+            }
+            Expr::Binary(op, a, b) => {
+                let x = self.eval_operand(a, env).as_int().expect("typed lhs");
+                let y = self.eval_operand(b, env).as_int().expect("typed rhs");
+                let v = match op {
+                    BinOp::Add => x.wrapping_add(y),
+                    BinOp::Sub => x.wrapping_sub(y),
+                    BinOp::Mul => x.wrapping_mul(y),
+                    BinOp::Div => {
+                        if y == 0 {
+                            return Err(ExecError::DivisionByZero);
+                        }
+                        x.wrapping_div(y)
+                    }
+                    BinOp::Rem => {
+                        if y == 0 {
+                            return Err(ExecError::DivisionByZero);
+                        }
+                        x.wrapping_rem(y)
+                    }
+                    BinOp::And => x & y,
+                    BinOp::Or => x | y,
+                    BinOp::Xor => x ^ y,
+                    BinOp::Shl => x.wrapping_shl((y & 63) as u32),
+                    BinOp::Shr => x.wrapping_shr((y & 63) as u32),
+                };
+                Ok(Value::Int(v))
+            }
+            Expr::ArrayLen(v) => Ok(Value::Int(
+                env[v.index()].array_len().expect("typed array"),
+            )),
+            Expr::ArrayGet(v, i) => {
+                let idx = self.eval_operand(i, env).as_int().expect("typed index");
+                match &env[v.index()] {
+                    Value::Arr(None) => Err(ExecError::NullDereference),
+                    Value::Arr(Some(a)) => {
+                        let a = a.borrow();
+                        let len = a.len() as i64;
+                        if idx < 0 || idx >= len {
+                            return Err(ExecError::IndexOutOfBounds { index: idx, len });
+                        }
+                        Ok(Value::Int(a[idx as usize]))
+                    }
+                    Value::Int(_) => unreachable!("typed array read"),
+                }
+            }
+            Expr::ArrayNew(n) => {
+                let len = self.eval_operand(n, env).as_int().expect("typed length");
+                if len < 0 {
+                    return Err(ExecError::BadInput(format!("new array of length {len}")));
+                }
+                Ok(Value::array(vec![0; len as usize]))
+            }
+        }
+    }
+
+    fn eval_cond(
+        &self,
+        cond: &Cond,
+        env: &[Value],
+        oracle: &mut dyn ExternOracle,
+    ) -> Result<bool, ExecError> {
+        match cond {
+            Cond::Cmp(op, a, b) => {
+                let x = self.eval_operand(a, env).as_int().expect("typed cmp lhs");
+                let y = self.eval_operand(b, env).as_int().expect("typed cmp rhs");
+                Ok(op.eval(x, y))
+            }
+            Cond::Null { arr, is_null } => Ok(env[arr.index()].is_null() == *is_null),
+            Cond::Nondet => Ok(oracle.havoc() % 2 == 0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::SeededOracle;
+    use blazer_lang::compile;
+
+    fn run(src: &str, func: &str, inputs: &[Value]) -> Trace {
+        let p = compile(src).unwrap();
+        Interp::new(&p)
+            .run(func, inputs, &mut SeededOracle::new(1))
+            .unwrap()
+    }
+
+    #[test]
+    fn straightline_cost() {
+        // 2 assigns + return = 2*1 + 1 = 3 units.
+        let t = run(
+            "fn f(x: int) -> int { let y: int = x + 1; let z: int = y * 2; return z; }",
+            "f",
+            &[Value::Int(5)],
+        );
+        assert_eq!(t.ret, Some(Value::Int(12)));
+        assert_eq!(t.cost, 3);
+    }
+
+    #[test]
+    fn loop_cost_scales_linearly() {
+        let src = "fn f(n: int) { let i: int = 0; while (i < n) { i = i + 1; } }";
+        let c0 = run(src, "f", &[Value::Int(0)]).cost;
+        let c5 = run(src, "f", &[Value::Int(5)]).cost;
+        let c10 = run(src, "f", &[Value::Int(10)]).cost;
+        // Per-iteration increment is constant.
+        assert_eq!(c10 - c5, c5 - c0);
+        assert!(c5 > c0);
+    }
+
+    #[test]
+    fn example1_from_paper_is_balanced() {
+        // Sec. 2 Example 1: both branches take time linear in low with the
+        // same coefficient.
+        let src = "fn foo(high: int #high, low: int) { \
+            if (high == 0) { \
+                let i: int = 0; \
+                while (i < low) { i = i + 1; } \
+            } else { \
+                let i: int = low; \
+                while (i > 0) { i = i - 1; } \
+            } \
+        }";
+        for low in [0i64, 3, 17] {
+            let a = run(src, "foo", &[Value::Int(0), Value::Int(low)]).cost;
+            let b = run(src, "foo", &[Value::Int(99), Value::Int(low)]).cost;
+            assert_eq!(a, b, "low={low}");
+        }
+    }
+
+    #[test]
+    fn tenex_bug_leaks_prefix_length() {
+        // Early-exit comparison: cost grows with the matching prefix.
+        let src = "fn check(pw: array #high, guess: array) -> bool { \
+            let i: int = 0; \
+            while (i < len(guess)) { \
+                if (i >= len(pw)) { return false; } \
+                if (guess[i] != pw[i]) { return false; } \
+                i = i + 1; \
+            } \
+            return true; \
+        }";
+        let guess = Value::array(vec![1, 2, 3, 4]);
+        let pw_far = Value::array(vec![9, 9, 9, 9]);
+        let pw_near = Value::array(vec![1, 2, 3, 9]);
+        let c_far = run(src, "check", &[pw_far, guess.clone()]).cost;
+        let c_near = run(src, "check", &[pw_near, guess]).cost;
+        assert!(c_near > c_far, "longer matching prefix must cost more");
+    }
+
+    #[test]
+    fn traces_end_at_exit() {
+        let src = "fn f(n: int) -> int { if (n > 0) { return 1; } return 0; }";
+        let p = compile(src).unwrap();
+        let f = p.function("f").unwrap();
+        let cfg = Cfg::new(f);
+        let t = Interp::new(&p)
+            .run("f", &[Value::Int(1)], &mut SeededOracle::new(0))
+            .unwrap();
+        assert_eq!(t.edges.last().unwrap().to, cfg.exit());
+        // Consecutive edges chain.
+        for w in t.edges.windows(2) {
+            assert_eq!(w[0].to, w[1].from);
+        }
+    }
+
+    #[test]
+    fn runtime_errors() {
+        let div = "fn f(n: int) -> int { return 1 / n; }";
+        let p = compile(div).unwrap();
+        let e = Interp::new(&p)
+            .run("f", &[Value::Int(0)], &mut SeededOracle::new(0))
+            .unwrap_err();
+        assert_eq!(e, ExecError::DivisionByZero);
+
+        let oob = "fn f(a: array) -> int { return a[10]; }";
+        let p = compile(oob).unwrap();
+        let e = Interp::new(&p)
+            .run("f", &[Value::array(vec![1])], &mut SeededOracle::new(0))
+            .unwrap_err();
+        assert!(matches!(e, ExecError::IndexOutOfBounds { index: 10, len: 1 }));
+
+        let null = "fn f(a: array) -> int { return a[0]; }";
+        let p = compile(null).unwrap();
+        let e = Interp::new(&p)
+            .run("f", &[Value::null()], &mut SeededOracle::new(0))
+            .unwrap_err();
+        assert_eq!(e, ExecError::NullDereference);
+    }
+
+    #[test]
+    fn fuel_bounds_infinite_loops() {
+        let src = "fn f() { let i: int = 1; while (i > 0) { i = i + 1; } }";
+        let p = compile(src).unwrap();
+        let e = Interp::new(&p)
+            .with_fuel(1000)
+            .run("f", &[], &mut SeededOracle::new(0))
+            .unwrap_err();
+        assert_eq!(e, ExecError::OutOfFuel);
+    }
+
+    #[test]
+    fn call_costs_counted() {
+        let src = "extern fn md5(p: array) -> array cost 500 len 16..16;\n\
+                   fn f(p: array) { let h: array = md5(p); }";
+        let t = run(src, "f", &[Value::array(vec![1, 2])]);
+        // call (500) + return (1).
+        assert_eq!(t.cost, 501);
+    }
+
+    #[test]
+    fn linear_call_cost_uses_magnitude() {
+        let src = "extern fn hash(p: array) -> int cost 3 * arg0 + 7;\n\
+                   fn f(p: array) -> int { return hash(p); }";
+        let t = run(src, "f", &[Value::array(vec![0; 10])]);
+        // 3*10+7 (call) + return = 37 + 1.
+        assert_eq!(t.cost, 38);
+    }
+
+    #[test]
+    fn null_condition() {
+        let src = "extern fn get() -> array cost 1 len -1..-1;\n\
+                   fn f() -> bool { let a: array = get(); if (a == null) { return true; } return false; }";
+        let t = run(src, "f", &[]);
+        assert_eq!(t.ret, Some(Value::bool(true)));
+    }
+
+    #[test]
+    fn arithmetic_operators() {
+        let src = "fn f(a: int, b: int) -> int {             let s: int = a << 2;             let t: int = s >> 1;             let u: int = t % 7;             let v: int = u * b - a / 2;             return v;         }";
+        let t = run(src, "f", &[Value::Int(9), Value::Int(3)]);
+        // s = 36, t = 18, u = 4, v = 12 - 4 = 8.
+        assert_eq!(t.ret, Some(Value::Int(8)));
+    }
+
+    #[test]
+    fn wrapping_arithmetic_does_not_panic() {
+        let src = "fn f(a: int) -> int { return a * a; }";
+        let t = run(src, "f", &[Value::Int(i64::MAX)]);
+        assert!(t.ret.is_some());
+    }
+
+    #[test]
+    fn negative_division_truncates_toward_zero() {
+        let src = "fn f(a: int) -> int { return a / 2; }";
+        assert_eq!(run(src, "f", &[Value::Int(-7)]).ret, Some(Value::Int(-3)));
+        assert_eq!(run(src, "f", &[Value::Int(7)]).ret, Some(Value::Int(3)));
+    }
+
+    #[test]
+    fn array_stores_persist_through_aliases() {
+        let src = "fn f(a: array) -> int {             a[0] = 42;             let b: int = a[0];             return b;         }";
+        let arr = Value::array(vec![0, 0]);
+        let p = compile(src).unwrap();
+        let t = Interp::new(&p)
+            .run("f", &[arr.clone()], &mut SeededOracle::new(0))
+            .unwrap();
+        assert_eq!(t.ret, Some(Value::Int(42)));
+        // The caller's array reference observed the store (Java reference
+        // semantics).
+        if let Value::Arr(Some(cells)) = arr {
+            assert_eq!(cells.borrow()[0], 42);
+        } else {
+            panic!("array expected");
+        }
+    }
+
+    #[test]
+    fn boolean_values_via_diamonds() {
+        let src = "fn f(a: int, b: int) -> bool {             let c: bool = a < b && b < 10;             return !c;         }";
+        assert_eq!(
+            run(src, "f", &[Value::Int(1), Value::Int(5)]).ret,
+            Some(Value::bool(false))
+        );
+        assert_eq!(
+            run(src, "f", &[Value::Int(7), Value::Int(5)]).ret,
+            Some(Value::bool(true))
+        );
+    }
+
+    #[test]
+    fn tick_statement() {
+        let t = run("fn f() { tick(41); }", "f", &[]);
+        assert_eq!(t.cost, 42); // tick + return
+    }
+}

@@ -1,0 +1,32 @@
+//! # blazer-interp
+//!
+//! A concrete interpreter for `blazer-ir` with instruction-cost accounting.
+//!
+//! The static analyses in this workspace prove facts about the running time
+//! of programs under the paper's simple machine model ("each bytecode
+//! instruction is counted as a single unit", Sec. 5). This interpreter
+//! *executes* programs under the same model, which gives the test suite a
+//! ground truth:
+//!
+//! * property tests check that, for random inputs, the measured cost of a
+//!   run lies within the symbolic `[lower, upper]` bounds computed by
+//!   `blazer-bounds`;
+//! * attack specifications from `blazer-core` are *concretized* by searching
+//!   for two inputs that agree on low values but produce different costs;
+//! * the trace of CFG edges a run takes is checked for membership in the
+//!   trail that was supposed to cover it.
+//!
+//! External calls are resolved by an [`ExternOracle`]; the default
+//! [`SeededOracle`] produces deterministic pseudo-random values respecting
+//! each [`blazer_ir::ExternDecl`]'s declared result ranges.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exec;
+pub mod oracle;
+pub mod value;
+
+pub use exec::{ExecError, Interp, Trace};
+pub use oracle::{ExternOracle, SeededOracle};
+pub use value::Value;

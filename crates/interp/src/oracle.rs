@@ -1,0 +1,142 @@
+//! Oracles resolving external calls and havocs.
+
+use crate::value::Value;
+use blazer_ir::{ExternDecl, Type};
+use std::collections::BTreeMap;
+
+/// Resolves the *values* produced by external calls and `havoc`.
+///
+/// The running-time of a call is always taken from its [`blazer_ir::CallCost`]
+/// summary by the interpreter itself; the oracle only supplies data.
+pub trait ExternOracle {
+    /// Produces the return value for a call to `decl` with `args` (ignored
+    /// by the default implementations). Returns `None` for void callees.
+    fn call(&mut self, decl: &ExternDecl, args: &[Value]) -> Option<Value>;
+
+    /// Produces a value for a `havoc` instruction.
+    fn havoc(&mut self) -> i64;
+}
+
+/// A deterministic oracle driven by a seed (splitmix64 stream).
+///
+/// Results respect the declaration: scalar results are small integers, array
+/// results have a length drawn from the declared `ret_len` range (so a
+/// nullable declaration sometimes returns null). Named overrides allow tests
+/// and the attack-concretization search to pin specific callees.
+#[derive(Debug, Clone)]
+pub struct SeededOracle {
+    state: u64,
+    overrides: BTreeMap<String, Value>,
+}
+
+impl SeededOracle {
+    /// An oracle with the given seed.
+    pub fn new(seed: u64) -> Self {
+        SeededOracle { state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15), overrides: BTreeMap::new() }
+    }
+
+    /// Pins calls to `name` to always return `value`.
+    pub fn with_override(mut self, name: impl Into<String>, value: Value) -> Self {
+        self.overrides.insert(name.into(), value);
+        self
+    }
+
+    fn next(&mut self) -> u64 {
+        // splitmix64.
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn in_range(&mut self, lo: i64, hi: i64) -> i64 {
+        debug_assert!(lo <= hi);
+        let span = (hi - lo) as u64 + 1;
+        lo + (self.next() % span) as i64
+    }
+}
+
+impl ExternOracle for SeededOracle {
+    fn call(&mut self, decl: &ExternDecl, _args: &[Value]) -> Option<Value> {
+        if let Some(v) = self.overrides.get(&decl.name) {
+            return Some(v.clone());
+        }
+        match decl.ret? {
+            Type::Int => Some(Value::Int(self.in_range(0, 255))),
+            Type::Bool => Some(Value::Int(self.in_range(0, 1))),
+            Type::Array => {
+                let (lo, hi) = decl.ret_len.unwrap_or((0, 16));
+                let len = self.in_range(lo, hi);
+                if len < 0 {
+                    Some(Value::null())
+                } else {
+                    let contents = (0..len).map(|_| self.in_range(0, 255)).collect();
+                    Some(Value::array(contents))
+                }
+            }
+        }
+    }
+
+    fn havoc(&mut self) -> i64 {
+        self.in_range(-128, 127)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn array_decl(lo: i64, hi: i64) -> ExternDecl {
+        ExternDecl {
+            name: "get".into(),
+            params: vec![],
+            ret: Some(Type::Array),
+            ret_label: blazer_ir::SecurityLabel::Low,
+            cost: blazer_ir::CallCost::Const(1),
+            ret_len: Some((lo, hi)),
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let d = array_decl(0, 8);
+        let mut a = SeededOracle::new(7);
+        let mut b = SeededOracle::new(7);
+        for _ in 0..10 {
+            assert_eq!(a.call(&d, &[]), b.call(&d, &[]));
+            assert_eq!(a.havoc(), b.havoc());
+        }
+    }
+
+    #[test]
+    fn lengths_respect_declared_range() {
+        let d = array_decl(2, 5);
+        let mut o = SeededOracle::new(42);
+        for _ in 0..50 {
+            let v = o.call(&d, &[]).unwrap();
+            let len = v.array_len().unwrap();
+            assert!((2..=5).contains(&len), "{len}");
+        }
+    }
+
+    #[test]
+    fn nullable_range_produces_null_sometimes() {
+        let d = array_decl(-1, 0);
+        let mut o = SeededOracle::new(1);
+        let mut nulls = 0;
+        for _ in 0..64 {
+            if o.call(&d, &[]).unwrap().is_null() {
+                nulls += 1;
+            }
+        }
+        assert!(nulls > 0 && nulls < 64);
+    }
+
+    #[test]
+    fn overrides_pin_results() {
+        let d = array_decl(0, 8);
+        let mut o = SeededOracle::new(3).with_override("get", Value::array(vec![9, 9]));
+        assert_eq!(o.call(&d, &[]), Some(Value::array(vec![9, 9])));
+    }
+}

@@ -1,0 +1,127 @@
+//! Runtime values.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+/// A runtime value: an integer (booleans are 0/1) or an array reference.
+///
+/// Arrays have Java reference semantics: assigning an array variable aliases
+/// the same backing store. `null` is a distinguished array value whose
+/// length reads as `-1`.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// An integer (also used for booleans).
+    Int(i64),
+    /// A (possibly null) array of integers.
+    Arr(Option<Rc<RefCell<Vec<i64>>>>),
+}
+
+impl Value {
+    /// A fresh, non-aliased array with the given contents.
+    pub fn array(contents: Vec<i64>) -> Value {
+        Value::Arr(Some(Rc::new(RefCell::new(contents))))
+    }
+
+    /// The null array.
+    pub fn null() -> Value {
+        Value::Arr(None)
+    }
+
+    /// A boolean.
+    pub fn bool(b: bool) -> Value {
+        Value::Int(i64::from(b))
+    }
+
+    /// The integer inside, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(n) => Some(*n),
+            Value::Arr(_) => None,
+        }
+    }
+
+    /// The array length: `-1` for null, `None` for non-arrays.
+    pub fn array_len(&self) -> Option<i64> {
+        match self {
+            Value::Arr(None) => Some(-1),
+            Value::Arr(Some(a)) => Some(a.borrow().len() as i64),
+            Value::Int(_) => None,
+        }
+    }
+
+    /// Whether this is the null array.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Arr(None))
+    }
+
+    /// The "magnitude" used by linear call-cost summaries: the value for
+    /// ints, the length for arrays (`-1` for null).
+    pub fn magnitude(&self) -> i64 {
+        match self {
+            Value::Int(n) => *n,
+            Value::Arr(None) => -1,
+            Value::Arr(Some(a)) => a.borrow().len() as i64,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Arr(None), Value::Arr(None)) => true,
+            (Value::Arr(Some(a)), Value::Arr(Some(b))) => *a.borrow() == *b.borrow(),
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(n) => write!(f, "{n}"),
+            Value::Arr(None) => f.write_str("null"),
+            Value::Arr(Some(a)) => write!(f, "{:?}", a.borrow()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths() {
+        assert_eq!(Value::null().array_len(), Some(-1));
+        assert_eq!(Value::array(vec![1, 2, 3]).array_len(), Some(3));
+        assert_eq!(Value::Int(5).array_len(), None);
+    }
+
+    #[test]
+    fn aliasing() {
+        let a = Value::array(vec![0]);
+        let b = a.clone();
+        if let (Value::Arr(Some(ra)), Value::Arr(Some(rb))) = (&a, &b) {
+            ra.borrow_mut()[0] = 7;
+            assert_eq!(rb.borrow()[0], 7);
+        } else {
+            panic!("arrays expected");
+        }
+    }
+
+    #[test]
+    fn equality_compares_contents() {
+        assert_eq!(Value::array(vec![1, 2]), Value::array(vec![1, 2]));
+        assert_ne!(Value::array(vec![1]), Value::array(vec![2]));
+        assert_ne!(Value::array(vec![]), Value::null());
+        assert_eq!(Value::bool(true), Value::Int(1));
+    }
+
+    #[test]
+    fn magnitudes() {
+        assert_eq!(Value::Int(-3).magnitude(), -3);
+        assert_eq!(Value::null().magnitude(), -1);
+        assert_eq!(Value::array(vec![9; 4]).magnitude(), 4);
+    }
+}

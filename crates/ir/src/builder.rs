@@ -1,0 +1,296 @@
+//! Incremental construction of [`Function`]s.
+
+use crate::function::{Block, BlockId, Function, Param, VarId, VarInfo};
+use crate::inst::{CallCost, Cond, Expr, Inst, Operand, Terminator};
+use crate::types::{SecurityLabel, Type};
+use crate::BinOp;
+
+/// A builder for [`Function`]s.
+///
+/// Blocks are created with [`FunctionBuilder::new_block`] and filled by
+/// switching the *current block* with [`FunctionBuilder::switch_to`].
+/// Instruction helpers append to the current block; terminator helpers
+/// (`goto`, `branch`, `ret`) seal it.
+///
+/// # Panics
+///
+/// The builder panics on misuse: appending to a sealed block, finishing with
+/// unsealed blocks, or violating [`Function::validate`].
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    name: String,
+    params: Vec<Param>,
+    vars: Vec<VarInfo>,
+    blocks: Vec<Option<BlockInProgress>>,
+    finished: Vec<Option<Block>>,
+    current: BlockId,
+    ret_ty: Option<Type>,
+}
+
+#[derive(Debug, Default)]
+struct BlockInProgress {
+    insts: Vec<Inst>,
+}
+
+impl FunctionBuilder {
+    /// Starts building a function named `name`. Block 0 is the entry and is
+    /// the initial current block.
+    pub fn new(name: impl Into<String>) -> Self {
+        FunctionBuilder {
+            name: name.into(),
+            params: Vec::new(),
+            vars: Vec::new(),
+            blocks: vec![Some(BlockInProgress::default())],
+            finished: vec![None],
+            current: BlockId::new(0),
+            ret_ty: None,
+        }
+    }
+
+    /// Declares the function's return type.
+    pub fn returns(&mut self, ty: Type) -> &mut Self {
+        self.ret_ty = Some(ty);
+        self
+    }
+
+    /// Declares a parameter. Parameters must be declared before any locals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a local was already declared.
+    pub fn param(&mut self, name: impl Into<String>, ty: Type, label: SecurityLabel) -> VarId {
+        assert_eq!(
+            self.params.len(),
+            self.vars.len(),
+            "parameters must precede locals"
+        );
+        let var = VarId::new(self.vars.len() as u32);
+        self.vars.push(VarInfo { name: name.into(), ty });
+        self.params.push(Param { var, label });
+        var
+    }
+
+    /// Declares a local variable.
+    pub fn local(&mut self, name: impl Into<String>, ty: Type) -> VarId {
+        let var = VarId::new(self.vars.len() as u32);
+        self.vars.push(VarInfo { name: name.into(), ty });
+        var
+    }
+
+    /// Declares a fresh temporary of type `ty`.
+    pub fn temp(&mut self, ty: Type) -> VarId {
+        let name = format!("%t{}", self.vars.len());
+        self.local(name, ty)
+    }
+
+    /// Creates a new, empty, unsealed block and returns its id without
+    /// changing the current block.
+    pub fn new_block(&mut self) -> BlockId {
+        let id = BlockId::new(self.blocks.len() as u32);
+        self.blocks.push(Some(BlockInProgress::default()));
+        self.finished.push(None);
+        id
+    }
+
+    /// Makes `block` the current block for subsequent instructions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is already sealed.
+    pub fn switch_to(&mut self, block: BlockId) {
+        assert!(
+            self.blocks[block.index()].is_some(),
+            "block {block} is already sealed"
+        );
+        self.current = block;
+    }
+
+    /// The current block id.
+    pub fn current(&self) -> BlockId {
+        self.current
+    }
+
+    fn push(&mut self, inst: Inst) {
+        let cur = self
+            .blocks[self.current.index()]
+            .as_mut()
+            .unwrap_or_else(|| panic!("appending to sealed block"));
+        cur.insts.push(inst);
+    }
+
+    fn seal(&mut self, term: Terminator) {
+        let idx = self.current.index();
+        let bip = self.blocks[idx]
+            .take()
+            .unwrap_or_else(|| panic!("block {idx} sealed twice"));
+        self.finished[idx] = Some(Block { insts: bip.insts, term });
+    }
+
+    // ---- instruction helpers -------------------------------------------
+
+    /// Appends `dst = expr`.
+    pub fn assign(&mut self, dst: VarId, expr: Expr) {
+        self.push(Inst::Assign { dst, expr });
+    }
+
+    /// Appends `dst = op` for an operand copy.
+    pub fn copy(&mut self, dst: VarId, op: impl Into<Operand>) {
+        self.push(Inst::Assign { dst, expr: Expr::Operand(op.into()) });
+    }
+
+    /// Appends `dst = a <op> b`.
+    pub fn binop(
+        &mut self,
+        dst: VarId,
+        op: BinOp,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+    ) {
+        self.push(Inst::Assign { dst, expr: Expr::Binary(op, a.into(), b.into()) });
+    }
+
+    /// Appends `dst = src + k` (commonly `i = i + 1`).
+    pub fn add_const(&mut self, dst: VarId, src: VarId, k: i64) {
+        self.binop(dst, BinOp::Add, src, Operand::konst(k));
+    }
+
+    /// Appends `dst = len(arr)`.
+    pub fn array_len(&mut self, dst: VarId, arr: VarId) {
+        self.push(Inst::Assign { dst, expr: Expr::ArrayLen(arr) });
+    }
+
+    /// Appends `dst = arr[idx]`.
+    pub fn array_get(&mut self, dst: VarId, arr: VarId, idx: impl Into<Operand>) {
+        self.push(Inst::Assign { dst, expr: Expr::ArrayGet(arr, idx.into()) });
+    }
+
+    /// Appends `arr[idx] = value`.
+    pub fn array_set(&mut self, arr: VarId, idx: impl Into<Operand>, value: impl Into<Operand>) {
+        self.push(Inst::ArraySet { arr, index: idx.into(), value: value.into() });
+    }
+
+    /// Appends a call to an external function.
+    pub fn call(
+        &mut self,
+        dst: Option<VarId>,
+        callee: impl Into<String>,
+        args: Vec<Operand>,
+        cost: CallCost,
+    ) {
+        self.push(Inst::Call { dst, callee: callee.into(), args, cost });
+    }
+
+    /// Appends `tick(n)`.
+    pub fn tick(&mut self, n: u64) {
+        self.push(Inst::Tick(n));
+    }
+
+    /// Appends `dst = havoc`.
+    pub fn havoc(&mut self, dst: VarId) {
+        self.push(Inst::Havoc { dst });
+    }
+
+    // ---- terminator helpers --------------------------------------------
+
+    /// Seals the current block with `goto target`.
+    pub fn goto(&mut self, target: BlockId) {
+        self.seal(Terminator::Goto(target));
+    }
+
+    /// Seals the current block with a conditional branch.
+    pub fn branch(&mut self, cond: Cond, then_bb: BlockId, else_bb: BlockId) {
+        self.seal(Terminator::Branch { cond, then_bb, else_bb });
+    }
+
+    /// Seals the current block with a return.
+    pub fn ret(&mut self, value: Option<Operand>) {
+        self.seal(Terminator::Return(value));
+    }
+
+    /// Finishes construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any created block was never sealed, or if the assembled
+    /// function fails validation.
+    pub fn finish(self) -> Function {
+        let mut blocks = Vec::with_capacity(self.finished.len());
+        for (i, b) in self.finished.into_iter().enumerate() {
+            match b {
+                Some(block) => blocks.push(block),
+                None => panic!("block bb{i} of `{}` was never sealed", self.name),
+            }
+        }
+        Function::from_parts(
+            self.name,
+            self.params,
+            self.vars,
+            blocks,
+            BlockId::new(0),
+            self.ret_ty,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CmpOp;
+
+    #[test]
+    fn builds_straightline() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.param("x", Type::Int, SecurityLabel::Low);
+        let y = b.local("y", Type::Int);
+        b.binop(y, BinOp::Mul, x, Operand::konst(2));
+        b.ret(Some(Operand::Var(y)));
+        let f = b.finish();
+        assert_eq!(f.blocks().len(), 1);
+        assert_eq!(f.block(BlockId::new(0)).insts.len(), 1);
+        assert_eq!(f.name(), "f");
+    }
+
+    #[test]
+    fn builds_branching() {
+        let mut b = FunctionBuilder::new("g");
+        let x = b.param("x", Type::Int, SecurityLabel::High);
+        let t = b.new_block();
+        let e = b.new_block();
+        b.branch(Cond::cmp(CmpOp::Eq, x, Operand::konst(0)), t, e);
+        b.switch_to(t);
+        b.ret(None);
+        b.switch_to(e);
+        b.ret(None);
+        let f = b.finish();
+        assert!(f.block(f.entry()).term.is_branch());
+        assert!(f.has_high_input());
+    }
+
+    #[test]
+    #[should_panic(expected = "never sealed")]
+    fn unsealed_block_panics() {
+        let mut b = FunctionBuilder::new("h");
+        let _ = b.new_block();
+        b.ret(None);
+        let _ = b.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "sealed")]
+    fn append_after_seal_panics() {
+        let mut b = FunctionBuilder::new("h");
+        b.ret(None);
+        b.tick(1);
+    }
+
+    #[test]
+    fn temps_are_fresh() {
+        let mut b = FunctionBuilder::new("t");
+        let a = b.temp(Type::Int);
+        let c = b.temp(Type::Int);
+        assert_ne!(a, c);
+        b.ret(None);
+        let f = b.finish();
+        assert!(f.var(a).name.starts_with('%'));
+    }
+}

@@ -1,0 +1,290 @@
+//! Control-flow graph view of a function with a single virtual exit node.
+//!
+//! Trails (Sec. 4.1) are regular expressions over *CFG edges*, and the paper's
+//! control-flow-graph automaton has "a singleton containing the exit block"
+//! as its final state set. Functions in this IR return from arbitrary blocks,
+//! so the [`Cfg`] adds one virtual exit node; each `Return` terminator
+//! contributes an edge `block → exit`.
+
+use crate::function::{BlockId, Function};
+use std::fmt;
+
+/// A node of the [`Cfg`]: either a real basic block or the virtual exit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Node for a real block.
+    pub fn block(b: BlockId) -> Self {
+        NodeId(b.index() as u32)
+    }
+
+    /// The raw index (exit node has index `n_blocks`).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The underlying block, unless this is the exit node of a CFG with
+    /// `n_blocks` blocks.
+    pub fn as_block(self, n_blocks: usize) -> Option<BlockId> {
+        if (self.0 as usize) < n_blocks {
+            Some(BlockId::new(self.0))
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A directed CFG edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Edge {
+    /// Source node.
+    pub from: NodeId,
+    /// Target node.
+    pub to: NodeId,
+}
+
+impl Edge {
+    /// Constructs an edge.
+    pub fn new(from: NodeId, to: NodeId) -> Self {
+        Edge { from, to }
+    }
+}
+
+impl fmt::Display for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}->{}", self.from, self.to)
+    }
+}
+
+/// The control-flow graph of a [`Function`] with a virtual exit node.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    n_blocks: usize,
+    entry: NodeId,
+    succs: Vec<Vec<NodeId>>,
+    preds: Vec<Vec<NodeId>>,
+}
+
+impl Cfg {
+    /// Builds the CFG of `f`.
+    pub fn new(f: &Function) -> Self {
+        let n_blocks = f.blocks().len();
+        let n_nodes = n_blocks + 1;
+        let mut succs = vec![Vec::new(); n_nodes];
+        let mut preds = vec![Vec::new(); n_nodes];
+        let exit = NodeId(n_blocks as u32);
+        for (bid, block) in f.iter_blocks() {
+            let from = NodeId::block(bid);
+            let tos: Vec<NodeId> = match block.term.successors().as_slice() {
+                [] => vec![exit],
+                ss => ss.iter().map(|s| NodeId::block(*s)).collect(),
+            };
+            for to in tos {
+                succs[from.index()].push(to);
+                preds[to.index()].push(from);
+            }
+        }
+        Cfg { n_blocks, entry: NodeId::block(f.entry()), succs, preds }
+    }
+
+    /// Number of real blocks (the exit node is extra).
+    pub fn n_blocks(&self) -> usize {
+        self.n_blocks
+    }
+
+    /// Total node count including the virtual exit.
+    pub fn n_nodes(&self) -> usize {
+        self.n_blocks + 1
+    }
+
+    /// The entry node.
+    pub fn entry(&self) -> NodeId {
+        self.entry
+    }
+
+    /// The virtual exit node.
+    pub fn exit(&self) -> NodeId {
+        NodeId(self.n_blocks as u32)
+    }
+
+    /// Successors of a node (the exit node has none).
+    pub fn succs(&self, n: NodeId) -> &[NodeId] {
+        &self.succs[n.index()]
+    }
+
+    /// Predecessors of a node.
+    pub fn preds(&self, n: NodeId) -> &[NodeId] {
+        &self.preds[n.index()]
+    }
+
+    /// All edges, in source-node order.
+    pub fn edges(&self) -> Vec<Edge> {
+        let mut out = Vec::new();
+        for (i, ss) in self.succs.iter().enumerate() {
+            for &t in ss {
+                out.push(Edge::new(NodeId(i as u32), t));
+            }
+        }
+        out
+    }
+
+    /// All nodes in index order (blocks first, then exit).
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.n_nodes() as u32).map(NodeId)
+    }
+
+    /// Nodes reachable from the entry, as a boolean mask indexed by node.
+    pub fn reachable(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.n_nodes()];
+        let mut stack = vec![self.entry];
+        seen[self.entry.index()] = true;
+        while let Some(n) = stack.pop() {
+            for &s in self.succs(n) {
+                if !seen[s.index()] {
+                    seen[s.index()] = true;
+                    stack.push(s);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Reverse postorder of the nodes reachable from the entry.
+    ///
+    /// This is the canonical iteration order for forward dataflow fixpoints.
+    pub fn reverse_postorder(&self) -> Vec<NodeId> {
+        let mut order = self.postorder();
+        order.reverse();
+        order
+    }
+
+    /// Postorder of the nodes reachable from the entry (iterative DFS).
+    pub fn postorder(&self) -> Vec<NodeId> {
+        let mut visited = vec![false; self.n_nodes()];
+        let mut order = Vec::with_capacity(self.n_nodes());
+        // Stack entries: (node, next-successor-index).
+        let mut stack: Vec<(NodeId, usize)> = vec![(self.entry, 0)];
+        visited[self.entry.index()] = true;
+        while let Some(&mut (n, ref mut i)) = stack.last_mut() {
+            if *i < self.succs(n).len() {
+                let s = self.succs(n)[*i];
+                *i += 1;
+                if !visited[s.index()] {
+                    visited[s.index()] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                order.push(n);
+                stack.pop();
+            }
+        }
+        order
+    }
+
+    /// Whether `to` is reachable from `from` (including `from == to`).
+    pub fn path_exists(&self, from: NodeId, to: NodeId) -> bool {
+        if from == to {
+            return true;
+        }
+        let mut seen = vec![false; self.n_nodes()];
+        let mut stack = vec![from];
+        seen[from.index()] = true;
+        while let Some(n) = stack.pop() {
+            for &s in self.succs(n) {
+                if s == to {
+                    return true;
+                }
+                if !seen[s.index()] {
+                    seen[s.index()] = true;
+                    stack.push(s);
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::{Cond, Operand};
+    use crate::types::{SecurityLabel, Type};
+    use crate::CmpOp;
+
+    /// entry → (loop ⇄ body) → exit diamond used across the tests.
+    fn loopy() -> crate::Function {
+        let mut b = FunctionBuilder::new("loopy");
+        let n = b.param("n", Type::Int, SecurityLabel::Low);
+        let i = b.local("i", Type::Int);
+        b.assign(i, crate::Expr::Operand(Operand::konst(0)));
+        let head = b.new_block();
+        let body = b.new_block();
+        let done = b.new_block();
+        b.goto(head);
+        b.switch_to(head);
+        b.branch(Cond::cmp(CmpOp::Lt, i, n), body, done);
+        b.switch_to(body);
+        b.add_const(i, i, 1);
+        b.goto(head);
+        b.switch_to(done);
+        b.ret(None);
+        b.finish()
+    }
+
+    #[test]
+    fn structure() {
+        let f = loopy();
+        let cfg = Cfg::new(&f);
+        assert_eq!(cfg.n_blocks(), 4);
+        assert_eq!(cfg.n_nodes(), 5);
+        // Exactly one edge into the exit (from `done`).
+        assert_eq!(cfg.preds(cfg.exit()).len(), 1);
+        // The loop head has two successors and two predecessors.
+        let head = NodeId::block(BlockId::new(1));
+        assert_eq!(cfg.succs(head).len(), 2);
+        assert_eq!(cfg.preds(head).len(), 2);
+    }
+
+    #[test]
+    fn reachability_and_orders() {
+        let f = loopy();
+        let cfg = Cfg::new(&f);
+        assert!(cfg.reachable().iter().all(|&r| r));
+        let rpo = cfg.reverse_postorder();
+        assert_eq!(rpo.len(), cfg.n_nodes());
+        assert_eq!(rpo[0], cfg.entry());
+        // Entry precedes exit in reverse postorder.
+        let pos = |n: NodeId| rpo.iter().position(|&m| m == n).unwrap();
+        assert!(pos(cfg.entry()) < pos(cfg.exit()));
+    }
+
+    #[test]
+    fn path_queries() {
+        let f = loopy();
+        let cfg = Cfg::new(&f);
+        assert!(cfg.path_exists(cfg.entry(), cfg.exit()));
+        assert!(!cfg.path_exists(cfg.exit(), cfg.entry()));
+        assert!(cfg.path_exists(cfg.exit(), cfg.exit()));
+    }
+
+    #[test]
+    fn edges_enumerated_once() {
+        let f = loopy();
+        let cfg = Cfg::new(&f);
+        let edges = cfg.edges();
+        let mut dedup = edges.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(edges.len(), dedup.len());
+        // entry→head, head→body, head→done, body→head, done→exit.
+        assert_eq!(edges.len(), 5);
+    }
+}

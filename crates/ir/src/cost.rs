@@ -1,0 +1,128 @@
+//! The machine cost model.
+//!
+//! "We currently use a simple machine model in which each bytecode
+//! instruction is counted as a single unit." (Sec. 5). This module makes the
+//! per-instruction weights explicit and configurable so ablation experiments
+//! can vary them.
+
+use crate::function::Block;
+use crate::inst::{CallCost, Inst, Terminator};
+
+/// Per-instruction weights of the simple machine model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CostModel {
+    /// Cost of an assignment (including array reads).
+    pub assign: u64,
+    /// Cost of an array element write.
+    pub array_set: u64,
+    /// Cost of a havoc (unknown library read).
+    pub havoc: u64,
+    /// Cost of evaluating a conditional branch.
+    pub branch: u64,
+    /// Cost of an unconditional jump.
+    pub goto: u64,
+    /// Cost of a return.
+    pub ret: u64,
+}
+
+impl CostModel {
+    /// The paper's unit model: one unit per instruction, jumps free.
+    pub fn unit() -> Self {
+        CostModel { assign: 1, array_set: 1, havoc: 1, branch: 1, goto: 0, ret: 1 }
+    }
+
+    /// The cost of one instruction; `Call` costs come from their summary and
+    /// are returned as `Err(cost)` since they can depend on argument values.
+    pub fn inst_cost(&self, inst: &Inst) -> Result<u64, CallCost> {
+        match inst {
+            Inst::Assign { .. } => Ok(self.assign),
+            Inst::ArraySet { .. } => Ok(self.array_set),
+            Inst::Call { cost, .. } => Err(*cost),
+            Inst::Nop => Ok(0),
+            Inst::Tick(n) => Ok(*n),
+            Inst::Havoc { .. } => Ok(self.havoc),
+        }
+    }
+
+    /// The cost of a terminator.
+    pub fn term_cost(&self, term: &Terminator) -> u64 {
+        match term {
+            Terminator::Goto(_) => self.goto,
+            Terminator::Branch { .. } => self.branch,
+            Terminator::Return(_) => self.ret,
+        }
+    }
+
+    /// The cost of a whole block assuming all call summaries are constant.
+    ///
+    /// Returns `None` if the block contains a call with a value-dependent
+    /// (linear) summary; such blocks need symbolic treatment.
+    pub fn block_cost_const(&self, block: &Block) -> Option<u64> {
+        let mut total = self.term_cost(&block.term);
+        for inst in &block.insts {
+            match self.inst_cost(inst) {
+                Ok(c) => total += c,
+                Err(CallCost::Const(c)) => total += c,
+                Err(CallCost::Linear { .. }) => return None,
+            }
+        }
+        Some(total)
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::unit()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::VarId;
+    use crate::inst::{Expr, Operand};
+
+    #[test]
+    fn unit_model_counts_instructions() {
+        let m = CostModel::unit();
+        let block = Block {
+            insts: vec![
+                Inst::Assign { dst: VarId::new(0), expr: Expr::Operand(Operand::konst(1)) },
+                Inst::Tick(5),
+                Inst::Nop,
+            ],
+            term: Terminator::Return(None),
+        };
+        assert_eq!(m.block_cost_const(&block), Some(1 + 5 + 0 + 1));
+    }
+
+    #[test]
+    fn linear_call_defers_to_symbolic() {
+        let m = CostModel::unit();
+        let block = Block {
+            insts: vec![Inst::Call {
+                dst: None,
+                callee: "hash".into(),
+                args: vec![Operand::konst(0)],
+                cost: CallCost::Linear { arg: 0, coeff: 2, constant: 1 },
+            }],
+            term: Terminator::Return(None),
+        };
+        assert_eq!(m.block_cost_const(&block), None);
+    }
+
+    #[test]
+    fn const_call_is_counted() {
+        let m = CostModel::unit();
+        let block = Block {
+            insts: vec![Inst::Call {
+                dst: None,
+                callee: "md5".into(),
+                args: vec![],
+                cost: CallCost::Const(500),
+            }],
+            term: Terminator::Goto(crate::BlockId::new(0)),
+        };
+        assert_eq!(m.block_cost_const(&block), Some(500));
+    }
+}

@@ -1,0 +1,292 @@
+//! Dominator and post-dominator trees (Cooper–Harvey–Kennedy).
+//!
+//! Post-dominators drive the implicit-flow (control-dependence) part of the
+//! taint analysis in `blazer-taint`, and dominators identify natural loops
+//! for the bound analysis in `blazer-bounds`.
+
+use crate::cfg::{Cfg, NodeId};
+
+/// A dominator tree over the nodes of a [`Cfg`].
+#[derive(Debug, Clone)]
+pub struct DomTree {
+    /// `idom[n]` is the immediate dominator of node `n`; the root maps to
+    /// itself; unreachable nodes map to `None`.
+    idom: Vec<Option<NodeId>>,
+    root: NodeId,
+}
+
+impl DomTree {
+    /// Computes the dominator tree rooted at the CFG entry.
+    pub fn dominators(cfg: &Cfg) -> Self {
+        let preds = |n: NodeId| cfg.preds(n).to_vec();
+        let rpo = cfg.reverse_postorder();
+        Self::compute(cfg.n_nodes(), cfg.entry(), &rpo, preds)
+    }
+
+    /// Computes the post-dominator tree rooted at the CFG exit (edges are
+    /// reversed, so "predecessors" are CFG successors).
+    pub fn post_dominators(cfg: &Cfg) -> Self {
+        let preds = |n: NodeId| cfg.succs(n).to_vec();
+        // Reverse postorder of the reversed graph = postorder-ish from exit.
+        let rpo = reverse_postorder_from(cfg, cfg.exit());
+        Self::compute(cfg.n_nodes(), cfg.exit(), &rpo, preds)
+    }
+
+    fn compute(
+        n_nodes: usize,
+        root: NodeId,
+        rpo: &[NodeId],
+        preds: impl Fn(NodeId) -> Vec<NodeId>,
+    ) -> Self {
+        let mut rpo_index = vec![usize::MAX; n_nodes];
+        for (i, &n) in rpo.iter().enumerate() {
+            rpo_index[n.index()] = i;
+        }
+        let mut idom: Vec<Option<NodeId>> = vec![None; n_nodes];
+        idom[root.index()] = Some(root);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &n in rpo.iter().skip(1) {
+                let mut new_idom: Option<NodeId> = None;
+                for p in preds(n) {
+                    if idom[p.index()].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(m) => intersect(&idom, &rpo_index, p, m),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[n.index()] != Some(ni) {
+                        idom[n.index()] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        DomTree { idom, root }
+    }
+
+    /// The tree root (entry for dominators, exit for post-dominators).
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// The immediate dominator of `n` (the root maps to itself); `None` for
+    /// nodes unreachable from the root.
+    pub fn idom(&self, n: NodeId) -> Option<NodeId> {
+        self.idom[n.index()]
+    }
+
+    /// Whether `a` dominates `b` (reflexively).
+    pub fn dominates(&self, a: NodeId, b: NodeId) -> bool {
+        let mut n = b;
+        loop {
+            if n == a {
+                return true;
+            }
+            match self.idom(n) {
+                Some(i) if i != n => n = i,
+                _ => return n == a,
+            }
+        }
+    }
+
+    /// Whether `a` strictly dominates `b`.
+    pub fn strictly_dominates(&self, a: NodeId, b: NodeId) -> bool {
+        a != b && self.dominates(a, b)
+    }
+}
+
+fn intersect(
+    idom: &[Option<NodeId>],
+    rpo_index: &[usize],
+    mut a: NodeId,
+    mut b: NodeId,
+) -> NodeId {
+    while a != b {
+        while rpo_index[a.index()] > rpo_index[b.index()] {
+            a = idom[a.index()].expect("intersect walked into unprocessed node");
+        }
+        while rpo_index[b.index()] > rpo_index[a.index()] {
+            b = idom[b.index()].expect("intersect walked into unprocessed node");
+        }
+    }
+    a
+}
+
+/// Reverse postorder of the *reversed* CFG starting from `root`.
+fn reverse_postorder_from(cfg: &Cfg, root: NodeId) -> Vec<NodeId> {
+    let mut visited = vec![false; cfg.n_nodes()];
+    let mut order = Vec::new();
+    let mut stack: Vec<(NodeId, usize)> = vec![(root, 0)];
+    visited[root.index()] = true;
+    while let Some(&mut (n, ref mut i)) = stack.last_mut() {
+        let preds = cfg.preds(n);
+        if *i < preds.len() {
+            let s = preds[*i];
+            *i += 1;
+            if !visited[s.index()] {
+                visited[s.index()] = true;
+                stack.push((s, 0));
+            }
+        } else {
+            order.push(n);
+            stack.pop();
+        }
+    }
+    order.reverse();
+    order
+}
+
+/// Natural loops of a reducible CFG, identified by back edges `latch → header`
+/// where `header` dominates `latch`.
+#[derive(Debug, Clone)]
+pub struct NaturalLoop {
+    /// The loop header (the target of the back edge).
+    pub header: NodeId,
+    /// Sources of back edges into `header`.
+    pub latches: Vec<NodeId>,
+    /// All nodes in the loop body, including the header.
+    pub body: Vec<NodeId>,
+}
+
+impl NaturalLoop {
+    /// Whether `n` belongs to the loop body.
+    pub fn contains(&self, n: NodeId) -> bool {
+        self.body.contains(&n)
+    }
+}
+
+/// Finds all natural loops of `cfg`, merging loops that share a header.
+/// Returned in no particular order.
+pub fn natural_loops(cfg: &Cfg) -> Vec<NaturalLoop> {
+    let dom = DomTree::dominators(cfg);
+    let mut loops: Vec<NaturalLoop> = Vec::new();
+    let reachable = cfg.reachable();
+    for n in cfg.nodes() {
+        if !reachable[n.index()] {
+            continue;
+        }
+        for &s in cfg.succs(n) {
+            if dom.dominates(s, n) {
+                // Back edge n → s; collect the natural loop of header s.
+                let mut body = vec![s];
+                let mut stack = vec![n];
+                while let Some(m) = stack.pop() {
+                    if !body.contains(&m) {
+                        body.push(m);
+                        for &p in cfg.preds(m) {
+                            stack.push(p);
+                        }
+                    }
+                }
+                if let Some(l) = loops.iter_mut().find(|l| l.header == s) {
+                    l.latches.push(n);
+                    for m in body {
+                        if !l.body.contains(&m) {
+                            l.body.push(m);
+                        }
+                    }
+                } else {
+                    loops.push(NaturalLoop { header: s, latches: vec![n], body });
+                }
+            }
+        }
+    }
+    loops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::{Cond, Operand};
+    use crate::types::{SecurityLabel, Type};
+    use crate::{CmpOp, Expr};
+
+    fn diamond_with_loop() -> Cfg {
+        // bb0: entry, branch → bb1 (loop head) after init
+        // bb1: branch → bb2 (body) | bb3 (done)
+        // bb2: goto bb1
+        // bb3: return
+        let mut b = FunctionBuilder::new("f");
+        let n = b.param("n", Type::Int, SecurityLabel::Low);
+        let i = b.local("i", Type::Int);
+        b.assign(i, Expr::Operand(Operand::konst(0)));
+        let head = b.new_block();
+        let body = b.new_block();
+        let done = b.new_block();
+        b.goto(head);
+        b.switch_to(head);
+        b.branch(Cond::cmp(CmpOp::Lt, i, n), body, done);
+        b.switch_to(body);
+        b.add_const(i, i, 1);
+        b.goto(head);
+        b.switch_to(done);
+        b.ret(None);
+        Cfg::new(&b.finish())
+    }
+
+    #[test]
+    fn dominators_of_loop() {
+        let cfg = diamond_with_loop();
+        let dom = DomTree::dominators(&cfg);
+        let n = |i: u32| NodeId::block(crate::BlockId::new(i));
+        // Entry dominates everything.
+        for m in cfg.nodes() {
+            assert!(dom.dominates(cfg.entry(), m));
+        }
+        // The loop head dominates body and done and exit.
+        assert!(dom.strictly_dominates(n(1), n(2)));
+        assert!(dom.strictly_dominates(n(1), n(3)));
+        assert!(dom.strictly_dominates(n(1), cfg.exit()));
+        // The body does not dominate done.
+        assert!(!dom.dominates(n(2), n(3)));
+        // idom chain: done → head, body → head, head → entry.
+        assert_eq!(dom.idom(n(2)), Some(n(1)));
+        assert_eq!(dom.idom(n(3)), Some(n(1)));
+        assert_eq!(dom.idom(n(1)), Some(n(0)));
+        assert_eq!(dom.idom(n(0)), Some(n(0)));
+    }
+
+    #[test]
+    fn post_dominators_of_loop() {
+        let cfg = diamond_with_loop();
+        let pdom = DomTree::post_dominators(&cfg);
+        let n = |i: u32| NodeId::block(crate::BlockId::new(i));
+        // Exit post-dominates everything.
+        for m in cfg.nodes() {
+            assert!(pdom.dominates(cfg.exit(), m));
+        }
+        // `done` post-dominates the loop head and entry.
+        assert!(pdom.strictly_dominates(n(3), n(1)));
+        assert!(pdom.strictly_dominates(n(3), n(0)));
+        // The loop body does not post-dominate the head (loop may exit).
+        assert!(!pdom.dominates(n(2), n(1)));
+    }
+
+    #[test]
+    fn finds_the_natural_loop() {
+        let cfg = diamond_with_loop();
+        let loops = natural_loops(&cfg);
+        assert_eq!(loops.len(), 1);
+        let l = &loops[0];
+        let n = |i: u32| NodeId::block(crate::BlockId::new(i));
+        assert_eq!(l.header, n(1));
+        assert_eq!(l.latches, vec![n(2)]);
+        assert!(l.contains(n(1)) && l.contains(n(2)));
+        assert!(!l.contains(n(0)) && !l.contains(n(3)));
+    }
+
+    #[test]
+    fn straightline_has_no_loops() {
+        let mut b = FunctionBuilder::new("s");
+        b.tick(3);
+        b.ret(None);
+        let cfg = Cfg::new(&b.finish());
+        assert!(natural_loops(&cfg).is_empty());
+    }
+}

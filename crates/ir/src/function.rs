@@ -1,0 +1,326 @@
+//! Functions, basic blocks, and variable tables.
+
+use crate::inst::{Inst, Terminator};
+use crate::types::{SecurityLabel, Type};
+use std::fmt;
+
+/// Index of a local variable (or parameter) within a [`Function`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(u32);
+
+impl VarId {
+    /// Creates a variable id from a raw index.
+    pub fn new(index: u32) -> Self {
+        VarId(index)
+    }
+
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Index of a basic block within a [`Function`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(u32);
+
+impl BlockId {
+    /// Creates a block id from a raw index.
+    pub fn new(index: u32) -> Self {
+        BlockId(index)
+    }
+
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+/// Metadata for one variable slot of a [`Function`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VarInfo {
+    /// Source-level name (synthesized names start with `%`).
+    pub name: String,
+    /// Declared type.
+    pub ty: Type,
+}
+
+/// A function parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Param {
+    /// The variable slot holding this parameter.
+    pub var: VarId,
+    /// Security label declared on the parameter.
+    pub label: SecurityLabel,
+}
+
+/// A basic block: straight-line instructions followed by a terminator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// The block's instructions in execution order.
+    pub insts: Vec<Inst>,
+    /// The control transfer that ends the block.
+    pub term: Terminator,
+}
+
+impl Block {
+    /// A block with no instructions and the given terminator.
+    pub fn empty(term: Terminator) -> Self {
+        Block { insts: Vec::new(), term }
+    }
+}
+
+/// A single function: parameters, variables, and a CFG of basic blocks.
+///
+/// Invariants (checked by [`Function::validate`]):
+/// * every `BlockId` mentioned by a terminator is in range;
+/// * every `VarId` mentioned anywhere is in range;
+/// * block `entry` exists;
+/// * parameter variables are a prefix of the variable table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Function {
+    name: String,
+    params: Vec<Param>,
+    vars: Vec<VarInfo>,
+    blocks: Vec<Block>,
+    entry: BlockId,
+    ret_ty: Option<Type>,
+}
+
+impl Function {
+    /// Assembles a function from parts. Prefer
+    /// [`crate::builder::FunctionBuilder`] for incremental construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parts fail [`Function::validate`].
+    pub fn from_parts(
+        name: impl Into<String>,
+        params: Vec<Param>,
+        vars: Vec<VarInfo>,
+        blocks: Vec<Block>,
+        entry: BlockId,
+        ret_ty: Option<Type>,
+    ) -> Self {
+        let f = Function { name: name.into(), params, vars, blocks, entry, ret_ty };
+        if let Err(e) = f.validate() {
+            panic!("invalid function `{}`: {e}", f.name);
+        }
+        f
+    }
+
+    /// The function's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Declared parameters, in order.
+    pub fn params(&self) -> &[Param] {
+        &self.params
+    }
+
+    /// The variable table (parameters first).
+    pub fn vars(&self) -> &[VarInfo] {
+        &self.vars
+    }
+
+    /// All basic blocks, indexed by [`BlockId`].
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// The entry block.
+    pub fn entry(&self) -> BlockId {
+        self.entry
+    }
+
+    /// The declared return type, if the function returns a value.
+    pub fn ret_ty(&self) -> Option<Type> {
+        self.ret_ty
+    }
+
+    /// Looks up a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.index()]
+    }
+
+    /// Metadata for a variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn var(&self, id: VarId) -> &VarInfo {
+        &self.vars[id.index()]
+    }
+
+    /// Finds a variable by source name.
+    pub fn var_by_name(&self, name: &str) -> Option<VarId> {
+        self.vars
+            .iter()
+            .position(|v| v.name == name)
+            .map(|i| VarId::new(i as u32))
+    }
+
+    /// The security label of a variable if it is a parameter, else `None`.
+    pub fn param_label(&self, var: VarId) -> Option<SecurityLabel> {
+        self.params.iter().find(|p| p.var == var).map(|p| p.label)
+    }
+
+    /// Iterator over `(BlockId, &Block)` pairs.
+    pub fn iter_blocks(&self) -> impl Iterator<Item = (BlockId, &Block)> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (BlockId::new(i as u32), b))
+    }
+
+    /// Checks the structural invariants listed on the type.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violation found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.blocks.is_empty() {
+            return Err("function has no blocks".to_string());
+        }
+        if self.entry.index() >= self.blocks.len() {
+            return Err(format!("entry {} out of range", self.entry));
+        }
+        for (i, p) in self.params.iter().enumerate() {
+            if p.var.index() != i {
+                return Err(format!(
+                    "parameter {i} bound to {}, expected v{i}",
+                    p.var
+                ));
+            }
+        }
+        let check_var = |v: VarId| -> Result<(), String> {
+            if v.index() >= self.vars.len() {
+                Err(format!("variable {v} out of range"))
+            } else {
+                Ok(())
+            }
+        };
+        for (bid, block) in self.iter_blocks() {
+            for inst in &block.insts {
+                if let Some(d) = inst.def() {
+                    check_var(d)?;
+                }
+                for u in inst.uses() {
+                    check_var(u)?;
+                }
+            }
+            for s in block.term.successors() {
+                if s.index() >= self.blocks.len() {
+                    return Err(format!("block {bid} jumps to out-of-range {s}"));
+                }
+            }
+            if let Terminator::Branch { cond, .. } = &block.term {
+                for v in cond.vars() {
+                    check_var(v)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether any parameter is labeled [`SecurityLabel::High`].
+    pub fn has_high_input(&self) -> bool {
+        self.params.iter().any(|p| p.label.is_high())
+    }
+
+    /// Whether any parameter is labeled [`SecurityLabel::Low`].
+    pub fn has_low_input(&self) -> bool {
+        self.params.iter().any(|p| p.label.is_low())
+    }
+}
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        crate::pretty::write_function(f, self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::{Cond, Operand, Terminator};
+    use crate::CmpOp;
+
+    fn tiny() -> Function {
+        let mut b = FunctionBuilder::new("tiny");
+        let x = b.param("x", Type::Int, SecurityLabel::Low);
+        let exit = b.new_block();
+        let other = b.new_block();
+        b.branch(Cond::cmp(CmpOp::Gt, x, Operand::konst(0)), other, exit);
+        b.switch_to(other);
+        b.goto(exit);
+        b.switch_to(exit);
+        b.ret(None);
+        b.finish()
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let f = tiny();
+        let x = f.var_by_name("x").expect("param present");
+        assert_eq!(f.var(x).ty, Type::Int);
+        assert_eq!(f.param_label(x), Some(SecurityLabel::Low));
+        assert!(f.var_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn validate_rejects_bad_jump() {
+        let blocks = vec![Block::empty(Terminator::Goto(BlockId::new(7)))];
+        let f = Function {
+            name: "bad".into(),
+            params: vec![],
+            vars: vec![],
+            blocks,
+            entry: BlockId::new(0),
+            ret_ty: None,
+        };
+        assert!(f.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_bad_var() {
+        let blocks = vec![Block {
+            insts: vec![Inst::Havoc { dst: VarId::new(3) }],
+            term: Terminator::Return(None),
+        }];
+        let f = Function {
+            name: "bad".into(),
+            params: vec![],
+            vars: vec![],
+            blocks,
+            entry: BlockId::new(0),
+            ret_ty: None,
+        };
+        assert!(f.validate().is_err());
+    }
+
+    #[test]
+    fn high_low_queries() {
+        let f = tiny();
+        assert!(f.has_low_input());
+        assert!(!f.has_high_input());
+    }
+}

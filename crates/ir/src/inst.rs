@@ -1,0 +1,536 @@
+//! Instructions, expressions, conditions, and terminators.
+
+use crate::function::{BlockId, VarId};
+use crate::BinOp;
+use std::fmt;
+
+/// An operand: either an integer constant or a variable reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// An integer literal (booleans are the literals `0` and `1`).
+    Const(i64),
+    /// A local variable or parameter.
+    Var(VarId),
+}
+
+impl Operand {
+    /// Constructs a constant operand. Shortened to avoid clashing with the
+    /// `const` keyword.
+    pub fn konst(value: i64) -> Self {
+        Operand::Const(value)
+    }
+
+    /// The variable referenced by this operand, if any.
+    pub fn as_var(self) -> Option<VarId> {
+        match self {
+            Operand::Var(v) => Some(v),
+            Operand::Const(_) => None,
+        }
+    }
+}
+
+impl From<VarId> for Operand {
+    fn from(v: VarId) -> Self {
+        Operand::Var(v)
+    }
+}
+
+impl From<i64> for Operand {
+    fn from(c: i64) -> Self {
+        Operand::Const(c)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Const(c) => write!(f, "{c}"),
+            Operand::Var(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not on a canonical 0/1 boolean.
+    Not,
+}
+
+impl fmt::Display for UnOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnOp::Neg => f.write_str("-"),
+            UnOp::Not => f.write_str("!"),
+        }
+    }
+}
+
+/// The right-hand side of an [`Inst::Assign`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// A copy of an operand.
+    Operand(Operand),
+    /// A unary operation.
+    Unary(UnOp, Operand),
+    /// A binary operation.
+    Binary(BinOp, Operand, Operand),
+    /// The length of an array variable. Nullable arrays report `-1`.
+    ArrayLen(VarId),
+    /// An element read `arr[idx]`.
+    ArrayGet(VarId, Operand),
+    /// A freshly allocated array of the given length with all elements zero.
+    ArrayNew(Operand),
+}
+
+impl Expr {
+    /// All variables read by this expression.
+    pub fn vars(&self) -> Vec<VarId> {
+        fn push(out: &mut Vec<VarId>, op: &Operand) {
+            if let Operand::Var(v) = op {
+                out.push(*v);
+            }
+        }
+        let mut out = Vec::new();
+        match self {
+            Expr::Operand(a) | Expr::Unary(_, a) => push(&mut out, a),
+            Expr::Binary(_, a, b) => {
+                push(&mut out, a);
+                push(&mut out, b);
+            }
+            Expr::ArrayLen(v) => out.push(*v),
+            Expr::ArrayGet(v, i) => {
+                out.push(*v);
+                push(&mut out, i);
+            }
+            Expr::ArrayNew(n) => push(&mut out, n),
+        }
+        out
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Operand(a) => write!(f, "{a}"),
+            Expr::Unary(op, a) => write!(f, "{op}{a}"),
+            Expr::Binary(op, a, b) => write!(f, "{a} {op} {b}"),
+            Expr::ArrayLen(v) => write!(f, "len({v})"),
+            Expr::ArrayGet(v, i) => write!(f, "{v}[{i}]"),
+            Expr::ArrayNew(n) => write!(f, "new_array({n})"),
+        }
+    }
+}
+
+/// Comparison operators used in branch conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// The comparison satisfied exactly when `self` is not.
+    pub fn negate(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+        }
+    }
+
+    /// The comparison with operands swapped (`a < b` ⇔ `b > a`).
+    pub fn swap(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+
+    /// Evaluates the comparison on concrete integers.
+    pub fn eval(self, a: i64, b: i64) -> bool {
+        match self {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+        }
+    }
+
+    /// The printable operator (`"=="`, `"<"`, ...).
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// A branch condition.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// A comparison between two operands.
+    Cmp(CmpOp, Operand, Operand),
+    /// A nullness test on an array (`is_null: false` tests "not null").
+    ///
+    /// Nullness is represented as length `-1` at runtime, but gets its own
+    /// condition so the taint analysis can label null tests by the *lookup
+    /// arguments* that produced the array rather than by its (possibly
+    /// secret) length — matching the paper's footnote that username presence
+    /// is not secret while password length is.
+    Null {
+        /// The array being tested.
+        arr: VarId,
+        /// `true` for `== null`, `false` for `!= null`.
+        is_null: bool,
+    },
+    /// A nondeterministic choice — the analyses must consider both arms.
+    Nondet,
+}
+
+impl Cond {
+    /// Convenience constructor for a comparison condition.
+    pub fn cmp(op: CmpOp, a: impl Into<Operand>, b: impl Into<Operand>) -> Self {
+        Cond::Cmp(op, a.into(), b.into())
+    }
+
+    /// The condition holding exactly when `self` does not (`Nondet` is its
+    /// own negation).
+    pub fn negate(&self) -> Cond {
+        match self {
+            Cond::Cmp(op, a, b) => Cond::Cmp(op.negate(), *a, *b),
+            Cond::Null { arr, is_null } => Cond::Null { arr: *arr, is_null: !is_null },
+            Cond::Nondet => Cond::Nondet,
+        }
+    }
+
+    /// All variables read by the condition.
+    pub fn vars(&self) -> Vec<VarId> {
+        match self {
+            Cond::Cmp(_, a, b) => [a.as_var(), b.as_var()].into_iter().flatten().collect(),
+            Cond::Null { arr, .. } => vec![*arr],
+            Cond::Nondet => Vec::new(),
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Cond::Cmp(op, a, b) => write!(f, "{a} {op} {b}"),
+            Cond::Null { arr, is_null: true } => write!(f, "{arr} == null"),
+            Cond::Null { arr, is_null: false } => write!(f, "{arr} != null"),
+            Cond::Nondet => f.write_str("*"),
+        }
+    }
+}
+
+/// The running-time summary of an external (library) call.
+///
+/// Blazer "supports manually-specified summaries of running times ... for
+/// library calls such as those to the Java BigInteger library" (Sec. 6.1).
+/// A summary is either a constant number of cost units or a linear function
+/// of one integer argument (an array argument contributes its length).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CallCost {
+    /// A fixed cost in machine-model units.
+    Const(u64),
+    /// `coeff * arg + constant`, where `arg` is the value of the `arg`-th
+    /// call argument (its length if the argument is an array), clamped at
+    /// zero from below.
+    Linear {
+        /// Index of the argument the cost depends on.
+        arg: usize,
+        /// Cost units per unit of the argument.
+        coeff: u64,
+        /// Fixed additive cost units.
+        constant: u64,
+    },
+}
+
+impl CallCost {
+    /// Evaluates the summary against a concrete argument magnitude lookup.
+    ///
+    /// `arg_magnitude(i)` must return the integer value of the `i`-th
+    /// argument, or the length for arrays.
+    pub fn eval(&self, arg_magnitude: impl Fn(usize) -> i64) -> u64 {
+        match *self {
+            CallCost::Const(c) => c,
+            CallCost::Linear { arg, coeff, constant } => {
+                let m = arg_magnitude(arg).max(0) as u64;
+                coeff.saturating_mul(m).saturating_add(constant)
+            }
+        }
+    }
+}
+
+impl fmt::Display for CallCost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CallCost::Const(c) => write!(f, "cost {c}"),
+            CallCost::Linear { arg, coeff, constant } => {
+                write!(f, "cost {coeff}*arg{arg}+{constant}")
+            }
+        }
+    }
+}
+
+/// A straight-line instruction inside a [`crate::Block`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Inst {
+    /// `dst = expr`.
+    Assign {
+        /// Destination variable.
+        dst: VarId,
+        /// Right-hand side.
+        expr: Expr,
+    },
+    /// `arr[index] = value`.
+    ArraySet {
+        /// The array being written.
+        arr: VarId,
+        /// Element index.
+        index: Operand,
+        /// New element value.
+        value: Operand,
+    },
+    /// A call to an external function declared in the enclosing
+    /// [`crate::Program`]. The callee's behaviour is summarized by its
+    /// [`crate::ExternDecl`]; its running time by the recorded [`CallCost`].
+    Call {
+        /// Destination for the return value, if the callee returns one.
+        dst: Option<VarId>,
+        /// Name of the [`crate::ExternDecl`] being invoked.
+        callee: String,
+        /// Actual arguments.
+        args: Vec<Operand>,
+        /// Running-time summary (copied from the declaration at lowering
+        /// time so the IR is self-contained).
+        cost: CallCost,
+    },
+    /// Consume `0` units of time doing nothing (used to keep CFG shapes).
+    Nop,
+    /// Consume exactly `n` units of time doing nothing else.
+    Tick(u64),
+    /// Assign an arbitrary (unknown) integer to `dst`.
+    Havoc {
+        /// Destination variable.
+        dst: VarId,
+    },
+}
+
+impl Inst {
+    /// The variable written by this instruction, if any.
+    pub fn def(&self) -> Option<VarId> {
+        match self {
+            Inst::Assign { dst, .. } => Some(*dst),
+            Inst::Call { dst, .. } => *dst,
+            Inst::Havoc { dst } => Some(*dst),
+            Inst::ArraySet { .. } | Inst::Nop | Inst::Tick(_) => None,
+        }
+    }
+
+    /// All variables read by this instruction.
+    pub fn uses(&self) -> Vec<VarId> {
+        match self {
+            Inst::Assign { expr, .. } => expr.vars(),
+            Inst::ArraySet { arr, index, value } => {
+                let mut v = vec![*arr];
+                v.extend(index.as_var());
+                v.extend(value.as_var());
+                v
+            }
+            Inst::Call { args, .. } => args.iter().filter_map(|a| a.as_var()).collect(),
+            Inst::Nop | Inst::Tick(_) | Inst::Havoc { .. } => Vec::new(),
+        }
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Inst::Assign { dst, expr } => write!(f, "{dst} = {expr}"),
+            Inst::ArraySet { arr, index, value } => write!(f, "{arr}[{index}] = {value}"),
+            Inst::Call { dst, callee, args, .. } => {
+                if let Some(d) = dst {
+                    write!(f, "{d} = ")?;
+                }
+                write!(f, "{callee}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                f.write_str(")")
+            }
+            Inst::Nop => f.write_str("nop"),
+            Inst::Tick(n) => write!(f, "tick({n})"),
+            Inst::Havoc { dst } => write!(f, "{dst} = havoc"),
+        }
+    }
+}
+
+/// The control transfer ending a [`crate::Block`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Goto(BlockId),
+    /// Two-way conditional branch.
+    Branch {
+        /// The condition selecting the `then_bb` arm.
+        cond: Cond,
+        /// Successor when the condition holds.
+        then_bb: BlockId,
+        /// Successor when the condition does not hold.
+        else_bb: BlockId,
+    },
+    /// Return from the function, optionally with a value.
+    Return(Option<Operand>),
+}
+
+impl Terminator {
+    /// The block successors named by this terminator (empty for `Return`).
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Terminator::Goto(b) => vec![*b],
+            Terminator::Branch { then_bb, else_bb, .. } => vec![*then_bb, *else_bb],
+            Terminator::Return(_) => Vec::new(),
+        }
+    }
+
+    /// Whether this terminator is a conditional branch.
+    pub fn is_branch(&self) -> bool {
+        matches!(self, Terminator::Branch { .. })
+    }
+}
+
+impl fmt::Display for Terminator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Terminator::Goto(b) => write!(f, "goto {b}"),
+            Terminator::Branch { cond, then_bb, else_bb } => {
+                write!(f, "if {cond} then {then_bb} else {else_bb}")
+            }
+            Terminator::Return(Some(v)) => write!(f, "return {v}"),
+            Terminator::Return(None) => f.write_str("return"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_negate_is_involutive() {
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            assert_eq!(op.negate().negate(), op);
+        }
+    }
+
+    #[test]
+    fn cmp_swap_matches_eval() {
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            for a in -2..=2 {
+                for b in -2..=2 {
+                    assert_eq!(op.eval(a, b), op.swap().eval(b, a), "{op} {a} {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cmp_negate_matches_eval() {
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            for a in -2..=2 {
+                for b in -2..=2 {
+                    assert_eq!(op.eval(a, b), !op.negate().eval(a, b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn expr_vars_collects_reads() {
+        let v0 = VarId::new(0);
+        let v1 = VarId::new(1);
+        let e = Expr::Binary(crate::BinOp::Add, Operand::Var(v0), Operand::Var(v1));
+        assert_eq!(e.vars(), vec![v0, v1]);
+        let e = Expr::ArrayGet(v0, Operand::Const(3));
+        assert_eq!(e.vars(), vec![v0]);
+    }
+
+    #[test]
+    fn call_cost_eval() {
+        assert_eq!(CallCost::Const(7).eval(|_| 0), 7);
+        let lin = CallCost::Linear { arg: 1, coeff: 3, constant: 2 };
+        assert_eq!(lin.eval(|i| if i == 1 { 10 } else { 99 }), 32);
+        // Negative magnitudes (e.g. null arrays) clamp to zero.
+        assert_eq!(lin.eval(|_| -5), 2);
+    }
+
+    #[test]
+    fn terminator_successors() {
+        let t = Terminator::Branch {
+            cond: Cond::Nondet,
+            then_bb: BlockId::new(1),
+            else_bb: BlockId::new(2),
+        };
+        assert_eq!(t.successors(), vec![BlockId::new(1), BlockId::new(2)]);
+        assert!(Terminator::Return(None).successors().is_empty());
+    }
+
+    #[test]
+    fn inst_def_use() {
+        let v0 = VarId::new(0);
+        let v1 = VarId::new(1);
+        let i = Inst::Assign { dst: v0, expr: Expr::Operand(Operand::Var(v1)) };
+        assert_eq!(i.def(), Some(v0));
+        assert_eq!(i.uses(), vec![v1]);
+        let i = Inst::ArraySet { arr: v0, index: Operand::Var(v1), value: Operand::Const(0) };
+        assert_eq!(i.def(), None);
+        assert_eq!(i.uses(), vec![v0, v1]);
+    }
+
+    #[test]
+    fn display_round_trips_are_readable() {
+        let v0 = VarId::new(0);
+        let i = Inst::Assign {
+            dst: v0,
+            expr: Expr::Binary(crate::BinOp::Mul, Operand::Var(v0), Operand::Const(2)),
+        };
+        assert_eq!(i.to_string(), "v0 = v0 * 2");
+    }
+}

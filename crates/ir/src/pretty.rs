@@ -1,0 +1,75 @@
+//! Human-readable printing of IR functions.
+
+use crate::function::{BlockId, Function};
+use std::fmt;
+
+/// Writes a listing of `func` to `f`, used by `Function`'s `Display` impl.
+pub fn write_function(f: &mut fmt::Formatter<'_>, func: &Function) -> fmt::Result {
+    write!(f, "fn {}(", func.name())?;
+    for (i, p) in func.params().iter().enumerate() {
+        if i > 0 {
+            f.write_str(", ")?;
+        }
+        let info = func.var(p.var);
+        write!(f, "{}: {} #{}", info.name, info.ty, p.label)?;
+    }
+    f.write_str(")")?;
+    if let Some(rt) = func.ret_ty() {
+        write!(f, " -> {rt}")?;
+    }
+    writeln!(f, " {{")?;
+    for (bid, block) in func.iter_blocks() {
+        let marker = if bid == func.entry() { " (entry)" } else { "" };
+        writeln!(f, "  {bid}:{marker}")?;
+        for inst in &block.insts {
+            writeln!(f, "    {inst}")?;
+        }
+        writeln!(f, "    {}", block.term)?;
+    }
+    f.write_str("}")
+}
+
+/// Renders just one block as a string (for diagnostics).
+pub fn block_to_string(func: &Function, bid: BlockId) -> String {
+    let block = func.block(bid);
+    let mut out = format!("{bid}:\n");
+    for inst in &block.insts {
+        out.push_str(&format!("  {inst}\n"));
+    }
+    out.push_str(&format!("  {}\n", block.term));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::Operand;
+    use crate::types::{SecurityLabel, Type};
+    use crate::BinOp;
+
+    #[test]
+    fn listing_contains_the_pieces() {
+        let mut b = FunctionBuilder::new("demo");
+        let x = b.param("x", Type::Int, SecurityLabel::High);
+        let y = b.local("y", Type::Int);
+        b.binop(y, BinOp::Add, x, Operand::konst(1));
+        b.ret(Some(Operand::Var(y)));
+        let f = b.finish();
+        let s = f.to_string();
+        assert!(s.contains("fn demo(x: int #high)"), "{s}");
+        assert!(s.contains("v1 = v0 + 1"), "{s}");
+        assert!(s.contains("return v1"), "{s}");
+    }
+
+    #[test]
+    fn block_to_string_shows_terminator() {
+        let mut b = FunctionBuilder::new("demo");
+        b.tick(2);
+        b.ret(None);
+        let f = b.finish();
+        let s = block_to_string(&f, f.entry());
+        assert!(s.contains("tick(2)"));
+        assert!(s.contains("return"));
+    }
+}

@@ -1,0 +1,179 @@
+//! Whole programs and external function declarations.
+
+use crate::function::Function;
+use crate::inst::CallCost;
+use crate::types::{SecurityLabel, Type};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A declaration of an external (library) function.
+///
+/// Externals stand in for Java library methods (`BigInteger.multiply`,
+/// `HashMap.containsKey`, `md5`, ...). The analyses never see their bodies;
+/// instead each declaration carries:
+///
+/// * a running-time summary ([`CallCost`]), mirroring Blazer's
+///   "manually-specified summaries of running times" (Sec. 5);
+/// * the type and [`SecurityLabel`] of the returned value (for taint);
+/// * for array results, an inclusive length range. A lower bound of `-1`
+///   means the result may be `null` (nullness is encoded as length `-1`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExternDecl {
+    /// The callee name used by [`crate::Inst::Call`].
+    pub name: String,
+    /// Declared parameter types.
+    pub params: Vec<Type>,
+    /// Return type, if the function returns a value.
+    pub ret: Option<Type>,
+    /// Security label of the returned value.
+    pub ret_label: SecurityLabel,
+    /// Running-time summary.
+    pub cost: CallCost,
+    /// Inclusive length range for array results (`-1` lower bound means the
+    /// result may be null). Ignored for scalar results.
+    pub ret_len: Option<(i64, i64)>,
+}
+
+impl ExternDecl {
+    /// A scalar-returning external with a constant cost and low result.
+    pub fn simple(name: impl Into<String>, params: Vec<Type>, ret: Option<Type>, cost: u64) -> Self {
+        ExternDecl {
+            name: name.into(),
+            params,
+            ret,
+            ret_label: SecurityLabel::Low,
+            cost: CallCost::Const(cost),
+            ret_len: None,
+        }
+    }
+}
+
+/// A program: functions plus the external declarations they may call.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    functions: BTreeMap<String, Function>,
+    externs: BTreeMap<String, ExternDecl>,
+}
+
+impl Program {
+    /// An empty program.
+    pub fn new() -> Self {
+        Program::default()
+    }
+
+    /// Adds (or replaces) a function; returns the previous one if present.
+    pub fn add_function(&mut self, f: Function) -> Option<Function> {
+        self.functions.insert(f.name().to_string(), f)
+    }
+
+    /// Adds (or replaces) an external declaration.
+    pub fn add_extern(&mut self, e: ExternDecl) -> Option<ExternDecl> {
+        self.externs.insert(e.name.clone(), e)
+    }
+
+    /// Looks up a function by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.get(name)
+    }
+
+    /// Looks up an external declaration by name.
+    pub fn extern_decl(&self, name: &str) -> Option<&ExternDecl> {
+        self.externs.get(name)
+    }
+
+    /// All functions in name order.
+    pub fn functions(&self) -> impl Iterator<Item = &Function> {
+        self.functions.values()
+    }
+
+    /// All external declarations in name order.
+    pub fn externs(&self) -> impl Iterator<Item = &ExternDecl> {
+        self.externs.values()
+    }
+
+    /// Checks that every call site targets a declared external with a
+    /// matching argument count.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first dangling or arity-mismatched call.
+    pub fn validate(&self) -> Result<(), String> {
+        for f in self.functions() {
+            for (bid, block) in f.iter_blocks() {
+                for inst in &block.insts {
+                    if let crate::Inst::Call { callee, args, .. } = inst {
+                        let decl = self.externs.get(callee).ok_or_else(|| {
+                            format!(
+                                "{}::{bid}: call to undeclared external `{callee}`",
+                                f.name()
+                            )
+                        })?;
+                        if decl.params.len() != args.len() {
+                            return Err(format!(
+                                "{}::{bid}: `{callee}` expects {} args, got {}",
+                                f.name(),
+                                decl.params.len(),
+                                args.len()
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for e in self.externs() {
+            writeln!(f, "extern {} /* {} */", e.name, e.cost)?;
+        }
+        for func in self.functions() {
+            writeln!(f, "{func}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::Operand;
+
+    #[test]
+    fn validate_catches_dangling_call() {
+        let mut b = FunctionBuilder::new("f");
+        b.call(None, "mystery", vec![], CallCost::Const(1));
+        b.ret(None);
+        let mut p = Program::new();
+        p.add_function(b.finish());
+        assert!(p.validate().is_err());
+        p.add_extern(ExternDecl::simple("mystery", vec![], None, 1));
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_catches_arity_mismatch() {
+        let mut b = FunctionBuilder::new("f");
+        b.call(None, "one_arg", vec![Operand::konst(3), Operand::konst(4)], CallCost::Const(1));
+        b.ret(None);
+        let mut p = Program::new();
+        p.add_function(b.finish());
+        p.add_extern(ExternDecl::simple("one_arg", vec![Type::Int], None, 1));
+        let err = p.validate().unwrap_err();
+        assert!(err.contains("expects 1 args"), "{err}");
+    }
+
+    #[test]
+    fn lookup() {
+        let mut b = FunctionBuilder::new("f");
+        b.ret(None);
+        let mut p = Program::new();
+        p.add_function(b.finish());
+        assert!(p.function("f").is_some());
+        assert!(p.function("g").is_none());
+        assert_eq!(p.functions().count(), 1);
+    }
+}

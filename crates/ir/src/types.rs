@@ -1,0 +1,103 @@
+//! Value types and security labels.
+
+use std::fmt;
+
+/// The type of an IR value.
+///
+/// Arrays are one-dimensional arrays of integers; strings and Java byte
+/// arrays in the benchmarks are modeled as `Array`. A "nullable" array is an
+/// array whose length may be the sentinel `-1` (see
+/// [`crate::program::ExternDecl`]); the analyses treat length as an ordinary
+/// integer quantity, so nullness is just the constraint `len < 0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// A 64-bit signed integer.
+    Int,
+    /// A boolean, canonically represented as the integers `0` and `1`.
+    Bool,
+    /// An array of integers (also used for strings and big-integer bit
+    /// vectors in the crypto benchmarks).
+    Array,
+}
+
+impl Type {
+    /// Whether values of this type are represented by a single scalar that
+    /// the numeric abstract domains track directly.
+    pub fn is_scalar(self) -> bool {
+        !matches!(self, Type::Array)
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Int => f.write_str("int"),
+            Type::Bool => f.write_str("bool"),
+            Type::Array => f.write_str("array"),
+        }
+    }
+}
+
+/// The confidentiality label of an input.
+///
+/// `Low` inputs are public / attacker-controlled ("tainted" in the paper's
+/// terminology); `High` inputs are secret. Timing-channel freedom (Sec. 3,
+/// Example 6) demands that any two executions agreeing on all `Low` inputs
+/// have indistinguishable running times regardless of `High` inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SecurityLabel {
+    /// Public, attacker-observable/controllable data.
+    Low,
+    /// Secret data that must not influence observable running time.
+    High,
+}
+
+impl SecurityLabel {
+    /// `true` for [`SecurityLabel::High`].
+    pub fn is_high(self) -> bool {
+        matches!(self, SecurityLabel::High)
+    }
+
+    /// `true` for [`SecurityLabel::Low`].
+    pub fn is_low(self) -> bool {
+        matches!(self, SecurityLabel::Low)
+    }
+}
+
+impl fmt::Display for SecurityLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SecurityLabel::Low => f.write_str("low"),
+            SecurityLabel::High => f.write_str("high"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Type::Int.to_string(), "int");
+        assert_eq!(Type::Bool.to_string(), "bool");
+        assert_eq!(Type::Array.to_string(), "array");
+        assert_eq!(SecurityLabel::Low.to_string(), "low");
+        assert_eq!(SecurityLabel::High.to_string(), "high");
+    }
+
+    #[test]
+    fn scalar_classification() {
+        assert!(Type::Int.is_scalar());
+        assert!(Type::Bool.is_scalar());
+        assert!(!Type::Array.is_scalar());
+    }
+
+    #[test]
+    fn label_predicates() {
+        assert!(SecurityLabel::High.is_high());
+        assert!(!SecurityLabel::High.is_low());
+        assert!(SecurityLabel::Low.is_low());
+        assert!(SecurityLabel::Low < SecurityLabel::High);
+    }
+}

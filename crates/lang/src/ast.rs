@@ -1,0 +1,279 @@
+//! The abstract syntax tree.
+
+use crate::token::Span;
+use blazer_ir::{SecurityLabel, Type};
+
+/// A whole source file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgramAst {
+    /// External declarations with cost summaries.
+    pub externs: Vec<ExternAst>,
+    /// Function definitions.
+    pub functions: Vec<FunctionAst>,
+}
+
+/// `extern fn name(params) -> ret #label cost ... len lo..hi;`
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExternAst {
+    /// Declared name.
+    pub name: String,
+    /// Parameter types.
+    pub params: Vec<Type>,
+    /// Return type, if any.
+    pub ret: Option<Type>,
+    /// Label of the returned value (defaults to low).
+    pub ret_label: SecurityLabel,
+    /// Cost summary.
+    pub cost: CostAst,
+    /// Length range for array results (`-1` lower bound ⇒ may be null).
+    pub ret_len: Option<(i64, i64)>,
+    /// Source position.
+    pub span: Span,
+}
+
+/// A cost annotation: `cost 5` or `cost 3 * arg0 + 7`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CostAst {
+    /// A fixed cost.
+    Const(u64),
+    /// `coeff * arg<index> + constant`.
+    Linear {
+        /// Argument index the cost scales with.
+        arg: usize,
+        /// Units per argument unit.
+        coeff: u64,
+        /// Constant part.
+        constant: u64,
+    },
+}
+
+/// `fn name(x: int #high, ...) -> ret { body }`
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FunctionAst {
+    /// Function name.
+    pub name: String,
+    /// Parameters in order.
+    pub params: Vec<ParamAst>,
+    /// Return type, if any.
+    pub ret: Option<Type>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Source position.
+    pub span: Span,
+}
+
+/// One declared parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamAst {
+    /// Name.
+    pub name: String,
+    /// Type.
+    pub ty: Type,
+    /// Security label (defaults to low).
+    pub label: SecurityLabel,
+    /// Source position.
+    pub span: Span,
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `let x: ty = e;`
+    Let {
+        /// Variable name.
+        name: String,
+        /// Declared type.
+        ty: Type,
+        /// Initializer.
+        init: Expr,
+        /// Position.
+        span: Span,
+    },
+    /// `x = e;`
+    Assign {
+        /// Target variable.
+        name: String,
+        /// New value.
+        value: Expr,
+        /// Position.
+        span: Span,
+    },
+    /// `a[i] = e;`
+    StoreIndex {
+        /// Array variable.
+        array: String,
+        /// Index expression.
+        index: Expr,
+        /// Stored value.
+        value: Expr,
+        /// Position.
+        span: Span,
+    },
+    /// `if (c) { .. } else { .. }`
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then-branch.
+        then_body: Vec<Stmt>,
+        /// Else-branch (empty if absent).
+        else_body: Vec<Stmt>,
+        /// Position.
+        span: Span,
+    },
+    /// `while (c) { .. }`
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+        /// Position.
+        span: Span,
+    },
+    /// `return e?;`
+    Return {
+        /// Returned value, if any.
+        value: Option<Expr>,
+        /// Position.
+        span: Span,
+    },
+    /// `tick(n);` — consume `n` cost units.
+    Tick {
+        /// Units consumed.
+        amount: u64,
+        /// Position.
+        span: Span,
+    },
+    /// An expression evaluated for effect (a call).
+    ExprStmt {
+        /// The expression (must be a call).
+        expr: Expr,
+        /// Position.
+        span: Span,
+    },
+    /// A scoped statement group (produced by `for`-loop desugaring).
+    Block {
+        /// The grouped statements.
+        body: Vec<Stmt>,
+        /// Position.
+        span: Span,
+    },
+}
+
+impl Stmt {
+    /// The statement's source position.
+    pub fn span(&self) -> Span {
+        match self {
+            Stmt::Let { span, .. }
+            | Stmt::Assign { span, .. }
+            | Stmt::StoreIndex { span, .. }
+            | Stmt::If { span, .. }
+            | Stmt::While { span, .. }
+            | Stmt::Return { span, .. }
+            | Stmt::Tick { span, .. }
+            | Stmt::ExprStmt { span, .. }
+            | Stmt::Block { span, .. } => *span,
+        }
+    }
+}
+
+/// Binary operators at the AST level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AstBinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&` (short-circuit)
+    And,
+    /// `||` (short-circuit)
+    Or,
+}
+
+impl AstBinOp {
+    /// Whether this is a comparison producing `bool`.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            AstBinOp::Eq | AstBinOp::Ne | AstBinOp::Lt | AstBinOp::Le | AstBinOp::Gt | AstBinOp::Ge
+        )
+    }
+
+    /// Whether this is a logical connective.
+    pub fn is_logical(self) -> bool {
+        matches!(self, AstBinOp::And | AstBinOp::Or)
+    }
+}
+
+/// Unary operators at the AST level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AstUnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not.
+    Not,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64, Span),
+    /// `true` / `false`.
+    Bool(bool, Span),
+    /// `null` (only valid against arrays in `==`/`!=`).
+    Null(Span),
+    /// Variable reference.
+    Var(String, Span),
+    /// `a[i]`.
+    Index(Box<Expr>, Box<Expr>, Span),
+    /// `len(e)`.
+    Len(Box<Expr>, Span),
+    /// `havoc()` — an unknown integer.
+    Havoc(Span),
+    /// `f(args)` — a call to an extern.
+    Call(String, Vec<Expr>, Span),
+    /// Unary operation.
+    Unary(AstUnOp, Box<Expr>, Span),
+    /// Binary operation.
+    Binary(AstBinOp, Box<Expr>, Box<Expr>, Span),
+}
+
+impl Expr {
+    /// The expression's source position.
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::Int(_, s)
+            | Expr::Bool(_, s)
+            | Expr::Null(s)
+            | Expr::Var(_, s)
+            | Expr::Index(_, _, s)
+            | Expr::Len(_, s)
+            | Expr::Havoc(s)
+            | Expr::Call(_, _, s)
+            | Expr::Unary(_, _, s)
+            | Expr::Binary(_, _, _, s) => *s,
+        }
+    }
+}

@@ -1,0 +1,482 @@
+//! Name resolution, type checking, and label validation.
+
+use crate::ast::*;
+use crate::LangError;
+use blazer_ir::Type;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Checks a parsed program: unique names, well-typed expressions and
+/// statements, call-site/declaration agreement.
+///
+/// # Errors
+///
+/// Returns the first semantic error found.
+pub fn check_program(p: &ProgramAst) -> Result<(), LangError> {
+    let mut extern_names = BTreeSet::new();
+    for e in &p.externs {
+        if !extern_names.insert(e.name.clone()) {
+            return Err(LangError::new(
+                format!("duplicate extern `{}`", e.name),
+                e.span,
+            ));
+        }
+    }
+    let mut fn_names = BTreeSet::new();
+    for f in &p.functions {
+        if !fn_names.insert(f.name.clone()) {
+            return Err(LangError::new(format!("duplicate function `{}`", f.name), f.span));
+        }
+        if extern_names.contains(&f.name) {
+            return Err(LangError::new(
+                format!("`{}` is declared both extern and fn", f.name),
+                f.span,
+            ));
+        }
+    }
+    let externs: BTreeMap<&str, &ExternAst> =
+        p.externs.iter().map(|e| (e.name.as_str(), e)).collect();
+    let functions: BTreeMap<&str, &FunctionAst> =
+        p.functions.iter().map(|f| (f.name.as_str(), f)).collect();
+    for f in &p.functions {
+        Checker { externs: &externs, functions: &functions, ret: f.ret, scopes: Vec::new() }
+            .function(f)?;
+    }
+    // Calls are inlined at lowering, so the call graph must be acyclic
+    // (the paper's tool likewise "does not yet support recursive
+    // functions", Sec. 1 fn. 2).
+    check_no_recursion(p)?;
+    Ok(())
+}
+
+/// Rejects direct or mutual recursion among program functions.
+fn check_no_recursion(p: &ProgramAst) -> Result<(), LangError> {
+    fn callees(stmts: &[Stmt], fns: &BTreeSet<&str>, out: &mut BTreeSet<String>) {
+        fn expr(e: &Expr, fns: &BTreeSet<&str>, out: &mut BTreeSet<String>) {
+            match e {
+                Expr::Call(name, args, _) => {
+                    if fns.contains(name.as_str()) {
+                        out.insert(name.clone());
+                    }
+                    for a in args {
+                        expr(a, fns, out);
+                    }
+                }
+                Expr::Index(a, b, _) => {
+                    expr(a, fns, out);
+                    expr(b, fns, out);
+                }
+                Expr::Len(a, _) | Expr::Unary(_, a, _) => expr(a, fns, out),
+                Expr::Binary(_, a, b, _) => {
+                    expr(a, fns, out);
+                    expr(b, fns, out);
+                }
+                _ => {}
+            }
+        }
+        for s in stmts {
+            match s {
+                Stmt::Let { init, .. } => expr(init, fns, out),
+                Stmt::Assign { value, .. } => expr(value, fns, out),
+                Stmt::StoreIndex { index, value, .. } => {
+                    expr(index, fns, out);
+                    expr(value, fns, out);
+                }
+                Stmt::If { cond, then_body, else_body, .. } => {
+                    expr(cond, fns, out);
+                    callees(then_body, fns, out);
+                    callees(else_body, fns, out);
+                }
+                Stmt::While { cond, body, .. } => {
+                    expr(cond, fns, out);
+                    callees(body, fns, out);
+                }
+                Stmt::Return { value: Some(e), .. } => expr(e, fns, out),
+                Stmt::ExprStmt { expr: e, .. } => expr(e, fns, out),
+                Stmt::Block { body, .. } => callees(body, fns, out),
+                _ => {}
+            }
+        }
+    }
+    let names: BTreeSet<&str> = p.functions.iter().map(|f| f.name.as_str()).collect();
+    let graph: BTreeMap<&str, BTreeSet<String>> = p
+        .functions
+        .iter()
+        .map(|f| {
+            let mut out = BTreeSet::new();
+            callees(&f.body, &names, &mut out);
+            (f.name.as_str(), out)
+        })
+        .collect();
+    // DFS cycle detection.
+    fn visit<'a>(
+        n: &'a str,
+        graph: &'a BTreeMap<&str, BTreeSet<String>>,
+        visiting: &mut BTreeSet<&'a str>,
+        done: &mut BTreeSet<&'a str>,
+    ) -> Result<(), String> {
+        if done.contains(n) {
+            return Ok(());
+        }
+        if !visiting.insert(n) {
+            return Err(n.to_string());
+        }
+        if let Some(cs) = graph.get(n) {
+            for c in cs {
+                if let Some((k, _)) = graph.get_key_value(c.as_str()) {
+                    visit(k, graph, visiting, done)?;
+                }
+            }
+        }
+        visiting.remove(n);
+        done.insert(n);
+        Ok(())
+    }
+    let mut visiting = BTreeSet::new();
+    let mut done = BTreeSet::new();
+    for f in &p.functions {
+        if let Err(name) = visit(f.name.as_str(), &graph, &mut visiting, &mut done) {
+            return Err(LangError::new(
+                format!("recursive functions are not supported (cycle through `{name}`)"),
+                f.span,
+            ));
+        }
+    }
+    Ok(())
+}
+
+struct Checker<'a> {
+    externs: &'a BTreeMap<&'a str, &'a ExternAst>,
+    functions: &'a BTreeMap<&'a str, &'a FunctionAst>,
+    ret: Option<Type>,
+    scopes: Vec<BTreeMap<String, Type>>,
+}
+
+impl<'a> Checker<'a> {
+    fn function(&mut self, f: &FunctionAst) -> Result<(), LangError> {
+        self.scopes.push(BTreeMap::new());
+        for p in &f.params {
+            if self.scopes[0].insert(p.name.clone(), p.ty).is_some() {
+                return Err(LangError::new(
+                    format!("duplicate parameter `{}`", p.name),
+                    p.span,
+                ));
+            }
+        }
+        self.block(&f.body)?;
+        self.scopes.pop();
+        Ok(())
+    }
+
+    fn block(&mut self, stmts: &[Stmt]) -> Result<(), LangError> {
+        self.scopes.push(BTreeMap::new());
+        for s in stmts {
+            self.stmt(s)?;
+        }
+        self.scopes.pop();
+        Ok(())
+    }
+
+    fn declare(&mut self, name: &str, ty: Type, span: crate::Span) -> Result<(), LangError> {
+        if self.lookup(name).is_some() {
+            return Err(LangError::new(
+                format!("`{name}` is already declared (shadowing is not allowed)"),
+                span,
+            ));
+        }
+        self.scopes
+            .last_mut()
+            .expect("always inside a scope")
+            .insert(name.to_string(), ty);
+        Ok(())
+    }
+
+    fn lookup(&self, name: &str) -> Option<Type> {
+        self.scopes.iter().rev().find_map(|s| s.get(name).copied())
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), LangError> {
+        match s {
+            Stmt::Let { name, ty, init, span } => {
+                let ity = self.expr(init)?;
+                self.type_eq(*ty, ity, init.span())?;
+                self.declare(name, *ty, *span)
+            }
+            Stmt::Assign { name, value, span } => {
+                let vty = self.expr(value)?;
+                let ty = self
+                    .lookup(name)
+                    .ok_or_else(|| LangError::new(format!("unknown variable `{name}`"), *span))?;
+                self.type_eq(ty, vty, value.span())
+            }
+            Stmt::StoreIndex { array, index, value, span } => {
+                let aty = self.lookup(array).ok_or_else(|| {
+                    LangError::new(format!("unknown variable `{array}`"), *span)
+                })?;
+                self.type_eq(Type::Array, aty, *span)?;
+                let ity = self.expr(index)?;
+                self.type_eq(Type::Int, ity, index.span())?;
+                let vty = self.expr(value)?;
+                self.type_eq(Type::Int, vty, value.span())
+            }
+            Stmt::If { cond, then_body, else_body, .. } => {
+                let cty = self.expr(cond)?;
+                self.type_eq(Type::Bool, cty, cond.span())?;
+                self.block(then_body)?;
+                self.block(else_body)
+            }
+            Stmt::While { cond, body, .. } => {
+                let cty = self.expr(cond)?;
+                self.type_eq(Type::Bool, cty, cond.span())?;
+                self.block(body)
+            }
+            Stmt::Return { value, span } => match (value, self.ret) {
+                (None, None) => Ok(()),
+                (Some(e), Some(rt)) => {
+                    let ty = self.expr(e)?;
+                    self.type_eq(rt, ty, e.span())
+                }
+                (None, Some(rt)) => Err(LangError::new(
+                    format!("function returns {rt} but `return;` has no value"),
+                    *span,
+                )),
+                (Some(e), None) => Err(LangError::new(
+                    "function has no return type but returns a value",
+                    e.span(),
+                )),
+            },
+            Stmt::Tick { .. } => Ok(()),
+            Stmt::Block { body, .. } => self.block(body),
+            Stmt::ExprStmt { expr, span } => match expr {
+                Expr::Call(..) => {
+                    let _ = self.expr(expr)?;
+                    Ok(())
+                }
+                _ => Err(LangError::new(
+                    "only calls may be used as statements",
+                    *span,
+                )),
+            },
+        }
+    }
+
+    /// Types an expression. `null` types as `Array` but is only accepted
+    /// directly under `==`/`!=`, which is enforced structurally here.
+    fn expr(&mut self, e: &Expr) -> Result<Type, LangError> {
+        match e {
+            Expr::Int(..) => Ok(Type::Int),
+            Expr::Bool(..) => Ok(Type::Bool),
+            Expr::Null(span) => Err(LangError::new(
+                "`null` may only appear in `==`/`!=` comparisons with arrays",
+                *span,
+            )),
+            Expr::Var(name, span) => self
+                .lookup(name)
+                .ok_or_else(|| LangError::new(format!("unknown variable `{name}`"), *span)),
+            Expr::Index(arr, idx, span) => {
+                let aty = self.expr(arr)?;
+                self.type_eq(Type::Array, aty, *span)?;
+                if !matches!(**arr, Expr::Var(..)) {
+                    return Err(LangError::new("can only index named arrays", *span));
+                }
+                let ity = self.expr(idx)?;
+                self.type_eq(Type::Int, ity, idx.span())?;
+                Ok(Type::Int)
+            }
+            Expr::Len(inner, span) => {
+                let ity = self.expr(inner)?;
+                self.type_eq(Type::Array, ity, *span)?;
+                if !matches!(**inner, Expr::Var(..)) {
+                    return Err(LangError::new("can only take len of named arrays", *span));
+                }
+                Ok(Type::Int)
+            }
+            Expr::Havoc(_) => Ok(Type::Int),
+            Expr::Call(name, args, span) => {
+                // Extern or program function (inlined at lowering).
+                let (params, ret): (Vec<Type>, Option<Type>) =
+                    if let Some(decl) = self.externs.get(name.as_str()) {
+                        (decl.params.clone(), decl.ret)
+                    } else if let Some(f) = self.functions.get(name.as_str()) {
+                        (f.params.iter().map(|p| p.ty).collect(), f.ret)
+                    } else {
+                        return Err(LangError::new(
+                            format!("unknown function `{name}`"),
+                            *span,
+                        ));
+                    };
+                if params.len() != args.len() {
+                    return Err(LangError::new(
+                        format!(
+                            "`{name}` expects {} arguments, got {}",
+                            params.len(),
+                            args.len()
+                        ),
+                        *span,
+                    ));
+                }
+                for (a, &pt) in args.iter().zip(&params) {
+                    let at = self.expr(a)?;
+                    self.type_eq(pt, at, a.span())?;
+                }
+                Ok(ret.unwrap_or(Type::Int))
+            }
+            Expr::Unary(op, inner, span) => {
+                let ty = self.expr(inner)?;
+                match op {
+                    AstUnOp::Neg => {
+                        self.type_eq(Type::Int, ty, *span)?;
+                        Ok(Type::Int)
+                    }
+                    AstUnOp::Not => {
+                        self.type_eq(Type::Bool, ty, *span)?;
+                        Ok(Type::Bool)
+                    }
+                }
+            }
+            Expr::Binary(op, lhs, rhs, span) => {
+                // Null comparisons are special-cased before recursive typing.
+                if matches!(op, AstBinOp::Eq | AstBinOp::Ne) {
+                    let lhs_null = matches!(**lhs, Expr::Null(_));
+                    let rhs_null = matches!(**rhs, Expr::Null(_));
+                    if lhs_null || rhs_null {
+                        let other = if lhs_null { rhs } else { lhs };
+                        if lhs_null && rhs_null {
+                            return Err(LangError::new("cannot compare null to null", *span));
+                        }
+                        let oty = self.expr(other)?;
+                        self.type_eq(Type::Array, oty, other.span())?;
+                        return Ok(Type::Bool);
+                    }
+                }
+                let lt = self.expr(lhs)?;
+                let rt = self.expr(rhs)?;
+                if op.is_logical() {
+                    self.type_eq(Type::Bool, lt, lhs.span())?;
+                    self.type_eq(Type::Bool, rt, rhs.span())?;
+                    Ok(Type::Bool)
+                } else if op.is_comparison() {
+                    // Boolean equality is allowed; everything else is int.
+                    if matches!(op, AstBinOp::Eq | AstBinOp::Ne)
+                        && lt == Type::Bool
+                        && rt == Type::Bool
+                    {
+                        return Ok(Type::Bool);
+                    }
+                    self.type_eq(Type::Int, lt, lhs.span())?;
+                    self.type_eq(Type::Int, rt, rhs.span())?;
+                    Ok(Type::Bool)
+                } else {
+                    self.type_eq(Type::Int, lt, lhs.span())?;
+                    self.type_eq(Type::Int, rt, rhs.span())?;
+                    Ok(Type::Int)
+                }
+            }
+        }
+    }
+
+    fn type_eq(&self, expected: Type, found: Type, span: crate::Span) -> Result<(), LangError> {
+        if expected == found {
+            Ok(())
+        } else {
+            Err(LangError::new(
+                format!("type mismatch: expected {expected}, found {found}"),
+                span,
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn check(src: &str) -> Result<(), LangError> {
+        check_program(&parse_program(src).unwrap())
+    }
+
+    #[test]
+    fn accepts_wellformed() {
+        check(
+            "extern fn md5(p: array) -> array cost 500 len 16..16;\n\
+             fn f(a: array, n: int #high) -> bool {\n\
+               let h: array = md5(a);\n\
+               let i: int = 0;\n\
+               let ok: bool = true;\n\
+               while (i < len(h) && i < n) {\n\
+                 if (h[i] == 0) { ok = false; }\n\
+                 i = i + 1;\n\
+               }\n\
+               return ok;\n\
+             }",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn rejects_unknown_variable() {
+        let e = check("fn f() { x = 1; }").unwrap_err();
+        assert!(e.message.contains("unknown variable"), "{e}");
+    }
+
+    #[test]
+    fn rejects_type_mismatches() {
+        assert!(check("fn f() { let x: int = true; }").is_err());
+        assert!(check("fn f(b: bool) { let x: int = b + 1; }").is_err());
+        assert!(check("fn f(a: array) { let x: int = a; }").is_err());
+        assert!(check("fn f(n: int) { if (n) { } }").is_err());
+    }
+
+    #[test]
+    fn rejects_shadowing_and_duplicates() {
+        assert!(check("fn f(x: int, x: int) { }").is_err());
+        assert!(check("fn f(x: int) { let x: int = 1; }").is_err());
+        assert!(check("fn f() { } fn f() { }").is_err());
+        assert!(check("extern fn g() cost 1; extern fn g() cost 2;").is_err());
+    }
+
+    #[test]
+    fn block_scoping_allows_disjoint_lets() {
+        check("fn f(c: bool) { if (c) { let t: int = 1; t = 2; } else { let t: int = 3; t = 4; } }")
+            .unwrap();
+        // But the variable is not visible outside its block.
+        assert!(check("fn f(c: bool) { if (c) { let t: int = 1; } t = 2; }").is_err());
+    }
+
+    #[test]
+    fn null_comparisons() {
+        check("fn f(a: array) -> bool { return a == null; }").unwrap();
+        check("fn f(a: array) -> bool { return null != a; }").unwrap();
+        assert!(check("fn f(n: int) -> bool { return n == null; }").is_err());
+        assert!(check("fn f() -> bool { return null == null; }").is_err());
+        assert!(check("fn f(a: array) { let x: array = null; }").is_err());
+    }
+
+    #[test]
+    fn call_checking() {
+        let hdr = "extern fn two(a: int, b: array) -> int cost 1;\n";
+        check(&format!("{hdr}fn f(a: array) {{ let x: int = two(1, a); }}")).unwrap();
+        assert!(check(&format!("{hdr}fn f(a: array) {{ let x: int = two(1); }}")).is_err());
+        assert!(check(&format!("{hdr}fn f(a: array) {{ let x: int = two(a, a); }}")).is_err());
+        assert!(check("fn f() { mystery(); }").is_err());
+    }
+
+    #[test]
+    fn return_type_agreement() {
+        assert!(check("fn f() -> int { return; }").is_err());
+        assert!(check("fn f() { return 1; }").is_err());
+        check("fn f() -> bool { return true; }").unwrap();
+    }
+
+    #[test]
+    fn boolean_equality_allowed() {
+        check("fn f(a: bool, b: bool) -> bool { return a == b; }").unwrap();
+        assert!(check("fn f(a: bool) -> bool { return a < true; }").is_err());
+    }
+
+    #[test]
+    fn only_calls_as_statements() {
+        assert!(check("fn f(x: int) { x + 1; }").is_err());
+        check("extern fn g() cost 1; fn f() { g(); }").unwrap();
+    }
+}

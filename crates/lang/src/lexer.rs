@@ -1,0 +1,319 @@
+//! The hand-written lexer.
+
+use crate::token::{Span, Token, TokenKind};
+use crate::LangError;
+
+/// Lexes a whole source file.
+///
+/// Comments are `//` to end of line. Whitespace is insignificant.
+///
+/// # Errors
+///
+/// Returns an error for unknown characters, malformed labels, and integer
+/// literals out of `i64` range.
+pub fn lex(source: &str) -> Result<Vec<Token>, LangError> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: u32,
+    col: u32,
+    out: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Self {
+        Lexer { chars: source.chars().peekable(), line: 1, col: 1, out: Vec::new() }
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    fn span(&self) -> Span {
+        Span::at(self.line, self.col)
+    }
+
+    fn push(&mut self, kind: TokenKind, span: Span) {
+        self.out.push(Token { kind, span });
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, LangError> {
+        while let Some(c) = self.peek() {
+            let span = self.span();
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' => {
+                    self.bump();
+                    match self.peek() {
+                        Some('/') => {
+                            while let Some(c) = self.peek() {
+                                if c == '\n' {
+                                    break;
+                                }
+                                self.bump();
+                            }
+                        }
+                        _ => self.push(TokenKind::Slash, span),
+                    }
+                }
+                c if c.is_ascii_digit() => {
+                    let mut text = String::new();
+                    while let Some(c) = self.peek() {
+                        if c.is_ascii_digit() {
+                            text.push(c);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    let n: i64 = text
+                        .parse()
+                        .map_err(|_| LangError::new("integer literal out of range", span))?;
+                    self.push(TokenKind::Int(n), span);
+                }
+                c if c.is_ascii_alphabetic() || c == '_' => {
+                    let mut text = String::new();
+                    while let Some(c) = self.peek() {
+                        if c.is_ascii_alphanumeric() || c == '_' {
+                            text.push(c);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    let kind = match text.as_str() {
+                        "fn" => TokenKind::Fn,
+                        "extern" => TokenKind::Extern,
+                        "let" => TokenKind::Let,
+                        "if" => TokenKind::If,
+                        "else" => TokenKind::Else,
+                        "while" => TokenKind::While,
+                        "for" => TokenKind::For,
+                        "return" => TokenKind::Return,
+                        "true" => TokenKind::True,
+                        "false" => TokenKind::False,
+                        "null" => TokenKind::Null,
+                        "int" => TokenKind::TyInt,
+                        "bool" => TokenKind::TyBool,
+                        "array" => TokenKind::TyArray,
+                        "len" => TokenKind::Len,
+                        "tick" => TokenKind::Tick,
+                        "havoc" => TokenKind::Havoc,
+                        "cost" => TokenKind::Cost,
+                        _ => TokenKind::Ident(text),
+                    };
+                    self.push(kind, span);
+                }
+                '#' => {
+                    self.bump();
+                    let mut text = String::new();
+                    while let Some(c) = self.peek() {
+                        if c.is_ascii_alphabetic() {
+                            text.push(c);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    match text.as_str() {
+                        "high" => self.push(TokenKind::LabelHigh, span),
+                        "low" => self.push(TokenKind::LabelLow, span),
+                        other => {
+                            return Err(LangError::new(
+                                format!("unknown label `#{other}` (expected #high or #low)"),
+                                span,
+                            ))
+                        }
+                    }
+                }
+                _ => {
+                    self.bump();
+                    let two = |this: &mut Lexer<'a>, next: char, yes: TokenKind, no: TokenKind| {
+                        if this.peek() == Some(next) {
+                            this.bump();
+                            yes
+                        } else {
+                            no
+                        }
+                    };
+                    let kind = match c {
+                        '(' => TokenKind::LParen,
+                        ')' => TokenKind::RParen,
+                        '{' => TokenKind::LBrace,
+                        '}' => TokenKind::RBrace,
+                        '[' => TokenKind::LBracket,
+                        ']' => TokenKind::RBracket,
+                        ',' => TokenKind::Comma,
+                        ';' => TokenKind::Semi,
+                        ':' => TokenKind::Colon,
+                        '+' => TokenKind::Plus,
+                        '*' => TokenKind::Star,
+                        '%' => TokenKind::Percent,
+                        '-' => two(&mut self, '>', TokenKind::Arrow, TokenKind::Minus),
+                        '=' => two(&mut self, '=', TokenKind::EqEq, TokenKind::Assign),
+                        '!' => two(&mut self, '=', TokenKind::NotEq, TokenKind::Not),
+                        '<' => {
+                            if self.peek() == Some('=') {
+                                self.bump();
+                                TokenKind::Le
+                            } else if self.peek() == Some('<') {
+                                self.bump();
+                                TokenKind::Shl
+                            } else {
+                                TokenKind::Lt
+                            }
+                        }
+                        '>' => {
+                            if self.peek() == Some('=') {
+                                self.bump();
+                                TokenKind::Ge
+                            } else if self.peek() == Some('>') {
+                                self.bump();
+                                TokenKind::Shr
+                            } else {
+                                TokenKind::Gt
+                            }
+                        }
+                        '&' => {
+                            if self.peek() == Some('&') {
+                                self.bump();
+                                TokenKind::AndAnd
+                            } else {
+                                return Err(LangError::new("expected `&&`", span));
+                            }
+                        }
+                        '|' => {
+                            if self.peek() == Some('|') {
+                                self.bump();
+                                TokenKind::OrOr
+                            } else {
+                                return Err(LangError::new("expected `||`", span));
+                            }
+                        }
+                        '.' => {
+                            if self.peek() == Some('.') {
+                                self.bump();
+                                TokenKind::DotDot
+                            } else {
+                                return Err(LangError::new("expected `..`", span));
+                            }
+                        }
+                        other => {
+                            return Err(LangError::new(
+                                format!("unexpected character `{other}`"),
+                                span,
+                            ))
+                        }
+                    };
+                    self.push(kind, span);
+                }
+            }
+        }
+        let span = self.span();
+        self.push(TokenKind::Eof, span);
+        Ok(self.out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            kinds("fn foo while whilex"),
+            vec![
+                TokenKind::Fn,
+                TokenKind::Ident("foo".into()),
+                TokenKind::While,
+                TokenKind::Ident("whilex".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn operators_maximal_munch() {
+        assert_eq!(
+            kinds("<= < << == = != ! -> - .. >= >>"),
+            vec![
+                TokenKind::Le,
+                TokenKind::Lt,
+                TokenKind::Shl,
+                TokenKind::EqEq,
+                TokenKind::Assign,
+                TokenKind::NotEq,
+                TokenKind::Not,
+                TokenKind::Arrow,
+                TokenKind::Minus,
+                TokenKind::DotDot,
+                TokenKind::Ge,
+                TokenKind::Shr,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(
+            kinds("#high #low"),
+            vec![TokenKind::LabelHigh, TokenKind::LabelLow, TokenKind::Eof]
+        );
+        assert!(lex("#secret").is_err());
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("1 // comment with fn if\n2"),
+            vec![TokenKind::Int(1), TokenKind::Int(2), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn spans_track_lines() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!(toks[0].span, Span::at(1, 1));
+        assert_eq!(toks[1].span, Span::at(2, 3));
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(kinds("0 42 1234567"), vec![
+            TokenKind::Int(0),
+            TokenKind::Int(42),
+            TokenKind::Int(1234567),
+            TokenKind::Eof
+        ]);
+        assert!(lex("99999999999999999999999").is_err());
+    }
+
+    #[test]
+    fn error_on_stray_chars() {
+        assert!(lex("a $ b").is_err());
+        assert!(lex("a & b").is_err());
+        assert!(lex("a | b").is_err());
+        assert!(lex("a . b").is_err());
+    }
+}

@@ -1,0 +1,85 @@
+//! # blazer-lang
+//!
+//! The surface language and front-end of the Blazer reproduction.
+//!
+//! The original tool consumed Java bytecode through WALA. Since the analyses
+//! in this workspace only ever see the `blazer-ir` control-flow graph, this
+//! crate provides the substitute front-end: a small imperative language with
+//! integers, booleans, and arrays, security labels on parameters, and
+//! `extern` declarations carrying manual running-time summaries (exactly the
+//! summaries Blazer used for `BigInteger` and other library calls).
+//!
+//! ```text
+//! extern fn retrievePassword(u: array) -> array #high cost 30 len -1..64;
+//!
+//! fn login(username: array, guess: array) -> bool {
+//!     let user_pw: array = retrievePassword(username);
+//!     if (user_pw == null) { return false; }
+//!     let i: int = 0;
+//!     let matches: bool = true;
+//!     while (i < len(guess)) {
+//!         if (i < len(user_pw)) {
+//!             if (guess[i] != user_pw[i]) { matches = false; }
+//!         } else { matches = false; }
+//!         i = i + 1;
+//!     }
+//!     return matches;
+//! }
+//! ```
+//!
+//! Pipeline: [`lexer`] → [`parser`] (AST in [`ast`]) → [`check`] (names,
+//! types, labels) → [`lower`] (AST → [`blazer_ir::Program`]).
+//!
+//! The one modeling convention worth knowing: *nullable arrays*. `null` is
+//! encoded as an array of length `-1`, so `x == null` lowers to
+//! `len(x) < 0`. This keeps nullness inside the numeric domains.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod check;
+pub mod lexer;
+pub mod lower;
+pub mod parser;
+pub mod token;
+
+pub use check::check_program;
+pub use lower::lower_program;
+pub use parser::parse_program;
+pub use token::{Span, Token, TokenKind};
+
+/// A front-end error with source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LangError {
+    /// Human-readable message.
+    pub message: String,
+    /// Where in the source the error was detected.
+    pub span: Span,
+}
+
+impl LangError {
+    /// Creates an error at `span`.
+    pub fn new(message: impl Into<String>, span: Span) -> Self {
+        LangError { message: message.into(), span }
+    }
+}
+
+impl std::fmt::Display for LangError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: {}", self.span.line, self.span.col, self.message)
+    }
+}
+
+impl std::error::Error for LangError {}
+
+/// Parses, checks, and lowers a full source file to an IR program.
+///
+/// # Errors
+///
+/// Returns the first lexical, syntactic, or semantic error encountered.
+pub fn compile(source: &str) -> Result<blazer_ir::Program, LangError> {
+    let ast = parse_program(source)?;
+    check_program(&ast)?;
+    Ok(lower_program(&ast))
+}

@@ -1,0 +1,608 @@
+//! Lowering from the AST to the `blazer-ir` control-flow graph.
+//!
+//! Comparisons and short-circuit connectives in *value* position lower to
+//! branch diamonds, exactly as javac compiles them to bytecode — so the CFG
+//! shapes (and therefore trails) match what the original tool saw.
+
+use crate::ast::*;
+use blazer_ir::builder::FunctionBuilder;
+use blazer_ir::{
+    BinOp, BlockId, CallCost, CmpOp, Cond, Expr as IrExpr, ExternDecl, Operand, Program, Type,
+    UnOp, VarId,
+};
+use std::collections::BTreeMap;
+
+/// Lowers a checked program. Call [`crate::check_program`] first — lowering
+/// assumes (and debug-asserts) well-typedness.
+pub fn lower_program(ast: &ProgramAst) -> Program {
+    let mut program = Program::new();
+    for e in &ast.externs {
+        program.add_extern(ExternDecl {
+            name: e.name.clone(),
+            params: e.params.clone(),
+            ret: e.ret,
+            ret_label: e.ret_label,
+            cost: lower_cost(e.cost),
+            ret_len: e.ret_len,
+        });
+    }
+    let externs: BTreeMap<&str, &ExternAst> =
+        ast.externs.iter().map(|e| (e.name.as_str(), e)).collect();
+    let functions: BTreeMap<&str, &FunctionAst> =
+        ast.functions.iter().map(|f| (f.name.as_str(), f)).collect();
+    for f in &ast.functions {
+        let lowerer = Lowerer {
+            b: FunctionBuilder::new(&f.name),
+            externs: &externs,
+            functions: &functions,
+            scopes: Vec::new(),
+            inline_frames: Vec::new(),
+        };
+        program.add_function(lowerer.function(f));
+    }
+    debug_assert_eq!(program.validate(), Ok(()));
+    program
+}
+
+fn ast_arith_op(op: AstBinOp) -> BinOp {
+    match op {
+        AstBinOp::Add => BinOp::Add,
+        AstBinOp::Sub => BinOp::Sub,
+        AstBinOp::Mul => BinOp::Mul,
+        AstBinOp::Div => BinOp::Div,
+        AstBinOp::Rem => BinOp::Rem,
+        AstBinOp::Shl => BinOp::Shl,
+        AstBinOp::Shr => BinOp::Shr,
+        _ => unreachable!("comparisons and logicals lower via diamonds"),
+    }
+}
+
+fn lower_cost(c: CostAst) -> CallCost {
+    match c {
+        CostAst::Const(n) => CallCost::Const(n),
+        CostAst::Linear { arg, coeff, constant } => CallCost::Linear { arg, coeff, constant },
+    }
+}
+
+struct Lowerer<'a> {
+    b: FunctionBuilder,
+    externs: &'a BTreeMap<&'a str, &'a ExternAst>,
+    functions: &'a BTreeMap<&'a str, &'a FunctionAst>,
+    scopes: Vec<BTreeMap<String, VarId>>,
+    /// Inline frames: result variable and continuation block of each
+    /// enclosing inlined call (innermost last). `return` inside an inlined
+    /// body targets the top frame instead of emitting a Return terminator.
+    inline_frames: Vec<InlineFrame>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct InlineFrame {
+    ret_var: Option<VarId>,
+    cont: BlockId,
+}
+
+impl<'a> Lowerer<'a> {
+    fn function(mut self, f: &FunctionAst) -> blazer_ir::Function {
+        if let Some(rt) = f.ret {
+            self.b.returns(rt);
+        }
+        self.scopes.push(BTreeMap::new());
+        for p in &f.params {
+            let v = self.b.param(&p.name, p.ty, p.label);
+            self.scopes[0].insert(p.name.clone(), v);
+        }
+        let terminated = self.stmts(&f.body);
+        if !terminated {
+            self.b.ret(None);
+        }
+        self.scopes.pop();
+        self.b.finish()
+    }
+
+    fn lookup(&self, name: &str) -> VarId {
+        self.scopes
+            .iter()
+            .rev()
+            .find_map(|s| s.get(name))
+            .copied()
+            .unwrap_or_else(|| panic!("unbound variable `{name}` (checker should reject)"))
+    }
+
+    /// Lowers a statement list; returns whether control definitely left the
+    /// current block (so no fall-through edge is needed).
+    fn stmts(&mut self, stmts: &[Stmt]) -> bool {
+        self.scopes.push(BTreeMap::new());
+        let mut terminated = false;
+        for s in stmts {
+            if terminated {
+                break; // unreachable code after return
+            }
+            terminated = self.stmt(s);
+        }
+        self.scopes.pop();
+        terminated
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> bool {
+        match s {
+            Stmt::Let { name, ty, init, .. } => {
+                let v = self.b.local(name, *ty);
+                self.expr_into(v, init);
+                self.scopes
+                    .last_mut()
+                    .expect("inside scope")
+                    .insert(name.clone(), v);
+                false
+            }
+            Stmt::Assign { name, value, .. } => {
+                let v = self.lookup(name);
+                self.expr_into(v, value);
+                false
+            }
+            Stmt::StoreIndex { array, index, value, .. } => {
+                let idx = self.expr(index);
+                let val = self.expr(value);
+                let arr = self.lookup(array);
+                self.b.array_set(arr, idx, val);
+                false
+            }
+            Stmt::If { cond, then_body, else_body, .. } => {
+                let then_bb = self.b.new_block();
+                let else_bb = self.b.new_block();
+                self.cond_branch(cond, then_bb, else_bb);
+
+                self.b.switch_to(then_bb);
+                let t_done = self.stmts(then_body);
+                let mut join: Option<BlockId> = None;
+                if !t_done {
+                    let j = self.b.new_block();
+                    join = Some(j);
+                    self.b.goto(j);
+                }
+                self.b.switch_to(else_bb);
+                let e_done = self.stmts(else_body);
+                if !e_done {
+                    let j = match join {
+                        Some(j) => j,
+                        None => {
+                            let j = self.b.new_block();
+                            join = Some(j);
+                            j
+                        }
+                    };
+                    self.b.goto(j);
+                }
+                match join {
+                    Some(j) => {
+                        self.b.switch_to(j);
+                        false
+                    }
+                    None => true, // both arms returned
+                }
+            }
+            Stmt::While { cond, body, .. } => {
+                let head = self.b.new_block();
+                let body_bb = self.b.new_block();
+                let after = self.b.new_block();
+                self.b.goto(head);
+                self.b.switch_to(head);
+                self.cond_branch(cond, body_bb, after);
+                self.b.switch_to(body_bb);
+                let done = self.stmts(body);
+                if !done {
+                    self.b.goto(head);
+                }
+                self.b.switch_to(after);
+                false
+            }
+            Stmt::Return { value, .. } => {
+                match self.inline_frames.last().copied() {
+                    // Inside an inlined call: store the result and jump to
+                    // the caller's continuation.
+                    Some(frame) => {
+                        if let (Some(rv), Some(e)) = (frame.ret_var, value.as_ref()) {
+                            self.expr_into(rv, e);
+                        }
+                        self.b.goto(frame.cont);
+                    }
+                    None => {
+                        let op = value.as_ref().map(|e| self.expr(e));
+                        self.b.ret(op);
+                    }
+                }
+                true
+            }
+            Stmt::Tick { amount, .. } => {
+                self.b.tick(*amount);
+                false
+            }
+            Stmt::Block { body, .. } => self.stmts(body),
+            Stmt::ExprStmt { expr, .. } => {
+                if let Expr::Call(name, args, _) = expr {
+                    self.lower_call(name, args, /* want_result = */ false);
+                } else {
+                    let _ = self.expr(expr);
+                }
+                false
+            }
+        }
+    }
+
+    /// Lowers an expression directly into destination `dst`, avoiding the
+    /// temp-plus-copy pair that `expr` would produce.
+    fn expr_into(&mut self, dst: VarId, e: &Expr) {
+        match e {
+            Expr::Int(n, _) => self.b.copy(dst, Operand::Const(*n)),
+            Expr::Bool(v, _) => self.b.copy(dst, Operand::Const(i64::from(*v))),
+            Expr::Var(name, _) => {
+                let src = self.lookup(name);
+                self.b.copy(dst, src);
+            }
+            Expr::Index(arr, idx, _) => {
+                let Expr::Var(aname, _) = &**arr else {
+                    unreachable!("checker enforces named arrays")
+                };
+                let idx_op = self.expr(idx);
+                let arr_v = self.lookup(aname);
+                self.b.array_get(dst, arr_v, idx_op);
+            }
+            Expr::Len(inner, _) => {
+                let Expr::Var(aname, _) = &**inner else {
+                    unreachable!("checker enforces named arrays")
+                };
+                let arr_v = self.lookup(aname);
+                self.b.array_len(dst, arr_v);
+            }
+            Expr::Havoc(_) => self.b.havoc(dst),
+            Expr::Call(name, args, _) => {
+                if let Some(decl) = self.externs.get(name.as_str()) {
+                    let arg_ops: Vec<Operand> = args.iter().map(|a| self.expr(a)).collect();
+                    self.b.call(Some(dst), name, arg_ops, lower_cost(decl.cost));
+                } else {
+                    let op = self
+                        .lower_call(name, args, true)
+                        .expect("inlined call in value position returns");
+                    self.b.copy(dst, op);
+                }
+            }
+            Expr::Unary(AstUnOp::Neg, inner, _) => {
+                let op = self.expr(inner);
+                self.b.assign(dst, IrExpr::Unary(UnOp::Neg, op));
+            }
+            Expr::Unary(AstUnOp::Not, inner, _) => {
+                let op = self.expr(inner);
+                self.b.assign(dst, IrExpr::Unary(UnOp::Not, op));
+            }
+            Expr::Binary(op, _, _, _) if op.is_comparison() || op.is_logical() => {
+                // Branch diamond writing straight into dst.
+                let true_bb = self.b.new_block();
+                let false_bb = self.b.new_block();
+                let join = self.b.new_block();
+                self.cond_branch(e, true_bb, false_bb);
+                self.b.switch_to(true_bb);
+                self.b.copy(dst, Operand::Const(1));
+                self.b.goto(join);
+                self.b.switch_to(false_bb);
+                self.b.copy(dst, Operand::Const(0));
+                self.b.goto(join);
+                self.b.switch_to(join);
+            }
+            Expr::Binary(op, lhs, rhs, _) => {
+                let a = self.expr(lhs);
+                let b_op = self.expr(rhs);
+                let ir_op = ast_arith_op(*op);
+                self.b.assign(dst, IrExpr::Binary(ir_op, a, b_op));
+            }
+            Expr::Null(_) => unreachable!("checker rejects bare null"),
+        }
+    }
+
+    /// Lowers an expression in value position; returns the operand holding
+    /// its value.
+    fn expr(&mut self, e: &Expr) -> Operand {
+        match e {
+            Expr::Int(n, _) => Operand::Const(*n),
+            Expr::Bool(b, _) => Operand::Const(i64::from(*b)),
+            Expr::Null(_) => unreachable!("checker rejects bare null"),
+            Expr::Var(name, _) => Operand::Var(self.lookup(name)),
+            Expr::Index(arr, idx, _) => {
+                let Expr::Var(aname, _) = &**arr else {
+                    unreachable!("checker enforces named arrays")
+                };
+                let idx_op = self.expr(idx);
+                let arr_v = self.lookup(aname);
+                let t = self.b.temp(Type::Int);
+                self.b.array_get(t, arr_v, idx_op);
+                Operand::Var(t)
+            }
+            Expr::Len(inner, _) => {
+                let Expr::Var(aname, _) = &**inner else {
+                    unreachable!("checker enforces named arrays")
+                };
+                let arr_v = self.lookup(aname);
+                let t = self.b.temp(Type::Int);
+                self.b.array_len(t, arr_v);
+                Operand::Var(t)
+            }
+            Expr::Havoc(_) => {
+                let t = self.b.temp(Type::Int);
+                self.b.havoc(t);
+                Operand::Var(t)
+            }
+            Expr::Call(name, args, _) => self
+                .lower_call(name, args, true)
+                .expect("call in value position returns"),
+            Expr::Unary(AstUnOp::Neg, inner, _) => {
+                let op = self.expr(inner);
+                let t = self.b.temp(Type::Int);
+                self.b.assign(t, IrExpr::Unary(UnOp::Neg, op));
+                Operand::Var(t)
+            }
+            Expr::Unary(AstUnOp::Not, inner, _) => {
+                let op = self.expr(inner);
+                let t = self.b.temp(Type::Bool);
+                self.b.assign(t, IrExpr::Unary(UnOp::Not, op));
+                Operand::Var(t)
+            }
+            Expr::Binary(op, lhs, rhs, _) if op.is_comparison() || op.is_logical() => {
+                // Comparison / logical value: materialize via a branch
+                // diamond, as bytecode does.
+                let t = self.b.temp(Type::Bool);
+                let true_bb = self.b.new_block();
+                let false_bb = self.b.new_block();
+                let join = self.b.new_block();
+                self.cond_branch(e, true_bb, false_bb);
+                self.b.switch_to(true_bb);
+                self.b.copy(t, Operand::Const(1));
+                self.b.goto(join);
+                self.b.switch_to(false_bb);
+                self.b.copy(t, Operand::Const(0));
+                self.b.goto(join);
+                self.b.switch_to(join);
+                Operand::Var(t)
+            }
+            Expr::Binary(op, lhs, rhs, _) => {
+                let a = self.expr(lhs);
+                let b_op = self.expr(rhs);
+                let ir_op = ast_arith_op(*op);
+                let t = self.b.temp(Type::Int);
+                self.b.assign(t, IrExpr::Binary(ir_op, a, b_op));
+                Operand::Var(t)
+            }
+        }
+    }
+
+    fn lower_call(&mut self, name: &str, args: &[Expr], want_result: bool) -> Option<Operand> {
+        if let Some(decl) = self.externs.get(name) {
+            let arg_ops: Vec<Operand> = args.iter().map(|a| self.expr(a)).collect();
+            let dst = if want_result {
+                let ty = decl.ret.unwrap_or(Type::Int);
+                Some(self.b.temp(ty))
+            } else {
+                None
+            };
+            self.b.call(dst, name, arg_ops, lower_cost(decl.cost));
+            return dst.map(Operand::Var);
+        }
+        // A program function: inline its body (the checker guarantees the
+        // call graph is acyclic).
+        let callee = self.functions[name];
+        let arg_ops: Vec<Operand> = args.iter().map(|a| self.expr(a)).collect();
+        let ret_var = if want_result {
+            Some(self.b.temp(callee.ret.unwrap_or(Type::Int)))
+        } else if callee.ret.is_some() {
+            // Result discarded but returns must still have a target slot.
+            Some(self.b.temp(callee.ret.unwrap()))
+        } else {
+            None
+        };
+        let cont = self.b.new_block();
+        // Fresh scope binding the callee's parameters to argument copies.
+        let mut frame_scope = BTreeMap::new();
+        for (p, op) in callee.params.iter().zip(&arg_ops) {
+            let v = self.b.local(format!("%{}.{}", name, p.name), p.ty);
+            self.b.copy(v, *op);
+            frame_scope.insert(p.name.clone(), v);
+        }
+        // Swap in an isolated scope stack: the callee must not see the
+        // caller's locals.
+        let saved_scopes = std::mem::replace(&mut self.scopes, vec![frame_scope]);
+        self.inline_frames.push(InlineFrame { ret_var, cont });
+        let terminated = self.stmts(&callee.body);
+        if !terminated {
+            self.b.goto(cont);
+        }
+        self.inline_frames.pop();
+        self.scopes = saved_scopes;
+        self.b.switch_to(cont);
+        if want_result {
+            ret_var.map(Operand::Var)
+        } else {
+            None
+        }
+    }
+
+    /// Lowers `cond` in branch position, jumping to `then_bb` when true and
+    /// `else_bb` when false. Handles short-circuiting and null tests.
+    fn cond_branch(&mut self, cond: &Expr, then_bb: BlockId, else_bb: BlockId) {
+        match cond {
+            Expr::Bool(true, _) => self.b.goto(then_bb),
+            Expr::Bool(false, _) => self.b.goto(else_bb),
+            Expr::Unary(AstUnOp::Not, inner, _) => self.cond_branch(inner, else_bb, then_bb),
+            Expr::Binary(AstBinOp::And, lhs, rhs, _) => {
+                let mid = self.b.new_block();
+                self.cond_branch(lhs, mid, else_bb);
+                self.b.switch_to(mid);
+                self.cond_branch(rhs, then_bb, else_bb);
+            }
+            Expr::Binary(AstBinOp::Or, lhs, rhs, _) => {
+                let mid = self.b.new_block();
+                self.cond_branch(lhs, then_bb, mid);
+                self.b.switch_to(mid);
+                self.cond_branch(rhs, then_bb, else_bb);
+            }
+            Expr::Binary(op, lhs, rhs, _) if op.is_comparison() => {
+                match (&**lhs, &**rhs) {
+                    (Expr::Null(_), other) | (other, Expr::Null(_)) => {
+                        let Expr::Var(aname, _) = other else {
+                            unreachable!("checker enforces named arrays for null tests")
+                        };
+                        let arr = self.lookup(aname);
+                        let is_null = match op {
+                            AstBinOp::Eq => true,
+                            AstBinOp::Ne => false,
+                            _ => unreachable!("checker restricts null to ==/!="),
+                        };
+                        self.b.branch(Cond::Null { arr, is_null }, then_bb, else_bb);
+                    }
+                    _ => {
+                        let a = self.expr(lhs);
+                        let b_op = self.expr(rhs);
+                        let cmp = match op {
+                            AstBinOp::Eq => CmpOp::Eq,
+                            AstBinOp::Ne => CmpOp::Ne,
+                            AstBinOp::Lt => CmpOp::Lt,
+                            AstBinOp::Le => CmpOp::Le,
+                            AstBinOp::Gt => CmpOp::Gt,
+                            AstBinOp::Ge => CmpOp::Ge,
+                            _ => unreachable!(),
+                        };
+                        self.b.branch(Cond::cmp(cmp, a, b_op), then_bb, else_bb);
+                    }
+                }
+            }
+            // A boolean-typed value: compare against 0.
+            other => {
+                let op = self.expr(other);
+                self.b
+                    .branch(Cond::cmp(CmpOp::Ne, op, Operand::Const(0)), then_bb, else_bb);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+    use blazer_ir::{Cfg, Inst, Terminator};
+
+    #[test]
+    fn lowers_straightline() {
+        let p = compile("fn f(x: int) -> int { let y: int = x * 2 + 1; return y; }").unwrap();
+        let f = p.function("f").unwrap();
+        assert_eq!(f.blocks().len(), 1);
+        assert!(matches!(
+            f.block(f.entry()).term,
+            Terminator::Return(Some(_))
+        ));
+    }
+
+    #[test]
+    fn lowers_if_else_diamond() {
+        let p = compile("fn f(x: int) { if (x > 0) { tick(1); } else { tick(2); } }").unwrap();
+        let f = p.function("f").unwrap();
+        // entry + then + else + join.
+        assert_eq!(f.blocks().len(), 4);
+        assert!(f.block(f.entry()).term.is_branch());
+    }
+
+    #[test]
+    fn lowers_while_loop() {
+        let p =
+            compile("fn f(n: int) { let i: int = 0; while (i < n) { i = i + 1; } }").unwrap();
+        let f = p.function("f").unwrap();
+        let cfg = Cfg::new(f);
+        // A back edge exists: some successor pair forms a cycle.
+        let loops = blazer_ir::dominators::natural_loops(&cfg);
+        assert_eq!(loops.len(), 1);
+    }
+
+    #[test]
+    fn implicit_return_added() {
+        let p = compile("fn f() { tick(1); }").unwrap();
+        let f = p.function("f").unwrap();
+        assert!(matches!(f.block(f.entry()).term, Terminator::Return(None)));
+    }
+
+    #[test]
+    fn both_arms_return_means_no_join() {
+        let p = compile("fn f(x: int) -> int { if (x > 0) { return 1; } else { return 2; } }")
+            .unwrap();
+        let f = p.function("f").unwrap();
+        assert_eq!(f.blocks().len(), 3); // entry + two returning arms
+    }
+
+    #[test]
+    fn null_test_lowered_to_null_condition() {
+        let p = compile(
+            "extern fn get() -> array cost 1 len -1..8;\n\
+             fn f() -> bool { let a: array = get(); if (a == null) { return true; } return false; }",
+        )
+        .unwrap();
+        let f = p.function("f").unwrap();
+        let has_null_test = f.blocks().iter().any(|b| {
+            matches!(
+                &b.term,
+                Terminator::Branch { cond: Cond::Null { is_null: true, .. }, .. }
+            )
+        });
+        assert!(has_null_test, "{f}");
+    }
+
+    #[test]
+    fn short_circuit_and_creates_two_branches() {
+        let p = compile("fn f(a: int, b: int) { if (a > 0 && b > 0) { tick(1); } }").unwrap();
+        let f = p.function("f").unwrap();
+        let n_branches = f
+            .blocks()
+            .iter()
+            .filter(|b| b.term.is_branch())
+            .count();
+        assert_eq!(n_branches, 2);
+    }
+
+    #[test]
+    fn comparison_as_value_makes_diamond() {
+        let p = compile("fn f(a: int) -> bool { let b: bool = a > 3; return b; }").unwrap();
+        let f = p.function("f").unwrap();
+        assert!(f.blocks().len() >= 4, "{f}");
+    }
+
+    #[test]
+    fn call_costs_are_attached() {
+        let p = compile(
+            "extern fn mul(a: int) -> int cost 4096;\n\
+             fn f(x: int) -> int { return mul(x); }",
+        )
+        .unwrap();
+        let f = p.function("f").unwrap();
+        let found = f.blocks().iter().flat_map(|b| &b.insts).any(|i| {
+            matches!(i, Inst::Call { cost: CallCost::Const(4096), .. })
+        });
+        assert!(found);
+    }
+
+    #[test]
+    fn scoped_redeclaration_gets_fresh_slots() {
+        let p = compile(
+            "fn f(c: bool) { if (c) { let t: int = 1; t = t; } else { let t: int = 2; t = t; } }",
+        )
+        .unwrap();
+        let f = p.function("f").unwrap();
+        let t_vars = f.vars().iter().filter(|v| v.name == "t").count();
+        assert_eq!(t_vars, 2);
+    }
+
+    #[test]
+    fn validates_against_ir_invariants() {
+        // compile() runs Program::validate via debug_assert; also run the
+        // public one.
+        let p = compile(
+            "extern fn g(a: int) cost 2;\n fn f(n: int #high) { g(n); while (n > 0) { n = n - 1; } }",
+        )
+        .unwrap();
+        assert_eq!(p.validate(), Ok(()));
+        assert!(p.function("f").unwrap().has_high_input());
+    }
+}

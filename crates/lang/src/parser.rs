@@ -1,0 +1,677 @@
+//! The recursive-descent parser.
+
+use crate::ast::*;
+use crate::lexer::lex;
+use crate::token::{Span, Token, TokenKind};
+use crate::LangError;
+use blazer_ir::{SecurityLabel, Type};
+
+/// Parses a whole source file into an AST.
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic error.
+pub fn parse_program(source: &str) -> Result<ProgramAst, LangError> {
+    let tokens = lex(source)?;
+    Parser { tokens, pos: 0 }.program()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek2(&self) -> &TokenKind {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].kind
+    }
+
+    fn span(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let t = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<Span, LangError> {
+        let span = self.span();
+        if *self.peek() == kind {
+            self.bump();
+            Ok(span)
+        } else {
+            Err(LangError::new(
+                format!("expected `{kind}`, found `{}`", self.peek()),
+                span,
+            ))
+        }
+    }
+
+    fn eat(&mut self, kind: TokenKind) -> bool {
+        if *self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<(String, Span), LangError> {
+        let span = self.span();
+        match self.bump() {
+            TokenKind::Ident(s) => Ok((s, span)),
+            other => Err(LangError::new(
+                format!("expected identifier, found `{other}`"),
+                span,
+            )),
+        }
+    }
+
+    fn int(&mut self) -> Result<(i64, Span), LangError> {
+        let span = self.span();
+        let neg = self.eat(TokenKind::Minus);
+        match self.bump() {
+            TokenKind::Int(n) => Ok((if neg { -n } else { n }, span)),
+            other => Err(LangError::new(
+                format!("expected integer, found `{other}`"),
+                span,
+            )),
+        }
+    }
+
+    fn ty(&mut self) -> Result<Type, LangError> {
+        let span = self.span();
+        match self.bump() {
+            TokenKind::TyInt => Ok(Type::Int),
+            TokenKind::TyBool => Ok(Type::Bool),
+            TokenKind::TyArray => Ok(Type::Array),
+            other => Err(LangError::new(format!("expected type, found `{other}`"), span)),
+        }
+    }
+
+    fn label(&mut self) -> SecurityLabel {
+        if self.eat(TokenKind::LabelHigh) {
+            SecurityLabel::High
+        } else {
+            self.eat(TokenKind::LabelLow);
+            SecurityLabel::Low
+        }
+    }
+
+    // ---- top level -------------------------------------------------------
+
+    fn program(&mut self) -> Result<ProgramAst, LangError> {
+        let mut externs = Vec::new();
+        let mut functions = Vec::new();
+        loop {
+            match self.peek() {
+                TokenKind::Eof => break,
+                TokenKind::Extern => externs.push(self.extern_decl()?),
+                TokenKind::Fn => functions.push(self.function()?),
+                other => {
+                    return Err(LangError::new(
+                        format!("expected `fn` or `extern`, found `{other}`"),
+                        self.span(),
+                    ))
+                }
+            }
+        }
+        Ok(ProgramAst { externs, functions })
+    }
+
+    fn extern_decl(&mut self) -> Result<ExternAst, LangError> {
+        let span = self.expect(TokenKind::Extern)?;
+        self.expect(TokenKind::Fn)?;
+        let (name, _) = self.ident()?;
+        self.expect(TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if *self.peek() != TokenKind::RParen {
+            loop {
+                let _ = self.ident()?; // parameter name (documentation only)
+                self.expect(TokenKind::Colon)?;
+                params.push(self.ty()?);
+                if !self.eat(TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(TokenKind::RParen)?;
+        let (ret, ret_label) = if self.eat(TokenKind::Arrow) {
+            let t = self.ty()?;
+            (Some(t), self.label())
+        } else {
+            (None, SecurityLabel::Low)
+        };
+        self.expect(TokenKind::Cost)?;
+        let cost = self.cost_annotation(params.len())?;
+        let ret_len = if matches!(self.peek(), TokenKind::Ident(s) if s == "len") || *self.peek() == TokenKind::Len {
+            self.bump();
+            let (lo, _) = self.int()?;
+            self.expect(TokenKind::DotDot)?;
+            let (hi, hspan) = self.int()?;
+            if hi < lo {
+                return Err(LangError::new("empty length range", hspan));
+            }
+            Some((lo, hi))
+        } else {
+            None
+        };
+        self.expect(TokenKind::Semi)?;
+        Ok(ExternAst { name, params, ret, ret_label, cost, ret_len, span })
+    }
+
+    /// `cost INT` or `cost INT * argN + INT`.
+    fn cost_annotation(&mut self, n_params: usize) -> Result<CostAst, LangError> {
+        let (first, span) = self.int()?;
+        if first < 0 {
+            return Err(LangError::new("cost must be non-negative", span));
+        }
+        if self.eat(TokenKind::Star) {
+            let (arg_name, aspan) = self.ident()?;
+            let arg: usize = arg_name
+                .strip_prefix("arg")
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| LangError::new("expected `argN` after `*` in cost", aspan))?;
+            if arg >= n_params {
+                return Err(LangError::new(
+                    format!("cost references arg{arg} but only {n_params} params"),
+                    aspan,
+                ));
+            }
+            self.expect(TokenKind::Plus)?;
+            let (constant, cspan) = self.int()?;
+            if constant < 0 {
+                return Err(LangError::new("cost must be non-negative", cspan));
+            }
+            Ok(CostAst::Linear { arg, coeff: first as u64, constant: constant as u64 })
+        } else {
+            Ok(CostAst::Const(first as u64))
+        }
+    }
+
+    fn function(&mut self) -> Result<FunctionAst, LangError> {
+        let span = self.expect(TokenKind::Fn)?;
+        let (name, _) = self.ident()?;
+        self.expect(TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if *self.peek() != TokenKind::RParen {
+            loop {
+                let (pname, pspan) = self.ident()?;
+                self.expect(TokenKind::Colon)?;
+                let ty = self.ty()?;
+                let label = self.label();
+                params.push(ParamAst { name: pname, ty, label, span: pspan });
+                if !self.eat(TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(TokenKind::RParen)?;
+        let ret = if self.eat(TokenKind::Arrow) {
+            Some(self.ty()?)
+        } else {
+            None
+        };
+        let body = self.block()?;
+        Ok(FunctionAst { name, params, ret, body, span })
+    }
+
+    // ---- statements ------------------------------------------------------
+
+    fn block(&mut self) -> Result<Vec<Stmt>, LangError> {
+        self.expect(TokenKind::LBrace)?;
+        let mut stmts = Vec::new();
+        while *self.peek() != TokenKind::RBrace {
+            stmts.push(self.stmt()?);
+        }
+        self.expect(TokenKind::RBrace)?;
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, LangError> {
+        let span = self.span();
+        match self.peek() {
+            TokenKind::Let => {
+                self.bump();
+                let (name, _) = self.ident()?;
+                self.expect(TokenKind::Colon)?;
+                let ty = self.ty()?;
+                self.expect(TokenKind::Assign)?;
+                let init = self.expr()?;
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt::Let { name, ty, init, span })
+            }
+            TokenKind::If => self.if_stmt(),
+            TokenKind::While => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let cond = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                let body = self.block()?;
+                Ok(Stmt::While { cond, body, span })
+            }
+            TokenKind::For => {
+                // `for (init; cond; step) { body }` desugars to
+                // `{ init; while (cond) { body; step; } }`.
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let init = self.simple_stmt()?;
+                let cond = self.expr()?;
+                self.expect(TokenKind::Semi)?;
+                let step = self.assignment_no_semi()?;
+                self.expect(TokenKind::RParen)?;
+                let mut body = self.block()?;
+                body.push(step);
+                Ok(Stmt::Block {
+                    body: vec![init, Stmt::While { cond, body, span }],
+                    span,
+                })
+            }
+            TokenKind::Return => {
+                self.bump();
+                let value = if *self.peek() == TokenKind::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt::Return { value, span })
+            }
+            TokenKind::Tick => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let (n, nspan) = self.int()?;
+                if n < 0 {
+                    return Err(LangError::new("tick amount must be non-negative", nspan));
+                }
+                self.expect(TokenKind::RParen)?;
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt::Tick { amount: n as u64, span })
+            }
+            TokenKind::Ident(_) => {
+                // assignment, indexed store, or a call statement.
+                if *self.peek2() == TokenKind::Assign {
+                    let (name, _) = self.ident()?;
+                    self.bump(); // `=`
+                    let value = self.expr()?;
+                    self.expect(TokenKind::Semi)?;
+                    Ok(Stmt::Assign { name, value, span })
+                } else if *self.peek2() == TokenKind::LBracket {
+                    // Could be `a[i] = e;` — parse the index then decide.
+                    let (name, _) = self.ident()?;
+                    self.bump(); // `[`
+                    let index = self.expr()?;
+                    self.expect(TokenKind::RBracket)?;
+                    self.expect(TokenKind::Assign)?;
+                    let value = self.expr()?;
+                    self.expect(TokenKind::Semi)?;
+                    Ok(Stmt::StoreIndex { array: name, index, value, span })
+                } else {
+                    let expr = self.expr()?;
+                    self.expect(TokenKind::Semi)?;
+                    Ok(Stmt::ExprStmt { expr, span })
+                }
+            }
+            other => Err(LangError::new(
+                format!("expected statement, found `{other}`"),
+                span,
+            )),
+        }
+    }
+
+    /// A `let` or assignment statement (the init slot of a `for`).
+    fn simple_stmt(&mut self) -> Result<Stmt, LangError> {
+        let span = self.span();
+        match self.peek() {
+            TokenKind::Let => {
+                self.bump();
+                let (name, _) = self.ident()?;
+                self.expect(TokenKind::Colon)?;
+                let ty = self.ty()?;
+                self.expect(TokenKind::Assign)?;
+                let init = self.expr()?;
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt::Let { name, ty, init, span })
+            }
+            _ => {
+                let s = self.assignment_no_semi()?;
+                self.expect(TokenKind::Semi)?;
+                Ok(s)
+            }
+        }
+    }
+
+    /// An assignment without its trailing semicolon (a `for` step).
+    fn assignment_no_semi(&mut self) -> Result<Stmt, LangError> {
+        let span = self.span();
+        let (name, _) = self.ident()?;
+        self.expect(TokenKind::Assign)?;
+        let value = self.expr()?;
+        Ok(Stmt::Assign { name, value, span })
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt, LangError> {
+        let span = self.expect(TokenKind::If)?;
+        self.expect(TokenKind::LParen)?;
+        let cond = self.expr()?;
+        self.expect(TokenKind::RParen)?;
+        let then_body = self.block()?;
+        let else_body = if self.eat(TokenKind::Else) {
+            if *self.peek() == TokenKind::If {
+                vec![self.if_stmt()?]
+            } else {
+                self.block()?
+            }
+        } else {
+            Vec::new()
+        };
+        Ok(Stmt::If { cond, then_body, else_body, span })
+    }
+
+    // ---- expressions (precedence climbing) -------------------------------
+
+    fn expr(&mut self) -> Result<Expr, LangError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.and_expr()?;
+        while *self.peek() == TokenKind::OrOr {
+            let span = self.span();
+            self.bump();
+            let rhs = self.and_expr()?;
+            lhs = Expr::Binary(AstBinOp::Or, Box::new(lhs), Box::new(rhs), span);
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.cmp_expr()?;
+        while *self.peek() == TokenKind::AndAnd {
+            let span = self.span();
+            self.bump();
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::Binary(AstBinOp::And, Box::new(lhs), Box::new(rhs), span);
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, LangError> {
+        let lhs = self.shift_expr()?;
+        let op = match self.peek() {
+            TokenKind::EqEq => Some(AstBinOp::Eq),
+            TokenKind::NotEq => Some(AstBinOp::Ne),
+            TokenKind::Lt => Some(AstBinOp::Lt),
+            TokenKind::Le => Some(AstBinOp::Le),
+            TokenKind::Gt => Some(AstBinOp::Gt),
+            TokenKind::Ge => Some(AstBinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            let span = self.span();
+            self.bump();
+            let rhs = self.shift_expr()?;
+            Ok(Expr::Binary(op, Box::new(lhs), Box::new(rhs), span))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn shift_expr(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.add_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Shl => AstBinOp::Shl,
+                TokenKind::Shr => AstBinOp::Shr,
+                _ => break,
+            };
+            let span = self.span();
+            self.bump();
+            let rhs = self.add_expr()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs), span);
+        }
+        Ok(lhs)
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => AstBinOp::Add,
+                TokenKind::Minus => AstBinOp::Sub,
+                _ => break,
+            };
+            let span = self.span();
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs), span);
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => AstBinOp::Mul,
+                TokenKind::Slash => AstBinOp::Div,
+                TokenKind::Percent => AstBinOp::Rem,
+                _ => break,
+            };
+            let span = self.span();
+            self.bump();
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs), span);
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, LangError> {
+        let span = self.span();
+        match self.peek() {
+            TokenKind::Minus => {
+                self.bump();
+                let e = self.unary_expr()?;
+                Ok(Expr::Unary(AstUnOp::Neg, Box::new(e), span))
+            }
+            TokenKind::Not => {
+                self.bump();
+                let e = self.unary_expr()?;
+                Ok(Expr::Unary(AstUnOp::Not, Box::new(e), span))
+            }
+            _ => self.postfix_expr(),
+        }
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr, LangError> {
+        let mut e = self.primary_expr()?;
+        while *self.peek() == TokenKind::LBracket {
+            let span = self.span();
+            self.bump();
+            let idx = self.expr()?;
+            self.expect(TokenKind::RBracket)?;
+            e = Expr::Index(Box::new(e), Box::new(idx), span);
+        }
+        Ok(e)
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, LangError> {
+        let span = self.span();
+        match self.bump() {
+            TokenKind::Int(n) => Ok(Expr::Int(n, span)),
+            TokenKind::True => Ok(Expr::Bool(true, span)),
+            TokenKind::False => Ok(Expr::Bool(false, span)),
+            TokenKind::Null => Ok(Expr::Null(span)),
+            TokenKind::Len => {
+                self.expect(TokenKind::LParen)?;
+                let e = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(Expr::Len(Box::new(e), span))
+            }
+            TokenKind::Havoc => {
+                self.expect(TokenKind::LParen)?;
+                self.expect(TokenKind::RParen)?;
+                Ok(Expr::Havoc(span))
+            }
+            TokenKind::LParen => {
+                let e = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                if *self.peek() == TokenKind::LParen {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if *self.peek() != TokenKind::RParen {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat(TokenKind::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(TokenKind::RParen)?;
+                    Ok(Expr::Call(name, args, span))
+                } else {
+                    Ok(Expr::Var(name, span))
+                }
+            }
+            other => Err(LangError::new(
+                format!("expected expression, found `{other}`"),
+                span,
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_function() {
+        let p = parse_program("fn f() { }").unwrap();
+        assert_eq!(p.functions.len(), 1);
+        assert_eq!(p.functions[0].name, "f");
+        assert!(p.functions[0].body.is_empty());
+    }
+
+    #[test]
+    fn parses_params_with_labels() {
+        let p = parse_program("fn f(h: int #high, l: int, a: array #low) { }").unwrap();
+        let params = &p.functions[0].params;
+        assert_eq!(params[0].label, SecurityLabel::High);
+        assert_eq!(params[1].label, SecurityLabel::Low);
+        assert_eq!(params[2].ty, Type::Array);
+    }
+
+    #[test]
+    fn parses_extern_with_costs() {
+        let p = parse_program(
+            "extern fn md5(p: array) -> array cost 500 len 16..16;\n\
+             extern fn hashN(p: array) -> int cost 3 * arg0 + 7;",
+        )
+        .unwrap();
+        assert_eq!(p.externs.len(), 2);
+        assert_eq!(p.externs[0].cost, CostAst::Const(500));
+        assert_eq!(p.externs[0].ret_len, Some((16, 16)));
+        assert_eq!(
+            p.externs[1].cost,
+            CostAst::Linear { arg: 0, coeff: 3, constant: 7 }
+        );
+    }
+
+    #[test]
+    fn parses_extern_with_high_nullable_result() {
+        let p = parse_program(
+            "extern fn retrievePassword(u: array) -> array #high cost 30 len -1..64;",
+        )
+        .unwrap();
+        let e = &p.externs[0];
+        assert_eq!(e.ret_label, SecurityLabel::High);
+        assert_eq!(e.ret_len, Some((-1, 64)));
+    }
+
+    #[test]
+    fn parses_control_flow() {
+        let src = "fn f(n: int) { \
+            let i: int = 0; \
+            while (i < n) { \
+                if (i % 2 == 0) { i = i + 1; } else if (i > 10) { return; } else { i = i + 2; } \
+            } \
+        }";
+        let p = parse_program(src).unwrap();
+        let body = &p.functions[0].body;
+        assert!(matches!(body[1], Stmt::While { .. }));
+    }
+
+    #[test]
+    fn parses_array_ops() {
+        let src = "fn f(a: array) -> int { a[0] = 1; let x: int = a[len(a) - 1]; return x; }";
+        let p = parse_program(src).unwrap();
+        assert!(matches!(p.functions[0].body[0], Stmt::StoreIndex { .. }));
+    }
+
+    #[test]
+    fn precedence() {
+        let p = parse_program("fn f() { let x: int = 1 + 2 * 3; }").unwrap();
+        // 1 + (2 * 3)
+        if let Stmt::Let { init: Expr::Binary(AstBinOp::Add, _, rhs, _), .. } =
+            &p.functions[0].body[0]
+        {
+            assert!(matches!(**rhs, Expr::Binary(AstBinOp::Mul, _, _, _)));
+        } else {
+            panic!("wrong shape");
+        }
+    }
+
+    #[test]
+    fn logical_operators_and_null() {
+        let src = "fn f(a: array, i: int) -> bool { return a != null && i < len(a) || false; }";
+        let p = parse_program(src).unwrap();
+        if let Stmt::Return { value: Some(Expr::Binary(AstBinOp::Or, _, _, _)), .. } =
+            &p.functions[0].body[0]
+        {
+        } else {
+            panic!("|| should bind loosest");
+        }
+    }
+
+    #[test]
+    fn call_statement_and_tick() {
+        let src = "extern fn log(x: int) cost 1;\n fn f() { log(3); tick(9); }";
+        let p = parse_program(src).unwrap();
+        assert!(matches!(p.functions[0].body[0], Stmt::ExprStmt { .. }));
+        assert!(matches!(p.functions[0].body[1], Stmt::Tick { amount: 9, .. }));
+    }
+
+    #[test]
+    fn error_messages_have_positions() {
+        let err = parse_program("fn f( { }").unwrap_err();
+        assert_eq!(err.span.line, 1);
+        assert!(err.message.contains("expected identifier"), "{err}");
+    }
+
+    #[test]
+    fn rejects_garbage_between_items() {
+        assert!(parse_program("fn f() { } 42").is_err());
+        assert!(parse_program("let x: int = 1;").is_err());
+    }
+
+    #[test]
+    fn havoc_expression() {
+        let p = parse_program("fn f() { let x: int = havoc(); }").unwrap();
+        assert!(matches!(
+            p.functions[0].body[0],
+            Stmt::Let { init: Expr::Havoc(_), .. }
+        ));
+    }
+}

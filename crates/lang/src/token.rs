@@ -1,0 +1,198 @@
+//! Tokens and source spans.
+
+use std::fmt;
+
+/// A position range in the source text (1-based line/column of the start).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// 1-based line of the token start.
+    pub line: u32,
+    /// 1-based column of the token start.
+    pub col: u32,
+}
+
+impl Span {
+    /// A span at the given position.
+    pub fn at(line: u32, col: u32) -> Self {
+        Span { line, col }
+    }
+}
+
+/// The kind of a [`Token`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    // Literals and identifiers.
+    /// An integer literal.
+    Int(i64),
+    /// An identifier.
+    Ident(String),
+
+    // Keywords.
+    /// `fn`
+    Fn,
+    /// `extern`
+    Extern,
+    /// `let`
+    Let,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `while`
+    While,
+    /// `for`
+    For,
+    /// `return`
+    Return,
+    /// `true`
+    True,
+    /// `false`
+    False,
+    /// `null`
+    Null,
+    /// `int`
+    TyInt,
+    /// `bool`
+    TyBool,
+    /// `array`
+    TyArray,
+    /// `len`
+    Len,
+    /// `tick`
+    Tick,
+    /// `havoc`
+    Havoc,
+    /// `cost`
+    Cost,
+    /// `#high`
+    LabelHigh,
+    /// `#low`
+    LabelLow,
+
+    // Punctuation and operators.
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `->`
+    Arrow,
+    /// `..`
+    DotDot,
+    /// `=`
+    Assign,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Not,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Int(n) => write!(f, "{n}"),
+            TokenKind::Ident(s) => write!(f, "{s}"),
+            TokenKind::Fn => f.write_str("fn"),
+            TokenKind::Extern => f.write_str("extern"),
+            TokenKind::Let => f.write_str("let"),
+            TokenKind::If => f.write_str("if"),
+            TokenKind::Else => f.write_str("else"),
+            TokenKind::While => f.write_str("while"),
+            TokenKind::For => f.write_str("for"),
+            TokenKind::Return => f.write_str("return"),
+            TokenKind::True => f.write_str("true"),
+            TokenKind::False => f.write_str("false"),
+            TokenKind::Null => f.write_str("null"),
+            TokenKind::TyInt => f.write_str("int"),
+            TokenKind::TyBool => f.write_str("bool"),
+            TokenKind::TyArray => f.write_str("array"),
+            TokenKind::Len => f.write_str("len"),
+            TokenKind::Tick => f.write_str("tick"),
+            TokenKind::Havoc => f.write_str("havoc"),
+            TokenKind::Cost => f.write_str("cost"),
+            TokenKind::LabelHigh => f.write_str("#high"),
+            TokenKind::LabelLow => f.write_str("#low"),
+            TokenKind::LParen => f.write_str("("),
+            TokenKind::RParen => f.write_str(")"),
+            TokenKind::LBrace => f.write_str("{"),
+            TokenKind::RBrace => f.write_str("}"),
+            TokenKind::LBracket => f.write_str("["),
+            TokenKind::RBracket => f.write_str("]"),
+            TokenKind::Comma => f.write_str(","),
+            TokenKind::Semi => f.write_str(";"),
+            TokenKind::Colon => f.write_str(":"),
+            TokenKind::Arrow => f.write_str("->"),
+            TokenKind::DotDot => f.write_str(".."),
+            TokenKind::Assign => f.write_str("="),
+            TokenKind::EqEq => f.write_str("=="),
+            TokenKind::NotEq => f.write_str("!="),
+            TokenKind::Lt => f.write_str("<"),
+            TokenKind::Le => f.write_str("<="),
+            TokenKind::Gt => f.write_str(">"),
+            TokenKind::Ge => f.write_str(">="),
+            TokenKind::Plus => f.write_str("+"),
+            TokenKind::Minus => f.write_str("-"),
+            TokenKind::Star => f.write_str("*"),
+            TokenKind::Slash => f.write_str("/"),
+            TokenKind::Percent => f.write_str("%"),
+            TokenKind::Shl => f.write_str("<<"),
+            TokenKind::Shr => f.write_str(">>"),
+            TokenKind::AndAnd => f.write_str("&&"),
+            TokenKind::OrOr => f.write_str("||"),
+            TokenKind::Not => f.write_str("!"),
+            TokenKind::Eof => f.write_str("<eof>"),
+        }
+    }
+}
+
+/// A lexed token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Where it starts.
+    pub span: Span,
+}

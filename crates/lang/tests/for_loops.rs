@@ -1,0 +1,101 @@
+//! Tests for the `for`-loop sugar: parsing, scoping, and semantics
+//! (desugaring to `while` must preserve both behaviour and cost).
+
+use blazer_interp::{Interp, SeededOracle, Value};
+use blazer_lang::compile;
+
+fn run(src: &str, func: &str, inputs: &[Value]) -> (u64, Option<i64>) {
+    let p = compile(src).unwrap();
+    let t = Interp::new(&p)
+        .run(func, inputs, &mut SeededOracle::new(0))
+        .unwrap();
+    (t.cost, t.ret.and_then(|v| v.as_int()))
+}
+
+#[test]
+fn for_loop_equals_while_loop() {
+    let with_for = "fn f(n: int) -> int { \
+        let acc: int = 0; \
+        for (let i: int = 0; i < n; i = i + 1) { acc = acc + i; } \
+        return acc; \
+    }";
+    let with_while = "fn f(n: int) -> int { \
+        let acc: int = 0; \
+        let i: int = 0; \
+        while (i < n) { acc = acc + i; i = i + 1; } \
+        return acc; \
+    }";
+    for n in [0i64, 1, 5, 12] {
+        let (cf, rf) = run(with_for, "f", &[Value::Int(n)]);
+        let (cw, rw) = run(with_while, "f", &[Value::Int(n)]);
+        assert_eq!(rf, rw, "n={n}");
+        assert_eq!(cf, cw, "desugaring must preserve cost (n={n})");
+    }
+}
+
+#[test]
+fn for_variable_is_scoped_to_the_loop() {
+    // `i` is not visible after the loop...
+    assert!(compile(
+        "fn f(n: int) -> int { \
+            for (let i: int = 0; i < n; i = i + 1) { tick(1); } \
+            return i; \
+        }"
+    )
+    .is_err());
+    // ...so two sequential for-loops can reuse the name.
+    compile(
+        "fn f(n: int) { \
+            for (let i: int = 0; i < n; i = i + 1) { tick(1); } \
+            for (let i: int = 0; i < n; i = i + 1) { tick(2); } \
+        }",
+    )
+    .unwrap();
+}
+
+#[test]
+fn for_with_assignment_init() {
+    let src = "fn f(n: int) -> int { \
+        let i: int = 100; \
+        for (i = 0; i < n; i = i + 1) { tick(1); } \
+        return i; \
+    }";
+    let (_, r) = run(src, "f", &[Value::Int(7)]);
+    assert_eq!(r, Some(7));
+}
+
+#[test]
+fn nested_for_loops() {
+    let src = "fn f(n: int) -> int { \
+        let acc: int = 0; \
+        for (let i: int = 0; i < n; i = i + 1) { \
+            for (let j: int = 0; j < i; j = j + 1) { acc = acc + 1; } \
+        } \
+        return acc; \
+    }";
+    let (_, r) = run(src, "f", &[Value::Int(5)]);
+    assert_eq!(r, Some(10)); // 0+1+2+3+4
+}
+
+#[test]
+fn for_loops_analyze_like_while_loops() {
+    use blazer_core::{Blazer, Config};
+    let src = "fn f(high: int #high, low: int) { \
+        if (high == 0) { \
+            for (let i: int = 0; i < low; i = i + 1) { tick(2); } \
+        } else { \
+            for (let j: int = 0; j < low; j = j + 1) { tick(2); } \
+        } \
+    }";
+    let p = compile(src).unwrap();
+    let outcome = Blazer::new(Config::microbench()).analyze(&p, "f").unwrap();
+    assert!(outcome.verdict.is_safe(), "balanced for-loops verify");
+}
+
+#[test]
+fn parse_errors_are_reported() {
+    // Missing step.
+    assert!(compile("fn f(n: int) { for (let i: int = 0; i < n;) { } }").is_err());
+    // Missing condition semicolon.
+    assert!(compile("fn f(n: int) { for (let i: int = 0 i < n; i = i + 1) { } }").is_err());
+}

@@ -1,0 +1,126 @@
+//! Intra-program function calls: checked against signatures, inlined at
+//! lowering (the paper's tool has no recursion support either — Sec. 1
+//! footnote 2 — so cyclic call graphs are rejected up front).
+
+use blazer_interp::{Interp, SeededOracle, Value};
+use blazer_lang::compile;
+
+fn run(src: &str, func: &str, inputs: &[Value]) -> (u64, Option<i64>) {
+    let p = compile(src).unwrap();
+    let t = Interp::new(&p)
+        .run(func, inputs, &mut SeededOracle::new(0))
+        .unwrap();
+    (t.cost, t.ret.and_then(|v| v.as_int()))
+}
+
+#[test]
+fn simple_call_returns_value() {
+    let src = "\
+fn double(x: int) -> int { return x * 2; }
+fn f(n: int) -> int { return double(n) + 1; }
+";
+    let (_, r) = run(src, "f", &[Value::Int(20)]);
+    assert_eq!(r, Some(41));
+}
+
+#[test]
+fn nested_calls_and_branching_callee() {
+    let src = "\
+fn abs(x: int) -> int { if (x < 0) { return 0 - x; } return x; }
+fn dist(a: int, b: int) -> int { return abs(a - b); }
+fn f(a: int, b: int) -> int { return dist(a, b) + dist(b, a); }
+";
+    let (_, r) = run(src, "f", &[Value::Int(3), Value::Int(10)]);
+    assert_eq!(r, Some(14));
+}
+
+#[test]
+fn callee_loops_are_inlined() {
+    let src = "\
+fn sum(n: int) -> int { \
+    let acc: int = 0; \
+    for (let i: int = 0; i < n; i = i + 1) { acc = acc + i; } \
+    return acc; \
+}
+fn f(n: int) -> int { return sum(n) + sum(n); }
+";
+    let (_, r) = run(src, "f", &[Value::Int(5)]);
+    assert_eq!(r, Some(20));
+    // Cost scales with two inlined copies.
+    let (c1, _) = run(src, "f", &[Value::Int(1)]);
+    let (c5, _) = run(src, "f", &[Value::Int(5)]);
+    assert!(c5 > c1);
+}
+
+#[test]
+fn void_call_as_statement() {
+    let src = "\
+fn spin(n: int) { for (let i: int = 0; i < n; i = i + 1) { tick(3); } }
+fn f(n: int) { spin(n); spin(2); }
+";
+    let (c0, _) = run(src, "f", &[Value::Int(0)]);
+    let (c4, _) = run(src, "f", &[Value::Int(4)]);
+    assert!(c4 > c0);
+}
+
+#[test]
+fn callee_scope_is_isolated() {
+    // The callee cannot see the caller's locals; same names are distinct.
+    let src = "\
+fn g(x: int) -> int { let t: int = x + 1; return t; }
+fn f() -> int { let t: int = 100; let r: int = g(5); return t + r; }
+";
+    let (_, r) = run(src, "f", &[]);
+    assert_eq!(r, Some(106));
+}
+
+#[test]
+fn direct_recursion_rejected() {
+    let e = compile("fn f(n: int) -> int { return f(n - 1); }").unwrap_err();
+    assert!(e.message.contains("recursive"), "{e}");
+}
+
+#[test]
+fn mutual_recursion_rejected() {
+    let src = "\
+fn even(n: int) -> int { if (n == 0) { return 1; } return odd(n - 1); }
+fn odd(n: int) -> int { if (n == 0) { return 0; } return even(n - 1); }
+";
+    let e = compile(src).unwrap_err();
+    assert!(e.message.contains("recursive"), "{e}");
+}
+
+#[test]
+fn call_arity_and_types_checked() {
+    assert!(compile("fn g(x: int) -> int { return x; } fn f() -> int { return g(); }").is_err());
+    assert!(compile(
+        "fn g(x: array) -> int { return len(x); } fn f() -> int { return g(3); }"
+    )
+    .is_err());
+}
+
+#[test]
+fn inlined_calls_analyze_end_to_end() {
+    use blazer_core::{Blazer, Config};
+    // Balanced helper called from both secret arms: safe.
+    let src = "\
+fn work(n: int) { for (let i: int = 0; i < n; i = i + 1) { tick(2); } }
+fn f(high: int #high, low: int) { \
+    if (high == 0) { work(low); } else { work(low); } \
+}
+";
+    let p = compile(src).unwrap();
+    let outcome = Blazer::new(Config::microbench()).analyze(&p, "f").unwrap();
+    assert!(outcome.verdict.is_safe());
+
+    // Helper called only on one secret arm: attack.
+    let src = "\
+fn work(n: int) { for (let i: int = 0; i < n; i = i + 1) { tick(2); } }
+fn f(high: int #high, low: int) { \
+    if (high == 0) { work(low); } else { tick(1); } \
+}
+";
+    let p = compile(src).unwrap();
+    let outcome = Blazer::new(Config::microbench()).analyze(&p, "f").unwrap();
+    assert!(outcome.verdict.is_attack());
+}

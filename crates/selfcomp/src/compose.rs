@@ -1,0 +1,286 @@
+//! Building the sequential self-composition `C;C`.
+
+use blazer_ir::builder::FunctionBuilder;
+use blazer_ir::cost::CostModel;
+use blazer_ir::{
+    BinOp, BlockId, CallCost, Cond, Expr, Function, Inst, Operand, SecurityLabel, Terminator,
+    Type, VarId,
+};
+
+/// The result of composing a function with itself.
+#[derive(Debug)]
+pub struct Composed {
+    /// The composed function `<name>__selfcomp`.
+    pub function: Function,
+    /// The cost counter of the first copy.
+    pub k1: VarId,
+    /// The cost counter of the second copy.
+    pub k2: VarId,
+}
+
+/// Builds the sequential self-composition of `f`:
+///
+/// * low parameters are shared between the copies;
+/// * high parameters are duplicated (`x__1`, `x__2`);
+/// * each copy increments its own cost counter per executed block,
+///   following `cost_model` (value-dependent call summaries contribute
+///   `coeff·magnitude + constant` computed inline);
+/// * copy 1's returns jump to copy 2; copy 2's returns jump to a common
+///   exit block.
+pub fn compose(f: &Function, cost_model: &CostModel) -> Composed {
+    let mut b = FunctionBuilder::new(format!("{}__selfcomp", f.name()));
+
+    // Parameter layout: shared lows once, highs twice.
+    let mut map1: Vec<Option<VarId>> = vec![None; f.vars().len()];
+    let mut map2: Vec<Option<VarId>> = vec![None; f.vars().len()];
+    for p in f.params() {
+        let info = f.var(p.var);
+        match p.label {
+            SecurityLabel::Low => {
+                let v = b.param(&info.name, info.ty, SecurityLabel::Low);
+                map1[p.var.index()] = Some(v);
+                map2[p.var.index()] = Some(v);
+            }
+            SecurityLabel::High => {
+                let v1 = b.param(format!("{}__1", info.name), info.ty, SecurityLabel::High);
+                map1[p.var.index()] = Some(v1);
+            }
+        }
+    }
+    // Second-copy high params must also be params (declared after the
+    // firsts to keep a stable layout).
+    for p in f.params() {
+        if p.label == SecurityLabel::High {
+            let info = f.var(p.var);
+            let v2 = b.param(format!("{}__2", info.name), info.ty, SecurityLabel::High);
+            map2[p.var.index()] = Some(v2);
+        }
+    }
+    // Locals per copy.
+    for (i, info) in f.vars().iter().enumerate() {
+        if map1[i].is_none() {
+            map1[i] = Some(b.local(format!("{}__1", info.name), info.ty));
+        }
+        if map2[i].is_none() {
+            map2[i] = Some(b.local(format!("{}__2", info.name), info.ty));
+        }
+    }
+    let k1 = b.local("k1", Type::Int);
+    let k2 = b.local("k2", Type::Int);
+
+    // Block layout: entry (init) → copy1 blocks → copy2 blocks → exit.
+    let n = f.blocks().len();
+    let copy1: Vec<BlockId> = (0..n).map(|_| b.new_block()).collect();
+    let copy2: Vec<BlockId> = (0..n).map(|_| b.new_block()).collect();
+    let exit = b.new_block();
+    b.copy(k1, Operand::konst(0));
+    b.copy(k2, Operand::konst(0));
+    b.goto(copy1[f.entry().index()]);
+
+    let maps = [&map1, &map2];
+    let counters = [k1, k2];
+    let copies = [&copy1, &copy2];
+    let nexts = [copy2[f.entry().index()], exit];
+    for copy in 0..2 {
+        let map = maps[copy];
+        let k = counters[copy];
+        let remap = |v: VarId| map[v.index()].expect("mapped");
+        let remap_op = |op: Operand| match op {
+            Operand::Const(c) => Operand::Const(c),
+            Operand::Var(v) => Operand::Var(remap(v)),
+        };
+        for (bid, block) in f.iter_blocks() {
+            b.switch_to(copies[copy][bid.index()]);
+            let mut const_cost: u64 = cost_model.term_cost(&block.term);
+            for inst in &block.insts {
+                // Instrument value-dependent call costs inline.
+                if let Inst::Call { args, cost: CallCost::Linear { arg, coeff, constant }, .. } =
+                    inst
+                {
+                    const_cost += constant;
+                    if let Some(op) = args.get(*arg) {
+                        let magnitude: Operand = match op {
+                            Operand::Const(c) => Operand::Const((*c).max(0)),
+                            Operand::Var(v) => {
+                                let vv = remap(*v);
+                                if f.var(*v).ty == Type::Array {
+                                    let t = b.temp(Type::Int);
+                                    b.array_len(t, vv);
+                                    Operand::Var(t)
+                                } else {
+                                    Operand::Var(vv)
+                                }
+                            }
+                        };
+                        let scaled = b.temp(Type::Int);
+                        b.binop(scaled, BinOp::Mul, magnitude, Operand::konst(*coeff as i64));
+                        b.binop(k, BinOp::Add, k, scaled);
+                    }
+                } else {
+                    match cost_model.inst_cost(inst) {
+                        Ok(c) | Err(CallCost::Const(c)) => const_cost += c,
+                        Err(CallCost::Linear { .. }) => unreachable!("handled above"),
+                    }
+                }
+                // The remapped instruction itself.
+                let remapped = match inst {
+                    Inst::Assign { dst, expr } => Inst::Assign {
+                        dst: remap(*dst),
+                        expr: remap_expr(expr, &remap, &remap_op),
+                    },
+                    Inst::ArraySet { arr, index, value } => Inst::ArraySet {
+                        arr: remap(*arr),
+                        index: remap_op(*index),
+                        value: remap_op(*value),
+                    },
+                    Inst::Call { dst, callee, args, cost } => Inst::Call {
+                        dst: dst.map(remap),
+                        callee: callee.clone(),
+                        args: args.iter().map(|a| remap_op(*a)).collect(),
+                        cost: *cost,
+                    },
+                    Inst::Nop => Inst::Nop,
+                    Inst::Tick(t) => Inst::Tick(*t),
+                    Inst::Havoc { dst } => Inst::Havoc { dst: remap(*dst) },
+                };
+                push_inst(&mut b, remapped);
+            }
+            if const_cost > 0 {
+                b.binop(k, BinOp::Add, k, Operand::konst(const_cost as i64));
+            }
+            match &block.term {
+                Terminator::Goto(t) => b.goto(copies[copy][t.index()]),
+                Terminator::Branch { cond, then_bb, else_bb } => {
+                    let cond = match cond {
+                        Cond::Cmp(op, x, y) => Cond::Cmp(*op, remap_op(*x), remap_op(*y)),
+                        Cond::Null { arr, is_null } => {
+                            Cond::Null { arr: remap(*arr), is_null: *is_null }
+                        }
+                        Cond::Nondet => Cond::Nondet,
+                    };
+                    b.branch(
+                        cond,
+                        copies[copy][then_bb.index()],
+                        copies[copy][else_bb.index()],
+                    );
+                }
+                Terminator::Return(_) => b.goto(nexts[copy]),
+            }
+        }
+    }
+    b.switch_to(exit);
+    b.ret(None);
+    Composed { function: b.finish(), k1, k2 }
+}
+
+fn remap_expr(
+    expr: &Expr,
+    remap: &impl Fn(VarId) -> VarId,
+    remap_op: &impl Fn(Operand) -> Operand,
+) -> Expr {
+    match expr {
+        Expr::Operand(op) => Expr::Operand(remap_op(*op)),
+        Expr::Unary(u, a) => Expr::Unary(*u, remap_op(*a)),
+        Expr::Binary(op, a, b) => Expr::Binary(*op, remap_op(*a), remap_op(*b)),
+        Expr::ArrayLen(v) => Expr::ArrayLen(remap(*v)),
+        Expr::ArrayGet(v, i) => Expr::ArrayGet(remap(*v), remap_op(*i)),
+        Expr::ArrayNew(n) => Expr::ArrayNew(remap_op(*n)),
+    }
+}
+
+fn push_inst(b: &mut FunctionBuilder, inst: Inst) {
+    match inst {
+        Inst::Assign { dst, expr } => b.assign(dst, expr),
+        Inst::ArraySet { arr, index, value } => b.array_set(arr, index, value),
+        Inst::Call { dst, callee, args, cost } => b.call(dst, callee, args, cost),
+        Inst::Nop => {}
+        Inst::Tick(t) => b.tick(t),
+        Inst::Havoc { dst } => b.havoc(dst),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blazer_lang::compile;
+
+    fn compose_src(src: &str, func: &str) -> Composed {
+        let p = compile(src).unwrap();
+        compose(p.function(func).unwrap(), &CostModel::unit())
+    }
+
+    #[test]
+    fn shares_lows_duplicates_highs() {
+        let c = compose_src("fn f(h: int #high, l: int, a: array) { }", "f");
+        let names: Vec<&str> = c
+            .function
+            .params()
+            .iter()
+            .map(|p| c.function.var(p.var).name.as_str())
+            .collect();
+        assert_eq!(names, vec!["h__1", "l", "a", "h__2"]);
+    }
+
+    #[test]
+    fn block_count_doubles_plus_glue() {
+        let src = "fn f(x: int) { if (x > 0) { tick(1); } else { tick(2); } }";
+        let p = compile(src).unwrap();
+        let orig = p.function("f").unwrap();
+        let c = compose(orig, &CostModel::unit());
+        // entry + 2 copies + exit.
+        assert_eq!(c.function.blocks().len(), 2 * orig.blocks().len() + 2);
+        assert_eq!(c.function.validate(), Ok(()));
+    }
+
+    #[test]
+    fn counters_accumulate_block_costs() {
+        // Each copy of `tick(5)` adds 5 (+1 return) to its own counter.
+        let src = "fn f() { tick(5); }";
+        let c = compose_src(src, "f");
+        // Find the k-increment instructions.
+        let incs: Vec<String> = c
+            .function
+            .blocks()
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter(|i| matches!(i, Inst::Assign { expr: Expr::Binary(BinOp::Add, _, Operand::Const(6)), .. }))
+            .map(|i| i.to_string())
+            .collect();
+        assert_eq!(incs.len(), 2, "one +6 increment per copy");
+    }
+
+    #[test]
+    fn linear_call_costs_instrumented() {
+        let src = "extern fn hash(p: array) -> int cost 3 * arg0 + 7;\n\
+                   fn f(p: array) -> int { return hash(p); }";
+        let c = compose_src(src, "f");
+        let has_mul = c
+            .function
+            .blocks()
+            .iter()
+            .flat_map(|b| &b.insts)
+            .any(|i| {
+                matches!(
+                    i,
+                    Inst::Assign { expr: Expr::Binary(BinOp::Mul, _, Operand::Const(3)), .. }
+                )
+            });
+        assert!(has_mul, "magnitude × coefficient must be computed inline");
+    }
+
+    #[test]
+    fn returns_rewired_sequentially() {
+        let src = "fn f(x: int) -> int { if (x > 0) { return 1; } return 0; }";
+        let c = compose_src(src, "f");
+        // No return-with-value remains; exactly one plain return at the end.
+        let returns: Vec<&Terminator> = c
+            .function
+            .blocks()
+            .iter()
+            .map(|b| &b.term)
+            .filter(|t| matches!(t, Terminator::Return(_)))
+            .collect();
+        assert_eq!(returns.len(), 1);
+        assert!(matches!(returns[0], Terminator::Return(None)));
+    }
+}

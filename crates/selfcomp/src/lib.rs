@@ -1,0 +1,28 @@
+//! # blazer-selfcomp
+//!
+//! The self-composition baseline (Barthe–D'Argenio–Rezk) the paper argues
+//! against.
+//!
+//! To check the 2-safety property "equal low inputs ⇒ similar running
+//! times" with a 1-safety analyzer, [`compose()`](compose::compose) builds the sequential
+//! product `C;C`: two copies of the function with *shared* low parameters,
+//! *duplicated* high parameters, and an instrumented cost counter per copy.
+//! [`verify()`](verify::verify) then runs the same polyhedral abstract interpreter used by
+//! the decomposition approach and asks whether `|k₁ − k₂| ≤ c` holds at the
+//! exit.
+//!
+//! The point of shipping this baseline is the comparison benchmark: on
+//! programs whose safety hinges on *path* reasoning (compensating branches,
+//! per-path tight loop bounds), the composed program's joins blur the
+//! correlation between the two copies and verification fails, while the
+//! trail decomposition of `blazer-core` succeeds — this is the paper's
+//! central motivation (Sec. 1, Sec. 7).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compose;
+pub mod verify;
+
+pub use compose::{compose, Composed};
+pub use verify::{verify, SelfCompResult};

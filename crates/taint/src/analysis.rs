@@ -1,0 +1,461 @@
+//! The flow-sensitive taint analysis with implicit flows.
+
+use crate::lattice::{Taint, VarTaint};
+use blazer_ir::dominators::DomTree;
+use blazer_ir::{BlockId, Cfg, Cond, Expr, Function, Inst, NodeId, Operand, Program, Type};
+use std::collections::BTreeMap;
+
+/// The result of taint analysis on one function.
+#[derive(Debug, Clone)]
+pub struct TaintReport {
+    /// For each branching block, the taint of its branch condition.
+    branch_taint: BTreeMap<BlockId, Taint>,
+    /// Variable taints at block *exit* (after the block's instructions).
+    exit_taints: Vec<Vec<VarTaint>>,
+}
+
+impl TaintReport {
+    /// The taint of the branch condition of `block`, if it branches.
+    pub fn branch_taint(&self, block: BlockId) -> Option<Taint> {
+        self.branch_taint.get(&block).copied()
+    }
+
+    /// All branching blocks with their condition taints.
+    pub fn branches(&self) -> impl Iterator<Item = (BlockId, Taint)> + '_ {
+        self.branch_taint.iter().map(|(&b, &t)| (b, t))
+    }
+
+    /// The taint of `var` after `block` executes.
+    pub fn var_taint_at_exit(&self, block: BlockId, var: blazer_ir::VarId) -> VarTaint {
+        self.exit_taints[block.index()][var.index()]
+    }
+
+    /// Whether any branch in the function is high-dependent.
+    pub fn any_high_branch(&self) -> bool {
+        self.branch_taint.values().any(|t| t.is_high())
+    }
+}
+
+/// Runs the taint analysis on `f` (which must live inside `program` so that
+/// extern declarations resolve).
+pub fn analyze_function(program: &Program, f: &Function) -> TaintReport {
+    let cfg = Cfg::new(f);
+    let n_vars = f.vars().len();
+    let n_blocks = f.blocks().len();
+
+    // Control dependence via post-dominators: for branch edge A→s, the nodes
+    // on the pdom-tree path s ..< ipdom(A) are control-dependent on A.
+    let pdom = DomTree::post_dominators(&cfg);
+    let control_deps = control_dependence(f, &cfg, &pdom);
+
+    // Entry taints: parameters get their label (arrays uniformly).
+    let mut entry0 = vec![VarTaint::NONE; n_vars];
+    for p in f.params() {
+        let t = Taint::of_label(p.label);
+        entry0[p.var.index()] = if f.var(p.var).ty == Type::Array {
+            VarTaint::uniform(t)
+        } else {
+            VarTaint::scalar(t)
+        };
+    }
+
+    // Outer fixpoint: branch-condition taints feed implicit-flow contexts,
+    // which feed the dataflow, which feeds the condition taints. Both maps
+    // grow monotonically in the taint lattice, so this terminates.
+    let mut ctx: Vec<Taint> = vec![Taint::NONE; n_blocks];
+    let mut exit_taints: Vec<Vec<VarTaint>> = vec![vec![VarTaint::NONE; n_vars]; n_blocks];
+    let mut branch_taint: BTreeMap<BlockId, Taint> = BTreeMap::new();
+    loop {
+        // Inner fixpoint: forward dataflow over the CFG.
+        let mut entry: Vec<Option<Vec<VarTaint>>> = vec![None; n_blocks];
+        entry[f.entry().index()] = Some(entry0.clone());
+        let rpo = cfg.reverse_postorder();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &node in &rpo {
+                let Some(bid) = node.as_block(n_blocks) else { continue };
+                let Some(state) = entry[bid.index()].clone() else { continue };
+                let out = transfer_block(program, f, bid, &state, ctx[bid.index()]);
+                if exit_taints[bid.index()] != out {
+                    exit_taints[bid.index()] = out.clone();
+                    changed = true;
+                }
+                for succ in cfg.succs(NodeId::block(bid)) {
+                    let Some(sb) = succ.as_block(n_blocks) else { continue };
+                    let merged = match &entry[sb.index()] {
+                        None => out.clone(),
+                        Some(prev) => prev
+                            .iter()
+                            .zip(&out)
+                            .map(|(a, b)| a.join(*b))
+                            .collect(),
+                    };
+                    if entry[sb.index()].as_ref() != Some(&merged) {
+                        entry[sb.index()] = Some(merged);
+                        changed = true;
+                    }
+                }
+            }
+        }
+
+        // Recompute branch taints and contexts.
+        let mut new_branch = BTreeMap::new();
+        for (bid, block) in f.iter_blocks() {
+            if let blazer_ir::Terminator::Branch { cond, .. } = &block.term {
+                let t = cond_taint(cond, &exit_taints[bid.index()]);
+                new_branch.insert(bid, t);
+            }
+        }
+        let mut new_ctx = vec![Taint::NONE; n_blocks];
+        for (bid, deps) in control_deps.iter().enumerate() {
+            for dep in deps {
+                if let Some(&t) = new_branch.get(dep) {
+                    new_ctx[bid] = new_ctx[bid] | t;
+                }
+            }
+        }
+        if new_branch == branch_taint && new_ctx == ctx {
+            break;
+        }
+        branch_taint = new_branch;
+        ctx = new_ctx;
+    }
+
+    TaintReport { branch_taint, exit_taints }
+}
+
+/// `control_deps[b]` = branch blocks that decide whether block `b` runs.
+fn control_dependence(f: &Function, cfg: &Cfg, pdom: &DomTree) -> Vec<Vec<BlockId>> {
+    let n_blocks = f.blocks().len();
+    let mut deps: Vec<Vec<BlockId>> = vec![Vec::new(); n_blocks];
+    for (bid, block) in f.iter_blocks() {
+        if !block.term.is_branch() {
+            continue;
+        }
+        let a = NodeId::block(bid);
+        let stop = pdom.idom(a);
+        for &succ in cfg.succs(a) {
+            // Walk the post-dominator tree from succ up to ipdom(A).
+            let mut cur = Some(succ);
+            while let Some(n) = cur {
+                if Some(n) == stop {
+                    break;
+                }
+                if let Some(nb) = n.as_block(n_blocks) {
+                    if !deps[nb.index()].contains(&bid) {
+                        deps[nb.index()].push(bid);
+                    }
+                }
+                let next = pdom.idom(n);
+                if next == Some(n) {
+                    break;
+                }
+                cur = next;
+            }
+        }
+    }
+    deps
+}
+
+fn operand_taint(op: &Operand, state: &[VarTaint]) -> Taint {
+    match op {
+        Operand::Const(_) => Taint::NONE,
+        Operand::Var(v) => state[v.index()].val,
+    }
+}
+
+fn cond_taint(cond: &Cond, state: &[VarTaint]) -> Taint {
+    match cond {
+        Cond::Cmp(_, a, b) => operand_taint(a, state) | operand_taint(b, state),
+        Cond::Null { arr, .. } => state[arr.index()].null,
+        Cond::Nondet => Taint::NONE,
+    }
+}
+
+fn transfer_block(
+    program: &Program,
+    f: &Function,
+    bid: BlockId,
+    entry: &[VarTaint],
+    ctx: Taint,
+) -> Vec<VarTaint> {
+    let mut state = entry.to_vec();
+    for inst in &f.block(bid).insts {
+        match inst {
+            Inst::Assign { dst, expr } => {
+                let mut t = expr_taint(expr, &state);
+                // Implicit flow: anything written under a tainted branch
+                // reveals that branch.
+                t.val = t.val | ctx;
+                t.len = t.len | ctx;
+                t.null = t.null | ctx;
+                state[dst.index()] = t;
+            }
+            Inst::ArraySet { arr, index, value } => {
+                let add = operand_taint(index, &state) | operand_taint(value, &state) | ctx;
+                let cur = &mut state[arr.index()];
+                cur.val = cur.val | add;
+            }
+            Inst::Call { dst, callee, args, .. } => {
+                if let Some(dst) = dst {
+                    let args_taint = args
+                        .iter()
+                        .map(|a| match a {
+                            Operand::Const(_) => Taint::NONE,
+                            Operand::Var(v) => state[v.index()].any(),
+                        })
+                        .fold(Taint::NONE, Taint::join);
+                    let decl = program
+                        .extern_decl(callee)
+                        .unwrap_or_else(|| panic!("undeclared extern `{callee}`"));
+                    let label_taint = Taint::of_label(decl.ret_label);
+                    let t = if decl.ret == Some(Type::Array) {
+                        VarTaint {
+                            val: args_taint | label_taint | ctx,
+                            len: args_taint | label_taint | ctx,
+                            // Nullness is decided by the lookup arguments,
+                            // not by the secret contents (footnote 4).
+                            null: args_taint | ctx,
+                        }
+                    } else {
+                        VarTaint::scalar(args_taint | label_taint | ctx)
+                    };
+                    state[dst.index()] = t;
+                }
+            }
+            Inst::Havoc { dst } => {
+                state[dst.index()] = VarTaint::scalar(ctx);
+            }
+            Inst::Nop | Inst::Tick(_) => {}
+        }
+    }
+    state
+}
+
+fn expr_taint(expr: &Expr, state: &[VarTaint]) -> VarTaint {
+    match expr {
+        Expr::Operand(Operand::Const(_)) => VarTaint::NONE,
+        // A copy propagates all components (array aliasing).
+        Expr::Operand(Operand::Var(v)) => state[v.index()],
+        Expr::Unary(_, a) => VarTaint::scalar(operand_taint(a, state)),
+        Expr::Binary(_, a, b) => {
+            VarTaint::scalar(operand_taint(a, state) | operand_taint(b, state))
+        }
+        // Length of a possibly-null array also reveals nullness (-1).
+        Expr::ArrayLen(v) => VarTaint::scalar(state[v.index()].len | state[v.index()].null),
+        Expr::ArrayGet(v, i) => {
+            VarTaint::scalar(state[v.index()].val | operand_taint(i, state))
+        }
+        Expr::ArrayNew(n) => VarTaint {
+            val: Taint::NONE,
+            len: operand_taint(n, state),
+            null: Taint::NONE,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blazer_lang::compile;
+
+    fn report(src: &str, func: &str) -> (Program, TaintReport) {
+        let p = compile(src).expect("benchmark source compiles");
+        let r = analyze_function(&p, p.function(func).unwrap());
+        (p, r)
+    }
+
+    /// Branch taints of `func`, as a sorted list of strings for easy asserts.
+    fn branch_taints(src: &str, func: &str) -> Vec<String> {
+        let (_, r) = report(src, func);
+        r.branches().map(|(_, t)| t.to_string()).collect()
+    }
+
+    #[test]
+    fn explicit_flow_low() {
+        let ts = branch_taints("fn f(low: int) { if (low > 0) { tick(1); } }", "f");
+        assert_eq!(ts, vec!["l"]);
+    }
+
+    #[test]
+    fn explicit_flow_high() {
+        let ts = branch_taints("fn f(h: int #high) { if (h > 0) { tick(1); } }", "f");
+        assert_eq!(ts, vec!["h"]);
+    }
+
+    #[test]
+    fn mixed_condition() {
+        let ts = branch_taints(
+            "fn f(h: int #high, l: int) { if (h > l) { tick(1); } }",
+            "f",
+        );
+        assert_eq!(ts, vec!["l,h"]);
+    }
+
+    #[test]
+    fn derived_value_carries_taint() {
+        let ts = branch_taints(
+            "fn f(h: int #high) { let x: int = h * 2 + 1; if (x == 3) { tick(1); } }",
+            "f",
+        );
+        assert_eq!(ts, vec!["h"]);
+    }
+
+    #[test]
+    fn untainted_branch() {
+        let ts = branch_taints(
+            "fn f(h: int #high) { let c: int = 5; if (c > 3) { tick(1); } }",
+            "f",
+        );
+        assert_eq!(ts, vec!["-"]);
+    }
+
+    #[test]
+    fn implicit_flow_through_assignment() {
+        // x is assigned under a high branch, so branching on x later is
+        // high-dependent even though x's value comes from constants.
+        let src = "fn f(h: int #high) { \
+            let x: int = 0; \
+            if (h > 0) { x = 1; } else { x = 2; } \
+            if (x == 1) { tick(1); } \
+        }";
+        let ts = branch_taints(src, "f");
+        assert_eq!(ts, vec!["h", "h"]);
+    }
+
+    #[test]
+    fn loop_body_taint_reaches_fixpoint() {
+        // i accumulates high taint through the loop-carried dependency.
+        let src = "fn f(h: int #high, n: int) { \
+            let i: int = 0; \
+            while (i < n) { i = i + h; } \
+        }";
+        let (p, r) = report(src, "f");
+        let f = p.function("f").unwrap();
+        let (head, _) = f
+            .iter_blocks()
+            .find(|(_, b)| b.term.is_branch())
+            .expect("loop head");
+        assert_eq!(r.branch_taint(head).unwrap(), Taint::BOTH);
+    }
+
+    #[test]
+    fn array_content_vs_length_vs_null() {
+        let src = "extern fn retrievePassword(u: array) -> array #high cost 30 len -1..64;\n\
+            fn f(username: array, guess: array) -> bool { \
+                let pw: array = retrievePassword(username); \
+                if (pw == null) { return false; } \
+                let i: int = 0; \
+                let ok: bool = true; \
+                while (i < len(guess)) { \
+                    if (i < len(pw)) { \
+                        if (guess[i] != pw[i]) { ok = false; } \
+                    } \
+                    i = i + 1; \
+                } \
+                return ok; \
+            }";
+        let (p, r) = report(src, "f");
+        let f = p.function("f").unwrap();
+        let mut found_null = false;
+        let mut found_len_pw = false;
+        let mut found_content = false;
+        let mut found_guess_len = false;
+        for (bid, block) in f.iter_blocks() {
+            let blazer_ir::Terminator::Branch { cond, .. } = &block.term else { continue };
+            let t = r.branch_taint(bid).unwrap();
+            match cond {
+                // `pw == null`: depends on the (low) username only.
+                Cond::Null { .. } => {
+                    found_null = true;
+                    assert!(t.is_low_only(), "null test should be low-only, got {t}");
+                }
+                _ => {
+                    let s = format!("{cond}");
+                    // Distinguish by which temps feed the comparison: the
+                    // loop guard uses len(guess) (low); the inner guard uses
+                    // len(pw) (high+null-low); the element compare is high.
+                    if t == Taint::LOW {
+                        found_guess_len = true;
+                    } else if t.is_high() {
+                        // Either len(pw) bound check or content compare.
+                        if s.contains("!=") || s.contains("==") {
+                            found_content = true;
+                        } else {
+                            found_len_pw = true;
+                        }
+                    }
+                }
+            }
+        }
+        assert!(found_null, "null branch present");
+        assert!(found_guess_len, "guess-length loop guard is low");
+        assert!(found_len_pw, "pw-length check is high");
+        assert!(found_content, "content compare is high");
+    }
+
+    #[test]
+    fn extern_low_result_stays_low() {
+        let src = "extern fn md5(p: array) -> array cost 500 len 16..16;\n\
+            fn f(p: array) { let h: array = md5(p); if (len(h) > 0) { tick(1); } }";
+        let ts = branch_taints(src, "f");
+        assert_eq!(ts, vec!["l"]);
+    }
+
+    #[test]
+    fn havoc_is_untainted() {
+        let ts = branch_taints("fn f(h: int #high) { let x: int = havoc(); if (x > 0) { tick(1); } }", "f");
+        assert_eq!(ts, vec!["-"]);
+    }
+
+    #[test]
+    fn array_store_taints_content() {
+        let src = "fn f(h: int #high, a: array) { \
+            a[0] = h; \
+            if (a[0] > 0) { tick(1); } \
+        }";
+        let ts = branch_taints(src, "f");
+        assert_eq!(ts, vec!["l,h"]); // low array content joined with high store
+    }
+
+    #[test]
+    fn no_secret_means_no_high_branches() {
+        let src = "fn f(l: int) { let i: int = 0; while (i < l) { i = i + 1; } }";
+        let (_, r) = report(src, "f");
+        assert!(!r.any_high_branch());
+    }
+
+    #[test]
+    fn for_loop_counters_follow_bound_taint() {
+        let src = "fn f(h: int #high, l: int) {             for (let i: int = 0; i < l; i = i + 1) { tick(1); }             for (let j: int = 0; j < h; j = j + 1) { tick(1); }         }";
+        let (_, r) = report(src, "f");
+        let taints: Vec<String> = r.branches().map(|(_, t)| t.to_string()).collect();
+        assert_eq!(taints, vec!["l", "h"]);
+    }
+
+    #[test]
+    fn inlined_callee_propagates_caller_taint() {
+        // The helper has low-labeled params of its own, but inlining feeds
+        // it the caller's secret: the loop guard must be high.
+        let src = "fn spin(n: int) {                 let i: int = 0;                 while (i < n) { i = i + 1; }             }             fn f(h: int #high) { spin(h); }";
+        let (_, r) = report(src, "f");
+        assert!(r.any_high_branch());
+    }
+
+    #[test]
+    fn division_and_shifts_propagate_taint() {
+        let src = "fn f(h: int #high) {             let a: int = h / 2;             let b: int = a >> 1;             if (b == 0) { tick(1); }         }";
+        let ts = branch_taints(src, "f");
+        assert_eq!(ts, vec!["h"]);
+    }
+
+    #[test]
+    fn var_taint_at_exit_query() {
+        let src = "fn f(h: int #high) { let x: int = h; }";
+        let (p, r) = report(src, "f");
+        let f = p.function("f").unwrap();
+        let x = f.var_by_name("x").unwrap();
+        assert_eq!(r.var_taint_at_exit(f.entry(), x).val, Taint::HIGH);
+    }
+}

@@ -1,0 +1,174 @@
+//! The taint lattice.
+
+use blazer_ir::SecurityLabel;
+use std::fmt;
+use std::ops::BitOr;
+
+/// A point in the taint lattice: which classes of input influence a value.
+///
+/// The lattice is the powerset of `{low, high}` ordered by inclusion;
+/// [`Taint::join`] (also available as `|`) is set union.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct Taint {
+    /// Influenced by attacker-controlled (public, tainted) input.
+    pub low: bool,
+    /// Influenced by secret input.
+    pub high: bool,
+}
+
+impl Taint {
+    /// No influence from any input.
+    pub const NONE: Taint = Taint { low: false, high: false };
+    /// Influenced by low input only.
+    pub const LOW: Taint = Taint { low: true, high: false };
+    /// Influenced by high input only.
+    pub const HIGH: Taint = Taint { low: false, high: true };
+    /// Influenced by both.
+    pub const BOTH: Taint = Taint { low: true, high: true };
+
+    /// The taint of an input with the given label.
+    pub fn of_label(label: SecurityLabel) -> Taint {
+        match label {
+            SecurityLabel::Low => Taint::LOW,
+            SecurityLabel::High => Taint::HIGH,
+        }
+    }
+
+    /// Least upper bound (set union).
+    pub fn join(self, other: Taint) -> Taint {
+        Taint { low: self.low || other.low, high: self.high || other.high }
+    }
+
+    /// Whether this is exactly low-dependent and not high-dependent — the
+    /// condition under which the safe-mode `RefinePartition` may split
+    /// ("partitioning is only permitted on low data", Sec. 2.3).
+    pub fn is_low_only(self) -> bool {
+        self.low && !self.high
+    }
+
+    /// Whether the value depends on secret input at all.
+    pub fn is_high(self) -> bool {
+        self.high
+    }
+
+    /// Whether the value depends on no input at all.
+    pub fn is_none(self) -> bool {
+        !self.low && !self.high
+    }
+}
+
+impl BitOr for Taint {
+    type Output = Taint;
+    fn bitor(self, rhs: Taint) -> Taint {
+        self.join(rhs)
+    }
+}
+
+impl fmt::Display for Taint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.low, self.high) {
+            (false, false) => f.write_str("-"),
+            (true, false) => f.write_str("l"),
+            (false, true) => f.write_str("h"),
+            (true, true) => f.write_str("l,h"),
+        }
+    }
+}
+
+/// Per-variable taint: scalars use only `val`; arrays additionally track the
+/// taints of their length and of their nullness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct VarTaint {
+    /// Taint of the value (array element contents for arrays).
+    pub val: Taint,
+    /// Taint of the array length (unused for scalars).
+    pub len: Taint,
+    /// Taint of whether the array is null (unused for scalars).
+    pub null: Taint,
+}
+
+impl VarTaint {
+    /// All components untainted.
+    pub const NONE: VarTaint = VarTaint { val: Taint::NONE, len: Taint::NONE, null: Taint::NONE };
+
+    /// A scalar with the given value taint.
+    pub fn scalar(val: Taint) -> VarTaint {
+        VarTaint { val, ..VarTaint::NONE }
+    }
+
+    /// All components set to `t` (used for array parameters).
+    pub fn uniform(t: Taint) -> VarTaint {
+        VarTaint { val: t, len: t, null: t }
+    }
+
+    /// Component-wise join.
+    pub fn join(self, other: VarTaint) -> VarTaint {
+        VarTaint {
+            val: self.val | other.val,
+            len: self.len | other.len,
+            null: self.null | other.null,
+        }
+    }
+
+    /// Join of all components (how much "anything about this variable"
+    /// reveals).
+    pub fn any(self) -> Taint {
+        self.val | self.len | self.null
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lattice_laws() {
+        let all = [Taint::NONE, Taint::LOW, Taint::HIGH, Taint::BOTH];
+        for &a in &all {
+            assert_eq!(a | a, a, "idempotent");
+            assert_eq!(a | Taint::NONE, a, "unit");
+            assert_eq!(a | Taint::BOTH, Taint::BOTH, "absorbing");
+            for &b in &all {
+                assert_eq!(a | b, b | a, "commutative");
+                for &c in &all {
+                    assert_eq!((a | b) | c, a | (b | c), "associative");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(Taint::LOW.is_low_only());
+        assert!(!Taint::BOTH.is_low_only());
+        assert!(!Taint::NONE.is_low_only());
+        assert!(Taint::HIGH.is_high());
+        assert!(Taint::BOTH.is_high());
+        assert!(Taint::NONE.is_none());
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Taint::of_label(SecurityLabel::Low), Taint::LOW);
+        assert_eq!(Taint::of_label(SecurityLabel::High), Taint::HIGH);
+    }
+
+    #[test]
+    fn var_taint_components_joined_independently() {
+        let a = VarTaint { val: Taint::HIGH, len: Taint::NONE, null: Taint::LOW };
+        let b = VarTaint { val: Taint::NONE, len: Taint::LOW, null: Taint::NONE };
+        let j = a.join(b);
+        assert_eq!(j.val, Taint::HIGH);
+        assert_eq!(j.len, Taint::LOW);
+        assert_eq!(j.null, Taint::LOW);
+        assert_eq!(j.any(), Taint::BOTH);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Taint::NONE.to_string(), "-");
+        assert_eq!(Taint::LOW.to_string(), "l");
+        assert_eq!(Taint::HIGH.to_string(), "h");
+        assert_eq!(Taint::BOTH.to_string(), "l,h");
+    }
+}

@@ -1,0 +1,32 @@
+//! # blazer-taint
+//!
+//! Information-flow (taint) analysis for the Blazer reproduction.
+//!
+//! The original tool "used the information flow (taint) analysis JOANA in
+//! order to annotate blocks as to whether branching depends on low (taint) or
+//! high (secret) variables" (Sec. 5). This crate computes exactly that
+//! judgment on the `blazer-ir` CFG:
+//!
+//! * a flow-sensitive forward dataflow tracks, per variable, whether its
+//!   value is influenced by `low` (attacker-controlled) and/or `high`
+//!   (secret) inputs — *explicit flows*;
+//! * assignments under tainted branches inherit the branch taint via
+//!   control dependence (post-dominance frontiers) — *implicit flows*;
+//! * arrays track three components separately: element contents, length,
+//!   and nullness. Nullness comes from the *arguments* of the call that
+//!   produced the array (a database lookup's success is determined by the
+//!   key), while content/length come from the declared return label — this
+//!   reproduces the paper's footnote 4 treatment of `loginSafe`.
+//!
+//! The result is a [`TaintReport`]: for every branching block, whether its
+//! condition is low-dependent, high-dependent, both, or neither. That report
+//! is what drives trail annotation (Sec. 4.2) in `blazer-core`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod lattice;
+
+pub use analysis::{analyze_function, TaintReport};
+pub use lattice::{Taint, VarTaint};

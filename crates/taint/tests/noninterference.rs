@@ -1,0 +1,177 @@
+//! Empirical soundness of the taint analysis: if the analysis says a
+//! variable's value is *not* influenced by high inputs, then concretely
+//! re-running with different high inputs (lows fixed) must leave that
+//! variable's final value unchanged. This is the noninterference guarantee
+//! the trail annotation relies on.
+
+use blazer_interp::{Interp, SeededOracle, Value};
+use blazer_ir::{Program, SecurityLabel, Terminator, Type};
+use blazer_lang::compile;
+use blazer_taint::analyze_function;
+
+/// Runs `func` with the interpreter and returns the value of `var` at the
+/// *last executed block's* exit — approximated by instrumenting through a
+/// return of the variable. For simplicity the test programs all end with
+/// `return <var>;`.
+fn final_value(program: &Program, func: &str, inputs: &[Value], seed: u64) -> Option<i64> {
+    let t = Interp::new(program)
+        .run(func, inputs, &mut SeededOracle::new(seed))
+        .ok()?;
+    t.ret.and_then(|v| v.as_int())
+}
+
+/// For a program whose function returns an int variable, check: if the
+/// returned variable is untainted-by-high at every return block, then
+/// varying highs (lows fixed) never changes the result.
+fn check_noninterference(src: &str, func: &str, runs: u32) {
+    let program = compile(src).expect("compiles");
+    let f = program.function(func).unwrap();
+    let report = analyze_function(&program, f);
+
+    // Find the returned variable and its taint at each return block.
+    let mut high_free = true;
+    for (bid, block) in f.iter_blocks() {
+        if let Terminator::Return(Some(op)) = &block.term {
+            if let Some(v) = op.as_var() {
+                if report.var_taint_at_exit(bid, v).any().is_high() {
+                    high_free = false;
+                }
+            }
+        }
+    }
+    if !high_free {
+        return; // nothing claimed, nothing to check
+    }
+
+    // Fuzz: fixed lows, varying highs.
+    let mut mk = |seed: u64, flip: bool| -> Vec<Value> {
+        let mut vals = Vec::new();
+        for (i, p) in f.params().iter().enumerate() {
+            let ty = f.var(p.var).ty;
+            let base = (seed as i64).wrapping_mul(7).wrapping_add(i as i64 * 3) % 17;
+            let v = match (p.label, flip) {
+                (SecurityLabel::Low, _) => base,
+                (SecurityLabel::High, false) => base + 1,
+                (SecurityLabel::High, true) => base.wrapping_mul(-3) + 11,
+            };
+            vals.push(match ty {
+                Type::Int => Value::Int(v),
+                Type::Bool => Value::Int(v.rem_euclid(2)),
+                Type::Array => {
+                    Value::array((0..v.rem_euclid(6)).map(|k| k * 2 + i as i64).collect())
+                }
+            });
+        }
+        vals
+    };
+    for seed in 0..runs as u64 {
+        let a = final_value(&program, func, &mk(seed, false), seed);
+        let b = final_value(&program, func, &mk(seed, true), seed);
+        if let (Some(a), Some(b)) = (a, b) {
+            assert_eq!(
+                a, b,
+                "{func}: analysis claims high-independence but result differs (seed {seed})"
+            );
+        }
+    }
+}
+
+#[test]
+fn low_only_computations() {
+    check_noninterference(
+        "fn f(h: int #high, l: int) -> int { \
+            let x: int = l * 3 + 1; \
+            let y: int = x - l; \
+            return y; \
+        }",
+        "f",
+        40,
+    );
+}
+
+#[test]
+fn high_assignment_is_flagged_not_checked() {
+    // The returned var IS high-tainted: the checker must notice and skip
+    // (this test documents that the claim-detection side works).
+    let program = compile("fn f(h: int #high) -> int { let x: int = h + 1; return x; }").unwrap();
+    let f = program.function("f").unwrap();
+    let report = analyze_function(&program, f);
+    let (bid, block) = f
+        .iter_blocks()
+        .find(|(_, b)| matches!(b.term, Terminator::Return(Some(_))))
+        .unwrap();
+    let Terminator::Return(Some(op)) = &block.term else { unreachable!() };
+    assert!(report
+        .var_taint_at_exit(bid, op.as_var().unwrap())
+        .any()
+        .is_high());
+}
+
+#[test]
+fn branch_merges_stay_low_when_balanced_on_low() {
+    check_noninterference(
+        "fn f(h: int #high, l: int) -> int { \
+            let x: int = 0; \
+            if (l > 2) { x = l; } else { x = 2 * l; } \
+            return x; \
+        }",
+        "f",
+        40,
+    );
+}
+
+#[test]
+fn loops_over_lows() {
+    check_noninterference(
+        "fn f(h: int #high, l: int) -> int { \
+            let acc: int = 0; \
+            let i: int = 0; \
+            while (i < l) { acc = acc + i; i = i + 1; } \
+            return acc; \
+        }",
+        "f",
+        30,
+    );
+}
+
+#[test]
+fn arrays_and_lengths() {
+    check_noninterference(
+        "fn f(h: array #high, l: array) -> int { \
+            let n: int = len(l); \
+            let acc: int = 0; \
+            let i: int = 0; \
+            while (i < n) { acc = acc + l[i]; i = i + 1; } \
+            return acc; \
+        }",
+        "f",
+        30,
+    );
+}
+
+/// A subtle case: implicit flow via a high branch must be flagged high —
+/// verified both by the report and by actually observing interference.
+#[test]
+fn implicit_flow_is_caught() {
+    let src = "fn f(h: int #high) -> int { \
+        let x: int = 0; \
+        if (h > 0) { x = 1; } \
+        return x; \
+    }";
+    let program = compile(src).unwrap();
+    let f = program.function("f").unwrap();
+    let report = analyze_function(&program, f);
+    let (bid, block) = f
+        .iter_blocks()
+        .find(|(_, b)| matches!(b.term, Terminator::Return(Some(_))))
+        .unwrap();
+    let Terminator::Return(Some(op)) = &block.term else { unreachable!() };
+    assert!(
+        report.var_taint_at_exit(bid, op.as_var().unwrap()).any().is_high(),
+        "implicit flow must taint x"
+    );
+    // And interference is real.
+    let a = final_value(&program, "f", &[Value::Int(1)], 0).unwrap();
+    let b = final_value(&program, "f", &[Value::Int(-1)], 0).unwrap();
+    assert_ne!(a, b);
+}

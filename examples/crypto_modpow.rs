@@ -1,0 +1,60 @@
+//! Auditing modular exponentiation (the STAC `modPow` benchmarks and
+//! Kocher's 1996 attack).
+//!
+//! Square-and-multiply exponentiation multiplies only when the current
+//! secret exponent bit is set; without a countermeasure the running time is
+//! proportional to the exponent's Hamming weight. The safe variant performs
+//! a dummy multiply on the zero arm ("multiply-always").
+//!
+//! Run with `cargo run --release --example crypto_modpow`.
+
+use blazer::benchmarks::stac;
+use blazer::core::{Blazer, Config, Verdict};
+use blazer::interp::{Interp, SeededOracle, Value};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let blazer = Blazer::new(Config::stac());
+
+    println!("=== modPow1_safe (Fig. 3: multiply-always) ===");
+    let safe = blazer::lang::compile(stac::MODPOW1_SAFE)?;
+    let outcome = blazer.analyze(&safe, "modPow1_safe")?;
+    println!("verdict: {}", outcome.verdict);
+    println!("{}", outcome.render_tree(&safe));
+
+    println!("=== modPow1_unsafe (dummy multiply removed) ===");
+    let unsafe_p = blazer::lang::compile(stac::MODPOW1_UNSAFE)?;
+    let outcome = blazer.analyze(&unsafe_p, "modPow1_unsafe")?;
+    println!("verdict: {}", outcome.verdict);
+    if let Verdict::Attack(spec) = &outcome.verdict {
+        println!("{spec}");
+    }
+    println!("{}", outcome.render_tree(&unsafe_p));
+
+    // Demonstrate Kocher's observation concretely: same public inputs,
+    // exponents of different Hamming weight, different cost.
+    println!("=== Hamming-weight leak, measured ===");
+    let interp = Interp::new(&unsafe_p);
+    for (desc, bits) in [
+        ("weight 0 ", vec![0; 16]),
+        ("weight 8 ", [vec![1; 8], vec![0; 8]].concat()),
+        ("weight 16", vec![1; 16]),
+    ] {
+        let t = interp.run(
+            "modPow1_unsafe",
+            &[Value::Int(3), Value::array(bits), Value::Int(1009)],
+            &mut SeededOracle::new(0),
+        )?;
+        println!("16-bit exponent, {desc} -> {} cost units", t.cost);
+    }
+    println!("(multiply-always costs the same:)");
+    let interp = Interp::new(&safe);
+    for (desc, bits) in [("weight 0 ", vec![0; 16]), ("weight 16", vec![1; 16])] {
+        let t = interp.run(
+            "modPow1_safe",
+            &[Value::Int(3), Value::array(bits), Value::Int(1009)],
+            &mut SeededOracle::new(0),
+        )?;
+        println!("16-bit exponent, {desc} -> {} cost units", t.cost);
+    }
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! Quickstart: compile a small program and prove it free of timing
+//! channels — or get an attack specification with concrete witness inputs.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use blazer::core::{concretize_outcome, Blazer, Config, Verdict};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Example 1 from the paper (Sec. 2): the secret chooses between two
+    // loops that both take time linear in the public input — safe.
+    let balanced = blazer::lang::compile(
+        "fn foo(high: int #high, low: int) {
+            if (high == 0) {
+                let i: int = 0;
+                while (i < low) { i = i + 1; }
+            } else {
+                let i: int = low;
+                while (i > 0) { i = i - 1; }
+            }
+        }",
+    )?;
+
+    let blazer = Blazer::new(Config::microbench());
+    let outcome = blazer.analyze(&balanced, "foo")?;
+    println!("== foo (balanced secret branch) ==");
+    println!("verdict: {}", outcome.verdict);
+    println!("{}", outcome.render_tree(&balanced));
+
+    // The same program with one arm made constant — a timing channel.
+    let leaky = blazer::lang::compile(
+        "fn foo(high: int #high, low: int) {
+            if (high == 0) {
+                let i: int = 0;
+                while (i < low) { i = i + 1; }
+            } else {
+                tick(1);
+            }
+        }",
+    )?;
+    let outcome = blazer.analyze(&leaky, "foo")?;
+    println!("== foo (unbalanced secret branch) ==");
+    println!("verdict: {}", outcome.verdict);
+    if let Verdict::Attack(spec) = &outcome.verdict {
+        println!("{spec}");
+        // Concretize: find two inputs with equal lows and different costs.
+        if let Some((a, b)) = concretize_outcome(&leaky, &outcome, 500) {
+            println!("witness inputs A: {a:?}");
+            println!("witness inputs B: {b:?}");
+        }
+    }
+    println!("{}", outcome.render_tree(&leaky));
+    Ok(())
+}

@@ -1,0 +1,131 @@
+//! The `blazer` command-line tool: analyze a surface-language file for
+//! timing channels.
+//!
+//! ```console
+//! $ blazer program.blz check            # analyze function `check`
+//! $ blazer --observer stac program.blz check
+//! $ blazer --domain zone program.blz check
+//! $ blazer --concretize program.blz check
+//! ```
+
+use blazer::core::{concretize_outcome, Blazer, Config, DomainKind, Verdict};
+use std::process::ExitCode;
+
+struct Options {
+    file: String,
+    function: Option<String>,
+    config: Config,
+    concretize: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut config = Config::microbench();
+    let mut concretize = false;
+    let mut positional = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--observer" => match args.next().as_deref() {
+                Some("stac") => config.observer = blazer::bounds::Observer::stac(),
+                Some("degree") => config.observer = blazer::bounds::Observer::degree(),
+                other => return Err(format!("--observer expects stac|degree, got {other:?}")),
+            },
+            "--domain" => {
+                config.domain = match args.next().as_deref() {
+                    Some("interval") => DomainKind::Interval,
+                    Some("zone") => DomainKind::Zone,
+                    Some("octagon") => DomainKind::Octagon,
+                    Some("polyhedra") => DomainKind::Polyhedra,
+                    other => {
+                        return Err(format!(
+                            "--domain expects interval|zone|octagon|polyhedra, got {other:?}"
+                        ))
+                    }
+                };
+            }
+            "--no-attack" => config.synthesize_attack = false,
+            "--concretize" => concretize = true,
+            "--help" | "-h" => {
+                return Err("usage: blazer [--observer stac|degree] [--domain D] \
+                            [--no-attack] [--concretize] <file> [function]"
+                    .to_string())
+            }
+            other => positional.push(other.to_string()),
+        }
+    }
+    let mut positional = positional.into_iter();
+    let file = positional
+        .next()
+        .ok_or("missing input file (try --help)")?;
+    Ok(Options { file, function: positional.next(), config, concretize })
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let source = match std::fs::read_to_string(&opts.file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{}: {e}", opts.file);
+            return ExitCode::from(2);
+        }
+    };
+    let program = match blazer::lang::compile(&source) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{}:{e}", opts.file);
+            return ExitCode::from(2);
+        }
+    };
+    let function = match &opts.function {
+        Some(f) => f.clone(),
+        None => match program.functions().next() {
+            Some(f) => f.name().to_string(),
+            None => {
+                eprintln!("{}: no functions", opts.file);
+                return ExitCode::from(2);
+            }
+        },
+    };
+    let outcome = match Blazer::new(opts.config).analyze(&program, &function) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("analysis error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!(
+        "{function}: {} ({} basic blocks, safety {:.2}s{})",
+        outcome.verdict,
+        outcome.n_blocks,
+        outcome.safety_time.as_secs_f64(),
+        outcome
+            .attack_time
+            .map(|d| format!(", attack search {:.2}s", d.as_secs_f64()))
+            .unwrap_or_default()
+    );
+    println!("{}", outcome.render_tree(&program));
+    match &outcome.verdict {
+        Verdict::Safe => ExitCode::SUCCESS,
+        Verdict::Attack(spec) => {
+            println!("{spec}");
+            if opts.concretize {
+                match concretize_outcome(&program, &outcome, 500) {
+                    Some((a, b)) => {
+                        println!("witness inputs (equal lows, differing cost):");
+                        println!("  run A: {a:?}");
+                        println!("  run B: {b:?}");
+                    }
+                    None => println!("no concrete witness found within the attempt budget"),
+                }
+            }
+            ExitCode::from(1)
+        }
+        Verdict::Unknown => ExitCode::from(3),
+    }
+}

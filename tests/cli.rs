@@ -1,0 +1,82 @@
+//! End-to-end tests of the `blazer` command-line tool.
+
+use std::process::Command;
+
+fn blazer_cmd() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_blazer"))
+}
+
+fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(name);
+    std::fs::write(&path, contents).unwrap();
+    path
+}
+
+#[test]
+fn cli_reports_attack_with_exit_code_1() {
+    let f = write_temp(
+        "blazer_cli_leak.blz",
+        "fn check(high: int #high, low: int) {
+            if (high == 0) { tick(100); } else { tick(1); }
+        }",
+    );
+    let out = blazer_cmd()
+        .arg("--concretize")
+        .arg(&f)
+        .arg("check")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "attack exit code");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("attack specification found"), "{stdout}");
+    assert!(stdout.contains("witness inputs"), "{stdout}");
+}
+
+#[test]
+fn cli_reports_safe_with_exit_code_0() {
+    let f = write_temp(
+        "blazer_cli_safe.blz",
+        "fn check(high: int #high, low: int) {
+            if (high == 0) { tick(5); } else { tick(5); }
+        }",
+    );
+    let out = blazer_cmd().arg(&f).output().unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("safe"), "{stdout}");
+    assert!(stdout.contains("trmg"), "tree rendering expected: {stdout}");
+}
+
+#[test]
+fn cli_compile_errors_exit_2() {
+    let f = write_temp("blazer_cli_bad.blz", "fn check( {");
+    let out = blazer_cmd().arg(&f).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(!out.stderr.is_empty());
+}
+
+#[test]
+fn cli_domain_flag() {
+    let f = write_temp(
+        "blazer_cli_zone.blz",
+        "fn check(high: int #high, low: int) {
+            let i: int = 0;
+            while (i < low) { i = i + 1; }
+        }",
+    );
+    let out = blazer_cmd()
+        .args(["--domain", "zone"])
+        .arg(&f)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+}
+
+#[test]
+fn cli_help_and_bad_flags() {
+    let out = blazer_cmd().arg("--help").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+    let out = blazer_cmd().args(["--domain", "wat"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}

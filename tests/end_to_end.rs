@@ -1,0 +1,136 @@
+//! Cross-crate integration tests: the full pipeline from surface syntax to
+//! verdicts, on the paper's worked examples.
+
+use blazer::benchmarks::extra;
+use blazer::core::{Blazer, Config, Verdict};
+
+fn analyze(src: &str, func: &str, config: Config) -> Verdict {
+    let p = blazer::lang::compile(src).expect("compiles");
+    Blazer::new(config)
+        .analyze(&p, func)
+        .expect("analyzes")
+        .verdict
+}
+
+#[test]
+fn example1_foo_safe() {
+    let v = analyze(extra::EXAMPLE1_FOO, "foo", Config::microbench());
+    assert!(v.is_safe(), "{v}");
+}
+
+#[test]
+fn example2_bar_safe_with_split() {
+    let p = blazer::lang::compile(extra::EXAMPLE2_BAR).unwrap();
+    let outcome = Blazer::new(Config::microbench()).analyze(&p, "bar").unwrap();
+    assert!(outcome.verdict.is_safe());
+    // The partition split at the low branch (Sec. 2.2's T> / T≤).
+    assert!(outcome.tree.len() >= 3);
+}
+
+#[test]
+fn sec7_examples_beat_type_systems() {
+    assert!(analyze(extra::SEC7_EX1, "ex1", Config::microbench()).is_safe());
+    assert!(analyze(extra::SEC7_EX2, "ex2", Config::microbench()).is_safe());
+}
+
+#[test]
+fn fig1_login_pair() {
+    use blazer::core::{NodeStatus, SplitKind};
+
+    // Top of Fig. 1: loginSafe verifies after a taint split at the null
+    // check, with every leaf narrow.
+    let safe = blazer::benchmarks::by_name("login_safe").unwrap();
+    let p = safe.compile();
+    let outcome = Blazer::new(Config::stac()).analyze(&p, safe.function).unwrap();
+    assert!(outcome.verdict.is_safe(), "{}", outcome.render_tree(&p));
+    let tree = &outcome.tree;
+    assert!(tree.len() >= 3, "a split must have happened");
+    let root_children = &tree.node(tree.root()).children;
+    assert_eq!(root_children.len(), 2, "binary taint split");
+    for &c in root_children {
+        assert_eq!(tree.node(c).split_kind, Some(SplitKind::Taint));
+    }
+    for leaf in tree.leaves() {
+        assert!(matches!(
+            tree.node(leaf).status,
+            NodeStatus::Narrow | NodeStatus::Empty
+        ));
+    }
+
+    // Bottom of Fig. 1: loginBad yields an attack via sec splits, and the
+    // two attack trails have bounds (the paper's tr3/tr4).
+    let unsafe_b = blazer::benchmarks::by_name("login_unsafe").unwrap();
+    let p = unsafe_b.compile();
+    let outcome = Blazer::new(Config::stac())
+        .analyze(&p, unsafe_b.function)
+        .unwrap();
+    let Verdict::Attack(spec) = &outcome.verdict else {
+        panic!("expected attack:\n{}", outcome.render_tree(&p));
+    };
+    let tree = &outcome.tree;
+    assert_eq!(tree.node(spec.node_a).split_kind, Some(SplitKind::Secret));
+    assert_eq!(tree.node(spec.node_b).split_kind, Some(SplitKind::Secret));
+    assert_eq!(tree.node(spec.node_a).status, NodeStatus::Attack);
+    // The attack pair's bounds are concrete evidence, both present.
+    assert!(spec.bounds_a.1.is_some() && spec.bounds_b.1.is_some());
+}
+
+#[test]
+fn attack_specs_concretize_on_microbench() {
+    use blazer::core::concretize_outcome;
+    for name in ["sanity_unsafe", "notaint_unsafe", "straightline_unsafe"] {
+        let b = blazer::benchmarks::by_name(name).unwrap();
+        let p = b.compile();
+        let outcome = Blazer::new(Config::microbench()).analyze(&p, b.function).unwrap();
+        assert!(outcome.verdict.is_attack(), "{name}");
+        let w = concretize_outcome(&p, &outcome, 600);
+        assert!(w.is_some(), "{name} should concretize");
+    }
+}
+
+/// The ψ-quotient partition discipline: when the driver reports SAFE after
+/// splitting, the union of the leaf trails' languages must cover the most
+/// general trail — otherwise some execution was never checked. Verified
+/// with exact automata operations on real benchmark outcomes.
+#[test]
+fn safe_partitions_cover_the_most_general_trail() {
+    use blazer::automata::{ops, Dfa, Regex};
+    for (name, config) in [
+        ("login_safe", Config::stac()),
+        ("loopBranch_safe", Config::microbench()),
+        ("pwdEqual_safe", Config::stac()),
+    ] {
+        let b = blazer::benchmarks::by_name(name).unwrap();
+        let p = b.compile();
+        let outcome = Blazer::new(config).analyze(&p, b.function).unwrap();
+        assert!(outcome.verdict.is_safe(), "{name}");
+        let tree = &outcome.tree;
+        // Alphabet size: max symbol over all trails + 1.
+        let alpha = (0..tree.len())
+            .flat_map(|i| tree.node(i).trail.symbols())
+            .max()
+            .unwrap_or(0)
+            + 1;
+        let trmg = Dfa::from_regex(&tree.node(tree.root()).trail, alpha);
+        let mut union = Dfa::from_regex(&Regex::Empty, alpha);
+        for leaf in tree.leaves() {
+            union = ops::union(&union, &Dfa::from_regex(&tree.node(leaf).trail, alpha));
+        }
+        assert!(
+            ops::included(&trmg, &union),
+            "{name}: leaves do not cover the most general trail"
+        );
+    }
+}
+
+#[test]
+fn verdicts_are_stable_across_runs() {
+    // Determinism: the analysis has no hidden nondeterminism.
+    let b = blazer::benchmarks::by_name("sanity_safe").unwrap();
+    let p = b.compile();
+    let blazer = Blazer::new(Config::microbench());
+    let a = blazer.analyze(&p, b.function).unwrap();
+    let c = blazer.analyze(&p, b.function).unwrap();
+    assert_eq!(a.verdict.is_safe(), c.verdict.is_safe());
+    assert_eq!(a.tree.len(), c.tree.len());
+}

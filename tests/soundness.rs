@@ -1,0 +1,170 @@
+//! Empirical soundness of the whole pipeline: whenever Blazer says *safe*,
+//! no pair of concrete runs with equal low inputs may differ observably —
+//! checked by fuzzing the interpreter. This is Theorem 3.1 put to work on
+//! the real tool rather than on the abstract framework.
+
+use blazer::core::{Blazer, Config, Verdict};
+use blazer::interp::{Interp, SeededOracle, Value};
+use blazer::ir::{Program, SecurityLabel, Type};
+
+/// Deterministic input generator.
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn int_in(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + (self.next() % (hi - lo + 1) as u64) as i64
+    }
+
+    fn value(&mut self, ty: Type) -> Value {
+        match ty {
+            Type::Int => Value::Int(self.int_in(-5, 24)),
+            Type::Bool => Value::Int(self.int_in(0, 1)),
+            Type::Array => {
+                let n = self.int_in(0, 8) as usize;
+                Value::array((0..n).map(|_| self.int_in(0, 3)).collect())
+            }
+        }
+    }
+}
+
+/// Fuzz `func`: pairs of runs with equal lows, different highs; returns the
+/// maximum observed cost difference.
+fn max_low_equal_difference(program: &Program, func: &str, attempts: u32) -> u64 {
+    let f = program.function(func).unwrap();
+    let interp = Interp::new(program);
+    let mut gen = Gen(0xDEC0);
+    let mut worst = 0u64;
+    for attempt in 0..attempts {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for p in f.params() {
+            let ty = f.var(p.var).ty;
+            match p.label {
+                SecurityLabel::Low => {
+                    let v = gen.value(ty);
+                    a.push(v.clone());
+                    b.push(v);
+                }
+                SecurityLabel::High => {
+                    a.push(gen.value(ty));
+                    b.push(gen.value(ty));
+                }
+            }
+        }
+        // The extern environment is part of the low world for this check —
+        // same oracle seed for both runs — except high-labeled extern
+        // results, which SeededOracle varies only via the arguments; to
+        // keep the check conservative we use the same seed (secret extern
+        // results equal), which under-approximates attacker knowledge and
+        // is exactly what "equal low inputs" permits.
+        let seed = u64::from(attempt);
+        let (Ok(ta), Ok(tb)) = (
+            interp.run(func, &a, &mut SeededOracle::new(seed)),
+            interp.run(func, &b, &mut SeededOracle::new(seed)),
+        ) else {
+            continue;
+        };
+        worst = worst.max(ta.cost.abs_diff(tb.cost));
+    }
+    worst
+}
+
+#[test]
+fn safe_verdicts_have_no_observable_fuzzed_leak() {
+    // MicroBench-safe programs whose balance is *semantic* (not just
+    // narrow under the observer model): cost difference ≤ epsilon (32)
+    // for equal lows. Fuzzing must not find a counterexample.
+    for name in ["array_safe", "nosecret_safe", "sanity_safe", "straightline_safe"] {
+        let b = blazer::benchmarks::by_name(name).unwrap();
+        let p = b.compile();
+        let outcome = Blazer::new(Config::microbench()).analyze(&p, b.function).unwrap();
+        assert!(outcome.verdict.is_safe(), "{name} should verify");
+        let worst = max_low_equal_difference(&p, b.function, 300);
+        assert!(
+            worst <= 32,
+            "{name}: verified safe but fuzzing found difference {worst}"
+        );
+    }
+}
+
+/// Faithful reproduction of a known subtlety: `loopBranch_safe` verifies
+/// under the paper's narrowness criterion (its running time is a *tight*
+/// function of the secret, so the range width is zero) — yet the time does
+/// depend on the secret, as Themis (CCS 2017) later pointed out about the
+/// original Blazer's verdict. Our tool reproduces the paper's verdict, and
+/// this test documents that the concrete leak exists.
+#[test]
+fn loop_branch_safe_reproduces_the_papers_optimistic_verdict() {
+    let b = blazer::benchmarks::by_name("loopBranch_safe").unwrap();
+    let p = b.compile();
+    let outcome = Blazer::new(Config::microbench()).analyze(&p, b.function).unwrap();
+    assert!(outcome.verdict.is_safe(), "the paper's verdict is `safe`");
+    let worst = max_low_equal_difference(&p, b.function, 300);
+    assert!(
+        worst > 32,
+        "expected the (paper-sanctioned) concrete leak to be visible to fuzzing"
+    );
+}
+
+#[test]
+fn attack_verdicts_are_confirmed_by_fuzzing() {
+    for name in ["sanity_unsafe", "notaint_unsafe", "array_unsafe", "straightline_unsafe"] {
+        let b = blazer::benchmarks::by_name(name).unwrap();
+        let p = b.compile();
+        let outcome = Blazer::new(Config::microbench()).analyze(&p, b.function).unwrap();
+        assert!(matches!(outcome.verdict, Verdict::Attack(_)), "{name}");
+        let worst = max_low_equal_difference(&p, b.function, 300);
+        assert!(worst > 32, "{name}: attack claimed but fuzzing maxed at {worst}");
+    }
+}
+
+#[test]
+fn stac_safe_claims_hold_within_threshold() {
+    // The threshold observer allows up to 25k units of low-equal variation
+    // at 4096-sized inputs; at our small fuzz sizes the slack is smaller
+    // but still bounded by (per-iteration imbalance)·(input size) ≈ 100.
+    // Note `modPow1_safe` is excluded: its iteration count is the secret
+    // exponent's bit LENGTH, which the paper's model fixes at 4096 bits —
+    // fuzzing with varying lengths shows the (model-external) length leak.
+    // `fixed_size_secrets_make_modpow1_constant_time` covers it.
+    for name in ["pwdEqual_safe"] {
+        let b = blazer::benchmarks::by_name(name).unwrap();
+        let p = b.compile();
+        let outcome = Blazer::new(Config::stac()).analyze(&p, b.function).unwrap();
+        assert!(outcome.verdict.is_safe(), "{name}");
+        let worst = max_low_equal_difference(&p, b.function, 300);
+        assert!(worst <= 100, "{name}: unexpected fuzzed difference {worst}");
+    }
+}
+
+/// Under the paper's fixed-operand-size assumption (all exponents 4096
+/// bits; here 16 for speed), multiply-always modPow is genuinely constant
+/// time: every equal-length secret gives the same cost.
+#[test]
+fn fixed_size_secrets_make_modpow1_constant_time() {
+    use blazer::interp::{Interp, SeededOracle, Value};
+    let b = blazer::benchmarks::by_name("modPow1_safe").unwrap();
+    let p = b.compile();
+    let interp = Interp::new(&p);
+    let mut costs = std::collections::BTreeSet::new();
+    for pattern in 0u32..32 {
+        let bits: Vec<i64> = (0..16).map(|i| i64::from(pattern >> (i % 5) & 1)).collect();
+        let t = interp
+            .run(
+                "modPow1_safe",
+                &[Value::Int(3), Value::array(bits), Value::Int(1009)],
+                &mut SeededOracle::new(0),
+            )
+            .unwrap();
+        costs.insert(t.cost);
+    }
+    assert_eq!(costs.len(), 1, "multiply-always must cost the same: {costs:?}");
+}
