@@ -16,11 +16,7 @@ impl EdgeAlphabet {
     /// The alphabet of all edges of `cfg`, in `cfg.edges()` order.
     pub fn new(cfg: &Cfg) -> Self {
         let edges = cfg.edges();
-        let index = edges
-            .iter()
-            .enumerate()
-            .map(|(i, &e)| (e, i as Sym))
-            .collect();
+        let index = edges.iter().enumerate().map(|(i, &e)| (e, i as Sym)).collect();
         EdgeAlphabet { edges, index }
     }
 

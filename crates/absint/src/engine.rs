@@ -64,9 +64,7 @@ impl<D: AbstractDomain> AnalysisResult<D> {
         graph: &ProductGraph,
         edge_idx: usize,
     ) -> bool {
-        !self
-            .edge_output(program, f, dims, graph, edge_idx)
-            .is_bottom()
+        !self.edge_output(program, f, dims, graph, edge_idx).is_bottom()
     }
 }
 
@@ -122,14 +120,36 @@ pub fn analyze<D: AbstractDomain>(
     let mut edge_cache: Vec<Option<(u64, D)>> = vec![None; graph.edges().len()];
     let mut passes = 0usize;
     loop {
+        if blazer_ir::budget::consume_fixpoint_pass().is_err() {
+            // Budget exhausted mid-fixpoint: the current iterate is not yet a
+            // post-fixpoint, so it cannot be used as an invariant. Widen every
+            // state to top — trivially sound — and skip narrowing.
+            blazer_ir::budget::note_degradation(
+                "absint: fixpoint aborted by exhausted budget; states widened to top",
+            );
+            for s in result.states.iter_mut() {
+                *s = D::top(dims.n_dims());
+            }
+            return result;
+        }
         passes += 1;
         let mut changed = false;
         for &node in &rpo {
-            let mut incoming = if node == graph.entry() {
-                init.clone()
-            } else {
-                D::bottom(dims.n_dims())
-            };
+            // A single pass over an expensive domain can outlive the whole
+            // wall-clock budget; poll the deadline per node so one pass
+            // cannot overshoot by more than one transfer's work. (Softer
+            // caps — LP calls etc. — deny work at their own call sites.)
+            if blazer_ir::budget::deadline_exceeded() {
+                blazer_ir::budget::note_degradation(
+                    "absint: fixpoint aborted by deadline mid-pass; states widened to top",
+                );
+                for s in result.states.iter_mut() {
+                    *s = D::top(dims.n_dims());
+                }
+                return result;
+            }
+            let mut incoming =
+                if node == graph.entry() { init.clone() } else { D::bottom(dims.n_dims()) };
             let mut back_contributes = false;
             for &ei in graph.pred_edges(node) {
                 let from = graph.edges()[ei].from;
@@ -192,12 +212,23 @@ pub fn analyze<D: AbstractDomain>(
     // sound and monotonically improving even though the weak join is not a
     // precise least upper bound.
     for _ in 0..NARROWING_PASSES {
+        if blazer_ir::budget::consume_fixpoint_pass().is_err() {
+            // The increasing phase converged, so `result` is already a sound
+            // post-fixpoint; narrowing only refines it. Stop here.
+            blazer_ir::budget::note_degradation("absint: narrowing skipped by exhausted budget");
+            return result;
+        }
         for &node in &rpo {
-            let mut incoming = if node == graph.entry() {
-                init.clone()
-            } else {
-                D::bottom(dims.n_dims())
-            };
+            // As in the increasing phase: the converged iterate is already
+            // sound, so a mid-pass deadline just stops refinement here.
+            if blazer_ir::budget::deadline_exceeded() {
+                blazer_ir::budget::note_degradation(
+                    "absint: narrowing stopped by deadline mid-pass",
+                );
+                return result;
+            }
+            let mut incoming =
+                if node == graph.entry() { init.clone() } else { D::bottom(dims.n_dims()) };
             for &ei in graph.pred_edges(node) {
                 let out = result.edge_output(program, f, dims, graph, ei);
                 incoming = incoming.join(&out);
@@ -225,12 +256,7 @@ mod tests {
 
     fn analyze_full(
         src: &str,
-    ) -> (
-        blazer_ir::Program,
-        DimMap,
-        ProductGraph,
-        AnalysisResult<Polyhedron>,
-    ) {
+    ) -> (blazer_ir::Program, DimMap, ProductGraph, AnalysisResult<Polyhedron>) {
         let p = compile(src).unwrap();
         let f = p.function("f").unwrap();
         let cfg = Cfg::new(f);
@@ -243,19 +269,13 @@ mod tests {
 
     /// Find the product node for a CFG node.
     fn node_for(g: &ProductGraph, n: NodeId) -> ProductNodeId {
-        ProductNodeId(
-            g.nodes()
-                .iter()
-                .position(|pn| pn.cfg_node == n)
-                .expect("node present"),
-        )
+        ProductNodeId(g.nodes().iter().position(|pn| pn.cfg_node == n).expect("node present"))
     }
 
     #[test]
     fn loop_invariant_bounds_counter() {
-        let (p, dims, g, r) = analyze_full(
-            "fn f(n: int) { let i: int = 0; while (i < n) { i = i + 1; } }",
-        );
+        let (p, dims, g, r) =
+            analyze_full("fn f(n: int) { let i: int = 0; while (i < n) { i = i + 1; } }");
         let f = p.function("f").unwrap();
         let i = dims.var(f.var_by_name("i").unwrap());
         let n_seed = dims.seed(0);
@@ -275,12 +295,10 @@ mod tests {
     #[test]
     fn infeasible_branch_detected() {
         // x = 5 then branch x > 9: the then-edge is infeasible.
-        let (p, dims, g, r) =
-            analyze_full("fn f() { let x: int = 5; if (x > 9) { tick(1); } }");
+        let (p, dims, g, r) = analyze_full("fn f() { let x: int = 5; if (x > 9) { tick(1); } }");
         let f = p.function("f").unwrap();
-        let feasible: Vec<bool> = (0..g.edges().len())
-            .map(|ei| r.edge_feasible(&p, f, &dims, &g, ei))
-            .collect();
+        let feasible: Vec<bool> =
+            (0..g.edges().len()).map(|ei| r.edge_feasible(&p, f, &dims, &g, ei)).collect();
         assert!(feasible.iter().any(|&b| !b), "one edge must be infeasible");
         // The then-block (which contains tick) is unreachable: its state is
         // bottom.
@@ -303,12 +321,8 @@ mod tests {
         );
         let f = p.function("f").unwrap();
         // The loop head is unreachable.
-        let loop_head = f
-            .iter_blocks()
-            .filter(|(_, b)| b.term.is_branch())
-            .nth(1)
-            .map(|(bid, _)| bid)
-            .unwrap();
+        let loop_head =
+            f.iter_blocks().filter(|(_, b)| b.term.is_branch()).nth(1).map(|(bid, _)| bid).unwrap();
         let _ = &p;
         assert!(r.state(node_for(&g, NodeId::block(loop_head))).is_bottom());
     }
@@ -325,9 +339,7 @@ mod tests {
         // Trail: entry→head, head→after, after→exit (zero iterations).
         let b = |i: u32| NodeId::block(blazer_ir::BlockId::new(i));
         let r_trail = blazer_automata::Regex::symbol(alpha.sym(blazer_ir::Edge::new(b(0), b(1))))
-            .then(blazer_automata::Regex::symbol(
-                alpha.sym(blazer_ir::Edge::new(b(1), b(3))),
-            ))
+            .then(blazer_automata::Regex::symbol(alpha.sym(blazer_ir::Edge::new(b(1), b(3)))))
             .then(blazer_automata::Regex::symbol(
                 alpha.sym(blazer_ir::Edge::new(b(3), cfg.exit())),
             ));
@@ -377,9 +389,7 @@ mod tests {
         let exit = node_for(&g, cfg.exit());
         assert!(!r.state(exit).is_bottom());
         let i = dims.var(f.var_by_name("i").unwrap());
-        assert!(r
-            .state(exit)
-            .entails(&Constraint::ge(&LinExpr::var(i), &LinExpr::zero())));
+        assert!(r.state(exit).entails(&Constraint::ge(&LinExpr::var(i), &LinExpr::zero())));
         let _ = p;
     }
 }

@@ -53,10 +53,8 @@ pub struct ProductGraph {
 impl ProductGraph {
     /// The unrestricted graph: isomorphic to the CFG itself.
     pub fn full(f: &Function, cfg: &Cfg) -> Self {
-        let nodes: Vec<ProductNode> = cfg
-            .nodes()
-            .map(|n| ProductNode { cfg_node: n, dfa_state: None })
-            .collect();
+        let nodes: Vec<ProductNode> =
+            cfg.nodes().map(|n| ProductNode { cfg_node: n, dfa_state: None }).collect();
         let mut edges = Vec::new();
         for e in cfg.edges() {
             edges.push(ProductEdge {
@@ -92,10 +90,7 @@ impl ProductGraph {
         let start = (cfg.entry().index(), dfa.start());
         if !live[dfa.start()] {
             // The trail is empty: produce a graph with just the entry.
-            let nodes = vec![ProductNode {
-                cfg_node: cfg.entry(),
-                dfa_state: Some(dfa.start()),
-            }];
+            let nodes = vec![ProductNode { cfg_node: cfg.entry(), dfa_state: Some(dfa.start()) }];
             return Self::assemble(nodes, Vec::new(), ProductNodeId(0), Vec::new());
         }
         index.insert(start, 0);
@@ -135,7 +130,7 @@ impl ProductGraph {
             .iter()
             .enumerate()
             .filter(|(_, n)| {
-                n.cfg_node == cfg.exit() && n.dfa_state.map_or(false, |q| dfa.is_accepting(q))
+                n.cfg_node == cfg.exit() && n.dfa_state.is_some_and(|q| dfa.is_accepting(q))
             })
             .map(|(i, _)| ProductNodeId(i))
             .collect();
@@ -313,9 +308,7 @@ impl ProductGraph {
                             }
                         }
                         let cyclic = comp.len() > 1
-                            || self.succs[v]
-                                .iter()
-                                .any(|&ei| self.edges[ei].to.0 == v);
+                            || self.succs[v].iter().any(|&ei| self.edges[ei].to.0 == v);
                         if cyclic {
                             comp.sort();
                             sccs.push(comp);
@@ -419,11 +412,8 @@ mod tests {
         let cfg = Cfg::new(f);
         let alpha = EdgeAlphabet::new(&cfg);
         // Most general trail: the CFG automaton's own language.
-        let edges: Vec<(usize, blazer_automata::Sym, usize)> = cfg
-            .edges()
-            .into_iter()
-            .map(|e| (e.from.index(), alpha.sym(e), e.to.index()))
-            .collect();
+        let edges: Vec<(usize, blazer_automata::Sym, usize)> =
+            cfg.edges().into_iter().map(|e| (e.from.index(), alpha.sym(e), e.to.index())).collect();
         let r = graph_to_regex(cfg.n_nodes(), &edges, cfg.entry().index(), &[cfg.exit().index()]);
         let dfa = Dfa::from_regex(&r, alpha.len() as u32).minimize();
         let g = ProductGraph::restricted(f, &cfg, &dfa, &alpha);

@@ -76,10 +76,7 @@ pub fn loop_transition_invariant<D: AbstractDomain>(
     }
     for v in 0..n_vars {
         let var = VarId::new(v as u32);
-        init.meet_constraint(&Constraint::eq(
-            &LinExpr::var(v),
-            &LinExpr::var(dims.snap(var)),
-        ));
+        init.meet_constraint(&Constraint::eq(&LinExpr::var(v), &LinExpr::var(dims.snap(var))));
     }
 
     let (split, sink) = header_split_graph(graph, scc, header);
@@ -115,11 +112,7 @@ pub fn header_split_graph(
         if !scc.contains(&e.from) || !scc.contains(&e.to) {
             continue;
         }
-        let to = if e.to == header {
-            sink
-        } else {
-            node_index[e.to.0].unwrap()
-        };
+        let to = if e.to == header { sink } else { node_index[e.to.0].unwrap() };
         edges.push(ProductEdge {
             from: ProductNodeId(from),
             to: ProductNodeId(to),
@@ -155,14 +148,7 @@ mod tests {
     use blazer_ir::Cfg;
     use blazer_lang::compile;
 
-    fn setup(
-        src: &str,
-    ) -> (
-        blazer_ir::Program,
-        DimMap,
-        ProductGraph,
-        AnalysisResult<Polyhedron>,
-    ) {
+    fn setup(src: &str) -> (blazer_ir::Program, DimMap, ProductGraph, AnalysisResult<Polyhedron>) {
         let p = compile(src).unwrap();
         let f = p.function("f").unwrap();
         let cfg = Cfg::new(f);
@@ -180,10 +166,7 @@ mod tests {
         assert_eq!(sccs.len(), 1, "expected exactly one loop");
         let scc = sccs[0].clone();
         let headers = g.back_edge_targets();
-        let header = *headers
-            .iter()
-            .find(|h| scc.contains(h))
-            .expect("header in scc");
+        let header = *headers.iter().find(|h| scc.contains(h)).expect("header in scc");
         (scc, header)
     }
 
@@ -257,8 +240,6 @@ mod tests {
         let i_var = f.var_by_name("i").unwrap();
         let old_i = LinExpr::var(ti.dims.snap(i_var));
         let n_seed = LinExpr::var(dims.seed(0));
-        assert!(ti
-            .relation
-            .entails(&Constraint::le(&old_i.add_constant(Rat::ONE), &n_seed)));
+        assert!(ti.relation.entails(&Constraint::le(&old_i.add_constant(Rat::ONE), &n_seed)));
     }
 }

@@ -2,9 +2,7 @@
 
 use crate::dims::DimMap;
 use blazer_domains::{AbstractDomain, Constraint, LinExpr, Rat};
-use blazer_ir::{
-    BinOp, BlockId, CmpOp, Cond, Expr, Function, Inst, Operand, Program, Type, UnOp,
-};
+use blazer_ir::{BinOp, BlockId, CmpOp, Cond, Expr, Function, Inst, Operand, Program, Type, UnOp};
 
 /// The abstract state at function entry: each parameter equals its frozen
 /// seed; array parameters are non-null (length ≥ 0) and boolean parameters
@@ -20,10 +18,7 @@ pub fn entry_state<D: AbstractDomain>(f: &Function, dims: &DimMap) -> D {
             continue;
         }
         let default = if info.ty == Type::Array { -Rat::ONE } else { Rat::ZERO };
-        d.meet_constraint(&Constraint::eq(
-            &LinExpr::var(dims.var(v)),
-            &LinExpr::constant(default),
-        ));
+        d.meet_constraint(&Constraint::eq(&LinExpr::var(dims.var(v)), &LinExpr::constant(default)));
     }
     for (i, p) in f.params().iter().enumerate() {
         let var = LinExpr::var(dims.var(p.var));
@@ -111,20 +106,15 @@ pub fn transfer_inst<D: AbstractDomain>(
                         Expr::Unary(UnOp::Not, _) => {
                             let v = LinExpr::var(d);
                             state.meet_constraint(&Constraint::ge(&v, &LinExpr::zero()));
-                            state.meet_constraint(&Constraint::le(
-                                &v,
-                                &LinExpr::constant(Rat::ONE),
-                            ));
+                            state
+                                .meet_constraint(&Constraint::le(&v, &LinExpr::constant(Rat::ONE)));
                         }
                         Expr::Binary(BinOp::Rem, _, Operand::Const(c)) if *c != 0 => {
                             // |dst| ≤ |c| − 1.
                             let m = Rat::int((c.abs() - 1) as i128);
                             let v = LinExpr::var(d);
                             state.meet_constraint(&Constraint::le(&v, &LinExpr::constant(m)));
-                            state.meet_constraint(&Constraint::ge(
-                                &v,
-                                &LinExpr::constant(-m),
-                            ));
+                            state.meet_constraint(&Constraint::ge(&v, &LinExpr::constant(-m)));
                         }
                         _ => {}
                     }
@@ -146,10 +136,7 @@ pub fn transfer_inst<D: AbstractDomain>(
                 match decl.ret {
                     Some(Type::Bool) => {
                         state.meet_constraint(&Constraint::ge(&v, &LinExpr::zero()));
-                        state.meet_constraint(&Constraint::le(
-                            &v,
-                            &LinExpr::constant(Rat::ONE),
-                        ));
+                        state.meet_constraint(&Constraint::le(&v, &LinExpr::constant(Rat::ONE)));
                     }
                     Some(Type::Array) => {
                         if let Some((lo, hi)) = decl.ret_len {
@@ -213,10 +200,7 @@ pub fn apply_cond<D: AbstractDomain>(dims: &DimMap, cond: &Cond, taken: bool, st
             let len = LinExpr::var(dims.var(arr));
             if is_null {
                 // Null arrays have length −1.
-                state.meet_constraint(&Constraint::le(
-                    &len,
-                    &LinExpr::constant(-Rat::ONE),
-                ));
+                state.meet_constraint(&Constraint::le(&len, &LinExpr::constant(-Rat::ONE)));
             } else {
                 state.meet_constraint(&Constraint::ge(&len, &LinExpr::zero()));
             }
@@ -336,21 +320,11 @@ mod tests {
         let mut d: Polyhedron = entry_state(f, &dm);
         transfer_block(&p, f, &dm, f.entry(), &mut d);
         let mut null_side = d.clone();
-        apply_cond(
-            &dm,
-            &Cond::Null { arr: a, is_null: true },
-            true,
-            &mut null_side,
-        );
+        apply_cond(&dm, &Cond::Null { arr: a, is_null: true }, true, &mut null_side);
         let len = LinExpr::var(dm.var(a));
         assert_eq!(null_side.bounds(&len), (Some(Rat::int(-1)), Some(Rat::int(-1))));
         let mut nonnull_side = d;
-        apply_cond(
-            &dm,
-            &Cond::Null { arr: a, is_null: true },
-            false,
-            &mut nonnull_side,
-        );
+        apply_cond(&dm, &Cond::Null { arr: a, is_null: true }, false, &mut nonnull_side);
         assert_eq!(nonnull_side.bounds(&len).0, Some(Rat::ZERO));
     }
 

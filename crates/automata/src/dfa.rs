@@ -60,10 +60,8 @@ impl Dfa {
         while trans.len() < sets.len() * alphabet_size as usize {
             trans.push(usize::MAX);
         }
-        let accepting = sets
-            .iter()
-            .map(|s| s.iter().any(|q| nfa.accepting().contains(q)))
-            .collect();
+        let accepting =
+            sets.iter().map(|s| s.iter().any(|q| nfa.accepting().contains(q))).collect();
         Dfa { alphabet_size, trans, start: 0, accepting }
     }
 
@@ -171,9 +169,8 @@ impl Dfa {
             let mut sig_index: BTreeMap<(usize, Vec<usize>), usize> = BTreeMap::new();
             let mut new_class = vec![0usize; n];
             for q in 0..n {
-                let succ_classes: Vec<usize> = (0..self.alphabet_size)
-                    .map(|s| class[self.next(q, s)])
-                    .collect();
+                let succ_classes: Vec<usize> =
+                    (0..self.alphabet_size).map(|s| class[self.next(q, s)]).collect();
                 let key = (class[q], succ_classes);
                 let next_id = sig_index.len();
                 let id = *sig_index.entry(key).or_insert(next_id);
@@ -194,8 +191,7 @@ impl Dfa {
             let c = class[q];
             accepting[c] = self.accepting[q];
             for s in 0..self.alphabet_size {
-                trans[c * self.alphabet_size as usize + s as usize] =
-                    class[self.next(q, s)];
+                trans[c * self.alphabet_size as usize + s as usize] = class[self.next(q, s)];
             }
         }
         Dfa { alphabet_size: self.alphabet_size, trans, start: class[self.start], accepting }
@@ -242,9 +238,9 @@ mod tests {
 
     #[test]
     fn example_word_is_shortest() {
-        let r = Regex::symbol(0).then(Regex::symbol(1)).or(Regex::symbol(0)
+        let r = Regex::symbol(0)
             .then(Regex::symbol(1))
-            .then(Regex::symbol(1)));
+            .or(Regex::symbol(0).then(Regex::symbol(1)).then(Regex::symbol(1)));
         let d = dfa(&r, 2);
         assert_eq!(d.example_word(), Some(vec![0, 1]));
         assert_eq!(dfa(&Regex::Empty, 1).example_word(), None);

@@ -28,16 +28,17 @@ pub fn graph_to_regex(
     let s = n_nodes;
     let f = n_nodes + 1;
     let mut arcs: BTreeMap<(usize, usize), Regex> = BTreeMap::new();
-    let add = |from: usize, to: usize, r: Regex, arcs: &mut BTreeMap<(usize, usize), Regex>| {
-        match arcs.remove(&(from, to)) {
+    let add =
+        |from: usize, to: usize, r: Regex, arcs: &mut BTreeMap<(usize, usize), Regex>| match arcs
+            .remove(&(from, to))
+        {
             Some(prev) => {
                 arcs.insert((from, to), prev.or(r));
             }
             None => {
                 arcs.insert((from, to), r);
             }
-        }
-    };
+        };
     for &(from, sym, to) in edges {
         add(from, to, Regex::symbol(sym), &mut arcs);
     }
@@ -84,16 +85,10 @@ fn eliminate(q: usize, arcs: &mut BTreeMap<(usize, usize), Regex>) {
         Some(r) => r.star(),
         None => Regex::Epsilon,
     };
-    let incoming: Vec<(usize, Regex)> = arcs
-        .iter()
-        .filter(|((_, t), _)| *t == q)
-        .map(|((u, _), r)| (*u, r.clone()))
-        .collect();
-    let outgoing: Vec<(usize, Regex)> = arcs
-        .iter()
-        .filter(|((u, _), _)| *u == q)
-        .map(|((_, t), r)| (*t, r.clone()))
-        .collect();
+    let incoming: Vec<(usize, Regex)> =
+        arcs.iter().filter(|((_, t), _)| *t == q).map(|((u, _), r)| (*u, r.clone())).collect();
+    let outgoing: Vec<(usize, Regex)> =
+        arcs.iter().filter(|((u, _), _)| *u == q).map(|((_, t), r)| (*t, r.clone())).collect();
     arcs.retain(|(u, t), _| *u != q && *t != q);
     for (u, rin) in &incoming {
         for (t, rout) in &outgoing {
@@ -123,10 +118,7 @@ mod tests {
         let r = graph_to_regex(n_nodes, edges, start, accepting);
         let from_graph = Dfa::from_nfa(&Nfa::from_graph(alpha, n_nodes, edges, start, accepting));
         let from_regex = Dfa::from_regex(&r, alpha);
-        assert!(
-            equivalent(&from_graph, &from_regex),
-            "language mismatch for regex {r}"
-        );
+        assert!(equivalent(&from_graph, &from_regex), "language mismatch for regex {r}");
     }
 
     #[test]
@@ -147,12 +139,7 @@ mod tests {
     #[test]
     fn while_loop_shape() {
         // entry → head; head → body | exit; body → head.
-        check(
-            4,
-            &[(0, 0, 1), (1, 1, 2), (2, 2, 1), (1, 3, 3)],
-            0,
-            &[3],
-        );
+        check(4, &[(0, 0, 1), (1, 1, 2), (2, 2, 1), (1, 3, 3)], 0, &[3]);
     }
 
     #[test]

@@ -13,11 +13,7 @@ enum Combine {
 }
 
 fn product(a: &Dfa, b: &Dfa, combine: Combine) -> Dfa {
-    assert_eq!(
-        a.alphabet_size(),
-        b.alphabet_size(),
-        "alphabet mismatch in product"
-    );
+    assert_eq!(a.alphabet_size(), b.alphabet_size(), "alphabet mismatch in product");
     let alpha = a.alphabet_size();
     let mut index: BTreeMap<(usize, usize), usize> = BTreeMap::new();
     let mut pairs: Vec<(usize, usize)> = Vec::new();
@@ -197,9 +193,7 @@ mod tests {
     fn equivalence_of_different_syntax() {
         // (0*)* ≡ 0*.
         let a = dfa(&Regex::symbol(0).star());
-        let b = dfa(&Regex::Star(std::rc::Rc::new(Regex::Star(std::rc::Rc::new(
-            Regex::Sym(0),
-        )))));
+        let b = dfa(&Regex::Star(std::rc::Rc::new(Regex::Star(std::rc::Rc::new(Regex::Sym(0))))));
         assert!(equivalent(&a, &b));
     }
 

@@ -9,10 +9,7 @@ const ALPHA: u32 = 3;
 
 /// A random regex over a 3-symbol alphabet, depth-bounded.
 fn regex_strategy() -> impl Strategy<Value = Regex> {
-    let leaf = prop_oneof![
-        Just(Regex::Epsilon),
-        (0..ALPHA).prop_map(Regex::symbol),
-    ];
+    let leaf = prop_oneof![Just(Regex::Epsilon), (0..ALPHA).prop_map(Regex::symbol),];
     leaf.prop_recursive(3, 24, 2, |inner| {
         prop_oneof![
             (inner.clone(), inner.clone()).prop_map(|(a, b)| a.then(b)),

@@ -76,10 +76,8 @@ fn bench_observer_sweep(_c: &mut Criterion) {
     if let (Some(lo), Some(hi)) = (&bounds.lower, &bounds.upper) {
         let high: BTreeSet<usize> = BTreeSet::new();
         for threshold in [100u64, 1_000, 10_000, 25_000, 100_000] {
-            let obs = Observer::ConcreteThreshold {
-                assumed: SeedAssignment::uniform(4096),
-                threshold,
-            };
+            let obs =
+                Observer::ConcreteThreshold { assumed: SeedAssignment::uniform(4096), threshold };
             println!(
                 "observer sweep login_safe(trmg) threshold={threshold}: narrow={}",
                 obs.is_narrow(lo, hi, &high)

@@ -15,10 +15,7 @@ fn bench_simplex(c: &mut Criterion) {
     let mut cons = Vec::new();
     for d in 0..dims {
         cons.push(Constraint::ge(&LinExpr::var(d), &LinExpr::constant(Rat::int(0))));
-        cons.push(Constraint::le(
-            &LinExpr::var(d),
-            &LinExpr::constant(Rat::int(100 + d as i128)),
-        ));
+        cons.push(Constraint::le(&LinExpr::var(d), &LinExpr::constant(Rat::int(100 + d as i128))));
     }
     for d in 0..dims - 1 {
         cons.push(Constraint::le(&LinExpr::var(d), &LinExpr::var(d + 1)));
@@ -46,15 +43,11 @@ fn bench_polyhedra(c: &mut Criterion) {
     };
     let a = boxed(0, 10);
     let b2 = boxed(5, 20);
-    c.bench_function("polyhedron_join_4d", |b| {
-        b.iter(|| std::hint::black_box(a.join(&b2)))
-    });
+    c.bench_function("polyhedron_join_4d", |b| b.iter(|| std::hint::black_box(a.join(&b2))));
     c.bench_function("polyhedron_includes_4d", |b| {
         b.iter(|| std::hint::black_box(a.includes(&b2)))
     });
-    c.bench_function("polyhedron_widen_4d", |b| {
-        b.iter(|| std::hint::black_box(a.widen(&b2)))
-    });
+    c.bench_function("polyhedron_widen_4d", |b| b.iter(|| std::hint::black_box(a.widen(&b2))));
 }
 
 fn bench_automata(c: &mut Criterion) {
@@ -70,9 +63,7 @@ fn bench_automata(c: &mut Criterion) {
     });
     let d1 = Dfa::from_regex(&r, alpha);
     let d2 = Dfa::from_regex(&Regex::symbol(0).then(Regex::symbol(2).star()), alpha);
-    c.bench_function("dfa_inclusion", |b| {
-        b.iter(|| std::hint::black_box(ops::included(&d2, &d1)))
-    });
+    c.bench_function("dfa_inclusion", |b| b.iter(|| std::hint::black_box(ops::included(&d2, &d1))));
 }
 
 fn bench_interp(c: &mut Criterion) {

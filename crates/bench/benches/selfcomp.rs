@@ -25,8 +25,7 @@ fn bench_engines(c: &mut Criterion) {
         g.bench_function(format!("selfcomp/{name}"), |bench| {
             bench.iter(|| {
                 std::hint::black_box(
-                    blazer_selfcomp::verify(&program, b.function, 32, &CostModel::unit())
-                        .verified,
+                    blazer_selfcomp::verify(&program, b.function, 32, &CostModel::unit()).verified,
                 )
             })
         });

@@ -1,26 +1,53 @@
 //! Regenerates Figure 1: the trail trees for `loginSafe` and `loginBad`,
 //! with per-trail bound ranges and taint/sec split arcs.
+//!
+//! Each analysis is isolated with `catch_unwind` so a crash in one example
+//! still lets the other render.
 
 use blazer_bench::config_for;
 use blazer_benchmarks::by_name;
-use blazer_core::{Blazer, Verdict};
+use blazer_core::{AnalysisOutcome, Blazer, Verdict};
 
 fn main() {
+    let mut crashes = 0usize;
     for name in ["login_safe", "login_unsafe"] {
         let b = by_name(name).expect("benchmark exists");
         let program = b.compile();
         let blazer = Blazer::new(config_for(b.group));
-        let outcome = blazer.analyze(&program, b.function).expect("analyzes");
         println!(
             "==== {} (Fig. 1 {}) ====",
             name,
             if name.ends_with("unsafe") { "bottom" } else { "top" }
         );
+        let analyzed: Result<AnalysisOutcome, String> =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                blazer.analyze(&program, b.function).expect("analyzes")
+            }))
+            .map_err(|payload| {
+                payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_else(|| "panic with non-string payload".to_string())
+            });
+        let outcome = match analyzed {
+            Ok(o) => o,
+            Err(msg) => {
+                crashes += 1;
+                println!("verdict: CRASHED: {msg}");
+                println!();
+                continue;
+            }
+        };
         println!("verdict: {}", outcome.verdict);
         println!("{}", outcome.render_tree(&program));
         if let Verdict::Attack(spec) = &outcome.verdict {
             println!("{spec}");
         }
         println!();
+    }
+    if crashes > 0 {
+        println!("{crashes} analysis run(s) crashed (isolated; see above)");
+        std::process::exit(1);
     }
 }

@@ -1,28 +1,50 @@
 //! The decomposition-vs-self-composition comparison (the paper's central
 //! motivation, Sec. 1/7): run both engines over the safe benchmarks and
 //! report who verifies what, and how fast.
+//!
+//! Each engine run is isolated with `catch_unwind`: a crash in one
+//! benchmark (or one engine) prints a diagnostic cell and the comparison
+//! continues.
 
 use blazer_bench::config_for;
 use blazer_core::Blazer;
 use blazer_ir::cost::CostModel;
 use std::time::Instant;
 
+/// Runs `f` under panic isolation, mapping a crash to `Err(message)`.
+fn isolated<T>(f: impl FnOnce() -> T) -> Result<T, String> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)).map_err(|payload| {
+        payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_else(|| "panic with non-string payload".to_string())
+    })
+}
+
 fn main() {
     println!(
         "{:<22} {:>14} {:>12} {:>14} {:>12}",
         "Benchmark", "decomposition", "time (s)", "self-comp", "time (s)"
     );
+    let mut crashes = 0usize;
     for b in blazer_benchmarks::all() {
         if b.expected != blazer_benchmarks::Expected::Safe {
             continue;
         }
         let program = b.compile();
         let t0 = Instant::now();
-        let outcome = Blazer::new(config_for(b.group))
-            .analyze(&program, b.function)
-            .expect("analyzes");
+        let deco = match isolated(|| {
+            Blazer::new(config_for(b.group)).analyze(&program, b.function).expect("analyzes")
+        }) {
+            Ok(outcome) if outcome.verdict.is_safe() => "verified",
+            Ok(_) => "failed",
+            Err(_) => {
+                crashes += 1;
+                "CRASHED"
+            }
+        };
         let deco_time = t0.elapsed();
-        let deco = if outcome.verdict.is_safe() { "verified" } else { "failed" };
 
         // Attacker constant mirroring the degree observer's epsilon; for
         // threshold groups use the 25k threshold.
@@ -30,15 +52,27 @@ fn main() {
             blazer_benchmarks::Group::MicroBench => 32,
             _ => 25_000,
         };
-        let sc = blazer_selfcomp::verify(&program, b.function, eps, &CostModel::unit());
-        let scv = if sc.verified { "verified" } else { "failed" };
+        let t1 = Instant::now();
+        let (scv, sc_time) = match isolated(|| {
+            blazer_selfcomp::verify(&program, b.function, eps, &CostModel::unit())
+        }) {
+            Ok(sc) => (if sc.verified { "verified" } else { "failed" }, sc.time),
+            Err(_) => {
+                crashes += 1;
+                ("CRASHED", t1.elapsed())
+            }
+        };
         println!(
             "{:<22} {:>14} {:>12.2} {:>14} {:>12.2}",
             b.name,
             deco,
             deco_time.as_secs_f64(),
             scv,
-            sc.time.as_secs_f64()
+            sc_time.as_secs_f64()
         );
+    }
+    if crashes > 0 {
+        println!("{crashes} engine run(s) crashed (isolated; see rows above)");
+        std::process::exit(1);
     }
 }

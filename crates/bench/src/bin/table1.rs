@@ -1,30 +1,54 @@
 //! Regenerates Table 1: per-benchmark size, verdict, median safety time,
 //! and median safety+attack time.
+//!
+//! Each benchmark runs under `catch_unwind` isolation: a crash (a bug, or a
+//! `BLAZER_FAULT` panic injection) prints a diagnostic row and the table
+//! keeps going. Set `BLAZER_ONLY=name1,name2` to restrict the run to
+//! benchmarks whose names contain one of the given substrings.
 
-use blazer_bench::{run_benchmark, Row};
+use blazer_bench::{try_run_benchmark, Row};
 use blazer_core::Verdict;
 
 fn main() {
-    let runs: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(5);
+    let runs: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(5);
+    let only: Option<Vec<String>> = std::env::var("BLAZER_ONLY")
+        .ok()
+        .map(|s| s.split(',').map(|p| p.trim().to_string()).collect());
     println!(
-        "{:<22} {:>5} {:>12} {:>12}   {:<8} {}",
-        "Benchmark", "Size", "Safety (s)", "w/Attack(s)", "Verdict", "matches paper?"
+        "{:<22} {:>5} {:>12} {:>12}   {:<8} matches paper?",
+        "Benchmark", "Size", "Safety (s)", "w/Attack(s)", "Verdict"
     );
     let mut all_match = true;
+    let mut crashes = 0usize;
+    let mut selected = 0usize;
     let mut group = None;
     for b in blazer_benchmarks::all() {
+        if let Some(only) = &only {
+            if !only.iter().any(|p| b.name.contains(p.as_str())) {
+                continue;
+            }
+        }
+        selected += 1;
         if group != Some(b.group) {
             println!("--- {} ---", b.group);
             group = Some(b.group);
         }
-        let row: Row = run_benchmark(&b, runs);
+        let row: Row = match try_run_benchmark(&b, runs) {
+            Ok(row) => row,
+            Err(panic_msg) => {
+                crashes += 1;
+                all_match = false;
+                println!(
+                    "{:<22} {:>5} {:>12} {:>12}   {:<8} CRASHED: {panic_msg}",
+                    b.name, "-", "-", "-", "crash"
+                );
+                continue;
+            }
+        };
         let verdict = match row.verdict {
             Verdict::Safe => "safe",
             Verdict::Attack(_) => "attack",
-            Verdict::Unknown => "gave up",
+            Verdict::Unknown(_) => "gave up",
         };
         let attack_time = row
             .with_attack_time
@@ -43,8 +67,13 @@ fn main() {
         );
     }
     println!();
-    if all_match {
+    if crashes > 0 {
+        println!("{crashes} benchmark(s) crashed (isolated; see rows above)");
+    }
+    if all_match && only.is_none() {
         println!("all 24 verdicts match Table 1");
+    } else if all_match {
+        println!("all {selected} selected verdicts match Table 1");
     } else {
         println!("MISMATCHES against Table 1 detected");
         std::process::exit(1);

@@ -48,7 +48,7 @@ impl Row {
             (&self.verdict, self.expected),
             (Verdict::Safe, Expected::Safe)
                 | (Verdict::Attack(_), Expected::Attack)
-                | (Verdict::Unknown, Expected::Unknown)
+                | (Verdict::Unknown(_), Expected::Unknown)
         )
     }
 }
@@ -74,6 +74,21 @@ pub fn run_benchmark(b: &Benchmark, runs: usize) -> Row {
     }
 }
 
+/// Like [`run_benchmark`], but isolates panics (injected faults, genuine
+/// bugs) so one crashing benchmark cannot abort a whole table run. Returns
+/// the panic payload as the error.
+pub fn try_run_benchmark(b: &Benchmark, runs: usize) -> Result<Row, String> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_benchmark(b, runs))).map_err(
+        |payload| {
+            payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "panic with non-string payload".to_string())
+        },
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -84,16 +99,10 @@ mod tests {
         // MicroBench gets the degree observer; STAC/Literature the
         // threshold observer.
         let micro = config_for(Group::MicroBench);
-        assert!(matches!(
-            micro.observer,
-            blazer_bounds::Observer::DegreeEquivalence { .. }
-        ));
+        assert!(matches!(micro.observer, blazer_bounds::Observer::DegreeEquivalence { .. }));
         for g in [Group::Stac, Group::Literature] {
             let c = config_for(g);
-            assert!(matches!(
-                c.observer,
-                blazer_bounds::Observer::ConcreteThreshold { .. }
-            ));
+            assert!(matches!(c.observer, blazer_bounds::Observer::ConcreteThreshold { .. }));
         }
     }
 
@@ -108,10 +117,11 @@ mod tests {
             safety_time: Duration::from_millis(1),
             with_attack_time: None,
         };
+        let unknown = || Verdict::Unknown(blazer_core::UnknownReason::SearchExhausted);
         assert!(row(Verdict::Safe, Expected::Safe).matches_paper());
-        assert!(row(Verdict::Unknown, Expected::Unknown).matches_paper());
+        assert!(row(unknown(), Expected::Unknown).matches_paper());
         assert!(!row(Verdict::Safe, Expected::Attack).matches_paper());
-        assert!(!row(Verdict::Unknown, Expected::Safe).matches_paper());
+        assert!(!row(unknown(), Expected::Safe).matches_paper());
     }
 
     #[test]

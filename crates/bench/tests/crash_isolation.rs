@@ -1,0 +1,39 @@
+//! The benchmark harnesses survive a crashing benchmark: an injected panic
+//! (`BLAZER_FAULT=panic:<n>`) produces a diagnostic row and the run
+//! continues to completion.
+
+use std::process::Command;
+
+#[test]
+fn table1_isolates_an_injected_crash() {
+    // Restrict to two cheap LP-using benchmarks: the panic fault fires once
+    // per process at the 3rd LP call, so the first benchmark crashes and
+    // the second must still produce a normal row.
+    let out = Command::new(env!("CARGO_BIN_EXE_table1"))
+        .arg("1")
+        .env("BLAZER_FAULT", "panic:3")
+        .env("BLAZER_ONLY", "sanity_safe,sanity_unsafe")
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.code().is_some(), "harness must exit, not die on a signal");
+    assert!(stdout.contains("CRASHED"), "diagnostic row expected:\n{stdout}");
+    assert!(stdout.contains("crashed (isolated"), "completion summary expected:\n{stdout}");
+    // The non-crashing benchmark still produced a verdict row.
+    assert!(
+        stdout.contains("safe") || stdout.contains("attack"),
+        "surviving row expected:\n{stdout}"
+    );
+}
+
+#[test]
+fn table1_subset_filter_runs_clean() {
+    let out = Command::new(env!("CARGO_BIN_EXE_table1"))
+        .arg("1")
+        .env("BLAZER_ONLY", "sanity_safe")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stdout));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("all 1 selected verdicts match Table 1"), "{stdout}");
+}

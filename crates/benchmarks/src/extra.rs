@@ -70,12 +70,9 @@ mod tests {
 
     #[test]
     fn extras_compile() {
-        for (name, src) in [
-            ("foo", EXAMPLE1_FOO),
-            ("bar", EXAMPLE2_BAR),
-            ("ex1", SEC7_EX1),
-            ("ex2", SEC7_EX2),
-        ] {
+        for (name, src) in
+            [("foo", EXAMPLE1_FOO), ("bar", EXAMPLE2_BAR), ("ex1", SEC7_EX1), ("ex2", SEC7_EX2)]
+        {
             let p = blazer_lang::compile(src).unwrap_or_else(|e| panic!("{name}: {e}"));
             assert_eq!(p.validate(), Ok(()), "{name}");
         }

@@ -124,12 +124,7 @@ mod tests {
         for b in all() {
             let p = b.compile();
             assert_eq!(p.validate(), Ok(()), "{}", b.name);
-            assert!(
-                p.function(b.function).is_some(),
-                "{} lacks function {}",
-                b.name,
-                b.function
-            );
+            assert!(p.function(b.function).is_some(), "{} lacks function {}", b.name, b.function);
         }
     }
 

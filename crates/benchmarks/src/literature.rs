@@ -11,7 +11,12 @@
 
 use crate::{Benchmark, Expected, Group};
 
-fn lit(name: &'static str, function: &'static str, source: &'static str, expected: Expected) -> Benchmark {
+fn lit(
+    name: &'static str,
+    function: &'static str,
+    source: &'static str,
+    expected: Expected,
+) -> Benchmark {
     Benchmark { name, group: Group::Literature, function, source, expected }
 }
 

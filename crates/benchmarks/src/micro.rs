@@ -7,7 +7,12 @@
 
 use crate::{Benchmark, Expected, Group};
 
-fn micro(name: &'static str, function: &'static str, source: &'static str, expected: Expected) -> Benchmark {
+fn micro(
+    name: &'static str,
+    function: &'static str,
+    source: &'static str,
+    expected: Expected,
+) -> Benchmark {
     Benchmark { name, group: Group::MicroBench, function, source, expected }
 }
 
@@ -224,12 +229,7 @@ pub fn benchmarks() -> Vec<Benchmark> {
         micro("sanity_safe", "sanity_safe", SANITY_SAFE, Expected::Safe),
         micro("sanity_unsafe", "sanity_unsafe", SANITY_UNSAFE, Expected::Attack),
         micro("straightline_safe", "straightline_safe", STRAIGHTLINE_SAFE, Expected::Safe),
-        micro(
-            "straightline_unsafe",
-            "straightline_unsafe",
-            STRAIGHTLINE_UNSAFE,
-            Expected::Attack,
-        ),
+        micro("straightline_unsafe", "straightline_unsafe", STRAIGHTLINE_UNSAFE, Expected::Attack),
         micro("unixlogin_safe", "unixlogin_safe", UNIXLOGIN_SAFE, Expected::Safe),
         micro("unixlogin_unsafe", "unixlogin_unsafe", UNIXLOGIN_UNSAFE, Expected::Attack),
     ]

@@ -9,7 +9,12 @@
 
 use crate::{Benchmark, Expected, Group};
 
-fn stac(name: &'static str, function: &'static str, source: &'static str, expected: Expected) -> Benchmark {
+fn stac(
+    name: &'static str,
+    function: &'static str,
+    source: &'static str,
+    expected: Expected,
+) -> Benchmark {
     Benchmark { name, group: Group::Stac, function, source, expected }
 }
 

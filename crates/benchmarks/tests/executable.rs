@@ -36,12 +36,7 @@ fn every_benchmark_runs_without_faults() {
             let inputs = inputs_for(&p, b.function, variant);
             let mut oracle = SeededOracle::new(variant);
             let r = interp.run(b.function, &inputs, &mut oracle);
-            assert!(
-                r.is_ok(),
-                "{} failed on variant {variant}: {:?}",
-                b.name,
-                r.err()
-            );
+            assert!(r.is_ok(), "{} failed on variant {variant}: {:?}", b.name, r.err());
         }
     }
 }
@@ -74,16 +69,10 @@ fn pairs_differ_in_secret_sensitivity() {
                 })
                 .collect();
             // Fixed oracle seed: the extern environment is low.
-            let t = interp
-                .run(b.function, &inputs, &mut SeededOracle::new(1))
-                .unwrap();
+            let t = interp.run(b.function, &inputs, &mut SeededOracle::new(1)).unwrap();
             costs.insert(t.cost);
         }
-        assert_eq!(
-            costs.len() > 1,
-            expect_sensitive,
-            "{name}: cost set {costs:?}"
-        );
+        assert_eq!(costs.len() > 1, expect_sensitive, "{name}: cost set {costs:?}");
     };
 
     for (safe, unsafe_) in [
@@ -115,9 +104,7 @@ fn login_pair_with_pinned_store() {
             let guess = Value::array(vec![1, 1, 1, 1]);
             let mut oracle =
                 SeededOracle::new(0).with_override("retrievePassword", Value::array(pw));
-            let t = interp
-                .run(b.function, &[username.clone(), guess], &mut oracle)
-                .unwrap();
+            let t = interp.run(b.function, &[username.clone(), guess], &mut oracle).unwrap();
             costs.insert(t.cost);
         }
         assert_eq!(costs.len() > 1, sensitive, "{name}: {costs:?}");

@@ -50,17 +50,17 @@ pub fn graph_bounds<D: AbstractDomain>(
     cost_model: &CostModel,
     seeds: &BTreeSet<usize>,
 ) -> BoundResult {
+    if blazer_ir::budget::check().is_err() {
+        // Degraded answer: cost is trivially ≥ 0 and unknown above. The
+        // missing upper bound can only make interval comparison *wider*
+        // (Unknown), never a wrong Safe.
+        blazer_ir::budget::note_degradation(
+            "bounds: analysis skipped by exhausted budget; answering [0, ∞)",
+        );
+        return BoundResult { lower: Some(CostExpr::zero()), upper: None };
+    }
     let prepared = prepare(program, f, dims, graph, init, cost_model, seeds, 0);
-    let (lower, upper) = dp(
-        program,
-        f,
-        dims,
-        graph,
-        &prepared,
-        cost_model,
-        seeds,
-        graph.exits(),
-    );
+    let (lower, upper) = dp(program, f, dims, graph, &prepared, cost_model, seeds, graph.exits());
     BoundResult { lower, upper }
 }
 
@@ -110,9 +110,8 @@ fn prepare<D: AbstractDomain>(
     let mut exit_summaries = Vec::with_capacity(sccs.len());
     let mut wellformed = Vec::with_capacity(sccs.len());
     for scc in &sccs {
-        let (summary, ok) = summarize_loop(
-            program, f, dims, graph, &res, &feasible, scc, cost_model, seeds, depth,
-        );
+        let (summary, ok) =
+            summarize_loop(program, f, dims, graph, &res, &feasible, scc, cost_model, seeds, depth);
         exit_summaries.push(summary);
         wellformed.push(ok);
     }
@@ -154,12 +153,15 @@ fn summarize_loop<D: AbstractDomain>(
         entry_targets.insert(graph.entry());
     }
     let unknown_summary = |exit_edges: &[usize]| {
-        exit_edges
-            .iter()
-            .map(|&ei| (ei, (CostExpr::zero(), None)))
-            .collect::<BTreeMap<_, _>>()
+        exit_edges.iter().map(|&ei| (ei, (CostExpr::zero(), None))).collect::<BTreeMap<_, _>>()
     };
     if entry_targets.len() != 1 || depth >= MAX_LOOP_DEPTH {
+        return (unknown_summary(&exit_edges), false);
+    }
+    if blazer_ir::budget::check().is_err() {
+        // Unknown upper bounds are always sound; skip the recursive
+        // header-split analysis once the budget is gone.
+        blazer_ir::budget::note_degradation("bounds: loop summary skipped by exhausted budget");
         return (unknown_summary(&exit_edges), false);
     }
     let header = *entry_targets.iter().next().unwrap();
@@ -181,9 +183,7 @@ fn summarize_loop<D: AbstractDomain>(
     // octagonal), it is recomputed in the analysis domain.
     let head_state = res.state(header);
     let temp_dim = dims.n_dims() + dims.n_vars() + 8;
-    let guard_is_sole_exit = exit_edges
-        .iter()
-        .all(|&ei| graph.edges()[ei].from == header);
+    let guard_is_sole_exit = exit_edges.iter().all(|&ei| graph.edges()[ei].from == header);
     let mut iter_bounds = IterationBounds::unknown();
     let ranking = graph
         .node(header)
@@ -239,20 +239,15 @@ fn summarize_loop<D: AbstractDomain>(
 
     // One-iteration body bounds via the header-split graph.
     let (split, sink) = header_split_graph(graph, scc, header);
-    let split_prepared = prepare(
-        program, f, dims, &split, head_state, cost_model, seeds, depth + 1,
-    );
-    let (body_lo, body_hi) = dp(
-        program, f, dims, &split, &split_prepared, cost_model, seeds, &[sink],
-    );
+    let split_prepared =
+        prepare(program, f, dims, &split, head_state, cost_model, seeds, depth + 1);
+    let (body_lo, body_hi) =
+        dp(program, f, dims, &split, &split_prepared, cost_model, seeds, &[sink]);
     let (iter_lo, iter_hi, body_lo, body_hi) = match body_lo {
         // No feasible complete iteration: zero iterations ever complete.
-        None => (
-            CostExpr::zero(),
-            Some(CostExpr::zero()),
-            CostExpr::zero(),
-            Some(CostExpr::zero()),
-        ),
+        None => {
+            (CostExpr::zero(), Some(CostExpr::zero()), CostExpr::zero(), Some(CostExpr::zero()))
+        }
         Some(lo) => (iter_bounds.lower, iter_bounds.upper, lo, body_hi),
     };
     let loop_lo = iter_lo.mul_nonneg(body_lo);
@@ -285,11 +280,9 @@ fn summarize_loop<D: AbstractDomain>(
                 None => (Some(CostExpr::zero()), None),
             }
         };
-        let (ub_lo, ub_hi) = node_block_cost(program, f, dims, graph, &res.state(u).clone(), u, cost_model, seeds);
-        let lo = loop_lo
-            .clone()
-            .add2(partial_lo.unwrap_or_else(CostExpr::zero))
-            .add2(ub_lo);
+        let (ub_lo, ub_hi) =
+            node_block_cost(program, f, dims, graph, &res.state(u).clone(), u, cost_model, seeds);
+        let lo = loop_lo.clone().add2(partial_lo.unwrap_or_else(CostExpr::zero)).add2(ub_lo);
         let hi = match (&loop_hi, partial_hi, ub_hi) {
             (Some(l), Some(p), Some(u)) => Some(l.clone().add2(p).add2(u)),
             _ => None,
@@ -432,11 +425,7 @@ fn topo_order<Rep: Copy + Ord>(
             *indeg.get_mut(b).unwrap() += 1;
         }
     }
-    let mut queue: Vec<Rep> = indeg
-        .iter()
-        .filter(|(_, &d)| d == 0)
-        .map(|(&r, _)| r)
-        .collect();
+    let mut queue: Vec<Rep> = indeg.iter().filter(|(_, &d)| d == 0).map(|(&r, _)| r).collect();
     let mut order = Vec::new();
     let mut qi = 0;
     while qi < queue.len() {
@@ -588,8 +577,7 @@ fn cyclic_sccs_feasible(graph: &ProductGraph, feasible: &[bool]) -> Vec<Vec<Prod
                             break;
                         }
                     }
-                    let cyclic =
-                        comp.len() > 1 || succs[v].contains(&v);
+                    let cyclic = comp.len() > 1 || succs[v].contains(&v);
                     if cyclic {
                         comp.sort();
                         out.push(comp);

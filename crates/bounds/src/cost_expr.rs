@@ -111,7 +111,7 @@ impl Poly {
             return;
         }
         let entry = self.terms.entry(m.clone()).or_insert(Rat::ZERO);
-        *entry = *entry + c;
+        *entry += c;
         if entry.is_zero() {
             self.terms.remove(&m);
         }
@@ -425,6 +425,7 @@ impl CostExpr {
     }
 
     /// Negation.
+    #[allow(clippy::should_implement_trait)] // by-value helper, mirrors scale()
     pub fn neg(self) -> CostExpr {
         match self {
             CostExpr::Poly(p) => CostExpr::Poly(p.scale(-Rat::ONE)),
@@ -470,20 +471,13 @@ impl CostExpr {
     pub fn eval(&self, value_of: &dyn Fn(usize) -> Rat) -> Rat {
         match self {
             CostExpr::Poly(p) => p.eval(value_of),
-            CostExpr::Max(v) => v
-                .iter()
-                .map(|e| e.eval(value_of))
-                .reduce(Rat::max)
-                .unwrap_or(Rat::ZERO),
-            CostExpr::Min(v) => v
-                .iter()
-                .map(|e| e.eval(value_of))
-                .reduce(Rat::min)
-                .unwrap_or(Rat::ZERO),
-            CostExpr::Add(v) => v
-                .iter()
-                .map(|e| e.eval(value_of))
-                .fold(Rat::ZERO, |a, b| a + b),
+            CostExpr::Max(v) => {
+                v.iter().map(|e| e.eval(value_of)).reduce(Rat::max).unwrap_or(Rat::ZERO)
+            }
+            CostExpr::Min(v) => {
+                v.iter().map(|e| e.eval(value_of)).reduce(Rat::min).unwrap_or(Rat::ZERO)
+            }
+            CostExpr::Add(v) => v.iter().map(|e| e.eval(value_of)).fold(Rat::ZERO, |a, b| a + b),
             CostExpr::MulNonneg(a, b) => a.eval(value_of) * b.eval(value_of),
             CostExpr::Neg(e) => -e.eval(value_of),
             CostExpr::Log2(e) => {
@@ -573,11 +567,9 @@ impl CostExpr {
                     "min({})",
                     v.iter().map(|e| go(e, name_of)).collect::<Vec<_>>().join(", ")
                 ),
-                CostExpr::Add(v) => v
-                    .iter()
-                    .map(|e| go(e, name_of))
-                    .collect::<Vec<_>>()
-                    .join(" + "),
+                CostExpr::Add(v) => {
+                    v.iter().map(|e| go(e, name_of)).collect::<Vec<_>>().join(" + ")
+                }
                 CostExpr::MulNonneg(a, b) => {
                     format!("({})·({})", go(a, name_of), go(b, name_of))
                 }
@@ -650,10 +642,7 @@ mod tests {
         // max(0, x0) * 3 = max(0, 3x0).
         let it = CostExpr::poly(Poly::var(0)).clamp_nonneg();
         let prod = it.mul_nonneg(CostExpr::constant(r(3)));
-        assert_eq!(
-            prod,
-            CostExpr::zero().max2(CostExpr::poly(Poly::var(0).scale(r(3))))
-        );
+        assert_eq!(prod, CostExpr::zero().max2(CostExpr::poly(Poly::var(0).scale(r(3)))));
         assert_eq!(prod.eval(&|_| r(4)), r(12));
         assert_eq!(prod.eval(&|_| r(-4)), r(0));
     }
@@ -662,9 +651,8 @@ mod tests {
     fn sub_cancels_shared_terms() {
         // (max(0,h)·5 + 23) − (max(0,h)·5 + 8) = 15 even though `h` is
         // secret — the cancellation is what verifies loopAndBranch_safe.
-        let shared = CostExpr::poly(Poly::var(9))
-            .clamp_nonneg()
-            .mul_nonneg(CostExpr::constant(r(5)));
+        let shared =
+            CostExpr::poly(Poly::var(9)).clamp_nonneg().mul_nonneg(CostExpr::constant(r(5)));
         let upper = shared.clone().add2(CostExpr::constant(r(23)));
         let lower = shared.add2(CostExpr::constant(r(8)));
         let diff = upper.sub(&lower);
@@ -694,10 +682,7 @@ mod tests {
     #[test]
     fn clamp_constants_eagerly() {
         assert_eq!(CostExpr::constant(r(-5)).clamp_nonneg(), CostExpr::zero());
-        assert_eq!(
-            CostExpr::constant(r(5)).clamp_nonneg(),
-            CostExpr::constant(r(5))
-        );
+        assert_eq!(CostExpr::constant(r(5)).clamp_nonneg(), CostExpr::constant(r(5)));
     }
 
     #[test]

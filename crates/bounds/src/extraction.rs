@@ -86,11 +86,7 @@ fn bounds_on_temp(
 pub fn pick_best(candidates: Vec<LinExpr>, upper: bool) -> Option<LinExpr> {
     let score = |e: &LinExpr| e.eval(|_| Rat::int(1009));
     candidates.into_iter().reduce(|best, cand| {
-        let better = if upper {
-            score(&cand) < score(&best)
-        } else {
-            score(&cand) > score(&best)
-        };
+        let better = if upper { score(&cand) < score(&best) } else { score(&cand) > score(&best) };
         if better {
             cand
         } else {

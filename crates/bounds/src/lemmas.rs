@@ -55,9 +55,9 @@ pub fn stay_ranking(dims: &DimMap, cond: &Cond, stay_on_taken: bool) -> Option<L
     let ea = blazer_absint::transfer::linearize_operand(dims, a);
     let eb = blazer_absint::transfer::linearize_operand(dims, b);
     match op {
-        CmpOp::Lt => Some(eb.sub(&ea)),                       // a < b  ⇔ b−a ≥ 1
+        CmpOp::Lt => Some(eb.sub(&ea)), // a < b  ⇔ b−a ≥ 1
         CmpOp::Le => Some(eb.sub(&ea).add_constant(Rat::ONE)), // a ≤ b ⇔ b−a+1 ≥ 1
-        CmpOp::Gt => Some(ea.sub(&eb)),                       // a > b ⇔ a−b ≥ 1
+        CmpOp::Gt => Some(ea.sub(&eb)), // a > b ⇔ a−b ≥ 1
         CmpOp::Ge => Some(ea.sub(&eb).add_constant(Rat::ONE)),
         CmpOp::Eq | CmpOp::Ne => None,
     }
@@ -134,9 +134,7 @@ pub fn match_counter_lemmas(
         let sups = symbolic_sups(entry_state, ranking, seeds, temp_dim);
         pick_best(sups, true).map(|r0| {
             // iterations ≤ log₂(r0) + 1 while r ≥ 1 is required to stay.
-            CostExpr::poly(Poly::from_linexpr(&r0))
-                .log2()
-                .add2(CostExpr::constant(Rat::ONE))
+            CostExpr::poly(Poly::from_linexpr(&r0)).log2().add2(CostExpr::constant(Rat::ONE))
         })
     } else {
         match delta_sup {
@@ -201,11 +199,7 @@ mod tests {
         let sccs = g.cyclic_sccs();
         assert_eq!(sccs.len(), 1);
         let scc = &sccs[0];
-        let header = *g
-            .back_edge_targets()
-            .iter()
-            .find(|h| scc.contains(h))
-            .unwrap();
+        let header = *g.back_edge_targets().iter().find(|h| scc.contains(h)).unwrap();
         let ti = loop_transition_invariant(&p, f, &g, scc, header, r.state(header));
 
         // Stay ranking from the header branch.
@@ -216,11 +210,13 @@ mod tests {
         // The then-arm stays in the loop for all these tests.
         let stay_taken = {
             let then_node = blazer_ir::NodeId::block(*then_bb);
-            g.nodes().iter().any(|n| n.cfg_node == then_node && {
-                let id = blazer_absint::ProductNodeId(
-                    g.nodes().iter().position(|m| std::ptr::eq(m, n)).unwrap(),
-                );
-                scc.contains(&id)
+            g.nodes().iter().any(|n| {
+                n.cfg_node == then_node && {
+                    let id = blazer_absint::ProductNodeId(
+                        g.nodes().iter().position(|m| std::ptr::eq(m, n)).unwrap(),
+                    );
+                    scc.contains(&id)
+                }
             })
         };
         let r_post = stay_ranking(&dims, cond, stay_taken).expect("linear guard");
@@ -265,10 +261,9 @@ mod tests {
             iteration_bounds("fn f(n: int) { let i: int = 0; while (i < n) { i = i + 2; } }");
         let n = dims.seed(0);
         // upper = (n − 1)/2 + 1 = (n + 1)/2; lower = n/2.
-        let upper = CostExpr::poly(
-            Poly::var(n).scale(Rat::new(1, 2)).add(&Poly::constant(Rat::new(1, 2))),
-        )
-        .clamp_nonneg();
+        let upper =
+            CostExpr::poly(Poly::var(n).scale(Rat::new(1, 2)).add(&Poly::constant(Rat::new(1, 2))))
+                .clamp_nonneg();
         let lower = CostExpr::poly(Poly::var(n).scale(Rat::new(1, 2))).clamp_nonneg();
         assert_eq!(ib.upper, Some(upper));
         assert_eq!(ib.lower, lower);
@@ -309,10 +304,7 @@ mod tests {
         assert_eq!(r, LinExpr::var(db).sub(&LinExpr::var(da)));
         // Negated: stay on the else arm of a<b is a ≥ b ⇔ a−b+1 ≥ 1.
         let r = stay_ranking(&dims, &Cond::cmp(CmpOp::Lt, a, b), false).unwrap();
-        assert_eq!(
-            r,
-            LinExpr::var(da).sub(&LinExpr::var(db)).add_constant(Rat::ONE)
-        );
+        assert_eq!(r, LinExpr::var(da).sub(&LinExpr::var(db)).add_constant(Rat::ONE));
         assert!(stay_ranking(&dims, &Cond::cmp(CmpOp::Eq, a, b), true).is_none());
         assert!(stay_ranking(&dims, &Cond::Nondet, true).is_none());
     }

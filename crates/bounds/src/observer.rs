@@ -74,10 +74,7 @@ impl Observer {
 
     /// The paper's real-world observer: 4096-magnitude inputs, 25k units.
     pub fn stac() -> Self {
-        Observer::ConcreteThreshold {
-            assumed: SeedAssignment::uniform(4096),
-            threshold: 25_000,
-        }
+        Observer::ConcreteThreshold { assumed: SeedAssignment::uniform(4096), threshold: 25_000 }
     }
 
     /// Whether `[lower, upper]` is a *narrow* range.
@@ -106,22 +103,18 @@ impl Observer {
                     return false;
                 }
                 diff.degree() == 0
-                    && diff
-                        .as_constant()
-                        .map_or_else(
-                            || {
-                                // Degree-0 but with max/min structure:
-                                // evaluate at an arbitrary point (constants
-                                // only).
-                                diff.eval(&|_| Rat::ZERO).abs()
-                                    <= Rat::int(*epsilon as i128)
-                            },
-                            |c| c.abs() <= Rat::int(*epsilon as i128),
-                        )
+                    && diff.as_constant().map_or_else(
+                        || {
+                            // Degree-0 but with max/min structure:
+                            // evaluate at an arbitrary point (constants
+                            // only).
+                            diff.eval(&|_| Rat::ZERO).abs() <= Rat::int(*epsilon as i128)
+                        },
+                        |c| c.abs() <= Rat::int(*epsilon as i128),
+                    )
             }
             Observer::ConcreteThreshold { assumed, threshold } => {
-                (assumed.eval(upper) - assumed.eval(lower)).abs()
-                    <= Rat::int(*threshold as i128)
+                (assumed.eval(upper) - assumed.eval(lower)).abs() <= Rat::int(*threshold as i128)
             }
         }
     }
@@ -147,9 +140,7 @@ impl Observer {
                 let at = |e: &CostExpr| e.eval(&|_| Rat::int(1009));
                 let eps = Rat::int(*epsilon as i128);
                 match (hi1, hi2) {
-                    (Some(h1), Some(h2)) => {
-                        at(lo1) - at(h2) > eps || at(lo2) - at(h1) > eps
-                    }
+                    (Some(h1), Some(h2)) => at(lo1) - at(h2) > eps || at(lo2) - at(h1) > eps,
                     _ => false,
                 }
             }
@@ -209,10 +200,8 @@ mod tests {
 
     #[test]
     fn threshold_narrowness() {
-        let obs = Observer::ConcreteThreshold {
-            assumed: SeedAssignment::uniform(100),
-            threshold: 500,
-        };
+        let obs =
+            Observer::ConcreteThreshold { assumed: SeedAssignment::uniform(100), threshold: 500 };
         let high = BTreeSet::new();
         // Width 4·x0 at x0=100 → 400 ≤ 500: narrow.
         assert!(obs.is_narrow(&linear(0, 19, 10), &linear(0, 23, 10), &high));
@@ -251,10 +240,7 @@ mod tests {
 
     #[test]
     fn seed_assignment_overrides() {
-        let a = SeedAssignment {
-            default: 10,
-            overrides: vec![(3, 100)],
-        };
+        let a = SeedAssignment { default: 10, overrides: vec![(3, 100)] };
         assert_eq!(a.value(0), Rat::int(10));
         assert_eq!(a.value(3), Rat::int(100));
         let e = linear(3, 2, 1);

@@ -35,17 +35,13 @@ fn at(e: &blazer_bounds::CostExpr, dims: &DimMap, vals: &[i64]) -> i64 {
 
 #[test]
 fn straightline_exact() {
-    let (p, dims, b) = bounds_of(
-        "fn f(x: int) -> int { let y: int = x + 1; let z: int = y * 2; return z; }",
-        "f",
-    );
+    let (p, dims, b) =
+        bounds_of("fn f(x: int) -> int { let y: int = x + 1; let z: int = y * 2; return z; }", "f");
     let lo = b.lower.expect("reachable");
     let hi = b.upper.expect("bounded");
     assert_eq!(at(&lo, &dims, &[5]), 3);
     assert_eq!(at(&hi, &dims, &[5]), 3);
-    let t = Interp::new(&p)
-        .run("f", &[Value::Int(5)], &mut SeededOracle::new(0))
-        .unwrap();
+    let t = Interp::new(&p).run("f", &[Value::Int(5)], &mut SeededOracle::new(0)).unwrap();
     assert_eq!(t.cost, 3);
 }
 
@@ -56,9 +52,7 @@ fn counting_loop_tight_and_matches_interpreter() {
     let lo = b.lower.expect("reachable");
     let hi = b.upper.expect("bounded");
     for n in [0i64, 1, 5, 23] {
-        let t = Interp::new(&p)
-            .run("f", &[Value::Int(n)], &mut SeededOracle::new(0))
-            .unwrap();
+        let t = Interp::new(&p).run("f", &[Value::Int(n)], &mut SeededOracle::new(0)).unwrap();
         let lo_v = at(&lo, &dims, &[n]);
         let hi_v = at(&hi, &dims, &[n]);
         assert!(
@@ -83,9 +77,7 @@ fn branch_produces_min_max_range() {
     assert_eq!(lo_v, 5);
     assert_eq!(hi_v, 12);
     for c in [-3i64, 0, 7] {
-        let t = Interp::new(&p)
-            .run("f", &[Value::Int(c)], &mut SeededOracle::new(0))
-            .unwrap();
+        let t = Interp::new(&p).run("f", &[Value::Int(c)], &mut SeededOracle::new(0)).unwrap();
         assert!((lo_v as u64..=hi_v as u64).contains(&t.cost));
     }
 }
@@ -107,11 +99,7 @@ fn loop_over_array_length() {
     let hi = b.upper.expect("bounded");
     for n in [0usize, 4, 9] {
         let t = Interp::new(&p)
-            .run(
-                "f",
-                &[Value::array(vec![0; n])],
-                &mut SeededOracle::new(0),
-            )
+            .run("f", &[Value::array(vec![0; n])], &mut SeededOracle::new(0))
             .unwrap();
         let lo_v = at(&lo, &dims, &[n as i64]);
         let hi_v = at(&hi, &dims, &[n as i64]);
@@ -134,11 +122,7 @@ fn high_branch_inside_loop_widens_range_only_by_body_difference() {
     let hi = b.upper.expect("bounded");
     for (h, n) in [(1i64, 4i64), (-1, 4), (0, 0), (5, 9)] {
         let t = Interp::new(&p)
-            .run(
-                "f",
-                &[Value::Int(h), Value::Int(n)],
-                &mut SeededOracle::new(0),
-            )
+            .run("f", &[Value::Int(h), Value::Int(n)], &mut SeededOracle::new(0))
             .unwrap();
         let lo_v = at(&lo, &dims, &[h, n]);
         let hi_v = at(&hi, &dims, &[h, n]);
@@ -151,10 +135,7 @@ fn high_branch_inside_loop_widens_range_only_by_body_difference() {
     // The range width is linear in n (3 per iteration), independent of h.
     let diff = hi.sub(&lo);
     let high_seed = dims.seed(0);
-    assert!(
-        !diff.dims().contains(&high_seed),
-        "width must not depend on the secret: {diff}"
-    );
+    assert!(!diff.dims().contains(&high_seed), "width must not depend on the secret: {diff}");
 }
 
 #[test]
@@ -193,9 +174,7 @@ fn nested_loops_quadratic_upper() {
     let hi = b.upper.expect("bounded");
     assert_eq!(hi.degree(), 2, "upper must be quadratic: {hi}");
     for n in [0i64, 1, 3, 6] {
-        let t = Interp::new(&p)
-            .run("f", &[Value::Int(n)], &mut SeededOracle::new(0))
-            .unwrap();
+        let t = Interp::new(&p).run("f", &[Value::Int(n)], &mut SeededOracle::new(0)).unwrap();
         let lo_v = at(&lo, &dims, &[n]);
         let hi_v = at(&hi, &dims, &[n]);
         assert!(
@@ -233,9 +212,7 @@ fn doubling_loop_gets_sound_linear_overapproximation() {
     let (p, dims, b) = bounds_of(src, "f");
     let hi = b.upper.expect("counter lemma applies to i*2");
     for n in [0i64, 1, 7, 30] {
-        let t = Interp::new(&p)
-            .run("f", &[Value::Int(n)], &mut SeededOracle::new(0))
-            .unwrap();
+        let t = Interp::new(&p).run("f", &[Value::Int(n)], &mut SeededOracle::new(0)).unwrap();
         assert!(t.cost <= at(&hi, &dims, &[n]) as u64, "n={n}");
     }
 }
@@ -298,9 +275,7 @@ fn halving_loop_gets_logarithmic_upper_bound() {
     assert_eq!(hi.degree(), 0, "{hi}");
     assert!(hi.dims().contains(&dims.seed(0)), "{hi}");
     for n in [0i64, 1, 2, 7, 64, 1000] {
-        let t = Interp::new(&p)
-            .run("f", &[Value::Int(n)], &mut SeededOracle::new(0))
-            .unwrap();
+        let t = Interp::new(&p).run("f", &[Value::Int(n)], &mut SeededOracle::new(0)).unwrap();
         let hi_v = at(&hi, &dims, &[n]);
         assert!(
             t.cost <= hi_v as u64,
@@ -328,9 +303,7 @@ fn division_chains_stay_relational() {
     let (p, dims, b) = bounds_of(src, "f");
     let hi = b.upper.expect("bounded");
     for n in [0i64, 5, 16, 33] {
-        let t = Interp::new(&p)
-            .run("f", &[Value::Int(n)], &mut SeededOracle::new(0))
-            .unwrap();
+        let t = Interp::new(&p).run("f", &[Value::Int(n)], &mut SeededOracle::new(0)).unwrap();
         let hi_v = at(&hi, &dims, &[n]);
         assert!(t.cost <= hi_v as u64, "n={n}: {} > {hi_v}", t.cost);
     }

@@ -162,12 +162,7 @@ pub fn concretize(
                     continue;
                 }
             }
-            return Some(AttackWitness {
-                inputs_a,
-                inputs_b,
-                cost_a: ta.cost,
-                cost_b: tb.cost,
-            });
+            return Some(AttackWitness { inputs_a, inputs_b, cost_a: ta.cost, cost_b: tb.cost });
         }
     }
     None

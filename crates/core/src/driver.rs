@@ -12,6 +12,7 @@ use blazer_automata::{Dfa, Regex};
 use blazer_bounds::{graph_bounds, BoundResult, Observer};
 use blazer_domains::{AbstractDomain, IntervalVec, Octagon, Polyhedron, Zone};
 use blazer_interp::Value;
+use blazer_ir::budget::{self, Budget, BudgetReport, Resource};
 use blazer_ir::cost::CostModel;
 use blazer_ir::{CallCost, Cfg, Function, Inst, NodeId, Program, Terminator};
 use std::collections::BTreeSet;
@@ -35,6 +36,30 @@ pub enum DomainKind {
     Polyhedra,
 }
 
+impl DomainKind {
+    /// The next-coarser domain on the degradation ladder, or `None` for the
+    /// coarsest (intervals).
+    pub fn coarser(self) -> Option<DomainKind> {
+        match self {
+            DomainKind::Polyhedra => Some(DomainKind::Octagon),
+            DomainKind::Octagon => Some(DomainKind::Zone),
+            DomainKind::Zone => Some(DomainKind::Interval),
+            DomainKind::Interval => None,
+        }
+    }
+}
+
+impl fmt::Display for DomainKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DomainKind::Interval => "interval",
+            DomainKind::Zone => "zone",
+            DomainKind::Octagon => "octagon",
+            DomainKind::Polyhedra => "polyhedra",
+        })
+    }
+}
+
 /// Analysis configuration.
 #[derive(Debug, Clone)]
 pub struct Config {
@@ -54,6 +79,10 @@ pub struct Config {
     pub max_star_unrollings: usize,
     /// The numeric abstract domain to analyze with.
     pub domain: DomainKind,
+    /// Resource caps for one analysis (unlimited by default). On
+    /// exhaustion the driver degrades gracefully and answers
+    /// [`Verdict::Unknown`] with [`UnknownReason::BudgetExhausted`].
+    pub budget: Budget,
 }
 
 impl Config {
@@ -67,6 +96,7 @@ impl Config {
             synthesize_attack: true,
             max_star_unrollings: 2,
             domain: DomainKind::Polyhedra,
+            budget: Budget::unlimited(),
         }
     }
 
@@ -93,11 +123,57 @@ impl Config {
         self.max_trails = max_trails;
         self
     }
+
+    /// Builder-style resource-budget override.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Builder-style wall-clock deadline.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.budget = self.budget.clone().with_deadline(timeout);
+        self
+    }
+
+    /// Builder-style LP-call cap.
+    pub fn with_max_lp_calls(mut self, n: u64) -> Self {
+        self.budget = self.budget.clone().with_max_lp_calls(n);
+        self
+    }
 }
 
 impl Default for Config {
     fn default() -> Self {
         Config::microbench()
+    }
+}
+
+/// Why an analysis answered [`Verdict::Unknown`] — machine-readable so
+/// harnesses can distinguish "the search space ran out" from "the machine
+/// budget ran out".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnknownReason {
+    /// Neither the safety nor the attack search could make progress with
+    /// the remaining refinement options (the paper's give-up case).
+    SearchExhausted,
+    /// Safety verification failed and attack synthesis was disabled.
+    AttackSynthesisDisabled,
+    /// A resource cap tripped; the result is inconclusive, not wrong.
+    BudgetExhausted(Resource),
+}
+
+impl fmt::Display for UnknownReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnknownReason::SearchExhausted => {
+                f.write_str("refinement search exhausted without a conclusive partition")
+            }
+            UnknownReason::AttackSynthesisDisabled => {
+                f.write_str("safety not proved and attack synthesis is disabled")
+            }
+            UnknownReason::BudgetExhausted(r) => write!(f, "analysis budget exhausted: {r}"),
+        }
     }
 }
 
@@ -108,8 +184,9 @@ pub enum Verdict {
     Safe,
     /// An attack specification was synthesized.
     Attack(AttackSpec),
-    /// The tool gives up ("failed to produce a meaningful summary").
-    Unknown,
+    /// The tool gives up ("failed to produce a meaningful summary"),
+    /// carrying the reason.
+    Unknown(UnknownReason),
 }
 
 impl Verdict {
@@ -122,6 +199,14 @@ impl Verdict {
     pub fn is_attack(&self) -> bool {
         matches!(self, Verdict::Attack(_))
     }
+
+    /// The unknown-reason, for [`Verdict::Unknown`].
+    pub fn unknown_reason(&self) -> Option<UnknownReason> {
+        match self {
+            Verdict::Unknown(r) => Some(*r),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for Verdict {
@@ -129,8 +214,45 @@ impl fmt::Display for Verdict {
         match self {
             Verdict::Safe => f.write_str("safe"),
             Verdict::Attack(_) => f.write_str("attack specification found"),
-            Verdict::Unknown => f.write_str("unknown"),
+            Verdict::Unknown(reason) => write!(f, "unknown ({reason})"),
         }
+    }
+}
+
+/// One graceful domain fallback taken while analyzing a trail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Degradation {
+    /// The trail-tree node whose bounds were being computed.
+    pub node: usize,
+    /// The domain that failed.
+    pub from: DomainKind,
+    /// The coarser domain retried.
+    pub to: DomainKind,
+    /// Why the fallback happened.
+    pub reason: DegradeReason,
+}
+
+impl fmt::Display for Degradation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trail {}: {} -> {} ({})", self.node, self.from, self.to, self.reason)
+    }
+}
+
+/// Why the driver degraded a trail to a coarser domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradeReason {
+    /// Rational arithmetic overflowed and was absorbed as precision loss.
+    Overflow,
+    /// The LP-call budget ran out; a rescue grant funded the retry.
+    LpBudget,
+}
+
+impl fmt::Display for DegradeReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DegradeReason::Overflow => "rational overflow absorbed",
+            DegradeReason::LpBudget => "LP-call budget exhausted",
+        })
     }
 }
 
@@ -149,6 +271,11 @@ pub struct AnalysisOutcome {
     pub attack_time: Option<Duration>,
     /// CFG size in basic blocks (the `Size` column of Table 1).
     pub n_blocks: usize,
+    /// Domain fallbacks taken while computing trail bounds (empty on an
+    /// undisturbed run).
+    pub degradations: Vec<Degradation>,
+    /// What the analysis consumed against its [`Budget`].
+    pub budget_report: BudgetReport,
 }
 
 impl AnalysisOutcome {
@@ -214,11 +341,14 @@ impl Blazer {
     /// Returns [`CoreError`] when the program is malformed or the function
     /// missing.
     pub fn analyze(&self, program: &Program, func: &str) -> Result<AnalysisOutcome, CoreError> {
+        // The budget governs everything downstream of this point; the guard
+        // restores any previously installed budget on every return path.
+        let _budget_guard = self.config.budget.install();
         program.validate().map_err(CoreError::InvalidProgram)?;
-        let f = program
-            .function(func)
-            .ok_or_else(|| CoreError::NoSuchFunction(func.to_string()))?;
+        let f =
+            program.function(func).ok_or_else(|| CoreError::NoSuchFunction(func.to_string()))?;
         let start = Instant::now();
+        let mut degradations: Vec<Degradation> = Vec::new();
 
         let cfg = Cfg::new(f);
         let alphabet = EdgeAlphabet::new(&cfg);
@@ -237,6 +367,8 @@ impl Blazer {
                 safety_time: start.elapsed(),
                 attack_time: None,
                 n_blocks: f.blocks().len(),
+                degradations,
+                budget_report: budget::report(),
             });
         }
 
@@ -253,13 +385,27 @@ impl Blazer {
         let mut star_depth: Vec<usize> = vec![0];
 
         // ---- Safety loop: RefinePartition(safe) + CheckSafe --------------
+        let mut budget_stop: Option<Resource> = None;
         let safe = loop {
+            if let Err(e) = budget::consume_refinement_step() {
+                budget_stop = Some(e.resource);
+                break false;
+            }
             // Evaluate pending leaves.
             for leaf in tree.leaves() {
                 if tree.node(leaf).status != NodeStatus::Pending {
                     continue;
                 }
-                let b = self.bounds_for(program, f, &cfg, &alphabet, &dims, &tree.node(leaf).trail);
+                let b = self.bounds_for(
+                    program,
+                    f,
+                    &cfg,
+                    &alphabet,
+                    &dims,
+                    &tree.node(leaf).trail,
+                    leaf,
+                    &mut degradations,
+                );
                 tree.node_mut(leaf).status = judge(&b, &self.config.observer, &high_seeds);
                 tree.node_mut(leaf).bounds = Some(b);
             }
@@ -298,11 +444,7 @@ impl Blazer {
                     })
                 });
                 let Some(split) = split else { continue };
-                if split
-                    .parts
-                    .iter()
-                    .any(|p| p.size() > self.config.max_trail_size)
-                {
+                if split.parts.iter().any(|p| p.size() > self.config.max_trail_size) {
                     continue;
                 }
                 let child_depth = star_depth[leaf] + usize::from(split.is_star);
@@ -325,28 +467,54 @@ impl Blazer {
                 safety_time,
                 attack_time: None,
                 n_blocks: f.blocks().len(),
+                degradations,
+                budget_report: budget::report(),
+            });
+        }
+        if let Some(resource) = budget_stop {
+            // A Wide leaf under an exhausted budget proves nothing: the
+            // degraded bounds are over-approximations. Surface the budget,
+            // not a (possibly wrong) attack.
+            return Ok(AnalysisOutcome {
+                function: func.to_string(),
+                verdict: Verdict::Unknown(UnknownReason::BudgetExhausted(resource)),
+                tree,
+                safety_time,
+                attack_time: None,
+                n_blocks: f.blocks().len(),
+                degradations,
+                budget_report: budget::report(),
             });
         }
         if !self.config.synthesize_attack {
             return Ok(AnalysisOutcome {
                 function: func.to_string(),
-                verdict: Verdict::Unknown,
+                verdict: Verdict::Unknown(UnknownReason::AttackSynthesisDisabled),
                 tree,
                 safety_time,
                 attack_time: None,
                 n_blocks: f.blocks().len(),
+                degradations,
+                budget_report: budget::report(),
             });
         }
 
         // ---- Attack loop: RefinePartition(vulnerable) + CheckAttack ------
         let attack_start = Instant::now();
-        let mut verdict = Verdict::Unknown;
+        let mut verdict = Verdict::Unknown(UnknownReason::SearchExhausted);
         // All nodes produced by secret splits; CHECKATTACK compares any two
         // of them whose *separation* is a secret split (their lowest common
         // ancestor's children on the two paths were produced by a `sec`
         // split — the paper's "T₁ ⊎ T₂ is not a ψ_SC-quotient partition").
         let mut candidates: Vec<usize> = Vec::new();
         'attack: loop {
+            if let Err(e) = budget::consume_refinement_step() {
+                // Degraded bounds over-approximate, so a pair that looks
+                // observably different under exhaustion could be spurious:
+                // stop and report the budget instead.
+                verdict = Verdict::Unknown(UnknownReason::BudgetExhausted(e.resource));
+                break;
+            }
             let mut split_any = false;
             for leaf in tree.leaves() {
                 if tree.node(leaf).status != NodeStatus::Wide {
@@ -374,11 +542,7 @@ impl Blazer {
                     })
                 });
                 let Some(split) = split else { continue };
-                if split
-                    .parts
-                    .iter()
-                    .any(|p| p.size() > self.config.max_trail_size)
-                {
+                if split.parts.iter().any(|p| p.size() > self.config.max_trail_size) {
                     continue;
                 }
                 split_any = true;
@@ -387,7 +551,16 @@ impl Blazer {
                 for part in split.parts {
                     let id = tree.add_child(leaf, part, SplitKind::Secret);
                     star_depth.push(child_depth);
-                    let b = self.bounds_for(program, f, &cfg, &alphabet, &dims, &tree.node(id).trail);
+                    let b = self.bounds_for(
+                        program,
+                        f,
+                        &cfg,
+                        &alphabet,
+                        &dims,
+                        &tree.node(id).trail,
+                        id,
+                        &mut degradations,
+                    );
                     tree.node_mut(id).status = judge(&b, &self.config.observer, &high_seeds);
                     tree.node_mut(id).bounds = Some(b);
                     children.push(id);
@@ -397,8 +570,7 @@ impl Blazer {
                         if !sec_separated(&tree, c, d) {
                             continue;
                         }
-                        if let Some(spec) = check_attack_pair(&self.config.observer, &tree, c, d)
-                        {
+                        if let Some(spec) = check_attack_pair(&self.config.observer, &tree, c, d) {
                             tree.node_mut(c).status = NodeStatus::Attack;
                             tree.node_mut(d).status = NodeStatus::Attack;
                             verdict = Verdict::Attack(spec);
@@ -410,8 +582,7 @@ impl Blazer {
                 // Siblings of one split are always sec-separated.
                 for (ai, &a) in children.iter().enumerate() {
                     for &b in &children[ai + 1..] {
-                        if let Some(spec) = check_attack_pair(&self.config.observer, &tree, a, b)
-                        {
+                        if let Some(spec) = check_attack_pair(&self.config.observer, &tree, a, b) {
                             tree.node_mut(a).status = NodeStatus::Attack;
                             tree.node_mut(b).status = NodeStatus::Attack;
                             verdict = Verdict::Attack(spec);
@@ -431,11 +602,20 @@ impl Blazer {
             safety_time,
             attack_time: Some(attack_start.elapsed()),
             n_blocks: f.blocks().len(),
+            degradations,
+            budget_report: budget::report(),
         })
     }
 
     /// BOUNDANALYSIS for one trail: restrict the product to the trail's
     /// minimized DFA and compute symbolic bounds in the configured domain.
+    ///
+    /// When the run absorbs a rational overflow, or exhausts the LP-call
+    /// budget and a rescue grant is available, the trail is retried down the
+    /// degradation ladder (polyhedra → octagon → zone → interval); each
+    /// fallback is recorded in `degradations`. A dead wall-clock deadline is
+    /// never retried.
+    #[allow(clippy::too_many_arguments)]
     fn bounds_for(
         &self,
         program: &Program,
@@ -444,6 +624,8 @@ impl Blazer {
         alphabet: &EdgeAlphabet,
         dims: &DimMap,
         trail: &Regex,
+        node: usize,
+        degradations: &mut Vec<Degradation>,
     ) -> BoundResult {
         let dfa = Dfa::from_regex(trail, alphabet.len() as u32).minimize();
         let graph = ProductGraph::restricted(f, cfg, &dfa, alphabet);
@@ -468,21 +650,87 @@ impl Blazer {
             let seeds: BTreeSet<usize> = dims.seeds().collect();
             graph_bounds(program, f, dims, graph, &init, cost_model, &seeds)
         }
+        /// Extra LP calls granted per coarser-domain retry.
+        const LP_RESCUE: u64 = 256;
         let cm = &self.config.cost_model;
-        let out = match self.config.domain {
-            DomainKind::Interval => run::<IntervalVec>(program, f, dims, &graph, cm),
-            DomainKind::Zone => run::<Zone>(program, f, dims, &graph, cm),
-            DomainKind::Octagon => run::<Octagon>(program, f, dims, &graph, cm),
-            DomainKind::Polyhedra => run::<Polyhedron>(program, f, dims, &graph, cm),
+        let mut domain = self.config.domain;
+        // Run each rung with a clean thread-local overflow flag: saturation
+        // outside the absorption points (e.g. in cost-expression arithmetic)
+        // only raises the flag, and bounds computed with saturated rationals
+        // may be wrong, not just imprecise.
+        let outer_overflow = blazer_domains::rational::take_overflow();
+        let result = loop {
+            let overflow_before = budget::overflow_events();
+            let out = match domain {
+                DomainKind::Interval => run::<IntervalVec>(program, f, dims, &graph, cm),
+                DomainKind::Zone => run::<Zone>(program, f, dims, &graph, cm),
+                DomainKind::Octagon => run::<Octagon>(program, f, dims, &graph, cm),
+                DomainKind::Polyhedra => run::<Polyhedron>(program, f, dims, &graph, cm),
+            };
+            if std::env::var("BLAZER_TRACE_BOUNDS").is_ok() {
+                eprintln!(
+                    "  -> [{domain}] lower {:?} upper {:?}",
+                    out.lower.as_ref().map(|e| e.to_string()),
+                    out.upper.as_ref().map(|e| e.to_string())
+                );
+            }
+            let overflowed = budget::overflow_events() > overflow_before
+                || blazer_domains::rational::take_overflow();
+            let Some(coarser) = domain.coarser() else {
+                if overflowed {
+                    // No coarser domain left to absorb the overflow: the
+                    // computed bounds cannot be trusted (saturation can even
+                    // collapse them to a narrow point). Widen to [0, ∞).
+                    budget::note_overflow();
+                    budget::note_degradation(format!(
+                        "driver: trail {node}: overflow in the coarsest domain; \
+                         widening bounds to [0, ∞)"
+                    ));
+                    break BoundResult {
+                        lower: Some(blazer_bounds::CostExpr::zero()),
+                        upper: None,
+                    };
+                }
+                break out;
+            };
+            let reason = match budget::exhausted() {
+                // The deadline cannot be extended; other caps (fixpoint
+                // passes, refinement steps) are global pacing knobs that a
+                // coarser domain would exhaust just the same.
+                Some(Resource::LpCalls) if budget::grant_lp_rescue(LP_RESCUE) => {
+                    Some(DegradeReason::LpBudget)
+                }
+                Some(_) => None,
+                None if overflowed => Some(DegradeReason::Overflow),
+                None => None,
+            };
+            let Some(reason) = reason else {
+                if overflowed {
+                    // Overflow with no retry available (the budget is
+                    // exhausted beyond rescue): the bounds are untrustworthy.
+                    budget::note_overflow();
+                    budget::note_degradation(format!(
+                        "driver: trail {node}: overflow under an exhausted budget; \
+                         widening bounds to [0, ∞)"
+                    ));
+                    break BoundResult {
+                        lower: Some(blazer_bounds::CostExpr::zero()),
+                        upper: None,
+                    };
+                }
+                break out;
+            };
+            budget::note_degradation(format!(
+                "driver: trail {node}: retrying {domain} -> {coarser} ({})",
+                Degradation { node, from: domain, to: coarser, reason }.reason
+            ));
+            degradations.push(Degradation { node, from: domain, to: coarser, reason });
+            domain = coarser;
         };
-        if std::env::var("BLAZER_TRACE_BOUNDS").is_ok() {
-            eprintln!(
-                "  -> lower {:?} upper {:?}",
-                out.lower.as_ref().map(|e| e.to_string()),
-                out.upper.as_ref().map(|e| e.to_string())
-            );
+        if outer_overflow {
+            blazer_domains::rational::set_overflow();
         }
-        out
+        result
     }
 }
 
@@ -524,9 +772,7 @@ fn check_attack_pair(
     let ba = tree.node(a).bounds.clone()?;
     let bb = tree.node(b).bounds.clone()?;
     let (lo_a, lo_b) = (ba.lower.clone()?, bb.lower.clone()?);
-    if observer
-        .observably_different((&lo_a, ba.upper.as_ref()), (&lo_b, bb.upper.as_ref()))
-    {
+    if observer.observably_different((&lo_a, ba.upper.as_ref()), (&lo_b, bb.upper.as_ref())) {
         Some(AttackSpec {
             node_a: a,
             node_b: b,
@@ -708,10 +954,9 @@ mod tests {
         assert!(
             out.verdict.is_safe(),
             "tight secret-dependent bounds are narrow:\n{}",
-            analyze(src, "f", Config::microbench()).tree.render(&|lo, hi| format!(
-                "[{lo}, {:?}]",
-                hi.map(|h| h.to_string())
-            ))
+            analyze(src, "f", Config::microbench())
+                .tree
+                .render(&|lo, hi| format!("[{lo}, {:?}]", hi.map(|h| h.to_string())))
         );
     }
 
@@ -754,7 +999,7 @@ mod tests {
         let mut config = Config::microbench();
         config.synthesize_attack = false;
         let out = analyze(src, "f", config);
-        assert!(matches!(out.verdict, Verdict::Unknown));
+        assert!(matches!(out.verdict, Verdict::Unknown(UnknownReason::AttackSynthesisDisabled)));
     }
 
     #[test]
@@ -765,10 +1010,7 @@ mod tests {
             .with_observer(blazer_bounds::Observer::stac());
         assert_eq!(c.domain, DomainKind::Zone);
         assert_eq!(c.max_trails, 7);
-        assert!(matches!(
-            c.observer,
-            blazer_bounds::Observer::ConcreteThreshold { .. }
-        ));
+        assert!(matches!(c.observer, blazer_bounds::Observer::ConcreteThreshold { .. }));
     }
 
     #[test]

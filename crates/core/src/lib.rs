@@ -47,9 +47,13 @@ pub mod driver;
 pub mod mgt;
 pub mod quotient;
 pub mod refine;
-pub mod tree;
 pub mod trail;
+pub mod tree;
 
 pub use attack::AttackSpec;
-pub use driver::{concretize_outcome, AnalysisOutcome, Blazer, Config, CoreError, DomainKind, Verdict};
+pub use blazer_ir::budget::{Budget, BudgetReport, FaultSpec, Resource};
+pub use driver::{
+    concretize_outcome, AnalysisOutcome, Blazer, Config, CoreError, Degradation, DegradeReason,
+    DomainKind, UnknownReason, Verdict,
+};
 pub use tree::{NodeStatus, SplitKind, TrailTree};

@@ -9,17 +9,9 @@ use blazer_ir::Cfg;
 /// (entry to exit). Its language is a superset of the actual execution
 /// traces, as the paper notes.
 pub fn most_general_trail(cfg: &Cfg, alphabet: &EdgeAlphabet) -> Regex {
-    let edges: Vec<(usize, blazer_automata::Sym, usize)> = cfg
-        .edges()
-        .into_iter()
-        .map(|e| (e.from.index(), alphabet.sym(e), e.to.index()))
-        .collect();
-    graph_to_regex(
-        cfg.n_nodes(),
-        &edges,
-        cfg.entry().index(),
-        &[cfg.exit().index()],
-    )
+    let edges: Vec<(usize, blazer_automata::Sym, usize)> =
+        cfg.edges().into_iter().map(|e| (e.from.index(), alphabet.sym(e), e.to.index())).collect();
+    graph_to_regex(cfg.n_nodes(), &edges, cfg.entry().index(), &[cfg.exit().index()])
 }
 
 #[cfg(test)]
@@ -35,11 +27,8 @@ mod tests {
         let cfg = Cfg::new(f);
         let alpha = EdgeAlphabet::new(&cfg);
         let trmg = most_general_trail(&cfg, &alpha);
-        let edges: Vec<(usize, blazer_automata::Sym, usize)> = cfg
-            .edges()
-            .into_iter()
-            .map(|e| (e.from.index(), alpha.sym(e), e.to.index()))
-            .collect();
+        let edges: Vec<(usize, blazer_automata::Sym, usize)> =
+            cfg.edges().into_iter().map(|e| (e.from.index(), alpha.sym(e), e.to.index())).collect();
         let graph_dfa = Dfa::from_nfa(&Nfa::from_graph(
             alpha.len() as u32,
             cfg.n_nodes(),

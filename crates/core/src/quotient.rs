@@ -27,9 +27,7 @@ pub fn is_psi_quotient<T>(
     for i in 0..traces.len() {
         for j in 0..traces.len() {
             if psi(&traces[i], &traces[j]) {
-                let together = partition
-                    .iter()
-                    .any(|comp| comp.contains(&i) && comp.contains(&j));
+                let together = partition.iter().any(|comp| comp.contains(&i) && comp.contains(&j));
                 if !together {
                     return false;
                 }
@@ -135,9 +133,7 @@ pub fn is_psi_quotient_k<T>(
     for_all_tuples(traces.len(), k, &mut |idx| {
         let tuple: Vec<&T> = idx.iter().map(|&i| &traces[i]).collect();
         if psi(&tuple) {
-            partition
-                .iter()
-                .any(|comp| idx.iter().all(|i| comp.contains(i)))
+            partition.iter().any(|comp| idx.iter().all(|i| comp.contains(i)))
         } else {
             true
         }
@@ -234,10 +230,7 @@ pub fn rbps_relational_2<T>(
 /// The channel-capacity property `ccf` for capacity q (Sec. 3.4): at most
 /// `q` distinct running times per public input, a (q+1)-safety property.
 /// `eps` is the attacker-indistinguishability constant for times.
-pub fn channel_capacity_phi(
-    q: usize,
-    eps: u64,
-) -> impl Fn(&[&(i64, i64, u64)]) -> bool {
+pub fn channel_capacity_phi(q: usize, eps: u64) -> impl Fn(&[&(i64, i64, u64)]) -> bool {
     move |tuple: &[&(i64, i64, u64)]| {
         debug_assert_eq!(tuple.len(), q + 1);
         // If the tuple shares lows, some pair among the q+1 must be
@@ -298,23 +291,16 @@ mod tests {
         let p_const = |t: &Tr| t.0 <= 0 && t.2.abs_diff(1) <= 1;
         // Hmm: RBPS must hold for ALL pairs satisfying both P's, including
         // pairs with different lows — those satisfy Φ vacuously.
-        theorem_3_1_premises(
-            &traces,
-            &partition,
-            psi_tcf,
-            phi_tcf,
-            &[&p_lin, &p_const],
-        )
-        .expect("premises hold");
+        theorem_3_1_premises(&traces, &partition, psi_tcf, phi_tcf, &[&p_lin, &p_const])
+            .expect("premises hold");
         assert!(two_safety_holds(&traces, phi_tcf));
     }
 
     #[test]
     fn leaky_program_fails_somewhere() {
         // time = high: blatant channel.
-        let traces: Vec<Tr> = (0..4)
-            .flat_map(|low| (0..4).map(move |high| (low, high, 10 * high as u64)))
-            .collect();
+        let traces: Vec<Tr> =
+            (0..4).flat_map(|low| (0..4).map(move |high| (low, high, 10 * high as u64))).collect();
         // No partition on low data can save it: with the trivial partition
         // and the only candidate P (constant time), premises fail.
         let all: Vec<usize> = (0..traces.len()).collect();
@@ -402,8 +388,7 @@ mod tests {
     #[test]
     fn capacity_violation_detected() {
         // Three well-separated times per low: q = 2 capacity fails.
-        let traces: Vec<Tr> =
-            (0..3).map(|high| (0, high, 10 + high as u64 * 100)).collect();
+        let traces: Vec<Tr> = (0..3).map(|high| (0, high, 10 + high as u64 * 100)).collect();
         let phi3 = channel_capacity_phi(2, 1);
         assert!(!k_safety_holds(&traces, 3, &phi3));
     }
@@ -462,6 +447,7 @@ mod tests {
                     .map(|(i, &l)| (l, i as i64, base + 3 * l as u64))
                     .collect();
                 let mut partition: Partition = Vec::new();
+                #[allow(clippy::type_complexity)]
                 let mut props_owned: Vec<Box<dyn Fn(&Tr) -> bool>> = Vec::new();
                 for lv in 0..4i64 {
                     let comp: Vec<usize> =

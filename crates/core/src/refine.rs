@@ -75,21 +75,12 @@ pub fn refine_partition(
         .map(|(p, &t)| (p.clone(), t))?;
     let (parts, is_star) = match subterm(trail, &path) {
         Regex::Union(a, b) => (
-            vec![
-                replace(trail, &path, (**a).clone()),
-                replace(trail, &path, (**b).clone()),
-            ],
+            vec![replace(trail, &path, (**a).clone()), replace(trail, &path, (**b).clone())],
             false,
         ),
         Regex::Star(a) => {
             let once = (**a).clone().then((**a).clone().star());
-            (
-                vec![
-                    replace(trail, &path, Regex::Epsilon),
-                    replace(trail, &path, once),
-                ],
-                true,
-            )
+            (vec![replace(trail, &path, Regex::Epsilon), replace(trail, &path, once)], true)
         }
         other => unreachable!("annotations only mark unions and stars, got {other}"),
     };
@@ -131,11 +122,8 @@ pub fn block_split(
     }
     let tr = Dfa::from_regex(trail, alphabet_size);
     let contains = |sym: blazer_automata::Sym| {
-        let any = (0..alphabet_size)
-            .map(Regex::symbol)
-            .reduce(Regex::or)
-            .unwrap_or(Regex::Empty)
-            .star();
+        let any =
+            (0..alphabet_size).map(Regex::symbol).reduce(Regex::or).unwrap_or(Regex::Empty).star();
         Dfa::from_regex(&any.clone().then(Regex::symbol(sym)).then(any), alphabet_size)
     };
     let with_e1 = contains(branch.then_sym);
@@ -159,10 +147,7 @@ pub fn block_split(
     if parts_dfa.iter().any(|d| ops::equivalent(d, &tr)) {
         return None; // no progress: a part equals the parent
     }
-    let parts: Vec<Regex> = parts_dfa
-        .iter()
-        .map(|d| kleene::dfa_to_regex(&d.minimize()))
-        .collect();
+    let parts: Vec<Regex> = parts_dfa.iter().map(|d| kleene::dfa_to_regex(&d.minimize())).collect();
     if parts.iter().any(|p| p.size() > max_part_size) {
         return None;
     }
@@ -202,10 +187,7 @@ mod tests {
         for p in parts {
             union = ops::union(&union, &Dfa::from_regex(p, alphabet));
         }
-        assert!(
-            ops::equivalent(&parent_dfa, &union),
-            "parts must cover the parent"
-        );
+        assert!(ops::equivalent(&parent_dfa, &union), "parts must cover the parent");
     }
 
     #[test]
@@ -302,8 +284,7 @@ mod tests {
         // The Fig. 1 tr3/tr4 shape: "can take the early exit" vs "cannot".
         let r = sym(0).or(sym(1)).star().then(sym(2));
         let b = BranchSyms { then_sym: 0, else_sym: 1, taint: Taint::HIGH };
-        let split =
-            block_split(&r, &b, 3, RefineMode::Vulnerable, 10_000).expect("applies");
+        let split = block_split(&r, &b, 3, RefineMode::Vulnerable, 10_000).expect("applies");
         let uses = Dfa::from_regex(&split.parts[0], 3);
         let never = Dfa::from_regex(&split.parts[1], 3);
         assert!(uses.accepts(&[0, 2]) && uses.accepts(&[1, 0, 2]));

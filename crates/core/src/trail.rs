@@ -114,12 +114,8 @@ pub fn subterm<'r>(r: &'r Regex, path: &[usize]) -> &'r Regex {
 pub fn replace(r: &Regex, path: &[usize], replacement: Regex) -> Regex {
     match (r, path) {
         (_, []) => replacement,
-        (Regex::Concat(a, b), [0, rest @ ..]) => {
-            replace(a, rest, replacement).then((**b).clone())
-        }
-        (Regex::Concat(a, b), [1, rest @ ..]) => {
-            (**a).clone().then(replace(b, rest, replacement))
-        }
+        (Regex::Concat(a, b), [0, rest @ ..]) => replace(a, rest, replacement).then((**b).clone()),
+        (Regex::Concat(a, b), [1, rest @ ..]) => (**a).clone().then(replace(b, rest, replacement)),
         (Regex::Union(a, b), [0, rest @ ..]) => replace(a, rest, replacement).or((**b).clone()),
         (Regex::Union(a, b), [1, rest @ ..]) => (**a).clone().or(replace(b, rest, replacement)),
         (Regex::Star(a), [0, rest @ ..]) => replace(a, rest, replacement).star(),
@@ -168,10 +164,7 @@ mod tests {
         // The star is the left child of the outer concat's right side:
         // ((0 · (1·2)*) · 3) — star at path [0, 1].
         let star_path = vec![0, 1];
-        assert!(
-            matches!(subterm(&r, &star_path), Regex::Star(_)),
-            "tree shape: {r}"
-        );
+        assert!(matches!(subterm(&r, &star_path), Regex::Star(_)), "tree shape: {r}");
         assert_eq!(ann.get(&star_path).copied(), Some(Taint::LOW));
     }
 

@@ -141,9 +141,7 @@ impl TrailTree {
 
     /// Leaf node indices (the current partition).
     pub fn leaves(&self) -> Vec<usize> {
-        (0..self.nodes.len())
-            .filter(|&i| self.nodes[i].children.is_empty())
-            .collect()
+        (0..self.nodes.len()).filter(|&i| self.nodes[i].children.is_empty()).collect()
     }
 
     /// Renders the tree with a bound formatter (which receives lower and
@@ -167,11 +165,7 @@ impl TrailTree {
             Some(k) => format!("--{k}--> "),
             None => String::new(),
         };
-        let name = if i == 0 {
-            "trmg (most general trail)".to_string()
-        } else {
-            format!("tr{i}")
-        };
+        let name = if i == 0 { "trmg (most general trail)".to_string() } else { format!("tr{i}") };
         let balloon = match &n.bounds {
             Some(b) => match (&b.lower, &b.upper) {
                 (Some(lo), hi) => format!(" {}", fmt_bounds(lo, hi.as_ref())),
@@ -179,10 +173,7 @@ impl TrailTree {
             },
             None => String::new(),
         };
-        out.push_str(&format!(
-            "{indent}{arc}{name} [{}]{balloon}\n",
-            n.status
-        ));
+        out.push_str(&format!("{indent}{arc}{name} [{}]{balloon}\n", n.status));
         for &c in &n.children {
             self.render_node(c, depth + 1, fmt_bounds, out);
         }

@@ -148,10 +148,7 @@ mod tests {
     #[test]
     fn polyhedron_implements_the_trait() {
         let mut p = <Polyhedron as AbstractDomain>::top(2);
-        p.meet_constraint(&Constraint::ge(
-            &LinExpr::var(0),
-            &LinExpr::constant(Rat::int(3)),
-        ));
+        p.meet_constraint(&Constraint::ge(&LinExpr::var(0), &LinExpr::constant(Rat::int(3))));
         assert!(!p.is_bottom());
         let (lo, hi) = p.bounds(&LinExpr::var(0));
         assert_eq!(lo, Some(Rat::int(3)));

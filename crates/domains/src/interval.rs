@@ -98,7 +98,7 @@ impl Interval {
 
     /// Whether `v ∈ self`.
     pub fn contains(&self, v: Rat) -> bool {
-        self.lo.map_or(true, |l| l <= v) && self.hi.map_or(true, |h| h >= v)
+        self.lo.is_none_or(|l| l <= v) && self.hi.is_none_or(|h| h >= v)
     }
 
     /// Interval sum.
@@ -223,10 +223,9 @@ impl IntervalVec {
         // Definite infeasibility check on constant residue.
         let iv = self.eval(&c.expr);
         let violated = match c.kind {
-            ConstraintKind::GeZero => iv.hi.map_or(false, |h| h < Rat::ZERO),
+            ConstraintKind::GeZero => iv.hi.is_some_and(|h| h < Rat::ZERO),
             ConstraintKind::EqZero => {
-                iv.hi.map_or(false, |h| h < Rat::ZERO)
-                    || iv.lo.map_or(false, |l| l > Rat::ZERO)
+                iv.hi.is_some_and(|h| h < Rat::ZERO) || iv.lo.is_some_and(|l| l > Rat::ZERO)
             }
         };
         if violated {
@@ -260,12 +259,7 @@ impl AbstractDomain for IntervalVec {
             return self.clone();
         }
         IntervalVec {
-            ivs: self
-                .ivs
-                .iter()
-                .zip(&other.ivs)
-                .map(|(a, b)| a.join(b))
-                .collect(),
+            ivs: self.ivs.iter().zip(&other.ivs).map(|(a, b)| a.join(b)).collect(),
             bottom: false,
         }
     }
@@ -278,12 +272,7 @@ impl AbstractDomain for IntervalVec {
             return self.clone();
         }
         IntervalVec {
-            ivs: self
-                .ivs
-                .iter()
-                .zip(&newer.ivs)
-                .map(|(a, b)| a.widen(b))
-                .collect(),
+            ivs: self.ivs.iter().zip(&newer.ivs).map(|(a, b)| a.widen(b)).collect(),
             bottom: false,
         }
     }

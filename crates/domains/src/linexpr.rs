@@ -159,13 +159,30 @@ impl LinExpr {
 
     /// Scales the expression so all coefficients and the constant are
     /// integers with gcd 1 (sign preserved). Useful for canonical forms.
+    ///
+    /// When the denominator lcm (or the scaling itself) would overflow
+    /// `i128`, the expression is returned unnormalized — a sound no-op that
+    /// merely costs syntactic deduplication.
     pub fn normalize_integer(&self) -> LinExpr {
         let mut lcm: i128 = self.constant.denom();
         for (_, c) in self.terms() {
             let d = c.denom();
-            lcm = lcm / gcd_i128(lcm, d) * d;
+            let Some(next) = (lcm / gcd_i128(lcm, d)).checked_mul(d) else {
+                blazer_ir::budget::note_overflow();
+                return self.clone();
+            };
+            lcm = next;
         }
+        let flag_before = crate::rational::take_overflow();
         let scaled = self.scale(Rat::int(lcm));
+        let scaling_overflowed = crate::rational::take_overflow();
+        if flag_before {
+            crate::rational::set_overflow();
+        }
+        if scaling_overflowed {
+            blazer_ir::budget::note_overflow();
+            return self.clone();
+        }
         let mut g: i128 = scaled.constant.numer().abs();
         for (_, c) in scaled.terms() {
             g = gcd_i128(g, c.numer().abs());
@@ -420,12 +437,23 @@ mod tests {
         assert_eq!(n.expr.coeff(0), Rat::ONE);
         assert_eq!(n.expr.constant_part(), r(-2));
         // Fractions clear: (1/2)x0 + 1/3 ≥ 0 → 3x0 + 2 ≥ 0.
-        let c = Constraint::ge_zero(
-            LinExpr::var(0).scale(Rat::new(1, 2)).add_constant(Rat::new(1, 3)),
-        );
+        let c =
+            Constraint::ge_zero(LinExpr::var(0).scale(Rat::new(1, 2)).add_constant(Rat::new(1, 3)));
         let n = c.normalize();
         assert_eq!(n.expr.coeff(0), r(3));
         assert_eq!(n.expr.constant_part(), r(2));
+    }
+
+    #[test]
+    fn normalization_overflow_is_a_sound_noop() {
+        // The denominator lcm (2^126 · 3) exceeds i128: normalization must
+        // return the expression unchanged instead of panicking or wrapping.
+        let e = LinExpr::var(0)
+            .scale(Rat::new(1, 1i128 << 126))
+            .add(&LinExpr::var(1).scale(Rat::new(1, 3)));
+        let n = e.normalize_integer();
+        assert_eq!(n, e);
+        let _ = crate::rational::take_overflow();
     }
 
     #[test]

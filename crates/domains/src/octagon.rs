@@ -141,9 +141,7 @@ impl Octagon {
             [] => Some(OctShape::Const(k)),
             [(d, c)] if *c == Rat::ONE => Some(OctShape::Unary { pos: 2 * d, k }),
             [(d, c)] if *c == -Rat::ONE => Some(OctShape::Unary { pos: 2 * d + 1, k }),
-            [(d1, c1), (d2, c2)]
-                if (c1.abs() == Rat::ONE) && (c2.abs() == Rat::ONE) =>
-            {
+            [(d1, c1), (d2, c2)] if (c1.abs() == Rat::ONE) && (c2.abs() == Rat::ONE) => {
                 let i = if c1.is_positive() { 2 * d1 } else { 2 * d1 + 1 };
                 let j = if c2.is_positive() { 2 * d2 } else { 2 * d2 + 1 };
                 Some(OctShape::Binary { i, j, k })
@@ -157,7 +155,7 @@ impl Octagon {
             Some(OctShape::Const(k)) => (Some(k), Some(k)),
             Some(OctShape::Unary { pos, k }) => {
                 let d = pos / 2;
-                if pos % 2 == 0 {
+                if pos.is_multiple_of(2) {
                     (badd(self.var_lo(d), Some(k)), badd(self.var_hi(d), Some(k)))
                 } else {
                     let lo = self.var_hi(d).map(|v| -v + k);
@@ -279,11 +277,8 @@ impl AbstractDomain for Octagon {
         let mut out = Octagon::top(self.dims());
         for i in 0..self.n {
             for j in 0..self.n {
-                out.m[i * self.n + j] = if ble(closed_new.get(i, j), self.get(i, j)) {
-                    self.get(i, j)
-                } else {
-                    None
-                };
+                out.m[i * self.n + j] =
+                    if ble(closed_new.get(i, j), self.get(i, j)) { self.get(i, j) } else { None };
             }
         }
         for i in 0..self.n {
@@ -459,7 +454,7 @@ impl AbstractDomain for Octagon {
         }
         let signed = |pos: usize| -> LinExpr {
             let d = pos / 2;
-            if pos % 2 == 0 {
+            if pos.is_multiple_of(2) {
                 LinExpr::var(d)
             } else {
                 LinExpr::var(d).scale(-Rat::ONE)
@@ -487,7 +482,7 @@ impl AbstractDomain for Octagon {
         }
         let val = |pos: usize| -> Rat {
             let v = point.get(pos / 2).copied().unwrap_or(Rat::ZERO);
-            if pos % 2 == 0 {
+            if pos.is_multiple_of(2) {
                 v
             } else {
                 -v

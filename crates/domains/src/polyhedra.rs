@@ -242,8 +242,19 @@ impl Polyhedron {
                 if d.is_zero() {
                     continue;
                 }
+                let outer_overflow = crate::rational::take_overflow();
                 let lambda = c / d;
                 let combined = e1.add(&e2.scale(lambda)).add_constant(-c);
+                let combo_overflowed = crate::rational::take_overflow();
+                if outer_overflow {
+                    crate::rational::set_overflow();
+                }
+                if combo_overflowed {
+                    // Combination equalities only tighten the join; skipping
+                    // an overflowed one is sound.
+                    blazer_ir::budget::note_overflow();
+                    continue;
+                }
                 push(Constraint::eq_zero(combined), &mut out);
                 combos += 1;
                 if combos >= 16 {
@@ -289,10 +300,7 @@ impl Polyhedron {
         for e in directions {
             if let (Some(a), Some(b)) = (self.sup(&e), other.sup(&e)) {
                 // e ≤ max(a, b) on the hull.
-                push(
-                    Constraint::ge_zero(LinExpr::constant(a.max(b)).sub(&e)),
-                    &mut out,
-                );
+                push(Constraint::ge_zero(LinExpr::constant(a.max(b)).sub(&e)), &mut out);
             }
         }
 
@@ -321,14 +329,10 @@ impl Polyhedron {
         if newer.empty {
             return self.clone();
         }
-        let mut candidates: Vec<Constraint> =
-            self.cons.iter().flat_map(|c| c.split()).collect();
+        let mut candidates: Vec<Constraint> = self.cons.iter().flat_map(|c| c.split()).collect();
         candidates.extend(self.octagonal_facts());
-        let kept: Vec<Constraint> = candidates
-            .into_iter()
-            .filter(|c| newer.entails(c))
-            .map(|c| c.normalize())
-            .collect();
+        let kept: Vec<Constraint> =
+            candidates.into_iter().filter(|c| newer.entails(c)).map(|c| c.normalize()).collect();
         let mut dedup = Vec::new();
         for c in kept {
             if !dedup.contains(&c) {
@@ -388,6 +392,8 @@ impl Polyhedron {
             .iter()
             .position(|c| c.kind == ConstraintKind::EqZero && !c.expr.coeff(dim).is_zero())
         {
+            let snapshot = self.cons.clone();
+            let outer_overflow = crate::rational::take_overflow();
             let eq = self.cons.swap_remove(pos);
             let a = eq.expr.coeff(dim);
             // a·dim + rest = 0  ⇒  dim = −rest/a.
@@ -398,6 +404,20 @@ impl Polyhedron {
             for c in old {
                 let expr = c.expr.substitute(dim, &replacement);
                 self.cons.push(Constraint { expr, kind: c.kind });
+            }
+            if crate::rational::take_overflow() {
+                // The substituted system is garbage; fall back to the
+                // coarsest sound projection — drop every constraint that
+                // mentions `dim`.
+                blazer_ir::budget::note_overflow();
+                blazer_ir::budget::note_degradation(
+                    "polyhedra: projection substitution overflowed; dropping constraints on dim",
+                );
+                self.cons = snapshot;
+                self.cons.retain(|c| c.expr.coeff(dim).is_zero());
+            }
+            if outer_overflow {
+                crate::rational::set_overflow();
             }
             self.retain_nontrivial();
             return;
@@ -416,15 +436,39 @@ impl Polyhedron {
                 uppers.push(c);
             }
         }
-        for lo in &lowers {
+        // Derived constraints are optional: each one only tightens the
+        // projection, so skipping a pair — because its combination
+        // overflowed or because the budget ran out mid-sweep — stays sound.
+        let outer_overflow = crate::rational::take_overflow();
+        let mut budget_truncated = false;
+        'pairs: for lo in &lowers {
             for hi in &uppers {
+                if blazer_ir::budget::check().is_err() {
+                    budget_truncated = true;
+                    break 'pairs;
+                }
                 let a = lo.expr.coeff(dim); // > 0
                 let b = hi.expr.coeff(dim); // < 0
-                // a·lo_rest scaling: combine lo·(−b) + hi·a, dim cancels.
+                                            // a·lo_rest scaling: combine lo·(−b) + hi·a, dim cancels.
                 let combined = lo.expr.scale(-b).add(&hi.expr.scale(a));
+                if crate::rational::take_overflow() {
+                    blazer_ir::budget::note_overflow();
+                    blazer_ir::budget::note_degradation(
+                        "polyhedra: Fourier–Motzkin pair skipped after overflow",
+                    );
+                    continue;
+                }
                 debug_assert!(combined.coeff(dim).is_zero());
                 rest.push(Constraint::ge_zero(combined));
             }
+        }
+        if budget_truncated {
+            blazer_ir::budget::note_degradation(
+                "polyhedra: Fourier–Motzkin sweep truncated by exhausted budget",
+            );
+        }
+        if outer_overflow {
+            crate::rational::set_overflow();
         }
         self.cons = rest;
         self.retain_nontrivial();
@@ -437,11 +481,8 @@ impl Polyhedron {
     /// others. Used to express invariants over input seeds.
     pub fn project_onto(&self, keep: &BTreeSet<usize>) -> Polyhedron {
         let mut p = self.clone();
-        let mentioned: BTreeSet<usize> = p
-            .cons
-            .iter()
-            .flat_map(|c| c.expr.dims().collect::<Vec<_>>())
-            .collect();
+        let mentioned: BTreeSet<usize> =
+            p.cons.iter().flat_map(|c| c.expr.dims().collect::<Vec<_>>()).collect();
         for d in mentioned {
             if !keep.contains(&d) {
                 p.project_out(d);
@@ -458,6 +499,8 @@ impl Polyhedron {
         let a = e.coeff(dim);
         if !a.is_zero() {
             // Invertible update: old = (new − rest)/a; substitute in place.
+            let snapshot = self.cons.clone();
+            let outer_overflow = crate::rational::take_overflow();
             let mut rest = e.clone();
             rest.set_coeff(dim, Rat::ZERO);
             // new = a·old + rest  ⇒  old = (new − rest)/a.
@@ -466,6 +509,23 @@ impl Polyhedron {
             for c in old {
                 let expr = c.expr.substitute(dim, &inverse);
                 self.cons.push(Constraint { expr, kind: c.kind });
+            }
+            if crate::rational::take_overflow() {
+                // The substituted system is garbage; the sound fallback for
+                // an assignment is to forget the assigned dimension.
+                blazer_ir::budget::note_overflow();
+                blazer_ir::budget::note_degradation(
+                    "polyhedra: assignment substitution overflowed; havocking dim",
+                );
+                self.cons = snapshot;
+                if outer_overflow {
+                    crate::rational::set_overflow();
+                }
+                self.project_out(dim);
+                return;
+            }
+            if outer_overflow {
+                crate::rational::set_overflow();
             }
             self.retain_nontrivial();
         } else {
@@ -548,9 +608,7 @@ impl Polyhedron {
         if self.empty {
             return false;
         }
-        self.cons
-            .iter()
-            .all(|c| c.satisfied_by(|d| point.get(d).copied().unwrap_or(Rat::ZERO)))
+        self.cons.iter().all(|c| c.satisfied_by(|d| point.get(d).copied().unwrap_or(Rat::ZERO)))
     }
 
     /// Renames dimensions via `f` (must be injective over mentioned dims);
@@ -884,10 +942,7 @@ mod tests {
                 for (d, (lo, w)) in ranges.into_iter().enumerate() {
                     let v = LinExpr::var(d);
                     p.add_constraint(Constraint::ge(&v, &LinExpr::constant(Rat::int(lo))));
-                    p.add_constraint(Constraint::le(
-                        &v,
-                        &LinExpr::constant(Rat::int(lo + w)),
-                    ));
+                    p.add_constraint(Constraint::le(&v, &LinExpr::constant(Rat::int(lo + w))));
                 }
                 p
             })

@@ -2,14 +2,54 @@
 //!
 //! All domain computations in this crate use [`Rat`] so that fixpoints and
 //! entailment checks are exact — there is no floating-point rounding anywhere
-//! in the analysis. Numerators and denominators are `i128`; the analysis
-//! works with small coefficients (loop strides, thresholds, cost weights), so
-//! overflow indicates a bug rather than a large-input condition and panics
-//! with a clear message.
+//! in the analysis. Numerators and denominators are `i128`.
+//!
+//! # Overflow policy
+//!
+//! Comparison is *always exact*: when the cross products exceed `i128` it
+//! falls back to 256-bit arithmetic, so `Ord` is total and never lossy.
+//!
+//! Arithmetic overflow is recoverable rather than fatal. The checked
+//! variants ([`Rat::checked_add`] etc.) return `None` on overflow; the
+//! operator impls (`+`, `*`, ...) stay total by returning a saturated
+//! placeholder and raising a thread-local *overflow flag*. Layers that can
+//! absorb imprecision soundly (the simplex solver, polyhedra operations, the
+//! driver's per-trail retry ladder) poll the flag with [`take_overflow`] and
+//! discard the tainted result — dropping a constraint, answering
+//! "unbounded", or re-running with a coarser domain — instead of aborting
+//! the whole analysis. A result computed while the flag is raised must never
+//! be trusted.
 
+use std::cell::Cell;
 use std::cmp::Ordering;
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+thread_local! {
+    static OVERFLOW: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Raises the thread-local overflow flag (done automatically by the
+/// saturating operator impls).
+pub fn set_overflow() {
+    OVERFLOW.with(|f| f.set(true));
+}
+
+/// Whether an unabsorbed arithmetic overflow has occurred on this thread.
+pub fn overflow_occurred() -> bool {
+    OVERFLOW.with(|f| f.get())
+}
+
+/// Reads and clears the overflow flag. Absorption points call this to claim
+/// responsibility for the precision loss.
+pub fn take_overflow() -> bool {
+    OVERFLOW.with(|f| f.replace(false))
+}
+
+/// Placeholder magnitude for saturated results (large, but far enough from
+/// `i128::MAX` that follow-up small-coefficient arithmetic saturates again
+/// rather than wrapping).
+const SATURATED: i128 = i128::MAX >> 1;
 
 /// An exact rational number `num / den` with `den > 0` and `gcd(num, den) = 1`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -149,11 +189,57 @@ impl Rat {
         self.num as f64 / self.den as f64
     }
 
-    fn checked(num: Option<i128>, den: Option<i128>, op: &str) -> Rat {
-        match (num, den) {
-            (Some(n), Some(d)) => Rat::new(n, d),
-            _ => panic!("rational overflow during {op}"),
+    /// Checked addition: `None` on `i128` overflow (or under an injected
+    /// `overflow:<n>` fault, see `blazer_ir::budget`).
+    pub fn checked_add(self, rhs: Rat) -> Option<Rat> {
+        if blazer_ir::budget::inject_overflow() {
+            return None;
         }
+        // a/b + c/d = (a*d + c*b) / (b*d); reduce via gcd of denominators
+        // first to keep magnitudes small.
+        let g = gcd(self.den, rhs.den);
+        let lhs_scale = rhs.den / g;
+        let rhs_scale = self.den / g;
+        let num = self
+            .num
+            .checked_mul(lhs_scale)
+            .and_then(|a| rhs.num.checked_mul(rhs_scale).and_then(|b| a.checked_add(b)))?;
+        let den = self.den.checked_mul(lhs_scale)?;
+        Some(Rat::new(num, den))
+    }
+
+    /// Checked subtraction: `None` on `i128` overflow.
+    pub fn checked_sub(self, rhs: Rat) -> Option<Rat> {
+        self.checked_add(-rhs)
+    }
+
+    /// Checked multiplication: `None` on `i128` overflow (or under an
+    /// injected fault).
+    pub fn checked_mul(self, rhs: Rat) -> Option<Rat> {
+        if blazer_ir::budget::inject_overflow() {
+            return None;
+        }
+        // Cross-reduce before multiplying.
+        let g1 = gcd(self.num, rhs.den).max(1);
+        let g2 = gcd(rhs.num, self.den).max(1);
+        let num = (self.num / g1).checked_mul(rhs.num / g2)?;
+        let den = (self.den / g2).checked_mul(rhs.den / g1)?;
+        Some(Rat::new(num, den))
+    }
+
+    /// Checked division: `None` on `i128` overflow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero (API misuse, like [`Rat::recip`]).
+    pub fn checked_div(self, rhs: Rat) -> Option<Rat> {
+        self.checked_mul(rhs.recip())
+    }
+
+    /// The saturated placeholder returned by the total operators on
+    /// overflow: a huge value carrying `sign`.
+    fn saturated(sign: i128) -> Rat {
+        Rat { num: if sign < 0 { -SATURATED } else { SATURATED }, den: 1 }
     }
 }
 
@@ -178,17 +264,12 @@ impl From<i32> for Rat {
 impl Add for Rat {
     type Output = Rat;
     fn add(self, rhs: Rat) -> Rat {
-        // a/b + c/d = (a*d + c*b) / (b*d); reduce via gcd of denominators
-        // first to keep magnitudes small.
-        let g = gcd(self.den, rhs.den);
-        let lhs_scale = rhs.den / g;
-        let rhs_scale = self.den / g;
-        let num = self
-            .num
-            .checked_mul(lhs_scale)
-            .and_then(|a| rhs.num.checked_mul(rhs_scale).and_then(|b| a.checked_add(b)));
-        let den = self.den.checked_mul(lhs_scale);
-        Rat::checked(num, den, "add")
+        self.checked_add(rhs).unwrap_or_else(|| {
+            set_overflow();
+            // The sum's sign: a + b >= 0 ⇔ a >= -b, decided by the exact
+            // (never-overflowing) comparison.
+            Rat::saturated(if self >= -rhs { 1 } else { -1 })
+        })
     }
 }
 
@@ -202,17 +283,16 @@ impl Sub for Rat {
 impl Mul for Rat {
     type Output = Rat;
     fn mul(self, rhs: Rat) -> Rat {
-        // Cross-reduce before multiplying.
-        let g1 = gcd(self.num, rhs.den).max(1);
-        let g2 = gcd(rhs.num, self.den).max(1);
-        let num = (self.num / g1).checked_mul(rhs.num / g2);
-        let den = (self.den / g2).checked_mul(rhs.den / g1);
-        Rat::checked(num, den, "mul")
+        self.checked_mul(rhs).unwrap_or_else(|| {
+            set_overflow();
+            Rat::saturated(self.signum() * rhs.signum())
+        })
     }
 }
 
 impl Div for Rat {
     type Output = Rat;
+    #[allow(clippy::suspicious_arithmetic_impl)] // division via reciprocal
     fn div(self, rhs: Rat) -> Rat {
         self * rhs.recip()
     }
@@ -245,14 +325,47 @@ impl PartialOrd for Rat {
 
 impl Ord for Rat {
     fn cmp(&self, other: &Rat) -> Ordering {
-        // a/b ? c/d  ⇔  a*d ? c*b  (denominators positive).
+        // a/b ? c/d  ⇔  a*d ? c*b  (denominators positive). When the cross
+        // products exceed i128 the comparison is completed exactly in 256
+        // bits, so ordering is total and never lossy.
         let lhs = self.num.checked_mul(other.den);
         let rhs = other.num.checked_mul(self.den);
         match (lhs, rhs) {
             (Some(l), Some(r)) => l.cmp(&r),
-            _ => panic!("rational overflow during comparison"),
+            _ => cmp_products_wide(self.num, other.den, other.num, self.den),
         }
     }
+}
+
+/// Compares `a*b` with `c*d` exactly via 256-bit magnitudes.
+fn cmp_products_wide(a: i128, b: i128, c: i128, d: i128) -> Ordering {
+    let sign_ab = a.signum() * b.signum();
+    let sign_cd = c.signum() * d.signum();
+    if sign_ab != sign_cd {
+        return sign_ab.cmp(&sign_cd);
+    }
+    let mag_ab = u256_mul(a.unsigned_abs(), b.unsigned_abs());
+    let mag_cd = u256_mul(c.unsigned_abs(), d.unsigned_abs());
+    if sign_ab >= 0 {
+        mag_ab.cmp(&mag_cd)
+    } else {
+        mag_cd.cmp(&mag_ab)
+    }
+}
+
+/// Full 256-bit product of two `u128`s as `(high, low)` limbs.
+fn u256_mul(a: u128, b: u128) -> (u128, u128) {
+    const MASK: u128 = (1u128 << 64) - 1;
+    let (a_hi, a_lo) = (a >> 64, a & MASK);
+    let (b_hi, b_lo) = (b >> 64, b & MASK);
+    let lo = a_lo * b_lo;
+    let mid1 = a_lo * b_hi;
+    let mid2 = a_hi * b_lo;
+    let hi = a_hi * b_hi;
+    let (low, carry1) = lo.overflowing_add(mid1 << 64);
+    let (low, carry2) = low.overflowing_add(mid2 << 64);
+    let high = hi + (mid1 >> 64) + (mid2 >> 64) + u128::from(carry1) + u128::from(carry2);
+    (high, low)
 }
 
 impl fmt::Display for Rat {
@@ -319,6 +432,57 @@ mod tests {
     fn display() {
         assert_eq!(Rat::new(3, 1).to_string(), "3");
         assert_eq!(Rat::new(-3, 2).to_string(), "-3/2");
+    }
+
+    #[test]
+    fn comparison_is_exact_beyond_i128() {
+        // Cross products are ~2^180: the wide path must decide this.
+        let big = 1i128 << 90;
+        let x = Rat::new(big + 1, big); // 1 + 2^-90
+        let y = Rat::new(big + 2, big + 1); // 1 + 1/(2^90+1)
+        assert!(x > y);
+        assert!(y < x);
+        assert_eq!(x.cmp(&x), Ordering::Equal);
+        assert!(-x < -y);
+        assert!(!overflow_occurred(), "comparison must not raise the flag");
+    }
+
+    #[test]
+    fn checked_arithmetic_reports_overflow() {
+        let big = Rat::int(i128::MAX / 2);
+        assert_eq!(big.checked_mul(big), None);
+        assert_eq!(Rat::int(i128::MAX - 1).checked_add(Rat::int(i128::MAX - 1)), None);
+        assert_eq!(Rat::int(2).checked_add(Rat::int(3)), Some(Rat::int(5)));
+        assert_eq!(Rat::new(1, 2).checked_mul(Rat::new(2, 3)), Some(Rat::new(1, 3)));
+    }
+
+    #[test]
+    fn operators_saturate_and_raise_the_flag() {
+        let _ = take_overflow();
+        let big = Rat::int(i128::MAX / 2);
+        let prod = big * big;
+        assert!(take_overflow(), "overflow flag must be raised");
+        assert!(prod.is_positive(), "saturated placeholder keeps the sign");
+        let neg = big * Rat::int(-3);
+        assert!(take_overflow());
+        assert!(neg.is_negative());
+        let sum = Rat::int(i128::MAX - 1) + Rat::int(i128::MAX - 1);
+        assert!(take_overflow());
+        assert!(sum.is_positive());
+        // Flag is clear again; ordinary arithmetic does not raise it.
+        let _ = Rat::new(1, 2) + Rat::new(1, 3);
+        assert!(!overflow_occurred());
+    }
+
+    #[test]
+    fn injected_overflow_fault_hits_checked_ops() {
+        let fault = blazer_ir::budget::FaultSpec { overflow: Some(0), ..Default::default() };
+        let _guard = blazer_ir::budget::Budget::unlimited().with_fault(fault).install();
+        assert_eq!(Rat::int(1).checked_add(Rat::int(1)), None);
+        let _ = take_overflow();
+        let v = Rat::int(1) + Rat::int(1);
+        assert!(take_overflow());
+        assert_eq!(v, Rat::saturated(1));
     }
 
     proptest! {

@@ -64,10 +64,7 @@ impl Simplex {
 
     /// Whether the constraint system has any solution.
     pub fn feasible(constraints: &[Constraint]) -> bool {
-        !matches!(
-            solve(&LinExpr::zero(), constraints, true),
-            LpResult::Infeasible
-        )
+        !matches!(solve(&LinExpr::zero(), constraints, true), LpResult::Infeasible)
     }
 
     fn pivot(&mut self, row: usize, col: usize) {
@@ -87,13 +84,13 @@ impl Simplex {
                 continue;
             }
             for (v, p) in other.iter_mut().zip(pivot_row.iter()) {
-                *v = *v - factor * *p;
+                *v -= factor * *p;
             }
         }
         let factor = self.obj[col];
         if !factor.is_zero() {
             for (v, p) in self.obj.iter_mut().zip(pivot_row.iter()) {
-                *v = *v - factor * *p;
+                *v -= factor * *p;
             }
         }
         self.basis[row] = col;
@@ -109,18 +106,32 @@ impl Simplex {
             }
             let row = self.rows[r].clone();
             for (v, p) in self.obj.iter_mut().zip(row.iter()) {
-                *v = *v - factor * *p;
+                *v -= factor * *p;
             }
         }
     }
 
-    /// Runs simplex iterations (maximization) until optimal or unbounded.
-    fn optimize(&mut self) -> bool {
+    /// Runs simplex iterations (maximization) until optimal (`Ok(true)`),
+    /// unbounded (`Ok(false)`), or aborted by the analysis budget (`Err`).
+    fn optimize(&mut self) -> Result<bool, blazer_ir::budget::Exhausted> {
+        let mut pivots = 0u32;
         loop {
+            // Pivots are the expensive inner unit of work: poll the budget
+            // deadline every few of them so a single pathological solve
+            // cannot blow past the deadline unnoticed. Saturated (overflowed)
+            // arithmetic voids Bland's termination guarantee, so once the
+            // overflow flag is up the tableau is garbage anyway — stop and
+            // let the caller absorb the solve as a degraded answer.
+            pivots += 1;
+            if pivots.is_multiple_of(16) {
+                blazer_ir::budget::check()?;
+                if crate::rational::overflow_occurred() {
+                    return Ok(false);
+                }
+            }
             // Bland's rule: smallest-index improving column.
-            let enter = (0..self.n_cols)
-                .find(|&j| !self.banned[j] && self.obj[j] > Rat::ZERO);
-            let Some(j) = enter else { return true };
+            let enter = (0..self.n_cols).find(|&j| !self.banned[j] && self.obj[j] > Rat::ZERO);
+            let Some(j) = enter else { return Ok(true) };
             // Ratio test: smallest rhs/coeff over positive coefficients,
             // ties broken by smallest basis index (Bland).
             let mut best: Option<(usize, Rat)> = None;
@@ -131,8 +142,7 @@ impl Simplex {
                     let better = match &best {
                         None => true,
                         Some((br, bratio)) => {
-                            ratio < *bratio
-                                || (ratio == *bratio && self.basis[r] < self.basis[*br])
+                            ratio < *bratio || (ratio == *bratio && self.basis[r] < self.basis[*br])
                         }
                     };
                     if better {
@@ -142,7 +152,7 @@ impl Simplex {
             }
             match best {
                 Some((r, _)) => self.pivot(r, j),
-                None => return false, // unbounded
+                None => return Ok(false), // unbounded
             }
         }
     }
@@ -162,8 +172,41 @@ pub fn solve_calls() -> u64 {
     SOLVE_CALLS.load(std::sync::atomic::Ordering::Relaxed)
 }
 
+/// The universally sound degraded answer: "unbounded" makes `feasible` answer
+/// true, `entails` answer false, and `bounds` answer "no bound" — each an
+/// over-approximation of whatever the exact solve would have said.
+fn degraded(reason: &str) -> LpResult {
+    blazer_ir::budget::note_degradation(format!("simplex: {reason}; answering unbounded"));
+    LpResult::Unbounded
+}
+
 fn solve(objective: &LinExpr, constraints: &[Constraint], _maximize: bool) -> LpResult {
     SOLVE_CALLS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    if blazer_ir::budget::consume_lp_call().is_err() {
+        return degraded("LP call denied by exhausted budget");
+    }
+    // Run the tableau with a clean overflow flag so saturation anywhere in
+    // this solve is detected and absorbed here (restoring any outer state).
+    let outer_overflow = crate::rational::take_overflow();
+    let out = solve_inner(objective, constraints);
+    let overflowed = crate::rational::take_overflow();
+    if outer_overflow {
+        crate::rational::set_overflow();
+    }
+    match out {
+        Ok(result) if !overflowed => result,
+        Ok(_) => {
+            blazer_ir::budget::note_overflow();
+            degraded("rational overflow absorbed")
+        }
+        Err(_) => degraded("aborted by analysis budget"),
+    }
+}
+
+fn solve_inner(
+    objective: &LinExpr,
+    constraints: &[Constraint],
+) -> Result<LpResult, blazer_ir::budget::Exhausted> {
     // Collect all dimensions mentioned anywhere.
     let mut dims: BTreeSet<usize> = objective.dims().collect();
     for c in constraints {
@@ -176,10 +219,7 @@ fn solve(objective: &LinExpr, constraints: &[Constraint], _maximize: bool) -> Lp
     let n_vars = 2 * dims.len();
     let m = constraints.len();
     // Slack per inequality, artificial per row.
-    let n_slacks = constraints
-        .iter()
-        .filter(|c| c.kind == ConstraintKind::GeZero)
-        .count();
+    let n_slacks = constraints.iter().filter(|c| c.kind == ConstraintKind::GeZero).count();
     let n_cols = n_vars + n_slacks + m;
     let art_base = n_vars + n_slacks;
 
@@ -191,8 +231,8 @@ fn solve(objective: &LinExpr, constraints: &[Constraint], _maximize: bool) -> Lp
         let mut row = vec![Rat::ZERO; n_cols + 1];
         for (d, coeff) in c.expr.terms() {
             let col = dim_col[&d];
-            row[col] = row[col] + coeff;
-            row[col + 1] = row[col + 1] - coeff;
+            row[col] += coeff;
+            row[col + 1] -= coeff;
         }
         // Move constant to rhs: a·x + k {≥,=} 0  ⇒  a·x {≥,=} −k.
         let rhs = -c.expr.constant_part();
@@ -227,10 +267,15 @@ fn solve(objective: &LinExpr, constraints: &[Constraint], _maximize: bool) -> Lp
             t.obj[j] = -Rat::ONE;
         }
         t.price_out();
-        let bounded = t.optimize();
-        debug_assert!(bounded, "phase-1 objective is bounded by construction");
+        let bounded = t.optimize()?;
+        if !bounded {
+            // The phase-1 objective is bounded by construction, so this is
+            // only reachable when saturated (overflowed) arithmetic corrupted
+            // the tableau; the caller absorbs it as a degraded answer.
+            return Ok(LpResult::Unbounded);
+        }
         if t.value() < Rat::ZERO {
-            return LpResult::Infeasible;
+            return Ok(LpResult::Infeasible);
         }
         // Drive remaining artificials out of the basis.
         for r in 0..t.rows.len() {
@@ -250,14 +295,14 @@ fn solve(objective: &LinExpr, constraints: &[Constraint], _maximize: bool) -> Lp
     t.obj = vec![Rat::ZERO; n_cols + 1];
     for (d, coeff) in objective.terms() {
         let col = dim_col[&d];
-        t.obj[col] = t.obj[col] + coeff;
-        t.obj[col + 1] = t.obj[col + 1] - coeff;
+        t.obj[col] += coeff;
+        t.obj[col + 1] -= coeff;
     }
     t.price_out();
-    if !t.optimize() {
-        return LpResult::Unbounded;
+    if !t.optimize()? {
+        return Ok(LpResult::Unbounded);
     }
-    LpResult::Optimal(t.value() + objective.constant_part())
+    Ok(LpResult::Optimal(t.value() + objective.constant_part()))
 }
 
 #[cfg(test)]
@@ -352,20 +397,14 @@ mod tests {
         // max (x + 100) s.t. x ≤ 1 → 101.
         let x = LinExpr::var(0);
         let cs = vec![le(x.clone(), 1)];
-        assert_eq!(
-            Simplex::maximize(&x.add_constant(r(100)), &cs),
-            LpResult::Optimal(r(101))
-        );
+        assert_eq!(Simplex::maximize(&x.add_constant(r(100)), &cs), LpResult::Optimal(r(101)));
     }
 
     #[test]
     fn no_constraints() {
         let x = LinExpr::var(0);
         assert_eq!(Simplex::maximize(&x, &[]), LpResult::Unbounded);
-        assert_eq!(
-            Simplex::maximize(&LinExpr::constant(r(3)), &[]),
-            LpResult::Optimal(r(3))
-        );
+        assert_eq!(Simplex::maximize(&LinExpr::constant(r(3)), &[]), LpResult::Optimal(r(3)));
         assert!(Simplex::feasible(&[]));
     }
 

@@ -233,11 +233,8 @@ impl AbstractDomain for Zone {
                 // Keep stable entries, drop (to ∞) grown ones. Do NOT close
                 // the result: closure could reintroduce finite bounds and
                 // break termination.
-                let e = if ble(closed_new.get(i, j), self.get(i, j)) {
-                    self.get(i, j)
-                } else {
-                    None
-                };
+                let e =
+                    if ble(closed_new.get(i, j), self.get(i, j)) { self.get(i, j) } else { None };
                 out.set(i, j, e);
             }
         }
@@ -419,13 +416,11 @@ impl AbstractDomain for Zone {
         };
         let mut p = Polyhedron::top(self.dims());
         // Equality chains within classes.
-        for i in 0..n {
-            if rep[i] != i {
-                if let Some(b) = z.get(i, rep[i]) {
+        for (i, &ri) in rep.iter().enumerate() {
+            if ri != i {
+                if let Some(b) = z.get(i, ri) {
                     // x_i − x_rep = b (the reverse entry is −b by the cycle).
-                    p.add_constraint(Constraint::eq_zero(
-                        term(i).sub(&term(rep[i])).add_constant(-b),
-                    ));
+                    p.add_constraint(Constraint::eq_zero(term(i).sub(&term(ri)).add_constant(-b)));
                 }
             }
         }

@@ -90,10 +90,7 @@ fn check_laws<D: AbstractDomain>(s1: &Spec, s2: &Spec) {
             assert!(j.contains_point(&pt), "join must keep {pt:?}");
         }
         if inside_a {
-            assert!(
-                a.to_polyhedron().contains_point(&pt),
-                "to_polyhedron must over-approximate"
-            );
+            assert!(a.to_polyhedron().contains_point(&pt), "to_polyhedron must over-approximate");
         }
     }
     // bounds() is sound w.r.t. membership.

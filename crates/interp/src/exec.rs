@@ -4,8 +4,7 @@ use crate::oracle::ExternOracle;
 use crate::value::Value;
 use blazer_ir::cost::CostModel;
 use blazer_ir::{
-    BinOp, Cfg, Cond, Edge, Expr, Function, Inst, NodeId, Operand, Program, Terminator,
-    UnOp,
+    BinOp, Cfg, Cond, Edge, Expr, Function, Inst, NodeId, Operand, Program, Terminator, UnOp,
 };
 
 /// An execution failure.
@@ -173,10 +172,7 @@ impl<'p> Interp<'p> {
                 Ok(self.cost_model.assign)
             }
             Inst::ArraySet { arr, index, value } => {
-                let idx = self
-                    .eval_operand(index, env)
-                    .as_int()
-                    .expect("typed index");
+                let idx = self.eval_operand(index, env).as_int().expect("typed index");
                 let val = self.eval_operand(value, env).as_int().expect("typed value");
                 match &env[arr.index()] {
                     Value::Arr(None) => Err(ExecError::NullDereference),
@@ -197,8 +193,7 @@ impl<'p> Interp<'p> {
                     .program
                     .extern_decl(callee)
                     .unwrap_or_else(|| panic!("undeclared extern `{callee}`"));
-                let arg_vals: Vec<Value> =
-                    args.iter().map(|a| self.eval_operand(a, env)).collect();
+                let arg_vals: Vec<Value> = args.iter().map(|a| self.eval_operand(a, env)).collect();
                 let c = cost.eval(|i| arg_vals[i].magnitude());
                 let result = oracle.call(decl, &arg_vals);
                 if let Some(d) = dst {
@@ -261,9 +256,7 @@ impl<'p> Interp<'p> {
                 };
                 Ok(Value::Int(v))
             }
-            Expr::ArrayLen(v) => Ok(Value::Int(
-                env[v.index()].array_len().expect("typed array"),
-            )),
+            Expr::ArrayLen(v) => Ok(Value::Int(env[v.index()].array_len().expect("typed array"))),
             Expr::ArrayGet(v, i) => {
                 let idx = self.eval_operand(i, env).as_int().expect("typed index");
                 match &env[v.index()] {
@@ -315,9 +308,7 @@ mod tests {
 
     fn run(src: &str, func: &str, inputs: &[Value]) -> Trace {
         let p = compile(src).unwrap();
-        Interp::new(&p)
-            .run(func, inputs, &mut SeededOracle::new(1))
-            .unwrap()
+        Interp::new(&p).run(func, inputs, &mut SeededOracle::new(1)).unwrap()
     }
 
     #[test]
@@ -389,9 +380,7 @@ mod tests {
         let p = compile(src).unwrap();
         let f = p.function("f").unwrap();
         let cfg = Cfg::new(f);
-        let t = Interp::new(&p)
-            .run("f", &[Value::Int(1)], &mut SeededOracle::new(0))
-            .unwrap();
+        let t = Interp::new(&p).run("f", &[Value::Int(1)], &mut SeededOracle::new(0)).unwrap();
         assert_eq!(t.edges.last().unwrap().to, cfg.exit());
         // Consecutive edges chain.
         for w in t.edges.windows(2) {
@@ -403,9 +392,7 @@ mod tests {
     fn runtime_errors() {
         let div = "fn f(n: int) -> int { return 1 / n; }";
         let p = compile(div).unwrap();
-        let e = Interp::new(&p)
-            .run("f", &[Value::Int(0)], &mut SeededOracle::new(0))
-            .unwrap_err();
+        let e = Interp::new(&p).run("f", &[Value::Int(0)], &mut SeededOracle::new(0)).unwrap_err();
         assert_eq!(e, ExecError::DivisionByZero);
 
         let oob = "fn f(a: array) -> int { return a[10]; }";
@@ -417,9 +404,7 @@ mod tests {
 
         let null = "fn f(a: array) -> int { return a[0]; }";
         let p = compile(null).unwrap();
-        let e = Interp::new(&p)
-            .run("f", &[Value::null()], &mut SeededOracle::new(0))
-            .unwrap_err();
+        let e = Interp::new(&p).run("f", &[Value::null()], &mut SeededOracle::new(0)).unwrap_err();
         assert_eq!(e, ExecError::NullDereference);
     }
 
@@ -427,10 +412,8 @@ mod tests {
     fn fuel_bounds_infinite_loops() {
         let src = "fn f() { let i: int = 1; while (i > 0) { i = i + 1; } }";
         let p = compile(src).unwrap();
-        let e = Interp::new(&p)
-            .with_fuel(1000)
-            .run("f", &[], &mut SeededOracle::new(0))
-            .unwrap_err();
+        let e =
+            Interp::new(&p).with_fuel(1000).run("f", &[], &mut SeededOracle::new(0)).unwrap_err();
         assert_eq!(e, ExecError::OutOfFuel);
     }
 
@@ -488,7 +471,7 @@ mod tests {
         let arr = Value::array(vec![0, 0]);
         let p = compile(src).unwrap();
         let t = Interp::new(&p)
-            .run("f", &[arr.clone()], &mut SeededOracle::new(0))
+            .run("f", std::slice::from_ref(&arr), &mut SeededOracle::new(0))
             .unwrap();
         assert_eq!(t.ret, Some(Value::Int(42)));
         // The caller's array reference observed the store (Java reference
@@ -503,14 +486,8 @@ mod tests {
     #[test]
     fn boolean_values_via_diamonds() {
         let src = "fn f(a: int, b: int) -> bool {             let c: bool = a < b && b < 10;             return !c;         }";
-        assert_eq!(
-            run(src, "f", &[Value::Int(1), Value::Int(5)]).ret,
-            Some(Value::bool(false))
-        );
-        assert_eq!(
-            run(src, "f", &[Value::Int(7), Value::Int(5)]).ret,
-            Some(Value::bool(true))
-        );
+        assert_eq!(run(src, "f", &[Value::Int(1), Value::Int(5)]).ret, Some(Value::bool(false)));
+        assert_eq!(run(src, "f", &[Value::Int(7), Value::Int(5)]).ret, Some(Value::bool(true)));
     }
 
     #[test]

@@ -1,0 +1,578 @@
+//! Cooperative resource budgets for the whole analysis stack.
+//!
+//! The paper's driver (Fig. 2) is a *give-up-gracefully* algorithm: when the
+//! search space is exhausted it answers "unknown" rather than diverging. This
+//! module extends that discipline to machine resources. A [`Budget`] carries
+//! optional caps on wall-clock time, LP solve calls, abstract-interpreter
+//! fixpoint passes, and driver refinement steps. The driver *installs* a
+//! budget for the duration of one analysis ([`Budget::install`]); the deep
+//! layers (simplex, Fourier–Motzkin projection, the worklist engine, the
+//! bound analysis) then *consume* against it through cheap thread-local
+//! calls — no signatures change across crate boundaries.
+//!
+//! Exhaustion is sticky and cooperative: once a cap trips, every subsequent
+//! [`check`]/`consume_*` call reports [`Exhausted`] and each layer falls back
+//! to a *sound over-approximation* (an LP solve is answered "unbounded", a
+//! fixpoint is widened to top, a derived constraint is dropped). The driver
+//! eventually surfaces the situation as an `Unknown` verdict carrying the
+//! exhausted [`Resource`].
+//!
+//! # Fault injection
+//!
+//! For robustness tests, a [`FaultSpec`] (programmatic, or parsed from the
+//! `BLAZER_FAULT` environment variable at install time) deterministically
+//! provokes failures: `lp_call:<n>` caps LP calls at `n`, `overflow:<n>`
+//! makes every checked rational operation after the first `n` report
+//! overflow, `deadline:<ms>` imposes a deadline, and `panic:<n>` panics at
+//! the `n`-th LP call — once per process — to exercise `catch_unwind`
+//! isolation in the benchmark harnesses.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// The resource classes a [`Budget`] can cap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Resource {
+    /// Wall-clock deadline.
+    WallClock,
+    /// Number of LP (simplex) solve calls.
+    LpCalls,
+    /// Number of abstract-interpreter fixpoint passes.
+    FixpointPasses,
+    /// Number of driver refinement steps.
+    RefinementSteps,
+}
+
+impl fmt::Display for Resource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Resource::WallClock => "wall-clock deadline",
+            Resource::LpCalls => "LP-call budget",
+            Resource::FixpointPasses => "fixpoint-pass budget",
+            Resource::RefinementSteps => "refinement-step budget",
+        })
+    }
+}
+
+/// The error returned by [`check`] and the `consume_*` functions once a
+/// resource cap has tripped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Exhausted {
+    /// Which resource ran out first.
+    pub resource: Resource,
+}
+
+impl fmt::Display for Exhausted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "analysis budget exhausted: {}", self.resource)
+    }
+}
+
+impl std::error::Error for Exhausted {}
+
+/// Deterministic fault-injection configuration (see module docs).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Cap LP solve calls at this count.
+    pub lp_call: Option<u64>,
+    /// Make every checked rational operation after the first `n` overflow.
+    pub overflow: Option<u64>,
+    /// Impose this wall-clock deadline.
+    pub deadline: Option<Duration>,
+    /// Panic at the `n`-th LP call (fires at most once per process).
+    pub panic_at_lp: Option<u64>,
+}
+
+impl FaultSpec {
+    /// Parses the `BLAZER_FAULT` syntax: a `|`-separated list of
+    /// `lp_call:<n>`, `overflow:<n>`, `deadline:<ms>`, `panic:<n>` clauses.
+    /// Malformed clauses are ignored (fault injection is best-effort test
+    /// tooling, not user API).
+    pub fn parse(spec: &str) -> Self {
+        let mut out = FaultSpec::default();
+        for clause in spec.split('|') {
+            let Some((key, val)) = clause.split_once(':') else { continue };
+            let Ok(n) = val.trim().parse::<u64>() else { continue };
+            match key.trim() {
+                "lp_call" => out.lp_call = Some(n),
+                "overflow" => out.overflow = Some(n),
+                "deadline" => out.deadline = Some(Duration::from_millis(n)),
+                "panic" => out.panic_at_lp = Some(n),
+                _ => {}
+            }
+        }
+        out
+    }
+
+    fn from_env() -> Option<Self> {
+        let spec = std::env::var("BLAZER_FAULT").ok()?;
+        if spec.trim().is_empty() {
+            return None;
+        }
+        Some(FaultSpec::parse(&spec))
+    }
+
+    /// True when no fault is configured.
+    pub fn is_empty(&self) -> bool {
+        *self == FaultSpec::default()
+    }
+}
+
+/// Resource caps for one analysis run. `None` everywhere (the
+/// [`Budget::default`]) means unlimited.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Budget {
+    /// Wall-clock deadline for the whole analysis.
+    pub deadline: Option<Duration>,
+    /// Cap on LP (simplex) solve calls.
+    pub max_lp_calls: Option<u64>,
+    /// Cap on abstract-interpreter fixpoint passes.
+    pub max_fixpoint_passes: Option<u64>,
+    /// Cap on driver refinement steps.
+    pub max_refinement_steps: Option<u64>,
+    /// Deterministic fault injection (tests only; merged with `BLAZER_FAULT`
+    /// at install time).
+    pub fault: Option<FaultSpec>,
+}
+
+impl Budget {
+    /// An unlimited budget.
+    pub fn unlimited() -> Self {
+        Budget::default()
+    }
+
+    /// Sets the wall-clock deadline.
+    pub fn with_deadline(mut self, d: Duration) -> Self {
+        self.deadline = Some(d);
+        self
+    }
+
+    /// Sets the LP-call cap.
+    pub fn with_max_lp_calls(mut self, n: u64) -> Self {
+        self.max_lp_calls = Some(n);
+        self
+    }
+
+    /// Sets the fixpoint-pass cap.
+    pub fn with_max_fixpoint_passes(mut self, n: u64) -> Self {
+        self.max_fixpoint_passes = Some(n);
+        self
+    }
+
+    /// Sets the refinement-step cap.
+    pub fn with_max_refinement_steps(mut self, n: u64) -> Self {
+        self.max_refinement_steps = Some(n);
+        self
+    }
+
+    /// Sets the fault-injection spec (tests only).
+    pub fn with_fault(mut self, fault: FaultSpec) -> Self {
+        self.fault = Some(fault);
+        self
+    }
+
+    /// Whether any cap (or fault) is configured.
+    pub fn is_unlimited(&self) -> bool {
+        *self == Budget::default()
+    }
+
+    /// Activates this budget on the current thread until the returned guard
+    /// is dropped. Nested installs stack: the inner budget applies while its
+    /// guard lives, then the outer one resumes. The `BLAZER_FAULT`
+    /// environment variable, if set, is merged into the fault spec here so
+    /// each installation re-reads it deterministically.
+    pub fn install(&self) -> BudgetGuard {
+        let mut fault = self.fault.clone().unwrap_or_default();
+        if let Some(env) = FaultSpec::from_env() {
+            fault = FaultSpec {
+                lp_call: env.lp_call.or(fault.lp_call),
+                overflow: env.overflow.or(fault.overflow),
+                deadline: env.deadline.or(fault.deadline),
+                panic_at_lp: env.panic_at_lp.or(fault.panic_at_lp),
+            };
+        }
+        let deadline =
+            [self.deadline, fault.deadline].into_iter().flatten().min().map(|d| Instant::now() + d);
+        let max_lp_calls = [self.max_lp_calls, fault.lp_call].into_iter().flatten().min();
+        let active = Active {
+            start: Instant::now(),
+            deadline,
+            max_lp_calls,
+            max_fixpoint_passes: self.max_fixpoint_passes,
+            max_refinement_steps: self.max_refinement_steps,
+            lp_calls: 0,
+            fixpoint_passes: 0,
+            refinement_steps: 0,
+            overflow_events: 0,
+            exhausted: None,
+            degradations: Vec::new(),
+            fault_overflow_after: fault.overflow,
+            fault_overflow_ops: 0,
+            fault_panic_at_lp: fault.panic_at_lp,
+            rescue_grants: 0,
+        };
+        let previous = ACTIVE.with(|a| a.borrow_mut().replace(active));
+        BudgetGuard { previous }
+    }
+}
+
+/// What one analysis actually consumed, for `AnalysisOutcome` metadata.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BudgetReport {
+    /// LP solve calls consumed.
+    pub lp_calls: u64,
+    /// Fixpoint passes consumed.
+    pub fixpoint_passes: u64,
+    /// Refinement steps consumed.
+    pub refinement_steps: u64,
+    /// Rational-overflow events absorbed as precision loss.
+    pub overflow_events: u64,
+    /// Wall-clock time elapsed since the budget was installed.
+    pub elapsed: Duration,
+    /// The first resource that ran out, if any.
+    pub exhausted: Option<Resource>,
+    /// Human-readable log of every sound degradation taken.
+    pub degradations: Vec<String>,
+}
+
+struct Active {
+    start: Instant,
+    deadline: Option<Instant>,
+    max_lp_calls: Option<u64>,
+    max_fixpoint_passes: Option<u64>,
+    max_refinement_steps: Option<u64>,
+    lp_calls: u64,
+    fixpoint_passes: u64,
+    refinement_steps: u64,
+    overflow_events: u64,
+    exhausted: Option<Resource>,
+    degradations: Vec<String>,
+    fault_overflow_after: Option<u64>,
+    fault_overflow_ops: u64,
+    fault_panic_at_lp: Option<u64>,
+    rescue_grants: u32,
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Option<Active>> = const { RefCell::new(None) };
+}
+
+/// `panic:<n>` fault fires at most once per process, so a harness that
+/// isolates the panic with `catch_unwind` does not crash on every subsequent
+/// benchmark too.
+static PANIC_FAULT_FIRED: AtomicBool = AtomicBool::new(false);
+
+/// RAII guard returned by [`Budget::install`]; restores the previously
+/// installed budget (if any) on drop.
+pub struct BudgetGuard {
+    previous: Option<Active>,
+}
+
+impl Drop for BudgetGuard {
+    fn drop(&mut self) {
+        ACTIVE.with(|a| *a.borrow_mut() = self.previous.take());
+    }
+}
+
+impl fmt::Debug for BudgetGuard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("BudgetGuard")
+    }
+}
+
+fn with_active<R>(f: impl FnOnce(&mut Active) -> R) -> Option<R> {
+    ACTIVE.with(|a| a.borrow_mut().as_mut().map(f))
+}
+
+fn deadline_ok(active: &mut Active) -> bool {
+    if let Some(deadline) = active.deadline {
+        if Instant::now() >= deadline {
+            active.exhausted.get_or_insert(Resource::WallClock);
+            return false;
+        }
+    }
+    true
+}
+
+/// How often (in LP calls) the deadline clock is polled; individual solves
+/// are cheap enough that this keeps the overhead negligible while bounding
+/// deadline overshoot tightly.
+const DEADLINE_POLL_PERIOD: u64 = 16;
+
+/// Checks the sticky exhaustion state and the deadline without consuming
+/// anything. Cheap; safe to call in inner loops.
+pub fn check() -> Result<(), Exhausted> {
+    with_active(|active| {
+        if let Some(resource) = active.exhausted {
+            return Err(Exhausted { resource });
+        }
+        if !deadline_ok(active) {
+            return Err(Exhausted { resource: Resource::WallClock });
+        }
+        Ok(())
+    })
+    .unwrap_or(Ok(()))
+}
+
+/// Consumes one LP solve call. Also the trigger point for the `panic:<n>`
+/// fault and the densest deadline poll in the stack.
+pub fn consume_lp_call() -> Result<(), Exhausted> {
+    let panic_now = with_active(|active| {
+        if let Some(resource) = active.exhausted {
+            return Err(Exhausted { resource });
+        }
+        active.lp_calls += 1;
+        if let Some(n) = active.fault_panic_at_lp {
+            if active.lp_calls >= n && !PANIC_FAULT_FIRED.swap(true, Ordering::SeqCst) {
+                return Ok(true);
+            }
+        }
+        if let Some(cap) = active.max_lp_calls {
+            if active.lp_calls > cap {
+                active.exhausted = Some(Resource::LpCalls);
+                return Err(Exhausted { resource: Resource::LpCalls });
+            }
+        }
+        if active.lp_calls % DEADLINE_POLL_PERIOD == 1 && !deadline_ok(active) {
+            return Err(Exhausted { resource: Resource::WallClock });
+        }
+        Ok(false)
+    })
+    .unwrap_or(Ok(false))?;
+    if panic_now {
+        panic!("injected fault: panic at LP call (BLAZER_FAULT)");
+    }
+    Ok(())
+}
+
+/// Consumes one abstract-interpreter fixpoint pass.
+pub fn consume_fixpoint_pass() -> Result<(), Exhausted> {
+    with_active(|active| {
+        if let Some(resource) = active.exhausted {
+            return Err(Exhausted { resource });
+        }
+        active.fixpoint_passes += 1;
+        if let Some(cap) = active.max_fixpoint_passes {
+            if active.fixpoint_passes > cap {
+                active.exhausted = Some(Resource::FixpointPasses);
+                return Err(Exhausted { resource: Resource::FixpointPasses });
+            }
+        }
+        if !deadline_ok(active) {
+            return Err(Exhausted { resource: Resource::WallClock });
+        }
+        Ok(())
+    })
+    .unwrap_or(Ok(()))
+}
+
+/// Consumes one driver refinement step.
+pub fn consume_refinement_step() -> Result<(), Exhausted> {
+    with_active(|active| {
+        if let Some(resource) = active.exhausted {
+            return Err(Exhausted { resource });
+        }
+        active.refinement_steps += 1;
+        if let Some(cap) = active.max_refinement_steps {
+            if active.refinement_steps > cap {
+                active.exhausted = Some(Resource::RefinementSteps);
+                return Err(Exhausted { resource: Resource::RefinementSteps });
+            }
+        }
+        if !deadline_ok(active) {
+            return Err(Exhausted { resource: Resource::WallClock });
+        }
+        Ok(())
+    })
+    .unwrap_or(Ok(()))
+}
+
+/// The first exhausted resource, if any (sticky).
+pub fn exhausted() -> Option<Resource> {
+    with_active(|active| active.exhausted).flatten()
+}
+
+/// Polls the wall-clock deadline directly, bypassing the sticky-exhaustion
+/// short-circuit of [`check`]: when a softer resource (say the LP-call cap)
+/// tripped first, long-running loops still need to notice that the deadline
+/// has since passed. One `Instant::now` per call; safe in inner loops.
+pub fn deadline_exceeded() -> bool {
+    with_active(|active| !deadline_ok(active)).unwrap_or(false)
+}
+
+/// Records a sound degradation for the final [`BudgetReport`]. Duplicate
+/// messages are collapsed: a starved run can deny thousands of identical
+/// LP calls, and one note per distinct event is what a reader wants.
+pub fn note_degradation(msg: impl Into<String>) {
+    let msg = msg.into();
+    with_active(|active| {
+        if active.degradations.len() < 256 && !active.degradations.contains(&msg) {
+            active.degradations.push(msg);
+        }
+    });
+}
+
+/// Records one absorbed rational-overflow event.
+pub fn note_overflow() {
+    with_active(|active| active.overflow_events += 1);
+}
+
+/// Number of overflow events absorbed so far (the driver diffs this across a
+/// trail analysis to decide whether to degrade to a coarser domain).
+pub fn overflow_events() -> u64 {
+    with_active(|active| active.overflow_events).unwrap_or(0)
+}
+
+/// Fault hook for checked rational arithmetic: returns `true` when the
+/// `overflow:<n>` fault says this operation should report overflow.
+pub fn inject_overflow() -> bool {
+    with_active(|active| {
+        let Some(after) = active.fault_overflow_after else { return false };
+        active.fault_overflow_ops += 1;
+        active.fault_overflow_ops > after
+    })
+    .unwrap_or(false)
+}
+
+/// Grants extra LP calls so the driver can retry a budget-starved trail with
+/// a coarser (cheaper) domain. Clears a sticky `LpCalls` exhaustion; refuses
+/// when the deadline (which cannot be extended) has passed or after too many
+/// grants. Returns whether the rescue was granted.
+pub fn grant_lp_rescue(extra: u64) -> bool {
+    with_active(|active| {
+        if active.rescue_grants >= 8 || !deadline_ok(active) {
+            return false;
+        }
+        match active.exhausted {
+            None | Some(Resource::LpCalls) => {
+                active.rescue_grants += 1;
+                active.exhausted = None;
+                if let Some(cap) = active.max_lp_calls.as_mut() {
+                    *cap = active.lp_calls.saturating_add(extra);
+                }
+                true
+            }
+            _ => false,
+        }
+    })
+    .unwrap_or(false)
+}
+
+/// Snapshot of consumption so far (empty/default when no budget is
+/// installed).
+pub fn report() -> BudgetReport {
+    with_active(|active| BudgetReport {
+        lp_calls: active.lp_calls,
+        fixpoint_passes: active.fixpoint_passes,
+        refinement_steps: active.refinement_steps,
+        overflow_events: active.overflow_events,
+        elapsed: active.start.elapsed(),
+        exhausted: active.exhausted,
+        degradations: active.degradations.clone(),
+    })
+    .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_budget_installed_is_unlimited() {
+        assert!(check().is_ok());
+        for _ in 0..1000 {
+            assert!(consume_lp_call().is_ok());
+            assert!(consume_fixpoint_pass().is_ok());
+            assert!(consume_refinement_step().is_ok());
+        }
+        assert_eq!(exhausted(), None);
+        assert_eq!(report(), BudgetReport::default());
+    }
+
+    #[test]
+    fn lp_cap_trips_and_sticks() {
+        let _guard = Budget::unlimited().with_max_lp_calls(3).install();
+        assert!(consume_lp_call().is_ok());
+        assert!(consume_lp_call().is_ok());
+        assert!(consume_lp_call().is_ok());
+        let err = consume_lp_call().unwrap_err();
+        assert_eq!(err.resource, Resource::LpCalls);
+        // Sticky: everything reports exhaustion now.
+        assert!(check().is_err());
+        assert!(consume_fixpoint_pass().is_err());
+        assert_eq!(exhausted(), Some(Resource::LpCalls));
+        let report = report();
+        assert_eq!(report.exhausted, Some(Resource::LpCalls));
+        assert_eq!(report.lp_calls, 4);
+    }
+
+    #[test]
+    fn deadline_trips() {
+        let _guard = Budget::unlimited().with_deadline(Duration::ZERO).install();
+        let err = check().unwrap_err();
+        assert_eq!(err.resource, Resource::WallClock);
+        assert_eq!(exhausted(), Some(Resource::WallClock));
+    }
+
+    #[test]
+    fn guard_restores_previous_budget() {
+        let _outer = Budget::unlimited().with_max_lp_calls(100).install();
+        consume_lp_call().unwrap();
+        {
+            let _inner = Budget::unlimited().with_max_lp_calls(1).install();
+            consume_lp_call().unwrap();
+            assert!(consume_lp_call().is_err());
+        }
+        // Outer budget resumed, with its own counter.
+        assert!(check().is_ok());
+        assert_eq!(report().lp_calls, 1);
+    }
+
+    #[test]
+    fn fault_spec_parses_clauses() {
+        let f = FaultSpec::parse("lp_call:10|overflow:3|deadline:250|panic:7");
+        assert_eq!(f.lp_call, Some(10));
+        assert_eq!(f.overflow, Some(3));
+        assert_eq!(f.deadline, Some(Duration::from_millis(250)));
+        assert_eq!(f.panic_at_lp, Some(7));
+        // Malformed clauses are ignored.
+        let g = FaultSpec::parse("bogus|lp_call:xyz|overflow:2");
+        assert_eq!(g, FaultSpec { overflow: Some(2), ..FaultSpec::default() });
+    }
+
+    #[test]
+    fn injected_overflow_fires_after_n_ops() {
+        let fault = FaultSpec { overflow: Some(2), ..FaultSpec::default() };
+        let _guard = Budget::unlimited().with_fault(fault).install();
+        assert!(!inject_overflow());
+        assert!(!inject_overflow());
+        assert!(inject_overflow());
+        assert!(inject_overflow());
+    }
+
+    #[test]
+    fn lp_rescue_extends_the_cap() {
+        let _guard = Budget::unlimited().with_max_lp_calls(1).install();
+        consume_lp_call().unwrap();
+        assert!(consume_lp_call().is_err());
+        assert!(grant_lp_rescue(5));
+        assert_eq!(exhausted(), None);
+        for _ in 0..5 {
+            consume_lp_call().unwrap();
+        }
+        assert!(consume_lp_call().is_err());
+    }
+
+    #[test]
+    fn degradations_are_logged_and_bounded() {
+        let _guard = Budget::unlimited().install();
+        for i in 0..300 {
+            note_degradation(format!("event {i}"));
+        }
+        let r = report();
+        assert_eq!(r.degradations.len(), 256);
+        assert_eq!(r.degradations[0], "event 0");
+    }
+}

@@ -59,11 +59,7 @@ impl FunctionBuilder {
     ///
     /// Panics if a local was already declared.
     pub fn param(&mut self, name: impl Into<String>, ty: Type, label: SecurityLabel) -> VarId {
-        assert_eq!(
-            self.params.len(),
-            self.vars.len(),
-            "parameters must precede locals"
-        );
+        assert_eq!(self.params.len(), self.vars.len(), "parameters must precede locals");
         let var = VarId::new(self.vars.len() as u32);
         self.vars.push(VarInfo { name: name.into(), ty });
         self.params.push(Param { var, label });
@@ -98,10 +94,7 @@ impl FunctionBuilder {
     ///
     /// Panics if `block` is already sealed.
     pub fn switch_to(&mut self, block: BlockId) {
-        assert!(
-            self.blocks[block.index()].is_some(),
-            "block {block} is already sealed"
-        );
+        assert!(self.blocks[block.index()].is_some(), "block {block} is already sealed");
         self.current = block;
     }
 
@@ -111,8 +104,7 @@ impl FunctionBuilder {
     }
 
     fn push(&mut self, inst: Inst) {
-        let cur = self
-            .blocks[self.current.index()]
+        let cur = self.blocks[self.current.index()]
             .as_mut()
             .unwrap_or_else(|| panic!("appending to sealed block"));
         cur.insts.push(inst);
@@ -120,9 +112,7 @@ impl FunctionBuilder {
 
     fn seal(&mut self, term: Terminator) {
         let idx = self.current.index();
-        let bip = self.blocks[idx]
-            .take()
-            .unwrap_or_else(|| panic!("block {idx} sealed twice"));
+        let bip = self.blocks[idx].take().unwrap_or_else(|| panic!("block {idx} sealed twice"));
         self.finished[idx] = Some(Block { insts: bip.insts, term });
     }
 
@@ -139,13 +129,7 @@ impl FunctionBuilder {
     }
 
     /// Appends `dst = a <op> b`.
-    pub fn binop(
-        &mut self,
-        dst: VarId,
-        op: BinOp,
-        a: impl Into<Operand>,
-        b: impl Into<Operand>,
-    ) {
+    pub fn binop(&mut self, dst: VarId, op: BinOp, a: impl Into<Operand>, b: impl Into<Operand>) {
         self.push(Inst::Assign { dst, expr: Expr::Binary(op, a.into(), b.into()) });
     }
 

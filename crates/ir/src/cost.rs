@@ -93,7 +93,8 @@ mod tests {
             ],
             term: Terminator::Return(None),
         };
-        assert_eq!(m.block_cost_const(&block), Some(1 + 5 + 0 + 1));
+        // assign(1) + tick(5) + nop(0) + terminator(1)
+        assert_eq!(m.block_cost_const(&block), Some(7));
     }
 
     #[test]

@@ -100,12 +100,7 @@ impl DomTree {
     }
 }
 
-fn intersect(
-    idom: &[Option<NodeId>],
-    rpo_index: &[usize],
-    mut a: NodeId,
-    mut b: NodeId,
-) -> NodeId {
+fn intersect(idom: &[Option<NodeId>], rpo_index: &[usize], mut a: NodeId, mut b: NodeId) -> NodeId {
     while a != b {
         while rpo_index[a.index()] > rpo_index[b.index()] {
             a = idom[a.index()].expect("intersect walked into unprocessed node");

@@ -171,10 +171,7 @@ impl Function {
 
     /// Finds a variable by source name.
     pub fn var_by_name(&self, name: &str) -> Option<VarId> {
-        self.vars
-            .iter()
-            .position(|v| v.name == name)
-            .map(|i| VarId::new(i as u32))
+        self.vars.iter().position(|v| v.name == name).map(|i| VarId::new(i as u32))
     }
 
     /// The security label of a variable if it is a parameter, else `None`.
@@ -184,10 +181,7 @@ impl Function {
 
     /// Iterator over `(BlockId, &Block)` pairs.
     pub fn iter_blocks(&self) -> impl Iterator<Item = (BlockId, &Block)> {
-        self.blocks
-            .iter()
-            .enumerate()
-            .map(|(i, b)| (BlockId::new(i as u32), b))
+        self.blocks.iter().enumerate().map(|(i, b)| (BlockId::new(i as u32), b))
     }
 
     /// Checks the structural invariants listed on the type.
@@ -204,10 +198,7 @@ impl Function {
         }
         for (i, p) in self.params.iter().enumerate() {
             if p.var.index() != i {
-                return Err(format!(
-                    "parameter {i} bound to {}, expected v{i}",
-                    p.var
-                ));
+                return Err(format!("parameter {i} bound to {}, expected v{i}", p.var));
             }
         }
         let check_var = |v: VarId| -> Result<(), String> {

@@ -36,7 +36,12 @@ pub struct ExternDecl {
 
 impl ExternDecl {
     /// A scalar-returning external with a constant cost and low result.
-    pub fn simple(name: impl Into<String>, params: Vec<Type>, ret: Option<Type>, cost: u64) -> Self {
+    pub fn simple(
+        name: impl Into<String>,
+        params: Vec<Type>,
+        ret: Option<Type>,
+        cost: u64,
+    ) -> Self {
         ExternDecl {
             name: name.into(),
             params,
@@ -103,10 +108,7 @@ impl Program {
                 for inst in &block.insts {
                     if let crate::Inst::Call { callee, args, .. } = inst {
                         let decl = self.externs.get(callee).ok_or_else(|| {
-                            format!(
-                                "{}::{bid}: call to undeclared external `{callee}`",
-                                f.name()
-                            )
+                            format!("{}::{bid}: call to undeclared external `{callee}`", f.name())
                         })?;
                         if decl.params.len() != args.len() {
                             return Err(format!(

@@ -15,10 +15,7 @@ pub fn check_program(p: &ProgramAst) -> Result<(), LangError> {
     let mut extern_names = BTreeSet::new();
     for e in &p.externs {
         if !extern_names.insert(e.name.clone()) {
-            return Err(LangError::new(
-                format!("duplicate extern `{}`", e.name),
-                e.span,
-            ));
+            return Err(LangError::new(format!("duplicate extern `{}`", e.name), e.span));
         }
     }
     let mut fn_names = BTreeSet::new();
@@ -156,10 +153,7 @@ impl<'a> Checker<'a> {
         self.scopes.push(BTreeMap::new());
         for p in &f.params {
             if self.scopes[0].insert(p.name.clone(), p.ty).is_some() {
-                return Err(LangError::new(
-                    format!("duplicate parameter `{}`", p.name),
-                    p.span,
-                ));
+                return Err(LangError::new(format!("duplicate parameter `{}`", p.name), p.span));
             }
         }
         self.block(&f.body)?;
@@ -183,10 +177,7 @@ impl<'a> Checker<'a> {
                 span,
             ));
         }
-        self.scopes
-            .last_mut()
-            .expect("always inside a scope")
-            .insert(name.to_string(), ty);
+        self.scopes.last_mut().expect("always inside a scope").insert(name.to_string(), ty);
         Ok(())
     }
 
@@ -209,9 +200,9 @@ impl<'a> Checker<'a> {
                 self.type_eq(ty, vty, value.span())
             }
             Stmt::StoreIndex { array, index, value, span } => {
-                let aty = self.lookup(array).ok_or_else(|| {
-                    LangError::new(format!("unknown variable `{array}`"), *span)
-                })?;
+                let aty = self
+                    .lookup(array)
+                    .ok_or_else(|| LangError::new(format!("unknown variable `{array}`"), *span))?;
                 self.type_eq(Type::Array, aty, *span)?;
                 let ity = self.expr(index)?;
                 self.type_eq(Type::Int, ity, index.span())?;
@@ -239,10 +230,9 @@ impl<'a> Checker<'a> {
                     format!("function returns {rt} but `return;` has no value"),
                     *span,
                 )),
-                (Some(e), None) => Err(LangError::new(
-                    "function has no return type but returns a value",
-                    e.span(),
-                )),
+                (Some(e), None) => {
+                    Err(LangError::new("function has no return type but returns a value", e.span()))
+                }
             },
             Stmt::Tick { .. } => Ok(()),
             Stmt::Block { body, .. } => self.block(body),
@@ -251,10 +241,7 @@ impl<'a> Checker<'a> {
                     let _ = self.expr(expr)?;
                     Ok(())
                 }
-                _ => Err(LangError::new(
-                    "only calls may be used as statements",
-                    *span,
-                )),
+                _ => Err(LangError::new("only calls may be used as statements", *span)),
             },
         }
     }
@@ -299,18 +286,11 @@ impl<'a> Checker<'a> {
                     } else if let Some(f) = self.functions.get(name.as_str()) {
                         (f.params.iter().map(|p| p.ty).collect(), f.ret)
                     } else {
-                        return Err(LangError::new(
-                            format!("unknown function `{name}`"),
-                            *span,
-                        ));
+                        return Err(LangError::new(format!("unknown function `{name}`"), *span));
                     };
                 if params.len() != args.len() {
                     return Err(LangError::new(
-                        format!(
-                            "`{name}` expects {} arguments, got {}",
-                            params.len(),
-                            args.len()
-                        ),
+                        format!("`{name}` expects {} arguments, got {}", params.len(), args.len()),
                         *span,
                     ));
                 }
@@ -378,10 +358,7 @@ impl<'a> Checker<'a> {
         if expected == found {
             Ok(())
         } else {
-            Err(LangError::new(
-                format!("type mismatch: expected {expected}, found {found}"),
-                span,
-            ))
+            Err(LangError::new(format!("type mismatch: expected {expected}, found {found}"), span))
         }
     }
 }
@@ -437,8 +414,10 @@ mod tests {
 
     #[test]
     fn block_scoping_allows_disjoint_lets() {
-        check("fn f(c: bool) { if (c) { let t: int = 1; t = 2; } else { let t: int = 3; t = 4; } }")
-            .unwrap();
+        check(
+            "fn f(c: bool) { if (c) { let t: int = 1; t = 2; } else { let t: int = 3; t = 4; } }",
+        )
+        .unwrap();
         // But the variable is not visible outside its block.
         assert!(check("fn f(c: bool) { if (c) { let t: int = 1; } t = 2; }").is_err());
     }

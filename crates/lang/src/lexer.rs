@@ -300,12 +300,10 @@ mod tests {
 
     #[test]
     fn numbers() {
-        assert_eq!(kinds("0 42 1234567"), vec![
-            TokenKind::Int(0),
-            TokenKind::Int(42),
-            TokenKind::Int(1234567),
-            TokenKind::Eof
-        ]);
+        assert_eq!(
+            kinds("0 42 1234567"),
+            vec![TokenKind::Int(0), TokenKind::Int(42), TokenKind::Int(1234567), TokenKind::Eof]
+        );
         assert!(lex("99999999999999999999999").is_err());
     }
 

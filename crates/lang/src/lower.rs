@@ -128,10 +128,7 @@ impl<'a> Lowerer<'a> {
             Stmt::Let { name, ty, init, .. } => {
                 let v = self.b.local(name, *ty);
                 self.expr_into(v, init);
-                self.scopes
-                    .last_mut()
-                    .expect("inside scope")
-                    .insert(name.clone(), v);
+                self.scopes.last_mut().expect("inside scope").insert(name.clone(), v);
                 false
             }
             Stmt::Assign { name, value, .. } => {
@@ -329,9 +326,9 @@ impl<'a> Lowerer<'a> {
                 self.b.havoc(t);
                 Operand::Var(t)
             }
-            Expr::Call(name, args, _) => self
-                .lower_call(name, args, true)
-                .expect("call in value position returns"),
+            Expr::Call(name, args, _) => {
+                self.lower_call(name, args, true).expect("call in value position returns")
+            }
             Expr::Unary(AstUnOp::Neg, inner, _) => {
                 let op = self.expr(inner);
                 let t = self.b.temp(Type::Int);
@@ -441,41 +438,38 @@ impl<'a> Lowerer<'a> {
                 self.b.switch_to(mid);
                 self.cond_branch(rhs, then_bb, else_bb);
             }
-            Expr::Binary(op, lhs, rhs, _) if op.is_comparison() => {
-                match (&**lhs, &**rhs) {
-                    (Expr::Null(_), other) | (other, Expr::Null(_)) => {
-                        let Expr::Var(aname, _) = other else {
-                            unreachable!("checker enforces named arrays for null tests")
-                        };
-                        let arr = self.lookup(aname);
-                        let is_null = match op {
-                            AstBinOp::Eq => true,
-                            AstBinOp::Ne => false,
-                            _ => unreachable!("checker restricts null to ==/!="),
-                        };
-                        self.b.branch(Cond::Null { arr, is_null }, then_bb, else_bb);
-                    }
-                    _ => {
-                        let a = self.expr(lhs);
-                        let b_op = self.expr(rhs);
-                        let cmp = match op {
-                            AstBinOp::Eq => CmpOp::Eq,
-                            AstBinOp::Ne => CmpOp::Ne,
-                            AstBinOp::Lt => CmpOp::Lt,
-                            AstBinOp::Le => CmpOp::Le,
-                            AstBinOp::Gt => CmpOp::Gt,
-                            AstBinOp::Ge => CmpOp::Ge,
-                            _ => unreachable!(),
-                        };
-                        self.b.branch(Cond::cmp(cmp, a, b_op), then_bb, else_bb);
-                    }
+            Expr::Binary(op, lhs, rhs, _) if op.is_comparison() => match (&**lhs, &**rhs) {
+                (Expr::Null(_), other) | (other, Expr::Null(_)) => {
+                    let Expr::Var(aname, _) = other else {
+                        unreachable!("checker enforces named arrays for null tests")
+                    };
+                    let arr = self.lookup(aname);
+                    let is_null = match op {
+                        AstBinOp::Eq => true,
+                        AstBinOp::Ne => false,
+                        _ => unreachable!("checker restricts null to ==/!="),
+                    };
+                    self.b.branch(Cond::Null { arr, is_null }, then_bb, else_bb);
                 }
-            }
+                _ => {
+                    let a = self.expr(lhs);
+                    let b_op = self.expr(rhs);
+                    let cmp = match op {
+                        AstBinOp::Eq => CmpOp::Eq,
+                        AstBinOp::Ne => CmpOp::Ne,
+                        AstBinOp::Lt => CmpOp::Lt,
+                        AstBinOp::Le => CmpOp::Le,
+                        AstBinOp::Gt => CmpOp::Gt,
+                        AstBinOp::Ge => CmpOp::Ge,
+                        _ => unreachable!(),
+                    };
+                    self.b.branch(Cond::cmp(cmp, a, b_op), then_bb, else_bb);
+                }
+            },
             // A boolean-typed value: compare against 0.
             other => {
                 let op = self.expr(other);
-                self.b
-                    .branch(Cond::cmp(CmpOp::Ne, op, Operand::Const(0)), then_bb, else_bb);
+                self.b.branch(Cond::cmp(CmpOp::Ne, op, Operand::Const(0)), then_bb, else_bb);
             }
         }
     }
@@ -492,10 +486,7 @@ mod tests {
         let p = compile("fn f(x: int) -> int { let y: int = x * 2 + 1; return y; }").unwrap();
         let f = p.function("f").unwrap();
         assert_eq!(f.blocks().len(), 1);
-        assert!(matches!(
-            f.block(f.entry()).term,
-            Terminator::Return(Some(_))
-        ));
+        assert!(matches!(f.block(f.entry()).term, Terminator::Return(Some(_))));
     }
 
     #[test]
@@ -509,8 +500,7 @@ mod tests {
 
     #[test]
     fn lowers_while_loop() {
-        let p =
-            compile("fn f(n: int) { let i: int = 0; while (i < n) { i = i + 1; } }").unwrap();
+        let p = compile("fn f(n: int) { let i: int = 0; while (i < n) { i = i + 1; } }").unwrap();
         let f = p.function("f").unwrap();
         let cfg = Cfg::new(f);
         // A back edge exists: some successor pair forms a cycle.
@@ -527,8 +517,8 @@ mod tests {
 
     #[test]
     fn both_arms_return_means_no_join() {
-        let p = compile("fn f(x: int) -> int { if (x > 0) { return 1; } else { return 2; } }")
-            .unwrap();
+        let p =
+            compile("fn f(x: int) -> int { if (x > 0) { return 1; } else { return 2; } }").unwrap();
         let f = p.function("f").unwrap();
         assert_eq!(f.blocks().len(), 3); // entry + two returning arms
     }
@@ -542,10 +532,7 @@ mod tests {
         .unwrap();
         let f = p.function("f").unwrap();
         let has_null_test = f.blocks().iter().any(|b| {
-            matches!(
-                &b.term,
-                Terminator::Branch { cond: Cond::Null { is_null: true, .. }, .. }
-            )
+            matches!(&b.term, Terminator::Branch { cond: Cond::Null { is_null: true, .. }, .. })
         });
         assert!(has_null_test, "{f}");
     }
@@ -554,11 +541,7 @@ mod tests {
     fn short_circuit_and_creates_two_branches() {
         let p = compile("fn f(a: int, b: int) { if (a > 0 && b > 0) { tick(1); } }").unwrap();
         let f = p.function("f").unwrap();
-        let n_branches = f
-            .blocks()
-            .iter()
-            .filter(|b| b.term.is_branch())
-            .count();
+        let n_branches = f.blocks().iter().filter(|b| b.term.is_branch()).count();
         assert_eq!(n_branches, 2);
     }
 
@@ -577,9 +560,11 @@ mod tests {
         )
         .unwrap();
         let f = p.function("f").unwrap();
-        let found = f.blocks().iter().flat_map(|b| &b.insts).any(|i| {
-            matches!(i, Inst::Call { cost: CallCost::Const(4096), .. })
-        });
+        let found = f
+            .blocks()
+            .iter()
+            .flat_map(|b| &b.insts)
+            .any(|i| matches!(i, Inst::Call { cost: CallCost::Const(4096), .. }));
         assert!(found);
     }
 

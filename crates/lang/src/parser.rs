@@ -48,10 +48,7 @@ impl Parser {
             self.bump();
             Ok(span)
         } else {
-            Err(LangError::new(
-                format!("expected `{kind}`, found `{}`", self.peek()),
-                span,
-            ))
+            Err(LangError::new(format!("expected `{kind}`, found `{}`", self.peek()), span))
         }
     }
 
@@ -68,10 +65,7 @@ impl Parser {
         let span = self.span();
         match self.bump() {
             TokenKind::Ident(s) => Ok((s, span)),
-            other => Err(LangError::new(
-                format!("expected identifier, found `{other}`"),
-                span,
-            )),
+            other => Err(LangError::new(format!("expected identifier, found `{other}`"), span)),
         }
     }
 
@@ -80,10 +74,7 @@ impl Parser {
         let neg = self.eat(TokenKind::Minus);
         match self.bump() {
             TokenKind::Int(n) => Ok((if neg { -n } else { n }, span)),
-            other => Err(LangError::new(
-                format!("expected integer, found `{other}`"),
-                span,
-            )),
+            other => Err(LangError::new(format!("expected integer, found `{other}`"), span)),
         }
     }
 
@@ -152,7 +143,9 @@ impl Parser {
         };
         self.expect(TokenKind::Cost)?;
         let cost = self.cost_annotation(params.len())?;
-        let ret_len = if matches!(self.peek(), TokenKind::Ident(s) if s == "len") || *self.peek() == TokenKind::Len {
+        let ret_len = if matches!(self.peek(), TokenKind::Ident(s) if s == "len")
+            || *self.peek() == TokenKind::Len
+        {
             self.bump();
             let (lo, _) = self.int()?;
             self.expect(TokenKind::DotDot)?;
@@ -215,11 +208,7 @@ impl Parser {
             }
         }
         self.expect(TokenKind::RParen)?;
-        let ret = if self.eat(TokenKind::Arrow) {
-            Some(self.ty()?)
-        } else {
-            None
-        };
+        let ret = if self.eat(TokenKind::Arrow) { Some(self.ty()?) } else { None };
         let body = self.block()?;
         Ok(FunctionAst { name, params, ret, body, span })
     }
@@ -270,18 +259,11 @@ impl Parser {
                 self.expect(TokenKind::RParen)?;
                 let mut body = self.block()?;
                 body.push(step);
-                Ok(Stmt::Block {
-                    body: vec![init, Stmt::While { cond, body, span }],
-                    span,
-                })
+                Ok(Stmt::Block { body: vec![init, Stmt::While { cond, body, span }], span })
             }
             TokenKind::Return => {
                 self.bump();
-                let value = if *self.peek() == TokenKind::Semi {
-                    None
-                } else {
-                    Some(self.expr()?)
-                };
+                let value = if *self.peek() == TokenKind::Semi { None } else { Some(self.expr()?) };
                 self.expect(TokenKind::Semi)?;
                 Ok(Stmt::Return { value, span })
             }
@@ -320,10 +302,7 @@ impl Parser {
                     Ok(Stmt::ExprStmt { expr, span })
                 }
             }
-            other => Err(LangError::new(
-                format!("expected statement, found `{other}`"),
-                span,
-            )),
+            other => Err(LangError::new(format!("expected statement, found `{other}`"), span)),
         }
     }
 
@@ -544,10 +523,7 @@ impl Parser {
                     Ok(Expr::Var(name, span))
                 }
             }
-            other => Err(LangError::new(
-                format!("expected expression, found `{other}`"),
-                span,
-            )),
+            other => Err(LangError::new(format!("expected expression, found `{other}`"), span)),
         }
     }
 }
@@ -583,10 +559,7 @@ mod tests {
         assert_eq!(p.externs.len(), 2);
         assert_eq!(p.externs[0].cost, CostAst::Const(500));
         assert_eq!(p.externs[0].ret_len, Some((16, 16)));
-        assert_eq!(
-            p.externs[1].cost,
-            CostAst::Linear { arg: 0, coeff: 3, constant: 7 }
-        );
+        assert_eq!(p.externs[1].cost, CostAst::Linear { arg: 0, coeff: 3, constant: 7 });
     }
 
     #[test]
@@ -669,9 +642,6 @@ mod tests {
     #[test]
     fn havoc_expression() {
         let p = parse_program("fn f() { let x: int = havoc(); }").unwrap();
-        assert!(matches!(
-            p.functions[0].body[0],
-            Stmt::Let { init: Expr::Havoc(_), .. }
-        ));
+        assert!(matches!(p.functions[0].body[0], Stmt::Let { init: Expr::Havoc(_), .. }));
     }
 }

@@ -6,9 +6,7 @@ use blazer_lang::compile;
 
 fn run(src: &str, func: &str, inputs: &[Value]) -> (u64, Option<i64>) {
     let p = compile(src).unwrap();
-    let t = Interp::new(&p)
-        .run(func, inputs, &mut SeededOracle::new(0))
-        .unwrap();
+    let t = Interp::new(&p).run(func, inputs, &mut SeededOracle::new(0)).unwrap();
     (t.cost, t.ret.and_then(|v| v.as_int()))
 }
 

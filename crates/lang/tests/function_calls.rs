@@ -7,9 +7,7 @@ use blazer_lang::compile;
 
 fn run(src: &str, func: &str, inputs: &[Value]) -> (u64, Option<i64>) {
     let p = compile(src).unwrap();
-    let t = Interp::new(&p)
-        .run(func, inputs, &mut SeededOracle::new(0))
-        .unwrap();
+    let t = Interp::new(&p).run(func, inputs, &mut SeededOracle::new(0)).unwrap();
     (t.cost, t.ret.and_then(|v| v.as_int()))
 }
 
@@ -93,10 +91,9 @@ fn odd(n: int) -> int { if (n == 0) { return 0; } return even(n - 1); }
 #[test]
 fn call_arity_and_types_checked() {
     assert!(compile("fn g(x: int) -> int { return x; } fn f() -> int { return g(); }").is_err());
-    assert!(compile(
-        "fn g(x: array) -> int { return len(x); } fn f() -> int { return g(3); }"
-    )
-    .is_err());
+    assert!(
+        compile("fn g(x: array) -> int { return len(x); } fn f() -> int { return g(3); }").is_err()
+    );
 }
 
 #[test]

@@ -3,8 +3,8 @@
 use blazer_ir::builder::FunctionBuilder;
 use blazer_ir::cost::CostModel;
 use blazer_ir::{
-    BinOp, BlockId, CallCost, Cond, Expr, Function, Inst, Operand, SecurityLabel, Terminator,
-    Type, VarId,
+    BinOp, BlockId, CallCost, Cond, Expr, Function, Inst, Operand, SecurityLabel, Terminator, Type,
+    VarId,
 };
 
 /// The result of composing a function with itself.
@@ -94,8 +94,9 @@ pub fn compose(f: &Function, cost_model: &CostModel) -> Composed {
             let mut const_cost: u64 = cost_model.term_cost(&block.term);
             for inst in &block.insts {
                 // Instrument value-dependent call costs inline.
-                if let Inst::Call { args, cost: CallCost::Linear { arg, coeff, constant }, .. } =
-                    inst
+                if let Inst::Call {
+                    args, cost: CallCost::Linear { arg, coeff, constant }, ..
+                } = inst
                 {
                     const_cost += constant;
                     if let Some(op) = args.get(*arg) {
@@ -124,10 +125,9 @@ pub fn compose(f: &Function, cost_model: &CostModel) -> Composed {
                 }
                 // The remapped instruction itself.
                 let remapped = match inst {
-                    Inst::Assign { dst, expr } => Inst::Assign {
-                        dst: remap(*dst),
-                        expr: remap_expr(expr, &remap, &remap_op),
-                    },
+                    Inst::Assign { dst, expr } => {
+                        Inst::Assign { dst: remap(*dst), expr: remap_expr(expr, &remap, &remap_op) }
+                    }
                     Inst::ArraySet { arr, index, value } => Inst::ArraySet {
                         arr: remap(*arr),
                         index: remap_op(*index),
@@ -158,11 +158,7 @@ pub fn compose(f: &Function, cost_model: &CostModel) -> Composed {
                         }
                         Cond::Nondet => Cond::Nondet,
                     };
-                    b.branch(
-                        cond,
-                        copies[copy][then_bb.index()],
-                        copies[copy][else_bb.index()],
-                    );
+                    b.branch(cond, copies[copy][then_bb.index()], copies[copy][else_bb.index()]);
                 }
                 Terminator::Return(_) => b.goto(nexts[copy]),
             }
@@ -212,12 +208,8 @@ mod tests {
     #[test]
     fn shares_lows_duplicates_highs() {
         let c = compose_src("fn f(h: int #high, l: int, a: array) { }", "f");
-        let names: Vec<&str> = c
-            .function
-            .params()
-            .iter()
-            .map(|p| c.function.var(p.var).name.as_str())
-            .collect();
+        let names: Vec<&str> =
+            c.function.params().iter().map(|p| c.function.var(p.var).name.as_str()).collect();
         assert_eq!(names, vec!["h__1", "l", "a", "h__2"]);
     }
 
@@ -243,7 +235,12 @@ mod tests {
             .blocks()
             .iter()
             .flat_map(|b| &b.insts)
-            .filter(|i| matches!(i, Inst::Assign { expr: Expr::Binary(BinOp::Add, _, Operand::Const(6)), .. }))
+            .filter(|i| {
+                matches!(
+                    i,
+                    Inst::Assign { expr: Expr::Binary(BinOp::Add, _, Operand::Const(6)), .. }
+                )
+            })
             .map(|i| i.to_string())
             .collect();
         assert_eq!(incs.len(), 2, "one +6 increment per copy");
@@ -254,17 +251,9 @@ mod tests {
         let src = "extern fn hash(p: array) -> int cost 3 * arg0 + 7;\n\
                    fn f(p: array) -> int { return hash(p); }";
         let c = compose_src(src, "f");
-        let has_mul = c
-            .function
-            .blocks()
-            .iter()
-            .flat_map(|b| &b.insts)
-            .any(|i| {
-                matches!(
-                    i,
-                    Inst::Assign { expr: Expr::Binary(BinOp::Mul, _, Operand::Const(3)), .. }
-                )
-            });
+        let has_mul = c.function.blocks().iter().flat_map(|b| &b.insts).any(|i| {
+            matches!(i, Inst::Assign { expr: Expr::Binary(BinOp::Mul, _, Operand::Const(3)), .. })
+        });
         assert!(has_mul, "magnitude × coefficient must be computed inline");
     }
 

@@ -31,12 +31,29 @@ pub struct SelfCompResult {
 ///
 /// Panics if `func` is not in `program` (this is a benchmark harness, not a
 /// public API surface).
-pub fn verify(program: &Program, func: &str, epsilon: u64, cost_model: &CostModel) -> SelfCompResult {
-    let f = program
-        .function(func)
-        .unwrap_or_else(|| panic!("no function `{func}`"));
+pub fn verify(
+    program: &Program,
+    func: &str,
+    epsilon: u64,
+    cost_model: &CostModel,
+) -> SelfCompResult {
+    let f = program.function(func).unwrap_or_else(|| panic!("no function `{func}`"));
     let start = Instant::now();
     let Composed { function: composed, k1, k2 } = compose(f, cost_model);
+    if blazer_ir::budget::check().is_err() {
+        // "Not verified" is always a sound answer for the baseline; don't
+        // start the composed (state-space-doubled) analysis with an
+        // exhausted budget.
+        blazer_ir::budget::note_degradation(
+            "selfcomp: composed analysis skipped by exhausted budget",
+        );
+        return SelfCompResult {
+            verified: false,
+            diff_bounds: (None, None),
+            time: start.elapsed(),
+            composed_blocks: composed.blocks().len(),
+        };
+    }
 
     // Analyze the composed function in a program context that still has
     // the extern declarations.
@@ -50,11 +67,8 @@ pub fn verify(program: &Program, func: &str, epsilon: u64, cost_model: &CostMode
     let res = analyze(&extended, &composed, &dims, &graph, init);
 
     // State at the virtual exit node.
-    let exit_node = graph
-        .nodes()
-        .iter()
-        .position(|n| n.cfg_node == cfg.exit())
-        .expect("exit in product");
+    let exit_node =
+        graph.nodes().iter().position(|n| n.cfg_node == cfg.exit()).expect("exit in product");
     let exit_state = &res.states[exit_node];
     let diff = LinExpr::var(dims.var(k1)).sub(&LinExpr::var(dims.var(k2)));
     let (lo, hi) = exit_state.bounds(&diff);
@@ -134,11 +148,7 @@ mod tests {
             if (h <= x) { tick(2); } else { tick(1); } \
         }";
         let r = run(src, "f", 0);
-        assert!(
-            !r.verified,
-            "expected the baseline to lose precision, got {:?}",
-            r.diff_bounds
-        );
+        assert!(!r.verified, "expected the baseline to lose precision, got {:?}", r.diff_bounds);
     }
 
     #[test]

@@ -52,11 +52,8 @@ pub fn analyze_function(program: &Program, f: &Function) -> TaintReport {
     let mut entry0 = vec![VarTaint::NONE; n_vars];
     for p in f.params() {
         let t = Taint::of_label(p.label);
-        entry0[p.var.index()] = if f.var(p.var).ty == Type::Array {
-            VarTaint::uniform(t)
-        } else {
-            VarTaint::scalar(t)
-        };
+        entry0[p.var.index()] =
+            if f.var(p.var).ty == Type::Array { VarTaint::uniform(t) } else { VarTaint::scalar(t) };
     }
 
     // Outer fixpoint: branch-condition taints feed implicit-flow contexts,
@@ -85,11 +82,7 @@ pub fn analyze_function(program: &Program, f: &Function) -> TaintReport {
                     let Some(sb) = succ.as_block(n_blocks) else { continue };
                     let merged = match &entry[sb.index()] {
                         None => out.clone(),
-                        Some(prev) => prev
-                            .iter()
-                            .zip(&out)
-                            .map(|(a, b)| a.join(*b))
-                            .collect(),
+                        Some(prev) => prev.iter().zip(&out).map(|(a, b)| a.join(*b)).collect(),
                     };
                     if entry[sb.index()].as_ref() != Some(&merged) {
                         entry[sb.index()] = Some(merged);
@@ -244,14 +237,10 @@ fn expr_taint(expr: &Expr, state: &[VarTaint]) -> VarTaint {
         }
         // Length of a possibly-null array also reveals nullness (-1).
         Expr::ArrayLen(v) => VarTaint::scalar(state[v.index()].len | state[v.index()].null),
-        Expr::ArrayGet(v, i) => {
-            VarTaint::scalar(state[v.index()].val | operand_taint(i, state))
+        Expr::ArrayGet(v, i) => VarTaint::scalar(state[v.index()].val | operand_taint(i, state)),
+        Expr::ArrayNew(n) => {
+            VarTaint { val: Taint::NONE, len: operand_taint(n, state), null: Taint::NONE }
         }
-        Expr::ArrayNew(n) => VarTaint {
-            val: Taint::NONE,
-            len: operand_taint(n, state),
-            null: Taint::NONE,
-        },
     }
 }
 
@@ -286,10 +275,7 @@ mod tests {
 
     #[test]
     fn mixed_condition() {
-        let ts = branch_taints(
-            "fn f(h: int #high, l: int) { if (h > l) { tick(1); } }",
-            "f",
-        );
+        let ts = branch_taints("fn f(h: int #high, l: int) { if (h > l) { tick(1); } }", "f");
         assert_eq!(ts, vec!["l,h"]);
     }
 
@@ -304,10 +290,8 @@ mod tests {
 
     #[test]
     fn untainted_branch() {
-        let ts = branch_taints(
-            "fn f(h: int #high) { let c: int = 5; if (c > 3) { tick(1); } }",
-            "f",
-        );
+        let ts =
+            branch_taints("fn f(h: int #high) { let c: int = 5; if (c > 3) { tick(1); } }", "f");
         assert_eq!(ts, vec!["-"]);
     }
 
@@ -333,10 +317,7 @@ mod tests {
         }";
         let (p, r) = report(src, "f");
         let f = p.function("f").unwrap();
-        let (head, _) = f
-            .iter_blocks()
-            .find(|(_, b)| b.term.is_branch())
-            .expect("loop head");
+        let (head, _) = f.iter_blocks().find(|(_, b)| b.term.is_branch()).expect("loop head");
         assert_eq!(r.branch_taint(head).unwrap(), Taint::BOTH);
     }
 
@@ -405,7 +386,10 @@ mod tests {
 
     #[test]
     fn havoc_is_untainted() {
-        let ts = branch_taints("fn f(h: int #high) { let x: int = havoc(); if (x > 0) { tick(1); } }", "f");
+        let ts = branch_taints(
+            "fn f(h: int #high) { let x: int = havoc(); if (x > 0) { tick(1); } }",
+            "f",
+        );
         assert_eq!(ts, vec!["-"]);
     }
 

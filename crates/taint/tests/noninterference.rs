@@ -14,9 +14,7 @@ use blazer_taint::analyze_function;
 /// return of the variable. For simplicity the test programs all end with
 /// `return <var>;`.
 fn final_value(program: &Program, func: &str, inputs: &[Value], seed: u64) -> Option<i64> {
-    let t = Interp::new(program)
-        .run(func, inputs, &mut SeededOracle::new(seed))
-        .ok()?;
+    let t = Interp::new(program).run(func, inputs, &mut SeededOracle::new(seed)).ok()?;
     t.ret.and_then(|v| v.as_int())
 }
 
@@ -44,7 +42,7 @@ fn check_noninterference(src: &str, func: &str, runs: u32) {
     }
 
     // Fuzz: fixed lows, varying highs.
-    let mut mk = |seed: u64, flip: bool| -> Vec<Value> {
+    let mk = |seed: u64, flip: bool| -> Vec<Value> {
         let mut vals = Vec::new();
         for (i, p) in f.params().iter().enumerate() {
             let ty = f.var(p.var).ty;
@@ -96,15 +94,10 @@ fn high_assignment_is_flagged_not_checked() {
     let program = compile("fn f(h: int #high) -> int { let x: int = h + 1; return x; }").unwrap();
     let f = program.function("f").unwrap();
     let report = analyze_function(&program, f);
-    let (bid, block) = f
-        .iter_blocks()
-        .find(|(_, b)| matches!(b.term, Terminator::Return(Some(_))))
-        .unwrap();
+    let (bid, block) =
+        f.iter_blocks().find(|(_, b)| matches!(b.term, Terminator::Return(Some(_)))).unwrap();
     let Terminator::Return(Some(op)) = &block.term else { unreachable!() };
-    assert!(report
-        .var_taint_at_exit(bid, op.as_var().unwrap())
-        .any()
-        .is_high());
+    assert!(report.var_taint_at_exit(bid, op.as_var().unwrap()).any().is_high());
 }
 
 #[test]
@@ -161,10 +154,8 @@ fn implicit_flow_is_caught() {
     let program = compile(src).unwrap();
     let f = program.function("f").unwrap();
     let report = analyze_function(&program, f);
-    let (bid, block) = f
-        .iter_blocks()
-        .find(|(_, b)| matches!(b.term, Terminator::Return(Some(_))))
-        .unwrap();
+    let (bid, block) =
+        f.iter_blocks().find(|(_, b)| matches!(b.term, Terminator::Return(Some(_)))).unwrap();
     let Terminator::Return(Some(op)) = &block.term else { unreachable!() };
     assert!(
         report.var_taint_at_exit(bid, op.as_var().unwrap()).any().is_high(),

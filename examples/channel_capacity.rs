@@ -34,19 +34,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut traces: Vec<(i64, i64, u64)> = Vec::new();
     for low in 0..4i64 {
         for high in 0..6i64 {
-            let t = interp.run(
-                "f",
-                &[Value::Int(high), Value::Int(low)],
-                &mut SeededOracle::new(0),
-            )?;
+            let t =
+                interp.run("f", &[Value::Int(high), Value::Int(low)], &mut SeededOracle::new(0))?;
             traces.push((low, high, t.cost));
         }
     }
     println!("measured {} traces", traces.len());
 
     // q = 1 (plain tcf) fails: the secret bit is observable.
-    let phi_tcf =
-        |a: &(i64, i64, u64), b: &(i64, i64, u64)| a.0 != b.0 || a.2.abs_diff(b.2) <= 1;
+    let phi_tcf = |a: &(i64, i64, u64), b: &(i64, i64, u64)| a.0 != b.0 || a.2.abs_diff(b.2) <= 1;
     println!(
         "timing-channel freedom (2-safety): {}",
         if two_safety_holds(&traces, phi_tcf) { "holds" } else { "VIOLATED" }
@@ -65,28 +61,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // P_{f1,f2}: time within 1 of one of two public-input functions.
     let mut partition: Partition = Vec::new();
     for low in 0..4i64 {
-        partition.push(
-            (0..traces.len())
-                .filter(|&i| traces[i].0 == low)
-                .collect(),
-        );
+        partition.push((0..traces.len()).filter(|&i| traces[i].0 == low).collect());
     }
     assert!(covers(traces.len(), &partition));
     assert!(is_psi_quotient_k(&traces, &partition, 3, psi3));
     // The two admissible public-input time functions, read off per low
     // value (in the analysis they come from the bound analysis; here the
     // measurements serve).
-    let f1 = |low: i64| {
-        traces.iter().filter(|t| t.0 == low).map(|t| t.2).min().unwrap()
-    };
-    let f2 = |low: i64| {
-        traces.iter().filter(|t| t.0 == low).map(|t| t.2).max().unwrap()
-    };
-    let p = |t: &(i64, i64, u64)| {
-        t.2.abs_diff(f1(t.0)) <= 1 || t.2.abs_diff(f2(t.0)) <= 1
-    };
+    let f1 = |low: i64| traces.iter().filter(|t| t.0 == low).map(|t| t.2).min().unwrap();
+    let f2 = |low: i64| traces.iter().filter(|t| t.0 == low).map(|t| t.2).max().unwrap();
+    let p = |t: &(i64, i64, u64)| t.2.abs_diff(f1(t.0)) <= 1 || t.2.abs_diff(f2(t.0)) <= 1;
     assert!(rbps_k(&traces, 3, p, &phi_ccf));
     assert!(traces.iter().all(p));
-    println!("verified via ψ-quotient partition + per-component P_{{f1,f2}} (Example 7 generalized)");
+    println!(
+        "verified via ψ-quotient partition + per-component P_{{f1,f2}} (Example 7 generalized)"
+    );
     Ok(())
 }

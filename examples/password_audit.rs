@@ -42,19 +42,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("3-byte prefix  ", vec![1, 2, 3, 9, 9, 9]),
         ("full match     ", vec![1, 2, 3, 4, 5, 6]),
     ] {
-        let mut oracle = SeededOracle::new(0)
-            .with_override("retrievePassword", Value::array(pw));
+        let mut oracle = SeededOracle::new(0).with_override("retrievePassword", Value::array(pw));
         let t = interp.run("login_unsafe", &[username.clone(), guess.clone()], &mut oracle)?;
         println!("secret password with {desc} -> {} cost units", t.cost);
     }
     println!("(the safe variant costs the same regardless:)");
     let interp = Interp::new(&safe);
-    for (desc, pw) in [
-        ("no prefix match", vec![9, 9, 9, 9, 9, 9]),
-        ("full match     ", vec![1, 2, 3, 4, 5, 6]),
-    ] {
-        let mut oracle = SeededOracle::new(0)
-            .with_override("retrievePassword", Value::array(pw));
+    for (desc, pw) in
+        [("no prefix match", vec![9, 9, 9, 9, 9, 9]), ("full match     ", vec![1, 2, 3, 4, 5, 6])]
+    {
+        let mut oracle = SeededOracle::new(0).with_override("retrievePassword", Value::array(pw));
         let t = interp.run("login_safe", &[username.clone(), guess.clone()], &mut oracle)?;
         println!("secret password with {desc} -> {} cost units", t.cost);
     }

@@ -5,11 +5,21 @@
 //! $ blazer program.blz check            # analyze function `check`
 //! $ blazer --observer stac program.blz check
 //! $ blazer --domain zone program.blz check
+//! $ blazer --timeout 10 --max-lp-calls 100000 program.blz check
 //! $ blazer --concretize program.blz check
 //! ```
+//!
+//! Exit codes: 0 = safe, 1 = attack found, 2 = unknown (including budget
+//! exhaustion or an internal crash), 3 = usage, I/O, or compile error.
 
 use blazer::core::{concretize_outcome, Blazer, Config, DomainKind, Verdict};
 use std::process::ExitCode;
+use std::time::Duration;
+
+/// Usage, I/O, and compile errors.
+const EXIT_USAGE: u8 = 3;
+/// Inconclusive analysis (budget exhaustion, give-up, crash).
+const EXIT_UNKNOWN: u8 = 2;
 
 struct Options {
     file: String,
@@ -43,10 +53,26 @@ fn parse_args() -> Result<Options, String> {
                     }
                 };
             }
+            "--timeout" => {
+                let secs = args
+                    .next()
+                    .and_then(|s| s.parse::<f64>().ok())
+                    .filter(|s| *s > 0.0)
+                    .ok_or("--timeout expects a positive number of seconds")?;
+                config = config.with_timeout(Duration::from_secs_f64(secs));
+            }
+            "--max-lp-calls" => {
+                let n = args
+                    .next()
+                    .and_then(|s| s.parse::<u64>().ok())
+                    .ok_or("--max-lp-calls expects a non-negative integer")?;
+                config = config.with_max_lp_calls(n);
+            }
             "--no-attack" => config.synthesize_attack = false,
             "--concretize" => concretize = true,
             "--help" | "-h" => {
                 return Err("usage: blazer [--observer stac|degree] [--domain D] \
+                            [--timeout SECS] [--max-lp-calls N] \
                             [--no-attack] [--concretize] <file> [function]"
                     .to_string())
             }
@@ -54,9 +80,7 @@ fn parse_args() -> Result<Options, String> {
         }
     }
     let mut positional = positional.into_iter();
-    let file = positional
-        .next()
-        .ok_or("missing input file (try --help)")?;
+    let file = positional.next().ok_or("missing input file (try --help)")?;
     Ok(Options { file, function: positional.next(), config, concretize })
 }
 
@@ -65,21 +89,21 @@ fn main() -> ExitCode {
         Ok(o) => o,
         Err(msg) => {
             eprintln!("{msg}");
-            return ExitCode::from(2);
+            return ExitCode::from(EXIT_USAGE);
         }
     };
     let source = match std::fs::read_to_string(&opts.file) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("{}: {e}", opts.file);
-            return ExitCode::from(2);
+            return ExitCode::from(EXIT_USAGE);
         }
     };
     let program = match blazer::lang::compile(&source) {
         Ok(p) => p,
         Err(e) => {
             eprintln!("{}:{e}", opts.file);
-            return ExitCode::from(2);
+            return ExitCode::from(EXIT_USAGE);
         }
     };
     let function = match &opts.function {
@@ -88,15 +112,32 @@ fn main() -> ExitCode {
             Some(f) => f.name().to_string(),
             None => {
                 eprintln!("{}: no functions", opts.file);
-                return ExitCode::from(2);
+                return ExitCode::from(EXIT_USAGE);
             }
         },
     };
-    let outcome = match Blazer::new(opts.config).analyze(&program, &function) {
-        Ok(o) => o,
-        Err(e) => {
+    // Isolate the analysis: a crash (e.g. an injected fault) is reported as
+    // an inconclusive run, not a process abort.
+    let analyzed = std::panic::catch_unwind({
+        let program = program.clone();
+        let config = opts.config.clone();
+        let function = function.clone();
+        move || Blazer::new(config).analyze(&program, &function)
+    });
+    let outcome = match analyzed {
+        Ok(Ok(o)) => o,
+        Ok(Err(e)) => {
             eprintln!("analysis error: {e}");
-            return ExitCode::from(2);
+            return ExitCode::from(EXIT_USAGE);
+        }
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "panic with non-string payload".to_string());
+            eprintln!("{function}: analysis crashed: {msg}");
+            return ExitCode::from(EXIT_UNKNOWN);
         }
     };
     println!(
@@ -109,6 +150,27 @@ fn main() -> ExitCode {
             .map(|d| format!(", attack search {:.2}s", d.as_secs_f64()))
             .unwrap_or_default()
     );
+    if !outcome.degradations.is_empty() {
+        println!("degradations:");
+        for d in &outcome.degradations {
+            println!("  {d}");
+        }
+    }
+    let report = &outcome.budget_report;
+    if report.exhausted.is_some() || !report.degradations.is_empty() {
+        println!(
+            "budget: {} LP calls, {} fixpoint passes, {} refinement steps, \
+             {} overflow events, {:.2}s elapsed",
+            report.lp_calls,
+            report.fixpoint_passes,
+            report.refinement_steps,
+            report.overflow_events,
+            report.elapsed.as_secs_f64()
+        );
+        for note in &report.degradations {
+            println!("  note: {note}");
+        }
+    }
     println!("{}", outcome.render_tree(&program));
     match &outcome.verdict {
         Verdict::Safe => ExitCode::SUCCESS,
@@ -126,6 +188,6 @@ fn main() -> ExitCode {
             }
             ExitCode::from(1)
         }
-        Verdict::Unknown => ExitCode::from(3),
+        Verdict::Unknown(_) => ExitCode::from(EXIT_UNKNOWN),
     }
 }

@@ -74,12 +74,7 @@ pub fn analyze_source(
     let program = blazer_lang::compile(source)?;
     let name = match function {
         Some(f) => f.to_string(),
-        None => program
-            .functions()
-            .next()
-            .ok_or("no functions in source")?
-            .name()
-            .to_string(),
+        None => program.functions().next().ok_or("no functions in source")?.name().to_string(),
     };
     Ok(blazer_core::Blazer::new(config).analyze(&program, &name)?)
 }

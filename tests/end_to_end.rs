@@ -6,10 +6,7 @@ use blazer::core::{Blazer, Config, Verdict};
 
 fn analyze(src: &str, func: &str, config: Config) -> Verdict {
     let p = blazer::lang::compile(src).expect("compiles");
-    Blazer::new(config)
-        .analyze(&p, func)
-        .expect("analyzes")
-        .verdict
+    Blazer::new(config).analyze(&p, func).expect("analyzes").verdict
 }
 
 #[test]
@@ -51,19 +48,14 @@ fn fig1_login_pair() {
         assert_eq!(tree.node(c).split_kind, Some(SplitKind::Taint));
     }
     for leaf in tree.leaves() {
-        assert!(matches!(
-            tree.node(leaf).status,
-            NodeStatus::Narrow | NodeStatus::Empty
-        ));
+        assert!(matches!(tree.node(leaf).status, NodeStatus::Narrow | NodeStatus::Empty));
     }
 
     // Bottom of Fig. 1: loginBad yields an attack via sec splits, and the
     // two attack trails have bounds (the paper's tr3/tr4).
     let unsafe_b = blazer::benchmarks::by_name("login_unsafe").unwrap();
     let p = unsafe_b.compile();
-    let outcome = Blazer::new(Config::stac())
-        .analyze(&p, unsafe_b.function)
-        .unwrap();
+    let outcome = Blazer::new(Config::stac()).analyze(&p, unsafe_b.function).unwrap();
     let Verdict::Attack(spec) = &outcome.verdict else {
         panic!("expected attack:\n{}", outcome.render_tree(&p));
     };
@@ -106,20 +98,14 @@ fn safe_partitions_cover_the_most_general_trail() {
         assert!(outcome.verdict.is_safe(), "{name}");
         let tree = &outcome.tree;
         // Alphabet size: max symbol over all trails + 1.
-        let alpha = (0..tree.len())
-            .flat_map(|i| tree.node(i).trail.symbols())
-            .max()
-            .unwrap_or(0)
-            + 1;
+        let alpha =
+            (0..tree.len()).flat_map(|i| tree.node(i).trail.symbols()).max().unwrap_or(0) + 1;
         let trmg = Dfa::from_regex(&tree.node(tree.root()).trail, alpha);
         let mut union = Dfa::from_regex(&Regex::Empty, alpha);
         for leaf in tree.leaves() {
             union = ops::union(&union, &Dfa::from_regex(&tree.node(leaf).trail, alpha));
         }
-        assert!(
-            ops::included(&trmg, &union),
-            "{name}: leaves do not cover the most general trail"
-        );
+        assert!(ops::included(&trmg, &union), "{name}: leaves do not cover the most general trail");
     }
 }
 

@@ -1,0 +1,138 @@
+//! Deterministic fault injection ([`FaultSpec`]): every layer of the stack
+//! absorbs its failure mode as a sound degradation instead of crashing —
+//! rational overflow in the domains, LP-call denial in simplex, fixpoint
+//! starvation in the engine, refinement starvation and dead deadlines in
+//! the driver.
+
+use blazer::core::{Blazer, Budget, Config, FaultSpec, Resource, UnknownReason, Verdict};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// `Budget::install` reads `BLAZER_FAULT`, and one test below sets it:
+/// serialize every test in this binary so the env mutation cannot leak
+/// into a concurrently installing budget.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+fn env_guard() -> std::sync::MutexGuard<'static, ()> {
+    ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A program with genuine secret influence (no fast-path exit) whose
+/// undisturbed verdict is an attack.
+const LEAKY: &str = "fn f(high: int #high, low: int) {
+    if (high == 0) { tick(1); } else {
+        let i: int = 0;
+        while (i < low) { i = i + 1; }
+    }
+}";
+
+fn analyze_with(budget: Budget) -> blazer::core::AnalysisOutcome {
+    let program = blazer::lang::compile(LEAKY).unwrap();
+    Blazer::new(Config::microbench().with_budget(budget))
+        .analyze(&program, "f")
+        .expect("analysis returns a verdict, never panics")
+}
+
+#[test]
+fn overflow_fault_is_absorbed_as_precision_loss() {
+    let _env = env_guard();
+    let fault = FaultSpec { overflow: Some(0), ..FaultSpec::default() };
+    let out = analyze_with(Budget::unlimited().with_fault(fault));
+    assert!(
+        out.budget_report.overflow_events > 0,
+        "the always-on overflow fault must have been absorbed somewhere"
+    );
+    // Soundness: with every rational operation degraded the analysis may
+    // not conclude anything — but it must never claim Safe for a leaky
+    // program.
+    assert!(!out.verdict.is_safe(), "unsound verdict: {}", out.verdict);
+}
+
+#[test]
+fn lp_call_fault_degrades_down_the_domain_ladder() {
+    let _env = env_guard();
+    let fault = FaultSpec { lp_call: Some(0), ..FaultSpec::default() };
+    let out = analyze_with(Budget::unlimited().with_fault(fault));
+    // Every LP call is denied, so the first trail exhausts the budget and
+    // the driver's rescue-and-retry ladder must have engaged.
+    assert!(
+        !out.degradations.is_empty(),
+        "expected domain fallbacks, report: {:?}",
+        out.budget_report
+    );
+    assert!(!out.verdict.is_safe(), "unsound verdict: {}", out.verdict);
+}
+
+#[test]
+fn dead_deadline_yields_budget_unknown() {
+    let _env = env_guard();
+    let fault = FaultSpec { deadline: Some(Duration::ZERO), ..FaultSpec::default() };
+    let out = analyze_with(Budget::unlimited().with_fault(fault));
+    assert!(
+        matches!(
+            out.verdict,
+            Verdict::Unknown(UnknownReason::BudgetExhausted(Resource::WallClock))
+        ),
+        "verdict: {}",
+        out.verdict
+    );
+    assert_eq!(out.budget_report.exhausted, Some(Resource::WallClock));
+}
+
+#[test]
+fn fixpoint_pass_cap_widens_to_top_instead_of_diverging() {
+    let _env = env_guard();
+    let out = analyze_with(Budget::unlimited().with_max_fixpoint_passes(1));
+    assert!(out.budget_report.fixpoint_passes >= 1);
+    assert!(!out.verdict.is_safe(), "unsound verdict: {}", out.verdict);
+    assert!(
+        matches!(out.verdict, Verdict::Unknown(UnknownReason::BudgetExhausted(_))),
+        "verdict: {}",
+        out.verdict
+    );
+}
+
+#[test]
+fn refinement_step_cap_stops_the_driver() {
+    let _env = env_guard();
+    let out = analyze_with(Budget::unlimited().with_max_refinement_steps(1));
+    assert!(
+        matches!(
+            out.verdict,
+            Verdict::Unknown(UnknownReason::BudgetExhausted(Resource::RefinementSteps))
+        ),
+        "verdict: {}",
+        out.verdict
+    );
+}
+
+#[test]
+fn unlimited_budget_is_the_undisturbed_attack_verdict() {
+    let _env = env_guard();
+    // Control: the same program without faults still finds its attack, and
+    // reports no degradations.
+    let out = analyze_with(Budget::unlimited());
+    assert!(out.verdict.is_attack(), "verdict: {}", out.verdict);
+    assert!(out.degradations.is_empty());
+    assert_eq!(out.budget_report.exhausted, None);
+    assert_eq!(out.budget_report.overflow_events, 0);
+}
+
+#[test]
+fn env_fault_spec_is_honored_at_install_time() {
+    let _env = env_guard();
+    // BLAZER_FAULT merges into the installed budget. Use a deadline fault:
+    // deterministic and cheap. Env vars are process-global, so scope it
+    // tightly and restore.
+    std::env::set_var("BLAZER_FAULT", "deadline:0");
+    let out = analyze_with(Budget::unlimited());
+    std::env::remove_var("BLAZER_FAULT");
+    assert!(
+        matches!(
+            out.verdict,
+            Verdict::Unknown(UnknownReason::BudgetExhausted(Resource::WallClock))
+        ),
+        "verdict: {}",
+        out.verdict
+    );
+}

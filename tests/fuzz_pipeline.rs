@@ -80,9 +80,7 @@ fn gen_program(seed: u64) -> String {
     let mut body = String::new();
     let mut fresh = 0;
     gen_stmts(&mut g, 2, &mut fresh, &vars, &mut body);
-    format!(
-        "fn f(h: int #high, l: int) {{\nlet x: int = 0;\nlet y: int = 1;\n{body}}}\n"
-    )
+    format!("fn f(h: int #high, l: int) {{\nlet x: int = 0;\nlet y: int = 1;\n{body}}}\n")
 }
 
 proptest! {
@@ -134,6 +132,43 @@ proptest! {
                 "upper bound {hi} below measured {} for seed {seed} h={h} l={l}\n{src}",
                 t.cost
             );
+        }
+    }
+
+    /// Under a tiny resource budget the driver still always returns a
+    /// verdict — never panics, never hangs past ~2× the deadline — and an
+    /// exhausted budget is surfaced as a machine-readable Unknown reason.
+    #[test]
+    fn tiny_budget_always_yields_a_verdict(seed in 0u64..5000, cap in 0u64..24) {
+        use blazer::core::{Blazer, Budget, Config, UnknownReason, Verdict};
+        use std::time::Duration;
+        let src = gen_program(seed);
+        let program = blazer::lang::compile(&src).unwrap();
+        let deadline = Duration::from_millis(200);
+        let budget = Budget::unlimited()
+            .with_deadline(deadline)
+            .with_max_lp_calls(cap)
+            .with_max_fixpoint_passes(cap.max(1))
+            .with_max_refinement_steps(cap.max(1));
+        let start = std::time::Instant::now();
+        let outcome = Blazer::new(Config::microbench().with_budget(budget))
+            .analyze(&program, "f")
+            .expect("a verdict, not a panic");
+        let elapsed = start.elapsed();
+        // ~2× deadline plus scheduling fudge: exhaustion is cooperative,
+        // so a small overshoot is expected but a hang is a bug.
+        prop_assert!(
+            elapsed <= 2 * deadline + Duration::from_millis(500),
+            "took {elapsed:?} against a {deadline:?} deadline\n{src}"
+        );
+        if let Verdict::Unknown(reason) = &outcome.verdict {
+            if outcome.budget_report.exhausted.is_some() {
+                prop_assert!(
+                    matches!(reason, UnknownReason::BudgetExhausted(_))
+                        || matches!(reason, UnknownReason::SearchExhausted),
+                    "budget ran out but reason is {reason}\n{src}"
+                );
+            }
         }
     }
 

@@ -1,0 +1,43 @@
+//! Minimal offline stand-in for the `rand` crate.
+//!
+//! The workspace declares `rand` as a dev-dependency but the tests use their
+//! own deterministic generators, so this stub only needs to exist for the
+//! dependency graph to resolve without network access. A tiny splitmix64
+//! generator is provided in case future tests want one.
+
+// Offline API stub: keep it lint-free for the workspace-wide clippy gate.
+#![allow(clippy::all)]
+
+/// A deterministic splitmix64 pseudo-random generator.
+#[derive(Clone, Debug)]
+pub struct SmallRng {
+    state: u64,
+}
+
+impl SmallRng {
+    /// Seeds the generator.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SmallRng { state: seed }
+    }
+
+    /// Next 64 bits of the stream.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}
