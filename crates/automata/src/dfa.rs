@@ -267,8 +267,8 @@ mod tests {
     fn minimization_collapses_redundant_states() {
         // 0·0 | 0·0 built redundantly still minimizes small.
         let r = Regex::Union(
-            std::rc::Rc::new(Regex::symbol(0).then(Regex::symbol(0))),
-            std::rc::Rc::new(Regex::symbol(0).then(Regex::symbol(0))),
+            std::sync::Arc::new(Regex::symbol(0).then(Regex::symbol(0))),
+            std::sync::Arc::new(Regex::symbol(0).then(Regex::symbol(0))),
         );
         let m = dfa(&r, 1).minimize();
         // States: len-0, len-1, len-2 (accept), dead. = 4.

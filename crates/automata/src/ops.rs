@@ -193,7 +193,8 @@ mod tests {
     fn equivalence_of_different_syntax() {
         // (0*)* ≡ 0*.
         let a = dfa(&Regex::symbol(0).star());
-        let b = dfa(&Regex::Star(std::rc::Rc::new(Regex::Star(std::rc::Rc::new(Regex::Sym(0))))));
+        let b =
+            dfa(&Regex::Star(std::sync::Arc::new(Regex::Star(std::sync::Arc::new(Regex::Sym(0))))));
         assert!(equivalent(&a, &b));
     }
 

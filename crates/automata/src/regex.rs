@@ -2,7 +2,7 @@
 
 use crate::Sym;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A regular expression over symbols `0..alphabet_size`.
 ///
@@ -17,11 +17,11 @@ pub enum Regex {
     /// A single symbol.
     Sym(Sym),
     /// Concatenation.
-    Concat(Rc<Regex>, Rc<Regex>),
+    Concat(Arc<Regex>, Arc<Regex>),
     /// Union (`|`).
-    Union(Rc<Regex>, Rc<Regex>),
+    Union(Arc<Regex>, Arc<Regex>),
     /// Kleene star.
-    Star(Rc<Regex>),
+    Star(Arc<Regex>),
 }
 
 impl Regex {
@@ -36,7 +36,7 @@ impl Regex {
             (Regex::Empty, _) | (_, Regex::Empty) => Regex::Empty,
             (Regex::Epsilon, _) => other,
             (_, Regex::Epsilon) => self,
-            _ => Regex::Concat(Rc::new(self), Rc::new(other)),
+            _ => Regex::Concat(Arc::new(self), Arc::new(other)),
         }
     }
 
@@ -46,7 +46,7 @@ impl Regex {
             (Regex::Empty, _) => other,
             (_, Regex::Empty) => self,
             _ if self == other => self,
-            _ => Regex::Union(Rc::new(self), Rc::new(other)),
+            _ => Regex::Union(Arc::new(self), Arc::new(other)),
         }
     }
 
@@ -55,7 +55,7 @@ impl Regex {
         match &self {
             Regex::Empty | Regex::Epsilon => Regex::Epsilon,
             Regex::Star(_) => self,
-            _ => Regex::Star(Rc::new(self)),
+            _ => Regex::Star(Arc::new(self)),
         }
     }
 
@@ -217,7 +217,7 @@ mod tests {
     fn empty_language_detection() {
         assert!(Regex::Empty.is_empty_language());
         assert!(!Regex::Epsilon.is_empty_language());
-        let manual = Regex::Concat(Rc::new(Regex::Sym(0)), Rc::new(Regex::Empty));
+        let manual = Regex::Concat(Arc::new(Regex::Sym(0)), Arc::new(Regex::Empty));
         assert!(manual.is_empty_language());
     }
 

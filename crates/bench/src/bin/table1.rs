@@ -5,23 +5,88 @@
 //! `BLAZER_FAULT` panic injection) prints a diagnostic row and the table
 //! keeps going. Set `BLAZER_ONLY=name1,name2` to restrict the run to
 //! benchmarks whose names contain one of the given substrings.
+//!
+//! Besides the human-readable table, the run is written as machine-readable
+//! JSON (default `BENCH_table1.json`, override with `BLAZER_BENCH_JSON`)
+//! recording per-benchmark verdicts and wall times plus the evaluation
+//! thread count, so the perf trajectory is trackable across commits:
+//! compare `BLAZER_THREADS=1` against `BLAZER_THREADS=4` runs.
 
-use blazer_bench::{try_run_benchmark, Row};
+use blazer_bench::{config_for, try_run_benchmark, Row};
 use blazer_core::Verdict;
+use std::time::Instant;
+
+/// One emitted row, kept for the JSON report (including crash rows, which
+/// carry no timings).
+struct JsonRow {
+    name: String,
+    group: String,
+    size: Option<usize>,
+    verdict: &'static str,
+    matches_paper: bool,
+    safety_s: Option<f64>,
+    with_attack_s: Option<f64>,
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn write_json(path: &str, threads: usize, runs: usize, total_wall_s: f64, rows: &[JsonRow]) {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"threads\": {threads},\n"));
+    out.push_str(&format!("  \"runs\": {runs},\n"));
+    out.push_str(&format!("  \"total_wall_s\": {total_wall_s:.3},\n"));
+    out.push_str("  \"benchmarks\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let opt_usize = |v: Option<usize>| v.map_or("null".to_string(), |n| n.to_string());
+        let opt_f64 = |v: Option<f64>| v.map_or("null".to_string(), |x| format!("{x:.3}"));
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"group\": \"{}\", \"size\": {}, \"verdict\": \"{}\", \
+             \"matches_paper\": {}, \"safety_s\": {}, \"with_attack_s\": {}}}{}\n",
+            json_escape(&r.name),
+            json_escape(&r.group),
+            opt_usize(r.size),
+            r.verdict,
+            r.matches_paper,
+            opt_f64(r.safety_s),
+            opt_f64(r.with_attack_s),
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    match std::fs::write(path, out) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
 
 fn main() {
     let runs: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(5);
     let only: Option<Vec<String>> = std::env::var("BLAZER_ONLY")
         .ok()
         .map(|s| s.split(',').map(|p| p.trim().to_string()).collect());
+    // All groups share the same width policy; report what the analyses use.
+    let threads = config_for(blazer_benchmarks::Group::MicroBench).effective_threads();
     println!(
-        "{:<22} {:>5} {:>12} {:>12}   {:<8} matches paper?",
+        "{:<22} {:>5} {:>12} {:>12}   {:<8} matches paper?  ({threads} thread(s))",
         "Benchmark", "Size", "Safety (s)", "w/Attack(s)", "Verdict"
     );
+    let started = Instant::now();
     let mut all_match = true;
     let mut crashes = 0usize;
     let mut selected = 0usize;
     let mut group = None;
+    let mut json_rows: Vec<JsonRow> = Vec::new();
     for b in blazer_benchmarks::all() {
         if let Some(only) = &only {
             if !only.iter().any(|p| b.name.contains(p.as_str())) {
@@ -42,6 +107,15 @@ fn main() {
                     "{:<22} {:>5} {:>12} {:>12}   {:<8} CRASHED: {panic_msg}",
                     b.name, "-", "-", "-", "crash"
                 );
+                json_rows.push(JsonRow {
+                    name: b.name.to_string(),
+                    group: b.group.to_string(),
+                    size: None,
+                    verdict: "crash",
+                    matches_paper: false,
+                    safety_s: None,
+                    with_attack_s: None,
+                });
                 continue;
             }
         };
@@ -65,8 +139,22 @@ fn main() {
             verdict,
             if ok { "yes" } else { "NO" }
         );
+        json_rows.push(JsonRow {
+            name: row.name.to_string(),
+            group: row.group.to_string(),
+            size: Some(row.size),
+            verdict,
+            matches_paper: ok,
+            safety_s: Some(row.safety_time.as_secs_f64()),
+            with_attack_s: row.with_attack_time.map(|d| d.as_secs_f64()),
+        });
     }
+    let total_wall_s = started.elapsed().as_secs_f64();
     println!();
+    println!("total wall time: {total_wall_s:.2}s with {threads} thread(s)");
+    let json_path =
+        std::env::var("BLAZER_BENCH_JSON").unwrap_or_else(|_| "BENCH_table1.json".to_string());
+    write_json(&json_path, threads, runs, total_wall_s, &json_rows);
     if crashes > 0 {
         println!("{crashes} benchmark(s) crashed (isolated; see rows above)");
     }

@@ -15,15 +15,18 @@ use blazer_interp::Value;
 use blazer_ir::budget::{self, Budget, BudgetReport, Resource};
 use blazer_ir::cost::CostModel;
 use blazer_ir::{CallCost, Cfg, Function, Inst, NodeId, Program, Terminator};
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Which numeric abstract domain the analysis runs in (the domain-ablation
 /// axis of the evaluation). Polyhedra match the original tool's PPL
 /// backend; the weaker domains are faster but may fail to verify programs
 /// whose safety needs relational or non-unit-coefficient invariants.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum DomainKind {
     /// Per-variable intervals.
     Interval,
@@ -83,6 +86,13 @@ pub struct Config {
     /// exhaustion the driver degrades gracefully and answers
     /// [`Verdict::Unknown`] with [`UnknownReason::BudgetExhausted`].
     pub budget: Budget,
+    /// Number of worker threads for per-round trail evaluation. `None`
+    /// defers to the `BLAZER_THREADS` environment variable, falling back to
+    /// the machine's available parallelism; `Some(1)` evaluates strictly
+    /// sequentially on the calling thread (no workers are spawned).
+    /// Verdicts, tree shapes, and degradation lists are identical at every
+    /// width — threads change wall-clock time only.
+    pub threads: Option<usize>,
 }
 
 impl Config {
@@ -97,6 +107,7 @@ impl Config {
             max_star_unrollings: 2,
             domain: DomainKind::Polyhedra,
             budget: Budget::unlimited(),
+            threads: None,
         }
     }
 
@@ -140,6 +151,29 @@ impl Config {
     pub fn with_max_lp_calls(mut self, n: u64) -> Self {
         self.budget = self.budget.clone().with_max_lp_calls(n);
         self
+    }
+
+    /// Builder-style worker-thread width (`1` = strictly sequential).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// The evaluation width actually used: an explicit [`Config::threads`]
+    /// wins, then a positive `BLAZER_THREADS` environment variable, then the
+    /// machine's available parallelism.
+    pub fn effective_threads(&self) -> usize {
+        if let Some(n) = self.threads {
+            return n.max(1);
+        }
+        if let Some(n) =
+            std::env::var("BLAZER_THREADS").ok().and_then(|s| s.trim().parse::<usize>().ok())
+        {
+            if n > 0 {
+                return n;
+            }
+        }
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
     }
 }
 
@@ -316,6 +350,52 @@ impl fmt::Display for CoreError {
 
 impl std::error::Error for CoreError {}
 
+/// Cache key for one trail's bound result: the canonical (printed) trail
+/// regex, the starting domain of the degradation ladder, and the function
+/// under analysis. The attack phase's re-splits and sibling-preserving
+/// refinements frequently reproduce trails the safety phase already
+/// analyzed; the key makes that reuse exact.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct BoundKey {
+    function: String,
+    domain: DomainKind,
+    trail: String,
+}
+
+/// A memoized bound computation: the result plus the domain fallbacks taken
+/// while computing it (re-emitted, re-keyed to the requesting node, on every
+/// cache hit so per-node degradation reporting stays meaningful).
+#[derive(Debug, Clone)]
+struct CachedBounds {
+    result: BoundResult,
+    degradations: Vec<(DomainKind, DomainKind, DegradeReason)>,
+}
+
+/// Per-analysis memoization: bound results keyed by [`BoundKey`], and
+/// minimized-DFA/restricted-product graphs keyed by the canonical trail
+/// regex (shared behind a mutex so parallel workers build each graph at
+/// most once per round and reuse it across degradation-ladder rungs and
+/// refinement rounds).
+#[derive(Debug, Default)]
+struct BoundCache {
+    bounds: HashMap<BoundKey, CachedBounds>,
+    graphs: Mutex<HashMap<String, Arc<ProductGraph>>>,
+}
+
+/// The read-only per-analysis inputs shared by every bound evaluation
+/// (and by every worker thread).
+#[derive(Clone, Copy)]
+struct EvalCtx<'a> {
+    program: &'a Program,
+    f: &'a Function,
+    cfg: &'a Cfg,
+    alphabet: &'a EdgeAlphabet,
+    dims: &'a DimMap,
+}
+
+/// One node's evaluation outcome before it is merged back into the tree.
+type EvalOut = (BoundResult, Vec<Degradation>);
+
 /// The analyzer.
 #[derive(Debug, Clone, Default)]
 pub struct Blazer {
@@ -383,6 +463,9 @@ impl Blazer {
 
         let mut tree = TrailTree::new(most_general_trail(&cfg, &alphabet));
         let mut star_depth: Vec<usize> = vec![0];
+        let ctx = EvalCtx { program, f, cfg: &cfg, alphabet: &alphabet, dims: &dims };
+        let mut cache = BoundCache::default();
+        let width = self.config.effective_threads();
 
         // ---- Safety loop: RefinePartition(safe) + CheckSafe --------------
         let mut budget_stop: Option<Resource> = None;
@@ -391,25 +474,22 @@ impl Blazer {
                 budget_stop = Some(e.resource);
                 break false;
             }
-            // Evaluate pending leaves.
-            for leaf in tree.leaves() {
-                if tree.node(leaf).status != NodeStatus::Pending {
-                    continue;
-                }
-                let b = self.bounds_for(
-                    program,
-                    f,
-                    &cfg,
-                    &alphabet,
-                    &dims,
-                    &tree.node(leaf).trail,
-                    leaf,
-                    &mut degradations,
-                );
+            // Evaluate all pending leaves of this round as one batch:
+            // cache-resolved first, then the misses fanned out across the
+            // worker pool, with results merged back in leaf order so the
+            // outcome is bit-identical at every width.
+            let leaves = tree.leaves();
+            let pending: Vec<usize> = leaves
+                .iter()
+                .copied()
+                .filter(|&l| tree.node(l).status == NodeStatus::Pending)
+                .collect();
+            for (leaf, b) in
+                self.eval_pending(&ctx, &tree, &pending, &mut cache, &mut degradations, width)
+            {
                 tree.node_mut(leaf).status = judge(&b, &self.config.observer, &high_seeds);
                 tree.node_mut(leaf).bounds = Some(b);
             }
-            let leaves = tree.leaves();
             if leaves
                 .iter()
                 .all(|&l| matches!(tree.node(l).status, NodeStatus::Narrow | NodeStatus::Empty))
@@ -515,7 +595,11 @@ impl Blazer {
                 verdict = Verdict::Unknown(UnknownReason::BudgetExhausted(e.resource));
                 break;
             }
+            // Split phase: perform every secret split of this round first
+            // (sequential and deterministic — split decisions depend only on
+            // the pre-round tree), collecting the new children per split.
             let mut split_any = false;
+            let mut round_splits: Vec<Vec<usize>> = Vec::new();
             for leaf in tree.leaves() {
                 if tree.node(leaf).status != NodeStatus::Wide {
                     continue;
@@ -551,21 +635,25 @@ impl Blazer {
                 for part in split.parts {
                     let id = tree.add_child(leaf, part, SplitKind::Secret);
                     star_depth.push(child_depth);
-                    let b = self.bounds_for(
-                        program,
-                        f,
-                        &cfg,
-                        &alphabet,
-                        &dims,
-                        &tree.node(id).trail,
-                        id,
-                        &mut degradations,
-                    );
-                    tree.node_mut(id).status = judge(&b, &self.config.observer, &high_seeds);
-                    tree.node_mut(id).bounds = Some(b);
                     children.push(id);
                 }
-                for &c in &children {
+                round_splits.push(children);
+            }
+            // Evaluation phase: all of the round's new children as one
+            // (cached, parallel) batch.
+            let new_nodes: Vec<usize> = round_splits.iter().flatten().copied().collect();
+            for (id, b) in
+                self.eval_pending(&ctx, &tree, &new_nodes, &mut cache, &mut degradations, width)
+            {
+                tree.node_mut(id).status = judge(&b, &self.config.observer, &high_seeds);
+                tree.node_mut(id).bounds = Some(b);
+            }
+            // CHECKATTACK phase: identical pair order to a strictly
+            // sequential evaluation, so the reported specification (the
+            // first observably-different sec-separated pair) is the same at
+            // every thread count.
+            for children in &round_splits {
+                for &c in children {
                     for &d in &candidates {
                         if !sec_separated(&tree, c, d) {
                             continue;
@@ -607,6 +695,179 @@ impl Blazer {
         })
     }
 
+    /// Evaluates a batch of tree nodes (one refinement round's pending
+    /// leaves) and returns `(node, bounds)` pairs in `nodes` order.
+    ///
+    /// The batch is resolved in three deterministic stages, identical at
+    /// every thread width:
+    ///
+    /// 1. **Cache lookup** in `nodes` order: hits reuse the memoized
+    ///    [`BoundResult`] (re-emitting its degradations keyed to the
+    ///    requesting node), and duplicate trails within the batch collapse
+    ///    onto one job, so the set of *evaluated* trails does not depend on
+    ///    scheduling.
+    /// 2. **Evaluation** of the remaining jobs: sequential on the calling
+    ///    thread at width 1 (exactly the pre-parallel behavior), otherwise
+    ///    fanned out over `std::thread::scope` workers that pull jobs from a
+    ///    shared index and install this analysis' shared budget handle, so
+    ///    every resource cap stays one global ledger.
+    /// 3. **Merge** in `nodes` order: degradations, cache insertions, and
+    ///    results are committed in leaf order regardless of which worker
+    ///    finished first. A worker panic (e.g. an injected fault) is
+    ///    re-raised here with its original payload, after all workers have
+    ///    finished.
+    fn eval_pending(
+        &self,
+        ctx: &EvalCtx<'_>,
+        tree: &TrailTree,
+        nodes: &[usize],
+        cache: &mut BoundCache,
+        degradations: &mut Vec<Degradation>,
+        width: usize,
+    ) -> Vec<(usize, BoundResult)> {
+        enum Source {
+            /// Served from the cross-round bound cache.
+            Hit(CachedBounds),
+            /// Evaluated by job index this round.
+            Job(usize),
+            /// Duplicate of another node's trail in this same batch.
+            Dup(usize),
+        }
+        let BoundCache { bounds: cached_bounds, graphs } = cache;
+        let mut plan: Vec<(usize, Source)> = Vec::with_capacity(nodes.len());
+        let mut jobs: Vec<usize> = Vec::new();
+        let mut job_keys: Vec<BoundKey> = Vec::new();
+        let mut job_by_key: HashMap<BoundKey, usize> = HashMap::new();
+        for &node in nodes {
+            let key = BoundKey {
+                function: ctx.f.name().to_string(),
+                domain: self.config.domain,
+                trail: tree.node(node).trail.to_string(),
+            };
+            if let Some(hit) = cached_bounds.get(&key) {
+                plan.push((node, Source::Hit(hit.clone())));
+            } else if let Some(&j) = job_by_key.get(&key) {
+                plan.push((node, Source::Dup(j)));
+            } else {
+                let j = jobs.len();
+                jobs.push(node);
+                job_keys.push(key.clone());
+                job_by_key.insert(key, j);
+                plan.push((node, Source::Job(j)));
+            }
+        }
+
+        let outs: Vec<EvalOut> = if width <= 1 || jobs.len() <= 1 {
+            jobs.iter()
+                .map(|&node| {
+                    let mut local = Vec::new();
+                    let b = self.bounds_for(ctx, graphs, &tree.node(node).trail, node, &mut local);
+                    (b, local)
+                })
+                .collect()
+        } else {
+            self.eval_jobs_parallel(ctx, tree, &jobs, graphs, width)
+        };
+
+        let mut merged = Vec::with_capacity(nodes.len());
+        for (node, source) in plan {
+            match source {
+                Source::Hit(hit) => {
+                    degradations.extend(
+                        hit.degradations.iter().map(|&(from, to, reason)| Degradation {
+                            node,
+                            from,
+                            to,
+                            reason,
+                        }),
+                    );
+                    merged.push((node, hit.result.clone()));
+                }
+                Source::Job(j) => {
+                    let (result, local) = &outs[j];
+                    degradations.extend(local.iter().cloned());
+                    cached_bounds.insert(
+                        job_keys[j].clone(),
+                        CachedBounds {
+                            result: result.clone(),
+                            degradations: local.iter().map(|d| (d.from, d.to, d.reason)).collect(),
+                        },
+                    );
+                    merged.push((node, result.clone()));
+                }
+                Source::Dup(j) => {
+                    let (result, local) = &outs[j];
+                    degradations.extend(local.iter().map(|d| Degradation { node, ..d.clone() }));
+                    merged.push((node, result.clone()));
+                }
+            }
+        }
+        merged
+    }
+
+    /// Fans `jobs` (tree-node indices) out over a scoped worker pool of the
+    /// given width. Results come back indexed by job, so callers can merge
+    /// deterministically; the first panicking job's payload (in job order)
+    /// is re-raised after every worker has stopped.
+    fn eval_jobs_parallel(
+        &self,
+        ctx: &EvalCtx<'_>,
+        tree: &TrailTree,
+        jobs: &[usize],
+        graphs: &Mutex<HashMap<String, Arc<ProductGraph>>>,
+        width: usize,
+    ) -> Vec<EvalOut> {
+        type JobSlot = Mutex<Option<std::thread::Result<EvalOut>>>;
+        let slots: Vec<JobSlot> = jobs.iter().map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let handle = budget::handle();
+        std::thread::scope(|scope| {
+            for _ in 0..width.min(jobs.len()) {
+                scope.spawn(|| {
+                    // All caps (and BLAZER_FAULT injection) stay globally
+                    // enforced: the worker consumes against the same shared
+                    // ledger the driver thread installed.
+                    let _budget = handle.as_ref().map(|h| h.install());
+                    loop {
+                        let i = next.fetch_add(1, Ordering::SeqCst);
+                        if i >= jobs.len() {
+                            break;
+                        }
+                        let node = jobs[i];
+                        let out = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                            let mut local = Vec::new();
+                            let b = self.bounds_for(
+                                ctx,
+                                graphs,
+                                &tree.node(node).trail,
+                                node,
+                                &mut local,
+                            );
+                            (b, local)
+                        }));
+                        *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(out);
+                    }
+                });
+            }
+        });
+        let mut outs = Vec::with_capacity(jobs.len());
+        let mut first_panic = None;
+        for slot in slots {
+            match slot.into_inner().unwrap_or_else(|e| e.into_inner()) {
+                Some(Ok(out)) => outs.push(out),
+                Some(Err(payload)) => {
+                    first_panic.get_or_insert(payload);
+                    outs.push((BoundResult { lower: None, upper: None }, Vec::new()));
+                }
+                None => unreachable!("every job index is claimed by some worker"),
+            }
+        }
+        if let Some(payload) = first_panic {
+            std::panic::resume_unwind(payload);
+        }
+        outs
+    }
+
     /// BOUNDANALYSIS for one trail: restrict the product to the trail's
     /// minimized DFA and compute symbolic bounds in the configured domain.
     ///
@@ -615,30 +876,42 @@ impl Blazer {
     /// degradation ladder (polyhedra → octagon → zone → interval); each
     /// fallback is recorded in `degradations`. A dead wall-clock deadline is
     /// never retried.
-    #[allow(clippy::too_many_arguments)]
     fn bounds_for(
         &self,
-        program: &Program,
-        f: &Function,
-        cfg: &Cfg,
-        alphabet: &EdgeAlphabet,
-        dims: &DimMap,
+        ctx: &EvalCtx<'_>,
+        graphs: &Mutex<HashMap<String, Arc<ProductGraph>>>,
         trail: &Regex,
         node: usize,
         degradations: &mut Vec<Degradation>,
     ) -> BoundResult {
-        let dfa = Dfa::from_regex(trail, alphabet.len() as u32).minimize();
-        let graph = ProductGraph::restricted(f, cfg, &dfa, alphabet);
-        if std::env::var("BLAZER_TRACE_BOUNDS").is_ok() {
-            eprintln!(
-                "bounds_for: trail size {} dfa {} product {}/{} exits {}",
-                trail.size(),
-                dfa.n_states(),
-                graph.len(),
-                graph.edges().len(),
-                graph.exits().len()
-            );
-        }
+        let EvalCtx { program, f, cfg, alphabet, dims } = *ctx;
+        let graph_key = trail.to_string();
+        let cached = graphs.lock().unwrap_or_else(|e| e.into_inner()).get(&graph_key).cloned();
+        let graph: Arc<ProductGraph> = match cached {
+            Some(g) => g,
+            None => {
+                let dfa = Dfa::from_regex(trail, alphabet.len() as u32).minimize();
+                let g = Arc::new(ProductGraph::restricted(f, cfg, &dfa, alphabet));
+                if std::env::var("BLAZER_TRACE_BOUNDS").is_ok() {
+                    eprintln!(
+                        "bounds_for: trail size {} dfa {} product {}/{} exits {}",
+                        trail.size(),
+                        dfa.n_states(),
+                        g.len(),
+                        g.edges().len(),
+                        g.exits().len()
+                    );
+                }
+                // Two workers may race to build the same graph; both arrive
+                // at identical results, so last-writer-wins is benign.
+                graphs
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .entry(graph_key)
+                    .or_insert(g)
+                    .clone()
+            }
+        };
         fn run<D: AbstractDomain>(
             program: &Program,
             f: &Function,
@@ -660,7 +933,7 @@ impl Blazer {
         // may be wrong, not just imprecise.
         let outer_overflow = blazer_domains::rational::take_overflow();
         let result = loop {
-            let overflow_before = budget::overflow_events();
+            let overflow_before = budget::local_overflow_events();
             let out = match domain {
                 DomainKind::Interval => run::<IntervalVec>(program, f, dims, &graph, cm),
                 DomainKind::Zone => run::<Zone>(program, f, dims, &graph, cm),
@@ -674,7 +947,9 @@ impl Blazer {
                     out.upper.as_ref().map(|e| e.to_string())
                 );
             }
-            let overflowed = budget::overflow_events() > overflow_before
+            // Per-thread diff: only overflows absorbed while computing
+            // *this* trail's bounds (on this worker) justify a retry.
+            let overflowed = budget::local_overflow_events() > overflow_before
                 || blazer_domains::rational::take_overflow();
             let Some(coarser) = domain.coarser() else {
                 if overflowed {

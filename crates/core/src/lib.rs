@@ -51,7 +51,7 @@ pub mod trail;
 pub mod tree;
 
 pub use attack::AttackSpec;
-pub use blazer_ir::budget::{Budget, BudgetReport, FaultSpec, Resource};
+pub use blazer_ir::budget::{Budget, BudgetHandle, BudgetReport, FaultSpec, Resource};
 pub use driver::{
     concretize_outcome, AnalysisOutcome, Blazer, Config, CoreError, Degradation, DegradeReason,
     DomainKind, UnknownReason, Verdict,

@@ -17,6 +17,22 @@
 //! eventually surfaces the situation as an `Unknown` verdict carrying the
 //! exhausted [`Resource`].
 //!
+//! # Shared mode (parallel analysis)
+//!
+//! Installing a budget registers it in a thread-local slot, but the state
+//! behind that slot is an [`Arc`]-held block of atomic counters plus a fixed
+//! deadline [`Instant`]. Worker threads spawned by the driver obtain a
+//! [`BudgetHandle`] to the *same* state ([`handle`]) and install it as their
+//! own thread-local handle ([`BudgetHandle::install`]). Every cap is thereby
+//! enforced **globally, counted exactly once** across all workers: an
+//! LP-call cap of `n` means `n` successful LP calls total, never `n` per
+//! thread, and the first worker to trip a cap makes every other worker's
+//! next `consume_*`/[`check`] call report the same sticky [`Exhausted`].
+//! The one genuinely thread-local quantity is the overflow-event counter
+//! ([`local_overflow_events`]): the driver diffs it around one bound
+//! computation to decide whether *that* computation overflowed, which must
+//! not be polluted by a sibling worker's overflows.
+//!
 //! # Fault injection
 //!
 //! For robustness tests, a [`FaultSpec`] (programmatic, or parsed from the
@@ -27,9 +43,10 @@
 //! the `n`-th LP call — once per process — to exercise `catch_unwind`
 //! isolation in the benchmark harnesses.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// The resource classes a [`Budget`] can cap.
@@ -43,6 +60,28 @@ pub enum Resource {
     FixpointPasses,
     /// Number of driver refinement steps.
     RefinementSteps,
+}
+
+impl Resource {
+    /// Encoding for the shared atomic exhaustion cell: 0 is "not exhausted".
+    fn code(self) -> u8 {
+        match self {
+            Resource::WallClock => 1,
+            Resource::LpCalls => 2,
+            Resource::FixpointPasses => 3,
+            Resource::RefinementSteps => 4,
+        }
+    }
+
+    fn from_code(code: u8) -> Option<Resource> {
+        match code {
+            1 => Some(Resource::WallClock),
+            2 => Some(Resource::LpCalls),
+            3 => Some(Resource::FixpointPasses),
+            4 => Some(Resource::RefinementSteps),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for Resource {
@@ -183,6 +222,10 @@ impl Budget {
     /// guard lives, then the outer one resumes. The `BLAZER_FAULT`
     /// environment variable, if set, is merged into the fault spec here so
     /// each installation re-reads it deterministically.
+    ///
+    /// The installed state is shared-capable: [`handle`] hands worker
+    /// threads a [`BudgetHandle`] to this same state, so every cap stays a
+    /// single global ledger across threads.
     pub fn install(&self) -> BudgetGuard {
         let mut fault = self.fault.clone().unwrap_or_default();
         if let Some(env) = FaultSpec::from_env() {
@@ -195,25 +238,26 @@ impl Budget {
         }
         let deadline =
             [self.deadline, fault.deadline].into_iter().flatten().min().map(|d| Instant::now() + d);
-        let max_lp_calls = [self.max_lp_calls, fault.lp_call].into_iter().flatten().min();
-        let active = Active {
+        let max_lp_calls =
+            [self.max_lp_calls, fault.lp_call].into_iter().flatten().min().unwrap_or(u64::MAX);
+        let shared = Arc::new(Shared {
             start: Instant::now(),
             deadline,
-            max_lp_calls,
+            max_lp_calls: AtomicU64::new(max_lp_calls),
             max_fixpoint_passes: self.max_fixpoint_passes,
             max_refinement_steps: self.max_refinement_steps,
-            lp_calls: 0,
-            fixpoint_passes: 0,
-            refinement_steps: 0,
-            overflow_events: 0,
-            exhausted: None,
-            degradations: Vec::new(),
+            lp_calls: AtomicU64::new(0),
+            fixpoint_passes: AtomicU64::new(0),
+            refinement_steps: AtomicU64::new(0),
+            overflow_events: AtomicU64::new(0),
+            exhausted: AtomicU8::new(0),
+            degradations: Mutex::new(Vec::new()),
             fault_overflow_after: fault.overflow,
-            fault_overflow_ops: 0,
+            fault_overflow_ops: AtomicU64::new(0),
             fault_panic_at_lp: fault.panic_at_lp,
-            rescue_grants: 0,
-        };
-        let previous = ACTIVE.with(|a| a.borrow_mut().replace(active));
+            rescue_grants: AtomicU32::new(0),
+        });
+        let previous = ACTIVE.with(|a| a.borrow_mut().replace(shared));
         BudgetGuard { previous }
     }
 }
@@ -221,7 +265,7 @@ impl Budget {
 /// What one analysis actually consumed, for `AnalysisOutcome` metadata.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct BudgetReport {
-    /// LP solve calls consumed.
+    /// LP solve calls consumed (globally, across all worker threads).
     pub lp_calls: u64,
     /// Fixpoint passes consumed.
     pub fixpoint_passes: u64,
@@ -237,26 +281,62 @@ pub struct BudgetReport {
     pub degradations: Vec<String>,
 }
 
-struct Active {
+/// The shared, thread-safe budget state. Caps are fixed at install time
+/// (except the LP cap, which rescue grants extend atomically); counters are
+/// atomics so any number of worker threads consume against one ledger.
+#[derive(Debug)]
+struct Shared {
     start: Instant,
     deadline: Option<Instant>,
-    max_lp_calls: Option<u64>,
+    /// `u64::MAX` encodes "unlimited"; mutated only by LP rescue grants.
+    max_lp_calls: AtomicU64,
     max_fixpoint_passes: Option<u64>,
     max_refinement_steps: Option<u64>,
-    lp_calls: u64,
-    fixpoint_passes: u64,
-    refinement_steps: u64,
-    overflow_events: u64,
-    exhausted: Option<Resource>,
-    degradations: Vec<String>,
+    lp_calls: AtomicU64,
+    fixpoint_passes: AtomicU64,
+    refinement_steps: AtomicU64,
+    overflow_events: AtomicU64,
+    /// 0 = not exhausted, otherwise [`Resource::code`] of the first trip.
+    exhausted: AtomicU8,
+    degradations: Mutex<Vec<String>>,
     fault_overflow_after: Option<u64>,
-    fault_overflow_ops: u64,
+    fault_overflow_ops: AtomicU64,
     fault_panic_at_lp: Option<u64>,
-    rescue_grants: u32,
+    rescue_grants: AtomicU32,
+}
+
+impl Shared {
+    /// The first exhausted resource, if any.
+    fn exhausted_resource(&self) -> Option<Resource> {
+        Resource::from_code(self.exhausted.load(Ordering::SeqCst))
+    }
+
+    /// Records `r` as the exhausted resource unless another trip won the
+    /// race; returns the effective first-exhausted resource.
+    fn trip(&self, r: Resource) -> Resource {
+        match self.exhausted.compare_exchange(0, r.code(), Ordering::SeqCst, Ordering::SeqCst) {
+            Ok(_) => r,
+            Err(prev) => Resource::from_code(prev).unwrap_or(r),
+        }
+    }
+
+    /// Polls the deadline, tripping `WallClock` when it has passed.
+    fn deadline_ok(&self) -> bool {
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                self.trip(Resource::WallClock);
+                return false;
+            }
+        }
+        true
+    }
 }
 
 thread_local! {
-    static ACTIVE: RefCell<Option<Active>> = const { RefCell::new(None) };
+    static ACTIVE: RefCell<Option<Arc<Shared>>> = const { RefCell::new(None) };
+    /// Overflow events noted *by this thread* (monotonic across installs;
+    /// callers diff it around a region of interest).
+    static LOCAL_OVERFLOWS: Cell<u64> = const { Cell::new(0) };
 }
 
 /// `panic:<n>` fault fires at most once per process, so a harness that
@@ -264,10 +344,10 @@ thread_local! {
 /// benchmark too.
 static PANIC_FAULT_FIRED: AtomicBool = AtomicBool::new(false);
 
-/// RAII guard returned by [`Budget::install`]; restores the previously
-/// installed budget (if any) on drop.
+/// RAII guard returned by [`Budget::install`] and [`BudgetHandle::install`];
+/// restores the previously installed budget (if any) on drop.
 pub struct BudgetGuard {
-    previous: Option<Active>,
+    previous: Option<Arc<Shared>>,
 }
 
 impl Drop for BudgetGuard {
@@ -282,18 +362,31 @@ impl fmt::Debug for BudgetGuard {
     }
 }
 
-fn with_active<R>(f: impl FnOnce(&mut Active) -> R) -> Option<R> {
-    ACTIVE.with(|a| a.borrow_mut().as_mut().map(f))
+/// A cloneable handle to the budget currently installed on some thread.
+/// Worker threads install it ([`BudgetHandle::install`]) so their
+/// consumption lands on the *same* global ledger as the spawning thread's.
+#[derive(Clone, Debug)]
+pub struct BudgetHandle {
+    shared: Arc<Shared>,
 }
 
-fn deadline_ok(active: &mut Active) -> bool {
-    if let Some(deadline) = active.deadline {
-        if Instant::now() >= deadline {
-            active.exhausted.get_or_insert(Resource::WallClock);
-            return false;
-        }
+impl BudgetHandle {
+    /// Activates the shared budget on the current thread until the returned
+    /// guard is dropped (stacking like [`Budget::install`]).
+    pub fn install(&self) -> BudgetGuard {
+        let previous = ACTIVE.with(|a| a.borrow_mut().replace(Arc::clone(&self.shared)));
+        BudgetGuard { previous }
     }
-    true
+}
+
+/// A handle to the budget installed on the current thread, for handing to
+/// worker threads. `None` when no budget is installed.
+pub fn handle() -> Option<BudgetHandle> {
+    ACTIVE.with(|a| a.borrow().as_ref().map(|s| BudgetHandle { shared: Arc::clone(s) }))
+}
+
+fn with_active<R>(f: impl FnOnce(&Shared) -> R) -> Option<R> {
+    ACTIVE.with(|a| a.borrow().as_deref().map(f))
 }
 
 /// How often (in LP calls) the deadline clock is polled; individual solves
@@ -305,10 +398,10 @@ const DEADLINE_POLL_PERIOD: u64 = 16;
 /// anything. Cheap; safe to call in inner loops.
 pub fn check() -> Result<(), Exhausted> {
     with_active(|active| {
-        if let Some(resource) = active.exhausted {
+        if let Some(resource) = active.exhausted_resource() {
             return Err(Exhausted { resource });
         }
-        if !deadline_ok(active) {
+        if !active.deadline_ok() {
             return Err(Exhausted { resource: Resource::WallClock });
         }
         Ok(())
@@ -320,22 +413,20 @@ pub fn check() -> Result<(), Exhausted> {
 /// fault and the densest deadline poll in the stack.
 pub fn consume_lp_call() -> Result<(), Exhausted> {
     let panic_now = with_active(|active| {
-        if let Some(resource) = active.exhausted {
+        if let Some(resource) = active.exhausted_resource() {
             return Err(Exhausted { resource });
         }
-        active.lp_calls += 1;
+        let calls = active.lp_calls.fetch_add(1, Ordering::SeqCst) + 1;
         if let Some(n) = active.fault_panic_at_lp {
-            if active.lp_calls >= n && !PANIC_FAULT_FIRED.swap(true, Ordering::SeqCst) {
+            if calls >= n && !PANIC_FAULT_FIRED.swap(true, Ordering::SeqCst) {
                 return Ok(true);
             }
         }
-        if let Some(cap) = active.max_lp_calls {
-            if active.lp_calls > cap {
-                active.exhausted = Some(Resource::LpCalls);
-                return Err(Exhausted { resource: Resource::LpCalls });
-            }
+        if calls > active.max_lp_calls.load(Ordering::SeqCst) {
+            active.trip(Resource::LpCalls);
+            return Err(Exhausted { resource: Resource::LpCalls });
         }
-        if active.lp_calls % DEADLINE_POLL_PERIOD == 1 && !deadline_ok(active) {
+        if calls % DEADLINE_POLL_PERIOD == 1 && !active.deadline_ok() {
             return Err(Exhausted { resource: Resource::WallClock });
         }
         Ok(false)
@@ -350,17 +441,17 @@ pub fn consume_lp_call() -> Result<(), Exhausted> {
 /// Consumes one abstract-interpreter fixpoint pass.
 pub fn consume_fixpoint_pass() -> Result<(), Exhausted> {
     with_active(|active| {
-        if let Some(resource) = active.exhausted {
+        if let Some(resource) = active.exhausted_resource() {
             return Err(Exhausted { resource });
         }
-        active.fixpoint_passes += 1;
+        let passes = active.fixpoint_passes.fetch_add(1, Ordering::SeqCst) + 1;
         if let Some(cap) = active.max_fixpoint_passes {
-            if active.fixpoint_passes > cap {
-                active.exhausted = Some(Resource::FixpointPasses);
+            if passes > cap {
+                active.trip(Resource::FixpointPasses);
                 return Err(Exhausted { resource: Resource::FixpointPasses });
             }
         }
-        if !deadline_ok(active) {
+        if !active.deadline_ok() {
             return Err(Exhausted { resource: Resource::WallClock });
         }
         Ok(())
@@ -371,17 +462,17 @@ pub fn consume_fixpoint_pass() -> Result<(), Exhausted> {
 /// Consumes one driver refinement step.
 pub fn consume_refinement_step() -> Result<(), Exhausted> {
     with_active(|active| {
-        if let Some(resource) = active.exhausted {
+        if let Some(resource) = active.exhausted_resource() {
             return Err(Exhausted { resource });
         }
-        active.refinement_steps += 1;
+        let steps = active.refinement_steps.fetch_add(1, Ordering::SeqCst) + 1;
         if let Some(cap) = active.max_refinement_steps {
-            if active.refinement_steps > cap {
-                active.exhausted = Some(Resource::RefinementSteps);
+            if steps > cap {
+                active.trip(Resource::RefinementSteps);
                 return Err(Exhausted { resource: Resource::RefinementSteps });
             }
         }
-        if !deadline_ok(active) {
+        if !active.deadline_ok() {
             return Err(Exhausted { resource: Resource::WallClock });
         }
         Ok(())
@@ -391,7 +482,7 @@ pub fn consume_refinement_step() -> Result<(), Exhausted> {
 
 /// The first exhausted resource, if any (sticky).
 pub fn exhausted() -> Option<Resource> {
-    with_active(|active| active.exhausted).flatten()
+    with_active(|active| active.exhausted_resource()).flatten()
 }
 
 /// Polls the wall-clock deadline directly, bypassing the sticky-exhaustion
@@ -399,7 +490,7 @@ pub fn exhausted() -> Option<Resource> {
 /// tripped first, long-running loops still need to notice that the deadline
 /// has since passed. One `Instant::now` per call; safe in inner loops.
 pub fn deadline_exceeded() -> bool {
-    with_active(|active| !deadline_ok(active)).unwrap_or(false)
+    with_active(|active| !active.deadline_ok()).unwrap_or(false)
 }
 
 /// Records a sound degradation for the final [`BudgetReport`]. Duplicate
@@ -408,21 +499,34 @@ pub fn deadline_exceeded() -> bool {
 pub fn note_degradation(msg: impl Into<String>) {
     let msg = msg.into();
     with_active(|active| {
-        if active.degradations.len() < 256 && !active.degradations.contains(&msg) {
-            active.degradations.push(msg);
+        let mut degradations = active.degradations.lock().unwrap_or_else(|e| e.into_inner());
+        if degradations.len() < 256 && !degradations.contains(&msg) {
+            degradations.push(msg);
         }
     });
 }
 
-/// Records one absorbed rational-overflow event.
+/// Records one absorbed rational-overflow event (on the global ledger and
+/// on this thread's local counter).
 pub fn note_overflow() {
-    with_active(|active| active.overflow_events += 1);
+    with_active(|active| {
+        active.overflow_events.fetch_add(1, Ordering::SeqCst);
+        LOCAL_OVERFLOWS.with(|c| c.set(c.get() + 1));
+    });
 }
 
-/// Number of overflow events absorbed so far (the driver diffs this across a
-/// trail analysis to decide whether to degrade to a coarser domain).
+/// Number of overflow events absorbed so far across all threads sharing the
+/// installed budget.
 pub fn overflow_events() -> u64 {
-    with_active(|active| active.overflow_events).unwrap_or(0)
+    with_active(|active| active.overflow_events.load(Ordering::SeqCst)).unwrap_or(0)
+}
+
+/// Number of overflow events noted *by the current thread* (monotonic; the
+/// driver diffs this around one trail's bound computation to decide whether
+/// to degrade to a coarser domain — a sibling worker's overflow must not
+/// trigger a degradation here).
+pub fn local_overflow_events() -> u64 {
+    LOCAL_OVERFLOWS.with(|c| c.get())
 }
 
 /// Fault hook for checked rational arithmetic: returns `true` when the
@@ -430,32 +534,42 @@ pub fn overflow_events() -> u64 {
 pub fn inject_overflow() -> bool {
     with_active(|active| {
         let Some(after) = active.fault_overflow_after else { return false };
-        active.fault_overflow_ops += 1;
-        active.fault_overflow_ops > after
+        active.fault_overflow_ops.fetch_add(1, Ordering::SeqCst) + 1 > after
     })
     .unwrap_or(false)
 }
 
 /// Grants extra LP calls so the driver can retry a budget-starved trail with
 /// a coarser (cheaper) domain. Clears a sticky `LpCalls` exhaustion; refuses
-/// when the deadline (which cannot be extended) has passed or after too many
-/// grants. Returns whether the rescue was granted.
+/// when the deadline (which cannot be extended) has passed, after too many
+/// grants, or when a harder resource tripped first. Returns whether the
+/// rescue was granted.
 pub fn grant_lp_rescue(extra: u64) -> bool {
     with_active(|active| {
-        if active.rescue_grants >= 8 || !deadline_ok(active) {
+        if active.rescue_grants.load(Ordering::SeqCst) >= 8 || !active.deadline_ok() {
             return false;
         }
-        match active.exhausted {
-            None | Some(Resource::LpCalls) => {
-                active.rescue_grants += 1;
-                active.exhausted = None;
-                if let Some(cap) = active.max_lp_calls.as_mut() {
-                    *cap = active.lp_calls.saturating_add(extra);
-                }
-                true
-            }
-            _ => false,
+        let current = active.exhausted.load(Ordering::SeqCst);
+        if current != 0 && current != Resource::LpCalls.code() {
+            return false;
         }
+        // Clear the sticky LpCalls trip (or keep a clean slate). Losing the
+        // race to a concurrent harder trip refuses the rescue.
+        if active
+            .exhausted
+            .compare_exchange(current, 0, Ordering::SeqCst, Ordering::SeqCst)
+            .is_err()
+        {
+            return false;
+        }
+        active.rescue_grants.fetch_add(1, Ordering::SeqCst);
+        if active.max_lp_calls.load(Ordering::SeqCst) != u64::MAX {
+            active.max_lp_calls.store(
+                active.lp_calls.load(Ordering::SeqCst).saturating_add(extra),
+                Ordering::SeqCst,
+            );
+        }
+        true
     })
     .unwrap_or(false)
 }
@@ -464,13 +578,13 @@ pub fn grant_lp_rescue(extra: u64) -> bool {
 /// installed).
 pub fn report() -> BudgetReport {
     with_active(|active| BudgetReport {
-        lp_calls: active.lp_calls,
-        fixpoint_passes: active.fixpoint_passes,
-        refinement_steps: active.refinement_steps,
-        overflow_events: active.overflow_events,
+        lp_calls: active.lp_calls.load(Ordering::SeqCst),
+        fixpoint_passes: active.fixpoint_passes.load(Ordering::SeqCst),
+        refinement_steps: active.refinement_steps.load(Ordering::SeqCst),
+        overflow_events: active.overflow_events.load(Ordering::SeqCst),
         elapsed: active.start.elapsed(),
-        exhausted: active.exhausted,
-        degradations: active.degradations.clone(),
+        exhausted: active.exhausted_resource(),
+        degradations: active.degradations.lock().unwrap_or_else(|e| e.into_inner()).clone(),
     })
     .unwrap_or_default()
 }
@@ -574,5 +688,73 @@ mod tests {
         let r = report();
         assert_eq!(r.degradations.len(), 256);
         assert_eq!(r.degradations[0], "event 0");
+    }
+
+    #[test]
+    fn shared_lp_cap_counts_exactly_once_across_threads() {
+        // 8 workers hammer one shared LP-call budget of 100: exactly 100
+        // calls succeed globally — never 100 per thread — and once the cap
+        // trips every worker's next call reports the same sticky exhaustion.
+        const CAP: u64 = 100;
+        const THREADS: usize = 8;
+        let _guard = Budget::unlimited().with_max_lp_calls(CAP).install();
+        let h = handle().expect("budget installed");
+        let successes = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                s.spawn(|| {
+                    let _g = h.install();
+                    for _ in 0..1000 {
+                        match consume_lp_call() {
+                            Ok(()) => {
+                                successes.fetch_add(1, Ordering::SeqCst);
+                            }
+                            Err(e) => assert_eq!(e.resource, Resource::LpCalls),
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(successes.load(Ordering::SeqCst), CAP);
+        let r = report();
+        assert_eq!(r.exhausted, Some(Resource::LpCalls));
+        // The counter may overshoot the cap by at most one in-flight
+        // increment per worker (each increments before seeing the trip).
+        assert!(r.lp_calls >= CAP && r.lp_calls <= CAP + THREADS as u64, "{}", r.lp_calls);
+    }
+
+    #[test]
+    fn handle_shares_counters_and_restores_on_drop() {
+        let _guard = Budget::unlimited().with_max_fixpoint_passes(10).install();
+        let h = handle().expect("budget installed");
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let _g = h.install();
+                consume_fixpoint_pass().unwrap();
+                consume_lp_call().unwrap();
+                // Guard drops here: the worker thread's slot empties again.
+            });
+        });
+        // The worker's consumption landed on this thread's ledger.
+        let r = report();
+        assert_eq!(r.fixpoint_passes, 1);
+        assert_eq!(r.lp_calls, 1);
+    }
+
+    #[test]
+    fn local_overflow_counter_is_per_thread() {
+        let _guard = Budget::unlimited().install();
+        let h = handle().expect("budget installed");
+        let before = local_overflow_events();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let _g = h.install();
+                note_overflow();
+                note_overflow();
+            });
+        });
+        // Global ledger saw both; this thread's local counter saw neither.
+        assert_eq!(overflow_events(), 2);
+        assert_eq!(local_overflow_events(), before);
     }
 }

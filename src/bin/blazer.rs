@@ -6,8 +6,14 @@
 //! $ blazer --observer stac program.blz check
 //! $ blazer --domain zone program.blz check
 //! $ blazer --timeout 10 --max-lp-calls 100000 program.blz check
+//! $ blazer --threads 4 program.blz check
 //! $ blazer --concretize program.blz check
 //! ```
+//!
+//! Trail evaluation is parallel by default (machine parallelism); pin the
+//! width with `--threads N` or the `BLAZER_THREADS` environment variable
+//! (`--threads 1` is strictly sequential). Verdicts are identical at every
+//! width.
 //!
 //! Exit codes: 0 = safe, 1 = attack found, 2 = unknown (including budget
 //! exhaustion or an internal crash), 3 = usage, I/O, or compile error.
@@ -68,11 +74,19 @@ fn parse_args() -> Result<Options, String> {
                     .ok_or("--max-lp-calls expects a non-negative integer")?;
                 config = config.with_max_lp_calls(n);
             }
+            "--threads" => {
+                let n = args
+                    .next()
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .filter(|n| *n > 0)
+                    .ok_or("--threads expects a positive integer")?;
+                config.threads = Some(n);
+            }
             "--no-attack" => config.synthesize_attack = false,
             "--concretize" => concretize = true,
             "--help" | "-h" => {
                 return Err("usage: blazer [--observer stac|degree] [--domain D] \
-                            [--timeout SECS] [--max-lp-calls N] \
+                            [--timeout SECS] [--max-lp-calls N] [--threads N] \
                             [--no-attack] [--concretize] <file> [function]"
                     .to_string())
             }

@@ -1,0 +1,88 @@
+//! Driver-level tests for the *shared* budget ledger: when trail evaluation
+//! fans out across worker threads, all workers draw from one global pool of
+//! LP calls. Exhaustion is a single global event — consumption is counted
+//! once, not once per thread, and the run stops with the same sticky
+//! resource regardless of width.
+
+use blazer::core::{Blazer, Config, DomainKind, Resource, UnknownReason, Verdict};
+
+/// A program whose analysis splits into several pending leaves per round, so
+/// a 4-thread run genuinely evaluates trails concurrently.
+const WIDE: &str = "fn wide(high: int #high, low: int) { \
+    if (low > 0) { \
+        if (high == 0) { tick(1); } else { \
+            let i: int = 0; \
+            while (i < low) { i = i + 1; } \
+        } \
+    } else { \
+        if (high == 1) { tick(5); } else { \
+            let j: int = 0; \
+            while (j < low) { j = j + 1; } \
+        } \
+    } \
+}";
+
+fn run(threads: usize, cap: u64) -> blazer::core::AnalysisOutcome {
+    let p = blazer::lang::compile(WIDE).unwrap();
+    // The interval domain is already the coarsest rung, so no LP rescue
+    // grants inflate the cap and exhaustion is reached quickly.
+    let config = Config::microbench()
+        .with_domain(DomainKind::Interval)
+        .with_max_lp_calls(cap)
+        .with_threads(threads);
+    Blazer::new(config).analyze(&p, "wide").unwrap()
+}
+
+#[test]
+fn tiny_lp_cap_stops_all_workers_globally() {
+    let cap = 6;
+    let out = run(4, cap);
+    assert!(
+        matches!(out.verdict, Verdict::Unknown(UnknownReason::BudgetExhausted(Resource::LpCalls))),
+        "expected LP-call exhaustion, got {:?}",
+        out.verdict
+    );
+    let report = &out.budget_report;
+    assert_eq!(report.exhausted, Some(Resource::LpCalls));
+    // The ledger is global: the tripping call and each concurrently racing
+    // worker may overshoot by one increment, so total consumption stays
+    // within cap + threads — NOT threads * cap, which a per-thread budget
+    // copy would allow.
+    assert!(
+        report.lp_calls <= cap + 4,
+        "LP calls counted more than once globally: {} > {}",
+        report.lp_calls,
+        cap + 4
+    );
+}
+
+#[test]
+fn exhaustion_identical_across_widths() {
+    let cap = 6;
+    let seq = run(1, cap);
+    let par = run(4, cap);
+    assert_eq!(
+        format!("{}", seq.verdict),
+        format!("{}", par.verdict),
+        "verdict diverged between widths under a tiny budget"
+    );
+    assert_eq!(seq.budget_report.exhausted, par.budget_report.exhausted);
+    // Under exhaustion the exact count may overshoot by one per racing
+    // worker (the increment lands before the cap check), but never by a
+    // whole per-thread budget.
+    let (a, b) = (seq.budget_report.lp_calls, par.budget_report.lp_calls);
+    assert!(a.abs_diff(b) <= 4, "lp_calls diverged beyond racing slack: {a} vs {b}");
+    assert_eq!(seq.budget_report.refinement_steps, par.budget_report.refinement_steps);
+}
+
+#[test]
+fn generous_cap_unaffected_by_width() {
+    // Sanity check: with room to finish, the capped parallel run reaches
+    // the same verdict and consumption as the sequential one.
+    let seq = run(1, 1_000_000);
+    let par = run(4, 1_000_000);
+    assert_eq!(format!("{}", seq.verdict), format!("{}", par.verdict));
+    assert_eq!(seq.budget_report.lp_calls, par.budget_report.lp_calls);
+    assert_eq!(seq.budget_report.exhausted, None);
+    assert_eq!(par.budget_report.exhausted, None);
+}
