@@ -1,6 +1,15 @@
 //! Regenerates Table 1: per-benchmark size, verdict, median safety time,
 //! and median safety+attack time.
 //!
+//! Benchmarks run concurrently on the same worker-pool machinery the
+//! analysis service uses (`blazer_serve::pool::scoped_map`); each analysis
+//! installs its own budget, so runs are isolated and verdicts are identical
+//! to a sequential run. Rows print in table order regardless of completion
+//! order. The fan-out width comes from `BLAZER_BENCH_JOBS` (default:
+//! machine parallelism); set `BLAZER_BENCH_JOBS=1` when the per-row wall
+//! times themselves are the measurement, since concurrent rows contend for
+//! cores.
+//!
 //! Each benchmark runs under `catch_unwind` isolation: a crash (a bug, or a
 //! `BLAZER_FAULT` panic injection) prints a diagnostic row and the table
 //! keeps going. Set `BLAZER_ONLY=name1,name2` to restrict the run to
@@ -14,6 +23,8 @@
 
 use blazer_bench::{config_for, try_run_benchmark, Row};
 use blazer_core::Verdict;
+use blazer_ir::json::Json;
+use blazer_serve::pool;
 use std::time::Instant;
 
 /// One emitted row, kept for the JSON report (including crash rows, which
@@ -28,43 +39,36 @@ struct JsonRow {
     with_attack_s: Option<f64>,
 }
 
-fn json_escape(s: &str) -> String {
-    s.chars()
-        .flat_map(|c| match c {
-            '"' => "\\\"".chars().collect::<Vec<_>>(),
-            '\\' => "\\\\".chars().collect(),
-            '\n' => "\\n".chars().collect(),
-            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
-            c => vec![c],
-        })
-        .collect()
+impl JsonRow {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::from(self.name.as_str())),
+            ("group", Json::from(self.group.as_str())),
+            ("size", Json::from(self.size)),
+            ("verdict", Json::from(self.verdict)),
+            ("matches_paper", Json::from(self.matches_paper)),
+            ("safety_s", self.safety_s.map_or(Json::Null, Json::secs)),
+            ("with_attack_s", self.with_attack_s.map_or(Json::Null, Json::secs)),
+        ])
+    }
 }
 
-fn write_json(path: &str, threads: usize, runs: usize, total_wall_s: f64, rows: &[JsonRow]) {
-    let mut out = String::new();
-    out.push_str("{\n");
-    out.push_str(&format!("  \"threads\": {threads},\n"));
-    out.push_str(&format!("  \"runs\": {runs},\n"));
-    out.push_str(&format!("  \"total_wall_s\": {total_wall_s:.3},\n"));
-    out.push_str("  \"benchmarks\": [\n");
-    for (i, r) in rows.iter().enumerate() {
-        let opt_usize = |v: Option<usize>| v.map_or("null".to_string(), |n| n.to_string());
-        let opt_f64 = |v: Option<f64>| v.map_or("null".to_string(), |x| format!("{x:.3}"));
-        out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"group\": \"{}\", \"size\": {}, \"verdict\": \"{}\", \
-             \"matches_paper\": {}, \"safety_s\": {}, \"with_attack_s\": {}}}{}\n",
-            json_escape(&r.name),
-            json_escape(&r.group),
-            opt_usize(r.size),
-            r.verdict,
-            r.matches_paper,
-            opt_f64(r.safety_s),
-            opt_f64(r.with_attack_s),
-            if i + 1 == rows.len() { "" } else { "," }
-        ));
-    }
-    out.push_str("  ]\n}\n");
-    match std::fs::write(path, out) {
+fn write_json(
+    path: &str,
+    threads: usize,
+    jobs: usize,
+    runs: usize,
+    total_wall_s: f64,
+    rows: &[JsonRow],
+) {
+    let doc = Json::obj([
+        ("threads", Json::from(threads)),
+        ("jobs", Json::from(jobs)),
+        ("runs", Json::from(runs)),
+        ("total_wall_s", Json::secs(total_wall_s)),
+        ("benchmarks", Json::arr(rows.iter().map(JsonRow::to_json))),
+    ]);
+    match std::fs::write(path, doc.pretty()) {
         Ok(()) => println!("wrote {path}"),
         Err(e) => eprintln!("could not write {path}: {e}"),
     }
@@ -77,28 +81,31 @@ fn main() {
         .map(|s| s.split(',').map(|p| p.trim().to_string()).collect());
     // All groups share the same width policy; report what the analyses use.
     let threads = config_for(blazer_benchmarks::Group::MicroBench).effective_threads();
+    let selected: Vec<_> = blazer_benchmarks::all()
+        .into_iter()
+        .filter(|b| {
+            only.as_ref().is_none_or(|only| only.iter().any(|p| b.name.contains(p.as_str())))
+        })
+        .collect();
+    let jobs = pool::effective_width(None, "BLAZER_BENCH_JOBS").min(selected.len().max(1));
     println!(
-        "{:<22} {:>5} {:>12} {:>12}   {:<8} matches paper?  ({threads} thread(s))",
+        "{:<22} {:>5} {:>12} {:>12}   {:<8} matches paper?  \
+         ({jobs} job(s) x {threads} thread(s))",
         "Benchmark", "Size", "Safety (s)", "w/Attack(s)", "Verdict"
     );
     let started = Instant::now();
+    let results: Vec<Result<Row, String>> =
+        pool::scoped_map(&selected, jobs, |_, b| try_run_benchmark(b, runs));
     let mut all_match = true;
     let mut crashes = 0usize;
-    let mut selected = 0usize;
     let mut group = None;
     let mut json_rows: Vec<JsonRow> = Vec::new();
-    for b in blazer_benchmarks::all() {
-        if let Some(only) = &only {
-            if !only.iter().any(|p| b.name.contains(p.as_str())) {
-                continue;
-            }
-        }
-        selected += 1;
+    for (b, result) in selected.iter().zip(results) {
         if group != Some(b.group) {
             println!("--- {} ---", b.group);
             group = Some(b.group);
         }
-        let row: Row = match try_run_benchmark(&b, runs) {
+        let row: Row = match result {
             Ok(row) => row,
             Err(panic_msg) => {
                 crashes += 1;
@@ -151,17 +158,17 @@ fn main() {
     }
     let total_wall_s = started.elapsed().as_secs_f64();
     println!();
-    println!("total wall time: {total_wall_s:.2}s with {threads} thread(s)");
+    println!("total wall time: {total_wall_s:.2}s with {jobs} job(s) x {threads} thread(s)");
     let json_path =
         std::env::var("BLAZER_BENCH_JSON").unwrap_or_else(|_| "BENCH_table1.json".to_string());
-    write_json(&json_path, threads, runs, total_wall_s, &json_rows);
+    write_json(&json_path, threads, jobs, runs, total_wall_s, &json_rows);
     if crashes > 0 {
         println!("{crashes} benchmark(s) crashed (isolated; see rows above)");
     }
     if all_match && only.is_none() {
         println!("all 24 verdicts match Table 1");
     } else if all_match {
-        println!("all {selected} selected verdicts match Table 1");
+        println!("all {} selected verdicts match Table 1", selected.len());
     } else {
         println!("MISMATCHES against Table 1 detected");
         std::process::exit(1);

@@ -234,6 +234,16 @@ impl Verdict {
         matches!(self, Verdict::Attack(_))
     }
 
+    /// Short machine-readable verdict class: `"safe"`, `"attack"`, or
+    /// `"unknown"` (the JSON wire vocabulary of reports and the service).
+    pub fn code(&self) -> &'static str {
+        match self {
+            Verdict::Safe => "safe",
+            Verdict::Attack(_) => "attack",
+            Verdict::Unknown(_) => "unknown",
+        }
+    }
+
     /// The unknown-reason, for [`Verdict::Unknown`].
     pub fn unknown_reason(&self) -> Option<UnknownReason> {
         match self {

@@ -51,6 +51,7 @@ pub mod cost;
 pub mod dominators;
 pub mod function;
 pub mod inst;
+pub mod json;
 pub mod pretty;
 pub mod program;
 pub mod types;

@@ -1,0 +1,208 @@
+//! The content-addressed verdict cache.
+//!
+//! A verdict is a pure function of `(source text, analysis configuration)`:
+//! the driver is deterministic at every thread width, so two submissions
+//! with the same canonical key *must* produce the same response. The cache
+//! exploits that — a resubmission of an already-proven program is answered
+//! in microseconds instead of re-running refinement.
+//!
+//! Keys are canonical strings (`function`, config fingerprint, and the
+//! full source) — the reported *content address* is the FNV-1a hash of
+//! that string, but lookups compare the canonical string itself, so a
+//! hash collision can never serve the wrong verdict.
+//!
+//! Budget-exhausted and crashed analyses are **never** cached: they
+//! describe what one request's budget allowed, not what the program is.
+//!
+//! With a persistence path configured, every insert appends one JSONL
+//! record and a restarted server reloads the file, so warm verdicts
+//! survive restarts.
+
+use blazer_ir::json::{escape, fnv1a64, Json};
+use std::collections::HashMap;
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// The canonical identity of one analysis request.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    canonical: String,
+}
+
+impl CacheKey {
+    /// Builds the key from the request's source text, target function, and
+    /// the configuration fingerprint (domain, observer, budget caps, attack
+    /// synthesis — everything that can change the response except thread
+    /// width, which provably cannot).
+    pub fn new(source: &str, function: Option<&str>, fingerprint: &str) -> CacheKey {
+        CacheKey {
+            canonical: format!(
+                "fn={}\u{1}cfg={fingerprint}\u{1}src={source}",
+                function.unwrap_or("")
+            ),
+        }
+    }
+
+    /// The 16-hex-digit content address reported to clients.
+    pub fn address(&self) -> String {
+        format!("{:016x}", fnv1a64(self.canonical.as_bytes()))
+    }
+}
+
+/// Thread-safe verdict store with hit/miss counters and optional
+/// append-only persistence.
+#[derive(Debug)]
+pub struct VerdictCache {
+    entries: Mutex<HashMap<String, String>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    persist: Option<PathBuf>,
+}
+
+impl VerdictCache {
+    /// An empty in-memory cache.
+    pub fn in_memory() -> VerdictCache {
+        VerdictCache {
+            entries: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            persist: None,
+        }
+    }
+
+    /// A cache backed by `path`: existing records are loaded eagerly
+    /// (unreadable or malformed lines are skipped — a torn final append
+    /// must not brick the server), and every insert appends one record.
+    pub fn persistent(path: PathBuf) -> VerdictCache {
+        let mut entries = HashMap::new();
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            for line in text.lines() {
+                let Ok(record) = Json::parse(line) else { continue };
+                let (Some(key), Some(response)) = (
+                    record.get("key").and_then(Json::as_str),
+                    record.get("response").and_then(Json::as_str),
+                ) else {
+                    continue;
+                };
+                entries.insert(key.to_string(), response.to_string());
+            }
+        }
+        VerdictCache {
+            entries: Mutex::new(entries),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            persist: Some(path),
+        }
+    }
+
+    /// Looks up a response body, counting the hit or miss.
+    pub fn get(&self, key: &CacheKey) -> Option<String> {
+        let entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        match entries.get(&key.canonical) {
+            Some(body) => {
+                self.hits.fetch_add(1, Ordering::SeqCst);
+                Some(body.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::SeqCst);
+                None
+            }
+        }
+    }
+
+    /// Stores a response body and appends it to the persistence file, if
+    /// any. Concurrent duplicate inserts (two identical submissions racing
+    /// past the same miss) are benign: both compute the same body.
+    pub fn insert(&self, key: &CacheKey, body: String) {
+        let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        if entries.insert(key.canonical.clone(), body.clone()).is_none() {
+            if let Some(path) = &self.persist {
+                // Held under the entries lock so records never interleave.
+                let record = format!(
+                    "{{\"key\": \"{}\", \"address\": \"{}\", \"response\": \"{}\"}}\n",
+                    escape(&key.canonical),
+                    key.address(),
+                    escape(&body),
+                );
+                let appended = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)
+                    .and_then(|mut f| f.write_all(record.as_bytes()));
+                if let Err(e) = appended {
+                    eprintln!("verdict cache: could not persist to {}: {e}", path.display());
+                }
+            }
+        }
+    }
+
+    /// Number of stored verdicts.
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::SeqCst)
+    }
+
+    /// Lookups that had to run the driver.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_configs_do_not_collide() {
+        let a = CacheKey::new("fn f() { }", Some("f"), "domain=polyhedra");
+        let b = CacheKey::new("fn f() { }", Some("f"), "domain=zone");
+        assert_ne!(a, b);
+        assert_ne!(a.address(), b.address());
+        assert_eq!(a.address().len(), 16);
+    }
+
+    #[test]
+    fn counts_hits_and_misses() {
+        let cache = VerdictCache::in_memory();
+        let key = CacheKey::new("src", None, "cfg");
+        assert!(cache.get(&key).is_none());
+        cache.insert(&key, "{\"ok\": true}".into());
+        assert_eq!(cache.get(&key).as_deref(), Some("{\"ok\": true}"));
+        assert_eq!((cache.hits(), cache.misses(), cache.len()), (1, 1, 1));
+    }
+
+    #[test]
+    fn persists_across_reload() {
+        let path = std::env::temp_dir().join("blazer_serve_cache_test.jsonl");
+        let _ = std::fs::remove_file(&path);
+        {
+            let cache = VerdictCache::persistent(path.clone());
+            cache.insert(&CacheKey::new("s1", Some("f"), "c"), "{\"v\": \"safe\"}".into());
+            cache.insert(&CacheKey::new("s2", Some("g"), "c"), "{\"v\": \"attack\"}".into());
+        }
+        // Corrupt tail (a torn append) must not poison the reload.
+        std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .and_then(|mut f| f.write_all(b"{\"key\": \"torn"))
+            .unwrap();
+        let reloaded = VerdictCache::persistent(path.clone());
+        assert_eq!(reloaded.len(), 2);
+        assert_eq!(
+            reloaded.get(&CacheKey::new("s1", Some("f"), "c")).as_deref(),
+            Some("{\"v\": \"safe\"}")
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,72 @@
+//! A minimal blocking HTTP client for the service — what the `blazer
+//! client` subcommand, the CI smoke test, and the end-to-end tests use
+//! instead of curl.
+
+use crate::api::AnalyzeRequest;
+use blazer_ir::json::Json;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Sends one `Connection: close` request and returns `(status, body)`.
+/// The read blocks until the server closes the connection, so there is no
+/// client-side deadline racing a long-running analysis (the server's own
+/// per-request budget is the timeout mechanism).
+pub fn raw_request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    let body = body.unwrap_or("");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let status: u16 = raw
+        .strip_prefix("HTTP/1.1 ")
+        .and_then(|rest| rest.get(..3))
+        .and_then(|code| code.parse().ok())
+        .ok_or_else(|| bad_data(format!("malformed status line in: {raw:.60}")))?;
+    let payload = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .ok_or_else(|| bad_data("response without header/body separator"))?;
+    Ok((status, payload))
+}
+
+fn bad_data(msg: impl Into<String>) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg.into())
+}
+
+fn json_request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> std::io::Result<(u16, Json)> {
+    let (status, body) = raw_request(addr, method, path, body)?;
+    let doc = Json::parse(&body).map_err(|e| bad_data(format!("{e} in response: {body:.120}")))?;
+    Ok((status, doc))
+}
+
+/// `GET /health`.
+pub fn health(addr: &str) -> std::io::Result<(u16, Json)> {
+    json_request(addr, "GET", "/health", None)
+}
+
+/// `GET /stats`.
+pub fn stats(addr: &str) -> std::io::Result<(u16, Json)> {
+    json_request(addr, "GET", "/stats", None)
+}
+
+/// `POST /analyze` with a typed request.
+pub fn analyze(addr: &str, req: &AnalyzeRequest) -> std::io::Result<(u16, Json)> {
+    json_request(addr, "POST", "/analyze", Some(&req.to_json().to_string()))
+}

@@ -1,0 +1,160 @@
+//! A deliberately small HTTP/1.1 subset over `std::net` streams.
+//!
+//! The service speaks exactly three routes, every request and response
+//! carries `Connection: close`, and bodies are delimited by
+//! `Content-Length` only (no chunked transfer, no keep-alive, no TLS).
+//! That subset is what `curl`, the `blazer client` subcommand, and any
+//! load balancer health check need — and nothing more, because the
+//! workspace is std-only.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Per-connection socket read/write timeout: a stalled or malicious peer
+/// must never pin a worker forever.
+pub const IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// `GET`, `POST`, ...
+    pub method: String,
+    /// The request target, query string included.
+    pub path: String,
+    /// Body bytes (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+/// A request-reading failure that should be answered with the given HTTP
+/// status (or not at all, for a dead socket).
+#[derive(Debug)]
+pub struct HttpError {
+    /// Status code to answer with.
+    pub status: u16,
+    /// Human-readable reason for the JSON error body.
+    pub message: String,
+}
+
+impl HttpError {
+    fn new(status: u16, message: impl Into<String>) -> Self {
+        HttpError { status, message: message.into() }
+    }
+}
+
+/// Reads and parses one request from the stream, enforcing `max_body`
+/// bytes on the declared `Content-Length`.
+pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, HttpError> {
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| HttpError::new(400, format!("could not read request line: {e}")))?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or_default().to_string();
+    let path = parts.next().unwrap_or_default().to_string();
+    if method.is_empty() || path.is_empty() {
+        return Err(HttpError::new(400, "malformed request line"));
+    }
+    let mut content_length: usize = 0;
+    loop {
+        let mut header = String::new();
+        let n = reader
+            .read_line(&mut header)
+            .map_err(|e| HttpError::new(400, format!("could not read headers: {e}")))?;
+        if n == 0 {
+            return Err(HttpError::new(400, "connection closed mid-headers"));
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| HttpError::new(400, "unparsable Content-Length"))?;
+            }
+        }
+    }
+    if content_length > max_body {
+        return Err(HttpError::new(
+            413,
+            format!("body of {content_length} bytes exceeds the {max_body}-byte limit"),
+        ));
+    }
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| HttpError::new(400, format!("body shorter than Content-Length: {e}")))?;
+    Ok(Request { method, path, body })
+}
+
+/// The standard reason phrase for the status codes this service emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes one `Connection: close` JSON response. Write errors are ignored:
+/// the peer may have hung up, and the server has nothing better to do than
+/// move on to the next connection.
+pub fn write_json_response(stream: &mut TcpStream, status: u16, body: &str) {
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        reason(status),
+        body.len(),
+    );
+    let _ = stream.write_all(head.as_bytes()).and_then(|()| stream.write_all(body.as_bytes()));
+    let _ = stream.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    fn roundtrip(raw: &[u8], max_body: usize) -> Result<Request, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut tx = TcpStream::connect(addr).unwrap();
+        tx.write_all(raw).unwrap();
+        tx.shutdown(std::net::Shutdown::Write).unwrap();
+        let (mut rx, _) = listener.accept().unwrap();
+        read_request(&mut rx, max_body)
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req =
+            roundtrip(b"POST /analyze HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd", 1024)
+                .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/analyze");
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn rejects_oversized_and_truncated_bodies() {
+        let over = roundtrip(b"POST / HTTP/1.1\r\nContent-Length: 99\r\n\r\n", 10).unwrap_err();
+        assert_eq!(over.status, 413);
+        let short = roundtrip(b"POST / HTTP/1.1\r\nContent-Length: 9\r\n\r\nab", 1024).unwrap_err();
+        assert_eq!(short.status, 400);
+        let garbage = roundtrip(b"\r\n", 1024).unwrap_err();
+        assert_eq!(garbage.status, 400);
+    }
+}

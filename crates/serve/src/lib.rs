@@ -1,0 +1,334 @@
+//! # blazer-serve
+//!
+//! A concurrent timing-channel analysis service: the decomposition driver
+//! behind an HTTP/1.1 API, built on `std::net` only (the workspace has no
+//! crates.io access).
+//!
+//! ```text
+//! POST /analyze   {"source": "fn f(h: int #high) { ... }", "domain": "zone", ...}
+//! GET  /health    liveness probe
+//! GET  /stats     request, worker, and cache counters
+//! ```
+//!
+//! The architecture is the paper's Fig. 2 driver wrapped in three service
+//! layers:
+//!
+//! 1. **Bounded job queue.** The accept loop pushes connections into a
+//!    `sync_channel`; when the queue is full the request is answered
+//!    `503` immediately instead of piling up unbounded work.
+//! 2. **Worker pool with per-request budgets.** Each worker parses the
+//!    request and runs the analysis under `catch_unwind` with its own
+//!    installed [`blazer_core::Budget`] (deadline and LP-call caps from
+//!    the request, clamped by the server's `max_timeout`). One
+//!    pathological submission exhausts *its* budget — it can never take
+//!    the server, or a sibling request, down.
+//! 3. **Content-addressed verdict cache.** Verdicts are pure functions of
+//!    `(source, config)`, so completed responses are memoized by content
+//!    address ([`cache::CacheKey`]) and identical resubmissions are
+//!    answered in microseconds, optionally surviving restarts via an
+//!    append-only JSONL file.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod cache;
+pub mod client;
+pub mod http;
+pub mod pool;
+pub mod report;
+
+pub use api::AnalyzeRequest;
+pub use cache::{CacheKey, VerdictCache};
+
+use blazer_ir::json::Json;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Bind address; port `0` picks an ephemeral port (tests).
+    pub addr: String,
+    /// Worker-pool width; `None` defers to `BLAZER_SERVE_WORKERS`, then
+    /// the machine's available parallelism.
+    pub workers: Option<usize>,
+    /// Bounded job-queue depth; a full queue answers `503`.
+    pub queue_depth: usize,
+    /// Maximum accepted request-body size in bytes.
+    pub max_body_bytes: usize,
+    /// Server-side clamp on every request's wall-clock deadline (`None`
+    /// leaves requests without a deadline unlimited).
+    pub max_timeout: Option<Duration>,
+    /// Verdict-cache persistence file (`None` keeps the cache in memory).
+    pub cache_file: Option<PathBuf>,
+    /// Trail-evaluation threads *within* one analysis. The default of 1
+    /// lets the pool parallelize across requests instead of oversubscribing
+    /// every core on each one.
+    pub analysis_threads: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            addr: "127.0.0.1:8645".to_string(),
+            workers: None,
+            queue_depth: 64,
+            max_body_bytes: 1 << 20,
+            max_timeout: None,
+            cache_file: None,
+            analysis_threads: 1,
+        }
+    }
+}
+
+/// Live service counters (all monotonic).
+#[derive(Debug, Default)]
+pub struct Stats {
+    /// Connections handled by a worker.
+    pub requests: AtomicU64,
+    /// `POST /analyze` requests (cache hits included).
+    pub analyze_requests: AtomicU64,
+    /// Analyses that actually ran the driver.
+    pub analyses_run: AtomicU64,
+    /// Driver panics isolated into `500` responses.
+    pub crashes: AtomicU64,
+    /// Requests answered with a `4xx` status.
+    pub client_errors: AtomicU64,
+    /// Connections rejected `503` by the full job queue.
+    pub busy_rejections: AtomicU64,
+}
+
+struct Ctx {
+    cache: VerdictCache,
+    stats: Stats,
+    started: Instant,
+    workers: usize,
+    queue_depth: usize,
+    max_body_bytes: usize,
+    max_timeout: Option<Duration>,
+    analysis_threads: usize,
+}
+
+/// A running service. Dropping the handle leaves the threads running;
+/// call [`Server::stop`] for an orderly shutdown or [`Server::wait`] to
+/// serve until the process dies.
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    ctx: Arc<Ctx>,
+}
+
+impl Server {
+    /// Binds, spawns the worker pool and accept loop, and returns
+    /// immediately.
+    pub fn start(opts: ServeOptions) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&opts.addr)?;
+        let addr = listener.local_addr()?;
+        let width = pool::effective_width(opts.workers, "BLAZER_SERVE_WORKERS");
+        let cache = match opts.cache_file {
+            Some(path) => VerdictCache::persistent(path),
+            None => VerdictCache::in_memory(),
+        };
+        let ctx = Arc::new(Ctx {
+            cache,
+            stats: Stats::default(),
+            started: Instant::now(),
+            workers: width,
+            queue_depth: opts.queue_depth,
+            max_body_bytes: opts.max_body_bytes,
+            max_timeout: opts.max_timeout,
+            analysis_threads: opts.analysis_threads.max(1),
+        });
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = sync_channel::<TcpStream>(opts.queue_depth.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..width)
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                let ctx = Arc::clone(&ctx);
+                std::thread::spawn(move || worker_loop(&rx, &ctx))
+            })
+            .collect();
+        let accept = {
+            let ctx = Arc::clone(&ctx);
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    match tx.try_send(stream) {
+                        Ok(()) => {}
+                        Err(TrySendError::Full(mut stream)) => {
+                            ctx.stats.busy_rejections.fetch_add(1, Ordering::SeqCst);
+                            http::write_json_response(
+                                &mut stream,
+                                503,
+                                &error_body("server busy: job queue full, retry later").to_string(),
+                            );
+                        }
+                        Err(TrySendError::Disconnected(_)) => break,
+                    }
+                }
+            })
+        };
+        Ok(Server { addr, shutdown, accept: Some(accept), workers, ctx })
+    }
+
+    /// The bound socket address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The live service counters.
+    pub fn stats(&self) -> &Stats {
+        &self.ctx.stats
+    }
+
+    /// The verdict cache (for in-process inspection).
+    pub fn cache(&self) -> &VerdictCache {
+        &self.ctx.cache
+    }
+
+    /// Blocks the calling thread on the accept loop (the `blazer serve`
+    /// foreground mode).
+    pub fn wait(mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+
+    /// Orderly shutdown: stop accepting, drain the workers, join every
+    /// thread.
+    pub fn stop(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the blocking accept call; the flag makes it exit, dropping
+        // the queue sender, which in turn drains and stops the workers.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, ctx: &Ctx) {
+    loop {
+        let received = rx.lock().unwrap_or_else(|e| e.into_inner()).recv();
+        match received {
+            Ok(mut stream) => handle_connection(&mut stream, ctx),
+            Err(_) => break, // queue sender dropped: shutdown
+        }
+    }
+}
+
+fn error_body(error: impl Into<String>) -> Json {
+    Json::obj([("ok", Json::Bool(false)), ("error", Json::Str(error.into()))])
+}
+
+fn handle_connection(stream: &mut TcpStream, ctx: &Ctx) {
+    ctx.stats.requests.fetch_add(1, Ordering::SeqCst);
+    let request = match http::read_request(stream, ctx.max_body_bytes) {
+        Ok(r) => r,
+        Err(e) => {
+            ctx.stats.client_errors.fetch_add(1, Ordering::SeqCst);
+            http::write_json_response(stream, e.status, &error_body(e.message).to_string());
+            return;
+        }
+    };
+    let (status, body) = match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/health") => (200, health_body(ctx)),
+        ("GET", "/stats") => (200, stats_body(ctx)),
+        ("POST", "/analyze") => handle_analyze(ctx, &request.body),
+        (_, "/health" | "/stats" | "/analyze") => {
+            (405, error_body(format!("method {} not allowed here", request.method)))
+        }
+        (_, path) => (404, error_body(format!("no such route: {path}"))),
+    };
+    if (400..500).contains(&status) {
+        ctx.stats.client_errors.fetch_add(1, Ordering::SeqCst);
+    }
+    http::write_json_response(stream, status, &body.to_string());
+}
+
+fn handle_analyze(ctx: &Ctx, body: &[u8]) -> (u16, Json) {
+    ctx.stats.analyze_requests.fetch_add(1, Ordering::SeqCst);
+    let parsed = std::str::from_utf8(body)
+        .map_err(|_| "request body is not UTF-8".to_string())
+        .and_then(|text| Json::parse(text).map_err(|e| e.to_string()))
+        .and_then(|doc| api::AnalyzeRequest::from_json(&doc));
+    let req = match parsed {
+        Ok(req) => req,
+        Err(e) => return (400, error_body(format!("bad request: {e}"))),
+    };
+    let key = req.cache_key();
+    if let Some(stored) = ctx.cache.get(&key) {
+        return (200, with_cached_flag(&stored, true));
+    }
+    ctx.stats.analyses_run.fetch_add(1, Ordering::SeqCst);
+    let response = api::execute(&req, ctx.max_timeout, ctx.analysis_threads);
+    if response.status == 500 {
+        ctx.stats.crashes.fetch_add(1, Ordering::SeqCst);
+    }
+    if response.cacheable {
+        ctx.cache.insert(&key, response.body.to_string());
+    }
+    (response.status, with_cached_flag(&response.body.to_string(), false))
+}
+
+/// Annotates a stored/fresh response body with its cache provenance.
+fn with_cached_flag(body: &str, cached: bool) -> Json {
+    match Json::parse(body) {
+        Ok(Json::Obj(mut pairs)) => {
+            pairs.retain(|(k, _)| k != "cached");
+            let at = pairs.len().min(1);
+            pairs.insert(at, ("cached".to_string(), Json::Bool(cached)));
+            Json::Obj(pairs)
+        }
+        _ => Json::Str(body.to_string()),
+    }
+}
+
+fn health_body(ctx: &Ctx) -> Json {
+    Json::obj([
+        ("ok", Json::Bool(true)),
+        ("service", Json::from("blazer-serve")),
+        ("version", Json::from(env!("CARGO_PKG_VERSION"))),
+        ("uptime_s", Json::secs(ctx.started.elapsed().as_secs_f64())),
+    ])
+}
+
+fn stats_body(ctx: &Ctx) -> Json {
+    let s = &ctx.stats;
+    Json::obj([
+        ("ok", Json::Bool(true)),
+        ("uptime_s", Json::secs(ctx.started.elapsed().as_secs_f64())),
+        ("workers", Json::from(ctx.workers)),
+        ("queue_depth", Json::from(ctx.queue_depth)),
+        ("requests", Json::from(s.requests.load(Ordering::SeqCst))),
+        ("analyze_requests", Json::from(s.analyze_requests.load(Ordering::SeqCst))),
+        ("analyses_run", Json::from(s.analyses_run.load(Ordering::SeqCst))),
+        (
+            "cache",
+            Json::obj([
+                ("entries", Json::from(ctx.cache.len())),
+                ("hits", Json::from(ctx.cache.hits())),
+                ("misses", Json::from(ctx.cache.misses())),
+            ]),
+        ),
+        ("crashes", Json::from(s.crashes.load(Ordering::SeqCst))),
+        ("client_errors", Json::from(s.client_errors.load(Ordering::SeqCst))),
+        ("busy_rejections", Json::from(s.busy_rejections.load(Ordering::SeqCst))),
+    ])
+}

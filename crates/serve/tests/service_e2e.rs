@@ -1,0 +1,166 @@
+//! End-to-end service tests: a real `Server` on an ephemeral port, spoken
+//! to over TCP by the real client — the same path `blazer client` uses.
+
+use blazer_core::{Blazer, Config, Verdict};
+use blazer_ir::json::Json;
+use blazer_serve::{client, AnalyzeRequest, ServeOptions, Server};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+const SAFE_SRC: &str = "fn check(high: int #high, low: int) { \
+    if (high == 0) { let i: int = 0; while (i < low) { i = i + 1; } } \
+    else { let i: int = low; while (i > 0) { i = i - 1; } } }";
+
+const UNSAFE_SRC: &str = "fn leak(h: int #high) { if (h == 0) { tick(90); } else { tick(1); } }";
+
+fn start_server(opts: ServeOptions) -> Server {
+    Server::start(ServeOptions { addr: "127.0.0.1:0".to_string(), ..opts })
+        .expect("bind ephemeral port")
+}
+
+fn scratch_path(stem: &str) -> std::path::PathBuf {
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+    std::env::temp_dir().join(format!(
+        "blazer-serve-{stem}-{}-{}.jsonl",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::SeqCst)
+    ))
+}
+
+/// The verdict a direct in-process run of the driver produces.
+fn direct_verdict(source: &str, function: &str) -> Verdict {
+    let program = blazer_lang::compile(source).expect("test source compiles");
+    Blazer::new(Config::microbench()).analyze(&program, function).expect("analysis runs").verdict
+}
+
+#[test]
+fn wire_verdicts_match_the_direct_driver() {
+    let server = start_server(ServeOptions::default());
+    let addr = server.addr().to_string();
+    for (source, function) in [(SAFE_SRC, "check"), (UNSAFE_SRC, "leak")] {
+        let (status, doc) =
+            client::analyze(&addr, &AnalyzeRequest::new(source)).expect("request round-trips");
+        assert_eq!(status, 200, "{doc}");
+        let direct = direct_verdict(source, function);
+        assert_eq!(doc.get("verdict").and_then(Json::as_str), Some(direct.code()));
+        assert_eq!(doc.get("function").and_then(Json::as_str), Some(function));
+        assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(true));
+        // An attack response carries the synthesized trail pair.
+        if direct.is_attack() {
+            assert!(!doc.get("attack").map(Json::is_null).unwrap_or(true));
+        }
+    }
+    server.stop();
+}
+
+#[test]
+fn resubmission_is_a_cache_hit() {
+    let server = start_server(ServeOptions::default());
+    let addr = server.addr().to_string();
+    let req = AnalyzeRequest::new(UNSAFE_SRC);
+    let (status, first) = client::analyze(&addr, &req).expect("first request");
+    assert_eq!(status, 200);
+    assert_eq!(first.get("cached").and_then(Json::as_bool), Some(false));
+    let (status, second) = client::analyze(&addr, &req).expect("second request");
+    assert_eq!(status, 200);
+    assert_eq!(second.get("cached").and_then(Json::as_bool), Some(true));
+    // Identical payload apart from the provenance flag.
+    assert_eq!(first.get("verdict"), second.get("verdict"));
+    assert_eq!(first.get("key"), second.get("key"));
+    // The hit is observable through GET /stats, as the issue requires.
+    let (_, stats) = client::stats(&addr).expect("stats");
+    let cache = stats.get("cache").expect("cache block");
+    assert_eq!(cache.get("hits").and_then(Json::as_u64), Some(1));
+    assert_eq!(cache.get("misses").and_then(Json::as_u64), Some(1));
+    assert_eq!(stats.get("analyses_run").and_then(Json::as_u64), Some(1));
+    // A different config is a different content address: no false hit.
+    let mut zoned = req.clone();
+    zoned.domain = blazer_core::DomainKind::Zone;
+    let (_, third) = client::analyze(&addr, &zoned).expect("third request");
+    assert_eq!(third.get("cached").and_then(Json::as_bool), Some(false));
+    server.stop();
+}
+
+#[test]
+fn malformed_requests_get_structured_errors_and_the_server_survives() {
+    let server = start_server(ServeOptions::default());
+    let addr = server.addr().to_string();
+    // Body is not JSON at all.
+    let (status, body) =
+        client::raw_request(&addr, "POST", "/analyze", Some("{not json")).expect("round-trips");
+    assert_eq!(status, 400);
+    let doc = Json::parse(&body).expect("error body is JSON");
+    assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(false));
+    assert!(doc.get("error").and_then(Json::as_str).is_some());
+    // Unknown member, missing source, compile error: all structured 400s.
+    for bad in [r#"{"frobnicate": 1}"#, r#"{"function": "f"}"#, r#"{"source": "fn broken( {"}"#] {
+        let (status, body) =
+            client::raw_request(&addr, "POST", "/analyze", Some(bad)).expect("round-trips");
+        assert_eq!(status, 400, "{bad} -> {body}");
+    }
+    // Unknown routes and wrong methods are structured too.
+    let (status, _) = client::raw_request(&addr, "GET", "/nope", None).expect("404 route");
+    assert_eq!(status, 404);
+    let (status, _) = client::raw_request(&addr, "DELETE", "/analyze", None).expect("405 route");
+    assert_eq!(status, 405);
+    // And the server is still alive and serving analyses.
+    let (status, doc) =
+        client::analyze(&addr, &AnalyzeRequest::new(UNSAFE_SRC)).expect("still serving");
+    assert_eq!(status, 200);
+    assert_eq!(doc.get("verdict").and_then(Json::as_str), Some("attack"));
+    let (_, stats) = client::stats(&addr).expect("stats");
+    assert!(stats.get("client_errors").and_then(Json::as_u64).unwrap_or(0) >= 6);
+    server.stop();
+}
+
+#[test]
+fn exhausted_request_budget_is_a_422_and_the_server_keeps_serving() {
+    let server = start_server(ServeOptions::default());
+    let addr = server.addr().to_string();
+    let mut starved = AnalyzeRequest::new(SAFE_SRC);
+    starved.timeout_s = Some(1e-9);
+    let (status, doc) = client::analyze(&addr, &starved).expect("round-trips");
+    assert_eq!(status, 422, "{doc}");
+    assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(doc.get("verdict").and_then(Json::as_str), Some("unknown"));
+    assert!(doc
+        .get("error")
+        .and_then(Json::as_str)
+        .is_some_and(|e| e.contains("budget exhausted")));
+    assert!(doc.get("budget").is_some(), "budget report attached: {doc}");
+    // Budget failures describe the request, not the program — they must
+    // not poison the cache for a properly-budgeted resubmission.
+    let (status, doc) =
+        client::analyze(&addr, &AnalyzeRequest::new(SAFE_SRC)).expect("round-trips");
+    assert_eq!(status, 200, "{doc}");
+    assert_eq!(doc.get("verdict").and_then(Json::as_str), Some("safe"));
+    assert_eq!(doc.get("cached").and_then(Json::as_bool), Some(false));
+    server.stop();
+}
+
+#[test]
+fn verdict_cache_survives_a_restart() {
+    let path = scratch_path("cache");
+    let req = AnalyzeRequest::new(UNSAFE_SRC);
+    let opts = || ServeOptions { cache_file: Some(path.clone()), ..ServeOptions::default() };
+    let first_key;
+    {
+        let server = start_server(opts());
+        let addr = server.addr().to_string();
+        let (status, doc) = client::analyze(&addr, &req).expect("first run");
+        assert_eq!(status, 200);
+        first_key = doc.get("key").and_then(Json::as_str).unwrap().to_string();
+        server.stop();
+    }
+    {
+        let server = start_server(opts());
+        let addr = server.addr().to_string();
+        let (status, doc) = client::analyze(&addr, &req).expect("after restart");
+        assert_eq!(status, 200, "{doc}");
+        assert_eq!(doc.get("cached").and_then(Json::as_bool), Some(true));
+        assert_eq!(doc.get("key").and_then(Json::as_str), Some(first_key.as_str()));
+        // The restarted server answered from disk without running the driver.
+        assert_eq!(server.stats().analyses_run.load(Ordering::SeqCst), 0);
+        server.stop();
+    }
+    let _ = std::fs::remove_file(&path);
+}

@@ -1,5 +1,5 @@
 //! The `blazer` command-line tool: analyze a surface-language file for
-//! timing channels.
+//! timing channels — directly, as a service, or against a service.
 //!
 //! ```console
 //! $ blazer program.blz check            # analyze function `check`
@@ -7,7 +7,11 @@
 //! $ blazer --domain zone program.blz check
 //! $ blazer --timeout 10 --max-lp-calls 100000 program.blz check
 //! $ blazer --threads 4 program.blz check
+//! $ blazer --json program.blz check     # machine-readable outcome
 //! $ blazer --concretize program.blz check
+//! $ blazer serve --addr 127.0.0.1:8645 --cache-file verdicts.jsonl
+//! $ blazer client --addr 127.0.0.1:8645 program.blz check
+//! $ blazer client --health
 //! ```
 //!
 //! Trail evaluation is parallel by default (machine parallelism); pin the
@@ -17,10 +21,13 @@
 //!
 //! Exit codes: 0 = safe, 1 = attack found, 2 = unknown (including budget
 //! exhaustion or an internal crash), 3 = usage, I/O, or compile error.
+//! `client` maps server responses onto the same codes.
 
 use blazer::core::{concretize_outcome, Blazer, Config, DomainKind, Verdict};
+use blazer::ir::json::Json;
+use blazer::serve::{api::AnalyzeRequest, client, report, ServeOptions, Server};
 use std::process::ExitCode;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Usage, I/O, and compile errors.
 const EXIT_USAGE: u8 = 3;
@@ -32,13 +39,15 @@ struct Options {
     function: Option<String>,
     config: Config,
     concretize: bool,
+    json: bool,
 }
 
-fn parse_args() -> Result<Options, String> {
+fn parse_args(args: Vec<String>) -> Result<Options, String> {
     let mut config = Config::microbench();
     let mut concretize = false;
+    let mut json = false;
     let mut positional = Vec::new();
-    let mut args = std::env::args().skip(1);
+    let mut args = args.into_iter();
     while let Some(a) = args.next() {
         match a.as_str() {
             "--observer" => match args.next().as_deref() {
@@ -47,25 +56,10 @@ fn parse_args() -> Result<Options, String> {
                 other => return Err(format!("--observer expects stac|degree, got {other:?}")),
             },
             "--domain" => {
-                config.domain = match args.next().as_deref() {
-                    Some("interval") => DomainKind::Interval,
-                    Some("zone") => DomainKind::Zone,
-                    Some("octagon") => DomainKind::Octagon,
-                    Some("polyhedra") => DomainKind::Polyhedra,
-                    other => {
-                        return Err(format!(
-                            "--domain expects interval|zone|octagon|polyhedra, got {other:?}"
-                        ))
-                    }
-                };
+                config.domain = parse_domain(args.next().as_deref())?;
             }
             "--timeout" => {
-                let secs = args
-                    .next()
-                    .and_then(|s| s.parse::<f64>().ok())
-                    .filter(|s| *s > 0.0)
-                    .ok_or("--timeout expects a positive number of seconds")?;
-                config = config.with_timeout(Duration::from_secs_f64(secs));
+                config = config.with_timeout(parse_timeout(args.next().as_deref())?);
             }
             "--max-lp-calls" => {
                 let n = args
@@ -84,10 +78,15 @@ fn parse_args() -> Result<Options, String> {
             }
             "--no-attack" => config.synthesize_attack = false,
             "--concretize" => concretize = true,
+            "--json" => json = true,
             "--help" | "-h" => {
                 return Err("usage: blazer [--observer stac|degree] [--domain D] \
                             [--timeout SECS] [--max-lp-calls N] [--threads N] \
-                            [--no-attack] [--concretize] <file> [function]"
+                            [--no-attack] [--concretize] [--json] <file> [function]\n\
+                            \x20      blazer serve [--addr A] [--workers N] [--queue N] \
+                            [--timeout SECS] [--cache-file PATH] [--analysis-threads N]\n\
+                            \x20      blazer client [--addr A] (--health | --stats | \
+                            <file> [function]) [--json] [analysis options]"
                     .to_string())
             }
             other => positional.push(other.to_string()),
@@ -95,17 +94,52 @@ fn parse_args() -> Result<Options, String> {
     }
     let mut positional = positional.into_iter();
     let file = positional.next().ok_or("missing input file (try --help)")?;
-    Ok(Options { file, function: positional.next(), config, concretize })
+    Ok(Options { file, function: positional.next(), config, concretize, json })
+}
+
+fn parse_domain(arg: Option<&str>) -> Result<DomainKind, String> {
+    match arg {
+        Some("interval") => Ok(DomainKind::Interval),
+        Some("zone") => Ok(DomainKind::Zone),
+        Some("octagon") => Ok(DomainKind::Octagon),
+        Some("polyhedra") => Ok(DomainKind::Polyhedra),
+        other => Err(format!("--domain expects interval|zone|octagon|polyhedra, got {other:?}")),
+    }
+}
+
+fn parse_timeout(arg: Option<&str>) -> Result<Duration, String> {
+    arg.and_then(|s| s.parse::<f64>().ok())
+        .filter(|s| *s > 0.0)
+        .map(Duration::from_secs_f64)
+        .ok_or_else(|| "--timeout expects a positive number of seconds".to_string())
 }
 
 fn main() -> ExitCode {
-    let opts = match parse_args() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("serve") => {
+            args.remove(0);
+            serve_main(args)
+        }
+        Some("client") => {
+            args.remove(0);
+            client_main(args)
+        }
+        _ => analyze_main(args),
+    }
+}
+
+// ---------------------------------------------------------------- analyze
+
+fn analyze_main(args: Vec<String>) -> ExitCode {
+    let opts = match parse_args(args) {
         Ok(o) => o,
         Err(msg) => {
             eprintln!("{msg}");
             return ExitCode::from(EXIT_USAGE);
         }
     };
+    let started = Instant::now();
     let source = match std::fs::read_to_string(&opts.file) {
         Ok(s) => s,
         Err(e) => {
@@ -154,6 +188,13 @@ fn main() -> ExitCode {
             return ExitCode::from(EXIT_UNKNOWN);
         }
     };
+    if opts.json {
+        print!(
+            "{}",
+            report::outcome_json(&program, &outcome, started.elapsed().as_secs_f64()).pretty()
+        );
+        return verdict_exit(&outcome.verdict);
+    }
     println!(
         "{function}: {} ({} basic blocks, safety {:.2}s{})",
         outcome.verdict,
@@ -186,22 +227,207 @@ fn main() -> ExitCode {
         }
     }
     println!("{}", outcome.render_tree(&program));
-    match &outcome.verdict {
-        Verdict::Safe => ExitCode::SUCCESS,
-        Verdict::Attack(spec) => {
-            println!("{spec}");
-            if opts.concretize {
-                match concretize_outcome(&program, &outcome, 500) {
-                    Some((a, b)) => {
-                        println!("witness inputs (equal lows, differing cost):");
-                        println!("  run A: {a:?}");
-                        println!("  run B: {b:?}");
-                    }
-                    None => println!("no concrete witness found within the attempt budget"),
+    if let Verdict::Attack(spec) = &outcome.verdict {
+        println!("{spec}");
+        if opts.concretize {
+            match concretize_outcome(&program, &outcome, 500) {
+                Some((a, b)) => {
+                    println!("witness inputs (equal lows, differing cost):");
+                    println!("  run A: {a:?}");
+                    println!("  run B: {b:?}");
                 }
+                None => println!("no concrete witness found within the attempt budget"),
             }
-            ExitCode::from(1)
         }
+    }
+    verdict_exit(&outcome.verdict)
+}
+
+fn verdict_exit(verdict: &Verdict) -> ExitCode {
+    match verdict {
+        Verdict::Safe => ExitCode::SUCCESS,
+        Verdict::Attack(_) => ExitCode::from(1),
         Verdict::Unknown(_) => ExitCode::from(EXIT_UNKNOWN),
+    }
+}
+
+// ------------------------------------------------------------------ serve
+
+fn serve_main(args: Vec<String>) -> ExitCode {
+    let mut opts = ServeOptions::default();
+    let mut args = args.into_iter();
+    let parsed = loop {
+        let Some(a) = args.next() else { break Ok(()) };
+        let result = match a.as_str() {
+            "--addr" => args.next().map(|v| opts.addr = v).ok_or("--addr expects HOST:PORT"),
+            "--workers" => args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .filter(|n| *n > 0)
+                .map(|n| opts.workers = Some(n))
+                .ok_or("--workers expects a positive integer"),
+            "--queue" => args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .filter(|n| *n > 0)
+                .map(|n| opts.queue_depth = n)
+                .ok_or("--queue expects a positive integer"),
+            "--timeout" => match parse_timeout(args.next().as_deref()) {
+                Ok(d) => {
+                    opts.max_timeout = Some(d);
+                    Ok(())
+                }
+                Err(_) => Err("--timeout expects a positive number of seconds"),
+            },
+            "--cache-file" => args
+                .next()
+                .map(|v| opts.cache_file = Some(v.into()))
+                .ok_or("--cache-file expects a path"),
+            "--analysis-threads" => args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .filter(|n| *n > 0)
+                .map(|n| opts.analysis_threads = n)
+                .ok_or("--analysis-threads expects a positive integer"),
+            other => break Err(format!("serve: unknown flag {other} (try --help)")),
+        };
+        if let Err(e) = result {
+            break Err(e.to_string());
+        }
+    };
+    if let Err(msg) = parsed {
+        eprintln!("{msg}");
+        return ExitCode::from(EXIT_USAGE);
+    }
+    let server = match Server::start(opts) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve: {e}");
+            return ExitCode::from(EXIT_USAGE);
+        }
+    };
+    println!("blazer-serve listening on {}", server.addr());
+    server.wait();
+    ExitCode::SUCCESS
+}
+
+// ----------------------------------------------------------------- client
+
+fn client_main(args: Vec<String>) -> ExitCode {
+    let mut addr = "127.0.0.1:8645".to_string();
+    let mut mode_health = false;
+    let mut mode_stats = false;
+    let mut json = false;
+    let mut req = AnalyzeRequest::new(String::new());
+    let mut positional = Vec::new();
+    let mut args = args.into_iter();
+    while let Some(a) = args.next() {
+        let parsed: Result<(), String> = match a.as_str() {
+            "--addr" => args.next().map(|v| addr = v).ok_or("--addr expects HOST:PORT".into()),
+            "--health" => {
+                mode_health = true;
+                Ok(())
+            }
+            "--stats" => {
+                mode_stats = true;
+                Ok(())
+            }
+            "--json" => {
+                json = true;
+                Ok(())
+            }
+            "--domain" => parse_domain(args.next().as_deref()).map(|d| req.domain = d),
+            "--observer" => match args.next().as_deref() {
+                Some(o @ ("stac" | "degree")) => {
+                    req.observer = o.to_string();
+                    Ok(())
+                }
+                other => Err(format!("--observer expects stac|degree, got {other:?}")),
+            },
+            "--timeout" => {
+                parse_timeout(args.next().as_deref()).map(|d| req.timeout_s = Some(d.as_secs_f64()))
+            }
+            "--max-lp-calls" => args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .map(|n| req.max_lp_calls = Some(n))
+                .ok_or("--max-lp-calls expects a non-negative integer".into()),
+            "--no-attack" => {
+                req.no_attack = true;
+                Ok(())
+            }
+            other => {
+                positional.push(other.to_string());
+                Ok(())
+            }
+        };
+        if let Err(msg) = parsed {
+            eprintln!("{msg}");
+            return ExitCode::from(EXIT_USAGE);
+        }
+    }
+    if mode_health || mode_stats {
+        let sent = if mode_health { client::health(&addr) } else { client::stats(&addr) };
+        return match sent {
+            Ok((200, doc)) => {
+                print!("{}", doc.pretty());
+                ExitCode::SUCCESS
+            }
+            Ok((status, doc)) => {
+                eprintln!("server answered {status}: {doc}");
+                ExitCode::from(EXIT_UNKNOWN)
+            }
+            Err(e) => {
+                eprintln!("client: {addr}: {e}");
+                ExitCode::from(EXIT_USAGE)
+            }
+        };
+    }
+    let mut positional = positional.into_iter();
+    let Some(file) = positional.next() else {
+        eprintln!("client: missing input file (or --health/--stats; try --help)");
+        return ExitCode::from(EXIT_USAGE);
+    };
+    req.source = match std::fs::read_to_string(&file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{file}: {e}");
+            return ExitCode::from(EXIT_USAGE);
+        }
+    };
+    req.function = positional.next();
+    let (status, doc) = match client::analyze(&addr, &req) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("client: {addr}: {e}");
+            return ExitCode::from(EXIT_USAGE);
+        }
+    };
+    if json {
+        print!("{}", doc.pretty());
+    } else if status == 200 {
+        println!(
+            "{}: {}{} ({} basic blocks, {}s on the server, key {})",
+            doc.get("function").and_then(Json::as_str).unwrap_or("?"),
+            doc.get("verdict").and_then(Json::as_str).unwrap_or("?"),
+            if doc.get("cached").and_then(Json::as_bool) == Some(true) { " [cached]" } else { "" },
+            doc.get("n_blocks").and_then(Json::as_u64).unwrap_or(0),
+            doc.get("wall_s").and_then(Json::as_f64).unwrap_or(0.0),
+            doc.get("key").and_then(Json::as_str).unwrap_or("?"),
+        );
+        if let Some(tree) = doc.get("tree").and_then(Json::as_str) {
+            println!("{tree}");
+        }
+    } else {
+        eprintln!(
+            "server answered {status}: {}",
+            doc.get("error").and_then(Json::as_str).unwrap_or("(no error message)")
+        );
+    }
+    match (status, doc.get("verdict").and_then(Json::as_str)) {
+        (200, Some("safe")) => ExitCode::SUCCESS,
+        (200, Some("attack")) => ExitCode::from(1),
+        (400, _) => ExitCode::from(EXIT_USAGE),
+        _ => ExitCode::from(EXIT_UNKNOWN),
     }
 }

@@ -46,6 +46,7 @@
 //! | [`bounds`] | `blazer-bounds` | symbolic running-time bounds, observers |
 //! | [`core`] | `blazer-core` | trails, quotient partitioning, the driver |
 //! | [`selfcomp`] | `blazer-selfcomp` | the self-composition baseline |
+//! | [`serve`] | `blazer-serve` | the concurrent HTTP analysis service |
 //! | [`benchmarks`] | `blazer-benchmarks` | the 24 Table-1 programs |
 
 #![forbid(unsafe_code)]
@@ -89,4 +90,5 @@ pub use blazer_interp as interp;
 pub use blazer_ir as ir;
 pub use blazer_lang as lang;
 pub use blazer_selfcomp as selfcomp;
+pub use blazer_serve as serve;
 pub use blazer_taint as taint;

@@ -145,3 +145,52 @@ fn cli_max_lp_calls_never_panics_and_degrades() {
         String::from_utf8_lossy(&out.stderr)
     );
 }
+
+#[test]
+fn cli_json_mode_emits_the_machine_readable_outcome() {
+    let f = write_temp(
+        "blazer_cli_json.blz",
+        "fn check(high: int #high) {
+            if (high == 0) { tick(100); } else { tick(1); }
+        }",
+    );
+    let out = blazer_cmd().arg("--json").arg(&f).arg("check").output().unwrap();
+    assert_eq!(out.status.code(), Some(1), "exit codes are unchanged in --json mode");
+    let doc = blazer::ir::json::Json::parse(&String::from_utf8_lossy(&out.stdout))
+        .expect("stdout is valid JSON");
+    use blazer::ir::json::Json;
+    assert_eq!(doc.get("function").and_then(Json::as_str), Some("check"));
+    assert_eq!(doc.get("verdict").and_then(Json::as_str), Some("attack"));
+    assert!(!doc.get("attack").map(Json::is_null).unwrap_or(true), "attack pair attached");
+    assert!(doc.get("budget").is_some());
+}
+
+#[test]
+fn cli_serve_and_client_round_trip() {
+    use std::io::BufRead;
+    // Ephemeral port: the server prints the resolved address on stdout.
+    let mut server = blazer_cmd()
+        .args(["serve", "--addr", "127.0.0.1:0"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    let mut first_line = String::new();
+    std::io::BufReader::new(server.stdout.take().unwrap()).read_line(&mut first_line).unwrap();
+    let addr = first_line.trim().rsplit(' ').next().unwrap().to_string();
+    let f = write_temp(
+        "blazer_cli_client.blz",
+        "fn check(high: int #high) {
+            if (high == 0) { tick(100); } else { tick(1); }
+        }",
+    );
+    let run = || blazer_cmd().args(["client", "--addr", &addr]).arg(&f).output().unwrap();
+    let out = run();
+    assert_eq!(out.status.code(), Some(1), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("attack"));
+    let out = run();
+    assert!(String::from_utf8_lossy(&out.stdout).contains("[cached]"), "resubmission hits");
+    let out = blazer_cmd().args(["client", "--addr", &addr, "--health"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    server.kill().unwrap();
+    let _ = server.wait();
+}
