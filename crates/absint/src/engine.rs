@@ -68,6 +68,17 @@ impl<D: AbstractDomain> AnalysisResult<D> {
     }
 }
 
+/// What one fixpoint run cost and how it started — surfaced so the driver
+/// can report the pass savings of incremental seeding.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FixpointStats {
+    /// Iteration passes consumed: increasing (widening) plus decreasing
+    /// (narrowing) sweeps over the graph.
+    pub passes: u64,
+    /// Whether the run started from a non-⊥ seed iterate.
+    pub seeded: bool,
+}
+
 /// Runs the fixpoint on `graph` starting from `init` at the entry node.
 ///
 /// Widening (with a small delay counted in back-edge-contributing joins) is
@@ -80,9 +91,43 @@ pub fn analyze<D: AbstractDomain>(
     graph: &ProductGraph,
     init: D,
 ) -> AnalysisResult<D> {
+    analyze_from(program, f, dims, graph, init, None).0
+}
+
+/// [`analyze`], but starting the increasing iteration from `seed` (one
+/// state per product node) instead of ⊥-everywhere, and reporting pass
+/// counts.
+///
+/// Any seed is sound: the increasing loop is inflationary (each update
+/// joins the previous iterate), so whatever it starts from, the converged
+/// states satisfy `state ⊇ F(state)` at every node — a post-fixpoint of
+/// the abstract transition function, which over-approximates concrete
+/// reachability — and narrowing preserves that. A seed *above* the least
+/// fixpoint (e.g. a parent trail's post-states) converges in fewer passes;
+/// a seed unrelated to it merely wastes precision, never soundness.
+pub fn analyze_from<D: AbstractDomain>(
+    program: &Program,
+    f: &Function,
+    dims: &DimMap,
+    graph: &ProductGraph,
+    init: D,
+    seed: Option<Vec<D>>,
+) -> (AnalysisResult<D>, FixpointStats) {
     let n = graph.len();
-    let mut states: Vec<D> = (0..n).map(|_| D::bottom(dims.n_dims())).collect();
-    states[graph.entry().0] = init.clone();
+    let mut stats = FixpointStats { passes: 0, seeded: seed.is_some() };
+    let mut states: Vec<D> = match seed {
+        Some(seed) => {
+            debug_assert_eq!(seed.len(), n, "seed must cover every product node");
+            seed
+        }
+        None => (0..n).map(|_| D::bottom(dims.n_dims())).collect(),
+    };
+    states[graph.entry().0] = if stats.seeded {
+        // Keep the seeded entry state too: the iterate may only grow.
+        states[graph.entry().0].join(&init)
+    } else {
+        init.clone()
+    };
 
     let widen_at: Vec<bool> = {
         let mut v = vec![false; n];
@@ -130,9 +175,10 @@ pub fn analyze<D: AbstractDomain>(
             for s in result.states.iter_mut() {
                 *s = D::top(dims.n_dims());
             }
-            return result;
+            return (result, stats);
         }
         passes += 1;
+        stats.passes += 1;
         let mut changed = false;
         for &node in &rpo {
             // A single pass over an expensive domain can outlive the whole
@@ -146,7 +192,7 @@ pub fn analyze<D: AbstractDomain>(
                 for s in result.states.iter_mut() {
                     *s = D::top(dims.n_dims());
                 }
-                return result;
+                return (result, stats);
             }
             let mut incoming =
                 if node == graph.entry() { init.clone() } else { D::bottom(dims.n_dims()) };
@@ -216,8 +262,9 @@ pub fn analyze<D: AbstractDomain>(
             // The increasing phase converged, so `result` is already a sound
             // post-fixpoint; narrowing only refines it. Stop here.
             blazer_ir::budget::note_degradation("absint: narrowing skipped by exhausted budget");
-            return result;
+            return (result, stats);
         }
+        stats.passes += 1;
         for &node in &rpo {
             // As in the increasing phase: the converged iterate is already
             // sound, so a mid-pass deadline just stops refinement here.
@@ -225,7 +272,7 @@ pub fn analyze<D: AbstractDomain>(
                 blazer_ir::budget::note_degradation(
                     "absint: narrowing stopped by deadline mid-pass",
                 );
-                return result;
+                return (result, stats);
             }
             let mut incoming =
                 if node == graph.entry() { init.clone() } else { D::bottom(dims.n_dims()) };
@@ -242,7 +289,7 @@ pub fn analyze<D: AbstractDomain>(
             result.states[node.0] = incoming;
         }
     }
-    result
+    (result, stats)
 }
 
 #[cfg(test)]

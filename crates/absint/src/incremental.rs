@@ -1,0 +1,164 @@
+//! Incremental fixpoint seeding across trail splits.
+//!
+//! When the driver splits a trail, each child trail's language is a subset
+//! of the parent's, so every child execution is also a parent execution and
+//! the parent's per-location invariants over-approximate the child's
+//! reachable states. A [`SeedMap`] captures the parent's converged
+//! post-states keyed by *CFG node* (the minimized child and parent DFAs
+//! have no canonical state correspondence, but their product nodes project
+//! onto the same CFG), and [`SeedMap::seed_states`] replays them as the
+//! starting iterate of the child's fixpoint instead of ⊥-everywhere.
+//!
+//! Soundness does not actually depend on the seed being an
+//! over-approximation: the engine's increasing iteration is inflationary
+//! (every update joins the old state), so from *any* starting iterate it
+//! converges to a post-fixpoint of the abstract transition function, which
+//! over-approximates concrete reachability; narrowing from a post-fixpoint
+//! is sound as usual. The parent-post choice matters for *precision*: it is
+//! already above the child's least fixpoint, so widening has less climbing
+//! to do and stabilization takes fewer passes without overshooting the
+//! from-⊥ result (the driver still double-checks that on debug builds).
+//!
+//! States are stored domain-neutrally as [`Polyhedron`]s so one map seeds
+//! every rung of the degradation ladder's domain; the round-trip through
+//! [`AbstractDomain::from_polyhedron`] is exact for the workspace domains.
+
+use crate::product::ProductGraph;
+use blazer_domains::{AbstractDomain, Polyhedron};
+use std::collections::BTreeMap;
+
+/// Per-CFG-location abstract post-states of one converged trail analysis,
+/// ready to seed a descendant trail's fixpoint.
+#[derive(Debug, Clone)]
+pub struct SeedMap {
+    /// Joined post-state per CFG node index ([`blazer_ir::NodeId::index`]).
+    /// Locations absent from the map were unreachable (bottom) under the
+    /// parent trail.
+    per_cfg: BTreeMap<usize, Polyhedron>,
+    /// Dimension count of the stored polyhedra (one layout per function).
+    n_dims: usize,
+}
+
+impl SeedMap {
+    /// Collapses a converged fixpoint over `graph` into per-CFG-node
+    /// states: product nodes projecting onto the same CFG node are joined
+    /// (a child product node can correspond to any of them).
+    pub fn from_states<D: AbstractDomain>(
+        graph: &ProductGraph,
+        states: &[D],
+        n_dims: usize,
+    ) -> Self {
+        let mut per_cfg: BTreeMap<usize, Polyhedron> = BTreeMap::new();
+        for (i, node) in graph.nodes().iter().enumerate() {
+            let state = &states[i];
+            if state.is_bottom() {
+                continue;
+            }
+            let poly = state.to_polyhedron();
+            match per_cfg.entry(node.cfg_node.index()) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(poly);
+                }
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    let joined = e.get().join(&poly);
+                    e.insert(joined);
+                }
+            }
+        }
+        SeedMap { per_cfg, n_dims }
+    }
+
+    /// The stored post-state at a CFG node index, if that location was
+    /// reachable.
+    pub fn state_at(&self, cfg_index: usize) -> Option<&Polyhedron> {
+        self.per_cfg.get(&cfg_index)
+    }
+
+    /// How many CFG locations carry a (non-bottom) state.
+    pub fn len(&self) -> usize {
+        self.per_cfg.len()
+    }
+
+    /// Whether no location carries a state.
+    pub fn is_empty(&self) -> bool {
+        self.per_cfg.is_empty()
+    }
+
+    /// The dimension count the stored states are expressed over.
+    pub fn n_dims(&self) -> usize {
+        self.n_dims
+    }
+
+    /// Materializes the starting iterate for a descendant trail's product
+    /// graph: each product node gets the stored state of its CFG
+    /// projection (restricted to what domain `D` can represent), or ⊥ when
+    /// the location was unreachable under the ancestor.
+    pub fn seed_states<D: AbstractDomain>(&self, graph: &ProductGraph) -> Vec<D> {
+        graph
+            .nodes()
+            .iter()
+            .map(|node| match self.per_cfg.get(&node.cfg_node.index()) {
+                Some(poly) => D::from_polyhedron(poly, self.n_dims),
+                None => D::bottom(self.n_dims),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dims::DimMap;
+    use crate::engine::analyze;
+    use crate::transfer::entry_state;
+    use blazer_domains::{IntervalVec, Zone};
+    use blazer_ir::Cfg;
+    use blazer_lang::compile;
+
+    #[test]
+    fn roundtrips_post_states_by_cfg_node() {
+        let p = compile("fn f(n: int) { let i: int = 0; while (i < n) { i = i + 1; } }").unwrap();
+        let f = p.function("f").unwrap();
+        let cfg = Cfg::new(f);
+        let dims = DimMap::new(f);
+        let g = ProductGraph::full(f, &cfg);
+        let init: Polyhedron = entry_state(f, &dims);
+        let r = analyze(&p, f, &dims, &g, init);
+        let map = SeedMap::from_states(&g, &r.states, dims.n_dims());
+        // The unrestricted product is CFG-isomorphic: every reachable node
+        // round-trips exactly (polyhedron → polyhedron is the identity).
+        assert!(!map.is_empty());
+        let seeded: Vec<Polyhedron> = map.seed_states(&g);
+        for (i, node) in g.nodes().iter().enumerate() {
+            if r.states[i].is_bottom() {
+                continue;
+            }
+            assert!(seeded[i].includes(&r.states[i]), "node {i}");
+            assert!(r.states[i].includes(&seeded[i]), "node {i}");
+            assert!(map.state_at(node.cfg_node.index()).is_some());
+        }
+    }
+
+    #[test]
+    fn seeding_weaker_domains_over_approximates() {
+        let p = compile("fn f(n: int) { let i: int = 0; while (i < n) { i = i + 1; } }").unwrap();
+        let f = p.function("f").unwrap();
+        let cfg = Cfg::new(f);
+        let dims = DimMap::new(f);
+        let g = ProductGraph::full(f, &cfg);
+        let init: Polyhedron = entry_state(f, &dims);
+        let r = analyze(&p, f, &dims, &g, init);
+        let map = SeedMap::from_states(&g, &r.states, dims.n_dims());
+        // Reconstructing into coarser domains keeps every original state
+        // included (the reconstruction drops constraints, never adds).
+        let zones: Vec<Zone> = map.seed_states(&g);
+        let intervals: Vec<IntervalVec> = map.seed_states(&g);
+        for i in 0..g.len() {
+            if r.states[i].is_bottom() {
+                continue;
+            }
+            assert!(zones[i].to_polyhedron().includes(&r.states[i]), "zone node {i}");
+            assert!(intervals[i].to_polyhedron().includes(&r.states[i]), "interval node {i}");
+        }
+    }
+}

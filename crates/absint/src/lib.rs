@@ -21,7 +21,11 @@
 //!   narrowing pass, generic over any [`blazer_domains::AbstractDomain`];
 //! * [`seeding`] computes per-loop *transition invariants* (the relation
 //!   between one loop-header visit and the next) by re-running the engine
-//!   on a header-split copy of the loop.
+//!   on a header-split copy of the loop;
+//! * [`incremental`] carries converged per-location post-states across
+//!   trail-tree splits ([`incremental::SeedMap`]), so a child trail's
+//!   fixpoint starts from its parent's invariants instead of ⊥ — distinct
+//!   from [`seeding`], which is the transition-invariant technique.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,12 +33,14 @@
 pub mod alphabet;
 pub mod dims;
 pub mod engine;
+pub mod incremental;
 pub mod product;
 pub mod seeding;
 pub mod transfer;
 
 pub use alphabet::EdgeAlphabet;
 pub use dims::DimMap;
-pub use engine::{analyze, AnalysisResult};
+pub use engine::{analyze, analyze_from, AnalysisResult, FixpointStats};
+pub use incremental::SeedMap;
 pub use product::{ProductGraph, ProductNodeId};
 pub use seeding::loop_transition_invariant;

@@ -1,0 +1,121 @@
+//! Compares two Table-1 JSON snapshots and fails on any verdict drift.
+//!
+//! Usage: `snapshot_diff <committed.json> <fresh.json>`.
+//!
+//! The committed snapshot (`BENCH_table1.json` at the repo root) is the
+//! contract: every benchmark it names must appear in the fresh run with
+//! the same verdict and the same `matches_paper` flag, and the fresh run
+//! must not invent or drop benchmarks. Wall times are noisy across
+//! machines and are never compared. The deterministic work counters
+//! (`fixpoint_passes`, seeding split) are *reported* when they move —
+//! that's the perf trajectory the snapshot exists to track — but only
+//! verdict changes fail the diff, so a pure perf change still needs a
+//! human to re-commit the snapshot deliberately.
+
+use blazer_ir::json::Json;
+use std::process::ExitCode;
+
+/// One row distilled to the fields the diff cares about.
+struct RowView {
+    name: String,
+    verdict: String,
+    matches_paper: bool,
+    fixpoint_passes: Option<u64>,
+    trails_seeded: Option<u64>,
+}
+
+fn load(path: &str) -> Result<Vec<RowView>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+    let rows = doc
+        .get("benchmarks")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{path}: no \"benchmarks\" array"))?;
+    rows.iter()
+        .map(|row| {
+            let field = |k: &str| {
+                row.get(k)
+                    .and_then(Json::as_str)
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("{path}: row missing \"{k}\""))
+            };
+            Ok(RowView {
+                name: field("name")?,
+                verdict: field("verdict")?,
+                matches_paper: row
+                    .get("matches_paper")
+                    .and_then(Json::as_bool)
+                    .ok_or_else(|| format!("{path}: row missing \"matches_paper\""))?,
+                fixpoint_passes: row.get("fixpoint_passes").and_then(Json::as_u64),
+                trails_seeded: row
+                    .get("seeds")
+                    .and_then(|s| s.get("trails_seeded"))
+                    .and_then(Json::as_u64),
+            })
+        })
+        .collect()
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let (Some(committed_path), Some(fresh_path)) = (args.next(), args.next()) else {
+        eprintln!("usage: snapshot_diff <committed.json> <fresh.json>");
+        return ExitCode::from(2);
+    };
+    let (committed, fresh) = match (load(&committed_path), load(&fresh_path)) {
+        (Ok(c), Ok(f)) => (c, f),
+        (c, f) => {
+            for e in [c.err(), f.err()].into_iter().flatten() {
+                eprintln!("snapshot_diff: {e}");
+            }
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut failures = 0usize;
+    let mut perf_moves = 0usize;
+    for want in &committed {
+        let Some(got) = fresh.iter().find(|r| r.name == want.name) else {
+            println!("MISSING   {:<22} absent from {fresh_path}", want.name);
+            failures += 1;
+            continue;
+        };
+        if got.verdict != want.verdict || got.matches_paper != want.matches_paper {
+            println!(
+                "VERDICT   {:<22} {} (matches_paper={}) -> {} (matches_paper={})",
+                want.name, want.verdict, want.matches_paper, got.verdict, got.matches_paper
+            );
+            failures += 1;
+            continue;
+        }
+        // Counter drift is informational: print it so the perf trajectory
+        // is visible in CI logs, but let verdict-stable runs pass.
+        if let (Some(a), Some(b)) = (want.fixpoint_passes, got.fixpoint_passes) {
+            if a != b {
+                let seeds = match (want.trails_seeded, got.trails_seeded) {
+                    (Some(sa), Some(sb)) if sa != sb => {
+                        format!(" (trails seeded {sa} -> {sb})")
+                    }
+                    _ => String::new(),
+                };
+                println!("passes    {:<22} {a} -> {b}{seeds}", want.name);
+                perf_moves += 1;
+            }
+        }
+    }
+    for extra in fresh.iter().filter(|r| !committed.iter().any(|c| c.name == r.name)) {
+        println!("EXTRA     {:<22} not in {committed_path}", extra.name);
+        failures += 1;
+    }
+
+    println!(
+        "{} benchmark(s) compared, {failures} verdict failure(s), {perf_moves} counter move(s)",
+        committed.len()
+    );
+    if failures > 0 {
+        println!("snapshot diff FAILED against {committed_path}");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -22,7 +22,7 @@
 //! compare `BLAZER_THREADS=1` against `BLAZER_THREADS=4` runs.
 
 use blazer_bench::{config_for, try_run_benchmark, Row};
-use blazer_core::Verdict;
+use blazer_core::{SeedStats, Verdict};
 use blazer_ir::json::Json;
 use blazer_serve::pool;
 use std::time::Instant;
@@ -37,6 +37,10 @@ struct JsonRow {
     matches_paper: bool,
     safety_s: Option<f64>,
     with_attack_s: Option<f64>,
+    /// Deterministic work counters (`None` for crash rows): total fixpoint
+    /// passes plus the per-trail seeding split. Wall times are noisy across
+    /// machines; these are the numbers the snapshot diff can trust.
+    counters: Option<(u64, SeedStats)>,
 }
 
 impl JsonRow {
@@ -49,6 +53,19 @@ impl JsonRow {
             ("matches_paper", Json::from(self.matches_paper)),
             ("safety_s", self.safety_s.map_or(Json::Null, Json::secs)),
             ("with_attack_s", self.with_attack_s.map_or(Json::Null, Json::secs)),
+            ("fixpoint_passes", self.counters.map_or(Json::Null, |(p, _)| Json::from(p))),
+            (
+                "seeds",
+                self.counters.map_or(Json::Null, |(_, s)| {
+                    Json::obj([
+                        ("trails_seeded", Json::from(s.trails_seeded)),
+                        ("trails_unseeded", Json::from(s.trails_unseeded)),
+                        ("seeds_rejected", Json::from(s.seeds_rejected)),
+                        ("seeded_passes", Json::from(s.seeded_passes)),
+                        ("unseeded_passes", Json::from(s.unseeded_passes)),
+                    ])
+                }),
+            ),
         ])
     }
 }
@@ -122,6 +139,7 @@ fn main() {
                     matches_paper: false,
                     safety_s: None,
                     with_attack_s: None,
+                    counters: None,
                 });
                 continue;
             }
@@ -154,6 +172,7 @@ fn main() {
             matches_paper: ok,
             safety_s: Some(row.safety_time.as_secs_f64()),
             with_attack_s: row.with_attack_time.map(|d| d.as_secs_f64()),
+            counters: Some((row.fixpoint_passes, row.seed_stats)),
         });
     }
     let total_wall_s = started.elapsed().as_secs_f64();

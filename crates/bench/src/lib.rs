@@ -7,7 +7,7 @@
 #![forbid(unsafe_code)]
 
 use blazer_benchmarks::{Benchmark, Expected, Group};
-use blazer_core::{AnalysisOutcome, Blazer, Config, Verdict};
+use blazer_core::{AnalysisOutcome, Blazer, Config, SeedStats, Verdict};
 use std::time::Duration;
 
 /// The analysis configuration for a benchmark group (the two observer
@@ -39,6 +39,14 @@ pub struct Row {
     pub expected: Expected,
     pub safety_time: Duration,
     pub with_attack_time: Option<Duration>,
+    /// Total fixpoint passes the analysis consumed (from the budget
+    /// ledger: top-level trail fixpoints, nested loop summaries, and the
+    /// attack phase alike). Deterministic at every thread width, so the
+    /// snapshot can track the incremental-seeding savings across commits.
+    pub fixpoint_passes: u64,
+    /// Per-trail seeding counters (trails seeded vs from-⊥, top-level pass
+    /// split, rejected seeds).
+    pub seed_stats: SeedStats,
 }
 
 impl Row {
@@ -68,6 +76,8 @@ pub fn run_benchmark(b: &Benchmark, runs: usize) -> Row {
         group: b.group,
         size: o.n_blocks,
         with_attack_time: o.attack_time.map(|a| o.safety_time + a),
+        fixpoint_passes: o.budget_report.fixpoint_passes,
+        seed_stats: o.seed_stats,
         verdict: o.verdict,
         expected: b.expected,
         safety_time: o.safety_time,
@@ -116,6 +126,8 @@ mod tests {
             expected,
             safety_time: Duration::from_millis(1),
             with_attack_time: None,
+            fixpoint_passes: 0,
+            seed_stats: SeedStats::default(),
         };
         let unknown = || Verdict::Unknown(blazer_core::UnknownReason::SearchExhausted);
         assert!(row(Verdict::Safe, Expected::Safe).matches_paper());

@@ -9,7 +9,8 @@
 use crate::cost_expr::{CostExpr, Poly};
 use crate::extraction::{pick_best, symbolic_infs, symbolic_sups};
 use crate::lemmas::{backsubst_through_block, match_counter_lemmas, stay_ranking, IterationBounds};
-use blazer_absint::engine::{analyze, AnalysisResult};
+use blazer_absint::engine::{analyze_from, AnalysisResult};
+use blazer_absint::incremental::SeedMap;
 use blazer_absint::product::{ProductGraph, ProductNodeId};
 use blazer_absint::seeding::{header_split_graph, loop_transition_invariant};
 use blazer_absint::transfer::transfer_inst;
@@ -20,7 +21,7 @@ use blazer_ir::{CallCost, Function, Inst, Program};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// The outcome of bound analysis on one (trail-restricted) graph.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BoundResult {
     /// Symbolic lower bound on the cost of any complete trace, or `None`
     /// when no trace reaches an accepted exit (the trail is empty).
@@ -50,6 +51,47 @@ pub fn graph_bounds<D: AbstractDomain>(
     cost_model: &CostModel,
     seeds: &BTreeSet<usize>,
 ) -> BoundResult {
+    graph_bounds_seeded(program, f, dims, graph, init, cost_model, seeds, None, false).result
+}
+
+/// A [`graph_bounds_seeded`] outcome: the bounds plus the converged
+/// per-location post-states (for seeding descendant trails) and the
+/// top-level fixpoint's pass count.
+#[derive(Debug, Clone)]
+pub struct SeededBounds {
+    /// The symbolic cost bounds.
+    pub result: BoundResult,
+    /// Per-CFG-location post-states of the trail's *top-level* fixpoint,
+    /// collected only when requested and the analysis actually ran (absent
+    /// on a budget-skipped run, whose states were never computed).
+    pub post: Option<SeedMap>,
+    /// Increasing + narrowing passes of the top-level fixpoint (nested
+    /// loop-summary fixpoints are excluded: they are never seeded, so this
+    /// isolates what seeding can save).
+    pub top_passes: u64,
+    /// Whether the top-level fixpoint started from a seed.
+    pub seeded: bool,
+}
+
+/// [`graph_bounds`] with incremental fixpoint seeding: the trail's
+/// top-level abstract interpretation starts from `seed` (an ancestor
+/// trail's [`SeedMap`]) when given, and the converged post-states are
+/// handed back (as `post`, when `collect_post`) so the caller can seed the
+/// trail's own children in turn. Nested header-split fixpoints inside loop
+/// summaries always run unseeded: their graphs are per-loop constructions
+/// with no parent counterpart.
+#[allow(clippy::too_many_arguments)]
+pub fn graph_bounds_seeded<D: AbstractDomain>(
+    program: &Program,
+    f: &Function,
+    dims: &DimMap,
+    graph: &ProductGraph,
+    init: &D,
+    cost_model: &CostModel,
+    seeds: &BTreeSet<usize>,
+    seed: Option<&SeedMap>,
+    collect_post: bool,
+) -> SeededBounds {
     if blazer_ir::budget::check().is_err() {
         // Degraded answer: cost is trivially ≥ 0 and unknown above. The
         // missing upper bound can only make interval comparison *wider*
@@ -57,11 +99,25 @@ pub fn graph_bounds<D: AbstractDomain>(
         blazer_ir::budget::note_degradation(
             "bounds: analysis skipped by exhausted budget; answering [0, ∞)",
         );
-        return BoundResult { lower: Some(CostExpr::zero()), upper: None };
+        return SeededBounds {
+            result: BoundResult { lower: Some(CostExpr::zero()), upper: None },
+            post: None,
+            top_passes: 0,
+            seeded: false,
+        };
     }
-    let prepared = prepare(program, f, dims, graph, init, cost_model, seeds, 0);
+    let seed_states: Option<Vec<D>> = seed.map(|sm| sm.seed_states(graph));
+    let seeded = seed_states.is_some();
+    let prepared = prepare(program, f, dims, graph, init, cost_model, seeds, seed_states, 0);
     let (lower, upper) = dp(program, f, dims, graph, &prepared, cost_model, seeds, graph.exits());
-    BoundResult { lower, upper }
+    let post =
+        collect_post.then(|| SeedMap::from_states(graph, &prepared.res.states, dims.n_dims()));
+    SeededBounds {
+        result: BoundResult { lower, upper },
+        post,
+        top_passes: prepared.top_passes,
+        seeded,
+    }
 }
 
 /// Recursion-depth cap: benchmark programs nest a handful of loops; beyond
@@ -79,6 +135,8 @@ struct Prepared<D> {
     exit_summaries: Vec<BTreeMap<usize, (CostExpr, Option<CostExpr>)>>,
     /// Per SCC: whether entries are well-formed (single header).
     wellformed: Vec<bool>,
+    /// Passes of this graph's own fixpoint (excluding nested summaries).
+    top_passes: u64,
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -90,9 +148,10 @@ fn prepare<D: AbstractDomain>(
     init: &D,
     cost_model: &CostModel,
     seeds: &BTreeSet<usize>,
+    seed_states: Option<Vec<D>>,
     depth: usize,
 ) -> Prepared<D> {
-    let res = analyze(program, f, dims, graph, init.clone());
+    let (res, stats) = analyze_from(program, f, dims, graph, init.clone(), seed_states);
     let feasible: Vec<bool> = (0..graph.edges().len())
         .map(|ei| {
             let e = &graph.edges()[ei];
@@ -115,7 +174,7 @@ fn prepare<D: AbstractDomain>(
         exit_summaries.push(summary);
         wellformed.push(ok);
     }
-    Prepared { res, feasible, scc_of, exit_summaries, wellformed }
+    Prepared { res, feasible, scc_of, exit_summaries, wellformed, top_passes: stats.passes }
 }
 
 /// Summarizes one loop: returns per-exit-edge cost summaries, whether the
@@ -240,7 +299,7 @@ fn summarize_loop<D: AbstractDomain>(
     // One-iteration body bounds via the header-split graph.
     let (split, sink) = header_split_graph(graph, scc, header);
     let split_prepared =
-        prepare(program, f, dims, &split, head_state, cost_model, seeds, depth + 1);
+        prepare(program, f, dims, &split, head_state, cost_model, seeds, None, depth + 1);
     let (body_lo, body_hi) =
         dp(program, f, dims, &split, &split_prepared, cost_model, seeds, &[sink]);
     let (iter_lo, iter_hi, body_lo, body_hi) = match body_lo {

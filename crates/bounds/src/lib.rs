@@ -32,7 +32,7 @@ pub mod extraction;
 pub mod lemmas;
 pub mod observer;
 
-pub use analysis::{graph_bounds, BoundResult};
+pub use analysis::{graph_bounds, graph_bounds_seeded, BoundResult, SeededBounds};
 pub use cost_expr::{CostExpr, Poly};
 pub use lemmas::IterationBounds;
 pub use observer::{Observer, SeedAssignment};

@@ -7,9 +7,9 @@ use crate::refine::{block_split, refine_partition, RefineMode};
 use crate::trail::BranchSyms;
 use crate::tree::{NodeStatus, SplitKind, TrailTree};
 use blazer_absint::transfer::entry_state;
-use blazer_absint::{DimMap, EdgeAlphabet, ProductGraph};
+use blazer_absint::{DimMap, EdgeAlphabet, ProductGraph, SeedMap};
 use blazer_automata::{Dfa, Regex};
-use blazer_bounds::{graph_bounds, BoundResult, Observer};
+use blazer_bounds::{graph_bounds_seeded, BoundResult, Observer, SeededBounds};
 use blazer_domains::{AbstractDomain, IntervalVec, Octagon, Polyhedron, Zone};
 use blazer_interp::Value;
 use blazer_ir::budget::{self, Budget, BudgetReport, Resource};
@@ -93,6 +93,13 @@ pub struct Config {
     /// Verdicts, tree shapes, and degradation lists are identical at every
     /// width — threads change wall-clock time only.
     pub threads: Option<usize>,
+    /// Whether child trails' fixpoints are seeded from their parent's
+    /// converged post-states (incremental fixpoint seeding). Defaults to
+    /// `true`; `BLAZER_NO_SEED=1` disables it at runtime for A/B
+    /// comparisons. Seeding changes pass counts, never verdicts: on debug
+    /// builds every seeded result is checked against a from-⊥ rerun and
+    /// rejected (with a from-⊥ fallback) if it differs.
+    pub seed_fixpoints: bool,
 }
 
 impl Config {
@@ -108,6 +115,7 @@ impl Config {
             domain: DomainKind::Polyhedra,
             budget: Budget::unlimited(),
             threads: None,
+            seed_fixpoints: true,
         }
     }
 
@@ -157,6 +165,22 @@ impl Config {
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = Some(threads.max(1));
         self
+    }
+
+    /// Builder-style incremental-seeding override (`false` = every trail's
+    /// fixpoint starts from ⊥, the pre-seeding behavior).
+    pub fn with_seeding(mut self, seed_fixpoints: bool) -> Self {
+        self.seed_fixpoints = seed_fixpoints;
+        self
+    }
+
+    /// Whether incremental fixpoint seeding is active: the config flag,
+    /// unless `BLAZER_NO_SEED` (set to anything but `0`) switches it off.
+    pub fn effective_seeding(&self) -> bool {
+        if std::env::var("BLAZER_NO_SEED").is_ok_and(|v| v.trim() != "0" && !v.trim().is_empty()) {
+            return false;
+        }
+        self.seed_fixpoints
     }
 
     /// The evaluation width actually used: an explicit [`Config::threads`]
@@ -300,6 +324,40 @@ impl fmt::Display for DegradeReason {
     }
 }
 
+/// What incremental fixpoint seeding did during one analysis: how many
+/// evaluated trails started from a parent's post-states vs. from ⊥, and
+/// how many seeded results the debug-path soundness check rejected
+/// (falling back to the from-⊥ result — nonzero only when a seed lost
+/// precision, which the committed benchmark suite never exhibits).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SeedStats {
+    /// Trails whose top-level fixpoint started from a parent seed.
+    pub trails_seeded: u64,
+    /// Trails evaluated from ⊥ (the root, cache-missing parents, degraded
+    /// ladders, or seeding disabled).
+    pub trails_unseeded: u64,
+    /// Seeded results rejected by the debug equivalence check.
+    pub seeds_rejected: u64,
+    /// Fixpoint passes of seeded top-level runs (their nested loop
+    /// summaries excluded).
+    pub seeded_passes: u64,
+    /// Fixpoint passes of from-⊥ top-level runs.
+    pub unseeded_passes: u64,
+}
+
+impl SeedStats {
+    fn absorb_eval(&mut self, out: &EvalOut) {
+        if out.seeded {
+            self.trails_seeded += 1;
+            self.seeded_passes += out.top_passes;
+        } else {
+            self.trails_unseeded += 1;
+            self.unseeded_passes += out.top_passes;
+        }
+        self.seeds_rejected += u64::from(out.seed_rejected);
+    }
+}
+
 /// The complete result of analyzing one function.
 #[derive(Debug, Clone)]
 pub struct AnalysisOutcome {
@@ -320,6 +378,9 @@ pub struct AnalysisOutcome {
     pub degradations: Vec<Degradation>,
     /// What the analysis consumed against its [`Budget`].
     pub budget_report: BudgetReport,
+    /// What incremental fixpoint seeding did (all zeros on the fast path
+    /// and when seeding is disabled).
+    pub seed_stats: SeedStats,
 }
 
 impl AnalysisOutcome {
@@ -374,11 +435,14 @@ struct BoundKey {
 
 /// A memoized bound computation: the result plus the domain fallbacks taken
 /// while computing it (re-emitted, re-keyed to the requesting node, on every
-/// cache hit so per-node degradation reporting stays meaningful).
+/// cache hit so per-node degradation reporting stays meaningful) and — when
+/// the run stayed on the configured domain with a clean budget — the
+/// converged per-location post-states, ready to seed this trail's children.
 #[derive(Debug, Clone)]
 struct CachedBounds {
     result: BoundResult,
     degradations: Vec<(DomainKind, DomainKind, DegradeReason)>,
+    post: Option<Arc<SeedMap>>,
 }
 
 /// Per-analysis memoization: bound results keyed by [`BoundKey`], and
@@ -404,7 +468,24 @@ struct EvalCtx<'a> {
 }
 
 /// One node's evaluation outcome before it is merged back into the tree.
-type EvalOut = (BoundResult, Vec<Degradation>);
+#[derive(Debug)]
+struct EvalOut {
+    result: BoundResult,
+    degradations: Vec<Degradation>,
+    /// Post-states to retain for seeding this trail's children (absent on
+    /// degraded ladders, overflow, budget exhaustion, or disabled seeding).
+    post: Option<SeedMap>,
+    /// Whether the fixpoint actually started from a parent seed.
+    seeded: bool,
+    /// Whether the debug soundness check rejected the seeded result.
+    seed_rejected: bool,
+    /// Top-level fixpoint passes of the rung that produced `result`.
+    top_passes: u64,
+}
+
+/// One evaluation job: the tree node plus the parent post-states to seed
+/// its fixpoint from (shared, not cloned, across worker threads).
+type EvalJob = (usize, Option<Arc<SeedMap>>);
 
 /// The analyzer.
 #[derive(Debug, Clone, Default)]
@@ -439,6 +520,7 @@ impl Blazer {
             program.function(func).ok_or_else(|| CoreError::NoSuchFunction(func.to_string()))?;
         let start = Instant::now();
         let mut degradations: Vec<Degradation> = Vec::new();
+        let mut seed_stats = SeedStats::default();
 
         let cfg = Cfg::new(f);
         let alphabet = EdgeAlphabet::new(&cfg);
@@ -459,6 +541,7 @@ impl Blazer {
                 n_blocks: f.blocks().len(),
                 degradations,
                 budget_report: budget::report(),
+                seed_stats,
             });
         }
 
@@ -494,9 +577,15 @@ impl Blazer {
                 .copied()
                 .filter(|&l| tree.node(l).status == NodeStatus::Pending)
                 .collect();
-            for (leaf, b) in
-                self.eval_pending(&ctx, &tree, &pending, &mut cache, &mut degradations, width)
-            {
+            for (leaf, b) in self.eval_pending(
+                &ctx,
+                &tree,
+                &pending,
+                &mut cache,
+                &mut degradations,
+                &mut seed_stats,
+                width,
+            ) {
                 tree.node_mut(leaf).status = judge(&b, &self.config.observer, &high_seeds);
                 tree.node_mut(leaf).bounds = Some(b);
             }
@@ -559,6 +648,7 @@ impl Blazer {
                 n_blocks: f.blocks().len(),
                 degradations,
                 budget_report: budget::report(),
+                seed_stats,
             });
         }
         if let Some(resource) = budget_stop {
@@ -574,6 +664,7 @@ impl Blazer {
                 n_blocks: f.blocks().len(),
                 degradations,
                 budget_report: budget::report(),
+                seed_stats,
             });
         }
         if !self.config.synthesize_attack {
@@ -586,6 +677,7 @@ impl Blazer {
                 n_blocks: f.blocks().len(),
                 degradations,
                 budget_report: budget::report(),
+                seed_stats,
             });
         }
 
@@ -652,9 +744,15 @@ impl Blazer {
             // Evaluation phase: all of the round's new children as one
             // (cached, parallel) batch.
             let new_nodes: Vec<usize> = round_splits.iter().flatten().copied().collect();
-            for (id, b) in
-                self.eval_pending(&ctx, &tree, &new_nodes, &mut cache, &mut degradations, width)
-            {
+            for (id, b) in self.eval_pending(
+                &ctx,
+                &tree,
+                &new_nodes,
+                &mut cache,
+                &mut degradations,
+                &mut seed_stats,
+                width,
+            ) {
                 tree.node_mut(id).status = judge(&b, &self.config.observer, &high_seeds);
                 tree.node_mut(id).bounds = Some(b);
             }
@@ -702,6 +800,7 @@ impl Blazer {
             n_blocks: f.blocks().len(),
             degradations,
             budget_report: budget::report(),
+            seed_stats,
         })
     }
 
@@ -726,6 +825,7 @@ impl Blazer {
     ///    finished first. A worker panic (e.g. an injected fault) is
     ///    re-raised here with its original payload, after all workers have
     ///    finished.
+    #[allow(clippy::too_many_arguments)]
     fn eval_pending(
         &self,
         ctx: &EvalCtx<'_>,
@@ -733,6 +833,7 @@ impl Blazer {
         nodes: &[usize],
         cache: &mut BoundCache,
         degradations: &mut Vec<Degradation>,
+        seed_stats: &mut SeedStats,
         width: usize,
     ) -> Vec<(usize, BoundResult)> {
         enum Source {
@@ -743,9 +844,10 @@ impl Blazer {
             /// Duplicate of another node's trail in this same batch.
             Dup(usize),
         }
+        let seeding = self.config.effective_seeding();
         let BoundCache { bounds: cached_bounds, graphs } = cache;
         let mut plan: Vec<(usize, Source)> = Vec::with_capacity(nodes.len());
-        let mut jobs: Vec<usize> = Vec::new();
+        let mut jobs: Vec<EvalJob> = Vec::new();
         let mut job_keys: Vec<BoundKey> = Vec::new();
         let mut job_by_key: HashMap<BoundKey, usize> = HashMap::new();
         for &node in nodes {
@@ -759,8 +861,24 @@ impl Blazer {
             } else if let Some(&j) = job_by_key.get(&key) {
                 plan.push((node, Source::Dup(j)));
             } else {
+                // Seed lookup: the parent trail was evaluated in an earlier
+                // round (children only ever sprout from judged leaves), so
+                // its cache entry — when the ladder stayed clean — carries
+                // the post-states this child starts from.
+                let seed = if seeding {
+                    tree.node(node).parent.and_then(|p| {
+                        let parent_key = BoundKey {
+                            function: ctx.f.name().to_string(),
+                            domain: self.config.domain,
+                            trail: tree.node(p).trail.to_string(),
+                        };
+                        cached_bounds.get(&parent_key).and_then(|hit| hit.post.clone())
+                    })
+                } else {
+                    None
+                };
                 let j = jobs.len();
-                jobs.push(node);
+                jobs.push((node, seed));
                 job_keys.push(key.clone());
                 job_by_key.insert(key, j);
                 plan.push((node, Source::Job(j)));
@@ -769,10 +887,8 @@ impl Blazer {
 
         let outs: Vec<EvalOut> = if width <= 1 || jobs.len() <= 1 {
             jobs.iter()
-                .map(|&node| {
-                    let mut local = Vec::new();
-                    let b = self.bounds_for(ctx, graphs, &tree.node(node).trail, node, &mut local);
-                    (b, local)
+                .map(|(node, seed)| {
+                    self.bounds_for(ctx, graphs, &tree.node(*node).trail, *node, seed.as_deref())
                 })
                 .collect()
         } else {
@@ -794,36 +910,44 @@ impl Blazer {
                     merged.push((node, hit.result.clone()));
                 }
                 Source::Job(j) => {
-                    let (result, local) = &outs[j];
-                    degradations.extend(local.iter().cloned());
+                    let out = &outs[j];
+                    degradations.extend(out.degradations.iter().cloned());
+                    seed_stats.absorb_eval(out);
                     cached_bounds.insert(
                         job_keys[j].clone(),
                         CachedBounds {
-                            result: result.clone(),
-                            degradations: local.iter().map(|d| (d.from, d.to, d.reason)).collect(),
+                            result: out.result.clone(),
+                            degradations: out
+                                .degradations
+                                .iter()
+                                .map(|d| (d.from, d.to, d.reason))
+                                .collect(),
+                            post: out.post.clone().map(Arc::new),
                         },
                     );
-                    merged.push((node, result.clone()));
+                    merged.push((node, out.result.clone()));
                 }
                 Source::Dup(j) => {
-                    let (result, local) = &outs[j];
-                    degradations.extend(local.iter().map(|d| Degradation { node, ..d.clone() }));
-                    merged.push((node, result.clone()));
+                    let out = &outs[j];
+                    degradations
+                        .extend(out.degradations.iter().map(|d| Degradation { node, ..d.clone() }));
+                    merged.push((node, out.result.clone()));
                 }
             }
         }
         merged
     }
 
-    /// Fans `jobs` (tree-node indices) out over a scoped worker pool of the
-    /// given width. Results come back indexed by job, so callers can merge
-    /// deterministically; the first panicking job's payload (in job order)
-    /// is re-raised after every worker has stopped.
+    /// Fans `jobs` (tree-node index plus optional parent seed) out over a
+    /// scoped worker pool of the given width. Results come back indexed by
+    /// job, so callers can merge deterministically; the first panicking
+    /// job's payload (in job order) is re-raised after every worker has
+    /// stopped.
     fn eval_jobs_parallel(
         &self,
         ctx: &EvalCtx<'_>,
         tree: &TrailTree,
-        jobs: &[usize],
+        jobs: &[EvalJob],
         graphs: &Mutex<HashMap<String, Arc<ProductGraph>>>,
         width: usize,
     ) -> Vec<EvalOut> {
@@ -843,17 +967,15 @@ impl Blazer {
                         if i >= jobs.len() {
                             break;
                         }
-                        let node = jobs[i];
+                        let (node, seed) = &jobs[i];
                         let out = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                            let mut local = Vec::new();
-                            let b = self.bounds_for(
+                            self.bounds_for(
                                 ctx,
                                 graphs,
-                                &tree.node(node).trail,
-                                node,
-                                &mut local,
-                            );
-                            (b, local)
+                                &tree.node(*node).trail,
+                                *node,
+                                seed.as_deref(),
+                            )
                         }));
                         *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(out);
                     }
@@ -867,7 +989,14 @@ impl Blazer {
                 Some(Ok(out)) => outs.push(out),
                 Some(Err(payload)) => {
                     first_panic.get_or_insert(payload);
-                    outs.push((BoundResult { lower: None, upper: None }, Vec::new()));
+                    outs.push(EvalOut {
+                        result: BoundResult { lower: None, upper: None },
+                        degradations: Vec::new(),
+                        post: None,
+                        seeded: false,
+                        seed_rejected: false,
+                        top_passes: 0,
+                    });
                 }
                 None => unreachable!("every job index is claimed by some worker"),
             }
@@ -884,16 +1013,25 @@ impl Blazer {
     /// When the run absorbs a rational overflow, or exhausts the LP-call
     /// budget and a rescue grant is available, the trail is retried down the
     /// degradation ladder (polyhedra → octagon → zone → interval); each
-    /// fallback is recorded in `degradations`. A dead wall-clock deadline is
-    /// never retried.
+    /// fallback is recorded in the returned [`EvalOut`]. A dead wall-clock
+    /// deadline is never retried.
+    ///
+    /// The optional `seed` (the parent trail's converged post-states) is
+    /// applied only on the ladder's first rung — coarser retries restart
+    /// from ⊥ exactly as before — and the trail's own post-states are
+    /// retained for its future children only when that first rung completes
+    /// cleanly (no overflow, no budget exhaustion). On debug builds (or
+    /// under `BLAZER_CHECK_SEEDS`) every seeded result is re-derived from ⊥
+    /// and must match bit-for-bit; a divergence discards the seeded result
+    /// in favor of the baseline (or panics under `BLAZER_ASSERT_SEEDS`).
     fn bounds_for(
         &self,
         ctx: &EvalCtx<'_>,
         graphs: &Mutex<HashMap<String, Arc<ProductGraph>>>,
         trail: &Regex,
         node: usize,
-        degradations: &mut Vec<Degradation>,
-    ) -> BoundResult {
+        seed: Option<&SeedMap>,
+    ) -> EvalOut {
         let EvalCtx { program, f, cfg, alphabet, dims } = *ctx;
         let graph_key = trail.to_string();
         let cached = graphs.lock().unwrap_or_else(|e| e.into_inner()).get(&graph_key).cloned();
@@ -928,94 +1066,165 @@ impl Blazer {
             dims: &DimMap,
             graph: &ProductGraph,
             cost_model: &CostModel,
-        ) -> BoundResult {
+            seed: Option<&SeedMap>,
+            collect_post: bool,
+        ) -> SeededBounds {
             let init: D = entry_state(f, dims);
             let seeds: BTreeSet<usize> = dims.seeds().collect();
-            graph_bounds(program, f, dims, graph, &init, cost_model, &seeds)
+            graph_bounds_seeded(
+                program,
+                f,
+                dims,
+                graph,
+                &init,
+                cost_model,
+                &seeds,
+                seed,
+                collect_post,
+            )
         }
         /// Extra LP calls granted per coarser-domain retry.
         const LP_RESCUE: u64 = 256;
         let cm = &self.config.cost_model;
+        let collect = self.config.effective_seeding();
+        let run_domain = |d: DomainKind, use_seed: Option<&SeedMap>, want_post: bool| match d {
+            DomainKind::Interval => {
+                run::<IntervalVec>(program, f, dims, &graph, cm, use_seed, want_post)
+            }
+            DomainKind::Zone => run::<Zone>(program, f, dims, &graph, cm, use_seed, want_post),
+            DomainKind::Octagon => {
+                run::<Octagon>(program, f, dims, &graph, cm, use_seed, want_post)
+            }
+            DomainKind::Polyhedra => {
+                run::<Polyhedron>(program, f, dims, &graph, cm, use_seed, want_post)
+            }
+        };
         let mut domain = self.config.domain;
+        let mut degradations: Vec<Degradation> = Vec::new();
+        let mut seeded = false;
+        let mut seed_rejected = false;
+        let mut top_passes: u64 = 0;
+        let mut post: Option<SeedMap> = None;
         // Run each rung with a clean thread-local overflow flag: saturation
         // outside the absorption points (e.g. in cost-expression arithmetic)
         // only raises the flag, and bounds computed with saturated rationals
         // may be wrong, not just imprecise.
         let outer_overflow = blazer_domains::rational::take_overflow();
         let result = loop {
+            // Seeding only applies on the ladder's first rung: the parent's
+            // post-states were converged in `self.config.domain`, and a
+            // degraded retry must behave exactly as it did before seeding.
+            let first_rung = domain == self.config.domain;
+            let use_seed = if first_rung { seed } else { None };
+            let want_post = collect && first_rung;
             let overflow_before = budget::local_overflow_events();
-            let out = match domain {
-                DomainKind::Interval => run::<IntervalVec>(program, f, dims, &graph, cm),
-                DomainKind::Zone => run::<Zone>(program, f, dims, &graph, cm),
-                DomainKind::Octagon => run::<Octagon>(program, f, dims, &graph, cm),
-                DomainKind::Polyhedra => run::<Polyhedron>(program, f, dims, &graph, cm),
-            };
+            let mut out = run_domain(domain, use_seed, want_post);
+            if first_rung {
+                seeded = out.seeded;
+                top_passes = out.top_passes;
+            }
             if std::env::var("BLAZER_TRACE_BOUNDS").is_ok() {
                 eprintln!(
-                    "  -> [{domain}] lower {:?} upper {:?}",
-                    out.lower.as_ref().map(|e| e.to_string()),
-                    out.upper.as_ref().map(|e| e.to_string())
+                    "  -> [{domain}] lower {:?} upper {:?} (passes {}, seeded {})",
+                    out.result.lower.as_ref().map(|e| e.to_string()),
+                    out.result.upper.as_ref().map(|e| e.to_string()),
+                    out.top_passes,
+                    out.seeded,
                 );
             }
             // Per-thread diff: only overflows absorbed while computing
             // *this* trail's bounds (on this worker) justify a retry.
             let overflowed = budget::local_overflow_events() > overflow_before
                 || blazer_domains::rational::take_overflow();
-            let Some(coarser) = domain.coarser() else {
-                if overflowed {
-                    // No coarser domain left to absorb the overflow: the
-                    // computed bounds cannot be trusted (saturation can even
-                    // collapse them to a narrow point). Widen to [0, ∞).
-                    budget::note_overflow();
+            if let Some(coarser) = domain.coarser() {
+                let reason = match budget::exhausted() {
+                    // The deadline cannot be extended; other caps (fixpoint
+                    // passes, refinement steps) are global pacing knobs that
+                    // a coarser domain would exhaust just the same.
+                    Some(Resource::LpCalls) if budget::grant_lp_rescue(LP_RESCUE) => {
+                        Some(DegradeReason::LpBudget)
+                    }
+                    Some(_) => None,
+                    None if overflowed => Some(DegradeReason::Overflow),
+                    None => None,
+                };
+                if let Some(reason) = reason {
                     budget::note_degradation(format!(
-                        "driver: trail {node}: overflow in the coarsest domain; \
-                         widening bounds to [0, ∞)"
+                        "driver: trail {node}: retrying {domain} -> {coarser} ({})",
+                        Degradation { node, from: domain, to: coarser, reason }.reason
                     ));
-                    break BoundResult {
-                        lower: Some(blazer_bounds::CostExpr::zero()),
-                        upper: None,
-                    };
+                    degradations.push(Degradation { node, from: domain, to: coarser, reason });
+                    domain = coarser;
+                    continue;
                 }
-                break out;
-            };
-            let reason = match budget::exhausted() {
-                // The deadline cannot be extended; other caps (fixpoint
-                // passes, refinement steps) are global pacing knobs that a
-                // coarser domain would exhaust just the same.
-                Some(Resource::LpCalls) if budget::grant_lp_rescue(LP_RESCUE) => {
-                    Some(DegradeReason::LpBudget)
-                }
-                Some(_) => None,
-                None if overflowed => Some(DegradeReason::Overflow),
-                None => None,
-            };
-            let Some(reason) = reason else {
-                if overflowed {
-                    // Overflow with no retry available (the budget is
-                    // exhausted beyond rescue): the bounds are untrustworthy.
-                    budget::note_overflow();
+            }
+            if overflowed {
+                // No retry available: either no coarser domain is left to
+                // absorb the overflow, or the budget is exhausted beyond
+                // rescue. Either way the computed bounds cannot be trusted
+                // (saturation can even collapse them to a narrow point).
+                budget::note_overflow();
+                let why = if domain.coarser().is_none() {
+                    "overflow in the coarsest domain"
+                } else {
+                    "overflow under an exhausted budget"
+                };
+                budget::note_degradation(format!(
+                    "driver: trail {node}: {why}; widening bounds to [0, ∞)"
+                ));
+                break BoundResult { lower: Some(blazer_bounds::CostExpr::zero()), upper: None };
+            }
+            // Clean completion of this rung. Post-states are only retained
+            // when the budget never ran dry: an exhausted engine widens
+            // states toward ⊤, and a ⊤-ish seed would poison every child.
+            if want_post && budget::exhausted().is_none() {
+                post = out.post.take();
+            }
+            if out.seeded && self.check_seeds_enabled() {
+                let mut baseline = run_domain(domain, None, want_post);
+                // The re-run's own saturation must not leak into the outer
+                // overflow bookkeeping.
+                blazer_domains::rational::take_overflow();
+                if baseline.result != out.result {
+                    if std::env::var("BLAZER_ASSERT_SEEDS")
+                        .is_ok_and(|v| !v.trim().is_empty() && v.trim() != "0")
+                    {
+                        panic!(
+                            "seeded fixpoint diverged from the from-⊥ baseline \
+                             for trail {node} in {domain}"
+                        );
+                    }
                     budget::note_degradation(format!(
-                        "driver: trail {node}: overflow under an exhausted budget; \
-                         widening bounds to [0, ∞)"
+                        "driver: trail {node}: seeded fixpoint diverged from the \
+                         from-⊥ baseline in {domain}; discarding the seeded result"
                     ));
-                    break BoundResult {
-                        lower: Some(blazer_bounds::CostExpr::zero()),
-                        upper: None,
-                    };
+                    seed_rejected = true;
+                    post = baseline.post.take();
+                    break baseline.result;
                 }
-                break out;
-            };
-            budget::note_degradation(format!(
-                "driver: trail {node}: retrying {domain} -> {coarser} ({})",
-                Degradation { node, from: domain, to: coarser, reason }.reason
-            ));
-            degradations.push(Degradation { node, from: domain, to: coarser, reason });
-            domain = coarser;
+            }
+            break out.result;
         };
         if outer_overflow {
             blazer_domains::rational::set_overflow();
         }
-        result
+        EvalOut { result, degradations, post, seeded, seed_rejected, top_passes }
+    }
+
+    /// Whether seeded fixpoints are cross-checked against a from-⊥ rerun.
+    ///
+    /// On by default in debug builds; `BLAZER_CHECK_SEEDS=1` forces it on
+    /// elsewhere and `BLAZER_CHECK_SEEDS=0` forces it off (e.g. for tests
+    /// that A/B seeded vs unseeded outcomes themselves and don't need every
+    /// trail double-run). Never runs under a finite budget or fault
+    /// injection, where the extra baseline run would consume shared
+    /// resources and change the very behavior under test.
+    fn check_seeds_enabled(&self) -> bool {
+        let requested = match std::env::var("BLAZER_CHECK_SEEDS") {
+            Ok(v) => !v.trim().is_empty() && v.trim() != "0",
+            Err(_) => cfg!(debug_assertions),
+        };
+        requested && self.config.budget.is_unlimited() && std::env::var("BLAZER_FAULT").is_err()
     }
 }
 

@@ -54,6 +54,6 @@ pub use attack::AttackSpec;
 pub use blazer_ir::budget::{Budget, BudgetHandle, BudgetReport, FaultSpec, Resource};
 pub use driver::{
     concretize_outcome, AnalysisOutcome, Blazer, Config, CoreError, Degradation, DegradeReason,
-    DomainKind, UnknownReason, Verdict,
+    DomainKind, SeedStats, UnknownReason, Verdict,
 };
 pub use tree::{NodeStatus, SplitKind, TrailTree};

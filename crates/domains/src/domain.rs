@@ -69,6 +69,24 @@ pub trait AbstractDomain: Clone + std::fmt::Debug {
     /// but every returned constraint must be implied by the element).
     fn to_polyhedron(&self) -> Polyhedron;
 
+    /// Abstracts a polyhedron into this domain: the result keeps the
+    /// consequences of `poly`'s constraints the domain can represent, so
+    /// `Self::from_polyhedron(p, n).to_polyhedron() ⊇ p` always holds
+    /// (exactly `p` when the domain can express every constraint). This is
+    /// the state-transport hook of incremental fixpoint seeding and the
+    /// degradation ladder: converged post-states are stored as polyhedra
+    /// and replayed into whichever domain the next analysis runs in.
+    fn from_polyhedron(poly: &Polyhedron, dims: usize) -> Self {
+        if poly.is_empty() {
+            return Self::bottom(dims);
+        }
+        let mut d = Self::top(dims);
+        for c in poly.constraints() {
+            d.meet_constraint(c);
+        }
+        d
+    }
+
     /// Membership test for a concrete point (used by soundness tests).
     fn contains_point(&self, point: &[Rat]) -> bool;
 
@@ -134,6 +152,11 @@ impl AbstractDomain for Polyhedron {
 
     fn to_polyhedron(&self) -> Polyhedron {
         self.clone()
+    }
+
+    fn from_polyhedron(poly: &Polyhedron, dims: usize) -> Self {
+        debug_assert_eq!(poly.dims(), dims);
+        poly.clone()
     }
 
     fn contains_point(&self, point: &[Rat]) -> bool {

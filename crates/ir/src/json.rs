@@ -24,13 +24,17 @@
 use std::fmt;
 
 /// A JSON document.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub enum Json {
     /// `null`.
     Null,
     /// `true` / `false`.
     Bool(bool),
-    /// Any number (JSON has one numeric type).
+    /// An integer, held losslessly. JSON has one numeric type on the wire,
+    /// but budget and fixpoint counters are `u64`s that must round-trip
+    /// exactly — routing them through `f64` corrupts values above 2^53.
+    Int(i128),
+    /// A non-integer (or explicitly floating-point) number.
     Num(f64),
     /// A string.
     Str(String),
@@ -38,6 +42,35 @@ pub enum Json {
     Arr(Vec<Json>),
     /// An object, in insertion order.
     Obj(Vec<(String, Json)>),
+}
+
+/// Whether an `f64` and an `i128` denote exactly the same number (the cast
+/// round-trips both ways, so neither rounding nor truncation is hidden).
+fn f64_equals_i128(x: f64, n: i128) -> bool {
+    x.is_finite() && x == n as f64 && x.fract() == 0.0 && {
+        // `x` is integral and finite; it fits i128 iff within range.
+        (-1.7014118346046923e38..1.7014118346046923e38).contains(&x) && x as i128 == n
+    }
+}
+
+impl PartialEq for Json {
+    /// Structural equality, except numbers compare by numeric value:
+    /// `Int(5)` equals `Num(5.0)`. The writer prints integral floats
+    /// without a fraction and the parser reads bare integers as [`Json::Int`],
+    /// so a `Num(5.0)` document must still equal its re-parsed self.
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Json::Null, Json::Null) => true,
+            (Json::Bool(a), Json::Bool(b)) => a == b,
+            (Json::Int(a), Json::Int(b)) => a == b,
+            (Json::Num(a), Json::Num(b)) => a == b,
+            (Json::Int(n), Json::Num(x)) | (Json::Num(x), Json::Int(n)) => f64_equals_i128(*x, *n),
+            (Json::Str(a), Json::Str(b)) => a == b,
+            (Json::Arr(a), Json::Arr(b)) => a == b,
+            (Json::Obj(a), Json::Obj(b)) => a == b,
+            _ => false,
+        }
+    }
 }
 
 impl From<bool> for Json {
@@ -54,19 +87,19 @@ impl From<f64> for Json {
 
 impl From<u64> for Json {
     fn from(n: u64) -> Self {
-        Json::Num(n as f64)
+        Json::Int(n as i128)
     }
 }
 
 impl From<usize> for Json {
     fn from(n: usize) -> Self {
-        Json::Num(n as f64)
+        Json::Int(n as i128)
     }
 }
 
 impl From<i64> for Json {
     fn from(n: i64) -> Self {
-        Json::Num(n as f64)
+        Json::Int(n as i128)
     }
 }
 
@@ -122,18 +155,28 @@ impl Json {
         }
     }
 
-    /// The numeric payload, for [`Json::Num`].
+    /// The numeric payload, for [`Json::Num`] and [`Json::Int`] (the latter
+    /// rounds when the integer exceeds 2^53 in magnitude — use [`Json::as_u64`]
+    /// for exact counters).
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Json::Num(x) => Some(*x),
+            Json::Int(n) => Some(*n as f64),
             _ => None,
         }
     }
 
-    /// The numeric payload as an unsigned integer (exact values only).
+    /// The numeric payload as an unsigned integer — exact values only.
+    ///
+    /// [`Json::Int`] converts iff it lies in `0..=u64::MAX`. [`Json::Num`]
+    /// converts only when the float *exactly* denotes an unsigned integer,
+    /// which bounds it by 2^53: beyond that, consecutive integers are no
+    /// longer distinguishable in `f64`, and the old `*x <= u64::MAX as f64`
+    /// check even accepted 2^64 itself through rounding (wrapping the cast).
     pub fn as_u64(&self) -> Option<u64> {
         match self {
-            Json::Num(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= u64::MAX as f64 => {
+            Json::Int(n) => u64::try_from(*n).ok(),
+            Json::Num(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= 9_007_199_254_740_992.0 => {
                 Some(*x as u64)
             }
             _ => None,
@@ -210,7 +253,7 @@ impl Json {
     /// Parses a JSON document (the whole input must be one value plus
     /// whitespace).
     pub fn parse(input: &str) -> Result<Json, JsonError> {
-        let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+        let mut p = Parser { bytes: input.as_bytes(), pos: 0, depth: 0 };
         p.skip_ws();
         let v = p.value()?;
         p.skip_ws();
@@ -226,6 +269,7 @@ impl fmt::Display for Json {
         match self {
             Json::Null => f.write_str("null"),
             Json::Bool(b) => write!(f, "{b}"),
+            Json::Int(n) => write!(f, "{n}"),
             Json::Num(x) => {
                 if !x.is_finite() {
                     // JSON has no NaN/Infinity; degrade to null.
@@ -297,9 +341,17 @@ impl fmt::Display for JsonError {
 
 impl std::error::Error for JsonError {}
 
+/// Maximum container nesting the recursive-descent parser accepts. The
+/// parser recurses per `[`/`{`, so unbounded input depth would become
+/// unbounded native stack; reports nest a handful of levels, and 128 leaves
+/// generous headroom while keeping adversarial input (the serve API parses
+/// request bodies) a clean error instead of a stack overflow.
+const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -349,12 +401,22 @@ impl<'a> Parser<'a> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), JsonError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err(format!("nesting deeper than {MAX_DEPTH} levels")));
+        }
+        Ok(())
+    }
+
     fn array(&mut self) -> Result<Json, JsonError> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Arr(items));
         }
         loop {
@@ -365,6 +427,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Arr(items));
                 }
                 _ => return Err(self.err("expected `,` or `]`")),
@@ -374,10 +437,12 @@ impl<'a> Parser<'a> {
 
     fn object(&mut self) -> Result<Json, JsonError> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut pairs = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Obj(pairs));
         }
         loop {
@@ -393,6 +458,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Obj(pairs));
                 }
                 _ => return Err(self.err("expected `,` or `}`")),
@@ -481,13 +547,16 @@ impl<'a> Parser<'a> {
         while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
             self.pos += 1;
         }
+        let mut integral = true;
         if self.peek() == Some(b'.') {
+            integral = false;
             self.pos += 1;
             while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
                 self.pos += 1;
             }
         }
         if matches!(self.peek(), Some(b'e' | b'E')) {
+            integral = false;
             self.pos += 1;
             if matches!(self.peek(), Some(b'+' | b'-')) {
                 self.pos += 1;
@@ -497,6 +566,14 @@ impl<'a> Parser<'a> {
             }
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        // Bare integer literals stay exact: `u64` counters (and anything up
+        // to i128) survive a round trip bit-for-bit. Only literals beyond
+        // i128 — which nothing in this workspace emits — degrade to `f64`.
+        if integral {
+            if let Ok(n) = text.parse::<i128>() {
+                return Ok(Json::Int(n));
+            }
+        }
         text.parse::<f64>().map(Json::Num).map_err(|_| self.err("malformed number"))
     }
 }
@@ -568,5 +645,82 @@ mod tests {
     fn fnv_is_stable() {
         assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
         assert_ne!(fnv1a64(b"a"), fnv1a64(b"b"));
+    }
+
+    #[test]
+    fn u64_counters_roundtrip_exactly() {
+        // Every precision-boundary case the f64 route corrupted: 2^53 ± 1
+        // (first gap in f64 integers), u64::MAX (2^64 − 1, which the old
+        // `<= u64::MAX as f64` check rounded into accepting 2^64 itself).
+        for n in [0u64, 1, (1 << 53) - 1, 1 << 53, (1 << 53) + 1, u64::MAX - 1, u64::MAX] {
+            let doc = Json::from(n);
+            let text = doc.to_string();
+            assert_eq!(text, n.to_string());
+            let back = Json::parse(&text).unwrap();
+            assert_eq!(back.as_u64(), Some(n), "u64 {n} must round-trip exactly");
+            assert_eq!(back, doc);
+        }
+    }
+
+    #[test]
+    fn as_u64_rejects_out_of_range_and_inexact() {
+        // 2^64 itself: representable in f64 (and i128) but not in u64.
+        assert_eq!(Json::parse("18446744073709551616").unwrap().as_u64(), None);
+        assert_eq!(Json::Num(1.8446744073709552e19).as_u64(), None);
+        assert_eq!(Json::Int(-1).as_u64(), None);
+        assert_eq!(Json::Num(-0.5).as_u64(), None);
+        // Floats above 2^53 no longer denote a unique integer.
+        assert_eq!(Json::Num(9.007199254740994e15).as_u64(), None);
+        // ... but exactly-representable small integers still convert.
+        assert_eq!(Json::Num(5.0).as_u64(), Some(5));
+        assert_eq!(Json::parse("5.0").unwrap().as_u64(), Some(5));
+    }
+
+    #[test]
+    fn int_and_num_compare_by_value() {
+        assert_eq!(Json::Int(5), Json::Num(5.0));
+        assert_eq!(Json::Num(-2.0), Json::Int(-2));
+        assert_ne!(Json::Int(5), Json::Num(5.5));
+        // 2^53 + 1 is not representable in f64; its nearest float is 2^53.
+        assert_ne!(Json::Int((1 << 53) + 1), Json::Num(9_007_199_254_740_992.0));
+        assert_ne!(Json::Int(0), Json::Num(f64::NAN));
+        // Beyond i128 range the float cast would wrap without the range guard.
+        assert_ne!(Json::Int(i128::MAX), Json::Num(f64::MAX));
+    }
+
+    #[test]
+    fn surrogate_escapes() {
+        // A valid pair decodes ...
+        assert_eq!(Json::parse(r#""😀""#).unwrap().as_str(), Some("😀"));
+        // ... but lone halves, malformed pairs, and truncated escapes fail
+        // cleanly rather than producing invalid UTF-8 or panicking.
+        for bad in [
+            r#""\ud83d""#,       // lone high surrogate at end of string
+            r#""\ud83d rest""#,  // high surrogate followed by plain text
+            r#""\ud83d\n""#,     // high surrogate followed by a non-\u escape
+            r#""\ud83d\ud83d""#, // high followed by another high
+            r#""\ude00""#,       // lone low surrogate
+            r#""\u12"#,          // \u escape truncated by end of input
+            r#""\u""#,           // \u with no digits before the closing quote
+            r#""\ud83d\u00""#,   // truncated low half
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn nesting_is_bounded() {
+        // At the cap: parses fine.
+        let ok = format!("{}0{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(Json::parse(&ok).is_ok());
+        // One past the cap: clean error, not a native stack overflow.
+        let deep = format!("{}0{}", "[".repeat(MAX_DEPTH + 1), "]".repeat(MAX_DEPTH + 1));
+        assert!(Json::parse(&deep).is_err());
+        // Way past, mixed containers, unterminated: still a clean error.
+        let hostile = "[{\"k\":".repeat(20_000);
+        assert!(Json::parse(&hostile).is_err());
+        // Sibling containers don't accumulate depth.
+        let wide = format!("[{}1]", "[1],".repeat(500));
+        assert!(Json::parse(&wide).is_ok());
     }
 }

@@ -14,12 +14,23 @@
 //! Budget-exhausted and crashed analyses are **never** cached: they
 //! describe what one request's budget allowed, not what the program is.
 //!
+//! The cache is bounded: at most [`VerdictCache::DEFAULT_MAX_ENTRIES`]
+//! verdicts (configurable per constructor) are retained, and inserting
+//! past the cap evicts the least-recently-used entry, so a long-lived
+//! server fed unique programs cannot grow without bound.
+//!
 //! With a persistence path configured, every insert appends one JSONL
 //! record and a restarted server reloads the file, so warm verdicts
-//! survive restarts.
+//! survive restarts. Reload keeps the *most recent* record per key and at
+//! most the cap's worth of newest entries, then **compacts** the file in
+//! place — rewriting it from the surviving entries — so the append-only
+//! log (which otherwise replays duplicates and evicted verdicts forever)
+//! cannot grow unboundedly across restarts either. A torn trailing line
+//! (from a crash mid-append) is skipped on reload and dropped by the
+//! compaction.
 
 use blazer_ir::json::{escape, fnv1a64, Json};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::io::Write;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -51,32 +62,79 @@ impl CacheKey {
     }
 }
 
-/// Thread-safe verdict store with hit/miss counters and optional
-/// append-only persistence.
+/// One cached response plus its recency stamp.
+#[derive(Debug)]
+struct Entry {
+    body: String,
+    /// Logical clock value of the last `get`/`insert` touching this entry;
+    /// the smallest stamp is the LRU eviction victim.
+    last_used: u64,
+}
+
+/// Everything guarded by the one cache lock: the map and its logical clock.
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<String, Entry>,
+    tick: u64,
+}
+
+impl Inner {
+    fn touch(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+}
+
+/// Thread-safe verdict store with hit/miss counters, an LRU entry cap, and
+/// optional append-only persistence (compacted on reload).
 #[derive(Debug)]
 pub struct VerdictCache {
-    entries: Mutex<HashMap<String, String>>,
+    inner: Mutex<Inner>,
     hits: AtomicU64,
     misses: AtomicU64,
     persist: Option<PathBuf>,
+    max_entries: usize,
 }
 
 impl VerdictCache {
-    /// An empty in-memory cache.
+    /// Default retention cap. Each entry is one source program plus one
+    /// JSON response (a few KiB); thousands fit comfortably while still
+    /// bounding a server fed an endless stream of unique submissions.
+    pub const DEFAULT_MAX_ENTRIES: usize = 4096;
+
+    /// An empty in-memory cache with the default cap.
     pub fn in_memory() -> VerdictCache {
+        VerdictCache::in_memory_with_cap(VerdictCache::DEFAULT_MAX_ENTRIES)
+    }
+
+    /// An empty in-memory cache retaining at most `max_entries` verdicts
+    /// (a zero cap is promoted to one: the entry being inserted).
+    pub fn in_memory_with_cap(max_entries: usize) -> VerdictCache {
         VerdictCache {
-            entries: Mutex::new(HashMap::new()),
+            inner: Mutex::new(Inner::default()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             persist: None,
+            max_entries: max_entries.max(1),
         }
     }
 
-    /// A cache backed by `path`: existing records are loaded eagerly
-    /// (unreadable or malformed lines are skipped — a torn final append
-    /// must not brick the server), and every insert appends one record.
+    /// A cache backed by `path` with the default cap: existing records are
+    /// loaded eagerly and every insert appends one record.
     pub fn persistent(path: PathBuf) -> VerdictCache {
-        let mut entries = HashMap::new();
+        VerdictCache::persistent_with_cap(path, VerdictCache::DEFAULT_MAX_ENTRIES)
+    }
+
+    /// A cache backed by `path` retaining at most `max_entries` verdicts.
+    ///
+    /// Reload keeps the newest record per key, newest-first up to the cap
+    /// (unreadable or malformed lines — a torn final append — are skipped;
+    /// they must not brick the server), then rewrites the file from the
+    /// survivors so duplicates, evictees, and the torn line don't replay
+    /// on every future restart.
+    pub fn persistent_with_cap(path: PathBuf, max_entries: usize) -> VerdictCache {
+        let max_entries = max_entries.max(1);
+        let mut records: Vec<(String, String)> = Vec::new();
         if let Ok(text) = std::fs::read_to_string(&path) {
             for line in text.lines() {
                 let Ok(record) = Json::parse(line) else { continue };
@@ -86,24 +144,47 @@ impl VerdictCache {
                 ) else {
                     continue;
                 };
-                entries.insert(key.to_string(), response.to_string());
+                records.push((key.to_string(), response.to_string()));
             }
         }
+        // Newest record per key wins; newest keys win the cap. Walking the
+        // log backwards makes both "first seen survives".
+        let mut seen: HashSet<&str> = HashSet::new();
+        let mut survivors: Vec<&(String, String)> = Vec::new();
+        for pair in records.iter().rev() {
+            if survivors.len() == max_entries {
+                break;
+            }
+            if seen.insert(pair.0.as_str()) {
+                survivors.push(pair);
+            }
+        }
+        survivors.reverse();
+        compact(&path, &survivors);
+        let mut inner = Inner::default();
+        for (key, response) in survivors {
+            let stamp = inner.touch();
+            inner.map.insert(key.clone(), Entry { body: response.clone(), last_used: stamp });
+        }
         VerdictCache {
-            entries: Mutex::new(entries),
+            inner: Mutex::new(inner),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             persist: Some(path),
+            max_entries,
         }
     }
 
-    /// Looks up a response body, counting the hit or miss.
+    /// Looks up a response body, counting the hit or miss and refreshing
+    /// the entry's recency.
     pub fn get(&self, key: &CacheKey) -> Option<String> {
-        let entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
-        match entries.get(&key.canonical) {
-            Some(body) => {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let stamp = inner.touch();
+        match inner.map.get_mut(&key.canonical) {
+            Some(entry) => {
+                entry.last_used = stamp;
                 self.hits.fetch_add(1, Ordering::SeqCst);
-                Some(body.clone())
+                Some(entry.body.clone())
             }
             None => {
                 self.misses.fetch_add(1, Ordering::SeqCst);
@@ -112,35 +193,46 @@ impl VerdictCache {
         }
     }
 
-    /// Stores a response body and appends it to the persistence file, if
-    /// any. Concurrent duplicate inserts (two identical submissions racing
-    /// past the same miss) are benign: both compute the same body.
+    /// Stores a response body, evicting the least-recently-used entry when
+    /// the cap is exceeded, and appends the record to the persistence file,
+    /// if any. Concurrent duplicate inserts (two identical submissions
+    /// racing past the same miss) are benign: both compute the same body.
+    ///
+    /// Evictions only drop the in-memory entry; their stale log records
+    /// are swept by the compaction pass on the next reload.
     pub fn insert(&self, key: &CacheKey, body: String) {
-        let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
-        if entries.insert(key.canonical.clone(), body.clone()).is_none() {
-            if let Some(path) = &self.persist {
-                // Held under the entries lock so records never interleave.
-                let record = format!(
-                    "{{\"key\": \"{}\", \"address\": \"{}\", \"response\": \"{}\"}}\n",
-                    escape(&key.canonical),
-                    key.address(),
-                    escape(&body),
-                );
-                let appended = std::fs::OpenOptions::new()
-                    .create(true)
-                    .append(true)
-                    .open(path)
-                    .and_then(|mut f| f.write_all(record.as_bytes()));
-                if let Err(e) = appended {
-                    eprintln!("verdict cache: could not persist to {}: {e}", path.display());
-                }
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let stamp = inner.touch();
+        let previous =
+            inner.map.insert(key.canonical.clone(), Entry { body: body.clone(), last_used: stamp });
+        if previous.is_some() {
+            return;
+        }
+        if inner.map.len() > self.max_entries {
+            // O(n) victim scan: caps are small enough (thousands) that a
+            // full sweep under the lock beats maintaining an order index.
+            if let Some(victim) =
+                inner.map.iter().min_by_key(|(_, e)| e.last_used).map(|(k, _)| k.clone())
+            {
+                inner.map.remove(&victim);
+            }
+        }
+        if let Some(path) = &self.persist {
+            // Held under the entries lock so records never interleave.
+            let appended = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .and_then(|mut f| f.write_all(record_line(&key.canonical, &body).as_bytes()));
+            if let Err(e) = appended {
+                eprintln!("verdict cache: could not persist to {}: {e}", path.display());
             }
         }
     }
 
     /// Number of stored verdicts.
     pub fn len(&self) -> usize {
-        self.entries.lock().unwrap_or_else(|e| e.into_inner()).len()
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).map.len()
     }
 
     /// Whether the cache is empty.
@@ -156,6 +248,36 @@ impl VerdictCache {
     /// Lookups that had to run the driver.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::SeqCst)
+    }
+}
+
+/// One JSONL record, newline-terminated.
+fn record_line(canonical: &str, body: &str) -> String {
+    format!(
+        "{{\"key\": \"{}\", \"address\": \"{:016x}\", \"response\": \"{}\"}}\n",
+        escape(canonical),
+        fnv1a64(canonical.as_bytes()),
+        escape(body),
+    )
+}
+
+/// Rewrites the persistence file to exactly `survivors`, via a sibling
+/// temp file and rename so a crash mid-compaction leaves either the old
+/// or the new log, never a half-written one. Failure is non-fatal: the
+/// server runs on, merely without the compaction.
+fn compact(path: &PathBuf, survivors: &[&(String, String)]) {
+    if !path.exists() && survivors.is_empty() {
+        return;
+    }
+    let mut text = String::new();
+    for (key, response) in survivors {
+        text.push_str(&record_line(key, response));
+    }
+    let tmp = path.with_extension("compact.tmp");
+    let written = std::fs::write(&tmp, text.as_bytes()).and_then(|()| std::fs::rename(&tmp, path));
+    if let Err(e) = written {
+        eprintln!("verdict cache: could not compact {}: {e}", path.display());
+        let _ = std::fs::remove_file(&tmp);
     }
 }
 
@@ -183,6 +305,29 @@ mod tests {
     }
 
     #[test]
+    fn evicts_least_recently_used_at_cap() {
+        let cache = VerdictCache::in_memory_with_cap(2);
+        let (a, b, c) = (
+            CacheKey::new("a", None, ""),
+            CacheKey::new("b", None, ""),
+            CacheKey::new("c", None, ""),
+        );
+        cache.insert(&a, "ra".into());
+        cache.insert(&b, "rb".into());
+        // Touch `a` so `b` becomes the LRU victim.
+        assert!(cache.get(&a).is_some());
+        cache.insert(&c, "rc".into());
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&a).is_some(), "recently-used entry must survive");
+        assert!(cache.get(&b).is_none(), "LRU entry must be evicted");
+        assert!(cache.get(&c).is_some());
+        // Re-inserting an existing key neither grows nor evicts.
+        cache.insert(&c, "rc".into());
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&a).is_some());
+    }
+
+    #[test]
     fn persists_across_reload() {
         let path = std::env::temp_dir().join("blazer_serve_cache_test.jsonl");
         let _ = std::fs::remove_file(&path);
@@ -203,6 +348,53 @@ mod tests {
             reloaded.get(&CacheKey::new("s1", Some("f"), "c")).as_deref(),
             Some("{\"v\": \"safe\"}")
         );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn reload_respects_cap_and_compacts() {
+        let path = std::env::temp_dir().join("blazer_serve_cache_compact_test.jsonl");
+        let _ = std::fs::remove_file(&path);
+        {
+            let cache = VerdictCache::persistent_with_cap(path.clone(), 10);
+            for i in 0..5 {
+                cache.insert(&CacheKey::new(&format!("s{i}"), None, "c"), format!("r{i}"));
+            }
+        }
+        // A duplicate record for an old key (as an eviction + reinsert
+        // leaves behind), some garbage, and a torn final append: the
+        // duplicate's newest body must win, the rest must be skipped.
+        let dup = CacheKey::new("s0", None, "c");
+        std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .and_then(|mut f| {
+                f.write_all(record_line(&dup.canonical, "r0-updated").as_bytes())?;
+                f.write_all(b"not json at all\n{\"key\": \"torn")
+            })
+            .unwrap();
+        // Reload with a cap of 3: only the newest three unique keys
+        // (s3, s4, and the re-appended s0) survive, and the file is
+        // compacted down to exactly those.
+        let reloaded = VerdictCache::persistent_with_cap(path.clone(), 3);
+        assert_eq!(reloaded.len(), 3);
+        assert!(reloaded.get(&CacheKey::new("s1", None, "c")).is_none());
+        assert!(reloaded.get(&CacheKey::new("s2", None, "c")).is_none());
+        assert_eq!(reloaded.get(&dup).as_deref(), Some("r0-updated"));
+        for i in 3..5 {
+            assert_eq!(
+                reloaded.get(&CacheKey::new(&format!("s{i}"), None, "c")).as_deref(),
+                Some(format!("r{i}").as_str()),
+            );
+        }
+        let compacted = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(compacted.lines().count(), 3, "compaction must rewrite the log");
+        assert!(!compacted.contains("torn"));
+        assert!(compacted.contains("r0-updated"));
+        assert!(!compacted.contains("\"r0\""));
+        // And the compacted file reloads identically.
+        let again = VerdictCache::persistent_with_cap(path.clone(), 3);
+        assert_eq!(again.len(), 3);
         let _ = std::fs::remove_file(&path);
     }
 }

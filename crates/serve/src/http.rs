@@ -58,7 +58,7 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
     if method.is_empty() || path.is_empty() {
         return Err(HttpError::new(400, "malformed request line"));
     }
-    let mut content_length: usize = 0;
+    let mut content_length: Option<usize> = None;
     loop {
         let mut header = String::new();
         let n = reader
@@ -73,13 +73,23 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
         }
         if let Some((name, value)) = header.split_once(':') {
             if name.eq_ignore_ascii_case("content-length") {
-                content_length = value
+                // A negative or u64-overflowing length fails the `usize`
+                // parse (400) rather than wrapping into a small allocation;
+                // the 413 below then runs *before* the body buffer is
+                // allocated, so a hostile length never reserves memory.
+                let parsed: usize = value
                     .trim()
                     .parse()
                     .map_err(|_| HttpError::new(400, "unparsable Content-Length"))?;
+                if content_length.replace(parsed).is_some_and(|prev| prev != parsed) {
+                    // RFC 9110 §8.6: conflicting lengths are a smuggling
+                    // vector; refuse rather than guess which one delimits.
+                    return Err(HttpError::new(400, "conflicting Content-Length headers"));
+                }
             }
         }
     }
+    let content_length = content_length.unwrap_or(0);
     if content_length > max_body {
         return Err(HttpError::new(
             413,
@@ -156,5 +166,56 @@ mod tests {
         assert_eq!(short.status, 400);
         let garbage = roundtrip(b"\r\n", 1024).unwrap_err();
         assert_eq!(garbage.status, 400);
+    }
+
+    #[test]
+    fn accepts_zero_length_post() {
+        let req = roundtrip(b"POST /analyze HTTP/1.1\r\nContent-Length: 0\r\n\r\n", 1024).unwrap();
+        assert_eq!(req.method, "POST");
+        assert!(req.body.is_empty());
+        // No Content-Length at all reads the same as an explicit zero.
+        let req = roundtrip(b"POST /analyze HTTP/1.1\r\nHost: x\r\n\r\n", 1024).unwrap();
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_negative_and_overflowing_content_length() {
+        // A negative length must be a parse failure (400), not a wrap into
+        // a huge or zero allocation.
+        let neg = roundtrip(b"POST / HTTP/1.1\r\nContent-Length: -1\r\n\r\n", 1024).unwrap_err();
+        assert_eq!(neg.status, 400);
+        // One past u64::MAX (and u64::MAX itself, which can't fit a body
+        // limit anyway): the usize parse overflows → 400, and nothing is
+        // allocated on either path.
+        let wrap =
+            roundtrip(b"POST / HTTP/1.1\r\nContent-Length: 18446744073709551616\r\n\r\n", 1024)
+                .unwrap_err();
+        assert_eq!(wrap.status, 400);
+        // A huge-but-parsable length is bounced by the limit check (413)
+        // before the body buffer is allocated.
+        let huge =
+            roundtrip(b"POST / HTTP/1.1\r\nContent-Length: 9223372036854775807\r\n\r\n", 1024)
+                .unwrap_err();
+        assert_eq!(huge.status, 413);
+        let junk =
+            roundtrip(b"POST / HTTP/1.1\r\nContent-Length: 4x\r\n\r\nabcd", 1024).unwrap_err();
+        assert_eq!(junk.status, 400);
+    }
+
+    #[test]
+    fn rejects_conflicting_content_lengths() {
+        let smuggle = roundtrip(
+            b"POST / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 2\r\n\r\nabcd",
+            1024,
+        )
+        .unwrap_err();
+        assert_eq!(smuggle.status, 400);
+        // Agreeing duplicates are harmless and accepted.
+        let agree = roundtrip(
+            b"POST / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 4\r\n\r\nabcd",
+            1024,
+        )
+        .unwrap();
+        assert_eq!(agree.body, b"abcd");
     }
 }

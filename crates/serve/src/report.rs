@@ -63,6 +63,16 @@ pub fn outcome_json(program: &Program, outcome: &AnalysisOutcome, wall_s: f64) -
         ("trails", trails),
         ("attack", attack),
         ("degradations", Json::arr(outcome.degradations.iter().map(|d| d.to_string()))),
+        (
+            "seeds",
+            Json::obj([
+                ("trails_seeded", Json::from(outcome.seed_stats.trails_seeded)),
+                ("trails_unseeded", Json::from(outcome.seed_stats.trails_unseeded)),
+                ("seeds_rejected", Json::from(outcome.seed_stats.seeds_rejected)),
+                ("seeded_passes", Json::from(outcome.seed_stats.seeded_passes)),
+                ("unseeded_passes", Json::from(outcome.seed_stats.unseeded_passes)),
+            ]),
+        ),
         ("budget", budget_json(&outcome.budget_report)),
         ("tree", Json::from(outcome.render_tree(program))),
     ])
@@ -106,6 +116,13 @@ mod tests {
             assert_eq!(doc.get("attack").map(Json::is_null), Some(!has_attack));
             assert_eq!(doc.get("wall_s").and_then(Json::as_f64), Some(0.5));
             assert!(doc.get("trails").and_then(Json::as_arr).is_some_and(|t| !t.is_empty()));
+            // The seeding counters round-trip; the initial trail is never
+            // seeded (it has no parent), so at least one from-⊥ run shows.
+            assert!(doc
+                .get("seeds")
+                .and_then(|s| s.get("trails_unseeded"))
+                .and_then(Json::as_u64)
+                .is_some_and(|n| n >= 1));
             // The document is valid JSON end to end.
             let text = doc.to_string();
             assert_eq!(Json::parse(&text).unwrap(), doc);
