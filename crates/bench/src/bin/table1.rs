@@ -104,7 +104,8 @@ fn main() {
             only.as_ref().is_none_or(|only| only.iter().any(|p| b.name.contains(p.as_str())))
         })
         .collect();
-    let jobs = pool::effective_width(None, "BLAZER_BENCH_JOBS").min(selected.len().max(1));
+    let jobs =
+        pool::clamped_width(pool::effective_width(None, "BLAZER_BENCH_JOBS"), selected.len());
     println!(
         "{:<22} {:>5} {:>12} {:>12}   {:<8} matches paper?  \
          ({jobs} job(s) x {threads} thread(s))",

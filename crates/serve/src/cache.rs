@@ -34,7 +34,7 @@ use std::collections::{HashMap, HashSet};
 use std::io::Write;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex};
 
 /// The canonical identity of one analysis request.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -59,6 +59,134 @@ impl CacheKey {
     /// The 16-hex-digit content address reported to clients.
     pub fn address(&self) -> String {
         format!("{:016x}", fnv1a64(self.canonical.as_bytes()))
+    }
+
+    /// The full canonical string (the exact-compare identity).
+    pub fn canonical(&self) -> &str {
+        &self.canonical
+    }
+}
+
+// ------------------------------------------------------------ single-flight
+
+/// The finished result of one coalesced analysis run, shared with every
+/// request that joined the flight while it was in the air.
+#[derive(Debug, Clone)]
+pub struct FlightOutcome {
+    /// HTTP status the leader produced.
+    pub status: u16,
+    /// Raw JSON body (before per-request `cached` annotation).
+    pub body: String,
+}
+
+#[derive(Debug, Default)]
+struct Flight {
+    result: Mutex<Option<FlightOutcome>>,
+    ready: Condvar,
+}
+
+/// What [`SingleFlight::join`] made of a request.
+pub enum Joined<'a> {
+    /// First in: this request must run the analysis and publish the result
+    /// through [`FlightToken::complete`].
+    Leader(FlightToken<'a>),
+    /// An identical request was already in the air; this is its result.
+    Follower(FlightOutcome),
+}
+
+/// The leader's obligation to publish. If the token is dropped without
+/// [`FlightToken::complete`] (a panic escaping the leader's path), waiting
+/// followers are released with a `500` instead of blocking forever.
+pub struct FlightToken<'a> {
+    owner: &'a SingleFlight,
+    key: String,
+    flight: Arc<Flight>,
+    published: bool,
+}
+
+impl FlightToken<'_> {
+    /// Publishes the leader's result to every follower and retires the
+    /// flight so later identical requests start fresh (or hit the cache).
+    pub fn complete(mut self, outcome: FlightOutcome) {
+        self.publish(outcome);
+    }
+
+    fn publish(&mut self, outcome: FlightOutcome) {
+        if self.published {
+            return;
+        }
+        self.published = true;
+        *self.flight.result.lock().unwrap_or_else(|e| e.into_inner()) = Some(outcome);
+        self.flight.ready.notify_all();
+        self.owner.flights.lock().unwrap_or_else(|e| e.into_inner()).remove(&self.key);
+    }
+}
+
+impl Drop for FlightToken<'_> {
+    fn drop(&mut self) {
+        if !self.published {
+            self.publish(FlightOutcome {
+                status: 500,
+                body: "{\"ok\": false, \"error\": \"analysis abandoned by its worker\"}"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// Coalesces concurrent identical submissions onto one driver run.
+///
+/// Sits *in front of* the verdict cache: without it, N simultaneous POSTs
+/// of the same uncached program all miss and all run the full analysis (a
+/// cache stampede — the cache only helps once somebody has finished). With
+/// it, the first request becomes the flight's *leader*; the other N−1
+/// block on its condvar and are answered from the leader's single run.
+/// Non-cacheable outcomes (`422`/`500`) are shared with concurrent
+/// followers too — they asked the exact same question at the same time —
+/// but are still never inserted into the cache.
+#[derive(Debug, Default)]
+pub struct SingleFlight {
+    flights: Mutex<HashMap<String, Arc<Flight>>>,
+}
+
+impl SingleFlight {
+    /// An empty flight registry.
+    pub fn new() -> SingleFlight {
+        SingleFlight::default()
+    }
+
+    /// Joins the flight for `key`: the first caller becomes the leader and
+    /// returns immediately; every other caller blocks until the leader
+    /// publishes, then gets the shared outcome.
+    pub fn join(&self, key: &CacheKey) -> Joined<'_> {
+        let flight = {
+            let mut flights = self.flights.lock().unwrap_or_else(|e| e.into_inner());
+            match flights.get(key.canonical()) {
+                Some(flight) => Arc::clone(flight),
+                None => {
+                    let flight = Arc::new(Flight::default());
+                    flights.insert(key.canonical().to_string(), Arc::clone(&flight));
+                    return Joined::Leader(FlightToken {
+                        owner: self,
+                        key: key.canonical().to_string(),
+                        flight,
+                        published: false,
+                    });
+                }
+            }
+        };
+        let mut slot = flight.result.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            match &*slot {
+                Some(outcome) => return Joined::Follower(outcome.clone()),
+                None => slot = flight.ready.wait(slot).unwrap_or_else(|e| e.into_inner()),
+            }
+        }
+    }
+
+    /// Number of flights currently in the air (tests/metrics).
+    pub fn in_flight(&self) -> usize {
+        self.flights.lock().unwrap_or_else(|e| e.into_inner()).len()
     }
 }
 
@@ -325,6 +453,70 @@ mod tests {
         cache.insert(&c, "rc".into());
         assert_eq!(cache.len(), 2);
         assert!(cache.get(&a).is_some());
+    }
+
+    #[test]
+    fn single_flight_coalesces_concurrent_joiners() {
+        use std::sync::atomic::AtomicUsize;
+        let sf = SingleFlight::new();
+        let key = CacheKey::new("src", None, "cfg");
+        let leads = AtomicUsize::new(0);
+        let follows = AtomicUsize::new(0);
+        let gate = std::sync::Barrier::new(8);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    gate.wait();
+                    match sf.join(&key) {
+                        Joined::Leader(token) => {
+                            leads.fetch_add(1, Ordering::SeqCst);
+                            // Linger so the siblings pile up as followers.
+                            std::thread::sleep(std::time::Duration::from_millis(50));
+                            token.complete(FlightOutcome { status: 200, body: "r".into() });
+                        }
+                        Joined::Follower(outcome) => {
+                            follows.fetch_add(1, Ordering::SeqCst);
+                            assert_eq!((outcome.status, outcome.body.as_str()), (200, "r"));
+                        }
+                    }
+                });
+            }
+        });
+        // Exactly one leader; everyone else either followed the live
+        // flight or (having joined after retirement) led a fresh one —
+        // with the 50ms linger the race window for the latter is tiny,
+        // but the invariant that matters is leaders + followers == 8.
+        assert_eq!(leads.load(Ordering::SeqCst) + follows.load(Ordering::SeqCst), 8);
+        assert!(leads.load(Ordering::SeqCst) >= 1);
+        assert_eq!(sf.in_flight(), 0, "completed flights retire");
+    }
+
+    #[test]
+    fn single_flight_releases_followers_when_the_leader_is_dropped() {
+        let sf = SingleFlight::new();
+        let key = CacheKey::new("src", None, "cfg");
+        let Joined::Leader(token) = sf.join(&key) else { panic!("first joiner leads") };
+        std::thread::scope(|scope| {
+            let follower = scope.spawn(|| match sf.join(&key) {
+                Joined::Follower(outcome) => outcome.status,
+                Joined::Leader(_) => panic!("flight is already in the air"),
+            });
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            drop(token); // leader dies without completing
+            assert_eq!(follower.join().unwrap(), 500);
+        });
+        assert_eq!(sf.in_flight(), 0);
+    }
+
+    #[test]
+    fn single_flight_retires_flights_for_reuse() {
+        let sf = SingleFlight::new();
+        let key = CacheKey::new("src", None, "cfg");
+        let Joined::Leader(first) = sf.join(&key) else { panic!("leads") };
+        first.complete(FlightOutcome { status: 200, body: "a".into() });
+        // After completion the next identical submission is a fresh flight
+        // (the verdict cache, not the flight registry, serves repeats).
+        assert!(matches!(sf.join(&key), Joined::Leader(_)));
     }
 
     #[test]

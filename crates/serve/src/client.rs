@@ -1,11 +1,157 @@
 //! A minimal blocking HTTP client for the service — what the `blazer
 //! client` subcommand, the CI smoke test, and the end-to-end tests use
 //! instead of curl.
+//!
+//! Two modes:
+//!
+//! - The free functions ([`health`], [`stats`], [`analyze`],
+//!   [`analyze_batch`]) open one `Connection: close` connection per call —
+//!   the simplest thing that works for a single request.
+//! - [`Session`] holds one keep-alive connection and sends any number of
+//!   requests over it, paying the TCP handshake once. Responses are framed
+//!   by `Content-Length` (a keep-alive peer can't read to EOF), so a
+//!   session can also be used to *pipeline*: writes and reads are separate
+//!   calls on the same socket.
 
 use crate::api::AnalyzeRequest;
 use blazer_ir::json::Json;
-use std::io::{Read, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
+
+fn bad_data(msg: impl Into<String>) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Formats one request head + body. `close` picks the `Connection` token.
+fn format_request(method: &str, path: &str, host: &str, body: &str, close: bool) -> String {
+    format!(
+        "{method} {path} HTTP/1.1\r\nHost: {host}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: {}\r\n\r\n{body}",
+        body.len(),
+        if close { "close" } else { "keep-alive" },
+    )
+}
+
+/// Reads one `Content-Length`-framed response from a persistent reader.
+/// Returns `(status, body, server_closes)` — the last flag reports the
+/// server's `Connection: close`, after which no further response will
+/// arrive on this connection.
+pub fn read_response<R: BufRead>(reader: &mut R) -> std::io::Result<(u16, String, bool)> {
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let status: u16 = line
+        .strip_prefix("HTTP/1.1 ")
+        .and_then(|rest| rest.get(..3))
+        .and_then(|code| code.parse().ok())
+        .ok_or_else(|| bad_data(format!("malformed status line: {line:.60}")))?;
+    let mut content_length: Option<usize> = None;
+    let mut closes = false;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            return Err(bad_data("connection closed mid-response-headers"));
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().ok();
+            } else if name.eq_ignore_ascii_case("connection") {
+                closes = value.split(',').any(|t| t.trim().eq_ignore_ascii_case("close"));
+            }
+        }
+    }
+    let length =
+        content_length.ok_or_else(|| bad_data("response without Content-Length framing"))?;
+    let mut body = vec![0u8; length];
+    reader.read_exact(&mut body)?;
+    let body = String::from_utf8(body).map_err(|_| bad_data("response body is not UTF-8"))?;
+    Ok((status, body, closes))
+}
+
+/// One keep-alive connection to the service. Every request reuses the
+/// same socket until the server announces `Connection: close` (request
+/// cap, error) — after that, further requests fail with a clear error
+/// instead of hanging on a dead socket.
+pub struct Session {
+    reader: BufReader<TcpStream>,
+    addr: String,
+    server_closed: bool,
+}
+
+impl Session {
+    /// Connects one persistent session to `addr`.
+    pub fn connect(addr: &str) -> std::io::Result<Session> {
+        let stream = TcpStream::connect(addr)?;
+        Ok(Session { reader: BufReader::new(stream), addr: addr.to_string(), server_closed: false })
+    }
+
+    /// Whether the server has announced it will close this connection.
+    pub fn server_closed(&self) -> bool {
+        self.server_closed
+    }
+
+    /// Sends one request and reads its framed response on the session's
+    /// persistent connection.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> std::io::Result<(u16, String)> {
+        if self.server_closed {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::NotConnected,
+                "server closed this session (Connection: close); open a new one",
+            ));
+        }
+        let head = format_request(method, path, &self.addr, body.unwrap_or(""), false);
+        // Writes go through the BufReader's inner stream; they don't
+        // disturb buffered (pipelined) response bytes.
+        self.reader.get_mut().write_all(head.as_bytes())?;
+        self.reader.get_mut().flush()?;
+        let (status, body, closes) = read_response(&mut self.reader)?;
+        self.server_closed = closes;
+        Ok((status, body))
+    }
+
+    /// [`Session::request`] with a parsed JSON response.
+    pub fn json_request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> std::io::Result<(u16, Json)> {
+        let (status, body) = self.request(method, path, body)?;
+        let doc =
+            Json::parse(&body).map_err(|e| bad_data(format!("{e} in response: {body:.120}")))?;
+        Ok((status, doc))
+    }
+
+    /// `POST /analyze` with one typed request.
+    pub fn analyze(&mut self, req: &AnalyzeRequest) -> std::io::Result<(u16, Json)> {
+        self.json_request("POST", "/analyze", Some(&req.to_json().to_string()))
+    }
+
+    /// `POST /analyze` with a batch: one array in, one array out, results
+    /// in submission order with per-item `status` fields.
+    pub fn analyze_batch(&mut self, reqs: &[AnalyzeRequest]) -> std::io::Result<(u16, Json)> {
+        let body = Json::arr(reqs.iter().map(AnalyzeRequest::to_json)).to_string();
+        self.json_request("POST", "/analyze", Some(&body))
+    }
+
+    /// `GET /health` on the session's connection.
+    pub fn health(&mut self) -> std::io::Result<(u16, Json)> {
+        self.json_request("GET", "/health", None)
+    }
+
+    /// `GET /stats` on the session's connection.
+    pub fn stats(&mut self) -> std::io::Result<(u16, Json)> {
+        self.json_request("GET", "/stats", None)
+    }
+}
 
 /// Sends one `Connection: close` request and returns `(status, body)`.
 /// The read blocks until the server closes the connection, so there is no
@@ -18,14 +164,7 @@ pub fn raw_request(
     body: Option<&str>,
 ) -> std::io::Result<(u16, String)> {
     let mut stream = TcpStream::connect(addr)?;
-    let body = body.unwrap_or("");
-    let head = format!(
-        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\n\
-         Content-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len()
-    );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
+    stream.write_all(format_request(method, path, addr, body.unwrap_or(""), true).as_bytes())?;
     stream.flush()?;
     let mut raw = String::new();
     stream.read_to_string(&mut raw)?;
@@ -39,10 +178,6 @@ pub fn raw_request(
         .map(|(_, b)| b.to_string())
         .ok_or_else(|| bad_data("response without header/body separator"))?;
     Ok((status, payload))
-}
-
-fn bad_data(msg: impl Into<String>) -> std::io::Error {
-    std::io::Error::new(std::io::ErrorKind::InvalidData, msg.into())
 }
 
 fn json_request(
@@ -69,4 +204,11 @@ pub fn stats(addr: &str) -> std::io::Result<(u16, Json)> {
 /// `POST /analyze` with a typed request.
 pub fn analyze(addr: &str, req: &AnalyzeRequest) -> std::io::Result<(u16, Json)> {
     json_request(addr, "POST", "/analyze", Some(&req.to_json().to_string()))
+}
+
+/// `POST /analyze` with a batch of typed requests on a one-shot
+/// connection (see [`Session::analyze_batch`] for the keep-alive way).
+pub fn analyze_batch(addr: &str, reqs: &[AnalyzeRequest]) -> std::io::Result<(u16, Json)> {
+    let body = Json::arr(reqs.iter().map(AnalyzeRequest::to_json)).to_string();
+    json_request(addr, "POST", "/analyze", Some(&body))
 }

@@ -1,19 +1,41 @@
 //! A deliberately small HTTP/1.1 subset over `std::net` streams.
 //!
-//! The service speaks exactly three routes, every request and response
-//! carries `Connection: close`, and bodies are delimited by
-//! `Content-Length` only (no chunked transfer, no keep-alive, no TLS).
-//! That subset is what `curl`, the `blazer client` subcommand, and any
-//! load balancer health check need — and nothing more, because the
-//! workspace is std-only.
+//! The service speaks exactly three routes, bodies are delimited by
+//! `Content-Length` only (no chunked transfer, no TLS), and connections
+//! are **persistent by default**: an HTTP/1.1 peer may send any number of
+//! requests — back to back, even pipelined — on one socket, and the
+//! server answers them in order on the same socket until either side says
+//! `Connection: close`, the per-connection request cap is reached, or the
+//! peer goes idle past [`IO_TIMEOUT`]. That subset is what `curl`, the
+//! `blazer client` subcommand, and any load balancer health check need —
+//! and nothing more, because the workspace is std-only.
+//!
+//! Reading is built on one long-lived `BufRead` per connection (see
+//! [`read_request`]): pipelined bytes that arrive buffered past a request
+//! boundary stay in the reader and become the next request instead of
+//! being dropped with a transient `BufReader`.
 
-use std::io::{BufRead, BufReader, Read, Write};
-use std::net::TcpStream;
+use std::io::{BufRead, Read, Write};
 use std::time::Duration;
 
 /// Per-connection socket read/write timeout: a stalled or malicious peer
-/// must never pin a worker forever.
+/// must never pin a worker forever. Between requests the same timeout
+/// doubles as the keep-alive idle cap — a connection with no next request
+/// within it is closed.
 pub const IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Maximum bytes of request head (request line plus headers, terminators
+/// included) read per request. A peer streaming an endless header line
+/// is answered `431` after this many bytes instead of growing a worker's
+/// line buffer without bound until the socket timeout.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Maximum number of header lines per request (`431` beyond).
+pub const MAX_HEADERS: usize = 100;
+
+/// Default cap on requests served per connection before the server closes
+/// it (resource hygiene: a connection can't pin a worker forever).
+pub const DEFAULT_MAX_REQUESTS_PER_CONNECTION: u64 = 1000;
 
 /// One parsed request.
 #[derive(Debug)]
@@ -24,10 +46,15 @@ pub struct Request {
     pub path: String,
     /// Body bytes (empty when no `Content-Length` was sent).
     pub body: Vec<u8>,
+    /// Whether the peer asked for the connection to be closed after this
+    /// response: an explicit `Connection: close`, or an HTTP/1.0 request
+    /// without `Connection: keep-alive`.
+    pub close: bool,
 }
 
 /// A request-reading failure that should be answered with the given HTTP
-/// status (or not at all, for a dead socket).
+/// status, after which the connection must be closed (the stream position
+/// is undefined once framing has failed).
 #[derive(Debug)]
 pub struct HttpError {
     /// Status code to answer with.
@@ -42,34 +69,100 @@ impl HttpError {
     }
 }
 
-/// Reads and parses one request from the stream, enforcing `max_body`
-/// bytes on the declared `Content-Length`.
-pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, HttpError> {
-    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
-    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
-    let mut reader = BufReader::new(stream);
+/// Why [`read_request`] produced no request.
+#[derive(Debug)]
+pub enum ReadError {
+    /// The peer hung up (or went idle past the timeout) cleanly *between*
+    /// requests: close the connection without writing anything.
+    Closed,
+    /// A malformed, oversized, or truncated request: answer with the
+    /// error's status, then close.
+    Bad(HttpError),
+}
+
+impl From<HttpError> for ReadError {
+    fn from(e: HttpError) -> ReadError {
+        ReadError::Bad(e)
+    }
+}
+
+/// Reads one CRLF-terminated head line, charging its bytes against the
+/// remaining head budget. `at_boundary` is true while zero bytes of the
+/// current request have been consumed — EOF or an idle timeout there is a
+/// clean [`ReadError::Closed`], anywhere else a `400`/`408`.
+fn read_head_line<R: BufRead>(
+    reader: &mut R,
+    budget: &mut usize,
+    at_boundary: bool,
+) -> Result<String, ReadError> {
     let mut line = String::new();
-    reader
-        .read_line(&mut line)
-        .map_err(|e| HttpError::new(400, format!("could not read request line: {e}")))?;
+    // `take` bounds how much one line may consume: when the limit is hit
+    // without a newline the line is over budget (431), and nothing past
+    // the limit has been pulled out of the reader.
+    let limit = *budget as u64;
+    let n = Read::take(&mut *reader, limit).read_line(&mut line).map_err(|e| {
+        use std::io::ErrorKind;
+        match e.kind() {
+            ErrorKind::TimedOut | ErrorKind::WouldBlock => {
+                if at_boundary && line.is_empty() {
+                    ReadError::Closed
+                } else {
+                    ReadError::Bad(HttpError::new(408, "timed out reading request head"))
+                }
+            }
+            _ if at_boundary && line.is_empty() => ReadError::Closed,
+            _ => ReadError::Bad(HttpError::new(400, format!("could not read request head: {e}"))),
+        }
+    })?;
+    *budget -= n;
+    if n == 0 && at_boundary {
+        return Err(ReadError::Closed);
+    }
+    if !line.ends_with('\n') {
+        if n as u64 == limit {
+            return Err(HttpError::new(
+                431,
+                format!("request head exceeds the {MAX_HEAD_BYTES}-byte limit"),
+            )
+            .into());
+        }
+        return Err(HttpError::new(400, "connection closed mid-request head").into());
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(line)
+}
+
+/// Reads and parses one request from a connection's persistent reader,
+/// enforcing `max_body` bytes on the declared `Content-Length` plus the
+/// [`MAX_HEAD_BYTES`]/[`MAX_HEADERS`] head bounds.
+///
+/// The reader must live as long as the connection: pipelined bytes
+/// buffered past this request's end are the start of the next one.
+pub fn read_request<R: BufRead>(reader: &mut R, max_body: usize) -> Result<Request, ReadError> {
+    let mut head_budget = MAX_HEAD_BYTES;
+    let line = read_head_line(reader, &mut head_budget, true)?;
     let mut parts = line.split_whitespace();
     let method = parts.next().unwrap_or_default().to_string();
     let path = parts.next().unwrap_or_default().to_string();
     if method.is_empty() || path.is_empty() {
-        return Err(HttpError::new(400, "malformed request line"));
+        return Err(HttpError::new(400, "malformed request line").into());
     }
+    // HTTP/1.1 connections persist unless told otherwise; HTTP/1.0 (and
+    // version-less) peers don't understand keep-alive unless they ask.
+    let http11 = parts.next().is_none_or(|v| v.eq_ignore_ascii_case("HTTP/1.1"));
+    let mut close = !http11;
     let mut content_length: Option<usize> = None;
+    let mut headers = 0usize;
     loop {
-        let mut header = String::new();
-        let n = reader
-            .read_line(&mut header)
-            .map_err(|e| HttpError::new(400, format!("could not read headers: {e}")))?;
-        if n == 0 {
-            return Err(HttpError::new(400, "connection closed mid-headers"));
-        }
-        let header = header.trim_end();
+        let header = read_head_line(reader, &mut head_budget, false)?;
         if header.is_empty() {
             break;
+        }
+        headers += 1;
+        if headers > MAX_HEADERS {
+            return Err(HttpError::new(431, format!("more than {MAX_HEADERS} headers")).into());
         }
         if let Some((name, value)) = header.split_once(':') {
             if name.eq_ignore_ascii_case("content-length") {
@@ -84,7 +177,16 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
                 if content_length.replace(parsed).is_some_and(|prev| prev != parsed) {
                     // RFC 9110 §8.6: conflicting lengths are a smuggling
                     // vector; refuse rather than guess which one delimits.
-                    return Err(HttpError::new(400, "conflicting Content-Length headers"));
+                    return Err(HttpError::new(400, "conflicting Content-Length headers").into());
+                }
+            } else if name.eq_ignore_ascii_case("connection") {
+                for token in value.split(',') {
+                    let token = token.trim();
+                    if token.eq_ignore_ascii_case("close") {
+                        close = true;
+                    } else if token.eq_ignore_ascii_case("keep-alive") {
+                        close = false;
+                    }
                 }
             }
         }
@@ -94,13 +196,20 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
         return Err(HttpError::new(
             413,
             format!("body of {content_length} bytes exceeds the {max_body}-byte limit"),
-        ));
+        )
+        .into());
     }
     let mut body = vec![0u8; content_length];
-    reader
-        .read_exact(&mut body)
-        .map_err(|e| HttpError::new(400, format!("body shorter than Content-Length: {e}")))?;
-    Ok(Request { method, path, body })
+    std::io::Read::read_exact(reader, &mut body).map_err(|e| {
+        use std::io::ErrorKind;
+        match e.kind() {
+            ErrorKind::TimedOut | ErrorKind::WouldBlock => {
+                HttpError::new(408, "timed out reading request body")
+            }
+            _ => HttpError::new(400, format!("body shorter than Content-Length: {e}")),
+        }
+    })?;
+    Ok(Request { method, path, body, close })
 }
 
 /// The standard reason phrase for the status codes this service emits.
@@ -113,68 +222,106 @@ fn reason(status: u16) -> &'static str {
         408 => "Request Timeout",
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
+        431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
         _ => "Unknown",
     }
 }
 
-/// Writes one `Connection: close` JSON response. Write errors are ignored:
-/// the peer may have hung up, and the server has nothing better to do than
-/// move on to the next connection.
-pub fn write_json_response(stream: &mut TcpStream, status: u16, body: &str) {
-    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+/// Writes one JSON response, announcing `Connection: keep-alive` or
+/// `Connection: close` per `close`. Write errors are ignored: the peer may
+/// have hung up, and the server has nothing better to do than move on.
+pub fn write_json_response<W: Write>(writer: &mut W, status: u16, body: &str, close: bool) {
     let head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
         reason(status),
         body.len(),
+        if close { "close" } else { "keep-alive" },
     );
-    let _ = stream.write_all(head.as_bytes()).and_then(|()| stream.write_all(body.as_bytes()));
-    let _ = stream.flush();
+    let _ = writer.write_all(head.as_bytes()).and_then(|()| writer.write_all(body.as_bytes()));
+    let _ = writer.flush();
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::net::{TcpListener, TcpStream};
+    use std::io::Cursor;
 
-    fn roundtrip(raw: &[u8], max_body: usize) -> Result<Request, HttpError> {
-        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-        let addr = listener.local_addr().unwrap();
-        let mut tx = TcpStream::connect(addr).unwrap();
-        tx.write_all(raw).unwrap();
-        tx.shutdown(std::net::Shutdown::Write).unwrap();
-        let (mut rx, _) = listener.accept().unwrap();
-        read_request(&mut rx, max_body)
+    fn parse_one(raw: &[u8], max_body: usize) -> Result<Request, ReadError> {
+        read_request(&mut Cursor::new(raw.to_vec()), max_body)
+    }
+
+    fn err_status(result: Result<Request, ReadError>) -> u16 {
+        match result.unwrap_err() {
+            ReadError::Bad(e) => e.status,
+            ReadError::Closed => panic!("expected an HTTP error, got a clean close"),
+        }
     }
 
     #[test]
     fn parses_post_with_body() {
         let req =
-            roundtrip(b"POST /analyze HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd", 1024)
+            parse_one(b"POST /analyze HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd", 1024)
                 .unwrap();
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/analyze");
         assert_eq!(req.body, b"abcd");
+        assert!(!req.close, "HTTP/1.1 defaults to keep-alive");
+    }
+
+    #[test]
+    fn connection_negotiation() {
+        let close = parse_one(b"GET /health HTTP/1.1\r\nConnection: close\r\n\r\n", 0).unwrap();
+        assert!(close.close);
+        let old = parse_one(b"GET /health HTTP/1.0\r\n\r\n", 0).unwrap();
+        assert!(old.close, "HTTP/1.0 defaults to close");
+        let old_ka =
+            parse_one(b"GET /health HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n", 0).unwrap();
+        assert!(!old_ka.close, "an HTTP/1.0 peer may opt into keep-alive");
+        let multi = parse_one(b"GET / HTTP/1.1\r\nConnection: foo, Close\r\n\r\n", 0).unwrap();
+        assert!(multi.close, "close token found in a token list, any case");
+    }
+
+    #[test]
+    fn pipelined_requests_parse_back_to_back_from_one_reader() {
+        let mut reader = Cursor::new(
+            b"POST /analyze HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi\
+              GET /health HTTP/1.1\r\n\r\n\
+              GET /stats HTTP/1.1\r\nConnection: close\r\n\r\n"
+                .to_vec(),
+        );
+        let first = read_request(&mut reader, 1024).unwrap();
+        assert_eq!((first.method.as_str(), first.path.as_str()), ("POST", "/analyze"));
+        assert_eq!(first.body, b"hi");
+        let second = read_request(&mut reader, 1024).unwrap();
+        assert_eq!(second.path, "/health");
+        assert!(!second.close);
+        let third = read_request(&mut reader, 1024).unwrap();
+        assert_eq!(third.path, "/stats");
+        assert!(third.close);
+        // A clean end-of-stream at a request boundary is a close, not an
+        // error.
+        assert!(matches!(read_request(&mut reader, 1024), Err(ReadError::Closed)));
     }
 
     #[test]
     fn rejects_oversized_and_truncated_bodies() {
-        let over = roundtrip(b"POST / HTTP/1.1\r\nContent-Length: 99\r\n\r\n", 10).unwrap_err();
-        assert_eq!(over.status, 413);
-        let short = roundtrip(b"POST / HTTP/1.1\r\nContent-Length: 9\r\n\r\nab", 1024).unwrap_err();
-        assert_eq!(short.status, 400);
-        let garbage = roundtrip(b"\r\n", 1024).unwrap_err();
-        assert_eq!(garbage.status, 400);
+        let over = err_status(parse_one(b"POST / HTTP/1.1\r\nContent-Length: 99\r\n\r\n", 10));
+        assert_eq!(over, 413);
+        let short = err_status(parse_one(b"POST / HTTP/1.1\r\nContent-Length: 9\r\n\r\nab", 1024));
+        assert_eq!(short, 400);
+        let garbage = err_status(parse_one(b"\r\n", 1024));
+        assert_eq!(garbage, 400);
     }
 
     #[test]
     fn accepts_zero_length_post() {
-        let req = roundtrip(b"POST /analyze HTTP/1.1\r\nContent-Length: 0\r\n\r\n", 1024).unwrap();
+        let req = parse_one(b"POST /analyze HTTP/1.1\r\nContent-Length: 0\r\n\r\n", 1024).unwrap();
         assert_eq!(req.method, "POST");
         assert!(req.body.is_empty());
         // No Content-Length at all reads the same as an explicit zero.
-        let req = roundtrip(b"POST /analyze HTTP/1.1\r\nHost: x\r\n\r\n", 1024).unwrap();
+        let req = parse_one(b"POST /analyze HTTP/1.1\r\nHost: x\r\n\r\n", 1024).unwrap();
         assert!(req.body.is_empty());
     }
 
@@ -182,40 +329,75 @@ mod tests {
     fn rejects_negative_and_overflowing_content_length() {
         // A negative length must be a parse failure (400), not a wrap into
         // a huge or zero allocation.
-        let neg = roundtrip(b"POST / HTTP/1.1\r\nContent-Length: -1\r\n\r\n", 1024).unwrap_err();
-        assert_eq!(neg.status, 400);
+        let neg = err_status(parse_one(b"POST / HTTP/1.1\r\nContent-Length: -1\r\n\r\n", 1024));
+        assert_eq!(neg, 400);
         // One past u64::MAX (and u64::MAX itself, which can't fit a body
         // limit anyway): the usize parse overflows → 400, and nothing is
         // allocated on either path.
-        let wrap =
-            roundtrip(b"POST / HTTP/1.1\r\nContent-Length: 18446744073709551616\r\n\r\n", 1024)
-                .unwrap_err();
-        assert_eq!(wrap.status, 400);
+        let wrap = err_status(parse_one(
+            b"POST / HTTP/1.1\r\nContent-Length: 18446744073709551616\r\n\r\n",
+            1024,
+        ));
+        assert_eq!(wrap, 400);
         // A huge-but-parsable length is bounced by the limit check (413)
         // before the body buffer is allocated.
-        let huge =
-            roundtrip(b"POST / HTTP/1.1\r\nContent-Length: 9223372036854775807\r\n\r\n", 1024)
-                .unwrap_err();
-        assert_eq!(huge.status, 413);
+        let huge = err_status(parse_one(
+            b"POST / HTTP/1.1\r\nContent-Length: 9223372036854775807\r\n\r\n",
+            1024,
+        ));
+        assert_eq!(huge, 413);
         let junk =
-            roundtrip(b"POST / HTTP/1.1\r\nContent-Length: 4x\r\n\r\nabcd", 1024).unwrap_err();
-        assert_eq!(junk.status, 400);
+            err_status(parse_one(b"POST / HTTP/1.1\r\nContent-Length: 4x\r\n\r\nabcd", 1024));
+        assert_eq!(junk, 400);
     }
 
     #[test]
     fn rejects_conflicting_content_lengths() {
-        let smuggle = roundtrip(
+        let smuggle = err_status(parse_one(
             b"POST / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 2\r\n\r\nabcd",
             1024,
-        )
-        .unwrap_err();
-        assert_eq!(smuggle.status, 400);
+        ));
+        assert_eq!(smuggle, 400);
         // Agreeing duplicates are harmless and accepted.
-        let agree = roundtrip(
+        let agree = parse_one(
             b"POST / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 4\r\n\r\nabcd",
             1024,
         )
         .unwrap();
         assert_eq!(agree.body, b"abcd");
+    }
+
+    #[test]
+    fn caps_the_request_head() {
+        // One endless header line: bounced at the head budget with 431,
+        // never accumulated past MAX_HEAD_BYTES.
+        let mut raw = b"GET /health HTTP/1.1\r\nX-Junk: ".to_vec();
+        raw.extend(std::iter::repeat_n(b'a', MAX_HEAD_BYTES + 10));
+        assert_eq!(err_status(parse_one(&raw, 1024)), 431);
+        // Likewise an endless *request line*.
+        let mut raw = b"GET /".to_vec();
+        raw.extend(std::iter::repeat_n(b'x', MAX_HEAD_BYTES + 10));
+        assert_eq!(err_status(parse_one(&raw, 1024)), 431);
+        // Too many individually-small headers.
+        let mut raw = b"GET /health HTTP/1.1\r\n".to_vec();
+        for i in 0..=MAX_HEADERS {
+            raw.extend(format!("X-{i}: v\r\n").into_bytes());
+        }
+        raw.extend(b"\r\n");
+        assert_eq!(err_status(parse_one(&raw, 1024)), 431);
+        // A head just under every bound still parses.
+        let mut raw = b"GET /health HTTP/1.1\r\n".to_vec();
+        for i in 0..MAX_HEADERS {
+            raw.extend(format!("X-{i}: v\r\n").into_bytes());
+        }
+        raw.extend(b"\r\n");
+        assert!(parse_one(&raw, 1024).is_ok());
+    }
+
+    #[test]
+    fn eof_mid_head_is_an_error_not_a_clean_close() {
+        assert_eq!(err_status(parse_one(b"GET /health HTTP/1.1\r\nHost", 1024)), 400);
+        assert_eq!(err_status(parse_one(b"GET /health HT", 1024)), 400);
+        assert!(matches!(parse_one(b"", 1024), Err(ReadError::Closed)));
     }
 }

@@ -61,6 +61,14 @@ where
     results
 }
 
+/// Clamps a fan-out width to the number of items, never below one — the
+/// shared rule for sizing a [`scoped_map`] call (the Table-1 harness over
+/// its selected benchmarks, the batch `/analyze` handler over its items):
+/// spawning more workers than items buys nothing.
+pub fn clamped_width(width: usize, items: usize) -> usize {
+    width.min(items).max(1)
+}
+
 /// The effective pool width for a `width` request: an explicit positive
 /// value wins, then a positive value in the named environment variable,
 /// then the machine's available parallelism.
@@ -103,6 +111,14 @@ mod tests {
         .unwrap_err();
         let msg = caught.downcast_ref::<String>().cloned().unwrap_or_default();
         assert_eq!(msg, "boom at 3");
+    }
+
+    #[test]
+    fn clamps_width_to_items_never_below_one() {
+        assert_eq!(clamped_width(8, 3), 3);
+        assert_eq!(clamped_width(2, 24), 2);
+        assert_eq!(clamped_width(4, 0), 1);
+        assert_eq!(clamped_width(0, 5), 1);
     }
 
     #[test]

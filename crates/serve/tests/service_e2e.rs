@@ -4,6 +4,7 @@
 use blazer_core::{Blazer, Config, Verdict};
 use blazer_ir::json::Json;
 use blazer_serve::{client, AnalyzeRequest, ServeOptions, Server};
+use std::io::Write;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 const SAFE_SRC: &str = "fn check(high: int #high, low: int) { \
@@ -134,6 +135,264 @@ fn exhausted_request_budget_is_a_422_and_the_server_keeps_serving() {
     assert_eq!(status, 200, "{doc}");
     assert_eq!(doc.get("verdict").and_then(Json::as_str), Some("safe"));
     assert_eq!(doc.get("cached").and_then(Json::as_bool), Some(false));
+    server.stop();
+}
+
+#[test]
+fn keepalive_serves_sequential_requests_on_one_connection() {
+    let server = start_server(ServeOptions::default());
+    let addr = server.addr().to_string();
+    let mut session = client::Session::connect(&addr).expect("session connects");
+    // ≥ 3 sequential /analyze requests on one socket, interleaving cache
+    // misses and hits: miss, hit, miss (different source), hit.
+    let req = AnalyzeRequest::new(UNSAFE_SRC);
+    let (status, first) = session.analyze(&req).expect("first request");
+    assert_eq!(status, 200, "{first}");
+    assert_eq!(first.get("cached").and_then(Json::as_bool), Some(false));
+    let (status, second) = session.analyze(&req).expect("second request, same socket");
+    assert_eq!(status, 200);
+    assert_eq!(second.get("cached").and_then(Json::as_bool), Some(true));
+    assert_eq!(first.get("verdict"), second.get("verdict"));
+    let (status, third) = session.analyze(&AnalyzeRequest::new(SAFE_SRC)).expect("third request");
+    assert_eq!(status, 200, "{third}");
+    assert_eq!(third.get("cached").and_then(Json::as_bool), Some(false));
+    assert_eq!(third.get("verdict").and_then(Json::as_str), Some("safe"));
+    let (status, fourth) = session.analyze(&AnalyzeRequest::new(SAFE_SRC)).expect("fourth");
+    assert_eq!(status, 200);
+    assert_eq!(fourth.get("cached").and_then(Json::as_bool), Some(true));
+    // The stats request rides the same connection: one connection total,
+    // five requests — the split the keep-alive work makes observable.
+    let (status, stats) = session.stats().expect("stats on the same socket");
+    assert_eq!(status, 200);
+    assert_eq!(stats.get("connections").and_then(Json::as_u64), Some(1));
+    assert_eq!(stats.get("requests").and_then(Json::as_u64), Some(5));
+    assert_eq!(stats.get("analyze_requests").and_then(Json::as_u64), Some(4));
+    assert_eq!(stats.get("analyses_run").and_then(Json::as_u64), Some(2));
+    assert!(!session.server_closed());
+    server.stop();
+}
+
+#[test]
+fn pipelined_requests_are_answered_in_order_on_one_socket() {
+    let server = start_server(ServeOptions::default());
+    let mut stream = std::net::TcpStream::connect(server.addr()).expect("connect");
+    // Three requests written back to back before reading anything: the
+    // middle bytes land in the server's read buffer alongside the first
+    // request and must not be dropped at its boundary.
+    let bad_body = "{not json";
+    let pipelined = format!(
+        "POST /analyze HTTP/1.1\r\nContent-Length: {}\r\n\r\n{}\
+         GET /health HTTP/1.1\r\n\r\n\
+         GET /stats HTTP/1.1\r\nConnection: close\r\n\r\n",
+        bad_body.len(),
+        bad_body,
+    );
+    stream.write_all(pipelined.as_bytes()).expect("write all three requests");
+    stream.flush().unwrap();
+    let mut reader = std::io::BufReader::new(stream);
+    let (status, body, closes) = client::read_response(&mut reader).expect("first response");
+    assert_eq!(status, 400, "{body}");
+    assert!(!closes, "a routed 400 keeps the connection open");
+    let (status, body, closes) = client::read_response(&mut reader).expect("second response");
+    assert_eq!(status, 200, "{body}");
+    assert!(!closes);
+    assert_eq!(Json::parse(&body).unwrap().get("ok").and_then(Json::as_bool), Some(true));
+    let (status, body, closes) = client::read_response(&mut reader).expect("third response");
+    assert_eq!(status, 200);
+    assert!(closes, "the peer asked for Connection: close");
+    let stats = Json::parse(&body).expect("stats body");
+    assert_eq!(stats.get("connections").and_then(Json::as_u64), Some(1));
+    assert_eq!(stats.get("requests").and_then(Json::as_u64), Some(3));
+    server.stop();
+}
+
+#[test]
+fn request_cap_closes_the_connection_after_the_last_response() {
+    let server =
+        start_server(ServeOptions { max_requests_per_connection: 2, ..ServeOptions::default() });
+    let addr = server.addr().to_string();
+    let mut session = client::Session::connect(&addr).expect("session connects");
+    let (status, _) = session.health().expect("first request");
+    assert_eq!(status, 200);
+    assert!(!session.server_closed());
+    let (status, _) = session.health().expect("second request");
+    assert_eq!(status, 200);
+    assert!(session.server_closed(), "the cap's last response announces the close");
+    assert!(session.health().is_err(), "a dead session fails loudly instead of hanging");
+    // A fresh connection serves again.
+    let (status, _) = client::health(&addr).expect("fresh connection");
+    assert_eq!(status, 200);
+    server.stop();
+}
+
+#[test]
+fn peer_hanging_up_mid_body_leaves_the_server_serving() {
+    let server = start_server(ServeOptions::default());
+    let addr = server.addr().to_string();
+    {
+        let mut stream = std::net::TcpStream::connect(server.addr()).expect("connect");
+        stream
+            .write_all(b"POST /analyze HTTP/1.1\r\nContent-Length: 100\r\n\r\nonly-a-few-bytes")
+            .expect("partial write");
+        // Half-close: the server sees EOF 84 bytes short of the declared
+        // length and must answer 400 (readable on our intact read half)
+        // rather than hang or crash.
+        stream.shutdown(std::net::Shutdown::Write).expect("half-close");
+        let mut reader = std::io::BufReader::new(stream);
+        let (status, body, closes) = client::read_response(&mut reader).expect("error response");
+        assert_eq!(status, 400, "{body}");
+        assert!(closes, "framing failed; the connection cannot continue");
+    }
+    {
+        // Hang up without sending anything at all: a clean close, no
+        // response owed, and no error counted for it.
+        let stream = std::net::TcpStream::connect(server.addr()).expect("connect");
+        drop(stream);
+    }
+    // The server is alive and the aborted connections are accounted for.
+    let (status, doc) = client::analyze(&addr, &AnalyzeRequest::new(UNSAFE_SRC)).expect("serving");
+    assert_eq!(status, 200, "{doc}");
+    let (_, stats) = client::stats(&addr).expect("stats");
+    assert!(stats.get("connections").and_then(Json::as_u64).unwrap_or(0) >= 3);
+    assert_eq!(stats.get("crashes").and_then(Json::as_u64), Some(0));
+    server.stop();
+}
+
+#[test]
+fn batch_mixes_ok_and_failed_items_without_failing_the_batch() {
+    let server = start_server(ServeOptions::default());
+    let addr = server.addr().to_string();
+    let ok = AnalyzeRequest::new(UNSAFE_SRC);
+    let mut starved = AnalyzeRequest::new(SAFE_SRC);
+    starved.timeout_s = Some(1e-9);
+    let uncompilable = AnalyzeRequest::new("fn broken( {");
+    let batch = [ok.clone(), starved, uncompilable, ok.clone()];
+    let (status, doc) = client::analyze_batch(&addr, &batch).expect("batch round-trips");
+    assert_eq!(status, 200, "per-item failures must not fail the batch: {doc}");
+    let items = doc.as_arr().expect("batch answers an array");
+    assert_eq!(items.len(), 4, "one result per submitted item, in order");
+    let statuses: Vec<u64> =
+        items.iter().map(|i| i.get("status").and_then(Json::as_u64).unwrap()).collect();
+    assert_eq!(statuses, [200, 422, 400, 200]);
+    assert_eq!(items[0].get("verdict").and_then(Json::as_str), Some("attack"));
+    assert_eq!(items[0].get("cached").and_then(Json::as_bool), Some(false));
+    assert!(items[1].get("error").and_then(Json::as_str).unwrap().contains("budget exhausted"));
+    assert!(items[2].get("error").and_then(Json::as_str).unwrap().contains("compile error"));
+    // The duplicate of item 0 was answered without a second driver run —
+    // coalesced with it in flight, or a cache hit after it landed.
+    assert_eq!(items[3].get("verdict").and_then(Json::as_str), Some("attack"));
+    let (_, stats) = client::stats(&addr).expect("stats");
+    assert_eq!(stats.get("batch_requests").and_then(Json::as_u64), Some(1));
+    assert_eq!(stats.get("analyze_requests").and_then(Json::as_u64), Some(4));
+    assert_eq!(stats.get("analyses_run").and_then(Json::as_u64), Some(2));
+    server.stop();
+}
+
+#[test]
+fn empty_and_malformed_batches_answer_cleanly() {
+    let server = start_server(ServeOptions::default());
+    let addr = server.addr().to_string();
+    let (status, body) = client::raw_request(&addr, "POST", "/analyze", Some("[]")).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(body.trim(), "[]");
+    // A batch whose items are not objects: per-item 400s, batch still 200.
+    let (status, body) = client::raw_request(&addr, "POST", "/analyze", Some("[1, 2]")).unwrap();
+    assert_eq!(status, 200);
+    let items = Json::parse(&body).unwrap();
+    let items = items.as_arr().unwrap().to_vec();
+    assert_eq!(items.len(), 2);
+    assert!(items.iter().all(|i| i.get("status").and_then(Json::as_u64) == Some(400)));
+    server.stop();
+}
+
+#[test]
+fn concurrent_identical_submissions_coalesce_onto_one_driver_run() {
+    // Plenty of workers so every client connection is served concurrently.
+    let server = start_server(ServeOptions { workers: Some(6), ..ServeOptions::default() });
+    let addr = server.addr().to_string();
+    let gate = std::sync::Barrier::new(6);
+    let verdicts: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..6)
+            .map(|_| {
+                scope.spawn(|| {
+                    gate.wait();
+                    let (status, doc) = client::analyze(&addr, &AnalyzeRequest::new(SAFE_SRC))
+                        .expect("round-trips");
+                    assert_eq!(status, 200, "{doc}");
+                    doc.get("verdict").and_then(Json::as_str).unwrap().to_string()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("no panics")).collect()
+    });
+    assert!(verdicts.iter().all(|v| v == "safe"), "{verdicts:?}");
+    // The stampede collapsed onto exactly one driver run: everyone else
+    // was coalesced onto the in-flight leader or answered from the cache
+    // the leader filled.
+    assert_eq!(server.stats().analyses_run.load(Ordering::SeqCst), 1);
+    let coalesced = server.stats().coalesced.load(Ordering::SeqCst);
+    let hits = server.cache().hits();
+    assert_eq!(coalesced + hits, 5, "coalesced {coalesced} + cache hits {hits}");
+    server.stop();
+}
+
+/// The Table-1 acceptance run: all 24 benchmark sources in one batch POST,
+/// answered in submission order with verdicts identical to the committed
+/// `BENCH_table1.json` snapshot. Slow (it really analyzes all 24), so
+/// ignored in tier-1 runs; CI's snapshot job runs it in release.
+#[test]
+#[ignore = "analyzes all 24 Table-1 benchmarks; run explicitly or in CI (release)"]
+fn batch_of_all_table1_sources_matches_the_committed_snapshot() {
+    let snapshot_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_table1.json");
+    let snapshot = std::fs::read_to_string(snapshot_path).expect("committed snapshot");
+    let snapshot = Json::parse(&snapshot).expect("snapshot parses");
+    let rows = snapshot.get("benchmarks").and_then(Json::as_arr).expect("benchmarks array");
+    let expected: std::collections::HashMap<&str, &str> = rows
+        .iter()
+        .map(|row| {
+            (
+                row.get("name").and_then(Json::as_str).expect("row name"),
+                // The snapshot's human vocabulary vs. the wire's code.
+                match row.get("verdict").and_then(Json::as_str).expect("row verdict") {
+                    "gave up" => "unknown",
+                    v => v,
+                },
+            )
+        })
+        .collect();
+    let benchmarks = blazer_benchmarks::all();
+    let requests: Vec<AnalyzeRequest> = benchmarks
+        .iter()
+        .map(|b| {
+            let mut req = AnalyzeRequest::new(b.source);
+            req.function = Some(b.function.to_string());
+            req.observer = match b.group {
+                blazer_benchmarks::Group::MicroBench => "degree".to_string(),
+                _ => "stac".to_string(),
+            };
+            req
+        })
+        .collect();
+    assert_eq!(requests.len(), 24);
+    let server = start_server(ServeOptions::default());
+    let addr = server.addr().to_string();
+    let mut session = client::Session::connect(&addr).expect("session connects");
+    let (status, doc) = session.analyze_batch(&requests).expect("batch round-trips");
+    assert_eq!(status, 200, "{doc}");
+    let items = doc.as_arr().expect("array response");
+    assert_eq!(items.len(), 24, "one result per benchmark");
+    for (b, item) in benchmarks.iter().zip(items) {
+        assert_eq!(item.get("status").and_then(Json::as_u64), Some(200), "{}: {item}", b.name);
+        // Submission order is preserved: the i-th answer analyzes the
+        // i-th benchmark's function.
+        assert_eq!(item.get("function").and_then(Json::as_str), Some(b.function), "{}", b.name);
+        assert_eq!(
+            item.get("verdict").and_then(Json::as_str),
+            Some(expected[b.name]),
+            "{} verdict drifted from the committed snapshot",
+            b.name
+        );
+    }
     server.stop();
 }
 

@@ -84,9 +84,14 @@ fn parse_args(args: Vec<String>) -> Result<Options, String> {
                             [--timeout SECS] [--max-lp-calls N] [--threads N] \
                             [--no-attack] [--concretize] [--json] <file> [function]\n\
                             \x20      blazer serve [--addr A] [--workers N] [--queue N] \
-                            [--timeout SECS] [--cache-file PATH] [--analysis-threads N]\n\
+                            [--timeout SECS] [--cache-file PATH] [--analysis-threads N] \
+                            [--max-requests-per-connection N]\n\
                             \x20      blazer client [--addr A] (--health | --stats | \
-                            <file> [function]) [--json] [analysis options]"
+                            <file> [function]) [--json] [analysis options]\n\
+                            \x20      blazer client --session <file...>   one keep-alive \
+                            connection, one request per file\n\
+                            \x20      blazer client --batch <file...>     one POST, one \
+                            JSON array of results"
                     .to_string())
             }
             other => positional.push(other.to_string()),
@@ -289,6 +294,12 @@ fn serve_main(args: Vec<String>) -> ExitCode {
                 .filter(|n| *n > 0)
                 .map(|n| opts.analysis_threads = n)
                 .ok_or("--analysis-threads expects a positive integer"),
+            "--max-requests-per-connection" => args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .filter(|n| *n > 0)
+                .map(|n| opts.max_requests_per_connection = n)
+                .ok_or("--max-requests-per-connection expects a positive integer"),
             other => break Err(format!("serve: unknown flag {other} (try --help)")),
         };
         if let Err(e) = result {
@@ -317,6 +328,8 @@ fn client_main(args: Vec<String>) -> ExitCode {
     let mut addr = "127.0.0.1:8645".to_string();
     let mut mode_health = false;
     let mut mode_stats = false;
+    let mut mode_batch = false;
+    let mut mode_session = false;
     let mut json = false;
     let mut req = AnalyzeRequest::new(String::new());
     let mut positional = Vec::new();
@@ -330,6 +343,14 @@ fn client_main(args: Vec<String>) -> ExitCode {
             }
             "--stats" => {
                 mode_stats = true;
+                Ok(())
+            }
+            "--batch" => {
+                mode_batch = true;
+                Ok(())
+            }
+            "--session" => {
+                mode_session = true;
                 Ok(())
             }
             "--json" => {
@@ -383,6 +404,9 @@ fn client_main(args: Vec<String>) -> ExitCode {
             }
         };
     }
+    if mode_batch || mode_session {
+        return multi_file_main(&addr, &positional, &req, json, mode_batch);
+    }
     let mut positional = positional.into_iter();
     let Some(file) = positional.next() else {
         eprintln!("client: missing input file (or --health/--stats; try --help)");
@@ -405,9 +429,19 @@ fn client_main(args: Vec<String>) -> ExitCode {
     };
     if json {
         print!("{}", doc.pretty());
-    } else if status == 200 {
+    } else {
+        print_analysis("", status, &doc);
+    }
+    ExitCode::from(outcome_code(status, &doc))
+}
+
+/// The human-readable one-line (plus trail tree) rendering of one analyze
+/// response, to stdout for successes and stderr for failures. `label`
+/// prefixes the line (the source file in multi-file modes).
+fn print_analysis(label: &str, status: u16, doc: &Json) {
+    if status == 200 {
         println!(
-            "{}: {}{} ({} basic blocks, {}s on the server, key {})",
+            "{label}{}: {}{} ({} basic blocks, {}s on the server, key {})",
             doc.get("function").and_then(Json::as_str).unwrap_or("?"),
             doc.get("verdict").and_then(Json::as_str).unwrap_or("?"),
             if doc.get("cached").and_then(Json::as_bool) == Some(true) { " [cached]" } else { "" },
@@ -420,14 +454,103 @@ fn client_main(args: Vec<String>) -> ExitCode {
         }
     } else {
         eprintln!(
-            "server answered {status}: {}",
+            "{label}server answered {status}: {}",
             doc.get("error").and_then(Json::as_str).unwrap_or("(no error message)")
         );
     }
+}
+
+/// The local exit code one analyze response maps to.
+fn outcome_code(status: u16, doc: &Json) -> u8 {
     match (status, doc.get("verdict").and_then(Json::as_str)) {
-        (200, Some("safe")) => ExitCode::SUCCESS,
-        (200, Some("attack")) => ExitCode::from(1),
-        (400, _) => ExitCode::from(EXIT_USAGE),
-        _ => ExitCode::from(EXIT_UNKNOWN),
+        (200, Some("safe")) => 0,
+        (200, Some("attack")) => 1,
+        (400, _) => EXIT_USAGE,
+        _ => EXIT_UNKNOWN,
     }
+}
+
+/// `client --batch`/`--session`: every positional is a file; each is
+/// analyzed with the shared per-request options (`function` defaults to
+/// each file's first function). `--batch` submits one JSON array in one
+/// POST; `--session` sends one request per file over a single keep-alive
+/// connection. Exit code: the most severe per-file code.
+fn multi_file_main(
+    addr: &str,
+    files: &[String],
+    options: &AnalyzeRequest,
+    json: bool,
+    batch: bool,
+) -> ExitCode {
+    if files.is_empty() {
+        eprintln!("client: --batch/--session expect at least one file");
+        return ExitCode::from(EXIT_USAGE);
+    }
+    let mut requests = Vec::with_capacity(files.len());
+    for file in files {
+        let mut req = options.clone();
+        req.source = match std::fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{file}: {e}");
+                return ExitCode::from(EXIT_USAGE);
+            }
+        };
+        requests.push(req);
+    }
+    let mut worst = 0u8;
+    if batch {
+        let (status, doc) = match client::analyze_batch(addr, &requests) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("client: {addr}: {e}");
+                return ExitCode::from(EXIT_USAGE);
+            }
+        };
+        if status != 200 {
+            eprintln!(
+                "server answered {status}: {}",
+                doc.get("error").and_then(Json::as_str).unwrap_or("(no error message)")
+            );
+            return ExitCode::from(EXIT_UNKNOWN);
+        }
+        if json {
+            print!("{}", doc.pretty());
+        }
+        let Some(items) = doc.as_arr() else {
+            eprintln!("client: batch response is not an array");
+            return ExitCode::from(EXIT_UNKNOWN);
+        };
+        for (file, item) in files.iter().zip(items) {
+            let status = item.get("status").and_then(Json::as_u64).unwrap_or(500) as u16;
+            if !json {
+                print_analysis(&format!("{file} -> "), status, item);
+            }
+            worst = worst.max(outcome_code(status, item));
+        }
+    } else {
+        let mut session = match client::Session::connect(addr) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("client: {addr}: {e}");
+                return ExitCode::from(EXIT_USAGE);
+            }
+        };
+        for (file, req) in files.iter().zip(&requests) {
+            let (status, doc) = match session.analyze(req) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("client: {addr}: {file}: {e}");
+                    return ExitCode::from(EXIT_USAGE);
+                }
+            };
+            if json {
+                print!("{}", doc.pretty());
+            } else {
+                print_analysis(&format!("{file} -> "), status, &doc);
+            }
+            worst = worst.max(outcome_code(status, &doc));
+        }
+    }
+    ExitCode::from(worst)
 }
