@@ -1,19 +1,28 @@
-//! A deliberately small HTTP/1.1 subset over `std::net` streams.
+//! A deliberately small HTTP/1.1 subset over `std::net` streams, shared
+//! by the analysis service (`blazer-serve`) and the fleet router
+//! (`blazer-route`).
 //!
-//! The service speaks exactly three routes, bodies are delimited by
-//! `Content-Length` only (no chunked transfer, no TLS), and connections
-//! are **persistent by default**: an HTTP/1.1 peer may send any number of
-//! requests — back to back, even pipelined — on one socket, and the
-//! server answers them in order on the same socket until either side says
-//! `Connection: close`, the per-connection request cap is reached, or the
-//! peer goes idle past [`IO_TIMEOUT`]. That subset is what `curl`, the
-//! `blazer client` subcommand, and any load balancer health check need —
-//! and nothing more, because the workspace is std-only.
+//! Bodies are delimited by `Content-Length` only (no chunked transfer,
+//! no TLS), and connections are **persistent by default**: an HTTP/1.1
+//! peer may send any number of requests — back to back, even pipelined —
+//! on one socket, and the server answers them in order on the same
+//! socket until either side says `Connection: close`, the per-connection
+//! request cap is reached, or the peer goes idle past [`IO_TIMEOUT`].
+//! That subset is what `curl`, the `blazer client` subcommand, and any
+//! load balancer health check need — and nothing more, because the
+//! workspace is std-only.
 //!
-//! Reading is built on one long-lived `BufRead` per connection (see
-//! [`read_request`]): pipelined bytes that arrive buffered past a request
-//! boundary stay in the reader and become the next request instead of
-//! being dropped with a transient `BufReader`.
+//! Server-side reading is built on one long-lived `BufRead` per
+//! connection (see [`read_request`]): pipelined bytes that arrive
+//! buffered past a request boundary stay in the reader and become the
+//! next request instead of being dropped with a transient `BufReader`.
+//! The client side of the same wire format lives here too
+//! ([`format_request`], [`read_response`]), so the service's client, the
+//! router's backend connections, and the tests all frame requests and
+//! responses identically.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use std::io::{BufRead, Read, Write};
 use std::time::Duration;
@@ -243,6 +252,73 @@ pub fn write_json_response<W: Write>(writer: &mut W, status: u16, body: &str, cl
     let _ = writer.flush();
 }
 
+// ------------------------------------------------------------ client side
+
+fn bad_data(msg: impl Into<String>) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Formats one request head + body. `close` picks the `Connection` token.
+pub fn format_request(method: &str, path: &str, host: &str, body: &str, close: bool) -> String {
+    format!(
+        "{method} {path} HTTP/1.1\r\nHost: {host}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: {}\r\n\r\n{body}",
+        body.len(),
+        if close { "close" } else { "keep-alive" },
+    )
+}
+
+/// Reads one `Content-Length`-framed response from a persistent reader.
+/// Returns `(status, body, server_closes)` — the last flag reports the
+/// server's `Connection: close`, after which no further response will
+/// arrive on this connection.
+///
+/// A peer that hangs up *before sending any response byte* fails with
+/// [`std::io::ErrorKind::ConnectionAborted`]: the request died at a
+/// connection boundary (a keep-alive peer closed between requests, or a
+/// backend was restarted), which a caller holding the request bytes may
+/// safely retry on a fresh connection. Every other framing failure is
+/// `InvalidData` and must not be retried blindly.
+pub fn read_response<R: BufRead>(reader: &mut R) -> std::io::Result<(u16, String, bool)> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::ConnectionAborted,
+            "connection closed before any response byte",
+        ));
+    }
+    let status: u16 = line
+        .strip_prefix("HTTP/1.1 ")
+        .and_then(|rest| rest.get(..3))
+        .and_then(|code| code.parse().ok())
+        .ok_or_else(|| bad_data(format!("malformed status line: {line:.60}")))?;
+    let mut content_length: Option<usize> = None;
+    let mut closes = false;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            return Err(bad_data("connection closed mid-response-headers"));
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().ok();
+            } else if name.eq_ignore_ascii_case("connection") {
+                closes = value.split(',').any(|t| t.trim().eq_ignore_ascii_case("close"));
+            }
+        }
+    }
+    let length =
+        content_length.ok_or_else(|| bad_data("response without Content-Length framing"))?;
+    let mut body = vec![0u8; length];
+    reader.read_exact(&mut body)?;
+    let body = String::from_utf8(body).map_err(|_| bad_data("response body is not UTF-8"))?;
+    Ok((status, body, closes))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -399,5 +475,30 @@ mod tests {
         assert_eq!(err_status(parse_one(b"GET /health HTTP/1.1\r\nHost", 1024)), 400);
         assert_eq!(err_status(parse_one(b"GET /health HT", 1024)), 400);
         assert!(matches!(parse_one(b"", 1024), Err(ReadError::Closed)));
+    }
+
+    #[test]
+    fn response_roundtrips_through_format_and_read() {
+        let mut wire = Vec::new();
+        write_json_response(&mut wire, 200, "{\"ok\": true}", false);
+        write_json_response(&mut wire, 503, "{\"ok\": false}", true);
+        let mut reader = Cursor::new(wire);
+        let (status, body, closes) = read_response(&mut reader).unwrap();
+        assert_eq!((status, body.as_str(), closes), (200, "{\"ok\": true}", false));
+        let (status, body, closes) = read_response(&mut reader).unwrap();
+        assert_eq!((status, body.as_str(), closes), (503, "{\"ok\": false}", true));
+    }
+
+    #[test]
+    fn response_eof_at_boundary_is_connection_aborted() {
+        // Nothing at all: the boundary case a keep-alive caller may retry.
+        let err = read_response(&mut Cursor::new(Vec::<u8>::new())).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::ConnectionAborted);
+        // A torn status line is NOT retry-safe: bytes were consumed.
+        let err = read_response(&mut Cursor::new(b"HTTP/1.1 20".to_vec())).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        // EOF mid-headers is likewise data corruption, not a clean close.
+        let err = read_response(&mut Cursor::new(b"HTTP/1.1 200 OK\r\nConn".to_vec())).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
     }
 }

@@ -358,6 +358,23 @@ impl VerdictCache {
         }
     }
 
+    /// Flushes the persistence file to exactly the live in-memory
+    /// entries (least-recently-used first, so a reload reconstructs the
+    /// same eviction order): the graceful-shutdown path, which leaves a
+    /// compact log behind instead of an append-only one that replays
+    /// duplicates and evictees on the next start. A no-op for in-memory
+    /// caches; failure is non-fatal (the append-only log still exists).
+    pub fn flush(&self) {
+        let Some(path) = &self.persist else { return };
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut entries: Vec<(&String, &Entry)> = inner.map.iter().collect();
+        entries.sort_by_key(|(_, e)| e.last_used);
+        let pairs: Vec<(String, String)> =
+            entries.into_iter().map(|(k, e)| (k.clone(), e.body.clone())).collect();
+        let survivors: Vec<&(String, String)> = pairs.iter().collect();
+        compact(path, &survivors);
+    }
+
     /// Number of stored verdicts.
     pub fn len(&self) -> usize {
         self.inner.lock().unwrap_or_else(|e| e.into_inner()).map.len()

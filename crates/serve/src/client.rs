@@ -1,6 +1,6 @@
 //! A minimal blocking HTTP client for the service — what the `blazer
-//! client` subcommand, the CI smoke test, and the end-to-end tests use
-//! instead of curl.
+//! client` subcommand, the fleet router's backend connections, the CI
+//! smoke test, and the end-to-end tests use instead of curl.
 //!
 //! Two modes:
 //!
@@ -11,72 +11,49 @@
 //!   requests over it, paying the TCP handshake once. Responses are framed
 //!   by `Content-Length` (a keep-alive peer can't read to EOF), so a
 //!   session can also be used to *pipeline*: writes and reads are separate
-//!   calls on the same socket.
+//!   calls on the same socket. A session whose connection was closed **at
+//!   a request boundary** — the server announced `Connection: close`
+//!   (request cap), or it restarted between requests — transparently
+//!   re-dials once and resends; only a second consecutive failure, or a
+//!   failure after response bytes have been consumed, surfaces an error.
+//!
+//! The wire-format primitives themselves ([`read_response`] and the
+//! request formatter) live in the shared [`blazer_http`] crate.
 
 use crate::api::AnalyzeRequest;
+use blazer_http::format_request;
+pub use blazer_http::read_response;
 use blazer_ir::json::Json;
-use std::io::{BufRead, BufReader, Read, Write};
+use std::io::{BufReader, Read, Write};
 use std::net::TcpStream;
 
 fn bad_data(msg: impl Into<String>) -> std::io::Error {
     std::io::Error::new(std::io::ErrorKind::InvalidData, msg.into())
 }
 
-/// Formats one request head + body. `close` picks the `Connection` token.
-fn format_request(method: &str, path: &str, host: &str, body: &str, close: bool) -> String {
-    format!(
-        "{method} {path} HTTP/1.1\r\nHost: {host}\r\nContent-Type: application/json\r\n\
-         Content-Length: {}\r\nConnection: {}\r\n\r\n{body}",
-        body.len(),
-        if close { "close" } else { "keep-alive" },
+/// Whether a request failure may be answered by re-dialing: the peer went
+/// away at a connection boundary (announced close, restart, idle-timeout
+/// close) before any response byte arrived, so resending the identical
+/// request on a fresh connection cannot duplicate an observed response.
+fn retriable(kind: std::io::ErrorKind) -> bool {
+    use std::io::ErrorKind;
+    matches!(
+        kind,
+        ErrorKind::ConnectionAborted
+            | ErrorKind::ConnectionReset
+            | ErrorKind::BrokenPipe
+            | ErrorKind::UnexpectedEof
+            | ErrorKind::NotConnected
     )
 }
 
-/// Reads one `Content-Length`-framed response from a persistent reader.
-/// Returns `(status, body, server_closes)` — the last flag reports the
-/// server's `Connection: close`, after which no further response will
-/// arrive on this connection.
-pub fn read_response<R: BufRead>(reader: &mut R) -> std::io::Result<(u16, String, bool)> {
-    let mut line = String::new();
-    reader.read_line(&mut line)?;
-    let status: u16 = line
-        .strip_prefix("HTTP/1.1 ")
-        .and_then(|rest| rest.get(..3))
-        .and_then(|code| code.parse().ok())
-        .ok_or_else(|| bad_data(format!("malformed status line: {line:.60}")))?;
-    let mut content_length: Option<usize> = None;
-    let mut closes = false;
-    loop {
-        let mut header = String::new();
-        if reader.read_line(&mut header)? == 0 {
-            return Err(bad_data("connection closed mid-response-headers"));
-        }
-        let header = header.trim_end();
-        if header.is_empty() {
-            break;
-        }
-        if let Some((name, value)) = header.split_once(':') {
-            if name.eq_ignore_ascii_case("content-length") {
-                content_length = value.trim().parse().ok();
-            } else if name.eq_ignore_ascii_case("connection") {
-                closes = value.split(',').any(|t| t.trim().eq_ignore_ascii_case("close"));
-            }
-        }
-    }
-    let length =
-        content_length.ok_or_else(|| bad_data("response without Content-Length framing"))?;
-    let mut body = vec![0u8; length];
-    reader.read_exact(&mut body)?;
-    let body = String::from_utf8(body).map_err(|_| bad_data("response body is not UTF-8"))?;
-    Ok((status, body, closes))
-}
-
 /// One keep-alive connection to the service. Every request reuses the
-/// same socket until the server announces `Connection: close` (request
-/// cap, error) — after that, further requests fail with a clear error
-/// instead of hanging on a dead socket.
+/// same socket; when the server closes the connection at a request
+/// boundary (its `--max-requests-per-connection` cap, a restart), the
+/// next request transparently reconnects once instead of failing on the
+/// dead socket.
 pub struct Session {
-    reader: BufReader<TcpStream>,
+    reader: Option<BufReader<TcpStream>>,
     addr: String,
     server_closed: bool,
 }
@@ -85,34 +62,83 @@ impl Session {
     /// Connects one persistent session to `addr`.
     pub fn connect(addr: &str) -> std::io::Result<Session> {
         let stream = TcpStream::connect(addr)?;
-        Ok(Session { reader: BufReader::new(stream), addr: addr.to_string(), server_closed: false })
+        Ok(Session {
+            reader: Some(BufReader::new(stream)),
+            addr: addr.to_string(),
+            server_closed: false,
+        })
     }
 
-    /// Whether the server has announced it will close this connection.
+    /// Wraps an already-connected stream (one dialed with
+    /// `TcpStream::connect_timeout`, say) as a session to `addr`; any
+    /// later transparent re-dial uses a plain `connect`.
+    pub fn from_stream(stream: TcpStream, addr: &str) -> Session {
+        Session {
+            reader: Some(BufReader::new(stream)),
+            addr: addr.to_string(),
+            server_closed: false,
+        }
+    }
+
+    /// Whether the server announced `Connection: close` on the last
+    /// response (the next request will re-dial instead of reusing the
+    /// connection).
     pub fn server_closed(&self) -> bool {
         self.server_closed
     }
 
+    /// Re-dials the session's address, replacing any previous connection.
+    fn redial(&mut self) -> std::io::Result<()> {
+        self.reader = Some(BufReader::new(TcpStream::connect(&self.addr)?));
+        self.server_closed = false;
+        Ok(())
+    }
+
+    /// One write-request/read-response exchange on the current connection.
+    fn exchange(&mut self, head: &str) -> std::io::Result<(u16, String, bool)> {
+        let reader = self.reader.as_mut().ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::NotConnected, "no connection")
+        })?;
+        // Writes go through the BufReader's inner stream; they don't
+        // disturb buffered (pipelined) response bytes.
+        reader.get_mut().write_all(head.as_bytes())?;
+        reader.get_mut().flush()?;
+        read_response(reader)
+    }
+
     /// Sends one request and reads its framed response on the session's
-    /// persistent connection.
+    /// persistent connection, transparently reconnecting once when the
+    /// previous connection ended at a request boundary.
     pub fn request(
         &mut self,
         method: &str,
         path: &str,
         body: Option<&str>,
     ) -> std::io::Result<(u16, String)> {
-        if self.server_closed {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::NotConnected,
-                "server closed this session (Connection: close); open a new one",
-            ));
-        }
         let head = format_request(method, path, &self.addr, body.unwrap_or(""), false);
-        // Writes go through the BufReader's inner stream; they don't
-        // disturb buffered (pipelined) response bytes.
-        self.reader.get_mut().write_all(head.as_bytes())?;
-        self.reader.get_mut().flush()?;
-        let (status, body, closes) = read_response(&mut self.reader)?;
+        // An announced close means the old socket is certainly dead:
+        // re-dial proactively and treat the fresh connection as the one
+        // attempt (a failure now is a real connectivity error).
+        let announced = self.server_closed || self.reader.is_none();
+        if announced {
+            self.redial()?;
+        }
+        let (status, body, closes) = match self.exchange(&head) {
+            Ok(r) => r,
+            Err(e) if !announced && retriable(e.kind()) => {
+                // The server hung up unannounced at a request boundary
+                // (restart, idle-timeout). One silent retry on a fresh
+                // connection; a second failure propagates.
+                self.redial()?;
+                self.exchange(&head)?
+            }
+            Err(e) => {
+                // The connection state is unknown; drop it so the next
+                // request starts from a clean dial.
+                self.reader = None;
+                return Err(e);
+            }
+        };
         self.server_closed = closes;
         Ok((status, body))
     }

@@ -46,9 +46,13 @@
 pub mod api;
 pub mod cache;
 pub mod client;
-pub mod http;
 pub mod pool;
 pub mod report;
+
+// The HTTP/1.1 subset itself moved to the shared `blazer-http` crate so
+// the fleet router can speak the same wire format; the `http` path every
+// existing caller uses is preserved by re-export.
+pub use blazer_http as http;
 
 pub use api::AnalyzeRequest;
 pub use cache::{CacheKey, VerdictCache};
@@ -70,7 +74,8 @@ pub struct ServeOptions {
     /// Bind address; port `0` picks an ephemeral port (tests).
     pub addr: String,
     /// Worker-pool width; `None` defers to `BLAZER_SERVE_WORKERS`, then
-    /// the machine's available parallelism.
+    /// the machine's available parallelism plus one spare connection
+    /// worker ([`pool::serving_width`]).
     pub workers: Option<usize>,
     /// Bounded job-queue depth; a full queue answers `503`.
     pub queue_depth: usize,
@@ -89,6 +94,10 @@ pub struct ServeOptions {
     /// closes it (resource hygiene; the close is announced in the last
     /// response's `Connection: close`).
     pub max_requests_per_connection: u64,
+    /// Token gating the `POST /shutdown` admin endpoint. `None` falls
+    /// back to the `BLAZER_ADMIN_TOKEN` environment variable; with
+    /// neither set the endpoint is disabled (403).
+    pub admin_token: Option<String>,
 }
 
 impl Default for ServeOptions {
@@ -102,11 +111,13 @@ impl Default for ServeOptions {
             cache_file: None,
             analysis_threads: 1,
             max_requests_per_connection: http::DEFAULT_MAX_REQUESTS_PER_CONNECTION,
+            admin_token: None,
         }
     }
 }
 
-/// Live service counters (all monotonic).
+/// Live service counters (monotonic except the two gauges,
+/// [`Stats::queue_len`] and [`Stats::workers_busy`]).
 #[derive(Debug, Default)]
 pub struct Stats {
     /// TCP connections handled by a worker (each may carry many requests).
@@ -132,6 +143,12 @@ pub struct Stats {
     pub client_errors: AtomicU64,
     /// Connections rejected `503` by the full job queue.
     pub busy_rejections: AtomicU64,
+    /// Gauge: connections accepted but not yet picked up by a worker.
+    /// Saturation shows here (and in [`Stats::workers_busy`]) before the
+    /// queue fills and 503s start.
+    pub queue_len: AtomicU64,
+    /// Gauge: workers currently serving a connection.
+    pub workers_busy: AtomicU64,
 }
 
 struct Ctx {
@@ -145,6 +162,19 @@ struct Ctx {
     max_timeout: Option<Duration>,
     analysis_threads: usize,
     max_requests_per_connection: u64,
+    admin_token: Option<String>,
+    /// Set by `stop()` or an authorized `POST /shutdown`: the accept loop
+    /// exits at its next wake-up and the workers drain what is queued.
+    shutdown: Arc<AtomicBool>,
+    /// The bound address, so the shutdown handler can wake the accept
+    /// loop out of its blocking `incoming()` call.
+    addr: SocketAddr,
+}
+
+impl Ctx {
+    fn draining(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
 }
 
 /// A running service. Dropping the handle leaves the threads running;
@@ -164,11 +194,12 @@ impl Server {
     pub fn start(opts: ServeOptions) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&opts.addr)?;
         let addr = listener.local_addr()?;
-        let width = pool::effective_width(opts.workers, "BLAZER_SERVE_WORKERS");
+        let width = pool::serving_width(opts.workers, "BLAZER_SERVE_WORKERS");
         let cache = match opts.cache_file {
             Some(path) => VerdictCache::persistent(path),
             None => VerdictCache::in_memory(),
         };
+        let shutdown = Arc::new(AtomicBool::new(false));
         let ctx = Arc::new(Ctx {
             cache,
             flights: SingleFlight::new(),
@@ -180,8 +211,12 @@ impl Server {
             max_timeout: opts.max_timeout,
             analysis_threads: opts.analysis_threads.max(1),
             max_requests_per_connection: opts.max_requests_per_connection.max(1),
+            admin_token: opts
+                .admin_token
+                .or_else(|| std::env::var("BLAZER_ADMIN_TOKEN").ok().filter(|t| !t.is_empty())),
+            shutdown: Arc::clone(&shutdown),
+            addr,
         });
-        let shutdown = Arc::new(AtomicBool::new(false));
         let (tx, rx) = sync_channel::<TcpStream>(opts.queue_depth.max(1));
         let rx = Arc::new(Mutex::new(rx));
         let workers = (0..width)
@@ -200,9 +235,14 @@ impl Server {
                         break;
                     }
                     let Ok(stream) = stream else { continue };
+                    // The gauge goes up *before* the send so a worker's
+                    // decrement (strictly after a successful send) can
+                    // never race it below zero.
+                    ctx.stats.queue_len.fetch_add(1, Ordering::SeqCst);
                     match tx.try_send(stream) {
                         Ok(()) => {}
                         Err(TrySendError::Full(stream)) => {
+                            ctx.stats.queue_len.fetch_sub(1, Ordering::SeqCst);
                             ctx.stats.busy_rejections.fetch_add(1, Ordering::SeqCst);
                             let _ = stream.set_write_timeout(Some(http::IO_TIMEOUT));
                             http::write_json_response(
@@ -212,7 +252,10 @@ impl Server {
                                 true,
                             );
                         }
-                        Err(TrySendError::Disconnected(_)) => break,
+                        Err(TrySendError::Disconnected(_)) => {
+                            ctx.stats.queue_len.fetch_sub(1, Ordering::SeqCst);
+                            break;
+                        }
                     }
                 }
             })
@@ -235,27 +278,29 @@ impl Server {
         &self.ctx.cache
     }
 
-    /// Blocks the calling thread on the accept loop (the `blazer serve`
-    /// foreground mode).
+    /// Blocks the calling thread until the service shuts down (the
+    /// `blazer serve` foreground mode): serves until an authorized
+    /// `POST /shutdown` (or [`Server::stop`] from another thread) flips
+    /// the shutdown flag, then finishes every queued job, flushes the
+    /// verdict cache, and returns — the graceful-drain exit path.
     pub fn wait(mut self) {
-        if let Some(accept) = self.accept.take() {
-            let _ = accept.join();
-        }
-    }
-
-    /// Orderly shutdown: stop accepting, drain the workers, join every
-    /// thread.
-    pub fn stop(mut self) {
-        self.shutdown.store(true, Ordering::SeqCst);
-        // Wake the blocking accept call; the flag makes it exit, dropping
-        // the queue sender, which in turn drains and stops the workers.
-        let _ = TcpStream::connect(self.addr);
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
         }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
+        self.ctx.cache.flush();
+    }
+
+    /// Orderly shutdown: stop accepting, drain the workers, join every
+    /// thread, flush the verdict cache.
+    pub fn stop(self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the blocking accept call; the flag makes it exit, dropping
+        // the queue sender, which in turn drains and stops the workers.
+        let _ = TcpStream::connect(self.addr);
+        self.wait();
     }
 }
 
@@ -263,8 +308,13 @@ fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, ctx: &Ctx) {
     loop {
         let received = rx.lock().unwrap_or_else(|e| e.into_inner()).recv();
         match received {
-            Ok(mut stream) => handle_connection(&mut stream, ctx),
-            Err(_) => break, // queue sender dropped: shutdown
+            Ok(mut stream) => {
+                ctx.stats.queue_len.fetch_sub(1, Ordering::SeqCst);
+                ctx.stats.workers_busy.fetch_add(1, Ordering::SeqCst);
+                handle_connection(&mut stream, ctx);
+                ctx.stats.workers_busy.fetch_sub(1, Ordering::SeqCst);
+            }
+            Err(_) => break, // queue sender dropped: shutdown drain is done
         }
     }
 }
@@ -302,12 +352,26 @@ fn handle_connection(stream: &mut TcpStream, ctx: &Ctx) {
             }
         };
         ctx.stats.requests.fetch_add(1, Ordering::SeqCst);
-        let close = request.close || served == ctx.max_requests_per_connection;
+        let mut close = request.close || served == ctx.max_requests_per_connection;
         let (status, body) = match (request.method.as_str(), request.path.as_str()) {
+            // A draining server is still *serving* (it finishes queued
+            // work) but must stop being picked: the probe flips to 503 so
+            // a router's health checker ejects it cleanly instead of
+            // seeing connection resets.
+            ("GET", "/health") if ctx.draining() => (503, health_body(ctx).to_string()),
             ("GET", "/health") => (200, health_body(ctx).to_string()),
             ("GET", "/stats") => (200, stats_body(ctx).to_string()),
             ("POST", "/analyze") => handle_analyze(ctx, &request.body),
-            (_, "/health" | "/stats" | "/analyze") => {
+            ("POST", "/shutdown") => {
+                let (status, body) = handle_shutdown(ctx, &request.body);
+                if status == 200 {
+                    // Don't let this keep-alive connection pin its worker
+                    // through the drain.
+                    close = true;
+                }
+                (status, body)
+            }
+            (_, "/health" | "/stats" | "/analyze" | "/shutdown") => {
                 (405, error_body(format!("method {} not allowed here", request.method)).to_string())
             }
             (_, path) => (404, error_body(format!("no such route: {path}")).to_string()),
@@ -425,11 +489,44 @@ fn with_item_status(status: u16, body: &str) -> String {
     }
 }
 
+/// `POST /shutdown`: the graceful-drain admin endpoint. The body must be
+/// `{"token": "..."}` matching the configured admin token; without a
+/// configured token the endpoint is disabled outright. An authorized
+/// request flips the shutdown flag (new connections stop being accepted,
+/// `/health` answers 503), wakes the accept loop, and answers 200 — the
+/// workers then finish everything already queued, the verdict cache is
+/// flushed, and [`Server::wait`] returns so the process can exit 0.
+fn handle_shutdown(ctx: &Ctx, body: &[u8]) -> (u16, String) {
+    let Some(expected) = &ctx.admin_token else {
+        return (
+            403,
+            error_body("shutdown disabled: no admin token configured (BLAZER_ADMIN_TOKEN)")
+                .to_string(),
+        );
+    };
+    let presented = std::str::from_utf8(body)
+        .ok()
+        .and_then(|text| Json::parse(text).ok())
+        .and_then(|doc| doc.get("token").and_then(Json::as_str).map(str::to_string));
+    if presented.as_deref() != Some(expected.as_str()) {
+        return (403, error_body("shutdown refused: bad or missing admin token").to_string());
+    }
+    ctx.shutdown.store(true, Ordering::SeqCst);
+    // Wake the accept loop out of its blocking `incoming()`; it sees the
+    // flag, exits, and drops the queue sender, which drains the workers.
+    let addr = ctx.addr;
+    std::thread::spawn(move || {
+        let _ = TcpStream::connect(addr);
+    });
+    (200, Json::obj([("ok", Json::Bool(true)), ("draining", Json::Bool(true))]).to_string())
+}
+
 fn health_body(ctx: &Ctx) -> Json {
     Json::obj([
-        ("ok", Json::Bool(true)),
+        ("ok", Json::Bool(!ctx.draining())),
         ("service", Json::from("blazer-serve")),
         ("version", Json::from(env!("CARGO_PKG_VERSION"))),
+        ("draining", Json::Bool(ctx.draining())),
         ("uptime_s", Json::secs(ctx.started.elapsed().as_secs_f64())),
     ])
 }
@@ -440,7 +537,9 @@ fn stats_body(ctx: &Ctx) -> Json {
         ("ok", Json::Bool(true)),
         ("uptime_s", Json::secs(ctx.started.elapsed().as_secs_f64())),
         ("workers", Json::from(ctx.workers)),
+        ("workers_busy", Json::from(s.workers_busy.load(Ordering::SeqCst))),
         ("queue_depth", Json::from(ctx.queue_depth)),
+        ("queue_len", Json::from(s.queue_len.load(Ordering::SeqCst))),
         ("connections", Json::from(s.connections.load(Ordering::SeqCst))),
         ("requests", Json::from(s.requests.load(Ordering::SeqCst))),
         ("analyze_requests", Json::from(s.analyze_requests.load(Ordering::SeqCst))),

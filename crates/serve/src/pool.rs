@@ -84,6 +84,23 @@ pub fn effective_width(explicit: Option<usize>, env_var: &str) -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
+/// The pool width for a *connection-serving* worker loop:
+/// [`effective_width`] plus one spare worker when the width fell through
+/// to the machine's parallelism (an explicit request or environment
+/// override is honored verbatim). Connection workers are thread-per-
+/// connection and IO-bound, not CPU-bound: a keep-alive peer — the fleet
+/// router parks one warm connection per backend — idle-holds a worker for
+/// the whole io timeout, and without the spare that one parked connection
+/// starves every one-shot request (health probes, `/stats` scrapes) on a
+/// one-core machine.
+pub fn serving_width(explicit: Option<usize>, env_var: &str) -> usize {
+    if explicit.is_some() || std::env::var(env_var).is_ok_and(|s| !s.trim().is_empty()) {
+        effective_width(explicit, env_var)
+    } else {
+        effective_width(None, env_var) + 1
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -111,6 +128,16 @@ mod tests {
         .unwrap_err();
         let msg = caught.downcast_ref::<String>().cloned().unwrap_or_default();
         assert_eq!(msg, "boom at 3");
+    }
+
+    #[test]
+    fn serving_width_adds_a_spare_only_for_derived_widths() {
+        assert_eq!(serving_width(Some(1), "BLAZER_TEST_NO_SUCH_VAR"), 1);
+        assert_eq!(serving_width(Some(5), "BLAZER_TEST_NO_SUCH_VAR"), 5);
+        assert_eq!(
+            serving_width(None, "BLAZER_TEST_NO_SUCH_VAR"),
+            effective_width(None, "BLAZER_TEST_NO_SUCH_VAR") + 1
+        );
     }
 
     #[test]

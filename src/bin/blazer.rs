@@ -10,6 +10,7 @@
 //! $ blazer --json program.blz check     # machine-readable outcome
 //! $ blazer --concretize program.blz check
 //! $ blazer serve --addr 127.0.0.1:8645 --cache-file verdicts.jsonl
+//! $ blazer route --addr 127.0.0.1:8650 --backend 127.0.0.1:8645 --backend 127.0.0.1:8646
 //! $ blazer client --addr 127.0.0.1:8645 program.blz check
 //! $ blazer client --health
 //! ```
@@ -25,6 +26,7 @@
 
 use blazer::core::{concretize_outcome, Blazer, Config, DomainKind, Verdict};
 use blazer::ir::json::Json;
+use blazer::route::{RouteOptions, Router};
 use blazer::serve::{api::AnalyzeRequest, client, report, ServeOptions, Server};
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
@@ -85,7 +87,11 @@ fn parse_args(args: Vec<String>) -> Result<Options, String> {
                             [--no-attack] [--concretize] [--json] <file> [function]\n\
                             \x20      blazer serve [--addr A] [--workers N] [--queue N] \
                             [--timeout SECS] [--cache-file PATH] [--analysis-threads N] \
-                            [--max-requests-per-connection N]\n\
+                            [--max-requests-per-connection N] [--admin-token TOKEN]\n\
+                            \x20      blazer route --backend HOST:PORT [--backend ...] \
+                            [--addr A] [--workers N] [--queue N] [--health-interval SECS] \
+                            [--health-timeout SECS] [--eject-after N] [--reinstate-after N] \
+                            [--retry-base-ms N] [--retry-cap-ms N]\n\
                             \x20      blazer client [--addr A] (--health | --stats | \
                             <file> [function]) [--json] [analysis options]\n\
                             \x20      blazer client --session <file...>   one keep-alive \
@@ -125,6 +131,10 @@ fn main() -> ExitCode {
         Some("serve") => {
             args.remove(0);
             serve_main(args)
+        }
+        Some("route") => {
+            args.remove(0);
+            route_main(args)
         }
         Some("client") => {
             args.remove(0);
@@ -300,6 +310,11 @@ fn serve_main(args: Vec<String>) -> ExitCode {
                 .filter(|n| *n > 0)
                 .map(|n| opts.max_requests_per_connection = n)
                 .ok_or("--max-requests-per-connection expects a positive integer"),
+            "--admin-token" => args
+                .next()
+                .filter(|t| !t.is_empty())
+                .map(|t| opts.admin_token = Some(t))
+                .ok_or("--admin-token expects a non-empty token"),
             other => break Err(format!("serve: unknown flag {other} (try --help)")),
         };
         if let Err(e) = result {
@@ -318,7 +333,112 @@ fn serve_main(args: Vec<String>) -> ExitCode {
         }
     };
     println!("blazer-serve listening on {}", server.addr());
+    // Returns only after a graceful drain (an authorized POST /shutdown):
+    // queued jobs finished, verdict cache flushed.
     server.wait();
+    println!("blazer-serve drained; exiting");
+    ExitCode::SUCCESS
+}
+
+// ------------------------------------------------------------------ route
+
+fn route_main(args: Vec<String>) -> ExitCode {
+    let mut opts = RouteOptions::default();
+    let mut args = args.into_iter();
+    let parsed = loop {
+        let Some(a) = args.next() else { break Ok(()) };
+        let result = match a.as_str() {
+            "--addr" => args.next().map(|v| opts.addr = v).ok_or("--addr expects HOST:PORT"),
+            "--backend" | "--backends" => match args.next() {
+                Some(list) => {
+                    // --backend may repeat, and each value may be a
+                    // comma-separated list.
+                    opts.backends.extend(
+                        list.split(',').map(str::trim).filter(|b| !b.is_empty()).map(String::from),
+                    );
+                    Ok(())
+                }
+                None => Err("--backend expects HOST:PORT"),
+            },
+            "--workers" => args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .filter(|n| *n > 0)
+                .map(|n| opts.workers = Some(n))
+                .ok_or("--workers expects a positive integer"),
+            "--queue" => args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .filter(|n| *n > 0)
+                .map(|n| opts.queue_depth = n)
+                .ok_or("--queue expects a positive integer"),
+            "--health-interval" => match parse_timeout(args.next().as_deref()) {
+                Ok(d) => {
+                    opts.health.interval = d;
+                    Ok(())
+                }
+                Err(_) => Err("--health-interval expects a positive number of seconds"),
+            },
+            "--health-timeout" => match parse_timeout(args.next().as_deref()) {
+                Ok(d) => {
+                    opts.health.timeout = d;
+                    Ok(())
+                }
+                Err(_) => Err("--health-timeout expects a positive number of seconds"),
+            },
+            "--eject-after" => args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .filter(|n| *n > 0)
+                .map(|n| opts.health.eject_after = n)
+                .ok_or("--eject-after expects a positive integer"),
+            "--reinstate-after" => args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .filter(|n| *n > 0)
+                .map(|n| opts.health.reinstate_after = n)
+                .ok_or("--reinstate-after expects a positive integer"),
+            "--retry-base-ms" => args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .filter(|n| *n > 0)
+                .map(|n| opts.retry.base = Duration::from_millis(n))
+                .ok_or("--retry-base-ms expects a positive integer"),
+            "--retry-cap-ms" => args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .filter(|n| *n > 0)
+                .map(|n| opts.retry.cap = Duration::from_millis(n))
+                .ok_or("--retry-cap-ms expects a positive integer"),
+            "--max-requests-per-connection" => args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .filter(|n| *n > 0)
+                .map(|n| opts.max_requests_per_connection = n)
+                .ok_or("--max-requests-per-connection expects a positive integer"),
+            other => break Err(format!("route: unknown flag {other} (try --help)")),
+        };
+        if let Err(e) = result {
+            break Err(e.to_string());
+        }
+    };
+    if let Err(msg) = parsed {
+        eprintln!("{msg}");
+        return ExitCode::from(EXIT_USAGE);
+    }
+    let router = match Router::start(opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("route: {e}");
+            return ExitCode::from(EXIT_USAGE);
+        }
+    };
+    println!(
+        "blazer-route listening on {} over {} backends",
+        router.addr(),
+        router.health().snapshot().len()
+    );
+    router.wait();
     ExitCode::SUCCESS
 }
 

@@ -47,6 +47,8 @@
 //! | [`core`] | `blazer-core` | trails, quotient partitioning, the driver |
 //! | [`selfcomp`] | `blazer-selfcomp` | the self-composition baseline |
 //! | [`serve`] | `blazer-serve` | the concurrent HTTP analysis service |
+//! | [`http`] | `blazer-http` | the shared HTTP/1.1 wire subset |
+//! | [`route`] | `blazer-route` | the fault-tolerant fleet router |
 //! | [`benchmarks`] | `blazer-benchmarks` | the 24 Table-1 programs |
 
 #![forbid(unsafe_code)]
@@ -86,9 +88,11 @@ pub use blazer_benchmarks as benchmarks;
 pub use blazer_bounds as bounds;
 pub use blazer_core as core;
 pub use blazer_domains as domains;
+pub use blazer_http as http;
 pub use blazer_interp as interp;
 pub use blazer_ir as ir;
 pub use blazer_lang as lang;
+pub use blazer_route as route;
 pub use blazer_selfcomp as selfcomp;
 pub use blazer_serve as serve;
 pub use blazer_taint as taint;
