@@ -53,6 +53,7 @@
 pub mod fault;
 pub mod health;
 pub mod ring;
+pub mod sessions;
 
 use blazer_http as http;
 use blazer_ir::json::{fnv1a64, Json};
@@ -185,10 +186,13 @@ struct Ctx {
     fault: fault::Armed,
     flights: SingleFlight,
     stats: RouterStats,
-    /// One parked keep-alive [`Session`] per backend: forwards check a
-    /// session out, use it exclusively, and park it back, so concurrent
-    /// forwards to one backend open extra connections instead of queueing.
-    sessions: Vec<Mutex<Option<Session>>>,
+    /// One pool of parked keep-alive [`Session`]s per backend (capacity =
+    /// the worker width, the most forwards that can be in flight at
+    /// once): forwards check a session out, use it exclusively, and park
+    /// it back, so concurrent requests hashing to the same shard each
+    /// keep their *own* warm connection instead of serializing on — or
+    /// thrashing — a single parked one.
+    sessions: Vec<sessions::SessionPool>,
     started: Instant,
     workers: usize,
     queue_depth: usize,
@@ -230,7 +234,7 @@ impl Router {
                 opts.health.eject_after,
                 opts.health.reinstate_after,
             ),
-            sessions: opts.backends.iter().map(|_| Mutex::new(None)).collect(),
+            sessions: opts.backends.iter().map(|_| sessions::SessionPool::new(width)).collect(),
             backends: opts.backends,
             health_opts: opts.health,
             retry: opts.retry,
@@ -266,6 +270,9 @@ impl Router {
                         break;
                     }
                     let Ok(stream) = stream else { continue };
+                    // Responses are small; Nagle + the peer's delayed ACK
+                    // would add ~40ms per exchange.
+                    let _ = stream.set_nodelay(true);
                     match tx.try_send(stream) {
                         Ok(()) => {}
                         Err(TrySendError::Full(stream)) => {
@@ -639,10 +646,12 @@ fn route_with_failover(
     (503, fleet_error_body(key_hash, &attempts).to_string())
 }
 
-/// One forward to one backend: check out (or dial) the backend's pooled
-/// session, exchange one request, park the session back on success. On any
-/// error the session is dropped — its connection state is unknown — and
-/// the next forward dials fresh.
+/// One forward to one backend: check out (or dial) a pooled session,
+/// exchange one request, park the session back on success. On any error
+/// the session is dropped — its connection state is unknown — and the
+/// next forward dials fresh. The pool is per-backend and holds up to the
+/// worker width of warm sessions, so concurrent forwards to one shard
+/// never queue on (or discard) each other's connections.
 fn forward(ctx: &Ctx, index: usize, body: &str) -> std::io::Result<(u16, String)> {
     if ctx.fault.take_connect() {
         return Err(std::io::Error::new(
@@ -650,8 +659,7 @@ fn forward(ctx: &Ctx, index: usize, body: &str) -> std::io::Result<(u16, String)
             "injected route-connect fault",
         ));
     }
-    let parked = ctx.sessions[index].lock().unwrap_or_else(|e| e.into_inner()).take();
-    let mut session = match parked {
+    let mut session = match ctx.sessions[index].checkout() {
         Some(session) => session,
         None => dial(ctx, index)?,
     };
@@ -662,10 +670,7 @@ fn forward(ctx: &Ctx, index: usize, body: &str) -> std::io::Result<(u16, String)
         ));
     }
     let (status, response) = session.request("POST", "/analyze", Some(body))?;
-    let mut slot = ctx.sessions[index].lock().unwrap_or_else(|e| e.into_inner());
-    if slot.is_none() {
-        *slot = Some(session);
-    }
+    ctx.sessions[index].park(session);
     Ok((status, response))
 }
 
@@ -677,6 +682,7 @@ fn dial(ctx: &Ctx, index: usize) -> std::io::Result<Session> {
         std::io::Error::new(std::io::ErrorKind::AddrNotAvailable, "address resolved to nothing")
     })?;
     let stream = TcpStream::connect_timeout(&target, ctx.health_opts.timeout)?;
+    let _ = stream.set_nodelay(true);
     Ok(Session::from_stream(stream, addr))
 }
 
@@ -801,6 +807,8 @@ fn stats_body(ctx: &Ctx) -> Json {
                 ("cache_entries", Json::from(fleet.cache_entries)),
                 ("cache_hits", Json::from(fleet.cache_hits)),
                 ("cache_misses", Json::from(fleet.cache_misses)),
+                ("cache_evictions", Json::from(fleet.cache_evictions)),
+                ("cache_hit_rate", Json::Num(fleet.hit_rate())),
             ]),
         ),
         ("backends", Json::Arr(backends)),
@@ -816,6 +824,7 @@ struct FleetSums {
     cache_entries: u64,
     cache_hits: u64,
     cache_misses: u64,
+    cache_evictions: u64,
 }
 
 impl FleetSums {
@@ -828,6 +837,18 @@ impl FleetSums {
             self.cache_entries += n(cache, "entries");
             self.cache_hits += n(cache, "hits");
             self.cache_misses += n(cache, "misses");
+            self.cache_evictions += n(cache, "evictions");
+        }
+    }
+
+    /// Fleet-wide hit rate over the summed counters (not an average of
+    /// per-backend rates, which would overweight idle backends).
+    fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
         }
     }
 }

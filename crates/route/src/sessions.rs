@@ -1,0 +1,105 @@
+//! Per-backend keep-alive session pools.
+//!
+//! The router used to park exactly **one** warm [`Session`] per backend:
+//! two concurrent requests hashing to the same shard would race for it,
+//! the loser dialing a fresh connection and then *dropping* it on return
+//! (the single slot was already occupied) — every concurrent request past
+//! the first paid a TCP handshake forever. A [`SessionPool`] parks up to
+//! `cap` warm sessions per backend (sized to the router's worker width,
+//! the most forwards that can be in flight at once), so concurrency warms
+//! the pool up instead of thrashing it.
+//!
+//! The pool holds plain [`Session`]s, so the reconnect-once semantics are
+//! untouched: a checked-out session that finds its connection closed at a
+//! request boundary re-dials transparently exactly as before, and a
+//! session that errors mid-request is dropped (its connection state is
+//! unknown), never parked back.
+
+use blazer_serve::client::Session;
+use std::sync::Mutex;
+
+/// A bounded stack of warm keep-alive sessions to one backend.
+pub struct SessionPool {
+    /// LIFO: the most recently parked (warmest, least likely to have
+    /// idle-timed-out server-side) session is checked out first.
+    slots: Mutex<Vec<Session>>,
+    cap: usize,
+}
+
+impl SessionPool {
+    /// An empty pool parking at most `cap` sessions (at least one).
+    pub fn new(cap: usize) -> SessionPool {
+        SessionPool { slots: Mutex::new(Vec::new()), cap: cap.max(1) }
+    }
+
+    /// Takes the warmest parked session, if any; the caller owns it
+    /// exclusively until [`SessionPool::park`] (or drop, on error).
+    pub fn checkout(&self) -> Option<Session> {
+        self.slots.lock().unwrap_or_else(|e| e.into_inner()).pop()
+    }
+
+    /// Returns a healthy session to the pool. Beyond the cap the session
+    /// is dropped (closing its connection): the cap bounds idle sockets
+    /// held against one backend.
+    pub fn park(&self, session: Session) {
+        let mut slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+        if slots.len() < self.cap {
+            slots.push(session);
+        }
+    }
+
+    /// Parked (idle) sessions right now.
+    pub fn idle(&self) -> usize {
+        self.slots.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// The park cap.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// Sessions wrap real sockets; a loopback listener supplies them.
+    fn sessions(n: usize) -> (TcpListener, Vec<Session>) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let made = (0..n).map(|_| Session::connect(&addr).expect("connect")).collect();
+        (listener, made)
+    }
+
+    #[test]
+    fn pool_parks_up_to_cap_and_is_lifo() {
+        let (_listener, mut made) = sessions(3);
+        let pool = SessionPool::new(2);
+        assert!(pool.checkout().is_none(), "empty pool has nothing to check out");
+        pool.park(made.remove(0));
+        pool.park(made.remove(0));
+        assert_eq!(pool.idle(), 2);
+        // The cap bounds parked sessions: the third is dropped, not queued.
+        pool.park(made.remove(0));
+        assert_eq!(pool.idle(), 2);
+        // Concurrent checkouts get distinct sessions (no serialization on
+        // one shared connection).
+        let a = pool.checkout().expect("first");
+        let b = pool.checkout().expect("second");
+        assert_eq!(pool.idle(), 0);
+        assert!(pool.checkout().is_none());
+        pool.park(a);
+        pool.park(b);
+        assert_eq!(pool.idle(), 2);
+    }
+
+    #[test]
+    fn zero_cap_is_promoted_to_one() {
+        let (_listener, mut made) = sessions(1);
+        let pool = SessionPool::new(0);
+        assert_eq!(pool.cap(), 1);
+        pool.park(made.remove(0));
+        assert_eq!(pool.idle(), 1);
+    }
+}

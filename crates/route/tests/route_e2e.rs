@@ -359,6 +359,11 @@ fn router_stats_aggregate_the_fleet() {
     let fleet = stats.get("fleet").expect("fleet block");
     assert_eq!(fleet.get("analyses_run").and_then(Json::as_u64), Some(2), "{stats}");
     assert!(fleet.get("cache_hits").and_then(Json::as_u64).unwrap_or(0) >= 1);
+    // Fleet-wide cache aggregates computed over the summed counters.
+    assert!(fleet.get("cache_evictions").and_then(Json::as_u64).is_some(), "{stats}");
+    let hit_rate = fleet.get("cache_hit_rate").and_then(Json::as_f64).expect("fleet hit rate");
+    assert!((0.0..=1.0).contains(&hit_rate), "{stats}");
+    assert!(hit_rate > 0.0, "at least one hit was recorded: {stats}");
     // Per-backend entries carry health and the backend's own stats.
     let listed = match stats.get("backends") {
         Some(Json::Arr(items)) => items.clone(),

@@ -1,0 +1,296 @@
+//! The serve-throughput benchmark harness behind `blazer bench-serve`.
+//!
+//! Lock refactors must be measured, not asserted: this module boots a
+//! real in-process [`Server`](crate::Server), drives it with 1..N client
+//! threads over configurable hit/miss mixes, and reports requests/s plus
+//! p50/p99 latency per `(threads, mix)` run — the numbers committed as
+//! `BENCH_serve.json` and smoke-checked by CI.
+//!
+//! Every client thread owns one keep-alive [`Session`](crate::client::
+//! Session) and issues sequential `POST /analyze` requests until the
+//! run's deadline. A *hit* request cycles over a small set of programs
+//! preloaded into the verdict cache before the clock starts, so it
+//! exercises exactly the sharded read path; a *miss* request submits a
+//! globally unique program, paying one real driver run (tiny programs —
+//! a millisecond-scale analysis — so the mix measures the serve layer,
+//! not refinement). Each run boots a fresh server: counters and cache
+//! state never leak between configurations.
+
+use crate::api::AnalyzeRequest;
+use crate::client::Session;
+use crate::{ServeOptions, Server};
+use blazer_ir::json::Json;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// One benchmark configuration sweep.
+#[derive(Debug, Clone)]
+pub struct BenchOptions {
+    /// Client-thread counts to sweep (each paired with every mix).
+    pub threads: Vec<usize>,
+    /// Hit percentages to sweep (`100` = pure cache hits, `0` = every
+    /// request a unique program).
+    pub hit_percents: Vec<u8>,
+    /// Wall-clock length of each timed run.
+    pub duration: Duration,
+    /// Distinct preloaded programs the hit side cycles over (spreading
+    /// hits across cache shards).
+    pub hit_keys: usize,
+}
+
+impl Default for BenchOptions {
+    fn default() -> Self {
+        BenchOptions {
+            threads: vec![1, 4],
+            hit_percents: vec![100, 90],
+            duration: Duration::from_secs(3),
+            hit_keys: 16,
+        }
+    }
+}
+
+/// A tiny analyzable program, distinct per `tag` (the tick constant makes
+/// the source — and so the cache key — unique).
+fn program(tag: u64) -> String {
+    format!("fn f(h: int #high) {{ if (h > 0) {{ tick({tag}); }} else {{ tick({tag}); }} }}")
+}
+
+/// The summary of one `(threads, mix)` run.
+struct RunResult {
+    threads: usize,
+    hit_pct: u8,
+    requests: u64,
+    wall_s: f64,
+    p50_us: u64,
+    p99_us: u64,
+    hits: u64,
+    misses: u64,
+    analyses_run: u64,
+}
+
+impl RunResult {
+    fn rps(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.requests as f64 / self.wall_s
+        } else {
+            0.0
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("threads", Json::from(self.threads)),
+            ("hit_pct", Json::from(u64::from(self.hit_pct))),
+            ("requests", Json::from(self.requests)),
+            ("wall_s", Json::secs(self.wall_s)),
+            ("rps", Json::secs(self.rps())),
+            ("p50_us", Json::from(self.p50_us)),
+            ("p99_us", Json::from(self.p99_us)),
+            ("cache_hits", Json::from(self.hits)),
+            ("cache_misses", Json::from(self.misses)),
+            ("analyses_run", Json::from(self.analyses_run)),
+        ])
+    }
+
+    fn summary(&self) -> String {
+        format!(
+            "threads={:<2} hit_pct={:<3} {:>9.0} req/s  p50={}us p99={}us  \
+             ({} requests, {} analyses)",
+            self.threads,
+            self.hit_pct,
+            self.rps(),
+            self.p50_us,
+            self.p99_us,
+            self.requests,
+            self.analyses_run,
+        )
+    }
+}
+
+/// Sorted-latency percentile (µs); zero for an empty run.
+fn percentile(sorted: &[u64], pct: usize) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    sorted[(sorted.len() * pct / 100).min(sorted.len() - 1)]
+}
+
+/// One timed run against a fresh in-process server.
+fn run_one(
+    threads: usize,
+    hit_pct: u8,
+    duration: Duration,
+    hit_keys: usize,
+    unique: &AtomicU64,
+) -> Result<RunResult, String> {
+    let opts = ServeOptions {
+        addr: "127.0.0.1:0".to_string(),
+        // Thread-per-connection: every client session pins a worker, plus
+        // a spare for the warmup session.
+        workers: Some(threads + 1),
+        queue_depth: threads + 8,
+        ..ServeOptions::default()
+    };
+    let server = Server::start(opts).map_err(|e| format!("bench server: {e}"))?;
+    let addr = server.addr().to_string();
+    let hit_sources: Vec<String> = (0..hit_keys.max(1)).map(|i| program(i as u64)).collect();
+    // Preload the hit set (one real run each) before the clock starts.
+    {
+        let mut warmup = Session::connect(&addr).map_err(|e| format!("bench warmup: {e}"))?;
+        for source in &hit_sources {
+            let (status, body) = warmup
+                .analyze(&AnalyzeRequest::new(source.clone()))
+                .map_err(|e| format!("bench warmup: {e}"))?;
+            if status != 200 {
+                return Err(format!("bench warmup answered {status}: {body}"));
+            }
+        }
+    }
+    let (hits_before, misses_before, runs_before) = (
+        server.cache().hits(),
+        server.cache().misses(),
+        server.stats().analyses_run.load(Ordering::SeqCst),
+    );
+    let gate = std::sync::Barrier::new(threads + 1);
+    let (results, wall_s) = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|worker| {
+                let addr = addr.clone();
+                let hit_sources = &hit_sources;
+                let gate = &gate;
+                scope.spawn(move || -> Result<Vec<u64>, String> {
+                    let mut session =
+                        Session::connect(&addr).map_err(|e| format!("bench client: {e}"))?;
+                    let mut lats: Vec<u64> = Vec::with_capacity(4096);
+                    gate.wait();
+                    let deadline = Instant::now() + duration;
+                    let mut seq = 0u64;
+                    let miss_pct = u64::from(100 - hit_pct.min(100));
+                    while Instant::now() < deadline {
+                        // Bresenham-style spread: misses interleave evenly
+                        // through the sequence (at 90% hits, every 10th
+                        // request) instead of bunching at the end of each
+                        // hundred — short runs still see the mix.
+                        let miss = (seq * miss_pct) % 100 < miss_pct;
+                        let source = if miss {
+                            program(1_000_000 + unique.fetch_add(1, Ordering::Relaxed))
+                        } else {
+                            hit_sources[(seq as usize) % hit_sources.len()].clone()
+                        };
+                        let begun = Instant::now();
+                        let (status, body) = session
+                            .analyze(&AnalyzeRequest::new(source))
+                            .map_err(|e| format!("bench client {worker}: {e}"))?;
+                        if status != 200 {
+                            return Err(format!(
+                                "bench client {worker}: server answered {status}: {body}"
+                            ));
+                        }
+                        lats.push(begun.elapsed().as_micros() as u64);
+                        seq += 1;
+                    }
+                    Ok(lats)
+                })
+            })
+            .collect();
+        gate.wait();
+        let started = Instant::now();
+        let results: Vec<Result<Vec<u64>, String>> =
+            handles.into_iter().map(|h| h.join().expect("bench client")).collect();
+        (results, started.elapsed().as_secs_f64())
+    });
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut requests = 0u64;
+    for result in results {
+        let lats = result?;
+        requests += lats.len() as u64;
+        latencies.extend(lats);
+    }
+    latencies.sort_unstable();
+    let result = RunResult {
+        threads,
+        hit_pct,
+        requests,
+        wall_s,
+        p50_us: percentile(&latencies, 50),
+        p99_us: percentile(&latencies, 99),
+        hits: server.cache().hits() - hits_before,
+        misses: server.cache().misses() - misses_before,
+        analyses_run: server.stats().analyses_run.load(Ordering::SeqCst) - runs_before,
+    };
+    server.stop();
+    Ok(result)
+}
+
+/// Runs the full `threads × mixes` sweep and returns the `BENCH_serve`
+/// document. `progress` receives one human-readable line per finished run
+/// (the CI log trace).
+pub fn run(opts: &BenchOptions, mut progress: impl FnMut(&str)) -> Result<Json, String> {
+    if opts.threads.is_empty() || opts.hit_percents.is_empty() {
+        return Err("bench-serve needs at least one thread count and one mix".to_string());
+    }
+    // Misses must be unique across every run of the sweep: each server is
+    // fresh, but reusing a tag within a run would turn a miss into a hit.
+    let unique = AtomicU64::new(0);
+    let mut runs = Vec::new();
+    for &threads in &opts.threads {
+        for &hit_pct in &opts.hit_percents {
+            let result =
+                run_one(threads.max(1), hit_pct.min(100), opts.duration, opts.hit_keys, &unique)?;
+            progress(&result.summary());
+            runs.push(result.to_json());
+        }
+    }
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    Ok(Json::obj([
+        ("ok", Json::Bool(true)),
+        ("bench", Json::from("serve-throughput")),
+        ("version", Json::from(env!("CARGO_PKG_VERSION"))),
+        ("cores", Json::from(cores)),
+        ("cache_shards", Json::from(crate::sync::default_shard_count())),
+        ("duration_s", Json::secs(opts.duration.as_secs_f64())),
+        ("hit_keys", Json::from(opts.hit_keys)),
+        ("runs", Json::Arr(runs)),
+    ]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_of_a_sorted_run() {
+        let lats: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&lats, 50), 51);
+        assert_eq!(percentile(&lats, 99), 100);
+        assert_eq!(percentile(&[], 99), 0);
+    }
+
+    #[test]
+    fn generated_programs_are_distinct_and_analyzable() {
+        assert_ne!(program(1), program(2));
+        assert!(blazer_lang::compile(&program(7)).is_ok());
+    }
+
+    #[test]
+    fn tiny_sweep_produces_the_report_shape() {
+        let opts = BenchOptions {
+            threads: vec![1],
+            hit_percents: vec![100],
+            duration: Duration::from_millis(200),
+            hit_keys: 2,
+        };
+        let mut lines = Vec::new();
+        let doc = run(&opts, |line| lines.push(line.to_string())).expect("bench run");
+        assert_eq!(lines.len(), 1);
+        let Some(Json::Arr(runs)) = doc.get("runs") else { panic!("runs array") };
+        assert_eq!(runs.len(), 1);
+        let run = &runs[0];
+        assert_eq!(run.get("threads").and_then(Json::as_u64), Some(1));
+        assert_eq!(run.get("hit_pct").and_then(Json::as_u64), Some(100));
+        assert!(run.get("requests").and_then(Json::as_u64).unwrap_or(0) > 0);
+        assert!(run.get("rps").and_then(Json::as_f64).unwrap_or(0.0) > 0.0);
+        // A pure-hit run after warmup never runs the driver.
+        assert_eq!(run.get("analyses_run").and_then(Json::as_u64), Some(0));
+    }
+}

@@ -62,6 +62,9 @@ impl Session {
     /// Connects one persistent session to `addr`.
     pub fn connect(addr: &str) -> std::io::Result<Session> {
         let stream = TcpStream::connect(addr)?;
+        // Small request/response exchanges: Nagle + delayed ACK would add
+        // ~40ms per round trip.
+        let _ = stream.set_nodelay(true);
         Ok(Session {
             reader: Some(BufReader::new(stream)),
             addr: addr.to_string(),
@@ -89,7 +92,9 @@ impl Session {
 
     /// Re-dials the session's address, replacing any previous connection.
     fn redial(&mut self) -> std::io::Result<()> {
-        self.reader = Some(BufReader::new(TcpStream::connect(&self.addr)?));
+        let stream = TcpStream::connect(&self.addr)?;
+        let _ = stream.set_nodelay(true);
+        self.reader = Some(BufReader::new(stream));
         self.server_closed = false;
         Ok(())
     }
@@ -190,6 +195,7 @@ pub fn raw_request(
     body: Option<&str>,
 ) -> std::io::Result<(u16, String)> {
     let mut stream = TcpStream::connect(addr)?;
+    let _ = stream.set_nodelay(true);
     stream.write_all(format_request(method, path, addr, body.unwrap_or(""), true).as_bytes())?;
     stream.flush()?;
     let mut raw = String::new();

@@ -44,10 +44,12 @@
 #![warn(missing_docs)]
 
 pub mod api;
+pub mod bench;
 pub mod cache;
 pub mod client;
 pub mod pool;
 pub mod report;
+pub mod sync;
 
 // The HTTP/1.1 subset itself moved to the shared `blazer-http` crate so
 // the fleet router can speak the same wire format; the `http` path every
@@ -235,6 +237,9 @@ impl Server {
                         break;
                     }
                     let Ok(stream) = stream else { continue };
+                    // Responses are small; Nagle + the peer's delayed ACK
+                    // would add ~40ms per exchange.
+                    let _ = stream.set_nodelay(true);
                     // The gauge goes up *before* the send so a worker's
                     // decrement (strictly after a successful send) can
                     // never race it below zero.
@@ -546,12 +551,16 @@ fn stats_body(ctx: &Ctx) -> Json {
         ("batch_requests", Json::from(s.batch_requests.load(Ordering::SeqCst))),
         ("analyses_run", Json::from(s.analyses_run.load(Ordering::SeqCst))),
         ("coalesced", Json::from(s.coalesced.load(Ordering::SeqCst))),
+        ("cache_hit_rate", Json::Num(ctx.cache.hit_rate())),
         (
             "cache",
             Json::obj([
                 ("entries", Json::from(ctx.cache.len())),
                 ("hits", Json::from(ctx.cache.hits())),
                 ("misses", Json::from(ctx.cache.misses())),
+                ("evictions", Json::from(ctx.cache.evictions())),
+                ("shards", Json::from(ctx.cache.shards())),
+                ("hit_rate", Json::Num(ctx.cache.hit_rate())),
             ]),
         ),
         ("crashes", Json::from(s.crashes.load(Ordering::SeqCst))),

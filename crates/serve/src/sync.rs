@@ -1,0 +1,260 @@
+//! Read-optimized sharded concurrency primitives.
+//!
+//! Under fleet traffic the serve layer is overwhelmingly read-mostly:
+//! nearly every `/analyze` is a verdict-cache hit, yet before this module
+//! every hit funneled through one `Mutex` (and every coalesced miss
+//! through one flight-table mutex). [`ShardedMap`] replaces that with N
+//! independent shards — the FNV-1a hash of the key picks the shard, so
+//! unrelated keys never contend — and a read path that takes **no
+//! exclusive lock**: a hit acquires one shard's `RwLock` in *shared* mode
+//! and refreshes the entry's recency with a relaxed atomic stamp store.
+//! Concurrent readers of the same shard (even of the same entry) proceed
+//! in parallel; only an insert or an eviction write-locks, and then only
+//! its own shard.
+//!
+//! Recency is approximate by design (the busy-forbidden readers-writer
+//! literature's trade: exact LRU needs a write on every read, which is
+//! exactly the serialization being removed). Each entry carries an atomic
+//! stamp from a shared logical clock; eviction scans the inserting shard
+//! for the smallest stamp — per-shard second-chance-style approximate LRU
+//! driven by the stamps, never a global ordering structure.
+//!
+//! The capacity is likewise a *soft* global bound: a shared atomic count
+//! triggers eviction, but the victim is taken from the inserting shard
+//! (so no insert ever touches another shard's lock). A shard holding only
+//! the entry just inserted skips the eviction, so the map can overshoot
+//! its capacity by at most one entry per shard — bounded, and the price
+//! of hits never waiting on unrelated inserts. At `shards = 1` the map
+//! degenerates to exact LRU (tests rely on this).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::RwLock;
+
+/// FNV-1a 64 — the same content-address hash the cache key reports, so a
+/// key's shard is derivable from its published address.
+pub use blazer_ir::json::fnv1a64;
+
+/// The default shard count: four shards per core, rounded up to a power
+/// of two and clamped to `[4, 64]`. Oversharding relative to the core
+/// count keeps the probability of two concurrent writers colliding on a
+/// shard low without making per-shard caps degenerate.
+pub fn default_shard_count() -> usize {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    (cores * 4).next_power_of_two().clamp(4, 64)
+}
+
+/// The shard a key hash lands in, for a power-of-two shard count.
+pub fn shard_index(hash: u64, shards: usize) -> usize {
+    debug_assert!(shards.is_power_of_two());
+    (hash & (shards as u64 - 1)) as usize
+}
+
+/// One stored value plus its recency stamp. The stamp is atomic so the
+/// read path can refresh it under a *shared* shard lock.
+#[derive(Debug)]
+struct Stamped<V> {
+    value: V,
+    stamp: AtomicU64,
+}
+
+/// One shard: a plain hash map of stamped values behind a readers-writer
+/// lock.
+type Shard<V> = RwLock<HashMap<String, Stamped<V>>>;
+
+/// A sharded map with a lock-light read path and per-shard approximate-LRU
+/// eviction. See the module docs for the design.
+#[derive(Debug)]
+pub struct ShardedMap<V> {
+    shards: Box<[Shard<V>]>,
+    /// Shared logical clock behind every recency stamp.
+    clock: AtomicU64,
+    /// Live entries across all shards (the soft-capacity trigger).
+    count: AtomicUsize,
+    /// Entries evicted to make room, ever.
+    evictions: AtomicU64,
+    max_entries: usize,
+}
+
+impl<V> ShardedMap<V> {
+    /// An empty map holding about `max_entries` values across `shards`
+    /// shards. The capacity is a soft bound (overshoot ≤ one entry per
+    /// shard); a zero capacity is promoted to one, and the shard count is
+    /// rounded up to a power of two.
+    pub fn new(max_entries: usize, shards: usize) -> ShardedMap<V> {
+        let shards = shards.max(1).next_power_of_two();
+        ShardedMap {
+            shards: (0..shards).map(|_| RwLock::new(HashMap::new())).collect(),
+            clock: AtomicU64::new(0),
+            count: AtomicUsize::new(0),
+            evictions: AtomicU64::new(0),
+            max_entries: max_entries.max(1),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The soft capacity.
+    pub fn capacity(&self) -> usize {
+        self.max_entries
+    }
+
+    /// Live entries (approximate only while writers are mid-flight).
+    pub fn len(&self) -> usize {
+        self.count.load(Ordering::SeqCst)
+    }
+
+    /// Whether the map holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Entries evicted over the map's lifetime.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::SeqCst)
+    }
+
+    fn shard_of(&self, key: &str) -> &RwLock<HashMap<String, Stamped<V>>> {
+        &self.shards[shard_index(fnv1a64(key.as_bytes()), self.shards.len())]
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Looks up `key`, refreshing its recency. **The hot path**: one
+    /// shard's read lock (shared — concurrent hits on any keys proceed in
+    /// parallel) plus two relaxed atomic operations; no write lock, no
+    /// exclusive section, no I/O.
+    pub fn get(&self, key: &str) -> Option<V>
+    where
+        V: Clone,
+    {
+        let shard = self.shard_of(key).read().unwrap_or_else(|e| e.into_inner());
+        let entry = shard.get(key)?;
+        entry.stamp.store(self.tick(), Ordering::Relaxed);
+        Some(entry.value.clone())
+    }
+
+    /// Stores `key → value`, write-locking only the key's shard. Returns
+    /// `true` when the key is new (a *fresh* insert); storing over an
+    /// existing key replaces the value in place, refreshes its recency,
+    /// and returns `false` without evicting. A fresh insert that pushes
+    /// the map past capacity evicts the smallest-stamp entry *of the same
+    /// shard* (never the entry just inserted); a shard holding nothing
+    /// else skips the eviction, which is what makes the capacity soft.
+    pub fn insert(&self, key: &str, value: V) -> bool {
+        let stamp = self.tick();
+        let mut shard = self.shard_of(key).write().unwrap_or_else(|e| e.into_inner());
+        if let Some(existing) = shard.get_mut(key) {
+            existing.value = value;
+            existing.stamp.store(stamp, Ordering::Relaxed);
+            return false;
+        }
+        shard.insert(key.to_string(), Stamped { value, stamp: AtomicU64::new(stamp) });
+        let total = self.count.fetch_add(1, Ordering::SeqCst) + 1;
+        if total > self.max_entries {
+            let victim = shard
+                .iter()
+                .filter(|(k, _)| k.as_str() != key)
+                .min_by_key(|(_, e)| e.stamp.load(Ordering::Relaxed))
+                .map(|(k, _)| k.clone());
+            if let Some(victim) = victim {
+                shard.remove(&victim);
+                self.count.fetch_sub(1, Ordering::SeqCst);
+                self.evictions.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        true
+    }
+
+    /// Every live entry with its recency stamp, gathered shard by shard
+    /// under *read* locks (a flush never blocks hits). Order is
+    /// unspecified; sort by stamp for LRU-first.
+    pub fn entries(&self) -> Vec<(String, V, u64)>
+    where
+        V: Clone,
+    {
+        let mut out = Vec::with_capacity(self.len());
+        for shard in self.shards.iter() {
+            let shard = shard.read().unwrap_or_else(|e| e.into_inner());
+            out.extend(
+                shard
+                    .iter()
+                    .map(|(k, e)| (k.clone(), e.value.clone(), e.stamp.load(Ordering::Relaxed))),
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_shard_count_is_a_clamped_power_of_two() {
+        let n = default_shard_count();
+        assert!(n.is_power_of_two());
+        assert!((4..=64).contains(&n));
+    }
+
+    #[test]
+    fn get_insert_replace_roundtrip() {
+        let map: ShardedMap<String> = ShardedMap::new(16, 4);
+        assert!(map.get("a").is_none());
+        assert!(map.insert("a", "1".into()), "first insert is fresh");
+        assert!(!map.insert("a", "2".into()), "second insert replaces");
+        assert_eq!(map.get("a").as_deref(), Some("2"));
+        assert_eq!((map.len(), map.evictions()), (1, 0));
+    }
+
+    #[test]
+    fn single_shard_is_exact_lru() {
+        let map: ShardedMap<u32> = ShardedMap::new(2, 1);
+        map.insert("a", 1);
+        map.insert("b", 2);
+        assert!(map.get("a").is_some(), "touch a so b is the victim");
+        map.insert("c", 3);
+        assert_eq!(map.len(), 2);
+        assert!(map.get("a").is_some());
+        assert!(map.get("b").is_none(), "LRU entry evicted");
+        assert!(map.get("c").is_some());
+        assert_eq!(map.evictions(), 1);
+    }
+
+    #[test]
+    fn capacity_is_soft_but_bounded_by_one_per_shard() {
+        let map: ShardedMap<u32> = ShardedMap::new(4, 4);
+        for i in 0..64 {
+            map.insert(&format!("key-{i}"), i);
+        }
+        assert!(map.len() <= 4 + map.shard_count(), "soft cap overshoot is bounded");
+        assert_eq!(map.len() as u64 + map.evictions(), 64, "no lost inserts or double evictions");
+    }
+
+    #[test]
+    fn entries_snapshot_carries_stamps() {
+        let map: ShardedMap<u32> = ShardedMap::new(16, 4);
+        map.insert("x", 7);
+        map.insert("y", 8);
+        let _ = map.get("x"); // refresh: x must now out-stamp y
+        let entries = map.entries();
+        assert_eq!(entries.len(), 2);
+        let stamp = |k: &str| entries.iter().find(|(key, ..)| key == k).unwrap().2;
+        assert!(stamp("x") > stamp("y"));
+    }
+
+    #[test]
+    fn shard_index_distributes_and_is_stable() {
+        let hits: std::collections::HashSet<usize> =
+            (0..256u64).map(|i| shard_index(fnv1a64(format!("k{i}").as_bytes()), 8)).collect();
+        assert!(hits.len() > 4, "256 keys must spread over a meaningful fraction of 8 shards");
+        for i in 0..8u64 {
+            assert!(shard_index(i, 8) < 8);
+        }
+    }
+}

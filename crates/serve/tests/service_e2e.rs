@@ -280,9 +280,17 @@ fn stats_reports_queue_and_worker_gauges() {
         "crashes",
         "client_errors",
         "busy_rejections",
+        "cache_hit_rate",
     ] {
         assert!(stats.get(field).is_some(), "missing {field}: {stats}");
     }
+    // The cache object carries the sharding-era fields alongside the
+    // original counters.
+    let cache = stats.get("cache").expect("cache object");
+    for field in ["entries", "hits", "misses", "evictions", "shards", "hit_rate"] {
+        assert!(cache.get(field).is_some(), "missing cache.{field}: {stats}");
+    }
+    assert!(cache.get("shards").and_then(Json::as_u64).unwrap_or(0) >= 1);
     server.stop();
 }
 

@@ -13,6 +13,7 @@
 //! $ blazer route --addr 127.0.0.1:8650 --backend 127.0.0.1:8645 --backend 127.0.0.1:8646
 //! $ blazer client --addr 127.0.0.1:8645 program.blz check
 //! $ blazer client --health
+//! $ blazer bench-serve --threads 1 --threads 4 --mix 100 --mix 90 --out BENCH_serve.json
 //! ```
 //!
 //! Trail evaluation is parallel by default (machine parallelism); pin the
@@ -27,7 +28,7 @@
 use blazer::core::{concretize_outcome, Blazer, Config, DomainKind, Verdict};
 use blazer::ir::json::Json;
 use blazer::route::{RouteOptions, Router};
-use blazer::serve::{api::AnalyzeRequest, client, report, ServeOptions, Server};
+use blazer::serve::{api::AnalyzeRequest, bench, client, report, ServeOptions, Server};
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
@@ -97,7 +98,10 @@ fn parse_args(args: Vec<String>) -> Result<Options, String> {
                             \x20      blazer client --session <file...>   one keep-alive \
                             connection, one request per file\n\
                             \x20      blazer client --batch <file...>     one POST, one \
-                            JSON array of results"
+                            JSON array of results\n\
+                            \x20      blazer bench-serve [--threads N]... [--mix PCT]... \
+                            [--duration-s S] [--hit-keys N] [--out PATH]   measure serve \
+                            throughput over hit/miss mixes"
                     .to_string())
             }
             other => positional.push(other.to_string()),
@@ -139,6 +143,10 @@ fn main() -> ExitCode {
         Some("client") => {
             args.remove(0);
             client_main(args)
+        }
+        Some("bench-serve") => {
+            args.remove(0);
+            bench_serve_main(args)
         }
         _ => analyze_main(args),
     }
@@ -439,6 +447,75 @@ fn route_main(args: Vec<String>) -> ExitCode {
         router.health().snapshot().len()
     );
     router.wait();
+    ExitCode::SUCCESS
+}
+
+// ------------------------------------------------------------ bench-serve
+
+/// `blazer bench-serve`: the serve-throughput benchmark behind
+/// `BENCH_serve.json`. Boots a fresh in-process server per `(threads,
+/// mix)` configuration, prints one summary line per run, and writes the
+/// JSON report to `--out` (or stdout).
+fn bench_serve_main(args: Vec<String>) -> ExitCode {
+    let mut threads: Vec<usize> = Vec::new();
+    let mut mixes: Vec<u8> = Vec::new();
+    let mut opts = bench::BenchOptions::default();
+    let mut out: Option<String> = None;
+    let mut args = args.into_iter();
+    while let Some(a) = args.next() {
+        let parsed: Result<(), String> = match a.as_str() {
+            "--threads" => args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .filter(|n| *n > 0)
+                .map(|n| threads.push(n))
+                .ok_or("--threads expects a positive integer".into()),
+            "--mix" => args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .filter(|n| *n <= 100)
+                .map(|n| mixes.push(n))
+                .ok_or("--mix expects a hit percentage in 0..=100".into()),
+            "--duration-s" => parse_timeout(args.next().as_deref()).map(|d| opts.duration = d),
+            "--hit-keys" => args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .filter(|n| *n > 0)
+                .map(|n| opts.hit_keys = n)
+                .ok_or("--hit-keys expects a positive integer".into()),
+            "--out" => args.next().map(|v| out = Some(v)).ok_or("--out expects a path".into()),
+            other => Err(format!("bench-serve: unknown flag {other} (try --help)")),
+        };
+        if let Err(msg) = parsed {
+            eprintln!("{msg}");
+            return ExitCode::from(EXIT_USAGE);
+        }
+    }
+    // Repeatable flags override the default sweep only when given.
+    if !threads.is_empty() {
+        opts.threads = threads;
+    }
+    if !mixes.is_empty() {
+        opts.hit_percents = mixes;
+    }
+    let doc = match bench::run(&opts, |line| eprintln!("{line}")) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("bench-serve: {e}");
+            return ExitCode::from(EXIT_USAGE);
+        }
+    };
+    let rendered = doc.pretty();
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, &rendered) {
+                eprintln!("bench-serve: {path}: {e}");
+                return ExitCode::from(EXIT_USAGE);
+            }
+            eprintln!("bench-serve: wrote {path}");
+        }
+        None => print!("{rendered}"),
+    }
     ExitCode::SUCCESS
 }
 
