@@ -21,9 +21,10 @@
 //! thread count, so the perf trajectory is trackable across commits:
 //! compare `BLAZER_THREADS=1` against `BLAZER_THREADS=4` runs.
 
-use blazer_bench::{config_for, try_run_benchmark, Row};
+use blazer_bench::{backend_from_env, config_for, try_run_benchmark_with_backend, Row};
 use blazer_core::{SeedStats, Verdict};
 use blazer_ir::json::Json;
+use blazer_portfolio::Backend;
 use blazer_serve::pool;
 use std::time::Instant;
 
@@ -41,6 +42,11 @@ struct JsonRow {
     /// passes plus the per-trail seeding split. Wall times are noisy across
     /// machines; these are the numbers the snapshot diff can trust.
     counters: Option<(u64, SeedStats)>,
+    /// Winning backend of a portfolio run (`None` for plain decomposition
+    /// runs, crash rows, and undecided races).
+    winner: Option<&'static str>,
+    /// Quantified leakage in bits (`None` outside portfolio runs).
+    leakage_bits: Option<f64>,
 }
 
 impl JsonRow {
@@ -66,6 +72,8 @@ impl JsonRow {
                     ])
                 }),
             ),
+            ("winner", self.winner.map(Json::from).unwrap_or(Json::Null)),
+            ("leakage_bits", self.leakage_bits.map(Json::Num).unwrap_or(Json::Null)),
         ])
     }
 }
@@ -98,6 +106,10 @@ fn main() {
         .map(|s| s.split(',').map(|p| p.trim().to_string()).collect());
     // All groups share the same width policy; report what the analyses use.
     let threads = config_for(blazer_benchmarks::Group::MicroBench).effective_threads();
+    let backend = backend_from_env();
+    if backend != Backend::Decomp {
+        println!("backend: {backend} (BLAZER_BACKEND)");
+    }
     let selected: Vec<_> = blazer_benchmarks::all()
         .into_iter()
         .filter(|b| {
@@ -113,7 +125,7 @@ fn main() {
     );
     let started = Instant::now();
     let results: Vec<Result<Row, String>> =
-        pool::scoped_map(&selected, jobs, |_, b| try_run_benchmark(b, runs));
+        pool::scoped_map(&selected, jobs, |_, b| try_run_benchmark_with_backend(b, runs, backend));
     let mut all_match = true;
     let mut crashes = 0usize;
     let mut group = None;
@@ -141,6 +153,8 @@ fn main() {
                     safety_s: None,
                     with_attack_s: None,
                     counters: None,
+                    winner: None,
+                    leakage_bits: None,
                 });
                 continue;
             }
@@ -156,8 +170,13 @@ fn main() {
             .unwrap_or_else(|| "-".to_string());
         let ok = row.matches_paper();
         all_match &= ok;
+        let annotation = match (row.winner, row.leakage_bits) {
+            (Some(w), Some(bits)) => format!("  [winner {w}, {bits:.2} bits]"),
+            (None, Some(bits)) => format!("  [no winner, {bits:.2} bits]"),
+            _ => String::new(),
+        };
         println!(
-            "{:<22} {:>5} {:>12.2} {:>12}   {:<8} {}",
+            "{:<22} {:>5} {:>12.2} {:>12}   {:<8} {}{annotation}",
             row.name,
             row.size,
             row.safety_time.as_secs_f64(),
@@ -174,6 +193,8 @@ fn main() {
             safety_s: Some(row.safety_time.as_secs_f64()),
             with_attack_s: row.with_attack_time.map(|d| d.as_secs_f64()),
             counters: Some((row.fixpoint_passes, row.seed_stats)),
+            winner: row.winner,
+            leakage_bits: row.leakage_bits,
         });
     }
     let total_wall_s = started.elapsed().as_secs_f64();

@@ -100,6 +100,15 @@ pub struct Config {
     /// builds every seeded result is checked against a from-⊥ rerun and
     /// rejected (with a from-⊥ fallback) if it differs.
     pub seed_fixpoints: bool,
+    /// When `true`, [`Blazer::analyze`] draws against the budget ledger
+    /// already installed on the calling thread (if any) instead of
+    /// installing a fresh one from [`Config::budget`]. This is how a
+    /// portfolio scheduler races several backends against one shared
+    /// ledger: workers install a [`blazer_ir::budget::BudgetHandle`] and
+    /// run the driver with this flag, so caps stay globally enforced and a
+    /// revocation of the shared ledger cancels the run cooperatively.
+    /// Defaults to `false`: a plain analysis is always isolated.
+    pub use_ambient_budget: bool,
 }
 
 impl Config {
@@ -116,6 +125,7 @@ impl Config {
             budget: Budget::unlimited(),
             threads: None,
             seed_fixpoints: true,
+            use_ambient_budget: false,
         }
     }
 
@@ -171,6 +181,14 @@ impl Config {
     /// fixpoint starts from ⊥, the pre-seeding behavior).
     pub fn with_seeding(mut self, seed_fixpoints: bool) -> Self {
         self.seed_fixpoints = seed_fixpoints;
+        self
+    }
+
+    /// Builder-style ambient-budget mode: the analysis consumes against the
+    /// ledger already installed on the calling thread instead of installing
+    /// its own (see [`Config::use_ambient_budget`]).
+    pub fn with_ambient_budget(mut self) -> Self {
+        self.use_ambient_budget = true;
         self
     }
 
@@ -513,8 +531,18 @@ impl Blazer {
     /// missing.
     pub fn analyze(&self, program: &Program, func: &str) -> Result<AnalysisOutcome, CoreError> {
         // The budget governs everything downstream of this point; the guard
-        // restores any previously installed budget on every return path.
-        let _budget_guard = self.config.budget.install();
+        // restores any previously installed budget on every return path. In
+        // ambient mode the analysis joins the caller's already-installed
+        // shared ledger (portfolio racing) instead of isolating itself; with
+        // nothing installed, the configured budget applies as usual.
+        let _budget_guard = if self.config.use_ambient_budget {
+            match budget::handle() {
+                Some(ambient) => ambient.install(),
+                None => self.config.budget.install(),
+            }
+        } else {
+            self.config.budget.install()
+        };
         program.validate().map_err(CoreError::InvalidProgram)?;
         let f =
             program.function(func).ok_or_else(|| CoreError::NoSuchFunction(func.to_string()))?;
@@ -1224,7 +1252,10 @@ impl Blazer {
             Ok(v) => !v.trim().is_empty() && v.trim() != "0",
             Err(_) => cfg!(debug_assertions),
         };
-        requested && self.config.budget.is_unlimited() && std::env::var("BLAZER_FAULT").is_err()
+        requested
+            && self.config.budget.is_unlimited()
+            && !self.config.use_ambient_budget
+            && std::env::var("BLAZER_FAULT").is_err()
     }
 }
 

@@ -1,0 +1,387 @@
+//! # blazer-portfolio
+//!
+//! Racing verification backends under one shared budget ledger.
+//!
+//! The paper's decomposition driver (`blazer-core`) and the
+//! self-composition baseline it argues against (`blazer-selfcomp`) have
+//! complementary strengths: decomposition refines a partition and can
+//! conclude *safe or attack*; self-composition analyzes the doubled
+//! program in one shot and — when the composed invariants survive — can
+//! prove *safe* far faster than a deep refinement, but never soundly
+//! reports an attack (a failed composition is a precision loss, not a
+//! counterexample). [`analyze_portfolio`] races both per request:
+//!
+//! * Both workers run on a plain `std::thread::scope` pair and draw from
+//!   **one shared [`blazer_ir::budget`] ledger** — the deadline, LP-call,
+//!   and fixpoint caps stay globally enforced across the race exactly as
+//!   they are across the driver's own evaluation workers.
+//! * The first *sound* verdict wins: the decomposition's `Safe` or
+//!   `Attack`, or the baseline's `verified = true` (⇒ `Safe`). A baseline
+//!   `verified = false` is not a verdict and leaves the race running.
+//! * The loser is cancelled **cooperatively** by revoking the shared
+//!   ledger ([`blazer_ir::budget::BudgetHandle::revoke`]): the sticky
+//!   exhaustion flag makes its next `consume_*`/`check` call fail, and it
+//!   unwinds through the same give-up path budget exhaustion already
+//!   exercises. No new cancellation machinery, no detached threads.
+//!
+//! The winning verdict is extended with a quantified [`Leakage`] estimate
+//! (see [`leakage`]): `log2` of the number of attacker-distinguishable
+//! trail-bound classes under the active observer — 0 bits for safe, ≥ 1
+//! bit whenever an attack was found.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod leakage;
+
+pub use leakage::Leakage;
+
+use blazer_core::{AnalysisOutcome, Blazer, Config, CoreError, UnknownReason, Verdict};
+use blazer_ir::budget::{self, BudgetReport, Resource};
+use blazer_ir::Program;
+use blazer_selfcomp::SelfCompResult;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::str::FromStr;
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// Which verification engine answers a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// The paper's trail-decomposition driver (`blazer-core`).
+    Decomp,
+    /// The self-composition baseline (`blazer-selfcomp`).
+    Selfcomp,
+    /// Race both under one shared budget; first sound verdict wins.
+    Portfolio,
+}
+
+impl Backend {
+    /// The wire/CLI vocabulary: `decomp`, `selfcomp`, `portfolio`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Backend::Decomp => "decomp",
+            Backend::Selfcomp => "selfcomp",
+            Backend::Portfolio => "portfolio",
+        }
+    }
+}
+
+impl fmt::Display for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for Backend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Backend, String> {
+        match s {
+            "decomp" => Ok(Backend::Decomp),
+            "selfcomp" => Ok(Backend::Selfcomp),
+            "portfolio" => Ok(Backend::Portfolio),
+            other => Err(format!("unknown backend `{other}` (expected decomp|selfcomp|portfolio)")),
+        }
+    }
+}
+
+/// What one racing backend cost, measured at the moment it returned (or
+/// was revoked / crashed).
+///
+/// The ledger is *shared*, so the LP/fixpoint numbers are snapshots of the
+/// global counters at this backend's completion — an attribution of the
+/// race's total, not an isolated per-backend meter. Wall time is exact.
+#[derive(Debug, Clone, Default)]
+pub struct BackendCost {
+    /// Wall-clock time this backend ran.
+    pub wall: Duration,
+    /// Global LP calls consumed when this backend finished.
+    pub lp_calls: u64,
+    /// Global fixpoint passes consumed when this backend finished.
+    pub fixpoint_passes: u64,
+    /// Whether the backend ran to completion (`false`: revoked mid-run,
+    /// budget-exhausted, or crashed).
+    pub completed: bool,
+    /// Whether the backend panicked (isolated; the race continues).
+    pub crashed: bool,
+}
+
+/// The complete result of one portfolio race.
+#[derive(Debug, Clone)]
+pub struct PortfolioReport {
+    /// The portfolio verdict: the winner's, or the decomposition's
+    /// inconclusive outcome when no backend produced a sound verdict.
+    pub verdict: Verdict,
+    /// The decomposition's full outcome (partition, timings, budget) —
+    /// `None` only when the decomposition worker crashed.
+    pub outcome: Option<AnalysisOutcome>,
+    /// Which backend produced the winning sound verdict, if any.
+    pub winner: Option<Backend>,
+    /// Whether the shared ledger was revoked to cancel the loser.
+    pub revoked: bool,
+    /// The decomposition's cost.
+    pub decomp: BackendCost,
+    /// The baseline's cost.
+    pub selfcomp: BackendCost,
+    /// What the baseline concluded (`None` when it crashed).
+    pub selfcomp_verified: Option<bool>,
+    /// Quantified leakage under the request's observer.
+    pub leakage: Leakage,
+    /// The shared ledger's final totals for the whole race.
+    pub budget_report: BudgetReport,
+    /// Wall-clock time of the whole race.
+    pub wall: Duration,
+    /// Panic message of the decomposition worker, when it crashed.
+    pub crash: Option<String>,
+}
+
+/// The attacker-constant the baseline must prove the composed counter
+/// difference within: the degree observer's epsilon, or the threshold
+/// observer's instruction threshold (the Sec. 6.1 convention).
+pub fn epsilon_for(observer: &blazer_bounds::Observer) -> u64 {
+    match observer {
+        blazer_bounds::Observer::DegreeEquivalence { epsilon } => *epsilon,
+        blazer_bounds::Observer::ConcreteThreshold { threshold, .. } => *threshold,
+    }
+}
+
+/// One worker's completion message. The decomposition outcome (partition
+/// tree, bounds, attack spec) dwarfs the baseline's result, so it rides
+/// boxed.
+enum Finish {
+    Decomp(Box<Result<Result<AnalysisOutcome, CoreError>, String>>, BackendCost),
+    Selfcomp(Result<SelfCompResult, String>, BackendCost),
+}
+
+/// Races the decomposition driver against the self-composition baseline on
+/// `func`, under one shared budget built from `config.budget`.
+///
+/// See the module docs for the race protocol. The returned report always
+/// carries a verdict; worker panics are isolated (a crashed backend simply
+/// loses the race), and only a malformed program or missing function is an
+/// error.
+///
+/// # Errors
+///
+/// Returns [`CoreError`] when the program fails validation or `func` does
+/// not exist (checked up front: the baseline's API contract assumes a
+/// valid target).
+pub fn analyze_portfolio(
+    program: &Program,
+    func: &str,
+    config: &Config,
+) -> Result<PortfolioReport, CoreError> {
+    program.validate().map_err(CoreError::InvalidProgram)?;
+    if program.function(func).is_none() {
+        return Err(CoreError::NoSuchFunction(func.to_string()));
+    }
+    let started = Instant::now();
+    // One ledger for the whole race: both workers install a handle to it,
+    // so caps are global and a single revoke cancels whoever still runs.
+    let _guard = config.budget.install();
+    let ledger = budget::handle().expect("budget installed above");
+    let decomp_config = config.clone().with_ambient_budget();
+    let epsilon = epsilon_for(&config.observer);
+
+    let mut winner: Option<Backend> = None;
+    let mut revoked = false;
+    let mut decomp_result: Option<Result<Result<AnalysisOutcome, CoreError>, String>> = None;
+    let mut decomp_cost = BackendCost::default();
+    let mut selfcomp_result: Option<Result<SelfCompResult, String>> = None;
+    let mut selfcomp_cost = BackendCost::default();
+
+    std::thread::scope(|scope| {
+        let (tx, rx) = mpsc::channel::<Finish>();
+        let decomp_tx = tx.clone();
+        let decomp_ledger = ledger.clone();
+        scope.spawn(move || {
+            let _g = decomp_ledger.install();
+            let t0 = Instant::now();
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                Blazer::new(decomp_config).analyze(program, func)
+            }))
+            .map_err(panic_message);
+            let (lp_calls, fixpoint_passes, _) = decomp_ledger.counters();
+            let completed = matches!(
+                &result,
+                Ok(Ok(o)) if !matches!(
+                    o.verdict,
+                    Verdict::Unknown(UnknownReason::BudgetExhausted(_))
+                )
+            );
+            let cost = BackendCost {
+                wall: t0.elapsed(),
+                lp_calls,
+                fixpoint_passes,
+                completed,
+                crashed: result.is_err(),
+            };
+            let _ = decomp_tx.send(Finish::Decomp(Box::new(result), cost));
+        });
+        let selfcomp_ledger = ledger.clone();
+        scope.spawn(move || {
+            let _g = selfcomp_ledger.install();
+            let t0 = Instant::now();
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                blazer_selfcomp::verify(program, func, epsilon, &config.cost_model)
+            }))
+            .map_err(panic_message);
+            let (lp_calls, fixpoint_passes, _) = selfcomp_ledger.counters();
+            let completed =
+                result.is_ok() && selfcomp_ledger.exhausted() != Some(Resource::Revoked);
+            let cost = BackendCost {
+                wall: t0.elapsed(),
+                lp_calls,
+                fixpoint_passes,
+                completed,
+                crashed: result.is_err(),
+            };
+            let _ = tx.send(Finish::Selfcomp(result, cost));
+        });
+
+        // First *sound* verdict wins and revokes the ledger; an unsound
+        // finish (baseline failed to verify, decomposition gave up) just
+        // records its result and leaves the race to the sibling.
+        for finish in rx {
+            match finish {
+                Finish::Decomp(result, cost) => {
+                    let sound = matches!(
+                        result.as_ref(),
+                        Ok(Ok(o)) if matches!(o.verdict, Verdict::Safe | Verdict::Attack(_))
+                    );
+                    if sound && winner.is_none() {
+                        winner = Some(Backend::Decomp);
+                        revoked = ledger.revoke();
+                    }
+                    decomp_cost = cost;
+                    decomp_result = Some(*result);
+                }
+                Finish::Selfcomp(result, cost) => {
+                    let sound = matches!(&result, Ok(r) if r.verified);
+                    if sound && winner.is_none() {
+                        winner = Some(Backend::Selfcomp);
+                        revoked = ledger.revoke();
+                    }
+                    selfcomp_cost = cost;
+                    selfcomp_result = Some(result);
+                }
+            }
+        }
+    });
+
+    let budget_report = budget::report();
+    let selfcomp_verified = match &selfcomp_result {
+        Some(Ok(r)) => Some(r.verified),
+        _ => None,
+    };
+    let (outcome, crash) = match decomp_result {
+        Some(Ok(Ok(outcome))) => (Some(outcome), None),
+        Some(Ok(Err(e))) => return Err(e),
+        Some(Err(panic)) => (None, Some(panic)),
+        None => (None, Some("decomposition worker vanished".to_string())),
+    };
+    // The portfolio verdict: the winner's sound verdict, else the
+    // decomposition's own (inconclusive) outcome.
+    let verdict = match (winner, &outcome) {
+        (Some(Backend::Selfcomp), _) => Verdict::Safe,
+        (_, Some(o)) => o.verdict.clone(),
+        (None, None) => Verdict::Unknown(UnknownReason::SearchExhausted),
+        (Some(_), None) => unreachable!("a decomp win implies a decomp outcome"),
+    };
+    let leakage = if verdict.is_safe() {
+        Leakage::none()
+    } else {
+        outcome
+            .as_ref()
+            .map(|o| leakage::measure(o, &config.observer))
+            .unwrap_or_else(Leakage::none)
+    };
+    Ok(PortfolioReport {
+        verdict,
+        outcome,
+        winner,
+        revoked,
+        decomp: decomp_cost,
+        selfcomp: selfcomp_cost,
+        selfcomp_verified,
+        leakage,
+        budget_report,
+        wall: started.elapsed(),
+        crash,
+    })
+}
+
+/// Renders a panic payload as a message.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_else(|| "panic with non-string payload".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn compile(src: &str) -> Program {
+        blazer_lang::compile(src).unwrap()
+    }
+
+    #[test]
+    fn backend_round_trips_through_its_wire_name() {
+        for b in [Backend::Decomp, Backend::Selfcomp, Backend::Portfolio] {
+            assert_eq!(b.as_str().parse::<Backend>().unwrap(), b);
+        }
+        assert!("hedged".parse::<Backend>().is_err());
+    }
+
+    #[test]
+    fn race_on_safe_program_concludes_safe_with_zero_leakage() {
+        let p = compile(
+            "fn f(h: int #high, low: int) { \
+                let i: int = 0; \
+                while (i < low) { i = i + 1; } \
+            }",
+        );
+        let report = analyze_portfolio(&p, "f", &Config::microbench()).unwrap();
+        assert!(report.verdict.is_safe(), "got {:?}", report.verdict);
+        assert!(report.winner.is_some(), "someone must win a decidable race");
+        assert_eq!((report.leakage.bits, report.leakage.classes), (0.0, 1));
+    }
+
+    #[test]
+    fn race_on_attack_program_is_won_by_decomp_with_positive_leakage() {
+        let p = compile("fn f(h: int #high) { if (h == 0) { tick(500); } else { tick(1); } }");
+        let report = analyze_portfolio(&p, "f", &Config::microbench()).unwrap();
+        // Self-composition can never soundly report an attack, so the
+        // decomposition is the only possible winner here.
+        assert_eq!(report.winner, Some(Backend::Decomp));
+        assert!(report.verdict.is_attack(), "got {:?}", report.verdict);
+        assert_eq!(report.selfcomp_verified, Some(false));
+        assert!(report.leakage.bits >= 1.0, "attack must leak: {:?}", report.leakage);
+        assert!(report.outcome.is_some());
+    }
+
+    #[test]
+    fn winner_revokes_the_shared_ledger() {
+        let p = compile("fn f(h: int #high) { if (h == 0) { tick(500); } else { tick(1); } }");
+        let report = analyze_portfolio(&p, "f", &Config::microbench()).unwrap();
+        // Whether the revoke landed depends on whether the loser had
+        // already finished; either way the race records a coherent pair.
+        if report.revoked {
+            assert!(report.winner.is_some());
+        } else {
+            assert!(report.decomp.completed || report.selfcomp.completed);
+        }
+    }
+
+    #[test]
+    fn missing_function_is_an_error_not_a_panic() {
+        let p = compile("fn f(h: int #high) { tick(1); }");
+        let err = analyze_portfolio(&p, "nope", &Config::microbench());
+        assert!(matches!(err, Err(CoreError::NoSuchFunction(_))));
+    }
+}

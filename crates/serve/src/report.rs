@@ -7,6 +7,7 @@
 use blazer_core::{AnalysisOutcome, BudgetReport, Verdict};
 use blazer_ir::json::Json;
 use blazer_ir::Program;
+use blazer_portfolio::{Backend, BackendCost, PortfolioReport};
 
 /// Serializes a full outcome. `wall_s` is the caller-observed wall-clock
 /// time for the whole request (compile + analysis), distinct from the
@@ -83,6 +84,87 @@ fn bounds_pair(bounds: &(blazer_bounds::CostExpr, Option<blazer_bounds::CostExpr
         ("lower", Json::from(bounds.0.to_string())),
         ("upper", bounds.1.as_ref().map(|e| e.to_string()).into()),
     ])
+}
+
+/// Sets `key` to `value`, replacing an existing member or appending.
+fn set(pairs: &mut Vec<(String, Json)>, key: &str, value: Json) {
+    match pairs.iter_mut().find(|(k, _)| k == key) {
+        Some((_, v)) => *v = value,
+        None => pairs.push((key.to_string(), value)),
+    }
+}
+
+fn backend_cost_json(cost: &BackendCost) -> Json {
+    Json::obj([
+        ("wall_s", Json::secs(cost.wall.as_secs_f64())),
+        ("lp_calls", Json::from(cost.lp_calls)),
+        ("fixpoint_passes", Json::from(cost.fixpoint_passes)),
+        ("completed", Json::Bool(cost.completed)),
+        ("crashed", Json::Bool(cost.crashed)),
+    ])
+}
+
+/// Serializes a portfolio race: the winning outcome's document (when the
+/// decomposition produced one) extended with the race verdict, the
+/// quantified leakage, and per-backend cost attribution.
+pub fn portfolio_json(
+    program: &Program,
+    function: &str,
+    report: &PortfolioReport,
+    wall_s: f64,
+) -> Json {
+    let mut pairs = match &report.outcome {
+        Some(outcome) => {
+            let Json::Obj(pairs) = outcome_json(program, outcome, wall_s) else {
+                unreachable!("outcome_json returns an object");
+            };
+            pairs
+        }
+        // The decomposition crashed but the baseline soundly verified:
+        // there is no partition to render, only the race verdict.
+        None => vec![
+            ("function".to_string(), Json::from(function)),
+            ("wall_s".to_string(), Json::secs(wall_s)),
+        ],
+    };
+    // The race's verdict overrides the decomposition's own: a baseline win
+    // turns a revoked/unfinished decomposition `unknown` into `safe`.
+    set(&mut pairs, "verdict", Json::from(report.verdict.code()));
+    set(
+        &mut pairs,
+        "unknown_reason",
+        report.verdict.unknown_reason().map(|r| r.to_string()).into(),
+    );
+    // The decomposition's budget snapshot is superseded by the whole
+    // race's final ledger totals.
+    set(&mut pairs, "budget", budget_json(&report.budget_report));
+    set(&mut pairs, "backend", Json::from(Backend::Portfolio.as_str()));
+    set(&mut pairs, "winner", report.winner.map(|b| b.as_str().to_string()).into());
+    set(&mut pairs, "leakage_bits", Json::Num(report.leakage.bits));
+    set(
+        &mut pairs,
+        "leakage",
+        Json::obj([
+            ("bits", Json::Num(report.leakage.bits)),
+            ("classes", Json::from(report.leakage.classes)),
+            ("feasible_leaves", Json::from(report.leakage.feasible_leaves)),
+            ("wide_leaves", Json::from(report.leakage.wide_leaves)),
+            ("max_gap", report.leakage.max_gap.map(Json::Num).unwrap_or(Json::Null)),
+        ]),
+    );
+    set(
+        &mut pairs,
+        "portfolio",
+        Json::obj([
+            ("winner", report.winner.map(|b| b.as_str().to_string()).into()),
+            ("revoked", Json::Bool(report.revoked)),
+            ("selfcomp_verified", report.selfcomp_verified.map(Json::Bool).unwrap_or(Json::Null)),
+            ("decomp", backend_cost_json(&report.decomp)),
+            ("selfcomp", backend_cost_json(&report.selfcomp)),
+            ("race_wall_s", Json::secs(report.wall.as_secs_f64())),
+        ]),
+    );
+    Json::Obj(pairs)
 }
 
 /// Serializes what one analysis consumed against its budget.

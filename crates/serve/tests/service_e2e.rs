@@ -533,6 +533,110 @@ fn batch_of_all_table1_sources_matches_the_committed_snapshot() {
 }
 
 #[test]
+fn portfolio_requests_report_winner_and_leakage_over_the_wire() {
+    let server = start_server(ServeOptions::default());
+    let addr = server.addr().to_string();
+    let mut attack = AnalyzeRequest::new(UNSAFE_SRC);
+    attack.backend = blazer_portfolio::Backend::Portfolio;
+    let (status, doc) = client::analyze(&addr, &attack).expect("portfolio round-trips");
+    assert_eq!(status, 200, "{doc}");
+    assert_eq!(doc.get("backend").and_then(Json::as_str), Some("portfolio"));
+    // Self-composition can never soundly report an attack, so the
+    // decomposition is the only possible winner of this race.
+    assert_eq!(doc.get("winner").and_then(Json::as_str), Some("decomp"));
+    assert!(
+        doc.get("leakage_bits").and_then(Json::as_f64).unwrap_or(0.0) >= 1.0,
+        "an attack leaks at least one bit: {doc}"
+    );
+    let pf = doc.get("portfolio").expect("portfolio block");
+    assert_eq!(pf.get("selfcomp_verified").and_then(Json::as_bool), Some(false));
+    let attack_revoked = pf.get("revoked").and_then(Json::as_bool).expect("revoked flag");
+    // The loser's counters stop advancing after revocation: the race
+    // total equals the last backend's snapshot of the shared ledger —
+    // nothing moved once both workers were down.
+    let total = doc.get("budget").and_then(|b| b.get("lp_calls")).and_then(Json::as_u64).unwrap();
+    let decomp_lp = pf.get("decomp").and_then(|c| c.get("lp_calls")).and_then(Json::as_u64);
+    let selfcomp_lp = pf.get("selfcomp").and_then(|c| c.get("lp_calls")).and_then(Json::as_u64);
+    assert_eq!(decomp_lp.max(selfcomp_lp), Some(total), "{pf}");
+    if attack_revoked {
+        let loser_done = pf
+            .get("selfcomp")
+            .and_then(|c| c.get("completed"))
+            .and_then(Json::as_bool)
+            .expect("loser completion flag");
+        assert!(!loser_done, "a revoked loser did not run to completion: {pf}");
+    }
+    // A safe race answers zero bits, and some backend must win it.
+    let mut safe = AnalyzeRequest::new(SAFE_SRC);
+    safe.backend = blazer_portfolio::Backend::Portfolio;
+    let (status, safe_doc) = client::analyze(&addr, &safe).expect("safe portfolio");
+    assert_eq!(status, 200, "{safe_doc}");
+    assert_eq!(safe_doc.get("verdict").and_then(Json::as_str), Some("safe"));
+    assert_eq!(safe_doc.get("leakage_bits").and_then(Json::as_f64), Some(0.0));
+    let safe_winner = safe_doc.get("winner").and_then(Json::as_str).expect("safe race has winner");
+    let safe_revoked =
+        safe_doc.get("portfolio").and_then(|p| p.get("revoked")).and_then(Json::as_bool).unwrap();
+    // The winner is cacheable: a resubmission answers from the cache with
+    // the race's provenance intact.
+    let (status, again) = client::analyze(&addr, &attack).expect("cached portfolio");
+    assert_eq!(status, 200);
+    assert_eq!(again.get("cached").and_then(Json::as_bool), Some(true));
+    assert_eq!(again.get("winner").and_then(Json::as_str), Some("decomp"));
+    // The /stats portfolio block is consistent with what we observed on
+    // the wire: two races run (the cache hit is not a race), the winners
+    // we saw, the revocations we saw.
+    let (_, stats) = client::stats(&addr).expect("stats");
+    let pstats = stats.get("portfolio").expect("portfolio stats block");
+    assert_eq!(pstats.get("requests").and_then(Json::as_u64), Some(2), "{pstats}");
+    let wins_decomp = pstats.get("wins_decomp").and_then(Json::as_u64).unwrap();
+    let wins_selfcomp = pstats.get("wins_selfcomp").and_then(Json::as_u64).unwrap();
+    assert!(wins_decomp >= if safe_winner == "decomp" { 2 } else { 1 }, "{pstats}");
+    assert_eq!(wins_decomp + wins_selfcomp, 2, "every answered race had a winner: {pstats}");
+    let expected_revocations = u64::from(attack_revoked) + u64::from(safe_revoked);
+    assert_eq!(
+        pstats.get("revocations").and_then(Json::as_u64),
+        Some(expected_revocations),
+        "{pstats}"
+    );
+    server.stop();
+}
+
+#[test]
+fn starved_portfolio_request_is_422_and_the_service_keeps_serving() {
+    let server = start_server(ServeOptions::default());
+    let addr = server.addr().to_string();
+    // Both backends exhaust the shared ledger immediately: no sound
+    // verdict, no winner — a budget failure, not a crash.
+    let mut starved = AnalyzeRequest::new(SAFE_SRC);
+    starved.backend = blazer_portfolio::Backend::Portfolio;
+    starved.timeout_s = Some(1e-9);
+    let (status, doc) = client::analyze(&addr, &starved).expect("round-trips");
+    assert_eq!(status, 422, "{doc}");
+    assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(false));
+    assert!(doc
+        .get("error")
+        .and_then(Json::as_str)
+        .is_some_and(|e| e.contains("budget exhausted")));
+    // The service keeps serving, and the starved answer did not poison
+    // the cache for a properly-budgeted portfolio resubmission.
+    let mut healthy = AnalyzeRequest::new(SAFE_SRC);
+    healthy.backend = blazer_portfolio::Backend::Portfolio;
+    let (status, doc) = client::analyze(&addr, &healthy).expect("still serving");
+    assert_eq!(status, 200, "{doc}");
+    assert_eq!(doc.get("verdict").and_then(Json::as_str), Some("safe"));
+    assert_eq!(doc.get("cached").and_then(Json::as_bool), Some(false));
+    // Both outcomes counted as portfolio traffic; only the healthy race
+    // recorded a win.
+    let (_, stats) = client::stats(&addr).expect("stats");
+    let pstats = stats.get("portfolio").expect("portfolio stats block");
+    assert_eq!(pstats.get("requests").and_then(Json::as_u64), Some(2), "{pstats}");
+    let wins = pstats.get("wins_decomp").and_then(Json::as_u64).unwrap()
+        + pstats.get("wins_selfcomp").and_then(Json::as_u64).unwrap();
+    assert_eq!(wins, 1, "{pstats}");
+    server.stop();
+}
+
+#[test]
 fn verdict_cache_survives_a_restart() {
     let path = scratch_path("cache");
     let req = AnalyzeRequest::new(UNSAFE_SRC);

@@ -1,0 +1,117 @@
+//! Portfolio race robustness: a backend panicking or exhausting mid-race
+//! must leave the other racing and the caller answered — never a
+//! propagated panic, never an unsound verdict.
+//!
+//! Fault injection rides the same [`FaultSpec`] machinery the rest of the
+//! stack uses (`BLAZER_FAULT` syntax); the race installs one shared ledger
+//! for both workers, so a single spec disturbs whichever backend reaches
+//! the faulted operation first.
+
+use blazer::core::{Budget, Config, FaultSpec, Verdict};
+use blazer::ir::Program;
+use blazer::portfolio::{analyze_portfolio, Backend, PortfolioReport};
+use std::time::Duration;
+
+/// Genuine secret influence (no fast-path exit); undisturbed verdict:
+/// attack.
+const LEAKY: &str = "fn f(high: int #high, low: int) {
+    if (high == 0) { tick(1); } else {
+        let i: int = 0;
+        while (i < low) { i = i + 1; }
+    }
+}";
+
+/// Balanced on both branches; undisturbed verdict: safe.
+const BALANCED: &str = "fn g(high: int #high, low: int) {
+    let i: int = 0;
+    while (i < low) { i = i + 1; }
+}";
+
+fn compile(src: &str) -> Program {
+    blazer::lang::compile(src).expect("test source compiles")
+}
+
+fn race(src: &str, func: &str, budget: Budget) -> PortfolioReport {
+    analyze_portfolio(&compile(src), func, &Config::microbench().with_budget(budget))
+        .expect("the race answers; worker faults are isolated")
+}
+
+#[test]
+fn panicking_backend_loses_and_the_race_still_answers() {
+    // Panic at the first LP call on the race's shared ledger: whichever
+    // backend gets there first crashes; the fault fires at most once per
+    // process, so the sibling keeps racing undisturbed.
+    let fault = FaultSpec { panic_at_lp: Some(0), ..FaultSpec::default() };
+    let report = race(LEAKY, "f", Budget::unlimited().with_fault(fault));
+    assert!(
+        report.decomp.crashed || report.selfcomp.crashed,
+        "the injected panic must have hit one backend: {report:?}"
+    );
+    // The crash is isolated and attributed, never propagated.
+    assert!(!(report.decomp.crashed && report.selfcomp.crashed), "the panic fires once");
+    if report.decomp.crashed {
+        assert!(report.crash.is_some(), "decomp crash carries its panic message");
+        // The baseline kept racing to its own (recorded) conclusion.
+        assert!(report.selfcomp_verified.is_some() || !report.selfcomp.completed);
+    } else {
+        assert!(report.outcome.is_some(), "surviving decomp keeps its outcome");
+    }
+    // Soundness: a leaky program never becomes Safe, whoever survived.
+    assert!(!report.verdict.is_safe(), "unsound verdict: {}", report.verdict);
+    if let Some(winner) = report.winner {
+        let winner_crashed = match winner {
+            Backend::Decomp => report.decomp.crashed,
+            Backend::Selfcomp => report.selfcomp.crashed,
+            Backend::Portfolio => unreachable!("portfolio is not a racer"),
+        };
+        assert!(!winner_crashed, "a crashed backend cannot win");
+    }
+}
+
+#[test]
+fn exhausted_ledger_mid_race_is_absorbed_not_propagated() {
+    // A ledger too small for either backend: both unwind through the
+    // exhaustion path; the race still reports coherently.
+    let report = race(LEAKY, "f", Budget::unlimited().with_max_lp_calls(2));
+    assert!(!report.verdict.is_safe(), "unsound verdict: {}", report.verdict);
+    assert!(!report.decomp.crashed && !report.selfcomp.crashed);
+    // An exhausted decomp is not "completed", and the report says why.
+    if matches!(report.verdict, Verdict::Unknown(_)) {
+        assert!(!report.decomp.completed);
+        assert!(report.budget_report.exhausted.is_some(), "{:?}", report.budget_report);
+    }
+}
+
+#[test]
+fn tiny_budget_fuzz_never_panics_and_stays_sound() {
+    // Sweep starvation levels across both verdict polarities. Every race
+    // must answer (no panic, no error), and no starvation level may flip a
+    // verdict to the unsound side: leaky never Safe, balanced never
+    // Attack. The deadline is a backstop so an under-starved backend
+    // cannot stretch the sweep.
+    for cap in [0u64, 1, 2, 3, 5, 8, 13, 21] {
+        for (src, func, leaky) in [(LEAKY, "f", true), (BALANCED, "g", false)] {
+            let budget =
+                Budget::unlimited().with_max_lp_calls(cap).with_deadline(Duration::from_secs(10));
+            let report = race(src, func, budget);
+            if leaky {
+                assert!(
+                    !report.verdict.is_safe(),
+                    "lp cap {cap}: leaky program verdict {}",
+                    report.verdict
+                );
+            } else {
+                assert!(
+                    !report.verdict.is_attack(),
+                    "lp cap {cap}: balanced program verdict {}",
+                    report.verdict
+                );
+            }
+            // Cost attribution stays coherent under every starvation
+            // level: the shared ledger's total never runs *behind* a
+            // backend's snapshot of it.
+            let total = report.budget_report.lp_calls;
+            assert!(report.decomp.lp_calls <= total && report.selfcomp.lp_calls <= total);
+        }
+    }
+}
