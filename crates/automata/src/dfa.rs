@@ -4,7 +4,11 @@
 use crate::nfa::Nfa;
 use crate::regex::Regex;
 use crate::Sym;
+use blazer_ir::budget::{self, Exhausted};
 use std::collections::{BTreeMap, BTreeSet};
+
+/// How many worklist pops the budgeted loops allow between deadline polls.
+pub(crate) const BUDGET_POLL_PERIOD: usize = 16;
 
 /// A complete DFA over the alphabet `0..alphabet_size`.
 ///
@@ -25,8 +29,25 @@ impl Dfa {
         Dfa::from_nfa(&Nfa::from_regex(r, alphabet_size))
     }
 
+    /// [`Dfa::from_regex`] cooperating with the installed
+    /// `blazer_ir::budget`: a pathological regex whose determinization
+    /// explodes reports [`Exhausted`] instead of blowing past the deadline.
+    pub fn try_from_regex(r: &Regex, alphabet_size: u32) -> Result<Self, Exhausted> {
+        Dfa::try_from_nfa(&Nfa::from_regex(r, alphabet_size))
+    }
+
     /// Determinizes an NFA by subset construction. The result is complete.
     pub fn from_nfa(nfa: &Nfa) -> Self {
+        Dfa::subset_construct(nfa, false).expect("unbudgeted construction cannot exhaust")
+    }
+
+    /// [`Dfa::from_nfa`] cooperating with the installed budget (polled
+    /// every [`BUDGET_POLL_PERIOD`] explored subset states).
+    pub fn try_from_nfa(nfa: &Nfa) -> Result<Self, Exhausted> {
+        Dfa::subset_construct(nfa, true)
+    }
+
+    fn subset_construct(nfa: &Nfa, budgeted: bool) -> Result<Self, Exhausted> {
         let alphabet_size = nfa.alphabet_size();
         let start_set = nfa.eps_closure(&BTreeSet::from([nfa.start()]));
         let mut index: BTreeMap<BTreeSet<usize>, usize> = BTreeMap::new();
@@ -35,7 +56,12 @@ impl Dfa {
         index.insert(start_set.clone(), 0);
         sets.push(start_set);
         let mut work = vec![0usize];
+        let mut pops = 0usize;
         while let Some(q) = work.pop() {
+            pops += 1;
+            if budgeted && pops % BUDGET_POLL_PERIOD == 1 {
+                budget::check()?;
+            }
             let set = sets[q].clone();
             // Reserve the transition row (rows are pushed in state order, so
             // extend lazily).
@@ -62,7 +88,21 @@ impl Dfa {
         }
         let accepting =
             sets.iter().map(|s| s.iter().any(|q| nfa.accepting().contains(q))).collect();
-        Dfa { alphabet_size, trans, start: 0, accepting }
+        Ok(Dfa { alphabet_size, trans, start: 0, accepting })
+    }
+
+    /// Assembles a DFA directly from an already-deterministic transition
+    /// table. Callers ([`Dfa::from_parts`]) validate the shape;
+    /// this is the raw constructor that keeps the fields encapsulated
+    /// without round-tripping through a subset construction.
+    pub(crate) fn from_raw_parts(
+        alphabet_size: u32,
+        trans: Vec<usize>,
+        start: usize,
+        accepting: Vec<bool>,
+    ) -> Dfa {
+        debug_assert_eq!(trans.len(), accepting.len() * alphabet_size as usize);
+        Dfa { alphabet_size, trans, start, accepting }
     }
 
     /// The alphabet size.
@@ -159,10 +199,17 @@ impl Dfa {
     }
 
     /// Moore's minimization algorithm. Exact for complete DFAs.
+    ///
+    /// Unreachable states are stripped before partitioning: Moore
+    /// refinement alone would happily keep a class for a state no word can
+    /// reach, so hand-assembled or lazily materialized inputs with
+    /// unreachable structure would come out non-minimal.
     pub fn minimize(&self) -> Dfa {
-        let n = self.n_states();
+        let reachable = self.reachable_restriction();
+        let n = reachable.n_states();
+        let this = &reachable;
         // Initial partition: accepting vs rejecting.
-        let mut class: Vec<usize> = self.accepting.iter().map(|&a| usize::from(a)).collect();
+        let mut class: Vec<usize> = this.accepting.iter().map(|&a| usize::from(a)).collect();
         let mut n_classes = 2;
         loop {
             // Signature = (class, classes of successors).
@@ -170,7 +217,7 @@ impl Dfa {
             let mut new_class = vec![0usize; n];
             for q in 0..n {
                 let succ_classes: Vec<usize> =
-                    (0..self.alphabet_size).map(|s| class[self.next(q, s)]).collect();
+                    (0..this.alphabet_size).map(|s| class[this.next(q, s)]).collect();
                 let key = (class[q], succ_classes);
                 let next_id = sig_index.len();
                 let id = *sig_index.entry(key).or_insert(next_id);
@@ -185,16 +232,58 @@ impl Dfa {
             n_classes = new_count;
         }
         // Rebuild over classes.
-        let mut trans = vec![usize::MAX; n_classes * self.alphabet_size as usize];
+        let mut trans = vec![usize::MAX; n_classes * this.alphabet_size as usize];
         let mut accepting = vec![false; n_classes];
         for q in 0..n {
             let c = class[q];
-            accepting[c] = self.accepting[q];
-            for s in 0..self.alphabet_size {
-                trans[c * self.alphabet_size as usize + s as usize] = class[self.next(q, s)];
+            accepting[c] = this.accepting[q];
+            for s in 0..this.alphabet_size {
+                trans[c * this.alphabet_size as usize + s as usize] = class[this.next(q, s)];
             }
         }
-        Dfa { alphabet_size: self.alphabet_size, trans, start: class[self.start], accepting }
+        Dfa { alphabet_size: this.alphabet_size, trans, start: class[this.start], accepting }
+    }
+
+    /// The same DFA restricted to states reachable from the start, keeping
+    /// the original relative order of the surviving indices. Returns a
+    /// clone-equivalent when everything is already reachable.
+    fn reachable_restriction(&self) -> Dfa {
+        let n = self.n_states();
+        let mut seen = vec![false; n];
+        let mut stack = vec![self.start];
+        seen[self.start] = true;
+        while let Some(q) = stack.pop() {
+            for sym in 0..self.alphabet_size {
+                let t = self.next(q, sym);
+                if !seen[t] {
+                    seen[t] = true;
+                    stack.push(t);
+                }
+            }
+        }
+        if seen.iter().all(|&s| s) {
+            return self.clone();
+        }
+        let mut renumber = vec![usize::MAX; n];
+        let mut kept = 0usize;
+        for q in 0..n {
+            if seen[q] {
+                renumber[q] = kept;
+                kept += 1;
+            }
+        }
+        let mut trans = Vec::with_capacity(kept * self.alphabet_size as usize);
+        let mut accepting = Vec::with_capacity(kept);
+        for q in 0..n {
+            if !seen[q] {
+                continue;
+            }
+            for sym in 0..self.alphabet_size {
+                trans.push(renumber[self.next(q, sym)]);
+            }
+            accepting.push(self.accepting[q]);
+        }
+        Dfa { alphabet_size: self.alphabet_size, trans, start: renumber[self.start], accepting }
     }
 }
 
@@ -273,5 +362,34 @@ mod tests {
         let m = dfa(&r, 1).minimize();
         // States: len-0, len-1, len-2 (accept), dead. = 4.
         assert_eq!(m.n_states(), 4);
+    }
+
+    #[test]
+    fn minimization_strips_unreachable_states() {
+        // Hand-assembled DFA for the language {0} over alphabet {0} with a
+        // deliberately unreachable redundant state (state 3 duplicates the
+        // accepting state 1). Moore refinement over all four states keeps a
+        // class for the unreachable duplicate; the minimal DFA has exactly
+        // three states (start, accept, dead).
+        let d = Dfa::from_parts(1, vec![1, 2, 2, 2], 0, vec![false, true, false, true]);
+        assert!(d.accepts(&[0]));
+        assert!(!d.accepts(&[]) && !d.accepts(&[0, 0]));
+        let m = d.minimize();
+        assert_eq!(m.n_states(), 3, "unreachable states must not survive minimization");
+        assert!(m.accepts(&[0]));
+        assert!(!m.accepts(&[]) && !m.accepts(&[0, 0]));
+    }
+
+    #[test]
+    fn budgeted_construction_reports_exhaustion() {
+        use blazer_ir::budget::{Budget, Resource};
+        // An already-dead deadline trips the very first budget poll.
+        let any = Regex::symbol(0).or(Regex::symbol(1));
+        let r = any.clone().star().then(Regex::symbol(1)).then(any.clone()).then(any);
+        let _guard = Budget::unlimited().with_deadline(std::time::Duration::ZERO).install();
+        let err = Dfa::try_from_regex(&r, 2).unwrap_err();
+        assert_eq!(err.resource, Resource::WallClock);
+        // The infallible path ignores the budget entirely.
+        assert!(Dfa::from_regex(&r, 2).accepts(&[1, 0, 0]));
     }
 }

@@ -7,6 +7,7 @@
 
 use crate::regex::Regex;
 use crate::Sym;
+use blazer_ir::budget::{self, Exhausted};
 use std::collections::BTreeMap;
 
 /// Converts a labeled graph into a [`Regex`] with the same language.
@@ -24,6 +25,29 @@ pub fn graph_to_regex(
     start: usize,
     accepting: &[usize],
 ) -> Regex {
+    graph_to_regex_impl(n_nodes, edges, start, accepting, false)
+        .expect("unbudgeted elimination cannot exhaust")
+}
+
+/// [`graph_to_regex`] cooperating with the installed `blazer_ir::budget`
+/// (polled once per eliminated node — elimination cost is dominated by the
+/// arc products a single node elimination performs).
+pub fn try_graph_to_regex(
+    n_nodes: usize,
+    edges: &[(usize, Sym, usize)],
+    start: usize,
+    accepting: &[usize],
+) -> Result<Regex, Exhausted> {
+    graph_to_regex_impl(n_nodes, edges, start, accepting, true)
+}
+
+fn graph_to_regex_impl(
+    n_nodes: usize,
+    edges: &[(usize, Sym, usize)],
+    start: usize,
+    accepting: &[usize],
+    budgeted: bool,
+) -> Result<Regex, Exhausted> {
     // GNFA with fresh super-start (n_nodes) and super-accept (n_nodes + 1).
     let s = n_nodes;
     let f = n_nodes + 1;
@@ -50,6 +74,9 @@ pub fn graph_to_regex(
     // Eliminate internal nodes, lowest fan-in×fan-out first.
     let mut remaining: Vec<usize> = (0..n_nodes).collect();
     while !remaining.is_empty() {
+        if budgeted {
+            budget::check()?;
+        }
         let (pos, &node) = remaining
             .iter()
             .enumerate()
@@ -62,13 +89,28 @@ pub fn graph_to_regex(
         remaining.swap_remove(pos);
         eliminate(node, &mut arcs);
     }
-    arcs.remove(&(s, f)).unwrap_or(Regex::Empty)
+    Ok(arcs.remove(&(s, f)).unwrap_or(Regex::Empty))
 }
 
 /// Converts a DFA back into a regular expression with the same language
 /// (state elimination over the DFA's transition graph). Used to express
 /// automata-computed trail refinements as trail expressions again.
 pub fn dfa_to_regex(dfa: &crate::Dfa) -> Regex {
+    let (n, edges, start, accepting) = dfa_as_graph(dfa);
+    graph_to_regex(n, &edges, start, &accepting)
+}
+
+/// [`dfa_to_regex`] cooperating with the installed budget.
+pub fn try_dfa_to_regex(dfa: &crate::Dfa) -> Result<Regex, Exhausted> {
+    let (n, edges, start, accepting) = dfa_as_graph(dfa);
+    try_graph_to_regex(n, &edges, start, &accepting)
+}
+
+/// A DFA flattened to elimination-graph form: state count, labeled edges,
+/// start state, accepting states.
+type EliminationGraph = (usize, Vec<(usize, Sym, usize)>, usize, Vec<usize>);
+
+fn dfa_as_graph(dfa: &crate::Dfa) -> EliminationGraph {
     let mut edges = Vec::new();
     for q in 0..dfa.n_states() {
         for s in 0..dfa.alphabet_size() {
@@ -76,7 +118,7 @@ pub fn dfa_to_regex(dfa: &crate::Dfa) -> Regex {
         }
     }
     let accepting: Vec<usize> = (0..dfa.n_states()).filter(|&q| dfa.is_accepting(q)).collect();
-    graph_to_regex(dfa.n_states(), &edges, dfa.start(), &accepting)
+    (dfa.n_states(), edges, dfa.start(), accepting)
 }
 
 fn eliminate(q: usize, arcs: &mut BTreeMap<(usize, usize), Regex>) {

@@ -12,6 +12,9 @@
 //! * [`Dfa`] — subset construction, completion, complementation, and
 //!   Moore minimization;
 //! * [`ops`] — product constructions, emptiness, inclusion, equivalence;
+//! * [`antichain`] — on-the-fly decision procedures over *lazy* automata
+//!   with antichain pruning (the default engine behind the [`ops`] yes/no
+//!   questions; set `BLAZER_AUTOMATA=classic` for the eager product engine);
 //! * [`kleene`] — conversion of a labeled graph into a regular expression by
 //!   state elimination (used to build the *most general trail* of a CFG).
 //!
@@ -29,12 +32,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod antichain;
 pub mod dfa;
 pub mod kleene;
 pub mod nfa;
 pub mod ops;
 pub mod regex;
 
+pub use antichain::AntichainStats;
 pub use dfa::Dfa;
 pub use kleene::graph_to_regex;
 pub use nfa::Nfa;

@@ -1,7 +1,17 @@
 //! Boolean operations and decision procedures on DFAs.
+//!
+//! The *constructions* (`intersection`/`union`/`difference`) materialize a
+//! product DFA, with `try_` variants that cooperate with the installed
+//! `blazer_ir::budget`. The *decision procedures*
+//! (`included`/`equivalent`/`disjoint`/`counterexample`) answer on the fly
+//! through [`crate::antichain`] without ever building the product — unless
+//! `BLAZER_AUTOMATA=classic` routes them back to the eager engine for A/B
+//! comparison (each such call is counted as a classic fallback).
 
-use crate::dfa::Dfa;
+use crate::antichain;
+use crate::dfa::{Dfa, BUDGET_POLL_PERIOD};
 use crate::Sym;
+use blazer_ir::budget::{self, Exhausted};
 use std::collections::BTreeMap;
 
 /// How the product construction combines acceptance.
@@ -13,6 +23,14 @@ enum Combine {
 }
 
 fn product(a: &Dfa, b: &Dfa, combine: Combine) -> Dfa {
+    product_impl(a, b, combine, false).expect("unbudgeted product cannot exhaust")
+}
+
+fn try_product(a: &Dfa, b: &Dfa, combine: Combine) -> Result<Dfa, Exhausted> {
+    product_impl(a, b, combine, true)
+}
+
+fn product_impl(a: &Dfa, b: &Dfa, combine: Combine, budgeted: bool) -> Result<Dfa, Exhausted> {
     assert_eq!(a.alphabet_size(), b.alphabet_size(), "alphabet mismatch in product");
     let alpha = a.alphabet_size();
     let mut index: BTreeMap<(usize, usize), usize> = BTreeMap::new();
@@ -22,7 +40,12 @@ fn product(a: &Dfa, b: &Dfa, combine: Combine) -> Dfa {
     index.insert(start, 0);
     pairs.push(start);
     let mut work = vec![0usize];
+    let mut pops = 0usize;
     while let Some(q) = work.pop() {
+        pops += 1;
+        if budgeted && pops % BUDGET_POLL_PERIOD == 1 {
+            budget::check()?;
+        }
         let (qa, qb) = pairs[q];
         while trans.len() < (q + 1) * alpha as usize {
             trans.push(usize::MAX);
@@ -53,7 +76,7 @@ fn product(a: &Dfa, b: &Dfa, combine: Combine) -> Dfa {
             Combine::AndNot => a.is_accepting(qa) && !b.is_accepting(qb),
         })
         .collect();
-    Dfa::from_parts(alpha, trans, 0, accepting)
+    Ok(Dfa::from_parts(alpha, trans, 0, accepting))
 }
 
 impl Dfa {
@@ -71,33 +94,7 @@ impl Dfa {
         assert_eq!(trans.len(), accepting.len() * alphabet_size as usize);
         assert!(start < accepting.len());
         assert!(trans.iter().all(|&t| t < accepting.len()));
-        DfaParts { alphabet_size, trans, start, accepting }.build()
-    }
-}
-
-/// Private builder to keep `Dfa` fields encapsulated.
-struct DfaParts {
-    alphabet_size: u32,
-    trans: Vec<usize>,
-    start: usize,
-    accepting: Vec<bool>,
-}
-
-impl DfaParts {
-    fn build(self) -> Dfa {
-        // Round-trip through an NFA to reuse the (private-field) DFA
-        // constructor without exposing fields.
-        let mut nfa = crate::Nfa::new(self.alphabet_size, self.accepting.len(), self.start);
-        for q in 0..self.accepting.len() {
-            for s in 0..self.alphabet_size {
-                let t = self.trans[q * self.alphabet_size as usize + s as usize];
-                nfa.add_transition(q, s, t);
-            }
-            if self.accepting[q] {
-                nfa.set_accepting(q);
-            }
-        }
-        Dfa::from_nfa(&nfa)
+        Dfa::from_raw_parts(alphabet_size, trans, start, accepting)
     }
 }
 
@@ -116,9 +113,40 @@ pub fn difference(a: &Dfa, b: &Dfa) -> Dfa {
     product(a, b, Combine::AndNot)
 }
 
-/// Whether `L(a) ⊆ L(b)`.
+/// [`intersection`] cooperating with the installed budget.
+pub fn try_intersection(a: &Dfa, b: &Dfa) -> Result<Dfa, Exhausted> {
+    try_product(a, b, Combine::And)
+}
+
+/// [`union`] cooperating with the installed budget.
+pub fn try_union(a: &Dfa, b: &Dfa) -> Result<Dfa, Exhausted> {
+    try_product(a, b, Combine::Or)
+}
+
+/// [`difference`] cooperating with the installed budget.
+pub fn try_difference(a: &Dfa, b: &Dfa) -> Result<Dfa, Exhausted> {
+    try_product(a, b, Combine::AndNot)
+}
+
+/// Whether `L(a) ⊆ L(b)`. On the fly via the antichain engine (classic
+/// difference-and-test under `BLAZER_AUTOMATA=classic`).
 pub fn included(a: &Dfa, b: &Dfa) -> bool {
-    difference(a, b).is_empty()
+    if antichain::classic_mode() {
+        antichain::note_classic_fallback();
+        difference(a, b).is_empty()
+    } else {
+        antichain::dfa_counterexample_unbudgeted(a, b).is_none()
+    }
+}
+
+/// [`included`] cooperating with the installed budget.
+pub fn try_included(a: &Dfa, b: &Dfa) -> Result<bool, Exhausted> {
+    if antichain::classic_mode() {
+        antichain::note_classic_fallback();
+        Ok(try_difference(a, b)?.is_empty())
+    } else {
+        antichain::dfa_included(a, b)
+    }
 }
 
 /// Whether `L(a) = L(b)`.
@@ -126,14 +154,52 @@ pub fn equivalent(a: &Dfa, b: &Dfa) -> bool {
     included(a, b) && included(b, a)
 }
 
-/// Whether `L(a) ∩ L(b) = ∅`.
-pub fn disjoint(a: &Dfa, b: &Dfa) -> bool {
-    intersection(a, b).is_empty()
+/// [`equivalent`] cooperating with the installed budget.
+pub fn try_equivalent(a: &Dfa, b: &Dfa) -> Result<bool, Exhausted> {
+    Ok(try_included(a, b)? && try_included(b, a)?)
 }
 
-/// A word in `L(a) \ L(b)`, if any (witness for non-inclusion).
+/// Whether `L(a) ∩ L(b) = ∅`. On the fly via the antichain engine (classic
+/// intersection-and-test under `BLAZER_AUTOMATA=classic`).
+pub fn disjoint(a: &Dfa, b: &Dfa) -> bool {
+    if antichain::classic_mode() {
+        antichain::note_classic_fallback();
+        intersection(a, b).is_empty()
+    } else {
+        antichain::dfa_disjoint_unbudgeted(a, b)
+    }
+}
+
+/// [`disjoint`] cooperating with the installed budget.
+pub fn try_disjoint(a: &Dfa, b: &Dfa) -> Result<bool, Exhausted> {
+    if antichain::classic_mode() {
+        antichain::note_classic_fallback();
+        Ok(try_intersection(a, b)?.is_empty())
+    } else {
+        antichain::dfa_disjoint(a, b)
+    }
+}
+
+/// A word in `L(a) \ L(b)`, if any (witness for non-inclusion). The
+/// antichain engine early-exits on the first witness; the classic engine
+/// returns the shortest one.
 pub fn counterexample(a: &Dfa, b: &Dfa) -> Option<Vec<Sym>> {
-    difference(a, b).example_word()
+    if antichain::classic_mode() {
+        antichain::note_classic_fallback();
+        difference(a, b).example_word()
+    } else {
+        antichain::dfa_counterexample_unbudgeted(a, b)
+    }
+}
+
+/// [`counterexample`] cooperating with the installed budget.
+pub fn try_counterexample(a: &Dfa, b: &Dfa) -> Result<Option<Vec<Sym>>, Exhausted> {
+    if antichain::classic_mode() {
+        antichain::note_classic_fallback();
+        Ok(try_difference(a, b)?.example_word())
+    } else {
+        antichain::dfa_counterexample(a, b)
+    }
 }
 
 #[cfg(test)]

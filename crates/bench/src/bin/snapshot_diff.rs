@@ -22,6 +22,8 @@ struct RowView {
     matches_paper: bool,
     fixpoint_passes: Option<u64>,
     trails_seeded: Option<u64>,
+    macro_states_explored: Option<u64>,
+    antichain_prunes: Option<u64>,
 }
 
 fn load(path: &str) -> Result<Vec<RowView>, String> {
@@ -50,6 +52,14 @@ fn load(path: &str) -> Result<Vec<RowView>, String> {
                 trails_seeded: row
                     .get("seeds")
                     .and_then(|s| s.get("trails_seeded"))
+                    .and_then(Json::as_u64),
+                macro_states_explored: row
+                    .get("antichain")
+                    .and_then(|a| a.get("macro_states_explored"))
+                    .and_then(Json::as_u64),
+                antichain_prunes: row
+                    .get("antichain")
+                    .and_then(|a| a.get("antichain_prunes"))
                     .and_then(Json::as_u64),
             })
         })
@@ -99,6 +109,19 @@ fn main() -> ExitCode {
                     _ => String::new(),
                 };
                 println!("passes    {:<22} {a} -> {b}{seeds}", want.name);
+                perf_moves += 1;
+            }
+        }
+        // Antichain engine drift is likewise informational: the counters
+        // move with engine-mode changes (classic runs report zeros here)
+        // and with refinement-path changes.
+        if let (Some(a), Some(b)) = (want.macro_states_explored, got.macro_states_explored) {
+            if a != b {
+                let prunes = match (want.antichain_prunes, got.antichain_prunes) {
+                    (Some(pa), Some(pb)) if pa != pb => format!(" (prunes {pa} -> {pb})"),
+                    _ => String::new(),
+                };
+                println!("antichain {:<22} {a} -> {b}{prunes}", want.name);
                 perf_moves += 1;
             }
         }

@@ -22,7 +22,7 @@
 //! compare `BLAZER_THREADS=1` against `BLAZER_THREADS=4` runs.
 
 use blazer_bench::{backend_from_env, config_for, try_run_benchmark_with_backend, Row};
-use blazer_core::{SeedStats, Verdict};
+use blazer_core::{AntichainStats, SeedStats, Verdict};
 use blazer_ir::json::Json;
 use blazer_portfolio::Backend;
 use blazer_serve::pool;
@@ -39,9 +39,10 @@ struct JsonRow {
     safety_s: Option<f64>,
     with_attack_s: Option<f64>,
     /// Deterministic work counters (`None` for crash rows): total fixpoint
-    /// passes plus the per-trail seeding split. Wall times are noisy across
-    /// machines; these are the numbers the snapshot diff can trust.
-    counters: Option<(u64, SeedStats)>,
+    /// passes plus the per-trail seeding split and the antichain engine's
+    /// counters. Wall times are noisy across machines; these are the
+    /// numbers the snapshot diff can trust.
+    counters: Option<(u64, SeedStats, AntichainStats)>,
     /// Winning backend of a portfolio run (`None` for plain decomposition
     /// runs, crash rows, and undecided races).
     winner: Option<&'static str>,
@@ -59,16 +60,26 @@ impl JsonRow {
             ("matches_paper", Json::from(self.matches_paper)),
             ("safety_s", self.safety_s.map_or(Json::Null, Json::secs)),
             ("with_attack_s", self.with_attack_s.map_or(Json::Null, Json::secs)),
-            ("fixpoint_passes", self.counters.map_or(Json::Null, |(p, _)| Json::from(p))),
+            ("fixpoint_passes", self.counters.map_or(Json::Null, |(p, _, _)| Json::from(p))),
             (
                 "seeds",
-                self.counters.map_or(Json::Null, |(_, s)| {
+                self.counters.map_or(Json::Null, |(_, s, _)| {
                     Json::obj([
                         ("trails_seeded", Json::from(s.trails_seeded)),
                         ("trails_unseeded", Json::from(s.trails_unseeded)),
                         ("seeds_rejected", Json::from(s.seeds_rejected)),
                         ("seeded_passes", Json::from(s.seeded_passes)),
                         ("unseeded_passes", Json::from(s.unseeded_passes)),
+                    ])
+                }),
+            ),
+            (
+                "antichain",
+                self.counters.map_or(Json::Null, |(_, _, a)| {
+                    Json::obj([
+                        ("macro_states_explored", Json::from(a.macro_states_explored)),
+                        ("antichain_prunes", Json::from(a.antichain_prunes)),
+                        ("classic_fallbacks", Json::from(a.classic_fallbacks)),
                     ])
                 }),
             ),
@@ -192,7 +203,7 @@ fn main() {
             matches_paper: ok,
             safety_s: Some(row.safety_time.as_secs_f64()),
             with_attack_s: row.with_attack_time.map(|d| d.as_secs_f64()),
-            counters: Some((row.fixpoint_passes, row.seed_stats)),
+            counters: Some((row.fixpoint_passes, row.seed_stats, row.antichain_stats)),
             winner: row.winner,
             leakage_bits: row.leakage_bits,
         });

@@ -7,7 +7,7 @@
 #![forbid(unsafe_code)]
 
 use blazer_benchmarks::{Benchmark, Expected, Group};
-use blazer_core::{AnalysisOutcome, Blazer, Config, SeedStats, Verdict};
+use blazer_core::{AnalysisOutcome, AntichainStats, Blazer, Config, SeedStats, Verdict};
 use blazer_portfolio::{analyze_portfolio, Backend, PortfolioReport};
 use std::time::Duration;
 
@@ -55,6 +55,10 @@ pub struct Row {
     /// Per-trail seeding counters (trails seeded vs from-⊥, top-level pass
     /// split, rejected seeds).
     pub seed_stats: SeedStats,
+    /// Antichain automata-engine counters (macro-states explored, prunes,
+    /// classic fallbacks). All zeros for portfolio rows whose winning run
+    /// produced no decomposition outcome.
+    pub antichain_stats: AntichainStats,
     /// Which backend won, when the row came from a portfolio race (`None`
     /// for plain decomposition rows and undecided races).
     pub winner: Option<&'static str>,
@@ -92,6 +96,7 @@ pub fn run_benchmark(b: &Benchmark, runs: usize) -> Row {
         with_attack_time: o.attack_time.map(|a| o.safety_time + a),
         fixpoint_passes: o.budget_report.fixpoint_passes,
         seed_stats: o.seed_stats,
+        antichain_stats: o.antichain_stats,
         verdict: o.verdict,
         expected: b.expected,
         safety_time: o.safety_time,
@@ -112,11 +117,15 @@ pub fn run_benchmark_portfolio(b: &Benchmark, runs: usize) -> Row {
         .collect();
     reports.sort_by_key(|r| r.wall);
     let r = reports.swap_remove(reports.len() / 2);
-    let (size, safety_time, with_attack_time, seed_stats) = match &r.outcome {
-        Some(o) => {
-            (o.n_blocks, o.safety_time, o.attack_time.map(|a| o.safety_time + a), o.seed_stats)
-        }
-        None => (0, r.wall, None, SeedStats::default()),
+    let (size, safety_time, with_attack_time, seed_stats, antichain_stats) = match &r.outcome {
+        Some(o) => (
+            o.n_blocks,
+            o.safety_time,
+            o.attack_time.map(|a| o.safety_time + a),
+            o.seed_stats,
+            o.antichain_stats,
+        ),
+        None => (0, r.wall, None, SeedStats::default(), AntichainStats::default()),
     };
     Row {
         name: b.name,
@@ -128,6 +137,7 @@ pub fn run_benchmark_portfolio(b: &Benchmark, runs: usize) -> Row {
         with_attack_time,
         fixpoint_passes: r.budget_report.fixpoint_passes,
         seed_stats,
+        antichain_stats,
         winner: r.winner.map(Backend::as_str),
         leakage_bits: Some(r.leakage.bits),
     }
@@ -197,6 +207,7 @@ mod tests {
             with_attack_time: None,
             fixpoint_passes: 0,
             seed_stats: SeedStats::default(),
+            antichain_stats: AntichainStats::default(),
             winner: None,
             leakage_bits: None,
         };

@@ -1,0 +1,104 @@
+//! Antichain vs classic automata-engine equivalence over the benchmark
+//! suite.
+//!
+//! The antichain engine answers the refinement layer's yes/no language
+//! questions (inclusion, disjointness, emptiness) on the fly; the classic
+//! engine materializes product DFAs and tests them. Both must produce
+//! *identical* analyses end to end: same verdicts, same refinement trees,
+//! same per-leaf statuses. These tests run each benchmark under both
+//! `BLAZER_AUTOMATA` modes in-process and demand exact agreement, plus the
+//! counter invariants that prove each mode actually took its own path
+//! (classic runs explore zero antichain macro-states and record at least
+//! one classic fallback; default runs record zero fallbacks).
+
+use blazer_benchmarks::{Benchmark, Group};
+use blazer_core::{AntichainStats, Blazer};
+use std::sync::Mutex;
+
+/// `BLAZER_AUTOMATA` is process-global; tests in this binary run in
+/// parallel threads, so every mode flip holds this lock.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+fn analyze_in_mode(b: &Benchmark, classic: bool) -> blazer_core::AnalysisOutcome {
+    let program = b.compile();
+    let config = blazer_bench::config_for(b.group).with_threads(1);
+    if classic {
+        std::env::set_var("BLAZER_AUTOMATA", "classic");
+    } else {
+        std::env::remove_var("BLAZER_AUTOMATA");
+    }
+    let out = Blazer::new(config).analyze(&program, b.function).expect("benchmark analyzes");
+    std::env::remove_var("BLAZER_AUTOMATA");
+    out
+}
+
+fn check_agreement(benchmarks: &[Benchmark]) {
+    let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let mut classic_totals = AntichainStats::default();
+    for b in benchmarks {
+        let lazy = analyze_in_mode(b, false);
+        let classic = analyze_in_mode(b, true);
+        assert_eq!(
+            format!("{:?}", lazy.verdict),
+            format!("{:?}", classic.verdict),
+            "{}: engine mode changed the verdict",
+            b.name
+        );
+        assert_eq!(
+            lazy.tree.len(),
+            classic.tree.len(),
+            "{}: engine mode changed the refinement tree",
+            b.name
+        );
+        for i in 0..lazy.tree.len() {
+            assert_eq!(
+                lazy.tree.node(i).trail.to_string(),
+                classic.tree.node(i).trail.to_string(),
+                "{}: trail {i} diverged between engine modes",
+                b.name
+            );
+            assert_eq!(
+                lazy.tree.node(i).status,
+                classic.tree.node(i).status,
+                "{}: status of trail {i} diverged between engine modes",
+                b.name
+            );
+        }
+        // Mode proof: the default run never falls back to the classic
+        // engine, and the classic run never explores antichain macro-states.
+        assert_eq!(
+            lazy.antichain_stats.classic_fallbacks, 0,
+            "{}: default mode routed decisions classically",
+            b.name
+        );
+        assert_eq!(
+            classic.antichain_stats.macro_states_explored, 0,
+            "{}: classic mode ran the antichain search",
+            b.name
+        );
+        classic_totals.classic_fallbacks += classic.antichain_stats.classic_fallbacks;
+    }
+    assert!(
+        classic_totals.classic_fallbacks > 0,
+        "no classic fallback was ever recorded: the mode switch is dead"
+    );
+}
+
+/// The MicroBench group — fast enough to run twice in the tier-1 suite.
+#[test]
+fn engine_mode_never_changes_a_microbench_analysis() {
+    let micro: Vec<Benchmark> =
+        blazer_benchmarks::all().into_iter().filter(|b| b.group == Group::MicroBench).collect();
+    assert!(!micro.is_empty());
+    check_agreement(&micro);
+}
+
+/// The full 24-benchmark Table-1 suite. Ignored by default — the STAC and
+/// literature programs are expensive to analyze twice in a debug build —
+/// and run explicitly by CI (and by hand) via
+/// `cargo test -p blazer-bench --test automata_equivalence -- --ignored`.
+#[test]
+#[ignore = "runs the full suite twice; minutes in debug builds"]
+fn engine_mode_never_changes_any_table1_analysis() {
+    check_agreement(&blazer_benchmarks::all());
+}

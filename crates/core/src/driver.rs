@@ -8,7 +8,7 @@ use crate::trail::BranchSyms;
 use crate::tree::{NodeStatus, SplitKind, TrailTree};
 use blazer_absint::transfer::entry_state;
 use blazer_absint::{DimMap, EdgeAlphabet, ProductGraph, SeedMap};
-use blazer_automata::{Dfa, Regex};
+use blazer_automata::{antichain, AntichainStats, Dfa, Regex};
 use blazer_bounds::{graph_bounds_seeded, BoundResult, Observer, SeededBounds};
 use blazer_domains::{AbstractDomain, IntervalVec, Octagon, Polyhedron, Zone};
 use blazer_interp::Value;
@@ -399,6 +399,10 @@ pub struct AnalysisOutcome {
     /// What incremental fixpoint seeding did (all zeros on the fast path
     /// and when seeding is disabled).
     pub seed_stats: SeedStats,
+    /// What the antichain automata engine did: macro-states explored,
+    /// ⊆-dominated macro-states pruned, and decisions routed to the classic
+    /// eager engine (non-zero only under `BLAZER_AUTOMATA=classic`).
+    pub antichain_stats: AntichainStats,
 }
 
 impl AnalysisOutcome {
@@ -483,6 +487,9 @@ struct EvalCtx<'a> {
     cfg: &'a Cfg,
     alphabet: &'a EdgeAlphabet,
     dims: &'a DimMap,
+    /// Build trail product graphs with the eager minimized-DFA pipeline
+    /// instead of the lazy on-demand subset construction.
+    classic: bool,
 }
 
 /// One node's evaluation outcome before it is merged back into the tree.
@@ -543,6 +550,13 @@ impl Blazer {
         } else {
             self.config.budget.install()
         };
+        // One stats ledger per analysis: the antichain engine's counters
+        // accumulate here (worker threads re-install the same collector).
+        // The engine choice is read once so a mid-analysis environment
+        // change cannot mix engines within one run.
+        let stats = antichain::StatsCollector::new();
+        let _stats_guard = stats.install();
+        let classic = antichain::classic_mode();
         program.validate().map_err(CoreError::InvalidProgram)?;
         let f =
             program.function(func).ok_or_else(|| CoreError::NoSuchFunction(func.to_string()))?;
@@ -570,6 +584,7 @@ impl Blazer {
                 degradations,
                 budget_report: budget::report(),
                 seed_stats,
+                antichain_stats: stats.snapshot(),
             });
         }
 
@@ -584,7 +599,7 @@ impl Blazer {
 
         let mut tree = TrailTree::new(most_general_trail(&cfg, &alphabet));
         let mut star_depth: Vec<usize> = vec![0];
-        let ctx = EvalCtx { program, f, cfg: &cfg, alphabet: &alphabet, dims: &dims };
+        let ctx = EvalCtx { program, f, cfg: &cfg, alphabet: &alphabet, dims: &dims, classic };
         let mut cache = BoundCache::default();
         let width = self.config.effective_threads();
 
@@ -647,6 +662,7 @@ impl Blazer {
                             alphabet.len() as u32,
                             RefineMode::Safe,
                             self.config.max_trail_size,
+                            classic,
                         )
                     })
                 });
@@ -677,6 +693,7 @@ impl Blazer {
                 degradations,
                 budget_report: budget::report(),
                 seed_stats,
+                antichain_stats: stats.snapshot(),
             });
         }
         if let Some(resource) = budget_stop {
@@ -693,6 +710,7 @@ impl Blazer {
                 degradations,
                 budget_report: budget::report(),
                 seed_stats,
+                antichain_stats: stats.snapshot(),
             });
         }
         if !self.config.synthesize_attack {
@@ -706,6 +724,7 @@ impl Blazer {
                 degradations,
                 budget_report: budget::report(),
                 seed_stats,
+                antichain_stats: stats.snapshot(),
             });
         }
 
@@ -752,6 +771,7 @@ impl Blazer {
                             alphabet.len() as u32,
                             RefineMode::Vulnerable,
                             self.config.max_trail_size,
+                            classic,
                         )
                     })
                 });
@@ -829,6 +849,7 @@ impl Blazer {
             degradations,
             budget_report: budget::report(),
             seed_stats,
+            antichain_stats: stats.snapshot(),
         })
     }
 
@@ -983,13 +1004,17 @@ impl Blazer {
         let slots: Vec<JobSlot> = jobs.iter().map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
         let handle = budget::handle();
+        let stats = antichain::stats_handle();
         std::thread::scope(|scope| {
             for _ in 0..width.min(jobs.len()) {
                 scope.spawn(|| {
                     // All caps (and BLAZER_FAULT injection) stay globally
                     // enforced: the worker consumes against the same shared
-                    // ledger the driver thread installed.
+                    // ledger the driver thread installed. The antichain
+                    // stats collector is shared the same way, so counters
+                    // aggregate across workers.
                     let _budget = handle.as_ref().map(|h| h.install());
+                    let _stats = stats.as_ref().map(|s| s.install());
                     loop {
                         let i = next.fetch_add(1, Ordering::SeqCst);
                         if i >= jobs.len() {
@@ -1060,19 +1085,51 @@ impl Blazer {
         node: usize,
         seed: Option<&SeedMap>,
     ) -> EvalOut {
-        let EvalCtx { program, f, cfg, alphabet, dims } = *ctx;
+        let EvalCtx { program, f, cfg, alphabet, dims, classic } = *ctx;
         let graph_key = trail.to_string();
         let cached = graphs.lock().unwrap_or_else(|e| e.into_inner()).get(&graph_key).cloned();
         let graph: Arc<ProductGraph> = match cached {
             Some(g) => g,
             None => {
-                let dfa = Dfa::from_regex(trail, alphabet.len() as u32).minimize();
-                let g = Arc::new(ProductGraph::restricted(f, cfg, &dfa, alphabet));
+                // Both engines materialize the *minimized* DFA here: the
+                // subset product (ProductGraph::try_restricted_lazy)
+                // empirically loses upper-bound precision — duplicated loop
+                // heads inside one SCC weaken the widening-based bounds to
+                // ∞ — so minimization is load-bearing for the product graph
+                // even though the yes/no decision procedures never need it.
+                if classic {
+                    antichain::note_classic_fallback();
+                }
+                let built = Dfa::try_from_regex(trail, alphabet.len() as u32)
+                    .map(|dfa| ProductGraph::restricted(f, cfg, &dfa.minimize(), alphabet));
+                let g = match built {
+                    Ok(g) => Arc::new(g),
+                    Err(e) => {
+                        // Graph construction exhausted the budget: this
+                        // trail's bounds degrade to [0, ∞), the same shape
+                        // an overflow under exhaustion produces below.
+                        budget::note_degradation(format!(
+                            "driver: trail {node}: product construction exhausted \
+                             ({:?}); widening bounds to [0, ∞)",
+                            e.resource
+                        ));
+                        return EvalOut {
+                            result: BoundResult {
+                                lower: Some(blazer_bounds::CostExpr::zero()),
+                                upper: None,
+                            },
+                            degradations: Vec::new(),
+                            post: None,
+                            seeded: false,
+                            seed_rejected: false,
+                            top_passes: 0,
+                        };
+                    }
+                };
                 if std::env::var("BLAZER_TRACE_BOUNDS").is_ok() {
                     eprintln!(
-                        "bounds_for: trail size {} dfa {} product {}/{} exits {}",
+                        "bounds_for: trail size {} product {}/{} exits {}",
                         trail.size(),
-                        dfa.n_states(),
                         g.len(),
                         g.edges().len(),
                         g.exits().len()

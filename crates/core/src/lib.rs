@@ -51,6 +51,7 @@ pub mod trail;
 pub mod tree;
 
 pub use attack::AttackSpec;
+pub use blazer_automata::AntichainStats;
 pub use blazer_ir::budget::{Budget, BudgetHandle, BudgetReport, FaultSpec, Resource};
 pub use driver::{
     concretize_outcome, AnalysisOutcome, Blazer, Config, CoreError, Degradation, DegradeReason,

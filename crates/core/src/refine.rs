@@ -104,15 +104,25 @@ pub fn refine_partition(
 ///   ("cannot") shape from Fig. 1. No coverage requirement.
 ///
 /// Returns `None` when the split does not apply (uses-both non-empty in
-/// safe mode, or a part is empty / oversized).
+/// safe mode, or a part is empty / oversized), and also when the installed
+/// `blazer_ir::budget` exhausts mid-split — refinement then simply makes no
+/// progress on this trail, which the driver reports as a degradation.
+///
+/// With `classic: false` (the default engine) all feasibility questions —
+/// coverage, part non-emptiness, progress — are decided *lazily* through
+/// [`blazer_automata::antichain`] without materializing any product DFA;
+/// only the parts of a split that survives every check are materialized
+/// (they must be converted back to trail regexes anyway). `classic: true`
+/// keeps the original eager product pipeline (`BLAZER_AUTOMATA=classic`).
 pub fn block_split(
     trail: &Regex,
     branch: &BranchSyms,
     alphabet_size: u32,
     mode: RefineMode,
     max_part_size: usize,
+    classic: bool,
 ) -> Option<Split> {
-    use blazer_automata::{kleene, ops, Dfa};
+    use blazer_automata::{antichain, kleene, ops, Dfa, Nfa};
     let eligible = match mode {
         RefineMode::Safe => branch.taint.is_low_only(),
         RefineMode::Vulnerable => branch.taint.is_high(),
@@ -120,34 +130,97 @@ pub fn block_split(
     if !eligible {
         return None;
     }
-    let tr = Dfa::from_regex(trail, alphabet_size);
-    let contains = |sym: blazer_automata::Sym| {
-        let any =
-            (0..alphabet_size).map(Regex::symbol).reduce(Regex::or).unwrap_or(Regex::Empty).star();
-        Dfa::from_regex(&any.clone().then(Regex::symbol(sym)).then(any), alphabet_size)
-    };
+    let any =
+        (0..alphabet_size).map(Regex::symbol).reduce(Regex::or).unwrap_or(Regex::Empty).star();
+    let contains =
+        |sym: blazer_automata::Sym| any.clone().then(Regex::symbol(sym)).then(any.clone());
     let with_e1 = contains(branch.then_sym);
     let with_e2 = contains(branch.else_sym);
-    let parts_dfa = match mode {
-        RefineMode::Safe => {
-            // Coverage requires that no trace uses both edges.
-            let both = ops::intersection(&tr, &ops::intersection(&with_e1, &with_e2));
-            if !both.is_empty() {
+
+    let parts_dfa = if classic {
+        antichain::note_classic_fallback();
+        let tr = Dfa::try_from_regex(trail, alphabet_size).ok()?;
+        let d1 = Dfa::try_from_regex(&with_e1, alphabet_size).ok()?;
+        let d2 = Dfa::try_from_regex(&with_e2, alphabet_size).ok()?;
+        let parts_dfa = match mode {
+            RefineMode::Safe => {
+                // Coverage requires that no trace uses both edges.
+                let both =
+                    ops::try_intersection(&tr, &ops::try_intersection(&d1, &d2).ok()?).ok()?;
+                if !both.is_empty() {
+                    return None;
+                }
+                vec![ops::try_difference(&tr, &d2).ok()?, ops::try_difference(&tr, &d1).ok()?]
+            }
+            RefineMode::Vulnerable => {
+                vec![ops::try_intersection(&tr, &d1).ok()?, ops::try_difference(&tr, &d1).ok()?]
+            }
+        };
+        if parts_dfa.iter().any(Dfa::is_empty) {
+            return None; // a degenerate split refines nothing
+        }
+        // No progress when a part equals the parent.
+        for d in &parts_dfa {
+            if ops::try_difference(d, &tr).ok()?.is_empty()
+                && ops::try_difference(&tr, d).ok()?.is_empty()
+            {
                 return None;
             }
-            vec![ops::difference(&tr, &with_e2), ops::difference(&tr, &with_e1)]
         }
-        RefineMode::Vulnerable => {
-            vec![ops::intersection(&tr, &with_e1), ops::difference(&tr, &with_e1)]
+        parts_dfa
+    } else {
+        // Lazy feasibility: every yes/no question collapses to an antichain
+        // emptiness check over NFA views, so infeasible splits are rejected
+        // without ever determinizing or building a product. The algebra:
+        //   tr \ X = ∅   ⟺  tr ⊆ X        (part emptiness)
+        //   tr \ X = tr  ⟺  tr ∩ X = ∅    (no progress)
+        //   tr ∩ X = ∅   ⟺  disjoint      (part emptiness, ∩-part)
+        //   tr ∩ X = tr  ⟺  tr ⊆ X        (no progress, ∩-part)
+        let tr_nfa = Nfa::from_regex(trail, alphabet_size);
+        let e1_nfa = Nfa::from_regex(&with_e1, alphabet_size);
+        let e2_nfa = Nfa::from_regex(&with_e2, alphabet_size);
+        match mode {
+            RefineMode::Safe => {
+                // Coverage requires that no trace uses both edges.
+                if !antichain::nfa_intersect3_empty(&tr_nfa, &e1_nfa, &e2_nfa).ok()? {
+                    return None;
+                }
+                for x in [&e2_nfa, &e1_nfa] {
+                    if antichain::nfa_included(&tr_nfa, x).ok()? {
+                        return None; // part tr \ x is empty
+                    }
+                    if antichain::nfa_disjoint(&tr_nfa, x).ok()? {
+                        return None; // part tr \ x equals the parent
+                    }
+                }
+            }
+            RefineMode::Vulnerable => {
+                if antichain::nfa_disjoint(&tr_nfa, &e1_nfa).ok()? {
+                    return None; // "uses e₁" part is empty ("never" = parent)
+                }
+                if antichain::nfa_included(&tr_nfa, &e1_nfa).ok()? {
+                    return None; // "never uses e₁" part is empty ("uses" = parent)
+                }
+            }
+        }
+        // The split is feasible: materialize only the surviving parts.
+        let tr = Dfa::try_from_regex(trail, alphabet_size).ok()?;
+        let d1 = Dfa::try_from_regex(&with_e1, alphabet_size).ok()?;
+        match mode {
+            RefineMode::Safe => {
+                let d2 = Dfa::try_from_regex(&with_e2, alphabet_size).ok()?;
+                vec![ops::try_difference(&tr, &d2).ok()?, ops::try_difference(&tr, &d1).ok()?]
+            }
+            RefineMode::Vulnerable => {
+                vec![ops::try_intersection(&tr, &d1).ok()?, ops::try_difference(&tr, &d1).ok()?]
+            }
         }
     };
-    if parts_dfa.iter().any(Dfa::is_empty) {
-        return None; // a degenerate split refines nothing
-    }
-    if parts_dfa.iter().any(|d| ops::equivalent(d, &tr)) {
-        return None; // no progress: a part equals the parent
-    }
-    let parts: Vec<Regex> = parts_dfa.iter().map(|d| kleene::dfa_to_regex(&d.minimize())).collect();
+    let parts: Vec<Regex> = parts_dfa
+        .iter()
+        .map(|d| kleene::try_dfa_to_regex(&d.minimize()))
+        .collect::<Result<_, _>>()
+        .ok()?;
     if parts.iter().any(|p| p.size() > max_part_size) {
         return None;
     }
@@ -258,16 +331,19 @@ mod tests {
     #[test]
     fn block_split_safe_mode_partitions_once_executed_branch() {
         // 0·(1·2 | 3·4): branch edges {1, 3} are used at most once per
-        // trace, so the safe block split applies and covers.
+        // trace, so the safe block split applies and covers. Both the lazy
+        // antichain engine and the classic product engine must agree.
         let r = sym(0).then(sym(1).then(sym(2)).or(sym(3).then(sym(4))));
         let b = BranchSyms { then_sym: 1, else_sym: 3, taint: Taint::LOW };
-        let split = block_split(&r, &b, 5, RefineMode::Safe, 10_000).expect("applies");
-        assert_eq!(split.parts.len(), 2);
-        assert_covers(&r, &split.parts, 5);
-        let d0 = Dfa::from_regex(&split.parts[0], 5);
-        let d1 = Dfa::from_regex(&split.parts[1], 5);
-        assert!(d0.accepts(&[0, 1, 2]) && !d0.accepts(&[0, 3, 4]));
-        assert!(d1.accepts(&[0, 3, 4]) && !d1.accepts(&[0, 1, 2]));
+        for classic in [false, true] {
+            let split = block_split(&r, &b, 5, RefineMode::Safe, 10_000, classic).expect("applies");
+            assert_eq!(split.parts.len(), 2);
+            assert_covers(&r, &split.parts, 5);
+            let d0 = Dfa::from_regex(&split.parts[0], 5);
+            let d1 = Dfa::from_regex(&split.parts[1], 5);
+            assert!(d0.accepts(&[0, 1, 2]) && !d0.accepts(&[0, 3, 4]));
+            assert!(d1.accepts(&[0, 3, 4]) && !d1.accepts(&[0, 1, 2]));
+        }
     }
 
     #[test]
@@ -276,7 +352,9 @@ mod tests {
         // so a covering block split is impossible.
         let r = sym(1).then(sym(2)).star().then(sym(3));
         let b = BranchSyms { then_sym: 1, else_sym: 3, taint: Taint::LOW };
-        assert!(block_split(&r, &b, 4, RefineMode::Safe, 10_000).is_none());
+        for classic in [false, true] {
+            assert!(block_split(&r, &b, 4, RefineMode::Safe, 10_000, classic).is_none());
+        }
     }
 
     #[test]
@@ -284,13 +362,16 @@ mod tests {
         // The Fig. 1 tr3/tr4 shape: "can take the early exit" vs "cannot".
         let r = sym(0).or(sym(1)).star().then(sym(2));
         let b = BranchSyms { then_sym: 0, else_sym: 1, taint: Taint::HIGH };
-        let split = block_split(&r, &b, 3, RefineMode::Vulnerable, 10_000).expect("applies");
-        let uses = Dfa::from_regex(&split.parts[0], 3);
-        let never = Dfa::from_regex(&split.parts[1], 3);
-        assert!(uses.accepts(&[0, 2]) && uses.accepts(&[1, 0, 2]));
-        assert!(!uses.accepts(&[1, 1, 2]));
-        assert!(never.accepts(&[2]) && never.accepts(&[1, 1, 2]));
-        assert!(!never.accepts(&[0, 2]));
+        for classic in [false, true] {
+            let split =
+                block_split(&r, &b, 3, RefineMode::Vulnerable, 10_000, classic).expect("applies");
+            let uses = Dfa::from_regex(&split.parts[0], 3);
+            let never = Dfa::from_regex(&split.parts[1], 3);
+            assert!(uses.accepts(&[0, 2]) && uses.accepts(&[1, 0, 2]));
+            assert!(!uses.accepts(&[1, 1, 2]));
+            assert!(never.accepts(&[2]) && never.accepts(&[1, 1, 2]));
+            assert!(!never.accepts(&[0, 2]));
+        }
     }
 
     #[test]
@@ -299,10 +380,12 @@ mod tests {
         let high = BranchSyms { then_sym: 0, else_sym: 1, taint: Taint::HIGH };
         let low = BranchSyms { then_sym: 0, else_sym: 1, taint: Taint::LOW };
         let both = BranchSyms { then_sym: 0, else_sym: 1, taint: Taint::BOTH };
-        assert!(block_split(&r, &high, 2, RefineMode::Safe, 10_000).is_none());
-        assert!(block_split(&r, &both, 2, RefineMode::Safe, 10_000).is_none());
-        assert!(block_split(&r, &low, 2, RefineMode::Vulnerable, 10_000).is_none());
-        assert!(block_split(&r, &both, 2, RefineMode::Vulnerable, 10_000).is_some());
+        for classic in [false, true] {
+            assert!(block_split(&r, &high, 2, RefineMode::Safe, 10_000, classic).is_none());
+            assert!(block_split(&r, &both, 2, RefineMode::Safe, 10_000, classic).is_none());
+            assert!(block_split(&r, &low, 2, RefineMode::Vulnerable, 10_000, classic).is_none());
+            assert!(block_split(&r, &both, 2, RefineMode::Vulnerable, 10_000, classic).is_some());
+        }
     }
 
     #[test]
@@ -311,7 +394,42 @@ mod tests {
         // parts equal the parent (or are empty) — no split.
         let r = sym(2).then(sym(2));
         let b = BranchSyms { then_sym: 0, else_sym: 1, taint: Taint::LOW };
-        assert!(block_split(&r, &b, 3, RefineMode::Safe, 10_000).is_none());
+        for classic in [false, true] {
+            assert!(block_split(&r, &b, 3, RefineMode::Safe, 10_000, classic).is_none());
+        }
+    }
+
+    #[test]
+    fn block_split_engines_produce_equivalent_parts() {
+        // The lazy and classic engines must produce language-identical
+        // parts in the same order (feasibility algebra + shared
+        // materialization path).
+        let cases = [
+            (sym(0).then(sym(1).then(sym(2)).or(sym(3).then(sym(4)))), 1u32, 3u32, 5u32),
+            (sym(0).or(sym(1)).star().then(sym(2)), 0, 1, 3),
+            (sym(0).then(sym(1)).or(sym(2)), 0, 2, 3),
+        ];
+        for (r, e1, e2, alpha) in cases {
+            for (mode, taint) in
+                [(RefineMode::Safe, Taint::LOW), (RefineMode::Vulnerable, Taint::HIGH)]
+            {
+                let b = BranchSyms { then_sym: e1, else_sym: e2, taint };
+                let lazy = block_split(&r, &b, alpha, mode, 10_000, false);
+                let classic = block_split(&r, &b, alpha, mode, 10_000, true);
+                match (&lazy, &classic) {
+                    (None, None) => {}
+                    (Some(l), Some(c)) => {
+                        assert_eq!(l.parts.len(), c.parts.len());
+                        for (lp, cp) in l.parts.iter().zip(&c.parts) {
+                            let ld = Dfa::from_regex(lp, alpha);
+                            let cd = Dfa::from_regex(cp, alpha);
+                            assert!(ops::equivalent(&ld, &cd), "parts diverge for {r}");
+                        }
+                    }
+                    _ => panic!("engines disagree on applicability for {r} in {mode:?}"),
+                }
+            }
+        }
     }
 
     #[test]

@@ -74,6 +74,17 @@ pub fn outcome_json(program: &Program, outcome: &AnalysisOutcome, wall_s: f64) -
                 ("unseeded_passes", Json::from(outcome.seed_stats.unseeded_passes)),
             ]),
         ),
+        (
+            "antichain",
+            Json::obj([
+                (
+                    "macro_states_explored",
+                    Json::from(outcome.antichain_stats.macro_states_explored),
+                ),
+                ("antichain_prunes", Json::from(outcome.antichain_stats.antichain_prunes)),
+                ("classic_fallbacks", Json::from(outcome.antichain_stats.classic_fallbacks)),
+            ]),
+        ),
         ("budget", budget_json(&outcome.budget_report)),
         ("tree", Json::from(outcome.render_tree(program))),
     ])
@@ -205,6 +216,15 @@ mod tests {
                 .and_then(|s| s.get("trails_unseeded"))
                 .and_then(Json::as_u64)
                 .is_some_and(|n| n >= 1));
+            // The antichain counters are present (exact values depend on
+            // the engine mode, so only shape is asserted).
+            for key in ["macro_states_explored", "antichain_prunes", "classic_fallbacks"] {
+                assert!(doc
+                    .get("antichain")
+                    .and_then(|a| a.get(key))
+                    .and_then(Json::as_u64)
+                    .is_some());
+            }
             // The document is valid JSON end to end.
             let text = doc.to_string();
             assert_eq!(Json::parse(&text).unwrap(), doc);

@@ -107,6 +107,53 @@ fn refinement_step_cap_stops_the_driver() {
 }
 
 #[test]
+fn automata_phase_cooperates_with_an_exhausted_budget() {
+    let _env = env_guard();
+    use blazer::automata::{antichain, kleene, ops, Dfa, Nfa, Regex};
+    // Every automata-phase entry point the driver exercises — subset
+    // construction, eager products, state elimination, and the antichain
+    // search — must poll the installed budget and surface exhaustion as an
+    // `Err` instead of completing (or diverging) under a dead deadline.
+    let r = Regex::symbol(0).star().then(Regex::symbol(1));
+    let a = Dfa::from_regex(&r, 2);
+    let b = Dfa::from_regex(&Regex::symbol(1).star(), 2);
+    let nfa = Nfa::from_regex(&r, 2);
+    let _dead = Budget::unlimited().with_deadline(Duration::ZERO).install();
+    assert!(Dfa::try_from_regex(&r, 2).is_err(), "subset construction ignored the deadline");
+    assert!(ops::try_intersection(&a, &b).is_err(), "eager product ignored the deadline");
+    assert!(kleene::try_dfa_to_regex(&a).is_err(), "state elimination ignored the deadline");
+    assert!(ops::try_included(&a, &b).is_err(), "antichain inclusion ignored the deadline");
+    assert!(antichain::nfa_is_empty(&nfa).is_err(), "antichain emptiness ignored the deadline");
+}
+
+#[test]
+fn dead_deadline_is_sound_in_both_automata_engine_modes() {
+    let _env = env_guard();
+    // End to end: with the whole analysis under a dead deadline, both
+    // automata engines (antichain default and `BLAZER_AUTOMATA=classic`)
+    // absorb the exhaustion identically — a budget-Unknown verdict, never
+    // a panic and never Safe for the leaky program.
+    for mode in [None, Some("classic")] {
+        match mode {
+            Some(m) => std::env::set_var("BLAZER_AUTOMATA", m),
+            None => std::env::remove_var("BLAZER_AUTOMATA"),
+        }
+        let fault = FaultSpec { deadline: Some(Duration::ZERO), ..FaultSpec::default() };
+        let out = analyze_with(Budget::unlimited().with_fault(fault));
+        std::env::remove_var("BLAZER_AUTOMATA");
+        assert!(
+            matches!(
+                out.verdict,
+                Verdict::Unknown(UnknownReason::BudgetExhausted(Resource::WallClock))
+            ),
+            "mode {mode:?}: verdict: {}",
+            out.verdict
+        );
+        assert_eq!(out.budget_report.exhausted, Some(Resource::WallClock));
+    }
+}
+
+#[test]
 fn unlimited_budget_is_the_undisturbed_attack_verdict() {
     let _env = env_guard();
     // Control: the same program without faults still finds its attack, and
