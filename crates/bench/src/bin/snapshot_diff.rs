@@ -10,7 +10,10 @@
 //! (`fixpoint_passes`, seeding split) are *reported* when they move —
 //! that's the perf trajectory the snapshot exists to track — but only
 //! verdict changes fail the diff, so a pure perf change still needs a
-//! human to re-commit the snapshot deliberately.
+//! human to re-commit the snapshot deliberately. Rows must also agree on
+//! the observer cost model they were priced under (comparing verdicts
+//! across models is a setup error); leakage drift under a stable verdict
+//! is informational, like the counters.
 
 use blazer_ir::json::Json;
 use std::process::ExitCode;
@@ -24,6 +27,11 @@ struct RowView {
     trails_seeded: Option<u64>,
     macro_states_explored: Option<u64>,
     antichain_prunes: Option<u64>,
+    /// Observer cost model the row was priced under (absent in snapshots
+    /// predating pluggable models, which were always unit-priced).
+    cost_model: Option<String>,
+    /// Quantified leakage under the row's cost model (portfolio rows only).
+    leakage_bits: Option<f64>,
 }
 
 fn load(path: &str) -> Result<Vec<RowView>, String> {
@@ -61,6 +69,8 @@ fn load(path: &str) -> Result<Vec<RowView>, String> {
                     .get("antichain")
                     .and_then(|a| a.get("antichain_prunes"))
                     .and_then(Json::as_u64),
+                cost_model: row.get("cost_model").and_then(Json::as_str).map(str::to_string),
+                leakage_bits: row.get("leakage_bits").and_then(Json::as_f64),
             })
         })
         .collect()
@@ -90,6 +100,17 @@ fn main() -> ExitCode {
             failures += 1;
             continue;
         };
+        // Rows priced under different cost models are not comparable:
+        // bounds, leakage, and even verdicts are model-relative, so a
+        // model mismatch is a setup error, not drift. A missing field
+        // (pre-pluggable-model snapshot) means unit.
+        let want_model = want.cost_model.as_deref().unwrap_or("unit");
+        let got_model = got.cost_model.as_deref().unwrap_or("unit");
+        if want_model != got_model {
+            println!("MODEL     {:<22} priced under {want_model} -> {got_model}", want.name);
+            failures += 1;
+            continue;
+        }
         if got.verdict != want.verdict || got.matches_paper != want.matches_paper {
             println!(
                 "VERDICT   {:<22} {} (matches_paper={}) -> {} (matches_paper={})",
@@ -97,6 +118,15 @@ fn main() -> ExitCode {
             );
             failures += 1;
             continue;
+        }
+        // Leakage (a cost-bound summary) drifting under a *stable* verdict
+        // and model is informational: bounds tighten and loosen with
+        // analysis changes without the verdict moving.
+        if let (Some(a), Some(b)) = (want.leakage_bits, got.leakage_bits) {
+            if (a - b).abs() > 1e-9 {
+                println!("leakage   {:<22} {a:.3} bits -> {b:.3} bits", want.name);
+                perf_moves += 1;
+            }
         }
         // Counter drift is informational: print it so the perf trajectory
         // is visible in CI logs, but let verdict-stable runs pass.

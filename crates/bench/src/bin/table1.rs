@@ -48,6 +48,9 @@ struct JsonRow {
     winner: Option<&'static str>,
     /// Quantified leakage in bits (`None` outside portfolio runs).
     leakage_bits: Option<f64>,
+    /// Observer cost model the row was priced under (table-wide; set with
+    /// `BLAZER_COST_MODEL`, default `unit`).
+    cost_model: String,
 }
 
 impl JsonRow {
@@ -85,6 +88,7 @@ impl JsonRow {
             ),
             ("winner", self.winner.map(Json::from).unwrap_or(Json::Null)),
             ("leakage_bits", self.leakage_bits.map(Json::Num).unwrap_or(Json::Null)),
+            ("cost_model", Json::from(self.cost_model.as_str())),
         ])
     }
 }
@@ -120,6 +124,13 @@ fn main() {
     let backend = backend_from_env();
     if backend != Backend::Decomp {
         println!("backend: {backend} (BLAZER_BACKEND)");
+    }
+    // The model is table-wide (config_for applies the same BLAZER_COST_MODEL
+    // override to every group), but recorded per row so snapshot diffs can
+    // refuse to compare rows priced under different observers.
+    let cost_model = config_for(blazer_benchmarks::Group::MicroBench).cost_model.to_string();
+    if cost_model != "unit" {
+        println!("cost model: {cost_model} (BLAZER_COST_MODEL)");
     }
     let selected: Vec<_> = blazer_benchmarks::all()
         .into_iter()
@@ -166,6 +177,7 @@ fn main() {
                     counters: None,
                     winner: None,
                     leakage_bits: None,
+                    cost_model: cost_model.clone(),
                 });
                 continue;
             }
@@ -206,6 +218,7 @@ fn main() {
             counters: Some((row.fixpoint_passes, row.seed_stats, row.antichain_stats)),
             winner: row.winner,
             leakage_bits: row.leakage_bits,
+            cost_model: cost_model.clone(),
         });
     }
     let total_wall_s = started.elapsed().as_secs_f64();

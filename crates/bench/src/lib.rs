@@ -34,6 +34,14 @@ pub fn config_for(group: Group) -> Config {
             _ => blazer_core::DomainKind::Polyhedra,
         };
     }
+    // Observer cost-model override for the cross-model oracle sweeps:
+    // BLAZER_COST_MODEL=unit|weighted|cache. Unset or unrecognized values
+    // keep the default unit model, so existing snapshots are unaffected.
+    if let Ok(m) = std::env::var("BLAZER_COST_MODEL") {
+        if let Ok(model) = m.parse::<blazer_ir::cost::CostModel>() {
+            c.cost_model = model;
+        }
+    }
     c
 }
 

@@ -530,9 +530,17 @@ fn node_block_cost<D: AbstractDomain>(
     let mut lo = CostExpr::zero();
     let mut hi: Option<CostExpr> = Some(CostExpr::zero());
     let temp_dim = dims.n_dims() + dims.n_vars() + 16;
+    // The walker threads the model's abstract cache state (must-resident
+    // lines) through the block, so each instruction prices as a [lo, hi]
+    // range; exact models always return point ranges.
+    let mut walker = cost_model.walker();
     for inst in &f.block(bid).insts {
-        match cost_model.inst_cost(inst) {
-            Ok(c) | Err(CallCost::Const(c)) => {
+        match walker.inst_cost(inst) {
+            Ok(r) => {
+                lo = lo.add2(CostExpr::constant(Rat::int(r.lo as i128)));
+                hi = hi.map(|h| h.add2(CostExpr::constant(Rat::int(r.hi as i128))));
+            }
+            Err(CallCost::Const(c)) => {
                 let c = CostExpr::constant(Rat::int(c as i128));
                 lo = lo.add2(c.clone());
                 hi = hi.map(|h| h.add2(c));

@@ -93,7 +93,11 @@ impl Gen {
 }
 
 /// Searches for a concrete witness of a timing channel in `func`: two runs
-/// agreeing on every low input whose costs differ by more than `epsilon`.
+/// agreeing on every low input whose costs differ by more than `epsilon`
+/// when measured under `cost_model` — the *same* model the symbolic
+/// analysis priced the trails with. (Measuring under a different model
+/// would mis-price witnesses: a pair separated by cache misses is invisible
+/// to a unit-cost stopwatch, and vice versa.)
 ///
 /// When `spec` is given, the runs' traces are additionally required to lie
 /// in the specification's two trails (in either order), so the witness
@@ -102,6 +106,7 @@ pub fn concretize(
     program: &Program,
     func: &str,
     spec: Option<&AttackSpec>,
+    cost_model: &blazer_ir::cost::CostModel,
     epsilon: u64,
     attempts: u32,
     seed: u64,
@@ -116,7 +121,7 @@ pub fn concretize(
         )
     });
     let mut gen = Gen(seed);
-    let interp = Interp::new(program);
+    let interp = Interp::new(program).with_cost_model(cost_model.clone());
     for attempt in 0..attempts {
         // Shared low inputs; two independent high variants.
         let mut inputs_a = Vec::new();
@@ -180,7 +185,8 @@ mod tests {
             while (i < h) { i = i + 1; } \
         }";
         let p = compile(src).unwrap();
-        let w = concretize(&p, "f", None, 2, 200, 42).expect("leak is easy to hit");
+        let unit = blazer_ir::cost::CostModel::unit();
+        let w = concretize(&p, "f", None, &unit, 2, 200, 42).expect("leak is easy to hit");
         assert!(w.difference() > 2);
         // Low inputs agree.
         assert_eq!(w.inputs_a[1], w.inputs_b[1]);
@@ -199,7 +205,37 @@ mod tests {
             } \
         }";
         let p = compile(src).unwrap();
-        assert!(concretize(&p, "foo", None, 0, 300, 7).is_none());
+        let unit = blazer_ir::cost::CostModel::unit();
+        assert!(concretize(&p, "foo", None, &unit, 0, 300, 7).is_none());
+    }
+
+    #[test]
+    fn witness_costs_are_measured_under_the_configured_model() {
+        // Regression for the cost-plumbing bug: `concretize` once built its
+        // interpreter with `Interp::new` alone, whose stopwatch is the
+        // hardcoded unit model, while the symbolic analysis priced trails
+        // under the configured model. Under any non-unit model the witness
+        // accounting silently disagreed with the bounds that claimed the
+        // attack. Pin that the reported `cost_a`/`cost_b` are exactly what
+        // the interpreter measures under the model passed in.
+        let src = "fn f(h: int #high, n: int) { \
+            let i: int = 0; \
+            while (i < h) { i = i + 1; } \
+        }";
+        let p = compile(src).unwrap();
+        let weighted = blazer_ir::cost::CostModel::weighted();
+        let w = concretize(&p, "f", None, &weighted, 2, 200, 42).expect("leak is easy to hit");
+        let interp = Interp::new(&p).with_cost_model(weighted);
+        let ta = interp.run("f", &w.inputs_a, &mut SeededOracle::new(0)).unwrap();
+        let tb = interp.run("f", &w.inputs_b, &mut SeededOracle::new(0)).unwrap();
+        assert_eq!((ta.cost, tb.cost), (w.cost_a, w.cost_b));
+        // And the weighted stopwatch really is a different observer: the
+        // same runs priced by a unit interpreter give different readings
+        // (branches cost 2 under the weighted table), so the old hardcoded
+        // unit interpreter could not have produced the numbers above.
+        let unit_interp = Interp::new(&p);
+        let ua = unit_interp.run("f", &w.inputs_a, &mut SeededOracle::new(0)).unwrap();
+        assert_ne!(ua.cost, w.cost_a);
     }
 
     #[test]
@@ -216,6 +252,7 @@ mod tests {
     #[test]
     fn unknown_function_is_none() {
         let p = compile("fn f() { }").unwrap();
-        assert!(concretize(&p, "nope", None, 0, 10, 0).is_none());
+        let unit = blazer_ir::cost::CostModel::unit();
+        assert!(concretize(&p, "nope", None, &unit, 0, 10, 0).is_none());
     }
 }

@@ -147,6 +147,16 @@ impl Config {
         self
     }
 
+    /// Builder-style observer cost-model override. Every backend — the
+    /// decomposition driver, the self-composition baseline, and the
+    /// concrete interpreter used for witness concretization — derives its
+    /// pricing from this one field, so a portfolio race always prices a
+    /// program identically across racers.
+    pub fn with_cost_model(mut self, cost_model: CostModel) -> Self {
+        self.cost_model = cost_model;
+        self
+    }
+
     /// Builder-style refinement budget override.
     pub fn with_max_trails(mut self, max_trails: usize) -> Self {
         self.max_trails = max_trails;
@@ -403,6 +413,10 @@ pub struct AnalysisOutcome {
     /// ⊆-dominated macro-states pruned, and decisions routed to the classic
     /// eager engine (non-zero only under `BLAZER_AUTOMATA=classic`).
     pub antichain_stats: AntichainStats,
+    /// The observer cost model this analysis priced costs under. Witness
+    /// concretization must measure with the same model, and responses
+    /// surface it so cached verdicts are attributable.
+    pub cost_model: CostModel,
 }
 
 impl AnalysisOutcome {
@@ -585,6 +599,7 @@ impl Blazer {
                 budget_report: budget::report(),
                 seed_stats,
                 antichain_stats: stats.snapshot(),
+                cost_model: self.config.cost_model.clone(),
             });
         }
 
@@ -694,6 +709,7 @@ impl Blazer {
                 budget_report: budget::report(),
                 seed_stats,
                 antichain_stats: stats.snapshot(),
+                cost_model: self.config.cost_model.clone(),
             });
         }
         if let Some(resource) = budget_stop {
@@ -711,6 +727,7 @@ impl Blazer {
                 budget_report: budget::report(),
                 seed_stats,
                 antichain_stats: stats.snapshot(),
+                cost_model: self.config.cost_model.clone(),
             });
         }
         if !self.config.synthesize_attack {
@@ -725,6 +742,7 @@ impl Blazer {
                 budget_report: budget::report(),
                 seed_stats,
                 antichain_stats: stats.snapshot(),
+                cost_model: self.config.cost_model.clone(),
             });
         }
 
@@ -850,6 +868,7 @@ impl Blazer {
             budget_report: budget::report(),
             seed_stats,
             antichain_stats: stats.snapshot(),
+            cost_model: self.config.cost_model.clone(),
         })
     }
 
@@ -1426,14 +1445,25 @@ fn branch_syms(
 
 /// Convenience: search for a concrete witness pair for an outcome's attack
 /// specification (None for non-attack verdicts or when the search fails).
+/// Witness costs are measured under the outcome's own cost model, so the
+/// concrete stopwatch agrees with the symbolic bounds that claimed the
+/// attack.
 pub fn concretize_outcome(
     program: &Program,
     outcome: &AnalysisOutcome,
     attempts: u32,
 ) -> Option<(Vec<Value>, Vec<Value>)> {
     let Verdict::Attack(spec) = &outcome.verdict else { return None };
-    crate::attack::concretize(program, &outcome.function, Some(spec), 0, attempts, 0xB1A2)
-        .map(|w| (w.inputs_a, w.inputs_b))
+    crate::attack::concretize(
+        program,
+        &outcome.function,
+        Some(spec),
+        &outcome.cost_model,
+        0,
+        attempts,
+        0xB1A2,
+    )
+    .map(|w| (w.inputs_a, w.inputs_b))
 }
 
 #[cfg(test)]
@@ -1444,6 +1474,19 @@ mod tests {
     fn analyze(src: &str, func: &str, config: Config) -> AnalysisOutcome {
         let p = compile(src).unwrap();
         Blazer::new(config).analyze(&p, func).unwrap()
+    }
+
+    #[test]
+    fn outcome_records_the_configured_cost_model() {
+        // Every consumer (attack concretization, reports, the serve layer)
+        // reads the model from the outcome, so the driver must thread the
+        // one Config source through rather than re-defaulting to unit.
+        let src = "fn f(h: int #high) { if (h > 0) { tick(2); } else { tick(2); } }";
+        let weighted = blazer_ir::cost::CostModel::weighted();
+        let out = analyze(src, "f", Config::microbench().with_cost_model(weighted.clone()));
+        assert_eq!(out.cost_model, weighted);
+        let out = analyze(src, "f", Config::microbench());
+        assert_eq!(out.cost_model, blazer_ir::cost::CostModel::unit());
     }
 
     #[test]

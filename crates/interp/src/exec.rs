@@ -2,10 +2,51 @@
 
 use crate::oracle::ExternOracle;
 use crate::value::Value;
-use blazer_ir::cost::CostModel;
+use blazer_ir::cost::{CacheParams, CostModel};
 use blazer_ir::{
     BinOp, Cfg, Cond, Edge, Expr, Function, Inst, NodeId, Operand, Program, Terminator, UnOp,
 };
+use std::rc::Rc;
+
+/// A concrete `sets × ways` set-associative LRU data cache mirroring
+/// [`CacheParams`]: lines are `(array identity, line number)` pairs, one
+/// MRU-first list per set. State is per run; the abstract side's must-hit
+/// claims are sound against any starting state, so persistence across
+/// blocks only adds hits.
+#[derive(Debug)]
+struct ConcreteCache {
+    sets: Vec<Vec<(usize, i64)>>,
+    ways: usize,
+    line: i64,
+}
+
+impl ConcreteCache {
+    fn new(p: &CacheParams) -> ConcreteCache {
+        ConcreteCache { sets: vec![Vec::new(); p.sets], ways: p.ways.max(1), line: p.line as i64 }
+    }
+
+    /// Touches element `idx` of the array identified by pointer `arr`;
+    /// returns whether the access hit.
+    fn access(&mut self, arr: usize, idx: i64) -> bool {
+        let line_no = idx.div_euclid(self.line);
+        let key = (arr, line_no);
+        let slot = (arr >> 4).wrapping_add(line_no as usize).wrapping_mul(0x9E37_79B9)
+            % self.sets.len().max(1);
+        let set = &mut self.sets[slot];
+        match set.iter().position(|&k| k == key) {
+            Some(p) => {
+                let k = set.remove(p);
+                set.insert(0, k);
+                true
+            }
+            None => {
+                set.insert(0, key);
+                set.truncate(self.ways);
+                false
+            }
+        }
+    }
+}
 
 /// An execution failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -123,6 +164,8 @@ impl<'p> Interp<'p> {
         let mut cost: u64 = 0;
         let mut fuel = self.fuel;
         let mut block = f.entry();
+        // Cache-aware models measure against a real per-run L1D cache.
+        let mut cache = self.cost_model.cache_params().map(ConcreteCache::new);
         loop {
             let b = f.block(block);
             for inst in &b.insts {
@@ -130,7 +173,7 @@ impl<'p> Interp<'p> {
                     return Err(ExecError::OutOfFuel);
                 }
                 fuel -= 1;
-                cost += self.exec_inst(f, inst, &mut env, oracle)?;
+                cost += self.exec_inst(f, inst, &mut env, &mut cache, oracle)?;
             }
             cost += self.cost_model.term_cost(&b.term);
             let from = NodeId::block(block);
@@ -158,18 +201,54 @@ impl<'p> Interp<'p> {
         }
     }
 
+    /// Prices one successfully-performed access to `arr[idx]`: hit/miss
+    /// latency through the concrete cache when the model carries one, else
+    /// the exact weight `flat`.
+    fn access_cost(
+        &self,
+        cache: &mut Option<ConcreteCache>,
+        a: &Rc<std::cell::RefCell<Vec<i64>>>,
+        idx: i64,
+        flat: u64,
+    ) -> u64 {
+        match cache {
+            Some(cc) => {
+                let p = self.cost_model.cache_params().expect("cache implies params");
+                if cc.access(Rc::as_ptr(a) as usize, idx) {
+                    p.hit
+                } else {
+                    p.miss
+                }
+            }
+            None => flat,
+        }
+    }
+
     fn exec_inst(
         &self,
         f: &Function,
         inst: &Inst,
         env: &mut [Value],
+        cache: &mut Option<ConcreteCache>,
         oracle: &mut dyn ExternOracle,
     ) -> Result<u64, ExecError> {
         match inst {
             Inst::Assign { dst, expr } => {
                 let v = self.eval_expr(expr, env)?;
+                // Price before the destination write so an aliasing
+                // `a = a[i]`-shaped assignment reads the old binding.
+                let c = match expr {
+                    Expr::ArrayGet(arr, index) if cache.is_some() => {
+                        let idx = self.eval_operand(index, env).as_int().expect("typed index");
+                        let Value::Arr(Some(a)) = &env[arr.index()] else {
+                            unreachable!("eval_expr succeeded on this read")
+                        };
+                        self.access_cost(cache, a, idx, 0)
+                    }
+                    _ => self.cost_model.weights().assign,
+                };
                 env[dst.index()] = v;
-                Ok(self.cost_model.assign)
+                Ok(c)
             }
             Inst::ArraySet { arr, index, value } => {
                 let idx = self.eval_operand(index, env).as_int().expect("typed index");
@@ -177,13 +256,15 @@ impl<'p> Interp<'p> {
                 match &env[arr.index()] {
                     Value::Arr(None) => Err(ExecError::NullDereference),
                     Value::Arr(Some(a)) => {
-                        let mut a = a.borrow_mut();
-                        let len = a.len() as i64;
-                        if idx < 0 || idx >= len {
-                            return Err(ExecError::IndexOutOfBounds { index: idx, len });
+                        {
+                            let mut cells = a.borrow_mut();
+                            let len = cells.len() as i64;
+                            if idx < 0 || idx >= len {
+                                return Err(ExecError::IndexOutOfBounds { index: idx, len });
+                            }
+                            cells[idx as usize] = val;
                         }
-                        a[idx as usize] = val;
-                        Ok(self.cost_model.array_set)
+                        Ok(self.access_cost(cache, a, idx, self.cost_model.weights().array_set))
                     }
                     Value::Int(_) => unreachable!("typed array store"),
                 }
@@ -206,7 +287,7 @@ impl<'p> Interp<'p> {
             Inst::Tick(n) => Ok(*n),
             Inst::Havoc { dst } => {
                 env[dst.index()] = Value::Int(oracle.havoc());
-                Ok(self.cost_model.havoc)
+                Ok(self.cost_model.weights().havoc)
             }
         }
     }
@@ -494,5 +575,66 @@ mod tests {
     fn tick_statement() {
         let t = run("fn f() { tick(41); }", "f", &[]);
         assert_eq!(t.cost, 42); // tick + return
+    }
+
+    fn run_with_model(src: &str, func: &str, inputs: &[Value], model: CostModel) -> Trace {
+        let p = compile(src).unwrap();
+        Interp::new(&p).with_cost_model(model).run(func, inputs, &mut SeededOracle::new(1)).unwrap()
+    }
+
+    #[test]
+    fn cache_model_prices_repeated_reads_as_hits() {
+        let src = "fn f(a: array) -> int { \
+            let x: int = a[0]; \
+            let y: int = a[0]; \
+            return 0; \
+        }";
+        let arr = Value::array(vec![5, 6]);
+        // Unit model: 2 assigns + return.
+        let unit = run_with_model(src, "f", std::slice::from_ref(&arr), CostModel::unit());
+        assert_eq!(unit.cost, 3);
+        // Cache model (hit 1, miss 8): cold miss, then a line hit, + return.
+        let cached = run_with_model(src, "f", std::slice::from_ref(&arr), CostModel::cache_aware());
+        assert_eq!(cached.cost, 8 + 1 + 1);
+    }
+
+    #[test]
+    fn cache_model_misses_on_distinct_lines_and_hits_within_one() {
+        // Default line holds 4 elements: a[0] and a[2] share a line,
+        // a[100] does not.
+        let src = "fn f(a: array) -> int { \
+            let x: int = a[0]; \
+            let y: int = a[2]; \
+            let z: int = a[100]; \
+            return 0; \
+        }";
+        let arr = Value::array(vec![0; 128]);
+        let t = run_with_model(src, "f", std::slice::from_ref(&arr), CostModel::cache_aware());
+        // miss(8) + same-line hit(1) + miss(8) + return(1).
+        assert_eq!(t.cost, 18);
+    }
+
+    #[test]
+    fn cache_model_array_writes_allocate_lines() {
+        let src = "fn f(a: array) -> int { \
+            a[0] = 7; \
+            let x: int = a[1]; \
+            return 0; \
+        }";
+        let arr = Value::array(vec![0; 4]);
+        let t = run_with_model(src, "f", std::slice::from_ref(&arr), CostModel::cache_aware());
+        // Write-allocating miss(8) + same-line read hit(1) + return(1).
+        assert_eq!(t.cost, 10);
+    }
+
+    #[test]
+    fn weighted_model_reprices_writes_and_branches() {
+        let src = "fn f(a: array, n: int) { a[0] = n; if (n > 0) { } }";
+        let arr = Value::array(vec![0; 2]);
+        let inputs = [arr, Value::Int(1)];
+        let unit = run_with_model(src, "f", &inputs, CostModel::unit());
+        let weighted = run_with_model(src, "f", &inputs, CostModel::weighted());
+        // array_set 1 -> 2, branch 1 -> 2; everything else unchanged.
+        assert_eq!(weighted.cost, unit.cost + 2);
     }
 }

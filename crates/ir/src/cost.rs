@@ -2,18 +2,59 @@
 //!
 //! "We currently use a simple machine model in which each bytecode
 //! instruction is counted as a single unit." (Sec. 5). This module makes the
-//! per-instruction weights explicit and configurable so ablation experiments
-//! can vary them.
+//! observer's machine model a first-class, pluggable axis of the analysis:
+//!
+//! * [`CostModel::Weighted`] — the paper's model generalized to a
+//!   per-instruction weight table ([`WeightTable`]); every instruction has
+//!   one exact cost, so per-block costs are constants (modulo
+//!   value-dependent call summaries).
+//! * [`CostModel::CacheAware`] — a microarchitectural observer where the
+//!   cost of an array access depends on an abstract L1D cache state
+//!   ([`CacheParams`]): accesses the analysis can prove resident are priced
+//!   as hits, everything else as a `[hit, miss]` *range*. Per-instruction
+//!   costs are therefore [`CostRange`]s, not points.
+//!
+//! Both models are driven through one stateful [`BlockWalker`]: callers
+//! walk each basic block in instruction order and receive per-instruction
+//! cost ranges; the walker threads the abstract cache ("must" information:
+//! lines provably resident) alongside. The concrete interpreter mirrors the
+//! same parameters with a real set-associative LRU cache, and the oracle
+//! property tests check that measured concrete costs always land inside the
+//! symbolic `[lo, hi]` trail bounds under the *same* model.
+//!
+//! # Cache-model soundness
+//!
+//! The abstract cache is a per-block must-set: an LRU-ordered list of at
+//! most `ways` abstract line keys `(array var, line index)`. The invariant
+//! is that a key at LRU position `p` (0 = most recent) has seen at most `p`
+//! distinct cache lines accessed since its own last access; with `p <
+//! ways`, a `ways`-associative LRU set cannot have evicted it, for *any*
+//! set mapping (the worst case — every line falling into one set — is
+//! exactly the abstract capacity). Three rules keep the invariant:
+//!
+//! * keys invalidated by a variable write are *replaced by opaque
+//!   placeholders*, never removed — removal would rewind the ages of older
+//!   entries and overclaim residency;
+//! * distinct abstract keys over-count distinct concrete lines (aliasing
+//!   two keys onto one line only makes the concrete cache retain more), so
+//!   the position bound is conservative;
+//! * calls clear the must-set entirely (claiming nothing is always sound),
+//!   and every block starts from the empty must-set.
+//!
+//! Lower bounds price every access as a hit and upper bounds price every
+//! non-must access as a miss, so `lo ≤ hi` needs only `hit ≤ miss`, which
+//! [`CostModel::from_json`] validates.
 
-use crate::function::Block;
-use crate::inst::{CallCost, Inst, Terminator};
+use crate::function::{Block, Function, VarId};
+use crate::inst::{CallCost, Expr, Inst, Operand, Terminator};
+use crate::json::Json;
 
-/// Per-instruction weights of the simple machine model.
+/// Per-instruction weights of the simple (exact) machine model.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct CostModel {
-    /// Cost of an assignment (including array reads).
+pub struct WeightTable {
+    /// Cost of an assignment (including array reads under exact models).
     pub assign: u64,
-    /// Cost of an array element write.
+    /// Cost of an array element write (under exact models).
     pub array_set: u64,
     /// Cost of a havoc (unknown library read).
     pub havoc: u64,
@@ -25,48 +66,302 @@ pub struct CostModel {
     pub ret: u64,
 }
 
+impl WeightTable {
+    /// The paper's unit weights: one unit per instruction, jumps free.
+    pub fn unit() -> Self {
+        WeightTable { assign: 1, array_set: 1, havoc: 1, branch: 1, goto: 0, ret: 1 }
+    }
+
+    /// A non-trivial latency-shaped table: memory writes and havocs
+    /// (library reads) cost more than register arithmetic.
+    pub fn weighted() -> Self {
+        WeightTable { assign: 1, array_set: 2, havoc: 3, branch: 2, goto: 0, ret: 1 }
+    }
+}
+
+/// Parameters of the cache-aware observer: an abstract (and, in the
+/// interpreter, concrete) `sets × ways` set-associative LRU data cache over
+/// array elements, `line` elements per cache line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheParams {
+    /// Weights of every non-memory instruction.
+    pub base: WeightTable,
+    /// Cost of an array access that hits in the cache.
+    pub hit: u64,
+    /// Cost of an array access that misses.
+    pub miss: u64,
+    /// Associativity. The abstract must-cache holds at most this many
+    /// lines — sound for any set mapping.
+    pub ways: usize,
+    /// Number of sets (concrete interpreter only; the abstract model
+    /// assumes the worst case of a single set).
+    pub sets: usize,
+    /// Array elements per cache line.
+    pub line: u64,
+}
+
+impl Default for CacheParams {
+    fn default() -> Self {
+        CacheParams { base: WeightTable::unit(), hit: 1, miss: 8, ways: 4, sets: 64, line: 4 }
+    }
+}
+
+/// The machine model assigning observable cost to instructions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CostModel {
+    /// Exact per-instruction weights.
+    Weighted(WeightTable),
+    /// Array-access cost depends on abstract L1D cache state.
+    CacheAware(CacheParams),
+}
+
+/// The `[lo, hi]` cost of one instruction. Exact models always have
+/// `lo == hi`; the cache model widens unclassified array accesses to
+/// `[hit, miss]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostRange {
+    /// Least possible cost.
+    pub lo: u64,
+    /// Greatest possible cost.
+    pub hi: u64,
+}
+
+impl CostRange {
+    /// A point cost.
+    pub fn exact(c: u64) -> CostRange {
+        CostRange { lo: c, hi: c }
+    }
+
+    /// Whether this is a point cost.
+    pub fn is_exact(&self) -> bool {
+        self.lo == self.hi
+    }
+}
+
 impl CostModel {
     /// The paper's unit model: one unit per instruction, jumps free.
     pub fn unit() -> Self {
-        CostModel { assign: 1, array_set: 1, havoc: 1, branch: 1, goto: 0, ret: 1 }
+        CostModel::Weighted(WeightTable::unit())
     }
 
-    /// The cost of one instruction; `Call` costs come from their summary and
-    /// are returned as `Err(cost)` since they can depend on argument values.
-    pub fn inst_cost(&self, inst: &Inst) -> Result<u64, CallCost> {
-        match inst {
-            Inst::Assign { .. } => Ok(self.assign),
-            Inst::ArraySet { .. } => Ok(self.array_set),
-            Inst::Call { cost, .. } => Err(*cost),
-            Inst::Nop => Ok(0),
-            Inst::Tick(n) => Ok(*n),
-            Inst::Havoc { .. } => Ok(self.havoc),
+    /// The weighted preset: [`WeightTable::weighted`].
+    pub fn weighted() -> Self {
+        CostModel::Weighted(WeightTable::weighted())
+    }
+
+    /// The cache-aware preset: unit base weights with
+    /// [`CacheParams::default`] cache geometry.
+    pub fn cache_aware() -> Self {
+        CostModel::CacheAware(CacheParams::default())
+    }
+
+    /// Every shipped preset with its wire name, in CLI order. Harnesses
+    /// (the oracle CI gate, ablations) sweep this list.
+    pub fn presets() -> [(&'static str, CostModel); 3] {
+        [
+            ("unit", CostModel::unit()),
+            ("weighted", CostModel::weighted()),
+            ("cache", CostModel::cache_aware()),
+        ]
+    }
+
+    /// The weights of non-memory instructions.
+    pub fn weights(&self) -> &WeightTable {
+        match self {
+            CostModel::Weighted(t) => t,
+            CostModel::CacheAware(p) => &p.base,
         }
     }
 
-    /// The cost of a terminator.
+    /// The cache geometry, for cache-aware models.
+    pub fn cache_params(&self) -> Option<&CacheParams> {
+        match self {
+            CostModel::CacheAware(p) => Some(p),
+            CostModel::Weighted(_) => None,
+        }
+    }
+
+    /// A fresh per-block walker. Create one per basic block (or call
+    /// [`BlockWalker::reset`] at each block entry): the abstract cache
+    /// must-set starts empty at block entry.
+    pub fn walker(&self) -> BlockWalker<'_> {
+        BlockWalker { model: self, cache: Vec::new() }
+    }
+
+    /// The cost of a terminator (model-independent: terminators never
+    /// touch memory).
     pub fn term_cost(&self, term: &Terminator) -> u64 {
+        let t = self.weights();
         match term {
-            Terminator::Goto(_) => self.goto,
-            Terminator::Branch { .. } => self.branch,
-            Terminator::Return(_) => self.ret,
+            Terminator::Goto(_) => t.goto,
+            Terminator::Branch { .. } => t.branch,
+            Terminator::Return(_) => t.ret,
         }
     }
 
-    /// The cost of a whole block assuming all call summaries are constant.
+    /// The cost of a whole block when it is a single constant.
     ///
     /// Returns `None` if the block contains a call with a value-dependent
-    /// (linear) summary; such blocks need symbolic treatment.
+    /// (linear) summary, or any instruction whose cost is a genuine range
+    /// under this model; such blocks need symbolic treatment.
     pub fn block_cost_const(&self, block: &Block) -> Option<u64> {
         let mut total = self.term_cost(&block.term);
+        let mut walker = self.walker();
         for inst in &block.insts {
-            match self.inst_cost(inst) {
-                Ok(c) => total += c,
+            match walker.inst_cost(inst) {
+                Ok(r) if r.is_exact() => total += r.lo,
+                Ok(_) => return None,
                 Err(CallCost::Const(c)) => total += c,
                 Err(CallCost::Linear { .. }) => return None,
             }
         }
         Some(total)
+    }
+
+    /// Whether every instruction of `f` has a point cost under this model
+    /// (linear call summaries count as exact: they are symbolic but not
+    /// ranges). Exact functions can be priced by constant counter
+    /// instrumentation (the self-composition baseline); inexact ones
+    /// cannot.
+    pub fn exact_for(&self, f: &Function) -> bool {
+        if matches!(self, CostModel::Weighted(_)) {
+            return true;
+        }
+        f.blocks().iter().all(|block| {
+            let mut walker = self.walker();
+            block.insts.iter().all(|inst| match walker.inst_cost(inst) {
+                Ok(r) => r.is_exact(),
+                Err(_) => true,
+            })
+        })
+    }
+
+    /// Parses a preset name (the `--cost-model` / wire string form).
+    fn preset(name: &str) -> Option<CostModel> {
+        CostModel::presets().into_iter().find(|(n, _)| *n == name).map(|(_, m)| m)
+    }
+
+    /// Serializes to the wire form: the preset name when the model matches
+    /// a preset, else a `{"kind": ...}` object with every parameter.
+    pub fn to_json(&self) -> Json {
+        if let Some((name, _)) = CostModel::presets().into_iter().find(|(_, m)| m == self) {
+            return Json::Str(name.to_string());
+        }
+        let table = |t: &WeightTable, pairs: &mut Vec<(String, Json)>| {
+            pairs.push(("assign".to_string(), Json::from(t.assign)));
+            pairs.push(("array_set".to_string(), Json::from(t.array_set)));
+            pairs.push(("havoc".to_string(), Json::from(t.havoc)));
+            pairs.push(("branch".to_string(), Json::from(t.branch)));
+            pairs.push(("goto".to_string(), Json::from(t.goto)));
+            pairs.push(("ret".to_string(), Json::from(t.ret)));
+        };
+        let mut pairs = Vec::new();
+        match self {
+            CostModel::Weighted(t) => {
+                pairs.push(("kind".to_string(), Json::from("weighted")));
+                table(t, &mut pairs);
+            }
+            CostModel::CacheAware(p) => {
+                pairs.push(("kind".to_string(), Json::from("cache")));
+                pairs.push(("hit".to_string(), Json::from(p.hit)));
+                pairs.push(("miss".to_string(), Json::from(p.miss)));
+                pairs.push(("ways".to_string(), Json::from(p.ways)));
+                pairs.push(("sets".to_string(), Json::from(p.sets)));
+                pairs.push(("line".to_string(), Json::from(p.line)));
+                table(&p.base, &mut pairs);
+            }
+        }
+        Json::Obj(pairs)
+    }
+
+    /// Parses the wire form: a preset name string, or a `{"kind": ...}`
+    /// object overriding preset parameters. Unknown names, unknown members,
+    /// and malformed or unsound parameter values (`miss < hit`, zero cache
+    /// geometry) are rejected with a message.
+    pub fn from_json(doc: &Json) -> Result<CostModel, String> {
+        match doc {
+            Json::Str(name) => CostModel::preset(name).ok_or_else(|| {
+                format!("unknown cost model \"{name}\": expected unit|weighted|cache")
+            }),
+            Json::Obj(pairs) => {
+                let kind = pairs
+                    .iter()
+                    .find(|(k, _)| k == "kind")
+                    .ok_or("cost model object needs a \"kind\" member")?
+                    .1
+                    .as_str()
+                    .ok_or("cost model \"kind\" must be a string")?;
+                let num = |key: &str, value: &Json| {
+                    value.as_u64().ok_or(format!(
+                        "cost model member \"{key}\" must be a non-negative integer"
+                    ))
+                };
+                match kind {
+                    "weighted" => {
+                        let mut t = WeightTable::weighted();
+                        for (key, value) in pairs {
+                            match key.as_str() {
+                                "kind" => {}
+                                "assign" => t.assign = num(key, value)?,
+                                "array_set" => t.array_set = num(key, value)?,
+                                "havoc" => t.havoc = num(key, value)?,
+                                "branch" => t.branch = num(key, value)?,
+                                "goto" => t.goto = num(key, value)?,
+                                "ret" => t.ret = num(key, value)?,
+                                other => {
+                                    return Err(format!("unknown cost model member \"{other}\""))
+                                }
+                            }
+                        }
+                        Ok(CostModel::Weighted(t))
+                    }
+                    "cache" => {
+                        let mut p = CacheParams::default();
+                        for (key, value) in pairs {
+                            match key.as_str() {
+                                "kind" => {}
+                                "hit" => p.hit = num(key, value)?,
+                                "miss" => p.miss = num(key, value)?,
+                                "ways" => p.ways = num(key, value)? as usize,
+                                "sets" => p.sets = num(key, value)? as usize,
+                                "line" => p.line = num(key, value)?,
+                                "assign" => p.base.assign = num(key, value)?,
+                                "array_set" => p.base.array_set = num(key, value)?,
+                                "havoc" => p.base.havoc = num(key, value)?,
+                                "branch" => p.base.branch = num(key, value)?,
+                                "goto" => p.base.goto = num(key, value)?,
+                                "ret" => p.base.ret = num(key, value)?,
+                                other => {
+                                    return Err(format!("unknown cost model member \"{other}\""))
+                                }
+                            }
+                        }
+                        if p.miss < p.hit {
+                            return Err(format!(
+                                "cache cost model needs miss >= hit (got hit={}, miss={})",
+                                p.hit, p.miss
+                            ));
+                        }
+                        if p.ways == 0 || p.sets == 0 || p.line == 0 {
+                            return Err(
+                                "cache cost model needs ways, sets, and line >= 1".to_string()
+                            );
+                        }
+                        if p.ways > 64 || p.sets > 4096 || p.line > 1024 {
+                            return Err(
+                                "cache cost model caps: ways <= 64, sets <= 4096, line <= 1024"
+                                    .to_string(),
+                            );
+                        }
+                        Ok(CostModel::CacheAware(p))
+                    }
+                    other => {
+                        Err(format!("unknown cost model kind \"{other}\": expected weighted|cache"))
+                    }
+                }
+            }
+            _ => Err("cost model must be a name string or an object".to_string()),
+        }
     }
 }
 
@@ -76,11 +371,155 @@ impl Default for CostModel {
     }
 }
 
+impl std::str::FromStr for CostModel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        CostModel::preset(s)
+            .ok_or_else(|| format!("unknown cost model `{s}` (expected unit|weighted|cache)"))
+    }
+}
+
+/// Prints the preset name when the model matches one, else the full JSON
+/// parameterization — injective up to semantic equality, so cache
+/// fingerprints can embed it directly.
+impl std::fmt::Display for CostModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.to_json() {
+            Json::Str(name) => f.write_str(&name),
+            doc => write!(f, "{doc}"),
+        }
+    }
+}
+
+/// One abstract cache line the walker can prove resident: a precise
+/// `(array, line)` key, or an opaque placeholder holding the LRU position
+/// of a line whose identity was invalidated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum AbstractLine {
+    Known { arr: VarId, index: LineKey },
+    Unknown,
+}
+
+/// A syntactic cache-line index: a constant element index normalized to
+/// its line number, or an (unmodified-since) index variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LineKey {
+    Line(i64),
+    Var(VarId),
+}
+
+/// Walks one basic block in instruction order, pricing each instruction
+/// under the model and threading the abstract cache must-set.
+#[derive(Debug)]
+pub struct BlockWalker<'m> {
+    model: &'m CostModel,
+    /// Most-recently-used first; at most `ways` entries.
+    cache: Vec<AbstractLine>,
+}
+
+impl BlockWalker<'_> {
+    /// Resets to block-entry state (empty must-set).
+    pub fn reset(&mut self) {
+        self.cache.clear();
+    }
+
+    /// The `[lo, hi]` cost of the next instruction, updating the abstract
+    /// cache state. `Call` costs come from their summaries and are returned
+    /// as `Err(cost)` since they can depend on argument values (the call's
+    /// state effects — clearing the must-set, invalidating its
+    /// destination — are still applied).
+    pub fn inst_cost(&mut self, inst: &Inst) -> Result<CostRange, CallCost> {
+        let CostModel::CacheAware(params) = self.model else {
+            let t = self.model.weights();
+            return match inst {
+                Inst::Assign { .. } => Ok(CostRange::exact(t.assign)),
+                Inst::ArraySet { .. } => Ok(CostRange::exact(t.array_set)),
+                Inst::Call { cost, .. } => Err(*cost),
+                Inst::Nop => Ok(CostRange::exact(0)),
+                Inst::Tick(n) => Ok(CostRange::exact(*n)),
+                Inst::Havoc { .. } => Ok(CostRange::exact(t.havoc)),
+            };
+        };
+        match inst {
+            Inst::Assign { dst, expr } => {
+                let r = match expr {
+                    Expr::ArrayGet(arr, index) => self.access(params, *arr, *index),
+                    _ => CostRange::exact(params.base.assign),
+                };
+                self.kill(*dst);
+                Ok(r)
+            }
+            Inst::ArraySet { arr, index, .. } => Ok(self.access(params, *arr, *index)),
+            Inst::Call { dst, cost, .. } => {
+                // An extern call's memory behavior is unknown: claim
+                // nothing afterwards.
+                self.cache.clear();
+                if let Some(d) = dst {
+                    self.kill(*d);
+                }
+                Err(*cost)
+            }
+            Inst::Nop => Ok(CostRange::exact(0)),
+            Inst::Tick(n) => Ok(CostRange::exact(*n)),
+            Inst::Havoc { dst } => {
+                self.kill(*dst);
+                Ok(CostRange::exact(params.base.havoc))
+            }
+        }
+    }
+
+    /// Prices one array access and updates the must-set.
+    fn access(&mut self, params: &CacheParams, arr: VarId, index: Operand) -> CostRange {
+        let key = match index {
+            Operand::Const(c) => LineKey::Line(c.div_euclid(params.line as i64)),
+            Operand::Var(v) => LineKey::Var(v),
+        };
+        let hit_pos = self.cache.iter().position(
+            |l| matches!(l, AbstractLine::Known { arr: a, index: i } if *a == arr && *i == key),
+        );
+        match hit_pos {
+            Some(p) => {
+                // Must-hit: provably resident. Promote to most-recent,
+                // mirroring the concrete LRU.
+                let line = self.cache.remove(p);
+                self.cache.insert(0, line);
+                CostRange::exact(params.hit)
+            }
+            None => {
+                // Unclassified: may hit (a line inserted in an earlier
+                // block, or aliased) or miss. Insert as most-recent; the
+                // eviction candidate is the least-recent entry, exactly as
+                // in a ways-associative LRU set.
+                self.cache.insert(0, AbstractLine::Known { arr, index: key });
+                self.cache.truncate(params.ways);
+                CostRange { lo: params.hit, hi: params.miss }
+            }
+        }
+    }
+
+    /// Invalidates every key mentioning a written variable. Entries are
+    /// replaced by [`AbstractLine::Unknown`] placeholders, never removed:
+    /// removal would rewind the LRU ages of older entries and overclaim
+    /// residency.
+    fn kill(&mut self, written: VarId) {
+        for line in &mut self.cache {
+            if let AbstractLine::Known { arr, index } = line {
+                let names = *arr == written || matches!(index, LineKey::Var(v) if *v == written);
+                if names {
+                    *line = AbstractLine::Unknown;
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::function::VarId;
     use crate::inst::{Expr, Operand};
+    use crate::BlockId;
 
     #[test]
     fn unit_model_counts_instructions() {
@@ -122,8 +561,190 @@ mod tests {
                 args: vec![],
                 cost: CallCost::Const(500),
             }],
-            term: Terminator::Goto(crate::BlockId::new(0)),
+            term: Terminator::Goto(BlockId::new(0)),
         };
         assert_eq!(m.block_cost_const(&block), Some(500));
+    }
+
+    #[test]
+    fn weighted_model_prices_by_table() {
+        let m = CostModel::weighted();
+        let block = Block {
+            insts: vec![
+                Inst::Assign { dst: VarId::new(0), expr: Expr::Operand(Operand::konst(1)) },
+                Inst::ArraySet {
+                    arr: VarId::new(1),
+                    index: Operand::konst(0),
+                    value: Operand::konst(9),
+                },
+                Inst::Havoc { dst: VarId::new(0) },
+            ],
+            term: Terminator::Branch {
+                cond: crate::inst::Cond::Nondet,
+                then_bb: BlockId::new(0),
+                else_bb: BlockId::new(0),
+            },
+        };
+        // assign(1) + array_set(2) + havoc(3) + branch(2)
+        assert_eq!(m.block_cost_const(&block), Some(8));
+    }
+
+    // -- cache-aware walker ------------------------------------------------
+
+    fn get(dst: u32, arr: u32, index: Operand) -> Inst {
+        Inst::Assign { dst: VarId::new(dst), expr: Expr::ArrayGet(VarId::new(arr), index) }
+    }
+
+    #[test]
+    fn repeated_access_becomes_must_hit() {
+        let m = CostModel::cache_aware();
+        let p = m.cache_params().unwrap();
+        let mut w = m.walker();
+        // First touch of a[0]: unclassified, [hit, miss].
+        let first = w.inst_cost(&get(1, 0, Operand::konst(0))).unwrap();
+        assert_eq!(first, CostRange { lo: p.hit, hi: p.miss });
+        // Second touch of the same line: must-hit, exact.
+        let second = w.inst_cost(&get(1, 0, Operand::konst(0))).unwrap();
+        assert_eq!(second, CostRange::exact(p.hit));
+        // Same line via a different in-line element index.
+        let same_line = w.inst_cost(&get(1, 0, Operand::konst(p.line as i64 - 1))).unwrap();
+        assert_eq!(same_line, CostRange::exact(p.hit));
+        // A different line of the same array is unclassified again.
+        let other = w.inst_cost(&get(1, 0, Operand::konst(p.line as i64))).unwrap();
+        assert!(!other.is_exact());
+    }
+
+    #[test]
+    fn writes_to_index_var_invalidate_without_rewinding_ages() {
+        let m = CostModel::cache_aware();
+        let p = m.cache_params().unwrap();
+        let mut w = m.walker();
+        let i = VarId::new(5);
+        // a[i] cached under the variable key.
+        w.inst_cost(&get(1, 0, Operand::Var(i))).unwrap();
+        assert_eq!(w.inst_cost(&get(1, 0, Operand::Var(i))).unwrap(), CostRange::exact(p.hit));
+        // i = i + 1 invalidates the key...
+        w.inst_cost(&Inst::Assign {
+            dst: i,
+            expr: Expr::Operand(Operand::Var(i)), // shape irrelevant; dst is what kills
+        })
+        .unwrap();
+        // ...leaving an opaque placeholder in place (removal would rewind
+        // the LRU ages of older entries)...
+        assert!(w.cache.contains(&AbstractLine::Unknown));
+        // ...so the next a[i] cannot be claimed a hit.
+        assert!(!w.inst_cost(&get(1, 0, Operand::Var(i))).unwrap().is_exact());
+    }
+
+    #[test]
+    fn capacity_evicts_least_recent() {
+        let m = CostModel::cache_aware();
+        let p = m.cache_params().unwrap();
+        let mut w = m.walker();
+        // Fill all ways with distinct lines of array 0.
+        for l in 0..p.ways as i64 {
+            w.inst_cost(&get(1, 0, Operand::konst(l * p.line as i64))).unwrap();
+        }
+        // Line 0 is now least-recent; one more distinct line evicts it.
+        w.inst_cost(&get(1, 0, Operand::konst(p.ways as i64 * p.line as i64))).unwrap();
+        assert!(
+            !w.inst_cost(&get(1, 0, Operand::konst(0))).unwrap().is_exact(),
+            "evicted line must not be claimed resident"
+        );
+        // The most recent line survives and still must-hits.
+        let recent = p.ways as i64 * p.line as i64;
+        assert_eq!(
+            w.inst_cost(&get(1, 0, Operand::konst(recent))).unwrap(),
+            CostRange::exact(p.hit)
+        );
+    }
+
+    #[test]
+    fn calls_clear_the_must_set() {
+        let m = CostModel::cache_aware();
+        let mut w = m.walker();
+        w.inst_cost(&get(1, 0, Operand::konst(0))).unwrap();
+        let _ = w.inst_cost(&Inst::Call {
+            dst: None,
+            callee: "md5".into(),
+            args: vec![],
+            cost: CallCost::Const(5),
+        });
+        assert!(!w.inst_cost(&get(1, 0, Operand::konst(0))).unwrap().is_exact());
+    }
+
+    #[test]
+    fn join_soundness_reset_never_under_approximates() {
+        // The per-block reset is the join with ⊤-uncertainty: after it, no
+        // access may be priced better than [hit, miss] until re-proven.
+        let m = CostModel::cache_aware();
+        let p = m.cache_params().unwrap();
+        let mut w = m.walker();
+        w.inst_cost(&get(1, 0, Operand::konst(0))).unwrap();
+        w.reset();
+        let r = w.inst_cost(&get(1, 0, Operand::konst(0))).unwrap();
+        assert_eq!(r, CostRange { lo: p.hit, hi: p.miss });
+        // And in general every cache-model range is hit-bounded below:
+        // lo can never drop under the hit cost, hi never under lo.
+        assert!(r.lo >= p.hit && r.hi >= r.lo);
+    }
+
+    #[test]
+    fn exactness_analysis_distinguishes_memory_functions() {
+        let src_mem =
+            Block { insts: vec![get(1, 0, Operand::konst(0))], term: Terminator::Return(None) };
+        let unit = CostModel::unit();
+        let cache = CostModel::cache_aware();
+        assert_eq!(unit.block_cost_const(&src_mem), Some(2));
+        assert_eq!(cache.block_cost_const(&src_mem), None, "unclassified access is a range");
+    }
+
+    // -- wire format -------------------------------------------------------
+
+    #[test]
+    fn presets_roundtrip_as_names() {
+        for (name, model) in CostModel::presets() {
+            assert_eq!(model.to_json(), Json::Str(name.to_string()));
+            assert_eq!(CostModel::from_json(&model.to_json()).unwrap(), model);
+            assert_eq!(name.parse::<CostModel>().unwrap(), model);
+            assert_eq!(model.to_string(), name);
+        }
+    }
+
+    #[test]
+    fn custom_models_roundtrip_as_objects() {
+        let mut t = WeightTable::weighted();
+        t.branch = 9;
+        let custom = CostModel::Weighted(t);
+        let doc = custom.to_json();
+        assert!(matches!(doc, Json::Obj(_)));
+        assert_eq!(CostModel::from_json(&doc).unwrap(), custom);
+
+        let p = CacheParams { miss: 20, ways: 2, ..CacheParams::default() };
+        let custom = CostModel::CacheAware(p);
+        let doc = custom.to_json();
+        assert_eq!(CostModel::from_json(&doc).unwrap(), custom);
+        // Display falls back to the JSON text and parses back.
+        assert_eq!(Json::parse(&custom.to_string()).unwrap(), doc);
+    }
+
+    #[test]
+    fn malformed_models_are_rejected_with_messages() {
+        for (text, needle) in [
+            (r#""quantum""#, "unknown cost model"),
+            (r#"{"assign": 1}"#, "kind"),
+            (r#"{"kind": "cache", "miss": 0}"#, "miss >= hit"),
+            (r#"{"kind": "cache", "ways": 0}"#, ">= 1"),
+            (r#"{"kind": "cache", "ways": 1000}"#, "caps"),
+            (r#"{"kind": "weighted", "assign": -3}"#, "non-negative"),
+            (r#"{"kind": "weighted", "frobnicate": 1}"#, "unknown cost model member"),
+            (r#"{"kind": "tarot"}"#, "unknown cost model kind"),
+            ("[1]", "name string or an object"),
+        ] {
+            let doc = Json::parse(text).unwrap();
+            let err = CostModel::from_json(&doc).unwrap_err();
+            assert!(err.contains(needle), "{text} -> {err}");
+        }
+        assert!("l2".parse::<CostModel>().is_err());
     }
 }

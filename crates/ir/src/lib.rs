@@ -16,9 +16,10 @@
 //!   and basic [`Block`]s ending in a [`Terminator`].
 //! * [`Cfg`] — the derived control-flow graph with a single virtual exit
 //!   node, successor/predecessor maps, and traversal orders.
-//! * [`cost::CostModel`] — the machine model assigning a unit cost to each
-//!   instruction (the paper counts "each bytecode instruction ... as a
-//!   single unit", Sec. 5).
+//! * [`cost::CostModel`] — the pluggable observer machine model: the
+//!   paper's per-instruction weight counting (it counts "each bytecode
+//!   instruction ... as a single unit", Sec. 5), or a cache-aware model
+//!   where array-access cost depends on abstract L1D cache state.
 //!
 //! ```
 //! use blazer_ir::builder::FunctionBuilder;

@@ -92,6 +92,7 @@ pub fn compose(f: &Function, cost_model: &CostModel) -> Composed {
         for (bid, block) in f.iter_blocks() {
             b.switch_to(copies[copy][bid.index()]);
             let mut const_cost: u64 = cost_model.term_cost(&block.term);
+            let mut walker = cost_model.walker();
             for inst in &block.insts {
                 // Instrument value-dependent call costs inline.
                 if let Inst::Call {
@@ -118,8 +119,16 @@ pub fn compose(f: &Function, cost_model: &CostModel) -> Composed {
                         b.binop(k, BinOp::Add, k, scaled);
                     }
                 } else {
-                    match cost_model.inst_cost(inst) {
-                        Ok(c) | Err(CallCost::Const(c)) => const_cost += c,
+                    match walker.inst_cost(inst) {
+                        // Counter instrumentation needs a constant: callers
+                        // (verify) pre-check `exact_for`, so a range here is
+                        // a caller bug. The range's upper end keeps the
+                        // instrumented program well-defined even then.
+                        Ok(r) => {
+                            debug_assert!(r.is_exact(), "compose needs an exact cost model");
+                            const_cost += r.hi;
+                        }
+                        Err(CallCost::Const(c)) => const_cost += c,
                         Err(CallCost::Linear { .. }) => unreachable!("handled above"),
                     }
                 }

@@ -39,6 +39,23 @@ pub fn verify(
 ) -> SelfCompResult {
     let f = program.function(func).unwrap_or_else(|| panic!("no function `{func}`"));
     let start = Instant::now();
+    if !cost_model.exact_for(f) {
+        // The baseline prices blocks by constant counter increments, which
+        // cannot express the cache model's per-access [hit, miss] ranges.
+        // "Not verified" is always a sound answer; the decomposition
+        // backend (whose symbolic bounds carry ranges natively) covers
+        // these programs.
+        blazer_ir::budget::note_degradation(
+            "selfcomp: cost model prices memory accesses as ranges; \
+             composed counter instrumentation skipped",
+        );
+        return SelfCompResult {
+            verified: false,
+            diff_bounds: (None, None),
+            time: start.elapsed(),
+            composed_blocks: 0,
+        };
+    }
     let Composed { function: composed, k1, k2 } = compose(f, cost_model);
     if blazer_ir::budget::check().is_err() {
         // "Not verified" is always a sound answer for the baseline; don't
@@ -171,6 +188,23 @@ mod tests {
         // the baseline cannot bound the counter difference... here costs
         // are equal on both arms though, so it verifies.
         assert!(r.verified, "diff: {:?}", r.diff_bounds);
+    }
+
+    #[test]
+    fn cache_model_declines_memory_functions_but_verifies_memory_free_ones() {
+        // The cache model prices unclassified array accesses as [hit, miss]
+        // ranges, which constant counter instrumentation cannot express:
+        // the baseline must answer "not verified" (sound) rather than
+        // compose with wrong constants.
+        let mem = compile("fn f(h: int #high, a: array) -> int { return a[0]; }").unwrap();
+        let r = verify(&mem, "f", 32, &CostModel::cache_aware());
+        assert!(!r.verified);
+        assert_eq!(r.composed_blocks, 0, "composition must be skipped entirely");
+        // Memory-free programs have exact costs under every model and
+        // still verify.
+        let pure = compile("fn g(h: int #high) { let x: int = h + 1; }").unwrap();
+        assert!(verify(&pure, "g", 0, &CostModel::cache_aware()).verified);
+        assert!(verify(&pure, "g", 0, &CostModel::weighted()).verified);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 use crate::cache::CacheKey;
 use crate::report;
 use blazer_core::{Blazer, Config, DomainKind, UnknownReason, Verdict};
+use blazer_ir::cost::CostModel;
 use blazer_ir::json::Json;
 use blazer_portfolio::{analyze_portfolio, epsilon_for, Backend};
 use std::time::{Duration, Instant};
@@ -33,6 +34,9 @@ pub struct AnalyzeRequest {
     /// Verification backend: the decomposition driver (default), the
     /// self-composition baseline, or a portfolio race of both.
     pub backend: Backend,
+    /// Observer cost model: `"unit"` (default), `"weighted"`, `"cache"`,
+    /// or a `{"kind": ...}` parameter object.
+    pub cost_model: CostModel,
 }
 
 impl AnalyzeRequest {
@@ -47,6 +51,7 @@ impl AnalyzeRequest {
             max_lp_calls: None,
             no_attack: false,
             backend: Backend::Decomp,
+            cost_model: CostModel::unit(),
         }
     }
 
@@ -115,6 +120,10 @@ impl AnalyzeRequest {
                         .parse()
                         .map_err(|e| format!("\"backend\": {e}"))?;
                 }
+                "cost_model" => {
+                    req.cost_model =
+                        CostModel::from_json(value).map_err(|e| format!("\"cost_model\": {e}"))?;
+                }
                 other => return Err(format!("unknown request member \"{other}\"")),
             }
         }
@@ -148,6 +157,9 @@ impl AnalyzeRequest {
         if self.backend != Backend::Decomp {
             pairs.push(("backend".to_string(), Json::from(self.backend.as_str())));
         }
+        if self.cost_model != CostModel::unit() {
+            pairs.push(("cost_model".to_string(), self.cost_model.to_json()));
+        }
         Json::Obj(pairs)
     }
 
@@ -157,15 +169,21 @@ impl AnalyzeRequest {
     /// self-composition or portfolio response carries backend-specific
     /// members (winner, leakage, verification status), so serving one for
     /// a plain decomposition request would be a cache-poisoning collision.
+    /// (The cost model is likewise present — bounds, verdicts, leakage, and
+    /// attack witnesses are all priced under it, so two requests differing
+    /// only in `cost_model` must never share a cache entry or a
+    /// single-flight slot.)
     pub fn fingerprint(&self) -> String {
         format!(
-            "domain={};observer={};timeout_s={:?};max_lp_calls={:?};no_attack={};backend={}",
+            "domain={};observer={};timeout_s={:?};max_lp_calls={:?};no_attack={};backend={};\
+             cost_model={}",
             self.domain,
             self.observer,
             self.timeout_s,
             self.max_lp_calls,
             self.no_attack,
-            self.backend
+            self.backend,
+            self.cost_model
         )
     }
 
@@ -184,6 +202,7 @@ impl AnalyzeRequest {
             _ => Config::microbench(),
         };
         config.domain = self.domain;
+        config.cost_model = self.cost_model.clone();
         config.synthesize_attack = !self.no_attack;
         config.threads = Some(threads);
         let requested = self.timeout_s.map(Duration::from_secs_f64);
@@ -354,6 +373,7 @@ fn execute_selfcomp(
         ("verdict", Json::from(if result.verified { "safe" } else { "unknown" })),
         ("verified", Json::Bool(result.verified)),
         ("epsilon", Json::from(epsilon)),
+        ("cost_model", config.cost_model.to_json()),
         ("diff_lower", result.diff_bounds.0.map(|r| r.to_f64()).map(Json::Num).into()),
         ("diff_upper", result.diff_bounds.1.map(|r| r.to_f64()).map(Json::Num).into()),
         ("composed_blocks", Json::from(result.composed_blocks)),
@@ -461,6 +481,72 @@ mod tests {
         assert_ne!(keys[0], keys[1]);
         assert_ne!(keys[0], keys[2]);
         assert_ne!(keys[1], keys[2]);
+    }
+
+    #[test]
+    fn cache_key_separates_cost_models() {
+        // Regression: the fingerprint once omitted the cost model, so a
+        // verdict priced under the unit model could be cached (or joined
+        // as an in-flight single-flight follower — the flight table is
+        // keyed by the same cache key) and then served to a request asking
+        // for the cache-aware observer, whose bounds, leakage, and attack
+        // epsilon are all different.
+        let mut keys = Vec::new();
+        for model in [CostModel::unit(), CostModel::weighted(), CostModel::cache_aware()] {
+            let mut req = AnalyzeRequest::new("fn f(a: int[] #high) { let x: int = a[0]; }");
+            req.cost_model = model;
+            keys.push(req.cache_key());
+        }
+        assert_ne!(keys[0], keys[1]);
+        assert_ne!(keys[0], keys[2]);
+        assert_ne!(keys[1], keys[2]);
+        // A custom table is distinct from every preset too.
+        let mut custom = AnalyzeRequest::new("fn f(a: int[] #high) { let x: int = a[0]; }");
+        custom.cost_model =
+            CostModel::from_json(&Json::parse(r#"{"kind": "weighted", "assign": 5}"#).unwrap())
+                .unwrap();
+        assert!(!keys.contains(&custom.cache_key()));
+    }
+
+    #[test]
+    fn cost_model_roundtrips_and_default_is_omitted_from_wire() {
+        // Preset by name.
+        let doc = Json::parse(r#"{"source": "fn f() { }", "cost_model": "cache"}"#).unwrap();
+        let req = AnalyzeRequest::from_json(&doc).unwrap();
+        assert_eq!(req.cost_model, CostModel::cache_aware());
+        assert_eq!(AnalyzeRequest::from_json(&req.to_json()).unwrap(), req);
+        // Custom object form.
+        let doc = Json::parse(
+            r#"{"source": "fn f() { }",
+                "cost_model": {"kind": "cache", "hit": 2, "miss": 20, "ways": 2}}"#,
+        )
+        .unwrap();
+        let req = AnalyzeRequest::from_json(&doc).unwrap();
+        let params = req.cost_model.cache_params().expect("cache model");
+        assert_eq!((params.hit, params.miss, params.ways), (2, 20, 2));
+        assert_eq!(AnalyzeRequest::from_json(&req.to_json()).unwrap(), req);
+        // The default unit model stays off the wire for old-client parity.
+        let plain = AnalyzeRequest::new("fn f() { }");
+        assert!(plain.to_json().get("cost_model").is_none());
+    }
+
+    #[test]
+    fn bad_cost_models_are_rejected_with_messages() {
+        for (body, needle) in [
+            (r#"{"source": "x", "cost_model": "l33t"}"#, "unknown cost model"),
+            (r#"{"source": "x", "cost_model": {"assign": 1}}"#, "kind"),
+            (
+                r#"{"source": "x", "cost_model": {"kind": "cache", "hit": 9, "miss": 3}}"#,
+                "miss >= hit",
+            ),
+            (r#"{"source": "x", "cost_model": {"kind": "cache", "ways": 0}}"#, ">= 1"),
+            (r#"{"source": "x", "cost_model": {"kind": "weighted", "assign": -2}}"#, "negative"),
+            (r#"{"source": "x", "cost_model": 17}"#, "name string or an object"),
+        ] {
+            let err = AnalyzeRequest::from_json(&Json::parse(body).unwrap()).unwrap_err();
+            assert!(err.contains("cost_model"), "{body} -> {err}");
+            assert!(err.contains(needle), "{body} -> {err}");
+        }
     }
 
     #[test]

@@ -149,6 +149,12 @@ pub struct Stats {
     pub wins_selfcomp: AtomicU64,
     /// Portfolio races that revoked the shared budget to cancel the loser.
     pub revocations: AtomicU64,
+    /// Analyses priced under the `weighted` cost-model preset.
+    pub cost_model_weighted: AtomicU64,
+    /// Analyses priced under the cache-aware cost-model preset.
+    pub cost_model_cache: AtomicU64,
+    /// Analyses priced under a custom (non-preset) cost model.
+    pub cost_model_custom: AtomicU64,
     /// Requests answered with a `4xx` status (batch items excluded: the
     /// batch transport itself succeeded).
     pub client_errors: AtomicU64,
@@ -462,6 +468,16 @@ fn analyze_one(ctx: &Ctx, req: &api::AnalyzeRequest) -> (u16, String) {
                 if req.backend == blazer_portfolio::Backend::Portfolio {
                     ctx.stats.portfolio_requests.fetch_add(1, Ordering::SeqCst);
                 }
+                {
+                    use blazer_ir::cost::CostModel;
+                    if req.cost_model == CostModel::weighted() {
+                        ctx.stats.cost_model_weighted.fetch_add(1, Ordering::SeqCst);
+                    } else if req.cost_model == CostModel::cache_aware() {
+                        ctx.stats.cost_model_cache.fetch_add(1, Ordering::SeqCst);
+                    } else if req.cost_model != CostModel::unit() {
+                        ctx.stats.cost_model_custom.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
             }
             match response.winner {
                 Some(blazer_portfolio::Backend::Decomp) => {
@@ -594,6 +610,14 @@ fn stats_body(ctx: &Ctx) -> Json {
                 ("wins_decomp", Json::from(s.wins_decomp.load(Ordering::SeqCst))),
                 ("wins_selfcomp", Json::from(s.wins_selfcomp.load(Ordering::SeqCst))),
                 ("revocations", Json::from(s.revocations.load(Ordering::SeqCst))),
+            ]),
+        ),
+        (
+            "cost_models",
+            Json::obj([
+                ("weighted", Json::from(s.cost_model_weighted.load(Ordering::SeqCst))),
+                ("cache", Json::from(s.cost_model_cache.load(Ordering::SeqCst))),
+                ("custom", Json::from(s.cost_model_custom.load(Ordering::SeqCst))),
             ]),
         ),
         ("crashes", Json::from(s.crashes.load(Ordering::SeqCst))),

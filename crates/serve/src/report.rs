@@ -56,6 +56,7 @@ pub fn outcome_json(program: &Program, outcome: &AnalysisOutcome, wall_s: f64) -
     Json::obj([
         ("function", Json::from(outcome.function.clone())),
         ("verdict", Json::from(outcome.verdict.code())),
+        ("cost_model", outcome.cost_model.to_json()),
         ("unknown_reason", outcome.verdict.unknown_reason().map(|r| r.to_string()).into()),
         ("n_blocks", Json::from(outcome.n_blocks)),
         ("safety_s", Json::secs(outcome.safety_time.as_secs_f64())),

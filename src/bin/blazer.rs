@@ -5,6 +5,7 @@
 //! $ blazer program.blz check            # analyze function `check`
 //! $ blazer --observer stac program.blz check
 //! $ blazer --domain zone program.blz check
+//! $ blazer --cost-model cache program.blz check
 //! $ blazer --timeout 10 --max-lp-calls 100000 program.blz check
 //! $ blazer --threads 4 program.blz check
 //! $ blazer --json program.blz check     # machine-readable outcome
@@ -68,6 +69,9 @@ fn parse_args(args: Vec<String>) -> Result<Options, String> {
             "--domain" => {
                 config.domain = parse_domain(args.next().as_deref())?;
             }
+            "--cost-model" => {
+                config.cost_model = parse_cost_model(args.next().as_deref())?;
+            }
             "--timeout" => {
                 config = config.with_timeout(parse_timeout(args.next().as_deref())?);
             }
@@ -92,6 +96,7 @@ fn parse_args(args: Vec<String>) -> Result<Options, String> {
             "--help" | "-h" => {
                 return Err("usage: blazer [--observer stac|degree] [--domain D] \
                             [--backend decomp|selfcomp|portfolio] \
+                            [--cost-model unit|weighted|cache] \
                             [--timeout SECS] [--max-lp-calls N] [--threads N] \
                             [--no-attack] [--concretize] [--json] <file> [function]\n\
                             \x20      blazer serve [--addr A] [--workers N] [--queue N] \
@@ -127,6 +132,15 @@ fn parse_domain(arg: Option<&str>) -> Result<DomainKind, String> {
         Some("octagon") => Ok(DomainKind::Octagon),
         Some("polyhedra") => Ok(DomainKind::Polyhedra),
         other => Err(format!("--domain expects interval|zone|octagon|polyhedra, got {other:?}")),
+    }
+}
+
+fn parse_cost_model(arg: Option<&str>) -> Result<blazer::ir::cost::CostModel, String> {
+    match arg {
+        Some(name) => name
+            .parse()
+            .map_err(|_| format!("--cost-model expects unit|weighted|cache, got {name:?}")),
+        None => Err("--cost-model expects unit|weighted|cache".to_string()),
     }
 }
 
@@ -323,6 +337,7 @@ fn selfcomp_main(
             ("verdict", Json::from(if result.verified { "safe" } else { "unknown" })),
             ("verified", Json::Bool(result.verified)),
             ("epsilon", Json::from(epsilon)),
+            ("cost_model", opts.config.cost_model.to_json()),
             ("composed_blocks", Json::from(result.composed_blocks)),
             ("wall_s", Json::secs(started.elapsed().as_secs_f64())),
         ]);
@@ -678,6 +693,7 @@ fn client_main(args: Vec<String>) -> ExitCode {
                 Ok(())
             }
             "--domain" => parse_domain(args.next().as_deref()).map(|d| req.domain = d),
+            "--cost-model" => parse_cost_model(args.next().as_deref()).map(|m| req.cost_model = m),
             "--observer" => match args.next().as_deref() {
                 Some(o @ ("stac" | "degree")) => {
                     req.observer = o.to_string();

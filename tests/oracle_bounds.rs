@@ -15,6 +15,13 @@
 //! emptiness check lies, and a cost outside `[lo, hi]` means the
 //! per-trail abstract interpretation lies.
 //!
+//! Both sides of the comparison are priced under the *same* pluggable
+//! cost model, and the whole check sweeps every preset (`unit`,
+//! `weighted`, `cache`): the cache-aware model's symbolic side classifies
+//! memory accesses with an abstract must-cache and prices unclassified
+//! ones as `[hit, miss]` ranges, so a concrete LRU run landing outside a
+//! leaf's `[lo, hi]` means the must-hit analysis over-promised.
+//!
 //! The fast tier-1 test sweeps a MicroBench subset; the `#[ignore]`d
 //! variant sweeps all 24 Table-1 benchmarks and runs in CI's snapshot job.
 
@@ -23,6 +30,7 @@ use blazer::automata::Dfa;
 use blazer::core::{Blazer, Config};
 use blazer::domains::Rat;
 use blazer::interp::{Interp, SeededOracle, Value};
+use blazer::ir::cost::CostModel;
 use blazer::ir::{Cfg, Program, Type};
 
 /// Deterministic input generator (splitmix64).
@@ -69,10 +77,11 @@ fn magnitude(v: &Value) -> i64 {
 /// any bounded leaf at all (the no-secret-influence fast path concludes
 /// Safe without ever computing per-trail bounds, so its leaves carry none
 /// and no run can match).
-fn check_benchmark(name: &str, attempts: u32, seed: u64) -> (usize, bool) {
+fn check_benchmark(name: &str, model: &CostModel, attempts: u32, seed: u64) -> (usize, bool) {
     let b = blazer::benchmarks::by_name(name).unwrap();
     let program: Program = b.compile();
-    let config = blazer_bench_config(b.group);
+    let mut config = blazer_bench_config(b.group);
+    config.cost_model = model.clone();
     let outcome = Blazer::new(config.clone()).analyze(&program, b.function).unwrap();
     let f = program.function(b.function).unwrap();
     let cfg = Cfg::new(f);
@@ -119,8 +128,8 @@ fn check_benchmark(name: &str, attempts: u32, seed: u64) -> (usize, bool) {
             let Some(bounds) = bounds else { continue }; // never analyzed (degraded)
             let Some(lo) = &bounds.lower else {
                 panic!(
-                    "{name}: leaf tr{leaf} is claimed infeasible (empty trail language) \
-                     but accepts a concrete trace with cost {}",
+                    "{name} [{model}]: leaf tr{leaf} is claimed infeasible (empty trail \
+                     language) but accepts a concrete trace with cost {}",
                     trace.cost
                 );
             };
@@ -128,16 +137,16 @@ fn check_benchmark(name: &str, attempts: u32, seed: u64) -> (usize, bool) {
             let lo_v = lo.eval(&at);
             assert!(
                 lo_v <= cost,
-                "{name}: run {attempt} cost {} under leaf tr{leaf} lower bound {lo} = {lo_v:?} \
-                 at inputs {inputs:?}",
+                "{name} [{model}]: run {attempt} cost {} under leaf tr{leaf} lower bound \
+                 {lo} = {lo_v:?} at inputs {inputs:?}",
                 trace.cost
             );
             if let Some(hi) = &bounds.upper {
                 let hi_v = hi.eval(&at);
                 assert!(
                     cost <= hi_v,
-                    "{name}: run {attempt} cost {} over leaf tr{leaf} upper bound {hi} = {hi_v:?} \
-                     at inputs {inputs:?}",
+                    "{name} [{model}]: run {attempt} cost {} over leaf tr{leaf} upper bound \
+                     {hi} = {hi_v:?} at inputs {inputs:?}",
                     trace.cost
                 );
             }
@@ -157,35 +166,40 @@ fn blazer_bench_config(group: blazer::benchmarks::Group) -> Config {
 #[test]
 fn concrete_costs_fall_inside_symbolic_trail_bounds() {
     // A MicroBench subset with fully decided partitions, covering safe,
-    // attack, loops, arrays, and the no-taint fast path. Debug builds run
-    // the analyses an order of magnitude slower; fewer attempts keep the
-    // tier-1 wall time in check without losing the release-mode sweep.
-    let attempts = if cfg!(debug_assertions) { 40 } else { 150 };
-    for name in [
-        "array_safe",
-        "array_unsafe",
-        "loopBranch_safe",
-        "nosecret_safe",
-        "notaint_unsafe",
-        "sanity_safe",
-        "sanity_unsafe",
-        "straightline_safe",
-        "straightline_unsafe",
-    ] {
-        let (matched, any_bounded) = check_benchmark(name, attempts, 0xB1A2);
-        assert!(
-            matched > 0 || !any_bounded,
-            "{name}: no random run matched any bounded trail leaf"
-        );
+    // attack, loops, arrays, and the no-taint fast path, swept under every
+    // cost-model preset. Debug builds run the analyses an order of
+    // magnitude slower; fewer attempts keep the tier-1 wall time in check
+    // without losing the release-mode sweep.
+    let attempts = if cfg!(debug_assertions) { 25 } else { 100 };
+    for (label, model) in CostModel::presets() {
+        for name in [
+            "array_safe",
+            "array_unsafe",
+            "loopBranch_safe",
+            "nosecret_safe",
+            "notaint_unsafe",
+            "sanity_safe",
+            "sanity_unsafe",
+            "straightline_safe",
+            "straightline_unsafe",
+        ] {
+            let (matched, any_bounded) = check_benchmark(name, &model, attempts, 0xB1A2);
+            assert!(
+                matched > 0 || !any_bounded,
+                "{name} [{label}]: no random run matched any bounded trail leaf"
+            );
+        }
     }
 }
 
 #[test]
-#[ignore = "sweeps all 24 Table-1 benchmarks; run in CI's snapshot job"]
+#[ignore = "sweeps all 24 Table-1 benchmarks per cost model; run in CI's cost-oracle job"]
 fn concrete_costs_fall_inside_symbolic_trail_bounds_all_benchmarks() {
-    let mut total = 0usize;
-    for b in blazer::benchmarks::all() {
-        total += check_benchmark(b.name, 60, 0xB1A2 ^ b.name.len() as u64).0;
+    for (label, model) in CostModel::presets() {
+        let mut total = 0usize;
+        for b in blazer::benchmarks::all() {
+            total += check_benchmark(b.name, &model, 60, 0xB1A2 ^ b.name.len() as u64).0;
+        }
+        assert!(total > 0, "[{label}] no benchmark produced a bounded matched run");
     }
-    assert!(total > 0, "no benchmark produced a bounded matched run");
 }
